@@ -1,0 +1,37 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test race bench fuzz experiments results clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One benchmark run per table/figure plus the ablations.
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Short fuzz session over the edge-list parser.
+fuzz:
+	$(GO) test -run NONE -fuzz FuzzParse -fuzztime 30s ./internal/graph/
+
+# Regenerate every evaluation artifact (text + CSV) into results/.
+experiments:
+	$(GO) run ./cmd/experiments -out results | tee results/all.txt
+
+# The final deliverable logs.
+results:
+	$(GO) test ./... 2>&1 | tee test_output.txt
+	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+
+clean:
+	rm -f test_output.txt bench_output.txt

@@ -1,0 +1,454 @@
+package placemon
+
+// This file is the benchmark harness of deliverable (d): one benchmark per
+// table/figure of the paper's evaluation (Table I, Figs. 4-8) plus the
+// ablation benches A1-A4 listed in DESIGN.md. Each figure bench runs the
+// same driver the cmd/experiments binary uses, so `go test -bench=.`
+// regenerates every artifact's data path end to end.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/experiments"
+	"repro/internal/failsim"
+	"repro/internal/matroid"
+	"repro/internal/monitor"
+	"repro/internal/placement"
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+func benchPrepared(b *testing.B, name string) *experiments.Prepared {
+	b.Helper()
+	w, err := experiments.WorkloadByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := experiments.Prepare(w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+// BenchmarkTableI regenerates Table I (topology characteristics).
+func BenchmarkTableI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.TableI()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 3 {
+			b.Fatal("expected 3 rows")
+		}
+	}
+}
+
+// BenchmarkFig4 regenerates the Fig. 4 candidate-host box plots for each
+// topology panel.
+func BenchmarkFig4(b *testing.B) {
+	for _, name := range []string{"Abovenet", "Tiscali", "AT&T"} {
+		b.Run(name, func(b *testing.B) {
+			p := benchPrepared(b, name)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.Fig4(p, experiments.DefaultAlphas()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig5 regenerates Fig. 5: Abovenet curves including the
+// brute-force optimum.
+func BenchmarkFig5(b *testing.B) {
+	p := benchPrepared(b, "Abovenet")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.MonitoringCurves(p, experiments.CurvesConfig{
+			Alphas:    experiments.DefaultAlphas(),
+			IncludeBF: true,
+			RDSeeds:   5,
+			Seed:      1,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig6 regenerates Fig. 6: Tiscali curves.
+func BenchmarkFig6(b *testing.B) {
+	p := benchPrepared(b, "Tiscali")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.MonitoringCurves(p, experiments.CurvesConfig{
+			Alphas:  experiments.DefaultAlphas(),
+			RDSeeds: 5,
+			Seed:    1,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig7 regenerates Fig. 7: AT&T curves.
+func BenchmarkFig7(b *testing.B) {
+	p := benchPrepared(b, "AT&T")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.MonitoringCurves(p, experiments.CurvesConfig{
+			Alphas:  experiments.DefaultAlphas(),
+			RDSeeds: 5,
+			Seed:    1,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig8 regenerates Fig. 8: the AT&T degree-of-uncertainty
+// distribution at α = 0.6.
+func BenchmarkFig8(b *testing.B) {
+	p := benchPrepared(b, "AT&T")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig8(p, experiments.Fig8Config{Alpha: 0.6, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablations ------------------------------------------------------------
+
+// ablationPaths builds the AT&T GD path set used by ablation benches.
+func ablationPaths(b *testing.B) *monitor.PathSet {
+	b.Helper()
+	p := benchPrepared(b, "AT&T")
+	inst, err := p.Instance(0.6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	obj, err := placement.NewDistinguishability(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := placement.Greedy(inst, obj)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ps, err := inst.PathSet(res.Placement)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ps
+}
+
+// BenchmarkIncrementalQ (A1): computing |S_1|, |D_1| with the incremental
+// partition refinement of Section V-D1 …
+func BenchmarkIncrementalQ(b *testing.B) {
+	ps := ablationPaths(b)
+	paths := make([]*bitset.Set, ps.Len())
+	for i := range paths {
+		paths[i] = ps.Path(i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pt := monitor.NewPartition(ps.NumNodes())
+		for _, p := range paths {
+			pt.Refine([]*bitset.Set{p})
+		}
+		_ = pt.S1()
+		_ = pt.D1()
+	}
+}
+
+// BenchmarkNaiveQ (A1): … versus the literal Algorithm 1 adjacency-matrix
+// equivalence graph.
+func BenchmarkNaiveQ(b *testing.B) {
+	ps := ablationPaths(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := monitor.NewEquivalenceGraph(ps)
+		_ = q.S1()
+		_ = q.D1()
+	}
+}
+
+// BenchmarkLazyGreedy and BenchmarkPlainGreedy (A2): lazy evaluation
+// versus full re-evaluation in the matroid greedy on the Tiscali GD
+// instance.
+func greedyFixture(b *testing.B) (matroid.IndependenceSystem, matroid.SetFunction, int) {
+	b.Helper()
+	p := benchPrepared(b, "Tiscali")
+	inst, err := p.Instance(0.6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	obj, err := placement.NewDistinguishability(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys, err := inst.IndependenceSystem(nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sys, inst.ObjectiveOnElements(obj), inst.NumServices()
+}
+
+func BenchmarkPlainGreedy(b *testing.B) {
+	sys, f, steps := greedyFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		matroid.Greedy(sys, f, steps)
+	}
+}
+
+func BenchmarkLazyGreedy(b *testing.B) {
+	sys, f, steps := greedyFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		matroid.LazyGreedy(sys, f, steps)
+	}
+}
+
+// BenchmarkCapacityGreedy (A3): the Section VII-A capacity-constrained
+// greedy across demand skews (p = ⌈r_max/r_min⌉ + 1 grows left to right).
+func BenchmarkCapacityGreedy(b *testing.B) {
+	p := benchPrepared(b, "Tiscali")
+	inst, err := p.Instance(0.6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	obj, err := placement.NewDistinguishability(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, skew := range []float64{1, 2, 4} {
+		b.Run(fmt.Sprintf("skew=%g", skew), func(b *testing.B) {
+			demand := make([]float64, inst.NumServices())
+			for s := range demand {
+				demand[s] = 1
+				if s%2 == 1 {
+					demand[s] = skew
+				}
+			}
+			capacity := map[int]float64{}
+			for v := 0; v < inst.NumNodes(); v++ {
+				capacity[v] = skew
+			}
+			cons := placement.CapacityConstraints{Demand: demand, Capacity: capacity}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := placement.GreedyCapacitated(inst, obj, cons); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkNodesOfInterest (A4): the Section VII-B interest-restricted
+// objectives versus the full ones.
+func BenchmarkNodesOfInterest(b *testing.B) {
+	p := benchPrepared(b, "Tiscali")
+	inst, err := p.Instance(0.6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	interest := make([]int, 0, inst.NumNodes()/4)
+	for v := 0; v < inst.NumNodes(); v += 4 {
+		interest = append(interest, v)
+	}
+	full, err := placement.NewDistinguishability(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	restricted := placement.NewDistinguishabilityOfInterest(inst.NumNodes(), interest)
+	for _, tc := range []struct {
+		name string
+		obj  placement.Objective
+	}{
+		{"full", full},
+		{"interest", restricted},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := placement.Greedy(inst, tc.obj); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRouterConstruction measures the all-pairs shortest path
+// precomputation (the Section III-A candidate-set prerequisite).
+func BenchmarkRouterConstruction(b *testing.B) {
+	topo := topology.MustBuild(topology.ATT)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := routing.New(topo.Graph); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGeneralKDistinguishability measures the exact |D_k| enumeration
+// cost growth in k on a small network (the reason the paper's evaluation
+// uses k = 1).
+func BenchmarkGeneralKDistinguishability(b *testing.B) {
+	p := benchPrepared(b, "Abovenet")
+	inst, err := p.Instance(0.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	obj, err := placement.NewDistinguishability(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := placement.Greedy(inst, obj)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ps, err := inst.PathSet(res.Placement)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, k := range []int{1, 2} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = monitor.DistinguishabilityK(ps, k)
+			}
+		})
+	}
+}
+
+// BenchmarkK2 regenerates the k = 2 extension sweep (exact |D_2| / |S_2|
+// enumeration on Abovenet).
+func BenchmarkK2(b *testing.B) {
+	p := benchPrepared(b, "Abovenet")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.K2Sweep(p, experiments.K2Config{
+			Alphas:  []float64{0, 0.5, 1},
+			RDSeeds: 3,
+			Seed:    1,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLocalSearch (A5): the interchange polish after greedy, per
+// objective.
+func BenchmarkLocalSearch(b *testing.B) {
+	p := benchPrepared(b, "Tiscali")
+	inst, err := p.Instance(0.6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	obj, err := placement.NewDistinguishability(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := placement.GreedyWithLocalSearch(inst, obj, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFailureInjection measures the operational localization
+// pipeline (observe + localize + greedy explanation) per injected
+// failure.
+func BenchmarkFailureInjection(b *testing.B) {
+	ps := ablationPaths(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := failsim.Run(ps, failsim.Config{K: 1, Trials: 10, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExactSolvers (A6): brute force versus branch and bound with
+// the submodular pruning bound, both computing the exact D_1 optimum on
+// the Abovenet workload at α = 0.5.
+func BenchmarkExactSolvers(b *testing.B) {
+	p := benchPrepared(b, "Abovenet")
+	inst, err := p.Instance(0.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	obj, err := placement.NewDistinguishability(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("BruteForce", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := placement.BruteForce(inst, obj, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("BranchAndBound", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := placement.BranchAndBound(inst, obj, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkGreedyParallel (A7): sequential Algorithm 2 versus the
+// goroutine-fanned variant on the AT&T workload (the k = 2 objective
+// makes single evaluations expensive enough for parallelism to pay).
+func BenchmarkGreedyParallel(b *testing.B) {
+	p := benchPrepared(b, "AT&T")
+	inst, err := p.Instance(0.6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	obj, err := placement.NewDistinguishability(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := placement.Greedy(inst, obj); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := placement.GreedyParallel(inst, obj, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkOpLoop regenerates the operational-loop experiment (X7): the
+// full trace → simulation → daemon pipeline scored against ground truth.
+func BenchmarkOpLoop(b *testing.B) {
+	p := benchPrepared(b, "Tiscali")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.OpLoopSweep(p, experiments.OpLoopConfig{
+			Alpha:        0.6,
+			ProbePeriods: []float64{5, 20},
+			Horizon:      2000,
+			Seed:         1,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func silence(t *testing.T) {
+	t.Helper()
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devnull
+	t.Cleanup(func() {
+		os.Stdout = old
+		devnull.Close()
+	})
+}
+
+func TestRunTableI(t *testing.T) {
+	silence(t)
+	if err := run([]string{"-only", "TableI"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFig4(t *testing.T) {
+	silence(t)
+	if err := run([]string{"-only", "Fig4"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFig6WithCSV(t *testing.T) {
+	silence(t)
+	dir := t.TempDir()
+	if err := run([]string{"-only", "Fig6", "-out", dir, "-rdseeds", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig6.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	content := string(data)
+	if !strings.Contains(content, "topology,algorithm,alpha") {
+		t.Fatalf("csv missing header:\n%s", content)
+	}
+	if !strings.Contains(content, "Tiscali,GD,") {
+		t.Fatalf("csv missing GD rows:\n%s", content)
+	}
+}
+
+func TestRunFig8(t *testing.T) {
+	silence(t)
+	if err := run([]string{"-only", "Fig8"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownArtifact(t *testing.T) {
+	silence(t)
+	if err := run([]string{"-only", "Fig99"}); err == nil {
+		t.Fatal("unknown artifact should error")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Fatal("bad flag should error")
+	}
+}
+
+func TestRunFig4CSV(t *testing.T) {
+	silence(t)
+	dir := t.TempDir()
+	if err := run([]string{"-only", "Fig4", "-out", dir}); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"fig4_abovenet.csv", "fig4_tiscali.csv", "fig4_att.csv"} {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !strings.Contains(string(data), "topology,alpha,min") {
+			t.Fatalf("%s header missing", name)
+		}
+	}
+}
+
+func TestRunFig8CSV(t *testing.T) {
+	silence(t)
+	dir := t.TempDir()
+	if err := run([]string{"-only", "Fig8", "-out", dir}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig8_att.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "AT&T,GD,") {
+		t.Fatal("fig8 csv rows missing")
+	}
+}

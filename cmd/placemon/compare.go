@@ -1,0 +1,146 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/failsim"
+	"repro/internal/graph"
+	"repro/internal/monitor"
+	"repro/internal/placement"
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+// cmdCompare runs the whole algorithm portfolio (GC, GI, GD, optionally
+// GD+LS and BF, QoS, RD) on one workload and prints both the static
+// metrics table and an operational failure-injection comparison.
+func cmdCompare(args []string) error {
+	fs := newFlagSet("compare")
+	topoName := fs.String("topology", "Abovenet", "built-in topology name")
+	numServices := fs.Int("services", 3, "number of services")
+	alpha := fs.Float64("alpha", 0.6, "QoS slack α in [0, 1]")
+	withBF := fs.Bool("bf", false, "include the brute-force optimum (small instances only)")
+	withLS := fs.Bool("ls", true, "include the GD+local-search entry")
+	trials := fs.Int("trials", 300, "failure-injection trials per placement")
+	k := fs.Int("k", 1, "failure budget for injection/localization")
+	seed := fs.Int64("seed", 1, "seed for RD and the failure workload")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	inst, err := buildInstance(*topoName, *numServices, *alpha)
+	if err != nil {
+		return err
+	}
+	portfolio, err := placement.RunPortfolio(inst, placement.PortfolioConfig{
+		IncludeBF:   *withBF,
+		RDSeed:      *seed,
+		LocalSearch: *withLS,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("portfolio on %s (%d services, α=%g):\n\n%s\n",
+		*topoName, *numServices, *alpha, portfolio.Render())
+
+	// Operational comparison: same injected failures against every
+	// placement's measurement paths. BF is skipped (its Placement holds
+	// only the D1 optimum).
+	var names []string
+	var pathSets []*monitor.PathSet
+	for _, e := range portfolio.Entries {
+		if e.Name == "BF" {
+			continue
+		}
+		ps, err := inst.PathSet(e.Placement)
+		if err != nil {
+			return err
+		}
+		names = append(names, e.Name)
+		pathSets = append(pathSets, ps)
+	}
+	comparison, err := failsim.Compare(names, pathSets, failsim.Config{
+		K:      *k,
+		Trials: *trials,
+		Seed:   *seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("failure injection (%d trials, up to %d simultaneous failures):\n\n%s\n",
+		*trials, *k, comparison.Render())
+	fmt.Printf("best localizer: %s\n", comparison.Best())
+	return nil
+}
+
+// cmdExport writes a built-in topology as an edge list (placemon.Load
+// format) or Graphviz DOT.
+func cmdExport(args []string) error {
+	fs := newFlagSet("export")
+	topoName := fs.String("topology", "Abovenet", "built-in topology name")
+	format := fs.String("format", "edgelist", "edgelist | dot")
+	out := fs.String("o", "", "output file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	spec, err := topology.ByName(*topoName)
+	if err != nil {
+		return err
+	}
+	topo, err := topology.Build(spec)
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	switch *format {
+	case "edgelist":
+		return topo.Graph.Write(w)
+	case "dot":
+		_, err := fmt.Fprint(w, topo.Graph.DOT(spec.Name))
+		return err
+	default:
+		return fmt.Errorf("export: unknown format %q", *format)
+	}
+}
+
+// buildInstance assembles a placement instance with round-robin clients.
+func buildInstance(topoName string, numServices int, alpha float64) (*placement.Instance, error) {
+	spec, err := topology.ByName(topoName)
+	if err != nil {
+		return nil, err
+	}
+	topo, err := topology.Build(spec)
+	if err != nil {
+		return nil, err
+	}
+	router, err := routing.New(topo.Graph)
+	if err != nil {
+		return nil, err
+	}
+	pool := topo.CandidateClients
+	services := make([]placement.Service, numServices)
+	next := 0
+	for s := range services {
+		clients := make([]graph.NodeID, 0, 3)
+		seen := map[graph.NodeID]bool{}
+		for len(clients) < 3 && len(seen) < len(pool) {
+			c := pool[next%len(pool)]
+			next++
+			if !seen[c] {
+				seen[c] = true
+				clients = append(clients, c)
+			}
+		}
+		services[s] = placement.Service{Name: fmt.Sprintf("svc-%d", s), Clients: clients}
+	}
+	return placement.NewInstance(router, services, alpha)
+}

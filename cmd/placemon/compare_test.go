@@ -1,0 +1,98 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCmdCompare(t *testing.T) {
+	silence(t)
+	if err := run([]string{"compare", "-topology", "Abovenet", "-services", "2",
+		"-alpha", "0.5", "-trials", "50", "-ls=false"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"compare", "-topology", "nope"}); err == nil {
+		t.Fatal("unknown topology should error")
+	}
+	if err := run([]string{"compare", "-trials", "0"}); err == nil {
+		t.Fatal("zero trials should error")
+	}
+}
+
+func TestCmdCompareWithBF(t *testing.T) {
+	silence(t)
+	if err := run([]string{"compare", "-topology", "Abovenet", "-services", "2",
+		"-alpha", "0.5", "-bf", "-trials", "50"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCmdExportEdgeList(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "abovenet.edges")
+	if err := run([]string{"export", "-topology", "Abovenet", "-o", out}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	content := string(data)
+	if !strings.Contains(content, "edge ") {
+		t.Fatalf("edge list missing edges:\n%s", content[:200])
+	}
+	if !strings.Contains(content, "# 22 nodes, 80 edges") {
+		t.Fatalf("edge list missing header:\n%s", content[:200])
+	}
+}
+
+func TestCmdExportDOT(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "tiscali.dot")
+	if err := run([]string{"export", "-topology", "Tiscali", "-format", "dot", "-o", out}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "graph \"Tiscali\"") {
+		t.Fatal("DOT output malformed")
+	}
+}
+
+func TestCmdExportErrors(t *testing.T) {
+	silence(t)
+	if err := run([]string{"export", "-topology", "nope"}); err == nil {
+		t.Fatal("unknown topology should error")
+	}
+	if err := run([]string{"export", "-format", "png"}); err == nil {
+		t.Fatal("unknown format should error")
+	}
+	if err := run([]string{"export", "-o", "/nonexistent-dir/x"}); err == nil {
+		t.Fatal("unwritable output should error")
+	}
+}
+
+func TestExportedEdgeListRoundTripsThroughLoad(t *testing.T) {
+	// The export format must be loadable by the public facade.
+	dir := t.TempDir()
+	out := filepath.Join(dir, "att.edges")
+	if err := run([]string{"export", "-topology", "AT&T", "-o", out}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	nw, err := loadNetwork(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw.NumNodes() != 108 || nw.NumLinks() != 141 {
+		t.Fatalf("round trip shape = %d/%d", nw.NumNodes(), nw.NumLinks())
+	}
+}

@@ -1,0 +1,12 @@
+package main
+
+import (
+	"io"
+
+	placemon "repro"
+)
+
+// loadNetwork wraps the facade loader for test use.
+func loadNetwork(r io.Reader) (*placemon.Network, error) {
+	return placemon.Load(r)
+}

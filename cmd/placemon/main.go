@@ -1,0 +1,72 @@
+// Command placemon operates the monitoring-aware service placement
+// library from the shell:
+//
+//	placemon topos                      # list built-in topologies (Table I)
+//	placemon candidates [flags]         # QoS-feasible candidate hosts (Section III-A)
+//	placemon place [flags]              # place services and report metrics
+//	placemon localize [flags]           # place, inject failures, localize
+//
+// Run `placemon <subcommand> -h` for flags.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "placemon:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		usage()
+		return fmt.Errorf("missing subcommand")
+	}
+	switch args[0] {
+	case "topos":
+		return cmdTopos(args[1:])
+	case "candidates":
+		return cmdCandidates(args[1:])
+	case "place":
+		return cmdPlace(args[1:])
+	case "localize":
+		return cmdLocalize(args[1:])
+	case "simulate":
+		return cmdSimulate(args[1:])
+	case "compare":
+		return cmdCompare(args[1:])
+	case "export":
+		return cmdExport(args[1:])
+	case "-h", "--help", "help":
+		usage()
+		return nil
+	default:
+		usage()
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: placemon <subcommand> [flags]
+
+subcommands:
+  topos        list the built-in topologies and their Table I characteristics
+  candidates   show the QoS-feasible candidate hosts for a client set
+  place        compute a monitoring-aware placement and its metrics
+  localize     place services, inject failures, and localize them
+  simulate     run the full loop: place, fail/recover, probe, diagnose online
+  compare      run the whole algorithm portfolio and an injection shoot-out
+  export       write a built-in topology as an edge list or DOT`)
+}
+
+// newFlagSet builds a flag set that prints its own usage on error.
+func newFlagSet(name string) *flag.FlagSet {
+	fs := flag.NewFlagSet(name, flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	return fs
+}

@@ -1,0 +1,88 @@
+package placemon_test
+
+import (
+	"fmt"
+
+	placemon "repro"
+)
+
+// fig1 builds the paper's Fig. 1 network.
+func fig1() *placemon.Network {
+	nw, err := placemon.NewNetwork(9, []placemon.Edge{
+		{U: 0, V: 1}, {U: 0, V: 2}, {U: 0, V: 3}, {U: 0, V: 4},
+		{U: 1, V: 5}, {U: 2, V: 6}, {U: 3, V: 7}, {U: 4, V: 8},
+	})
+	if err != nil {
+		panic(err)
+	}
+	return nw
+}
+
+func ExampleNetwork_Place() {
+	nw := fig1()
+	services := []placemon.Service{
+		{Name: "web", Clients: []int{5, 6, 7, 8}},
+		{Name: "dns", Clients: []int{5, 6, 7, 8}},
+		{Name: "cdn", Clients: []int{5, 6, 7, 8}},
+		{Name: "auth", Clients: []int{5, 6, 7, 8}},
+	}
+	res, err := nw.Place(services, placemon.PlaceConfig{Alpha: 0.5})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("identifiable nodes:", res.Identifiable)
+	// Output:
+	// identifiable nodes: 9
+}
+
+func ExampleNetwork_Localize() {
+	nw := fig1()
+	services := []placemon.Service{
+		{Name: "web", Clients: []int{5, 6, 7, 8}},
+		{Name: "dns", Clients: []int{5, 6, 7, 8}},
+		{Name: "cdn", Clients: []int{5, 6, 7, 8}},
+		{Name: "auth", Clients: []int{5, 6, 7, 8}},
+	}
+	hosts := []int{1, 2, 3, 4} // one service per aggregation node
+
+	obs, err := nw.Observe(services, hosts, 0.5, []int{2}) // node b fails
+	if err != nil {
+		panic(err)
+	}
+	diag, err := nw.Localize(obs, 1)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("candidates:", diag.Candidates)
+	fmt.Println("unique:", diag.Unique())
+	// Output:
+	// candidates: [[2]]
+	// unique: true
+}
+
+func ExampleNetwork_CandidateHosts() {
+	nw := fig1()
+	hosts, err := nw.CandidateHosts([]int{5, 6, 7, 8}, 0)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("strict QoS:", hosts)
+	hosts, err = nw.CandidateHosts([]int{5, 6, 7, 8}, 0.5)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("relaxed QoS:", hosts)
+	// Output:
+	// strict QoS: [0]
+	// relaxed QoS: [0 1 2 3 4]
+}
+
+func ExampleBuildTopology() {
+	nw, err := placemon.BuildTopology("Tiscali")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("nodes:", nw.NumNodes(), "links:", nw.NumLinks())
+	// Output:
+	// nodes: 51 links: 129
+}

@@ -1,0 +1,86 @@
+// Localization: place services on a real-scale ISP topology, break a
+// node, and watch Boolean tomography narrow down the failure from nothing
+// but binary client-server connection states — comparing how far the
+// QoS-only and the monitoring-aware placements let the operator see.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	placemon "repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	nw, err := placemon.BuildTopology("Tiscali")
+	if err != nil {
+		return err
+	}
+
+	// Three services, three access-point clients each (round-robin over
+	// the topology's dangling nodes), as in the paper's evaluation.
+	pool := nw.SuggestedClients()
+	services := make([]placemon.Service, 3)
+	for s := range services {
+		services[s] = placemon.Service{
+			Name:    fmt.Sprintf("svc-%d", s),
+			Clients: []int{pool[(3*s)%len(pool)], pool[(3*s+1)%len(pool)], pool[(3*s+2)%len(pool)]},
+		}
+	}
+	const alpha = 0.6
+
+	placements := map[string]*placemon.Result{}
+	for name, algo := range map[string]placemon.Algorithm{
+		"best-QoS":         placemon.AlgorithmQoS,
+		"monitoring-aware": placemon.AlgorithmGreedy,
+	} {
+		res, err := nw.Place(services, placemon.PlaceConfig{
+			Alpha:     alpha,
+			Algorithm: algo,
+			Objective: placemon.ObjectiveDistinguishability,
+		})
+		if err != nil {
+			return err
+		}
+		placements[name] = res
+	}
+
+	// Break the host of service 0 under the monitoring-aware placement —
+	// a node both placements can observe.
+	broken := placements["monitoring-aware"].Hosts[0]
+	fmt.Printf("ground truth: node %d (%s) fails\n\n", broken, nw.NodeLabel(broken))
+
+	for _, name := range []string{"best-QoS", "monitoring-aware"} {
+		res := placements[name]
+		obs, err := nw.Observe(services, res.Hosts, alpha, []int{broken})
+		if err != nil {
+			return err
+		}
+		down := 0
+		for _, f := range obs.Failed {
+			if f {
+				down++
+			}
+		}
+		diag, err := nw.Localize(obs, 1)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s placement (hosts %v):\n", name, res.Hosts)
+		fmt.Printf("  connections down:   %d / %d\n", down, len(obs.Failed))
+		fmt.Printf("  failure detected:   %v\n", obs.AnyFailure())
+		fmt.Printf("  candidate culprits: %v (ambiguity %d)\n", diag.Candidates, diag.Ambiguity())
+		fmt.Printf("  definitely failed:  %v\n", diag.DefinitelyFailed)
+		fmt.Println()
+	}
+
+	fmt.Println("The monitoring-aware placement pays the same QoS budget but leaves the")
+	fmt.Println("operator with a much shorter suspect list when something breaks.")
+	return nil
+}

@@ -1,0 +1,83 @@
+// NFV capacity: place virtual network functions with heterogeneous
+// resource demands onto capacity-limited hosts (the paper's Section VII-A
+// extension). The capacitated greedy keeps the monitoring objective while
+// respecting Σ r_s ≤ R_h per host, with a 1/(p+1) guarantee.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	placemon "repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	nw, err := placemon.BuildTopology("Abovenet")
+	if err != nil {
+		return err
+	}
+
+	// Six VNFs: firewalls are heavy (2 units), the rest light (1 unit).
+	pool := nw.SuggestedClients()
+	names := []string{"firewall-a", "lb-a", "ids-a", "firewall-b", "lb-b", "ids-b"}
+	demand := []float64{2, 1, 1, 2, 1, 1}
+	services := make([]placemon.Service, len(names))
+	for i, name := range names {
+		services[i] = placemon.Service{
+			Name:    name,
+			Clients: []int{pool[(2*i)%len(pool)], pool[(2*i+1)%len(pool)]},
+		}
+	}
+
+	// Every node offers 2 resource units: a node can host one firewall OR
+	// two light functions.
+	capacity := map[int]float64{}
+	for v := 0; v < nw.NumNodes(); v++ {
+		capacity[v] = 2
+	}
+
+	uncapped, err := nw.Place(services, placemon.PlaceConfig{Alpha: 0.6})
+	if err != nil {
+		return err
+	}
+	capped, err := nw.Place(services, placemon.PlaceConfig{
+		Alpha:    0.6,
+		Capacity: &placemon.Capacity{Demand: demand, HostCapacity: capacity},
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("VNF placements (α = 0.6, distinguishability objective):")
+	fmt.Printf("%-12s %10s %10s\n", "VNF", "uncapped", "capped")
+	for s, name := range names {
+		fmt.Printf("%-12s %10d %10d\n", name, uncapped.Hosts[s], capped.Hosts[s])
+	}
+	fmt.Println()
+	fmt.Printf("uncapped: identifiable %d, distinguishable %d\n",
+		uncapped.Identifiable, uncapped.Distinguishable)
+	fmt.Printf("capped:   identifiable %d, distinguishable %d\n",
+		capped.Identifiable, capped.Distinguishable)
+
+	// Verify the load per host.
+	load := map[int]float64{}
+	for s, h := range capped.Hosts {
+		load[h] += demand[s]
+	}
+	fmt.Println("\nper-host load under the capped placement:")
+	for h, l := range load {
+		fmt.Printf("  node %-3d: %.0f / %.0f\n", h, l, capacity[h])
+		if l > capacity[h] {
+			return fmt.Errorf("capacity violated at node %d", h)
+		}
+	}
+	fmt.Println("\nAll capacity constraints hold; the monitoring objective degrades only")
+	fmt.Println("as much as the packing forces it to.")
+	return nil
+}

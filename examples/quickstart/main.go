@@ -1,0 +1,71 @@
+// Quickstart: build a network, place services with the monitoring-aware
+// greedy, and compare the result with the QoS-only baseline — the paper's
+// Fig. 1 story in ~60 lines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	placemon "repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// The paper's Fig. 1 topology: a core router r (node 0), four
+	// aggregation nodes a..d (1..4), and four client access points e..h
+	// (5..8), one per aggregation node.
+	nw, err := placemon.NewNetwork(9, []placemon.Edge{
+		{U: 0, V: 1}, {U: 0, V: 2}, {U: 0, V: 3}, {U: 0, V: 4},
+		{U: 1, V: 5}, {U: 2, V: 6}, {U: 3, V: 7}, {U: 4, V: 8},
+	})
+	if err != nil {
+		return err
+	}
+
+	// Five services, all consumed by the four access points.
+	services := make([]placemon.Service, 5)
+	for i := range services {
+		services[i] = placemon.Service{
+			Name:    fmt.Sprintf("svc-%d", i),
+			Clients: []int{5, 6, 7, 8},
+		}
+	}
+
+	// Allow hosts whose worst-case client distance is at most halfway
+	// between the best and worst possible (α = 0.5): r plus a..d.
+	const alpha = 0.5
+
+	qos, err := nw.Place(services, placemon.PlaceConfig{
+		Alpha:     alpha,
+		Algorithm: placemon.AlgorithmQoS,
+	})
+	if err != nil {
+		return err
+	}
+	monitoringAware, err := nw.Place(services, placemon.PlaceConfig{
+		Alpha:     alpha,
+		Objective: placemon.ObjectiveDistinguishability, // the paper's best all-rounder
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("placement            hosts           covered  identifiable  distinguishable pairs")
+	show := func(name string, r *placemon.Result) {
+		fmt.Printf("%-20s %-15v %7d %13d %22d\n",
+			name, r.Hosts, r.Coverage, r.Identifiable, r.Distinguishable)
+	}
+	show("best-QoS", qos)
+	show("monitoring-aware", monitoringAware)
+
+	fmt.Println()
+	fmt.Println("Both placements satisfy the same QoS bound, but the monitoring-aware one")
+	fmt.Println("lets every node failure be pinpointed from client-server connection states.")
+	return nil
+}

@@ -1,0 +1,64 @@
+// Tradeoff: sweep the QoS slack α from 0 (only latency-optimal hosts) to
+// 1 (any host) on the AT&T-scale topology and print the monitoring-QoS
+// tradeoff curve — the question the paper's evaluation answers: how much
+// observability does each unit of QoS slack buy?
+package main
+
+import (
+	"fmt"
+	"log"
+
+	placemon "repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	nw, err := placemon.BuildTopology("AT&T")
+	if err != nil {
+		return err
+	}
+	pool := nw.SuggestedClients()
+	services := make([]placemon.Service, 7)
+	next := 0
+	for s := range services {
+		clients := make([]int, 3)
+		for i := range clients {
+			clients[i] = pool[next%len(pool)]
+			next++
+		}
+		services[s] = placemon.Service{Name: fmt.Sprintf("svc-%d", s), Clients: clients}
+	}
+
+	alphas := []float64{0, 0.2, 0.4, 0.6, 0.8, 1.0}
+	gd, err := nw.Sweep(services, placemon.SweepConfig{Alphas: alphas})
+	if err != nil {
+		return err
+	}
+	qos, err := nw.Sweep(services, placemon.SweepConfig{
+		Alphas:    alphas,
+		Algorithm: placemon.AlgorithmQoS,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("monitoring-QoS tradeoff on AT&T (7 services, GD objective)")
+	fmt.Printf("%6s %28s %28s\n", "", "monitoring-aware (GD)", "best-QoS baseline")
+	fmt.Printf("%6s %8s %9s %9s %8s %9s %9s\n",
+		"α", "covered", "identif.", "disting.", "covered", "identif.", "disting.")
+	for i := range alphas {
+		fmt.Printf("%6.1f %8d %9d %9d %8d %9d %9d\n",
+			alphas[i],
+			gd[i].Coverage, gd[i].Identifiable, gd[i].Distinguishable,
+			qos[i].Coverage, qos[i].Identifiable, qos[i].Distinguishable)
+	}
+	fmt.Println()
+	fmt.Println("The QoS baseline never benefits from slack; the monitoring-aware placement")
+	fmt.Println("converts every extra candidate host into measurement-path diversity.")
+	return nil
+}

@@ -1,0 +1,196 @@
+package placemon
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestAlgorithmGreedyLS(t *testing.T) {
+	nw := fig1Network(t)
+	services := fig1Services(3)
+	plain, err := nw.Place(services, PlaceConfig{Alpha: 0.5, Algorithm: AlgorithmGreedy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	polished, err := nw.Place(services, PlaceConfig{Alpha: 0.5, Algorithm: AlgorithmGreedyLS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if polished.Objective < plain.Objective {
+		t.Fatalf("LS objective %v below greedy %v", polished.Objective, plain.Objective)
+	}
+	if polished.Evaluations <= plain.Evaluations {
+		t.Fatal("LS should perform additional evaluations")
+	}
+}
+
+func TestMaxIdentifiabilityFacade(t *testing.T) {
+	nw := fig1Network(t)
+	services := fig1Services(4)
+	hosts := []int{1, 2, 3, 4} // one service per host → everything identifiable
+
+	for v := 0; v < nw.NumNodes(); v++ {
+		k, err := nw.MaxIdentifiability(services, hosts, 0.5, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k < 1 {
+			t.Fatalf("node %d: max identifiability %d, want ≥ 1", v, k)
+		}
+	}
+	if _, err := nw.MaxIdentifiability(services, hosts, 0.5, 99); err == nil {
+		t.Fatal("out-of-range node should error")
+	}
+
+	netK, err := nw.NetworkMaxIdentifiability(services, hosts, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if netK < 1 {
+		t.Fatalf("network max identifiability = %d, want ≥ 1", netK)
+	}
+
+	// The QoS placement identifies only r → network measure is 0.
+	qosHosts := []int{0, 0, 0, 0}
+	netK, err = nw.NetworkMaxIdentifiability(services, qosHosts, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if netK != 0 {
+		t.Fatalf("QoS network max identifiability = %d, want 0", netK)
+	}
+}
+
+func TestRankFailuresFacade(t *testing.T) {
+	nw := fig1Network(t)
+	services := fig1Services(4)
+	hosts := []int{1, 2, 3, 4}
+
+	obs, err := nw.Observe(services, hosts, 0.5, []int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	priors := make([]float64, nw.NumNodes())
+	for i := range priors {
+		priors[i] = 0.05
+	}
+	ranked, err := nw.RankFailures(obs, priors, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranked) == 0 {
+		t.Fatal("expected candidates")
+	}
+	if !reflect.DeepEqual(ranked[0].Nodes, []int{2}) {
+		t.Fatalf("top candidate = %v, want [2]", ranked[0].Nodes)
+	}
+	total := 0.0
+	for _, r := range ranked {
+		total += r.Posterior
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Fatalf("posteriors sum to %v", total)
+	}
+
+	// Error paths.
+	if _, err := nw.RankFailures(&Observation{}, priors, 1); err == nil {
+		t.Fatal("foreign observation should error")
+	}
+	if _, err := nw.RankFailures(obs, []float64{2}, 1); err == nil {
+		t.Fatal("bad prior should error")
+	}
+}
+
+func TestMostLikelyExplanationFacade(t *testing.T) {
+	nw := fig1Network(t)
+	services := fig1Services(4)
+	hosts := []int{1, 2, 3, 4}
+	obs, err := nw.Observe(services, hosts, 0.5, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	priors := make([]float64, nw.NumNodes())
+	for i := range priors {
+		priors[i] = 0.05
+	}
+	expl, err := nw.MostLikelyExplanation(obs, priors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(expl, []int{0}) {
+		t.Fatalf("explanation = %v, want [0]", expl)
+	}
+	if _, err := nw.MostLikelyExplanation(&Observation{}, priors); err == nil {
+		t.Fatal("foreign observation should error")
+	}
+	if _, err := nw.MostLikelyExplanation(obs, []float64{-1}); err == nil {
+		t.Fatal("bad prior should error")
+	}
+}
+
+func TestAlgorithmBranchBound(t *testing.T) {
+	nw := fig1Network(t)
+	services := fig1Services(3)
+	bb, err := nw.Place(services, PlaceConfig{Alpha: 0.5, Algorithm: AlgorithmBranchBound})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bf, err := nw.Place(services, PlaceConfig{Alpha: 0.5, Algorithm: AlgorithmBruteForce})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bb.Objective != bf.Objective {
+		t.Fatalf("branch-and-bound %v != brute force %v", bb.Objective, bf.Objective)
+	}
+	// Identifiability objective must be rejected (not submodular).
+	if _, err := nw.Place(services, PlaceConfig{
+		Alpha: 0.5, Algorithm: AlgorithmBranchBound, Objective: ObjectiveIdentifiability,
+	}); err == nil {
+		t.Fatal("identifiability + branch-and-bound should error")
+	}
+}
+
+func TestWithLinkNodesEndToEnd(t *testing.T) {
+	nw := fig1Network(t)
+	linked, linkNodes, err := nw.WithLinkNodes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if linked.NumNodes() != nw.NumNodes()+nw.NumLinks() {
+		t.Fatalf("transformed nodes = %d", linked.NumNodes())
+	}
+	if len(linkNodes) != nw.NumLinks() {
+		t.Fatalf("link nodes = %d", len(linkNodes))
+	}
+
+	// Place on the transformed network and localize a LINK failure.
+	services := fig1Services(4)
+	res, err := linked.Place(services, placeCfgHalf())
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := linkNodes[0] // the r—a link
+	obs, err := linked.Observe(services, res.Hosts, 0.5, []int{victim})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diag, err := linked.Localize(obs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, cand := range diag.Candidates {
+		for _, v := range cand {
+			if v == victim {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("link failure not among candidates: %v", diag.Candidates)
+	}
+}
+
+// placeCfgHalf is the α=0.5 default-objective config used by link tests.
+func placeCfgHalf() PlaceConfig { return PlaceConfig{Alpha: 0.5} }

@@ -1,0 +1,297 @@
+// Package bitset implements a dense, fixed-universe bit set.
+//
+// Bit sets are the workhorse data structure of this repository: a
+// measurement path is a bit set over nodes, a node's observation signature
+// is a bit set over paths, and a failure set's path-state signature is the
+// union (OR) of its members' signatures. Counting distinguishable pairs of
+// failure sets and identifiable nodes reduces to grouping equal signatures,
+// so Set must support fast equality, hashing, and bulk boolean operations.
+package bitset
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const wordBits = 64
+
+// Set is a fixed-capacity bit set over the universe [0, n).
+//
+// The zero value is an empty set of capacity zero. Use New to create a set
+// with a non-zero universe. Methods that combine two sets require equal
+// capacity and panic otherwise: mixing universes is a programming error,
+// not a runtime condition.
+type Set struct {
+	n     int
+	words []uint64
+}
+
+// New returns an empty set over the universe [0, n).
+func New(n int) *Set {
+	if n < 0 {
+		n = 0
+	}
+	return &Set{
+		n:     n,
+		words: make([]uint64, (n+wordBits-1)/wordBits),
+	}
+}
+
+// FromIndices returns a set over [0, n) containing exactly the given
+// indices. Indices outside [0, n) are ignored.
+func FromIndices(n int, indices ...int) *Set {
+	s := New(n)
+	for _, i := range indices {
+		if i >= 0 && i < n {
+			s.Add(i)
+		}
+	}
+	return s
+}
+
+// Cap returns the universe size n.
+func (s *Set) Cap() int { return s.n }
+
+// Add inserts i into the set. It panics if i is outside [0, n).
+func (s *Set) Add(i int) {
+	s.check(i)
+	s.words[i/wordBits] |= 1 << (uint(i) % wordBits)
+}
+
+// Remove deletes i from the set. It panics if i is outside [0, n).
+func (s *Set) Remove(i int) {
+	s.check(i)
+	s.words[i/wordBits] &^= 1 << (uint(i) % wordBits)
+}
+
+// Contains reports whether i is in the set. Out-of-range indices are
+// reported as absent.
+func (s *Set) Contains(i int) bool {
+	if i < 0 || i >= s.n {
+		return false
+	}
+	return s.words[i/wordBits]&(1<<(uint(i)%wordBits)) != 0
+}
+
+// Count returns the number of elements in the set.
+func (s *Set) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Empty reports whether the set has no elements.
+func (s *Set) Empty() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clear removes all elements.
+func (s *Set) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// Clone returns an independent copy of the set.
+func (s *Set) Clone() *Set {
+	c := &Set{n: s.n, words: make([]uint64, len(s.words))}
+	copy(c.words, s.words)
+	return c
+}
+
+// CopyFrom overwrites the receiver with the contents of o. The two sets
+// must share a universe size.
+func (s *Set) CopyFrom(o *Set) {
+	s.mustMatch(o)
+	copy(s.words, o.words)
+}
+
+// Equal reports whether s and o contain the same elements. Sets over
+// different universes are never equal.
+func (s *Set) Equal(o *Set) bool {
+	if s.n != o.n {
+		return false
+	}
+	for i, w := range s.words {
+		if w != o.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// UnionWith adds every element of o to s.
+func (s *Set) UnionWith(o *Set) {
+	s.mustMatch(o)
+	for i, w := range o.words {
+		s.words[i] |= w
+	}
+}
+
+// IntersectWith removes from s every element not in o.
+func (s *Set) IntersectWith(o *Set) {
+	s.mustMatch(o)
+	for i, w := range o.words {
+		s.words[i] &= w
+	}
+}
+
+// DifferenceWith removes every element of o from s.
+func (s *Set) DifferenceWith(o *Set) {
+	s.mustMatch(o)
+	for i, w := range o.words {
+		s.words[i] &^= w
+	}
+}
+
+// Union returns a new set containing the elements of s and o.
+func (s *Set) Union(o *Set) *Set {
+	r := s.Clone()
+	r.UnionWith(o)
+	return r
+}
+
+// Intersect returns a new set containing the elements common to s and o.
+func (s *Set) Intersect(o *Set) *Set {
+	r := s.Clone()
+	r.IntersectWith(o)
+	return r
+}
+
+// Difference returns a new set containing the elements of s not in o.
+func (s *Set) Difference(o *Set) *Set {
+	r := s.Clone()
+	r.DifferenceWith(o)
+	return r
+}
+
+// Intersects reports whether s and o share at least one element.
+func (s *Set) Intersects(o *Set) bool {
+	s.mustMatch(o)
+	for i, w := range o.words {
+		if s.words[i]&w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// IntersectionCount returns |s ∩ o| without allocating.
+func (s *Set) IntersectionCount(o *Set) int {
+	s.mustMatch(o)
+	c := 0
+	for i, w := range o.words {
+		c += bits.OnesCount64(s.words[i] & w)
+	}
+	return c
+}
+
+// DifferenceCount returns |s \ o| without allocating.
+func (s *Set) DifferenceCount(o *Set) int {
+	s.mustMatch(o)
+	c := 0
+	for i, w := range o.words {
+		c += bits.OnesCount64(s.words[i] &^ w)
+	}
+	return c
+}
+
+// IsSubsetOf reports whether every element of s is in o.
+func (s *Set) IsSubsetOf(o *Set) bool {
+	s.mustMatch(o)
+	for i, w := range s.words {
+		if w&^o.words[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ForEach calls fn for each element in ascending order. It stops early if
+// fn returns false.
+func (s *Set) ForEach(fn func(i int) bool) {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			if !fn(wi*wordBits + b) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}
+
+// Indices returns the elements of the set in ascending order.
+func (s *Set) Indices() []int {
+	out := make([]int, 0, s.Count())
+	s.ForEach(func(i int) bool {
+		out = append(out, i)
+		return true
+	})
+	return out
+}
+
+// Key returns a string usable as a map key identifying the set contents.
+// Two sets over the same universe have equal keys iff they are Equal.
+func (s *Set) Key() string {
+	var b strings.Builder
+	b.Grow(len(s.words) * 8)
+	for _, w := range s.words {
+		for i := 0; i < 8; i++ {
+			b.WriteByte(byte(w >> (8 * i)))
+		}
+	}
+	return b.String()
+}
+
+// Hash returns a 64-bit FNV-1a style hash of the set contents. Sets with
+// equal contents hash equally; use Equal to confirm.
+func (s *Set) Hash() uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for _, w := range s.words {
+		h ^= w
+		h *= prime
+	}
+	return h
+}
+
+// String renders the set as "{a, b, c}".
+func (s *Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	s.ForEach(func(i int) bool {
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		fmt.Fprintf(&b, "%d", i)
+		return true
+	})
+	b.WriteByte('}')
+	return b.String()
+}
+
+func (s *Set) check(i int) {
+	if i < 0 || i >= s.n {
+		panic(fmt.Sprintf("bitset: index %d out of range [0, %d)", i, s.n))
+	}
+}
+
+func (s *Set) mustMatch(o *Set) {
+	if s.n != o.n {
+		panic(fmt.Sprintf("bitset: universe mismatch %d != %d", s.n, o.n))
+	}
+}

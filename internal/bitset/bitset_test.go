@@ -1,0 +1,310 @@
+package bitset
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewEmpty(t *testing.T) {
+	s := New(100)
+	if !s.Empty() {
+		t.Fatal("new set should be empty")
+	}
+	if got := s.Count(); got != 0 {
+		t.Fatalf("Count = %d, want 0", got)
+	}
+	if got := s.Cap(); got != 100 {
+		t.Fatalf("Cap = %d, want 100", got)
+	}
+}
+
+func TestNewNegativeCapacity(t *testing.T) {
+	s := New(-5)
+	if s.Cap() != 0 {
+		t.Fatalf("Cap = %d, want 0", s.Cap())
+	}
+}
+
+func TestAddRemoveContains(t *testing.T) {
+	s := New(130)
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if s.Contains(i) {
+			t.Fatalf("Contains(%d) before Add", i)
+		}
+		s.Add(i)
+		if !s.Contains(i) {
+			t.Fatalf("!Contains(%d) after Add", i)
+		}
+	}
+	if got := s.Count(); got != 8 {
+		t.Fatalf("Count = %d, want 8", got)
+	}
+	s.Remove(64)
+	if s.Contains(64) {
+		t.Fatal("Contains(64) after Remove")
+	}
+	if got := s.Count(); got != 7 {
+		t.Fatalf("Count = %d, want 7", got)
+	}
+}
+
+func TestContainsOutOfRange(t *testing.T) {
+	s := New(10)
+	if s.Contains(-1) || s.Contains(10) || s.Contains(1000) {
+		t.Fatal("out-of-range Contains should be false")
+	}
+}
+
+func TestAddPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(4).Add(4)
+}
+
+func TestMixedUniversePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(4).UnionWith(New(8))
+}
+
+func TestFromIndices(t *testing.T) {
+	s := FromIndices(10, 1, 3, 5, 3, -1, 99)
+	want := []int{1, 3, 5}
+	if got := s.Indices(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Indices = %v, want %v", got, want)
+	}
+}
+
+func TestSetOps(t *testing.T) {
+	a := FromIndices(200, 1, 2, 3, 100, 150)
+	b := FromIndices(200, 2, 3, 4, 150, 199)
+
+	if got := a.Union(b).Indices(); !reflect.DeepEqual(got, []int{1, 2, 3, 4, 100, 150, 199}) {
+		t.Fatalf("Union = %v", got)
+	}
+	if got := a.Intersect(b).Indices(); !reflect.DeepEqual(got, []int{2, 3, 150}) {
+		t.Fatalf("Intersect = %v", got)
+	}
+	if got := a.Difference(b).Indices(); !reflect.DeepEqual(got, []int{1, 100}) {
+		t.Fatalf("Difference = %v", got)
+	}
+	if !a.Intersects(b) {
+		t.Fatal("Intersects should be true")
+	}
+	if got := a.IntersectionCount(b); got != 3 {
+		t.Fatalf("IntersectionCount = %d, want 3", got)
+	}
+	if got := a.DifferenceCount(b); got != 2 {
+		t.Fatalf("DifferenceCount = %d, want 2", got)
+	}
+}
+
+func TestIntersectsDisjoint(t *testing.T) {
+	a := FromIndices(100, 0, 50)
+	b := FromIndices(100, 1, 51)
+	if a.Intersects(b) {
+		t.Fatal("disjoint sets should not intersect")
+	}
+}
+
+func TestSubset(t *testing.T) {
+	a := FromIndices(100, 1, 2)
+	b := FromIndices(100, 1, 2, 3)
+	if !a.IsSubsetOf(b) {
+		t.Fatal("a should be subset of b")
+	}
+	if b.IsSubsetOf(a) {
+		t.Fatal("b should not be subset of a")
+	}
+	if !a.IsSubsetOf(a) {
+		t.Fatal("a should be subset of itself")
+	}
+	empty := New(100)
+	if !empty.IsSubsetOf(a) {
+		t.Fatal("empty should be subset of anything")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := FromIndices(64, 5)
+	b := a.Clone()
+	b.Add(6)
+	if a.Contains(6) {
+		t.Fatal("Clone must not alias")
+	}
+	if !b.Contains(5) {
+		t.Fatal("Clone must copy contents")
+	}
+}
+
+func TestCopyFrom(t *testing.T) {
+	a := FromIndices(64, 1, 2, 3)
+	b := FromIndices(64, 9)
+	b.CopyFrom(a)
+	if !b.Equal(a) {
+		t.Fatal("CopyFrom should make sets equal")
+	}
+	b.Add(10)
+	if a.Contains(10) {
+		t.Fatal("CopyFrom must not alias")
+	}
+}
+
+func TestEqualDifferentUniverse(t *testing.T) {
+	if New(10).Equal(New(20)) {
+		t.Fatal("different-universe sets must not be Equal")
+	}
+}
+
+func TestClear(t *testing.T) {
+	s := FromIndices(64, 1, 2, 3)
+	s.Clear()
+	if !s.Empty() {
+		t.Fatal("Clear should empty the set")
+	}
+}
+
+func TestForEachEarlyStop(t *testing.T) {
+	s := FromIndices(64, 1, 2, 3, 4)
+	var seen []int
+	s.ForEach(func(i int) bool {
+		seen = append(seen, i)
+		return len(seen) < 2
+	})
+	if !reflect.DeepEqual(seen, []int{1, 2}) {
+		t.Fatalf("seen = %v, want [1 2]", seen)
+	}
+}
+
+func TestKeyAndHashAgreeWithEqual(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(150)
+		a, b := New(n), New(n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				a.Add(i)
+			}
+			if rng.Intn(2) == 0 {
+				b.Add(i)
+			}
+		}
+		if (a.Key() == b.Key()) != a.Equal(b) {
+			t.Fatalf("Key/Equal disagree: a=%v b=%v", a, b)
+		}
+		if a.Equal(b) && a.Hash() != b.Hash() {
+			t.Fatal("equal sets must hash equally")
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := FromIndices(10, 1, 3).String(); got != "{1, 3}" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := New(10).String(); got != "{}" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+// Property: union is commutative, associative, and monotone in Count.
+func TestQuickUnionProperties(t *testing.T) {
+	f := func(xs, ys []uint8) bool {
+		const n = 256
+		a, b := New(n), New(n)
+		for _, x := range xs {
+			a.Add(int(x))
+		}
+		for _, y := range ys {
+			b.Add(int(y))
+		}
+		u1, u2 := a.Union(b), b.Union(a)
+		if !u1.Equal(u2) {
+			return false
+		}
+		if u1.Count() < a.Count() || u1.Count() < b.Count() {
+			return false
+		}
+		// |A ∪ B| = |A| + |B| - |A ∩ B|
+		return u1.Count() == a.Count()+b.Count()-a.IntersectionCount(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: difference and intersection partition the set.
+func TestQuickPartitionProperty(t *testing.T) {
+	f := func(xs, ys []uint8) bool {
+		const n = 256
+		a, b := New(n), New(n)
+		for _, x := range xs {
+			a.Add(int(x))
+		}
+		for _, y := range ys {
+			b.Add(int(y))
+		}
+		inter := a.Intersect(b)
+		diff := a.Difference(b)
+		if inter.Intersects(diff) {
+			return false
+		}
+		return inter.Union(diff).Equal(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: De Morgan via subset checks — (A ⊆ B) iff A \ B = ∅.
+func TestQuickSubsetDifference(t *testing.T) {
+	f := func(xs, ys []uint8) bool {
+		const n = 256
+		a, b := New(n), New(n)
+		for _, x := range xs {
+			a.Add(int(x))
+		}
+		for _, y := range ys {
+			b.Add(int(y))
+		}
+		return a.IsSubsetOf(b) == a.Difference(b).Empty()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkUnionWith(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	a, c := New(4096), New(4096)
+	for i := 0; i < 4096; i++ {
+		if rng.Intn(2) == 0 {
+			a.Add(i)
+		}
+		if rng.Intn(2) == 0 {
+			c.Add(i)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.UnionWith(c)
+	}
+}
+
+func BenchmarkKey(b *testing.B) {
+	s := FromIndices(1024, 1, 64, 512, 1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Key()
+	}
+}

@@ -1,0 +1,102 @@
+// Package combinat provides the combinatorial enumeration primitives used
+// by the monitoring metrics: binomial coefficients, k-subset enumeration,
+// and counts of failure-set collections F_k = {F ⊆ N : |F| ≤ k}.
+package combinat
+
+import (
+	"fmt"
+	"math"
+)
+
+// Binomial returns C(n, k). It returns 0 for k < 0 or k > n, and panics on
+// overflow of int64 arithmetic (which cannot occur for the network sizes
+// this repository handles, but guards against misuse).
+func Binomial(n, k int) int64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	var res int64 = 1
+	for i := 0; i < k; i++ {
+		num := int64(n - i)
+		if res > math.MaxInt64/num {
+			panic(fmt.Sprintf("combinat: C(%d,%d) overflows int64", n, k))
+		}
+		res = res * num / int64(i+1)
+	}
+	return res
+}
+
+// Pairs returns C(n, 2) as an int64, the number of unordered pairs from n
+// items.
+func Pairs(n int64) int64 {
+	if n < 2 {
+		return 0
+	}
+	return n * (n - 1) / 2
+}
+
+// NumFailureSets returns |F_k| = Σ_{i=0..k} C(n, i): the number of failure
+// sets with at most k failed nodes out of n, including the empty set.
+func NumFailureSets(n, k int) int64 {
+	var total int64
+	for i := 0; i <= k && i <= n; i++ {
+		total += Binomial(n, i)
+	}
+	return total
+}
+
+// Combinations calls fn once for every k-subset of [0, n), with the subset
+// passed in ascending order. The slice is reused between calls; fn must
+// copy it if it retains it. Enumeration stops early if fn returns false.
+// Combinations with k == 0 calls fn once with an empty slice.
+func Combinations(n, k int, fn func(subset []int) bool) {
+	if k < 0 || k > n {
+		return
+	}
+	idx := make([]int, k)
+	for i := range idx {
+		idx[i] = i
+	}
+	for {
+		if !fn(idx) {
+			return
+		}
+		// Advance to the next combination in lexicographic order.
+		i := k - 1
+		for i >= 0 && idx[i] == n-k+i {
+			i--
+		}
+		if i < 0 {
+			return
+		}
+		idx[i]++
+		for j := i + 1; j < k; j++ {
+			idx[j] = idx[j-1] + 1
+		}
+	}
+}
+
+// SubsetsUpTo calls fn once for every subset of [0, n) with at most k
+// elements, in order of increasing size (the empty set first). The slice is
+// reused between calls. Enumeration stops early if fn returns false.
+func SubsetsUpTo(n, k int, fn func(subset []int) bool) {
+	stopped := false
+	for size := 0; size <= k && size <= n && !stopped; size++ {
+		Combinations(n, size, func(subset []int) bool {
+			if !fn(subset) {
+				stopped = true
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// CombinationCount returns the number of subsets SubsetsUpTo(n, k, ...)
+// enumerates; exposed to let callers preallocate.
+func CombinationCount(n, k int) int64 {
+	return NumFailureSets(n, k)
+}

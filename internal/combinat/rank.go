@@ -1,0 +1,64 @@
+package combinat
+
+import "fmt"
+
+// Rank and Unrank implement the combinatorial number system: a bijection
+// between k-subsets of [0, n) and [0, C(n, k)). They give failure sets
+// stable integer identities — handy for compact logging, sampling without
+// materialization, and cross-run comparison of hypothesis sets.
+
+// Rank returns the position of the ascending k-subset in the
+// lexicographic enumeration Combinations produces.
+func Rank(n int, subset []int) (int64, error) {
+	k := len(subset)
+	if k > n {
+		return 0, fmt.Errorf("combinat: subset larger than universe")
+	}
+	prev := -1
+	for _, v := range subset {
+		if v <= prev {
+			return 0, fmt.Errorf("combinat: subset must be strictly ascending")
+		}
+		if v < 0 || v >= n {
+			return 0, fmt.Errorf("combinat: element %d outside [0, %d)", v, n)
+		}
+		prev = v
+	}
+	// Lexicographic rank: for each position i, count the combinations
+	// that start with a smaller element than subset[i] given the prefix.
+	var rank int64
+	from := 0
+	for i, v := range subset {
+		for c := from; c < v; c++ {
+			rank += Binomial(n-c-1, k-i-1)
+		}
+		from = v + 1
+	}
+	return rank, nil
+}
+
+// Unrank returns the k-subset of [0, n) with the given lexicographic
+// rank; it inverts Rank.
+func Unrank(n, k int, rank int64) ([]int, error) {
+	if k < 0 || k > n {
+		return nil, fmt.Errorf("combinat: k = %d outside [0, %d]", k, n)
+	}
+	total := Binomial(n, k)
+	if rank < 0 || rank >= total {
+		return nil, fmt.Errorf("combinat: rank %d outside [0, %d)", rank, total)
+	}
+	subset := make([]int, 0, k)
+	from := 0
+	for i := 0; i < k; i++ {
+		for c := from; ; c++ {
+			count := Binomial(n-c-1, k-i-1)
+			if rank < count {
+				subset = append(subset, c)
+				from = c + 1
+				break
+			}
+			rank -= count
+		}
+	}
+	return subset, nil
+}

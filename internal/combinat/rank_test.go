@@ -1,0 +1,76 @@
+package combinat
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestRankUnrankRoundTrip(t *testing.T) {
+	for n := 0; n <= 10; n++ {
+		for k := 0; k <= n; k++ {
+			want := int64(0)
+			Combinations(n, k, func(s []int) bool {
+				r, err := Rank(n, s)
+				if err != nil {
+					t.Fatalf("Rank(%d, %v): %v", n, s, err)
+				}
+				if r != want {
+					t.Fatalf("Rank(%d, %v) = %d, want %d (enumeration order)", n, s, r, want)
+				}
+				back, err := Unrank(n, k, r)
+				if err != nil {
+					t.Fatalf("Unrank(%d, %d, %d): %v", n, k, r, err)
+				}
+				if !reflect.DeepEqual(back, append([]int{}, s...)) {
+					t.Fatalf("Unrank(%d, %d, %d) = %v, want %v", n, k, r, back, s)
+				}
+				want++
+				return true
+			})
+			if want != Binomial(n, k) {
+				t.Fatalf("enumerated %d subsets, want C(%d,%d) = %d", want, n, k, Binomial(n, k))
+			}
+		}
+	}
+}
+
+func TestRankErrors(t *testing.T) {
+	if _, err := Rank(3, []int{0, 0}); err == nil {
+		t.Fatal("non-ascending subset should error")
+	}
+	if _, err := Rank(3, []int{2, 1}); err == nil {
+		t.Fatal("descending subset should error")
+	}
+	if _, err := Rank(3, []int{0, 5}); err == nil {
+		t.Fatal("out-of-range element should error")
+	}
+	if _, err := Rank(2, []int{0, 1, 2}); err == nil {
+		t.Fatal("oversized subset should error")
+	}
+}
+
+func TestUnrankErrors(t *testing.T) {
+	if _, err := Unrank(3, 4, 0); err == nil {
+		t.Fatal("k > n should error")
+	}
+	if _, err := Unrank(3, -1, 0); err == nil {
+		t.Fatal("negative k should error")
+	}
+	if _, err := Unrank(3, 2, -1); err == nil {
+		t.Fatal("negative rank should error")
+	}
+	if _, err := Unrank(3, 2, 3); err == nil {
+		t.Fatal("rank ≥ C(n,k) should error")
+	}
+}
+
+func TestRankEmptySubset(t *testing.T) {
+	r, err := Rank(5, nil)
+	if err != nil || r != 0 {
+		t.Fatalf("Rank(∅) = %d, %v", r, err)
+	}
+	s, err := Unrank(5, 0, 0)
+	if err != nil || len(s) != 0 {
+		t.Fatalf("Unrank(0-subset) = %v, %v", s, err)
+	}
+}

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// CSV writers for the remaining artifacts, so every figure has a
+// machine-readable form next to its rendered table.
+
+// WriteFig4CSV writes topology,alpha,min,q1,median,q3,max rows.
+func WriteFig4CSV(w io.Writer, name string, rows []Fig4Row) error {
+	if _, err := fmt.Fprintln(w, "topology,alpha,min,q1,median,q3,max"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "%s,%g,%g,%g,%g,%g,%g\n",
+			name, r.Alpha, r.Summary.Min, r.Summary.Q1, r.Summary.Median, r.Summary.Q3, r.Summary.Max); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteFig8CSV writes topology,algorithm,degree,fraction rows for the
+// union of supports, sorted by (algorithm, degree).
+func WriteFig8CSV(w io.Writer, name string, dists map[Algo]stats.Distribution) error {
+	if _, err := fmt.Fprintln(w, "topology,algorithm,degree,fraction"); err != nil {
+		return err
+	}
+	var algos []string
+	for a := range dists {
+		algos = append(algos, string(a))
+	}
+	sort.Strings(algos)
+	for _, a := range algos {
+		d := dists[Algo(a)]
+		for _, deg := range d.Support() {
+			if _, err := fmt.Fprintf(w, "%s,%s,%d,%g\n", name, a, deg, d.Frac[deg]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteK2CSV writes topology,algorithm,alpha,d2,s2,identifiable_sets rows.
+func WriteK2CSV(w io.Writer, name string, curves K2Curves) error {
+	if _, err := fmt.Fprintln(w, "topology,algorithm,alpha,d2,s2,identifiable_sets"); err != nil {
+		return err
+	}
+	for _, a := range []Algo{AlgoGD, AlgoQoS, AlgoRD} {
+		for _, pt := range curves[a] {
+			if _, err := fmt.Fprintf(w, "%s,%s,%g,%d,%d,%d\n",
+				name, a, pt.Alpha, pt.D2, pt.S2, pt.IdentifiableSets); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteOpLoopCSV writes topology,algorithm,probe_period,covered,episodes,
+// detection,pinpoint,mean_delay rows.
+func WriteOpLoopCSV(w io.Writer, name string, rows []OpLoopRow) error {
+	if _, err := fmt.Fprintln(w, "topology,algorithm,probe_period,covered,episodes,detection,pinpoint,mean_delay"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "%s,%s,%g,%d,%d,%g,%g,%g\n",
+			name, r.Algo, r.ProbePeriod, r.Covered, r.Episodes, r.Detection, r.Pinpoint, r.MeanDelay); err != nil {
+			return err
+		}
+	}
+	return nil
+}

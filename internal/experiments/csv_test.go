@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteFig4CSV(t *testing.T) {
+	p := prepare(t, "Abovenet")
+	rows, err := Fig4(p, []float64{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := WriteFig4CSV(&buf, "Abovenet", rows); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "topology,alpha,min,q1,median,q3,max\n") {
+		t.Fatalf("header missing:\n%s", out)
+	}
+	if !strings.Contains(out, "Abovenet,0,") || !strings.Contains(out, "Abovenet,1,") {
+		t.Fatalf("rows missing:\n%s", out)
+	}
+	if lines := strings.Count(out, "\n"); lines != 3 {
+		t.Fatalf("lines = %d, want 3", lines)
+	}
+}
+
+func TestWriteFig8CSV(t *testing.T) {
+	p := prepare(t, "Abovenet")
+	dists, err := Fig8(p, Fig8Config{Alpha: 0.5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := WriteFig8CSV(&buf, "Abovenet", dists); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Abovenet,GD,") || !strings.Contains(out, "Abovenet,QoS,") {
+		t.Fatalf("rows missing:\n%s", out)
+	}
+	// Algorithms must come out sorted for reproducible diffs.
+	gcIdx := strings.Index(out, ",GC,")
+	rdIdx := strings.Index(out, ",RD,")
+	if gcIdx < 0 || rdIdx < 0 || gcIdx > rdIdx {
+		t.Fatalf("algorithms not sorted:\n%s", out)
+	}
+}
+
+func TestWriteK2CSV(t *testing.T) {
+	p := prepare(t, "Abovenet")
+	curves, err := K2Sweep(p, K2Config{Alphas: []float64{0.5}, RDSeeds: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := WriteK2CSV(&buf, "Abovenet", curves); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Abovenet,GD,0.5,", "Abovenet,QoS,0.5,", "Abovenet,RD,0.5,"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+func TestWriteOpLoopCSV(t *testing.T) {
+	rows := []OpLoopRow{
+		{Algo: AlgoGD, ProbePeriod: 5, Covered: 20, Episodes: 10, Detection: 0.5, Pinpoint: 0.2, MeanDelay: 2.5},
+	}
+	var buf strings.Builder
+	if err := WriteOpLoopCSV(&buf, "Tiscali", rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Tiscali,GD,5,20,10,0.5,0.2,2.5") {
+		t.Fatalf("row malformed:\n%s", buf.String())
+	}
+}

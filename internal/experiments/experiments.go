@@ -1,0 +1,382 @@
+// Package experiments reproduces the paper's evaluation (Section VI):
+// Table I and Figures 4 through 8. Each driver returns typed rows so the
+// CLI, the benchmarks, and EXPERIMENTS.md generation all share one
+// implementation; render helpers produce aligned text tables and CSV.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/placement"
+	"repro/internal/routing"
+	"repro/internal/stats"
+	"repro/internal/topology"
+)
+
+// Workload is one evaluation configuration of Section VI-A: a topology
+// plus the service population.
+type Workload struct {
+	Topo              topology.Spec
+	NumServices       int
+	ClientsPerService int
+}
+
+// PaperWorkloads returns the three evaluation workloads. Clients per
+// service is fixed at 3; Tiscali gets 3 services and AT&T 7 as in the
+// paper. Abovenet's count is garbled in the available text; we use 3 so
+// the BF reference stays tractable (see DESIGN.md substitutions).
+func PaperWorkloads() []Workload {
+	return []Workload{
+		{Topo: topology.Abovenet, NumServices: 3, ClientsPerService: 3},
+		{Topo: topology.Tiscali, NumServices: 3, ClientsPerService: 3},
+		{Topo: topology.ATT, NumServices: 7, ClientsPerService: 3},
+	}
+}
+
+// WorkloadByName returns the paper workload for a topology name.
+func WorkloadByName(name string) (Workload, error) {
+	for _, w := range PaperWorkloads() {
+		if w.Topo.Name == name {
+			return w, nil
+		}
+	}
+	return Workload{}, fmt.Errorf("experiments: no workload for topology %q", name)
+}
+
+// DefaultAlphas is the α grid of the evaluation figures.
+func DefaultAlphas() []float64 {
+	return []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+}
+
+// Prepared bundles everything derived from a workload that does not
+// depend on α: the built topology and its router.
+type Prepared struct {
+	Workload Workload
+	Topo     *topology.Topology
+	Router   *routing.Router
+	Services []placement.Service
+}
+
+// Prepare builds the topology, router, and the round-robin service/client
+// assignment of Section VI-A: clients for each service are selected in a
+// round-robin fashion among candidate clients.
+func Prepare(w Workload) (*Prepared, error) {
+	if w.NumServices < 1 || w.ClientsPerService < 1 {
+		return nil, fmt.Errorf("experiments: bad workload %+v", w)
+	}
+	topo, err := topology.Build(w.Topo)
+	if err != nil {
+		return nil, err
+	}
+	r, err := routing.New(topo.Graph)
+	if err != nil {
+		return nil, err
+	}
+	services := make([]placement.Service, w.NumServices)
+	next := 0
+	pool := topo.CandidateClients
+	if len(pool) == 0 {
+		return nil, fmt.Errorf("experiments: topology %s has no candidate clients", w.Topo.Name)
+	}
+	for s := range services {
+		clientSet := make([]graph.NodeID, 0, w.ClientsPerService)
+		seen := map[graph.NodeID]bool{}
+		for len(clientSet) < w.ClientsPerService {
+			c := pool[next%len(pool)]
+			next++
+			if !seen[c] {
+				seen[c] = true
+				clientSet = append(clientSet, c)
+			}
+			if len(seen) == len(pool) && len(clientSet) < w.ClientsPerService {
+				return nil, fmt.Errorf("experiments: only %d distinct clients available, need %d",
+					len(pool), w.ClientsPerService)
+			}
+		}
+		services[s] = placement.Service{
+			Name:    fmt.Sprintf("%s-s%d", w.Topo.Name, s),
+			Clients: clientSet,
+		}
+	}
+	return &Prepared{Workload: w, Topo: topo, Router: r, Services: services}, nil
+}
+
+// Instance builds the placement instance for one α.
+func (p *Prepared) Instance(alpha float64) (*placement.Instance, error) {
+	return placement.NewInstance(p.Router, p.Services, alpha)
+}
+
+// ---- Table I -----------------------------------------------------------
+
+// TableI recomputes the Table I characteristics from the built graphs.
+func TableI() ([]topology.TableIRow, error) { return topology.TableI() }
+
+// ---- Fig. 4: candidate-set size box plots -------------------------------
+
+// Fig4Row is one α-point of the Fig. 4 box plot: the distribution of
+// per-service candidate-host counts.
+type Fig4Row struct {
+	Alpha   float64
+	Summary stats.FiveNumber
+}
+
+// Fig4 sweeps α and summarizes |H_s| across services.
+func Fig4(p *Prepared, alphas []float64) ([]Fig4Row, error) {
+	rows := make([]Fig4Row, 0, len(alphas))
+	for _, alpha := range alphas {
+		inst, err := p.Instance(alpha)
+		if err != nil {
+			return nil, err
+		}
+		counts := make([]float64, inst.NumServices())
+		for s := range counts {
+			counts[s] = float64(len(inst.Candidates(s)))
+		}
+		summary, err := stats.Summarize(counts)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Fig4Row{Alpha: alpha, Summary: summary})
+	}
+	return rows, nil
+}
+
+// ---- Figs. 5-7: monitoring performance vs α ------------------------------
+
+// Algo identifies an algorithm series in the figures.
+type Algo string
+
+// The algorithm series of Figs. 5-7.
+const (
+	AlgoBF  Algo = "BF"  // brute-force optimum (per measure)
+	AlgoGC  Algo = "GC"  // greedy coverage maximization
+	AlgoGI  Algo = "GI"  // greedy identifiability maximization
+	AlgoGD  Algo = "GD"  // greedy distinguishability maximization
+	AlgoQoS Algo = "QoS" // best-QoS placement
+	AlgoRD  Algo = "RD"  // random placement within candidates
+)
+
+// CurvePoint is one (α, algorithm) cell of Figs. 5-7, holding all three
+// measures of the algorithm's placement. For BF each measure is the
+// optimum of that measure (computed separately, per the paper's footnote).
+type CurvePoint struct {
+	Alpha    float64
+	Coverage float64
+	S1       float64
+	D1       float64
+}
+
+// Curves maps each algorithm to its α-indexed series.
+type Curves map[Algo][]CurvePoint
+
+// CurvesConfig tunes the Figs. 5-7 sweep.
+type CurvesConfig struct {
+	Alphas []float64
+	// IncludeBF adds the brute-force series (Abovenet only in the paper).
+	IncludeBF bool
+	// BFBudget caps the brute-force search space (0 = package default).
+	BFBudget int64
+	// RDSeeds is the number of random placements averaged per α (≥ 1).
+	RDSeeds int
+	// Seed drives the RD series.
+	Seed int64
+}
+
+// MonitoringCurves reproduces the data behind Figs. 5 (Abovenet, with BF),
+// 6 (Tiscali), and 7 (AT&T).
+func MonitoringCurves(p *Prepared, cfg CurvesConfig) (Curves, error) {
+	if len(cfg.Alphas) == 0 {
+		cfg.Alphas = DefaultAlphas()
+	}
+	if cfg.RDSeeds < 1 {
+		cfg.RDSeeds = 5
+	}
+	coverage := placement.NewCoverage()
+	ident, err := placement.NewIdentifiability(1)
+	if err != nil {
+		return nil, err
+	}
+	dist, err := placement.NewDistinguishability(1)
+	if err != nil {
+		return nil, err
+	}
+
+	curves := Curves{}
+	algos := []Algo{AlgoGC, AlgoGI, AlgoGD, AlgoQoS, AlgoRD}
+	if cfg.IncludeBF {
+		algos = append([]Algo{AlgoBF}, algos...)
+	}
+	for _, a := range algos {
+		curves[a] = make([]CurvePoint, 0, len(cfg.Alphas))
+	}
+
+	for _, alpha := range cfg.Alphas {
+		inst, err := p.Instance(alpha)
+		if err != nil {
+			return nil, err
+		}
+		evalMetrics := func(pl placement.Placement) (CurvePoint, error) {
+			m, err := inst.Evaluate(pl)
+			if err != nil {
+				return CurvePoint{}, err
+			}
+			return CurvePoint{
+				Alpha:    alpha,
+				Coverage: float64(m.Coverage),
+				S1:       float64(m.S1),
+				D1:       float64(m.D1),
+			}, nil
+		}
+
+		if cfg.IncludeBF {
+			pt := CurvePoint{Alpha: alpha}
+			for _, spec := range []struct {
+				obj placement.Objective
+				set func(*CurvePoint, float64)
+			}{
+				{coverage, func(c *CurvePoint, v float64) { c.Coverage = v }},
+				{ident, func(c *CurvePoint, v float64) { c.S1 = v }},
+				{dist, func(c *CurvePoint, v float64) { c.D1 = v }},
+			} {
+				res, err := placement.BruteForce(inst, spec.obj, cfg.BFBudget)
+				if err != nil {
+					return nil, fmt.Errorf("experiments: BF at α=%g: %w", alpha, err)
+				}
+				spec.set(&pt, res.Value)
+			}
+			curves[AlgoBF] = append(curves[AlgoBF], pt)
+		}
+
+		for _, run := range []struct {
+			algo Algo
+			obj  placement.Objective
+		}{
+			{AlgoGC, coverage},
+			{AlgoGI, ident},
+			{AlgoGD, dist},
+		} {
+			res, err := placement.Greedy(inst, run.obj)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s at α=%g: %w", run.algo, alpha, err)
+			}
+			pt, err := evalMetrics(res.Placement)
+			if err != nil {
+				return nil, err
+			}
+			curves[run.algo] = append(curves[run.algo], pt)
+		}
+
+		qres, err := placement.QoS(inst, coverage)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: QoS at α=%g: %w", alpha, err)
+		}
+		pt, err := evalMetrics(qres.Placement)
+		if err != nil {
+			return nil, err
+		}
+		curves[AlgoQoS] = append(curves[AlgoQoS], pt)
+
+		// RD: average the three measures over seeds.
+		var acc CurvePoint
+		acc.Alpha = alpha
+		for seed := 0; seed < cfg.RDSeeds; seed++ {
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(seed)))
+			rres, err := placement.Random(inst, coverage, rng)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: RD at α=%g: %w", alpha, err)
+			}
+			rpt, err := evalMetrics(rres.Placement)
+			if err != nil {
+				return nil, err
+			}
+			acc.Coverage += rpt.Coverage
+			acc.S1 += rpt.S1
+			acc.D1 += rpt.D1
+		}
+		acc.Coverage /= float64(cfg.RDSeeds)
+		acc.S1 /= float64(cfg.RDSeeds)
+		acc.D1 /= float64(cfg.RDSeeds)
+		curves[AlgoRD] = append(curves[AlgoRD], acc)
+	}
+	return curves, nil
+}
+
+// ---- Fig. 8: degree-of-uncertainty distribution --------------------------
+
+// Fig8Config tunes the Fig. 8 experiment.
+type Fig8Config struct {
+	Alpha float64
+	Seed  int64 // RD seed
+}
+
+// Fig8 computes, for each algorithm's placement at the given α, the
+// distribution of the degree of uncertainty over all nodes of the
+// equivalence graph Q (v0 included), reproducing Fig. 8 (AT&T, α = 0.6 in
+// the paper).
+func Fig8(p *Prepared, cfg Fig8Config) (map[Algo]stats.Distribution, error) {
+	inst, err := p.Instance(cfg.Alpha)
+	if err != nil {
+		return nil, err
+	}
+	coverage := placement.NewCoverage()
+	ident, err := placement.NewIdentifiability(1)
+	if err != nil {
+		return nil, err
+	}
+	dist, err := placement.NewDistinguishability(1)
+	if err != nil {
+		return nil, err
+	}
+
+	placements := map[Algo]placement.Placement{}
+	for _, run := range []struct {
+		algo Algo
+		obj  placement.Objective
+	}{
+		{AlgoGC, coverage},
+		{AlgoGI, ident},
+		{AlgoGD, dist},
+	} {
+		res, err := placement.Greedy(inst, run.obj)
+		if err != nil {
+			return nil, err
+		}
+		placements[run.algo] = res.Placement
+	}
+	qres, err := placement.QoS(inst, coverage)
+	if err != nil {
+		return nil, err
+	}
+	placements[AlgoQoS] = qres.Placement
+	rres, err := placement.Random(inst, coverage, rand.New(rand.NewSource(cfg.Seed)))
+	if err != nil {
+		return nil, err
+	}
+	placements[AlgoRD] = rres.Placement
+
+	out := make(map[Algo]stats.Distribution, len(placements))
+	for algo, pl := range placements {
+		d, err := degreeDistribution(inst, pl)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: Fig8 %s: %w", algo, err)
+		}
+		out[algo] = d
+	}
+	return out, nil
+}
+
+func degreeDistribution(inst *placement.Instance, pl placement.Placement) (stats.Distribution, error) {
+	ps, err := inst.PathSet(pl)
+	if err != nil {
+		return stats.Distribution{}, err
+	}
+	pt := newPartition(ps)
+	degrees := pt.Degrees()
+	counts := make([]int, inst.NumNodes()+1)
+	for _, d := range degrees {
+		counts[d]++
+	}
+	return stats.NewDistribution(counts)
+}

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The golden tests pin the exact rendered output of the evaluation
+// pipelines at the committed seeds. Any change to the topology
+// generators, routing tie-breaks, candidate-set math, or placement
+// algorithms shows up as a diff here — run with -update to bless an
+// intentional change:
+//
+//	go test ./internal/experiments -run Golden -update
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file %s (run with -update): %v", path, err)
+	}
+	if string(want) != got {
+		t.Errorf("output drifted from %s.\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+func TestGoldenTableI(t *testing.T) {
+	rows, err := TableI()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "table1.golden", RenderTableI(rows))
+}
+
+func TestGoldenFig4Abovenet(t *testing.T) {
+	p := prepare(t, "Abovenet")
+	rows, err := Fig4(p, DefaultAlphas())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "fig4_abovenet.golden", RenderFig4("Abovenet", rows))
+}
+
+func TestGoldenFig5Distinguishability(t *testing.T) {
+	p := prepare(t, "Abovenet")
+	curves, err := MonitoringCurves(p, CurvesConfig{
+		Alphas:    []float64{0, 0.5, 1},
+		IncludeBF: true,
+		RDSeeds:   5,
+		Seed:      1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "fig5_d1.golden", RenderCurves("Fig. 5", "Abovenet", curves, MeasureD1))
+}
+
+func TestGoldenFig8(t *testing.T) {
+	p := prepare(t, "AT&T")
+	dists, err := Fig8(p, Fig8Config{Alpha: 0.6, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "fig8_att.golden", RenderFig8("AT&T", 0.6, dists))
+}

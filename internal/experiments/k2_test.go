@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestK2Sweep(t *testing.T) {
+	p := prepare(t, "Abovenet")
+	curves, err := K2Sweep(p, K2Config{Alphas: []float64{0, 1}, RDSeeds: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, algo := range []Algo{AlgoGD, AlgoQoS, AlgoRD} {
+		series := curves[algo]
+		if len(series) != 2 {
+			t.Fatalf("%s series = %d points", algo, len(series))
+		}
+		for _, pt := range series {
+			if pt.D2 <= 0 {
+				t.Fatalf("%s D2 = %d at α=%v", algo, pt.D2, pt.Alpha)
+			}
+			if pt.IdentifiableSets < 1 {
+				t.Fatalf("%s uniquely localizable sets = %d", algo, pt.IdentifiableSets)
+			}
+		}
+	}
+	// GD's own objective dominates QoS at relaxed α.
+	last := 1
+	if curves[AlgoGD][last].D2 < curves[AlgoQoS][last].D2 {
+		t.Fatalf("GD D2 %d below QoS %d at α=1",
+			curves[AlgoGD][last].D2, curves[AlgoQoS][last].D2)
+	}
+	text := RenderK2("Abovenet", curves)
+	if !strings.Contains(text, "k=2") || !strings.Contains(text, "GD D2") {
+		t.Fatalf("render:\n%s", text)
+	}
+}
+
+func TestK2SweepDefaults(t *testing.T) {
+	p := prepare(t, "Abovenet")
+	curves, err := K2Sweep(p, K2Config{Alphas: []float64{0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curves[AlgoGD]) != 1 {
+		t.Fatal("single-α sweep broken")
+	}
+}
+
+func TestRenderK2Empty(t *testing.T) {
+	if text := RenderK2("x", K2Curves{}); !strings.Contains(text, "k=2") {
+		t.Fatal("empty render should still emit a header")
+	}
+}

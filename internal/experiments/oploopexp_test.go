@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOpLoopSweep(t *testing.T) {
+	p := prepare(t, "Tiscali")
+	rows, err := OpLoopSweep(p, OpLoopConfig{
+		Alpha:        0.6,
+		ProbePeriods: []float64{5, 20},
+		Horizon:      2500,
+		MTBF:         500,
+		MTTR:         90,
+		Seed:         7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 { // 2 algorithms × 2 periods
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byKey := map[string]OpLoopRow{}
+	for _, r := range rows {
+		byKey[string(r.Algo)+"/"+itoa(r.ProbePeriod)] = r
+		if r.Episodes == 0 {
+			t.Fatalf("%s p=%v: no episodes", r.Algo, r.ProbePeriod)
+		}
+		if r.Detection < 0 || r.Detection > 1 || r.Pinpoint > r.Detection {
+			t.Fatalf("inconsistent rates: %+v", r)
+		}
+	}
+	// Same placement, faster probing → no worse detection delay.
+	gdFast, gdSlow := byKey["GD/5"], byKey["GD/20"]
+	if gdFast.MeanDelay >= 0 && gdSlow.MeanDelay >= 0 && gdFast.MeanDelay > gdSlow.MeanDelay {
+		t.Fatalf("faster probing should not increase delay: %v vs %v",
+			gdFast.MeanDelay, gdSlow.MeanDelay)
+	}
+	// GD covers at least as many nodes as QoS and detects at least as
+	// many episodes under the identical trace.
+	if gdFast.Covered < byKey["QoS/5"].Covered {
+		t.Fatalf("GD coverage %d below QoS %d", gdFast.Covered, byKey["QoS/5"].Covered)
+	}
+	if gdFast.Detection < byKey["QoS/5"].Detection {
+		t.Fatalf("GD detection %v below QoS %v", gdFast.Detection, byKey["QoS/5"].Detection)
+	}
+
+	text := RenderOpLoop("Tiscali", 0.6, rows)
+	for _, want := range []string{"GD", "QoS", "pinpoint", "mean-delay"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("render missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestOpLoopSweepDefaults(t *testing.T) {
+	p := prepare(t, "Abovenet")
+	rows, err := OpLoopSweep(p, OpLoopConfig{Alpha: 0.5, Seed: 1, Horizon: 1500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+}
+
+func itoa(f float64) string {
+	switch f {
+	case 5:
+		return "5"
+	case 20:
+		return "20"
+	default:
+		return "?"
+	}
+}

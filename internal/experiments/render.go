@@ -1,0 +1,160 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/monitor"
+	"repro/internal/stats"
+	"repro/internal/topology"
+)
+
+// newPartition is a tiny indirection so the render/driver files share one
+// construction point for the k = 1 refinement structure.
+func newPartition(ps *monitor.PathSet) *monitor.Partition {
+	return monitor.NewPartitionFromPaths(ps)
+}
+
+// RenderTableI renders Table I as an aligned text table.
+func RenderTableI(rows []topology.TableIRow) string {
+	var b strings.Builder
+	b.WriteString("Table I: Characteristics of the networks\n")
+	fmt.Fprintf(&b, "%-10s %8s %8s %10s\n", "ISP", "#nodes", "#links", "#dangling")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %8d %8d %10d\n", r.ISP, r.Nodes, r.Links, r.Dangling)
+	}
+	return b.String()
+}
+
+// RenderFig4 renders the Fig. 4 box-plot data for one topology.
+func RenderFig4(name string, rows []Fig4Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 4 (%s): number of candidate hosts vs α (five-number summaries)\n", name)
+	fmt.Fprintf(&b, "%6s %8s %8s %8s %8s %8s\n", "α", "min", "q1", "median", "q3", "max")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%6.2f %8.1f %8.1f %8.1f %8.1f %8.1f\n",
+			r.Alpha, r.Summary.Min, r.Summary.Q1, r.Summary.Median, r.Summary.Q3, r.Summary.Max)
+	}
+	return b.String()
+}
+
+// Measure selects which panel of Figs. 5-7 to render.
+type Measure string
+
+// The three panels of each evaluation figure.
+const (
+	MeasureCoverage Measure = "coverage"
+	MeasureS1       Measure = "identifiability"
+	MeasureD1       Measure = "distinguishability"
+)
+
+// Measures returns the panels in paper order (a), (b), (c).
+func Measures() []Measure { return []Measure{MeasureCoverage, MeasureS1, MeasureD1} }
+
+func (m Measure) pick(pt CurvePoint) float64 {
+	switch m {
+	case MeasureCoverage:
+		return pt.Coverage
+	case MeasureS1:
+		return pt.S1
+	default:
+		return pt.D1
+	}
+}
+
+// algoOrder returns the present algorithms in paper legend order.
+func algoOrder(c Curves) []Algo {
+	order := []Algo{AlgoBF, AlgoGC, AlgoGI, AlgoGD, AlgoQoS, AlgoRD}
+	var out []Algo
+	for _, a := range order {
+		if _, ok := c[a]; ok {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// RenderCurves renders one panel (figure sub-plot) as a series-per-column
+// table.
+func RenderCurves(figure, name string, c Curves, m Measure) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (%s): %s vs α\n", figure, name, m)
+	algos := algoOrder(c)
+	fmt.Fprintf(&b, "%6s", "α")
+	for _, a := range algos {
+		fmt.Fprintf(&b, " %10s", a)
+	}
+	b.WriteByte('\n')
+	if len(algos) == 0 {
+		return b.String()
+	}
+	for i, pt := range c[algos[0]] {
+		fmt.Fprintf(&b, "%6.2f", pt.Alpha)
+		for _, a := range algos {
+			fmt.Fprintf(&b, " %10.1f", m.pick(c[a][i]))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// WriteCurvesCSV writes all three measures of a curve set as CSV rows:
+// topology,algorithm,alpha,coverage,identifiability,distinguishability.
+func WriteCurvesCSV(w io.Writer, name string, c Curves) error {
+	if _, err := fmt.Fprintln(w, "topology,algorithm,alpha,coverage,identifiability,distinguishability"); err != nil {
+		return err
+	}
+	for _, a := range algoOrder(c) {
+		for _, pt := range c[a] {
+			if _, err := fmt.Fprintf(w, "%s,%s,%g,%g,%g,%g\n",
+				name, a, pt.Alpha, pt.Coverage, pt.S1, pt.D1); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// RenderFig8 renders the degree-of-uncertainty distributions: one column
+// per algorithm, one row per degree with non-zero mass anywhere.
+func RenderFig8(name string, alpha float64, dists map[Algo]stats.Distribution) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 8 (%s, α=%.2f): fraction of nodes per degree of uncertainty\n", name, alpha)
+	var algos []Algo
+	for _, a := range []Algo{AlgoGC, AlgoGI, AlgoGD, AlgoQoS, AlgoRD} {
+		if _, ok := dists[a]; ok {
+			algos = append(algos, a)
+		}
+	}
+	support := map[int]bool{}
+	for _, d := range dists {
+		for _, v := range d.Support() {
+			support[v] = true
+		}
+	}
+	var degrees []int
+	for v := range support {
+		degrees = append(degrees, v)
+	}
+	sort.Ints(degrees)
+
+	fmt.Fprintf(&b, "%8s", "degree")
+	for _, a := range algos {
+		fmt.Fprintf(&b, " %8s", a)
+	}
+	b.WriteByte('\n')
+	for _, deg := range degrees {
+		fmt.Fprintf(&b, "%8d", deg)
+		for _, a := range algos {
+			frac := 0.0
+			if deg < len(dists[a].Frac) {
+				frac = dists[a].Frac[deg]
+			}
+			fmt.Fprintf(&b, " %8.3f", frac)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

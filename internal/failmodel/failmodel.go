@@ -1,0 +1,147 @@
+// Package failmodel generates reproducible node failure/recovery
+// schedules. It stands in for the production failure traces the paper's
+// setting assumes (software bugs, misconfigurations, black holes): each
+// node alternates exponentially distributed up and down sojourns
+// (MTBF/MTTR), optionally capped to at most k concurrent failures so the
+// generated scenario matches the monitoring design budget. All randomness
+// flows from the seed.
+package failmodel
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Config parameterizes a schedule.
+type Config struct {
+	// NumNodes is the node universe size.
+	NumNodes int
+	// MTBF is the mean up time before a failure; must be positive.
+	MTBF float64
+	// MTTR is the mean down time before recovery; must be positive.
+	MTTR float64
+	// Horizon is the schedule length in virtual time; events beyond it
+	// are dropped.
+	Horizon float64
+	// MaxConcurrent caps the number of simultaneously failed nodes
+	// (0 = unlimited). Failures that would exceed the cap are postponed
+	// by redrawing the up time.
+	MaxConcurrent int
+	// Seed drives the draws.
+	Seed int64
+}
+
+// Event is one node state transition.
+type Event struct {
+	Time float64
+	Node int
+	// Down is true for a failure, false for a recovery.
+	Down bool
+}
+
+// Generate produces the time-ordered transition schedule. Ordering ties
+// break by (node, down-before-up) so output is fully deterministic.
+func Generate(cfg Config) ([]Event, error) {
+	switch {
+	case cfg.NumNodes <= 0:
+		return nil, fmt.Errorf("failmodel: NumNodes = %d", cfg.NumNodes)
+	case cfg.MTBF <= 0 || math.IsNaN(cfg.MTBF):
+		return nil, fmt.Errorf("failmodel: MTBF = %v", cfg.MTBF)
+	case cfg.MTTR <= 0 || math.IsNaN(cfg.MTTR):
+		return nil, fmt.Errorf("failmodel: MTTR = %v", cfg.MTTR)
+	case cfg.Horizon <= 0 || math.IsNaN(cfg.Horizon):
+		return nil, fmt.Errorf("failmodel: Horizon = %v", cfg.Horizon)
+	case cfg.MaxConcurrent < 0:
+		return nil, fmt.Errorf("failmodel: MaxConcurrent = %d", cfg.MaxConcurrent)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	var events []Event
+	down := make([]bool, cfg.NumNodes)
+	// clock[v] is node v's next pending transition time.
+	clock := make([]float64, cfg.NumNodes)
+	for v := 0; v < cfg.NumNodes; v++ {
+		clock[v] = rng.ExpFloat64() * cfg.MTBF
+	}
+
+	// Repeatedly take the node with the earliest pending transition.
+	concurrent := 0
+	for {
+		best := -1
+		for v := 0; v < cfg.NumNodes; v++ {
+			if clock[v] > cfg.Horizon {
+				continue
+			}
+			if best < 0 || clock[v] < clock[best] || (clock[v] == clock[best] && v < best) {
+				best = v
+			}
+		}
+		if best < 0 {
+			break
+		}
+		v := best
+		t := clock[v]
+		if down[v] {
+			// Recovery.
+			events = append(events, Event{Time: t, Node: v, Down: false})
+			down[v] = false
+			concurrent--
+			clock[v] = t + rng.ExpFloat64()*cfg.MTBF
+			continue
+		}
+		// Failure attempt.
+		if cfg.MaxConcurrent > 0 && concurrent >= cfg.MaxConcurrent {
+			// Postpone: the node stays up for another drawn sojourn.
+			clock[v] = t + rng.ExpFloat64()*cfg.MTBF
+			continue
+		}
+		events = append(events, Event{Time: t, Node: v, Down: true})
+		down[v] = true
+		concurrent++
+		clock[v] = t + rng.ExpFloat64()*cfg.MTTR
+	}
+
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].Time != events[j].Time {
+			return events[i].Time < events[j].Time
+		}
+		return events[i].Node < events[j].Node
+	})
+	return events, nil
+}
+
+// DownAt replays the schedule and returns the set of nodes down at time t
+// (transitions at exactly t are applied).
+func DownAt(events []Event, t float64) map[int]bool {
+	down := map[int]bool{}
+	for _, e := range events {
+		if e.Time > t {
+			break
+		}
+		if e.Down {
+			down[e.Node] = true
+		} else {
+			delete(down, e.Node)
+		}
+	}
+	return down
+}
+
+// MaxConcurrentDown returns the peak number of simultaneously failed
+// nodes over the schedule.
+func MaxConcurrentDown(events []Event) int {
+	cur, peak := 0, 0
+	for _, e := range events {
+		if e.Down {
+			cur++
+			if cur > peak {
+				peak = cur
+			}
+		} else {
+			cur--
+		}
+	}
+	return peak
+}

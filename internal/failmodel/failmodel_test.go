@@ -1,0 +1,141 @@
+package failmodel
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGenerateValidation(t *testing.T) {
+	base := Config{NumNodes: 5, MTBF: 10, MTTR: 2, Horizon: 100, Seed: 1}
+	bad := []func(*Config){
+		func(c *Config) { c.NumNodes = 0 },
+		func(c *Config) { c.MTBF = 0 },
+		func(c *Config) { c.MTTR = -1 },
+		func(c *Config) { c.Horizon = 0 },
+		func(c *Config) { c.MaxConcurrent = -1 },
+		func(c *Config) { c.MTBF = math.NaN() },
+	}
+	for i, mutate := range bad {
+		cfg := base
+		mutate(&cfg)
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("case %d: expected error for %+v", i, cfg)
+		}
+	}
+}
+
+func TestGenerateOrderedAndAlternating(t *testing.T) {
+	events, err := Generate(Config{NumNodes: 8, MTBF: 10, MTTR: 3, Horizon: 500, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("expected some events over a long horizon")
+	}
+	lastTime := 0.0
+	state := map[int]bool{}
+	for i, e := range events {
+		if e.Time < lastTime {
+			t.Fatalf("event %d out of order", i)
+		}
+		lastTime = e.Time
+		if e.Time > 500 {
+			t.Fatalf("event %d beyond horizon", i)
+		}
+		if state[e.Node] == e.Down {
+			t.Fatalf("event %d: node %d repeated %v transition", i, e.Node, e.Down)
+		}
+		state[e.Node] = e.Down
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Config{NumNodes: 6, MTBF: 5, MTTR: 2, Horizon: 200, Seed: 7}
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs", i)
+		}
+	}
+}
+
+func TestGenerateSeedChangesSchedule(t *testing.T) {
+	cfg := Config{NumNodes: 6, MTBF: 5, MTTR: 2, Horizon: 200, Seed: 7}
+	a, _ := Generate(cfg)
+	cfg.Seed = 8
+	b, _ := Generate(cfg)
+	same := len(a) == len(b)
+	if same {
+		for i := range a {
+			if a[i] != b[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds should give different schedules")
+	}
+}
+
+func TestMaxConcurrentRespected(t *testing.T) {
+	events, err := Generate(Config{
+		NumNodes: 20, MTBF: 2, MTTR: 10, Horizon: 300, MaxConcurrent: 2, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := MaxConcurrentDown(events); got > 2 {
+		t.Fatalf("peak concurrency %d exceeds cap 2", got)
+	}
+	if got := MaxConcurrentDown(events); got == 0 {
+		t.Fatal("expected some failures")
+	}
+}
+
+func TestDownAt(t *testing.T) {
+	events := []Event{
+		{Time: 1, Node: 3, Down: true},
+		{Time: 2, Node: 5, Down: true},
+		{Time: 4, Node: 3, Down: false},
+	}
+	if got := DownAt(events, 0.5); len(got) != 0 {
+		t.Fatalf("DownAt(0.5) = %v", got)
+	}
+	if got := DownAt(events, 2); !got[3] || !got[5] || len(got) != 2 {
+		t.Fatalf("DownAt(2) = %v", got)
+	}
+	if got := DownAt(events, 10); got[3] || !got[5] {
+		t.Fatalf("DownAt(10) = %v", got)
+	}
+}
+
+func TestMeanSojournRoughlyMatchesMTBF(t *testing.T) {
+	// Statistical smoke test: with MTTR ≪ MTBF the failure count over the
+	// horizon should be near NumNodes·Horizon/MTBF (±50%).
+	cfg := Config{NumNodes: 50, MTBF: 20, MTTR: 0.1, Horizon: 1000, Seed: 11}
+	events, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	failures := 0
+	for _, e := range events {
+		if e.Down {
+			failures++
+		}
+	}
+	expected := float64(cfg.NumNodes) * cfg.Horizon / cfg.MTBF
+	if float64(failures) < expected/2 || float64(failures) > expected*2 {
+		t.Fatalf("failures = %d, expected around %.0f", failures, expected)
+	}
+}

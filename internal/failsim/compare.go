@@ -1,0 +1,103 @@
+package failsim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/monitor"
+)
+
+// Comparison reports localization quality for several placements under an
+// identical injected-failure workload — the operational rendering of the
+// paper's Figs. 5-8: the same failures hit every placement, and the
+// placements differ only in what their connection states reveal.
+type Comparison struct {
+	// Names lists the placements in input order.
+	Names []string
+	// Stats[i] corresponds to Names[i].
+	Stats []*Stats
+}
+
+// Compare runs the same failure workload (cfg.Seed drives identical
+// failure draws for every placement) against each named path set.
+func Compare(names []string, pathSets []*monitor.PathSet, cfg Config) (*Comparison, error) {
+	if len(names) != len(pathSets) {
+		return nil, fmt.Errorf("failsim: %d names for %d path sets", len(names), len(pathSets))
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("failsim: nothing to compare")
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		if n == "" {
+			return nil, fmt.Errorf("failsim: empty placement name")
+		}
+		if seen[n] {
+			return nil, fmt.Errorf("failsim: duplicate placement name %q", n)
+		}
+		seen[n] = true
+	}
+	c := &Comparison{Names: append([]string(nil), names...)}
+	for i, ps := range pathSets {
+		stats, err := Run(ps, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("failsim: placement %q: %w", names[i], err)
+		}
+		c.Stats = append(c.Stats, stats)
+	}
+	return c, nil
+}
+
+// Best returns the name of the placement with the highest unique-
+// localization rate, breaking ties by lower mean ambiguity and then by
+// input order.
+func (c *Comparison) Best() string {
+	best := 0
+	for i := 1; i < len(c.Stats); i++ {
+		a, b := c.Stats[i], c.Stats[best]
+		switch {
+		case a.UniqueRate() > b.UniqueRate():
+			best = i
+		case a.UniqueRate() == b.UniqueRate() && a.MeanAmbiguity() < b.MeanAmbiguity():
+			best = i
+		}
+	}
+	return c.Names[best]
+}
+
+// Render produces an aligned text table of the comparison.
+func (c *Comparison) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-18s %9s %9s %9s %10s %8s\n",
+		"placement", "detect", "unique", "greedy=F", "mean-amb", "max-amb")
+	for i, name := range c.Names {
+		s := c.Stats[i]
+		fmt.Fprintf(&b, "%-18s %8.1f%% %8.1f%% %8.1f%% %10.2f %8d\n",
+			name,
+			100*s.DetectionRate(), 100*s.UniqueRate(), 100*s.GreedyExactRate(),
+			s.MeanAmbiguity(), s.MaxAmbiguity)
+	}
+	return b.String()
+}
+
+// SortedByUniqueRate returns the placement names best-first (the Best
+// ordering applied to all entries).
+func (c *Comparison) SortedByUniqueRate() []string {
+	idx := make([]int, len(c.Names))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		sa, sb := c.Stats[idx[a]], c.Stats[idx[b]]
+		if sa.UniqueRate() != sb.UniqueRate() {
+			return sa.UniqueRate() > sb.UniqueRate()
+		}
+		return sa.MeanAmbiguity() < sb.MeanAmbiguity()
+	})
+	out := make([]string, len(idx))
+	for i, j := range idx {
+		out[i] = c.Names[j]
+	}
+	return out
+}

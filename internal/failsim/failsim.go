@@ -1,0 +1,164 @@
+// Package failsim runs end-to-end failure localization experiments: inject
+// ground-truth failure sets, generate the binary observations the service
+// layer would see, run Boolean tomography, and score the diagnosis. It
+// quantifies, in operational terms, what the monitor package's abstract
+// measures (coverage, identifiability, distinguishability) buy: detection
+// rate, unique-localization rate, and residual ambiguity.
+package failsim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/bitset"
+	"repro/internal/monitor"
+	"repro/internal/tomography"
+)
+
+// Config parameterizes an experiment run.
+type Config struct {
+	// K is the maximum number of simultaneous failures injected (and the
+	// budget given to the localizer). Must be ≥ 1.
+	K int
+	// Trials is the number of injected failure scenarios.
+	Trials int
+	// Seed drives the failure sampling.
+	Seed int64
+}
+
+// Stats aggregates the outcomes of an experiment.
+type Stats struct {
+	Trials int
+	// Detected counts trials where at least one path failed.
+	Detected int
+	// Unique counts trials where tomography returned exactly one
+	// consistent hypothesis.
+	Unique int
+	// UniqueCorrect counts trials where that unique hypothesis was the
+	// injected truth (a unique diagnosis is correct whenever the truth is
+	// within the failure budget, which this harness guarantees).
+	UniqueCorrect int
+	// GreedyExact counts trials where the greedy minimum-explanation
+	// heuristic returned exactly the injected failure set.
+	GreedyExact int
+	// TotalAmbiguity sums the per-trial ambiguity (|consistent| − 1).
+	TotalAmbiguity int
+	// MaxAmbiguity is the worst per-trial ambiguity.
+	MaxAmbiguity int
+	// DefiniteFailedCorrect counts, across trials, nodes reported
+	// definitely-failed that were truly failed; DefiniteFailedTotal is the
+	// number reported. Precision is their ratio (soundness check: should
+	// be 1 by construction).
+	DefiniteFailedCorrect, DefiniteFailedTotal int
+}
+
+// DetectionRate returns Detected/Trials.
+func (s *Stats) DetectionRate() float64 { return ratio(s.Detected, s.Trials) }
+
+// UniqueRate returns Unique/Trials.
+func (s *Stats) UniqueRate() float64 { return ratio(s.Unique, s.Trials) }
+
+// GreedyExactRate returns GreedyExact/Trials.
+func (s *Stats) GreedyExactRate() float64 { return ratio(s.GreedyExact, s.Trials) }
+
+// MeanAmbiguity returns TotalAmbiguity/Trials.
+func (s *Stats) MeanAmbiguity() float64 {
+	if s.Trials == 0 {
+		return 0
+	}
+	return float64(s.TotalAmbiguity) / float64(s.Trials)
+}
+
+func ratio(num, den int) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+// Run injects Trials random failure sets of size 1..K (uniform size, then
+// uniform nodes) into the given measurement paths and scores localization.
+func Run(ps *monitor.PathSet, cfg Config) (*Stats, error) {
+	if ps == nil {
+		return nil, fmt.Errorf("failsim: nil path set")
+	}
+	if cfg.K < 1 {
+		return nil, fmt.Errorf("failsim: K must be ≥ 1, got %d", cfg.K)
+	}
+	if cfg.Trials < 1 {
+		return nil, fmt.Errorf("failsim: Trials must be ≥ 1, got %d", cfg.Trials)
+	}
+	n := ps.NumNodes()
+	if n == 0 {
+		return nil, fmt.Errorf("failsim: empty node universe")
+	}
+	if cfg.K > n {
+		return nil, fmt.Errorf("failsim: K = %d exceeds %d nodes", cfg.K, n)
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	stats := &Stats{Trials: cfg.Trials}
+	for trial := 0; trial < cfg.Trials; trial++ {
+		truth := sampleFailureSet(rng, n, cfg.K)
+		if err := runTrial(ps, truth, cfg.K, stats); err != nil {
+			return nil, fmt.Errorf("failsim: trial %d: %w", trial, err)
+		}
+	}
+	return stats, nil
+}
+
+func sampleFailureSet(rng *rand.Rand, n, k int) []int {
+	size := 1 + rng.Intn(k)
+	perm := rng.Perm(n)
+	failed := append([]int(nil), perm[:size]...)
+	return failed
+}
+
+func runTrial(ps *monitor.PathSet, truth []int, k int, stats *Stats) error {
+	truthSet := bitset.FromIndices(ps.NumNodes(), truth...)
+	obs, err := tomography.Observe(ps, truthSet)
+	if err != nil {
+		return err
+	}
+	if obs.AnyFailure() {
+		stats.Detected++
+	}
+	diag, err := tomography.Localize(obs, k)
+	if err != nil {
+		return err
+	}
+	if diag.Unique() {
+		stats.Unique++
+		if sameSet(diag.Consistent[0], truthSet) {
+			stats.UniqueCorrect++
+		}
+	}
+	amb := diag.Ambiguity()
+	stats.TotalAmbiguity += amb
+	if amb > stats.MaxAmbiguity {
+		stats.MaxAmbiguity = amb
+	}
+	for _, v := range diag.DefinitelyFailed {
+		stats.DefiniteFailedTotal++
+		if truthSet.Contains(v) {
+			stats.DefiniteFailedCorrect++
+		}
+	}
+	expl, err := tomography.GreedyExplanation(obs)
+	if err == nil && sameSet(expl, truthSet) {
+		stats.GreedyExact++
+	}
+	return nil
+}
+
+func sameSet(nodes []int, want *bitset.Set) bool {
+	if len(nodes) != want.Count() {
+		return false
+	}
+	for _, v := range nodes {
+		if !want.Contains(v) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,127 @@
+package failsim
+
+import (
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/monitor"
+)
+
+func mkPathSet(t testing.TB, n int, paths ...[]int) *monitor.PathSet {
+	t.Helper()
+	ps := monitor.NewPathSet(n)
+	for _, p := range paths {
+		if err := ps.Add(bitset.FromIndices(n, p...)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return ps
+}
+
+func TestRunValidation(t *testing.T) {
+	ps := mkPathSet(t, 3, []int{0})
+	if _, err := Run(nil, Config{K: 1, Trials: 1}); err == nil {
+		t.Fatal("nil paths should error")
+	}
+	if _, err := Run(ps, Config{K: 0, Trials: 1}); err == nil {
+		t.Fatal("K=0 should error")
+	}
+	if _, err := Run(ps, Config{K: 1, Trials: 0}); err == nil {
+		t.Fatal("Trials=0 should error")
+	}
+	if _, err := Run(ps, Config{K: 9, Trials: 1}); err == nil {
+		t.Fatal("K > n should error")
+	}
+	if _, err := Run(monitor.NewPathSet(0), Config{K: 1, Trials: 1}); err == nil {
+		t.Fatal("empty universe should error")
+	}
+}
+
+func TestFullyIdentifyingPathsAlwaysUnique(t *testing.T) {
+	// One singleton path per node: every failure is detected and uniquely
+	// localized, greedy recovers it, ambiguity is zero.
+	ps := mkPathSet(t, 4, []int{0}, []int{1}, []int{2}, []int{3})
+	stats, err := Run(ps, Config{K: 2, Trials: 200, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.DetectionRate() != 1 {
+		t.Fatalf("detection rate = %v, want 1", stats.DetectionRate())
+	}
+	if stats.UniqueRate() != 1 {
+		t.Fatalf("unique rate = %v, want 1", stats.UniqueRate())
+	}
+	if stats.Unique != stats.UniqueCorrect {
+		t.Fatal("unique diagnoses must be correct")
+	}
+	if stats.GreedyExactRate() != 1 {
+		t.Fatalf("greedy exact rate = %v, want 1", stats.GreedyExactRate())
+	}
+	if stats.MeanAmbiguity() != 0 || stats.MaxAmbiguity != 0 {
+		t.Fatal("ambiguity should be zero")
+	}
+}
+
+func TestUncoveredNodesReduceDetection(t *testing.T) {
+	// Only node 0 covered out of 4: single failures of 1..3 go undetected.
+	ps := mkPathSet(t, 4, []int{0})
+	stats, err := Run(ps, Config{K: 1, Trials: 400, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.DetectionRate() >= 0.5 {
+		t.Fatalf("detection rate = %v, expected ~0.25", stats.DetectionRate())
+	}
+	if stats.DetectionRate() == 0 {
+		t.Fatal("node 0 failures should still be detected")
+	}
+}
+
+func TestAmbiguousPathsYieldAmbiguity(t *testing.T) {
+	// Single path over two nodes: failures of 0 and 1 collide.
+	ps := mkPathSet(t, 2, []int{0, 1})
+	stats, err := Run(ps, Config{K: 1, Trials: 100, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.UniqueRate() != 0 {
+		t.Fatalf("unique rate = %v, want 0", stats.UniqueRate())
+	}
+	if stats.MeanAmbiguity() == 0 {
+		t.Fatal("expected positive ambiguity")
+	}
+}
+
+func TestDefiniteFailedPrecisionIsOne(t *testing.T) {
+	ps := mkPathSet(t, 5, []int{0, 1}, []int{1, 2}, []int{3}, []int{2, 3, 4})
+	stats, err := Run(ps, Config{K: 2, Trials: 300, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.DefiniteFailedTotal > 0 && stats.DefiniteFailedCorrect != stats.DefiniteFailedTotal {
+		t.Fatalf("definitely-failed precision %d/%d < 1: diagnosis unsound",
+			stats.DefiniteFailedCorrect, stats.DefiniteFailedTotal)
+	}
+}
+
+func TestRunDeterministicBySeed(t *testing.T) {
+	ps := mkPathSet(t, 4, []int{0, 1}, []int{2, 3})
+	a, err := Run(ps, Config{K: 2, Trials: 50, Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(ps, Config{K: 2, Trials: 50, Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *a != *b {
+		t.Fatalf("same seed should give same stats: %+v vs %+v", a, b)
+	}
+}
+
+func TestRatiosOnZeroTrialsStats(t *testing.T) {
+	var s Stats
+	if s.DetectionRate() != 0 || s.UniqueRate() != 0 || s.GreedyExactRate() != 0 || s.MeanAmbiguity() != 0 {
+		t.Fatal("zero-value stats should have zero rates")
+	}
+}

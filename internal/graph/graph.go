@@ -1,0 +1,396 @@
+// Package graph implements the undirected service-network graph G = (N, L)
+// of the paper's Section II-A, together with the traversal primitives the
+// routing and placement layers need: breadth-first search, Dijkstra,
+// connected components, and degree queries.
+//
+// Nodes are dense integer IDs in [0, NumNodes) and carry an optional label.
+// Links do not fail (the paper models link failures as logical nodes), so
+// edges are plain unweighted or weighted pairs.
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// NodeID identifies a node in a Graph. IDs are dense in [0, NumNodes).
+type NodeID = int
+
+// Edge is an undirected link between two nodes with a positive weight.
+// Weight 1 corresponds to hop-count routing, the paper's QoS distance.
+type Edge struct {
+	U, V   NodeID
+	Weight float64
+}
+
+// Graph is an undirected simple graph. The zero value is an empty graph;
+// use New or a Builder to construct one.
+type Graph struct {
+	labels []string
+	adj    [][]neighbor
+	edges  []Edge
+}
+
+type neighbor struct {
+	to     NodeID
+	weight float64
+}
+
+// Errors returned by graph construction and validation.
+var (
+	ErrNodeRange     = errors.New("graph: node id out of range")
+	ErrSelfLoop      = errors.New("graph: self loops not allowed")
+	ErrParallelEdge  = errors.New("graph: parallel edge")
+	ErrBadWeight     = errors.New("graph: edge weight must be positive")
+	ErrEmptyGraph    = errors.New("graph: graph has no nodes")
+	ErrDisconnected  = errors.New("graph: graph is not connected")
+	ErrDuplicateName = errors.New("graph: duplicate node label")
+)
+
+// New returns a graph with n isolated nodes labeled "0".."n-1".
+func New(n int) *Graph {
+	g := &Graph{
+		labels: make([]string, n),
+		adj:    make([][]neighbor, n),
+	}
+	for i := range g.labels {
+		g.labels[i] = fmt.Sprintf("%d", i)
+	}
+	return g
+}
+
+// NumNodes returns |N|.
+func (g *Graph) NumNodes() int { return len(g.adj) }
+
+// NumEdges returns |L|.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// Label returns the label of node v.
+func (g *Graph) Label(v NodeID) string {
+	g.mustHave(v)
+	return g.labels[v]
+}
+
+// SetLabel sets the label of node v.
+func (g *Graph) SetLabel(v NodeID, label string) {
+	g.mustHave(v)
+	g.labels[v] = label
+}
+
+// AddEdge inserts an undirected edge {u, v} with weight 1.
+func (g *Graph) AddEdge(u, v NodeID) error {
+	return g.AddWeightedEdge(u, v, 1)
+}
+
+// AddWeightedEdge inserts an undirected edge {u, v} with the given weight.
+// Self loops, parallel edges, and non-positive weights are rejected.
+func (g *Graph) AddWeightedEdge(u, v NodeID, weight float64) error {
+	if u < 0 || u >= len(g.adj) || v < 0 || v >= len(g.adj) {
+		return fmt.Errorf("%w: (%d, %d) with %d nodes", ErrNodeRange, u, v, len(g.adj))
+	}
+	if u == v {
+		return fmt.Errorf("%w: node %d", ErrSelfLoop, u)
+	}
+	if !(weight > 0) || math.IsInf(weight, 1) {
+		// The negated comparison also rejects NaN.
+		return fmt.Errorf("%w: %g", ErrBadWeight, weight)
+	}
+	if g.HasEdge(u, v) {
+		return fmt.Errorf("%w: (%d, %d)", ErrParallelEdge, u, v)
+	}
+	g.adj[u] = append(g.adj[u], neighbor{to: v, weight: weight})
+	g.adj[v] = append(g.adj[v], neighbor{to: u, weight: weight})
+	g.edges = append(g.edges, Edge{U: u, V: v, Weight: weight})
+	return nil
+}
+
+// HasEdge reports whether {u, v} is an edge.
+func (g *Graph) HasEdge(u, v NodeID) bool {
+	if u < 0 || u >= len(g.adj) || v < 0 || v >= len(g.adj) {
+		return false
+	}
+	// Scan the smaller adjacency list.
+	if len(g.adj[u]) > len(g.adj[v]) {
+		u, v = v, u
+	}
+	for _, nb := range g.adj[u] {
+		if nb.to == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Degree returns the number of neighbors of v.
+func (g *Graph) Degree(v NodeID) int {
+	g.mustHave(v)
+	return len(g.adj[v])
+}
+
+// Neighbors returns the neighbors of v in ascending ID order. The returned
+// slice is freshly allocated.
+func (g *Graph) Neighbors(v NodeID) []NodeID {
+	g.mustHave(v)
+	out := make([]NodeID, 0, len(g.adj[v]))
+	for _, nb := range g.adj[v] {
+		out = append(out, nb.to)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Edges returns a copy of the edge list.
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, len(g.edges))
+	copy(out, g.edges)
+	return out
+}
+
+// DanglingNodes returns the nodes with degree exactly one, in ascending
+// order. The paper uses these as candidate client locations (Section VI-A).
+func (g *Graph) DanglingNodes() []NodeID {
+	var out []NodeID
+	for v := range g.adj {
+		if len(g.adj[v]) == 1 {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// BFSDistances returns hop-count distances from src to every node. Nodes
+// unreachable from src have distance -1.
+func (g *Graph) BFSDistances(src NodeID) []int {
+	g.mustHave(src)
+	dist := make([]int, len(g.adj))
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := make([]NodeID, 0, len(g.adj))
+	queue = append(queue, src)
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, nb := range g.adj[u] {
+			if dist[nb.to] == -1 {
+				dist[nb.to] = dist[u] + 1
+				queue = append(queue, nb.to)
+			}
+		}
+	}
+	return dist
+}
+
+// ShortestPathTree holds the result of a single-source shortest path
+// computation with deterministic lexicographic tie-breaking: among
+// equal-length shortest paths, the one whose predecessor has the smallest
+// node ID is chosen. Deterministic routing makes every experiment in this
+// repository reproducible.
+type ShortestPathTree struct {
+	Source NodeID
+	Dist   []float64 // Dist[v] = distance from Source, +Inf if unreachable
+	Parent []NodeID  // Parent[v] = predecessor on the chosen path, -1 at source/unreachable
+}
+
+// Dijkstra computes a deterministic shortest path tree from src using edge
+// weights. For the all-ones weighting this matches BFS hop counts.
+func (g *Graph) Dijkstra(src NodeID) *ShortestPathTree {
+	g.mustHave(src)
+	n := len(g.adj)
+	const inf = 1e18
+	t := &ShortestPathTree{
+		Source: src,
+		Dist:   make([]float64, n),
+		Parent: make([]NodeID, n),
+	}
+	for i := range t.Dist {
+		t.Dist[i] = inf
+		t.Parent[i] = -1
+	}
+	t.Dist[src] = 0
+
+	h := &nodeHeap{}
+	h.push(heapItem{dist: 0, node: src})
+	done := make([]bool, n)
+	for h.len() > 0 {
+		it := h.pop()
+		u := it.node
+		if done[u] {
+			continue
+		}
+		done[u] = true
+		for _, nb := range g.adj[u] {
+			v := nb.to
+			nd := t.Dist[u] + nb.weight
+			switch {
+			case nd < t.Dist[v]:
+				t.Dist[v] = nd
+				t.Parent[v] = u
+				h.push(heapItem{dist: nd, node: v})
+			case nd == t.Dist[v] && t.Parent[v] > u:
+				// Lexicographic tie-break: prefer the smaller predecessor.
+				t.Parent[v] = u
+			}
+		}
+	}
+	for i := range t.Dist {
+		if t.Dist[i] >= inf {
+			t.Dist[i] = -1
+		}
+	}
+	return t
+}
+
+// PathTo reconstructs the node sequence from the tree source to dst,
+// inclusive of both endpoints. It returns nil if dst is unreachable.
+func (t *ShortestPathTree) PathTo(dst NodeID) []NodeID {
+	if dst < 0 || dst >= len(t.Dist) || t.Dist[dst] < 0 {
+		return nil
+	}
+	var rev []NodeID
+	for v := dst; v != -1; v = t.Parent[v] {
+		rev = append(rev, v)
+		if v == t.Source {
+			break
+		}
+	}
+	if rev[len(rev)-1] != t.Source {
+		return nil
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// Components returns the connected components as slices of node IDs, each
+// sorted ascending, ordered by their smallest member.
+func (g *Graph) Components() [][]NodeID {
+	n := len(g.adj)
+	seen := make([]bool, n)
+	var comps [][]NodeID
+	for s := 0; s < n; s++ {
+		if seen[s] {
+			continue
+		}
+		var comp []NodeID
+		stack := []NodeID{s}
+		seen[s] = true
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp = append(comp, u)
+			for _, nb := range g.adj[u] {
+				if !seen[nb.to] {
+					seen[nb.to] = true
+					stack = append(stack, nb.to)
+				}
+			}
+		}
+		sort.Ints(comp)
+		comps = append(comps, comp)
+	}
+	sort.Slice(comps, func(i, j int) bool { return comps[i][0] < comps[j][0] })
+	return comps
+}
+
+// Connected reports whether the graph is connected (vacuously false when
+// empty).
+func (g *Graph) Connected() bool {
+	if len(g.adj) == 0 {
+		return false
+	}
+	return len(g.Components()) == 1
+}
+
+// Validate checks structural invariants: non-empty and connected. Placement
+// instances require connectivity so every client can reach every candidate
+// host.
+func (g *Graph) Validate() error {
+	if g.NumNodes() == 0 {
+		return ErrEmptyGraph
+	}
+	if !g.Connected() {
+		return fmt.Errorf("%w: %d components", ErrDisconnected, len(g.Components()))
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := New(g.NumNodes())
+	copy(c.labels, g.labels)
+	for _, e := range g.edges {
+		// Errors are impossible: the source graph already holds the invariants.
+		if err := c.AddWeightedEdge(e.U, e.V, e.Weight); err != nil {
+			panic(fmt.Sprintf("graph: clone: %v", err))
+		}
+	}
+	return c
+}
+
+func (g *Graph) mustHave(v NodeID) {
+	if v < 0 || v >= len(g.adj) {
+		panic(fmt.Sprintf("graph: node %d out of range [0, %d)", v, len(g.adj)))
+	}
+}
+
+// heapItem and nodeHeap implement a minimal binary min-heap keyed on
+// (dist, node) so that Dijkstra pops nodes deterministically.
+type heapItem struct {
+	dist float64
+	node NodeID
+}
+
+type nodeHeap struct {
+	items []heapItem
+}
+
+func (h *nodeHeap) len() int { return len(h.items) }
+
+func (h *nodeHeap) less(i, j int) bool {
+	if h.items[i].dist != h.items[j].dist {
+		return h.items[i].dist < h.items[j].dist
+	}
+	return h.items[i].node < h.items[j].node
+}
+
+func (h *nodeHeap) push(it heapItem) {
+	h.items = append(h.items, it)
+	i := len(h.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.items[i], h.items[parent] = h.items[parent], h.items[i]
+		i = parent
+	}
+}
+
+func (h *nodeHeap) pop() heapItem {
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(h.items) && h.less(l, smallest) {
+			smallest = l
+		}
+		if r < len(h.items) && h.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h.items[i], h.items[smallest] = h.items[smallest], h.items[i]
+		i = smallest
+	}
+	return top
+}

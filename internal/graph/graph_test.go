@@ -1,0 +1,297 @@
+package graph
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// pathGraph returns 0-1-2-...-(n-1).
+func pathGraph(t *testing.T, n int) *Graph {
+	t.Helper()
+	g := New(n)
+	for i := 0; i+1 < n; i++ {
+		if err := g.AddEdge(i, i+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func TestNewGraph(t *testing.T) {
+	g := New(3)
+	if g.NumNodes() != 3 || g.NumEdges() != 0 {
+		t.Fatalf("got %d nodes %d edges", g.NumNodes(), g.NumEdges())
+	}
+	if g.Label(0) != "0" || g.Label(2) != "2" {
+		t.Fatal("default labels should be decimal IDs")
+	}
+}
+
+func TestAddEdgeErrors(t *testing.T) {
+	g := New(3)
+	if err := g.AddEdge(0, 0); !errors.Is(err, ErrSelfLoop) {
+		t.Fatalf("self loop: %v", err)
+	}
+	if err := g.AddEdge(0, 3); !errors.Is(err, ErrNodeRange) {
+		t.Fatalf("range: %v", err)
+	}
+	if err := g.AddEdge(-1, 1); !errors.Is(err, ErrNodeRange) {
+		t.Fatalf("range: %v", err)
+	}
+	if err := g.AddWeightedEdge(0, 1, 0); !errors.Is(err, ErrBadWeight) {
+		t.Fatalf("weight: %v", err)
+	}
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(1, 0); !errors.Is(err, ErrParallelEdge) {
+		t.Fatalf("parallel: %v", err)
+	}
+}
+
+func TestHasEdgeAndDegree(t *testing.T) {
+	g := pathGraph(t, 4)
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Fatal("edge should be symmetric")
+	}
+	if g.HasEdge(0, 2) {
+		t.Fatal("no such edge")
+	}
+	if g.HasEdge(0, 99) || g.HasEdge(-1, 0) {
+		t.Fatal("out of range HasEdge must be false")
+	}
+	if g.Degree(0) != 1 || g.Degree(1) != 2 {
+		t.Fatal("degrees wrong")
+	}
+}
+
+func TestNeighborsSorted(t *testing.T) {
+	g := New(5)
+	for _, v := range []int{4, 2, 3} {
+		if err := g.AddEdge(0, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := g.Neighbors(0); !reflect.DeepEqual(got, []int{2, 3, 4}) {
+		t.Fatalf("Neighbors = %v", got)
+	}
+}
+
+func TestDanglingNodes(t *testing.T) {
+	// Star: center 0, leaves 1..4 → 4 dangling.
+	g := New(5)
+	for v := 1; v < 5; v++ {
+		if err := g.AddEdge(0, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := g.DanglingNodes(); !reflect.DeepEqual(got, []int{1, 2, 3, 4}) {
+		t.Fatalf("DanglingNodes = %v", got)
+	}
+}
+
+func TestBFSDistances(t *testing.T) {
+	g := pathGraph(t, 5)
+	got := g.BFSDistances(0)
+	if !reflect.DeepEqual(got, []int{0, 1, 2, 3, 4}) {
+		t.Fatalf("dist = %v", got)
+	}
+}
+
+func TestBFSUnreachable(t *testing.T) {
+	g := New(3)
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	got := g.BFSDistances(0)
+	if got[2] != -1 {
+		t.Fatalf("unreachable should be -1, got %d", got[2])
+	}
+}
+
+func TestDijkstraMatchesBFSOnUnitWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		n := 5 + rng.Intn(30)
+		g := New(n)
+		// Random connected graph: spanning chain + extra edges.
+		for i := 1; i < n; i++ {
+			if err := g.AddEdge(rng.Intn(i), i); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for tries := 0; tries < n; tries++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v && !g.HasEdge(u, v) {
+				if err := g.AddEdge(u, v); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		src := rng.Intn(n)
+		bfs := g.BFSDistances(src)
+		sp := g.Dijkstra(src)
+		for v := 0; v < n; v++ {
+			if int(sp.Dist[v]) != bfs[v] {
+				t.Fatalf("trial %d: node %d: dijkstra %v != bfs %v", trial, v, sp.Dist[v], bfs[v])
+			}
+		}
+	}
+}
+
+func TestDijkstraWeighted(t *testing.T) {
+	// 0-1 (w5), 0-2 (w1), 2-1 (w1): shortest 0→1 is via 2 with cost 2.
+	g := New(3)
+	if err := g.AddWeightedEdge(0, 1, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddWeightedEdge(0, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddWeightedEdge(2, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	sp := g.Dijkstra(0)
+	if sp.Dist[1] != 2 {
+		t.Fatalf("Dist[1] = %v, want 2", sp.Dist[1])
+	}
+	if got := sp.PathTo(1); !reflect.DeepEqual(got, []int{0, 2, 1}) {
+		t.Fatalf("PathTo(1) = %v", got)
+	}
+}
+
+func TestDijkstraDeterministicTieBreak(t *testing.T) {
+	// Diamond: 0-1, 0-2, 1-3, 2-3. Two shortest paths 0→3; the tie-break
+	// must always choose predecessor 1 (the smaller ID).
+	g := New(4)
+	for _, e := range [][2]int{{0, 1}, {0, 2}, {1, 3}, {2, 3}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for trial := 0; trial < 10; trial++ {
+		sp := g.Dijkstra(0)
+		if got := sp.PathTo(3); !reflect.DeepEqual(got, []int{0, 1, 3}) {
+			t.Fatalf("PathTo(3) = %v, want [0 1 3]", got)
+		}
+	}
+}
+
+func TestPathToSelfAndUnreachable(t *testing.T) {
+	g := New(3)
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	sp := g.Dijkstra(0)
+	if got := sp.PathTo(0); !reflect.DeepEqual(got, []int{0}) {
+		t.Fatalf("PathTo(self) = %v", got)
+	}
+	if got := sp.PathTo(2); got != nil {
+		t.Fatalf("PathTo(unreachable) = %v, want nil", got)
+	}
+	if got := sp.PathTo(99); got != nil {
+		t.Fatalf("PathTo(out of range) = %v, want nil", got)
+	}
+}
+
+func TestComponents(t *testing.T) {
+	g := New(5)
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(3, 4); err != nil {
+		t.Fatal(err)
+	}
+	comps := g.Components()
+	want := [][]int{{0, 1}, {2}, {3, 4}}
+	if !reflect.DeepEqual(comps, want) {
+		t.Fatalf("Components = %v, want %v", comps, want)
+	}
+	if g.Connected() {
+		t.Fatal("graph should not be connected")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := New(0).Validate(); !errors.Is(err, ErrEmptyGraph) {
+		t.Fatalf("empty: %v", err)
+	}
+	if err := New(2).Validate(); !errors.Is(err, ErrDisconnected) {
+		t.Fatalf("disconnected: %v", err)
+	}
+	g := pathGraph(t, 3)
+	if err := g.Validate(); err != nil {
+		t.Fatalf("connected path: %v", err)
+	}
+}
+
+func TestConnectedEmptyGraph(t *testing.T) {
+	if New(0).Connected() {
+		t.Fatal("empty graph is not connected")
+	}
+	if !New(1).Connected() {
+		t.Fatal("single node is connected")
+	}
+}
+
+func TestClone(t *testing.T) {
+	g := pathGraph(t, 4)
+	g.SetLabel(2, "middle")
+	c := g.Clone()
+	if c.NumNodes() != 4 || c.NumEdges() != 3 {
+		t.Fatal("clone shape wrong")
+	}
+	if c.Label(2) != "middle" {
+		t.Fatal("clone should copy labels")
+	}
+	if err := c.AddEdge(0, 3); err != nil {
+		t.Fatal(err)
+	}
+	if g.HasEdge(0, 3) {
+		t.Fatal("clone must not alias")
+	}
+}
+
+func TestEdgesCopy(t *testing.T) {
+	g := pathGraph(t, 3)
+	es := g.Edges()
+	es[0].U = 99
+	if g.Edges()[0].U == 99 {
+		t.Fatal("Edges must return a copy")
+	}
+}
+
+func TestDegreePanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(2).Degree(5)
+}
+
+func TestAddEdgeRejectsNaNAndInf(t *testing.T) {
+	g := New(3)
+	if err := g.AddWeightedEdge(0, 1, math.NaN()); !errors.Is(err, ErrBadWeight) {
+		t.Fatalf("NaN weight: %v", err)
+	}
+	if err := g.AddWeightedEdge(0, 1, math.Inf(1)); !errors.Is(err, ErrBadWeight) {
+		t.Fatalf("+Inf weight: %v", err)
+	}
+	if err := g.AddWeightedEdge(0, 1, math.Inf(-1)); !errors.Is(err, ErrBadWeight) {
+		t.Fatalf("-Inf weight: %v", err)
+	}
+}
+
+func TestParseRejectsHugeNodeID(t *testing.T) {
+	if _, err := Parse(strings.NewReader("edge 0 99999999\n")); err == nil {
+		t.Fatal("huge node id should be rejected")
+	}
+	if _, err := Parse(strings.NewReader("node 99999999 far\n")); err == nil {
+		t.Fatal("huge node record should be rejected")
+	}
+}

@@ -1,0 +1,125 @@
+package matroid
+
+import (
+	"container/heap"
+	"math"
+)
+
+// Greedy maximizes a monotone set function over an independence system by
+// repeatedly adding the feasible element with the largest objective value,
+// for at most maxSteps additions (use GroundSize() or the matroid rank for
+// "until saturation"). Ties break toward the smaller element index so
+// results are deterministic.
+//
+// When f is monotone submodular and the system is a matroid, the result is
+// a 1/2-approximation (Theorem 11); over a p-independence system it is a
+// 1/(p+1)-approximation (Theorem 21). The returned selection lists
+// elements in the order they were added.
+func Greedy(sys IndependenceSystem, f SetFunction, maxSteps int) []int {
+	var selected []int
+	in := make([]bool, sys.GroundSize())
+	trial := make([]int, 0, maxSteps+1)
+	for step := 0; step < maxSteps; step++ {
+		best, bestVal := -1, math.Inf(-1)
+		for e := 0; e < sys.GroundSize(); e++ {
+			if in[e] || !sys.CanAdd(selected, e) {
+				continue
+			}
+			trial = append(trial[:0], selected...)
+			trial = append(trial, e)
+			if v := f.Value(trial); v > bestVal {
+				best, bestVal = e, v
+			}
+		}
+		if best < 0 {
+			break
+		}
+		selected = append(selected, best)
+		in[best] = true
+	}
+	return selected
+}
+
+// LazyGreedy is Greedy with lazy evaluation ("accelerated greedy"): stale
+// marginal gains are kept in a max-heap and only re-evaluated when an
+// element reaches the top, exploiting the diminishing-returns property.
+// For submodular f it returns a selection with the same guarantee as
+// Greedy (and usually the identical one); for non-submodular f the result
+// may differ from Greedy and carries no guarantee.
+func LazyGreedy(sys IndependenceSystem, f SetFunction, maxSteps int) []int {
+	n := sys.GroundSize()
+	var selected []int
+	in := make([]bool, n)
+	base := f.Value(nil)
+	trial := make([]int, 0, maxSteps+1)
+
+	gain := func(e int) float64 {
+		trial = append(trial[:0], selected...)
+		trial = append(trial, e)
+		return f.Value(trial) - base
+	}
+
+	h := &gainHeap{}
+	for e := 0; e < n; e++ {
+		if sys.CanAdd(selected, e) {
+			heap.Push(h, gainEntry{element: e, gain: gain(e), round: 0})
+		}
+	}
+
+	for step := 0; step < maxSteps && h.Len() > 0; step++ {
+		chosen, found := -1, false
+		for h.Len() > 0 {
+			top := heap.Pop(h).(gainEntry)
+			if in[top.element] || !sys.CanAdd(selected, top.element) {
+				// Infeasibility is monotone in both of this package's
+				// systems (selections are never removed), so the element
+				// can be dropped for good.
+				continue
+			}
+			if top.round == step {
+				chosen, found = top.element, true
+				break
+			}
+			top.gain = gain(top.element)
+			top.round = step
+			heap.Push(h, top)
+		}
+		if !found {
+			break // heap drained without a feasible element
+		}
+		selected = append(selected, chosen)
+		in[chosen] = true
+		base = f.Value(selected)
+	}
+	return selected
+}
+
+type gainEntry struct {
+	element int
+	gain    float64
+	round   int
+}
+
+type gainHeap struct {
+	entries []gainEntry
+}
+
+func (h *gainHeap) Len() int { return len(h.entries) }
+
+func (h *gainHeap) Less(i, j int) bool {
+	if h.entries[i].gain != h.entries[j].gain {
+		return h.entries[i].gain > h.entries[j].gain
+	}
+	return h.entries[i].element < h.entries[j].element
+}
+
+func (h *gainHeap) Swap(i, j int) { h.entries[i], h.entries[j] = h.entries[j], h.entries[i] }
+
+func (h *gainHeap) Push(x any) { h.entries = append(h.entries, x.(gainEntry)) }
+
+func (h *gainHeap) Pop() any {
+	last := len(h.entries) - 1
+	e := h.entries[last]
+	h.entries = h.entries[:last]
+	return e
+}

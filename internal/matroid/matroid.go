@@ -1,0 +1,175 @@
+// Package matroid provides the combinatorial-optimization scaffolding of
+// the paper's Section V: independence systems over an integer ground set,
+// the partition matroid induced by per-service host choices (Section
+// V-A1), the p-independence system induced by capacity constraints
+// (Definition 20, Section VII-A), and greedy maximization of monotone set
+// functions with the guarantees of Theorems 11 and 21.
+//
+// Elements of the ground set are identified by indices 0..GroundSize()-1;
+// callers map them to (service, host) pairs.
+package matroid
+
+import (
+	"fmt"
+)
+
+// IndependenceSystem describes a downward-closed feasibility structure
+// over a finite ground set.
+type IndependenceSystem interface {
+	// GroundSize returns the number of elements in the ground set.
+	GroundSize() int
+	// CanAdd reports whether selected ∪ {e} remains independent, given
+	// that selected is independent and does not contain e.
+	CanAdd(selected []int, e int) bool
+}
+
+// SetFunction evaluates an objective over subsets of the ground set.
+// Implementations must be deterministic; Value is called with unsorted
+// element lists.
+type SetFunction interface {
+	Value(selected []int) float64
+}
+
+// SetFunctionFunc adapts a plain function to SetFunction.
+type SetFunctionFunc func(selected []int) float64
+
+// Value implements SetFunction.
+func (f SetFunctionFunc) Value(selected []int) float64 { return f(selected) }
+
+// PartitionMatroid is the constraint of problem (1)-(2): the ground set is
+// partitioned into blocks (one block per service, one element per
+// candidate host), and an independent set contains at most Capacity[b]
+// elements of block b (capacity 1 for plain service placement).
+type PartitionMatroid struct {
+	block    []int
+	capacity []int
+}
+
+var _ IndependenceSystem = (*PartitionMatroid)(nil)
+
+// NewPartitionMatroid builds a partition matroid. block[e] gives the block
+// of element e; capacity[b] bounds how many elements of block b an
+// independent set may hold. It returns an error on out-of-range block IDs
+// or non-positive capacities.
+func NewPartitionMatroid(block []int, capacity []int) (*PartitionMatroid, error) {
+	for e, b := range block {
+		if b < 0 || b >= len(capacity) {
+			return nil, fmt.Errorf("matroid: element %d has out-of-range block %d", e, b)
+		}
+	}
+	for b, c := range capacity {
+		if c <= 0 {
+			return nil, fmt.Errorf("matroid: block %d has non-positive capacity %d", b, c)
+		}
+	}
+	return &PartitionMatroid{
+		block:    append([]int(nil), block...),
+		capacity: append([]int(nil), capacity...),
+	}, nil
+}
+
+// GroundSize implements IndependenceSystem.
+func (m *PartitionMatroid) GroundSize() int { return len(m.block) }
+
+// CanAdd implements IndependenceSystem.
+func (m *PartitionMatroid) CanAdd(selected []int, e int) bool {
+	b := m.block[e]
+	used := 0
+	for _, s := range selected {
+		if m.block[s] == b {
+			used++
+		}
+	}
+	return used < m.capacity[b]
+}
+
+// CapacitySystem is the p-independence system of Section VII-A: the
+// partition constraint (at most one host per service) plus node capacity
+// constraints (5): Σ_{s hosted on h} r_s ≤ R_h.
+type CapacitySystem struct {
+	service  []int     // element → service
+	host     []int     // element → host
+	demand   []float64 // per-service resource consumption r_s
+	capacity []float64 // per-host resource R_h
+}
+
+var _ IndependenceSystem = (*CapacitySystem)(nil)
+
+// NewCapacitySystem builds the constraint structure. service[e] and
+// host[e] map ground elements to (service, host) pairs; demand and
+// capacity give r_s and R_h.
+func NewCapacitySystem(service, host []int, demand, capacity []float64) (*CapacitySystem, error) {
+	if len(service) != len(host) {
+		return nil, fmt.Errorf("matroid: service/host length mismatch %d != %d", len(service), len(host))
+	}
+	for e, s := range service {
+		if s < 0 || s >= len(demand) {
+			return nil, fmt.Errorf("matroid: element %d has out-of-range service %d", e, s)
+		}
+		if host[e] < 0 || host[e] >= len(capacity) {
+			return nil, fmt.Errorf("matroid: element %d has out-of-range host %d", e, host[e])
+		}
+	}
+	for s, r := range demand {
+		if r < 0 {
+			return nil, fmt.Errorf("matroid: service %d has negative demand %g", s, r)
+		}
+	}
+	for h, r := range capacity {
+		if r < 0 {
+			return nil, fmt.Errorf("matroid: host %d has negative capacity %g", h, r)
+		}
+	}
+	return &CapacitySystem{
+		service:  append([]int(nil), service...),
+		host:     append([]int(nil), host...),
+		demand:   append([]float64(nil), demand...),
+		capacity: append([]float64(nil), capacity...),
+	}, nil
+}
+
+// GroundSize implements IndependenceSystem.
+func (c *CapacitySystem) GroundSize() int { return len(c.service) }
+
+// CanAdd implements IndependenceSystem.
+func (c *CapacitySystem) CanAdd(selected []int, e int) bool {
+	s, h := c.service[e], c.host[e]
+	load := c.demand[s]
+	for _, sel := range selected {
+		if c.service[sel] == s {
+			return false // one host per service
+		}
+		if c.host[sel] == h {
+			load += c.demand[c.service[sel]]
+		}
+	}
+	return load <= c.capacity[h]+1e-12
+}
+
+// P returns the independence parameter p = ceil(r_max/r_min) + 1 of
+// Section VII-A, governing the greedy guarantee 1/(p+1) of Theorem 21.
+// With no services or zero minimum demand it returns 2 (the uncapacitated
+// partition-matroid case behaves like p = 1; an extra slot covers the
+// service's own displacement).
+func (c *CapacitySystem) P() int {
+	if len(c.demand) == 0 {
+		return 2
+	}
+	rMin, rMax := c.demand[0], c.demand[0]
+	for _, r := range c.demand[1:] {
+		if r < rMin {
+			rMin = r
+		}
+		if r > rMax {
+			rMax = r
+		}
+	}
+	if rMin <= 0 {
+		return 2
+	}
+	p := int(rMax/rMin) + 1
+	if float64(int(rMax/rMin))*rMin < rMax {
+		p++ // ceiling correction
+	}
+	return p
+}

@@ -1,0 +1,281 @@
+package matroid
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestPartitionMatroidBasics(t *testing.T) {
+	// Two blocks: elements {0,1} in block 0, {2,3} in block 1, capacity 1.
+	m, err := NewPartitionMatroid([]int{0, 0, 1, 1}, []int{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.GroundSize() != 4 {
+		t.Fatalf("GroundSize = %d", m.GroundSize())
+	}
+	if !m.CanAdd(nil, 0) {
+		t.Fatal("empty set should accept any element")
+	}
+	if m.CanAdd([]int{0}, 1) {
+		t.Fatal("block capacity 1 should reject second element of block 0")
+	}
+	if !m.CanAdd([]int{0}, 2) {
+		t.Fatal("different block should be acceptable")
+	}
+}
+
+func TestPartitionMatroidCapacities(t *testing.T) {
+	m, err := NewPartitionMatroid([]int{0, 0, 0}, []int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.CanAdd([]int{0}, 1) {
+		t.Fatal("capacity 2 should admit a second element")
+	}
+	if m.CanAdd([]int{0, 1}, 2) {
+		t.Fatal("capacity 2 should reject a third element")
+	}
+}
+
+func TestPartitionMatroidErrors(t *testing.T) {
+	if _, err := NewPartitionMatroid([]int{0, 5}, []int{1}); err == nil {
+		t.Fatal("out-of-range block should error")
+	}
+	if _, err := NewPartitionMatroid([]int{0}, []int{0}); err == nil {
+		t.Fatal("zero capacity should error")
+	}
+}
+
+func TestPartitionMatroidExchangeAxiom(t *testing.T) {
+	m, err := NewPartitionMatroid([]int{0, 0, 1, 1, 2, 2, 2}, []int{1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := CheckExchange(m, 500, 1); v != nil {
+		t.Fatal(v)
+	}
+}
+
+func TestCapacitySystemBasics(t *testing.T) {
+	// Two services (demand 1 and 2), one host with capacity 2, elements:
+	// e0 = (s0, h0), e1 = (s1, h0).
+	c, err := NewCapacitySystem([]int{0, 1}, []int{0, 0}, []float64{1, 2}, []float64{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.CanAdd(nil, 0) || !c.CanAdd(nil, 1) {
+		t.Fatal("either service alone should fit")
+	}
+	if c.CanAdd([]int{0}, 1) {
+		t.Fatal("1 + 2 > 2 should be rejected")
+	}
+	// One host per service: same service twice is rejected even with room.
+	c2, err := NewCapacitySystem([]int{0, 0}, []int{0, 1}, []float64{1}, []float64{5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.CanAdd([]int{0}, 1) {
+		t.Fatal("same service on second host should be rejected")
+	}
+}
+
+func TestCapacitySystemErrors(t *testing.T) {
+	if _, err := NewCapacitySystem([]int{0}, []int{0, 1}, []float64{1}, []float64{1, 1}); err == nil {
+		t.Fatal("length mismatch should error")
+	}
+	if _, err := NewCapacitySystem([]int{2}, []int{0}, []float64{1}, []float64{1}); err == nil {
+		t.Fatal("bad service index should error")
+	}
+	if _, err := NewCapacitySystem([]int{0}, []int{3}, []float64{1}, []float64{1}); err == nil {
+		t.Fatal("bad host index should error")
+	}
+	if _, err := NewCapacitySystem([]int{0}, []int{0}, []float64{-1}, []float64{1}); err == nil {
+		t.Fatal("negative demand should error")
+	}
+	if _, err := NewCapacitySystem([]int{0}, []int{0}, []float64{1}, []float64{-1}); err == nil {
+		t.Fatal("negative capacity should error")
+	}
+}
+
+func TestCapacitySystemP(t *testing.T) {
+	cases := []struct {
+		demand []float64
+		want   int
+	}{
+		{[]float64{1, 1, 1}, 2}, // identical demands: ceil(1)+1 = 2, ratio 1/3
+		{[]float64{1, 2}, 3},    // ceil(2)+1
+		{[]float64{2, 3}, 3},    // ceil(1.5)+1 = 2+1
+		{[]float64{}, 2},        // degenerate
+		{[]float64{0, 1}, 2},    // zero min: degenerate fallback
+	}
+	for _, c := range cases {
+		hosts := []float64{100}
+		service := make([]int, len(c.demand))
+		hostIdx := make([]int, len(c.demand))
+		for i := range service {
+			service[i] = i
+		}
+		sys, err := NewCapacitySystem(service, hostIdx, c.demand, hosts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := sys.P(); got != c.want {
+			t.Errorf("P(%v) = %d, want %d", c.demand, got, c.want)
+		}
+	}
+}
+
+// modularCount is f(S) = |S|, trivially monotone submodular.
+type modularCount struct{}
+
+func (modularCount) Value(s []int) float64 { return float64(len(s)) }
+
+func TestGreedyPicksAllFeasible(t *testing.T) {
+	m, err := NewPartitionMatroid([]int{0, 0, 1}, []int{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := Greedy(m, modularCount{}, 10)
+	if len(sel) != 2 {
+		t.Fatalf("selected %v, want one element per block", sel)
+	}
+}
+
+func TestGreedyDeterministicTieBreak(t *testing.T) {
+	m, err := NewPartitionMatroid([]int{0, 0, 0}, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := Greedy(m, modularCount{}, 1)
+	if !reflect.DeepEqual(sel, []int{0}) {
+		t.Fatalf("sel = %v, want [0] (smallest index wins ties)", sel)
+	}
+}
+
+func TestGreedyRespectsMaxSteps(t *testing.T) {
+	m, err := NewPartitionMatroid([]int{0, 1, 2}, []int{1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := Greedy(m, modularCount{}, 2)
+	if len(sel) != 2 {
+		t.Fatalf("selected %d elements, want 2", len(sel))
+	}
+}
+
+// coverObjective is a weighted-coverage function over predefined sets.
+type coverObjective struct {
+	sets [][]int
+	n    int
+}
+
+func (c coverObjective) Value(sel []int) float64 {
+	covered := map[int]bool{}
+	for _, e := range sel {
+		for _, x := range c.sets[e] {
+			covered[x] = true
+		}
+	}
+	return float64(len(covered))
+}
+
+func TestGreedyHalfApproximation(t *testing.T) {
+	// Exhaustively compare greedy against brute force on small partition
+	// matroid coverage instances: greedy ≥ optimal/2 (Theorem 11).
+	obj := coverObjective{
+		sets: [][]int{{0, 1}, {2}, {1, 2, 3}, {4}, {0, 4}},
+		n:    5,
+	}
+	block := []int{0, 0, 1, 1, 1}
+	m, err := NewPartitionMatroid(block, []int{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	greedyVal := obj.Value(Greedy(m, obj, 2))
+
+	best := 0.0
+	for e1 := 0; e1 < 2; e1++ {
+		for e2 := 2; e2 < 5; e2++ {
+			if v := obj.Value([]int{e1, e2}); v > best {
+				best = v
+			}
+		}
+	}
+	if greedyVal < best/2 {
+		t.Fatalf("greedy %v < opt/2 = %v", greedyVal, best/2)
+	}
+}
+
+func TestLazyGreedyMatchesGreedyOnSubmodular(t *testing.T) {
+	obj := coverObjective{
+		sets: [][]int{{0, 1, 2}, {2, 3}, {3, 4, 5}, {0}, {5, 6}, {1, 6}},
+		n:    7,
+	}
+	block := []int{0, 0, 1, 1, 2, 2}
+	m, err := NewPartitionMatroid(block, []int{1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := Greedy(m, obj, 3)
+	l := LazyGreedy(m, obj, 3)
+	if obj.Value(g) != obj.Value(l) {
+		t.Fatalf("lazy value %v != plain value %v (g=%v l=%v)", obj.Value(l), obj.Value(g), g, l)
+	}
+}
+
+func TestLazyGreedyEmptyGround(t *testing.T) {
+	m, err := NewPartitionMatroid(nil, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel := LazyGreedy(m, modularCount{}, 3); len(sel) != 0 {
+		t.Fatalf("sel = %v, want empty", sel)
+	}
+}
+
+func TestCheckMonotoneAndSubmodular(t *testing.T) {
+	obj := coverObjective{sets: [][]int{{0}, {0, 1}, {2}}, n: 3}
+	if v := CheckMonotone(obj, 3, 300, 7); v != nil {
+		t.Fatal(v)
+	}
+	if v := CheckSubmodular(obj, 3, 300, 7); v != nil {
+		t.Fatal(v)
+	}
+}
+
+// antitone is decreasing, violating monotonicity.
+type antitone struct{}
+
+func (antitone) Value(s []int) float64 { return -float64(len(s)) }
+
+func TestCheckMonotoneFindsViolation(t *testing.T) {
+	v := CheckMonotone(antitone{}, 4, 500, 3)
+	if v == nil {
+		t.Fatal("expected a monotonicity violation")
+	}
+	if v.Property != "monotonicity" {
+		t.Fatalf("property = %q", v.Property)
+	}
+	if v.Error() == "" {
+		t.Fatal("violation should render an error string")
+	}
+}
+
+// supermodular has increasing returns: f(S) = |S|².
+type supermodular struct{}
+
+func (supermodular) Value(s []int) float64 { return float64(len(s) * len(s)) }
+
+func TestCheckSubmodularFindsViolation(t *testing.T) {
+	if v := CheckSubmodular(supermodular{}, 5, 500, 11); v == nil {
+		t.Fatal("expected a submodularity violation")
+	}
+}
+
+func TestSetFunctionFunc(t *testing.T) {
+	f := SetFunctionFunc(func(s []int) float64 { return float64(len(s)) })
+	if f.Value([]int{1, 2}) != 2 {
+		t.Fatal("adapter broken")
+	}
+}

@@ -1,0 +1,150 @@
+package matroid
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// This file provides empirical checkers for the structural properties the
+// paper's guarantees depend on (Definitions 9 and 10). They are used by
+// tests to confirm Lemmas 13 and 17 (coverage and distinguishability are
+// monotone submodular) on concrete instances and to exhibit the
+// Proposition 15/16 violations for identifiability. Checks are randomized
+// but deterministic given the seed.
+
+// Violation describes a counterexample found by a property checker.
+type Violation struct {
+	Property string
+	A, B     []int // witness subsets (A ⊆ B)
+	E        int   // witness element
+	Detail   string
+}
+
+// Error implements error.
+func (v *Violation) Error() string {
+	return fmt.Sprintf("matroid: %s violated: A=%v B=%v e=%d: %s", v.Property, v.A, v.B, v.E, v.Detail)
+}
+
+// CheckMonotone samples random chains A ⊆ B and verifies f(A) ≤ f(B). It
+// returns nil if no violation is found in trials attempts.
+func CheckMonotone(f SetFunction, groundSize, trials int, seed int64) *Violation {
+	rng := rand.New(rand.NewSource(seed))
+	for t := 0; t < trials; t++ {
+		b := randomSubset(rng, groundSize)
+		a := subSubset(rng, b)
+		if f.Value(a) > f.Value(b)+1e-9 {
+			return &Violation{
+				Property: "monotonicity",
+				A:        a, B: b,
+				Detail: fmt.Sprintf("f(A)=%g > f(B)=%g", f.Value(a), f.Value(b)),
+			}
+		}
+	}
+	return nil
+}
+
+// CheckSubmodular samples random chains A ⊆ B and elements e ∉ B and
+// verifies the diminishing-returns inequality
+// f(A ∪ {e}) − f(A) ≥ f(B ∪ {e}) − f(B).
+func CheckSubmodular(f SetFunction, groundSize, trials int, seed int64) *Violation {
+	rng := rand.New(rand.NewSource(seed))
+	for t := 0; t < trials; t++ {
+		b := randomSubset(rng, groundSize)
+		if len(b) == groundSize {
+			continue
+		}
+		a := subSubset(rng, b)
+		e := randomOutside(rng, b, groundSize)
+		gainA := f.Value(append(append([]int(nil), a...), e)) - f.Value(a)
+		gainB := f.Value(append(append([]int(nil), b...), e)) - f.Value(b)
+		if gainA < gainB-1e-9 {
+			return &Violation{
+				Property: "submodularity",
+				A:        a, B: b, E: e,
+				Detail: fmt.Sprintf("gain at A = %g < gain at B = %g", gainA, gainB),
+			}
+		}
+	}
+	return nil
+}
+
+// CheckExchange verifies the matroid exchange axiom on random independent
+// pairs: for independent A, B with |B| > |A| there is x ∈ B \ A with
+// A ∪ {x} independent. It enumerates independent sets by random growth, so
+// it is a sampling check, not a proof.
+func CheckExchange(sys IndependenceSystem, trials int, seed int64) *Violation {
+	rng := rand.New(rand.NewSource(seed))
+	for t := 0; t < trials; t++ {
+		a := randomIndependent(rng, sys)
+		b := randomIndependent(rng, sys)
+		if len(b) <= len(a) {
+			a, b = b, a
+		}
+		if len(b) <= len(a) {
+			continue
+		}
+		inA := map[int]bool{}
+		for _, x := range a {
+			inA[x] = true
+		}
+		ok := false
+		for _, x := range b {
+			if !inA[x] && sys.CanAdd(a, x) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return &Violation{
+				Property: "exchange",
+				A:        a, B: b,
+				Detail: "no element of B \\ A extends A",
+			}
+		}
+	}
+	return nil
+}
+
+func randomSubset(rng *rand.Rand, groundSize int) []int {
+	var out []int
+	for e := 0; e < groundSize; e++ {
+		if rng.Intn(2) == 0 {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func subSubset(rng *rand.Rand, b []int) []int {
+	var out []int
+	for _, e := range b {
+		if rng.Intn(2) == 0 {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func randomOutside(rng *rand.Rand, b []int, groundSize int) int {
+	in := map[int]bool{}
+	for _, e := range b {
+		in[e] = true
+	}
+	for {
+		e := rng.Intn(groundSize)
+		if !in[e] {
+			return e
+		}
+	}
+}
+
+func randomIndependent(rng *rand.Rand, sys IndependenceSystem) []int {
+	var sel []int
+	perm := rng.Perm(sys.GroundSize())
+	for _, e := range perm {
+		if rng.Intn(2) == 0 && sys.CanAdd(sel, e) {
+			sel = append(sel, e)
+		}
+	}
+	return sel
+}

@@ -1,0 +1,121 @@
+package monitor
+
+import (
+	"repro/internal/combinat"
+)
+
+// EquivalenceGraph is the graph Q of the paper's Section III-B1 and
+// Algorithm 1: an undirected graph on N ∪ {v0} (v0 a virtual node standing
+// for "no failure") with an edge between v and w iff the single-node
+// failure sets {v} and {w} are indistinguishable (P_v = P_w), and an edge
+// (v, v0) iff v is traversed by no path.
+//
+// This type is the *literal* Algorithm 1 implementation: an adjacency
+// matrix from which edges are removed as paths arrive. It is quadratic in
+// |N| and serves as the reference implementation; Partition provides the
+// equivalent refinement structure used in the greedy inner loop (ablation
+// A1 in DESIGN.md benchmarks the two against each other).
+type EquivalenceGraph struct {
+	n   int      // number of real nodes; v0 has index n
+	adj [][]bool // (n+1) × (n+1) symmetric, no self loops
+}
+
+// NewEquivalenceGraph runs Algorithm 1: it starts from the complete graph
+// on {v0} ∪ N (line 1) and removes, for each path p and node v ∈ p, the
+// edge (v, v0) (line 4) and every edge (v, w) for w ∉ p (line 6).
+func NewEquivalenceGraph(ps *PathSet) *EquivalenceGraph {
+	n := ps.NumNodes()
+	q := &EquivalenceGraph{n: n, adj: make([][]bool, n+1)}
+	for i := range q.adj {
+		q.adj[i] = make([]bool, n+1)
+		for j := range q.adj[i] {
+			q.adj[i][j] = i != j
+		}
+	}
+	for i := 0; i < ps.Len(); i++ {
+		q.AddPath(ps, i)
+	}
+	return q
+}
+
+// AddPath applies lines 3–6 of Algorithm 1 for path index i of ps,
+// removing every edge the path distinguishes. Q can thus be maintained
+// incrementally as placements add measurement paths (Section V-D1).
+func (q *EquivalenceGraph) AddPath(ps *PathSet, i int) {
+	p := ps.Path(i)
+	p.ForEach(func(v int) bool {
+		// Line 4: v is covered, hence distinguishable from "no failure".
+		q.removeEdge(v, q.n)
+		// Line 6: v is distinguishable from every node not on p.
+		for w := 0; w < q.n; w++ {
+			if w != v && !p.Contains(w) {
+				q.removeEdge(v, w)
+			}
+		}
+		return true
+	})
+}
+
+// NumRealNodes returns |N| (excluding v0).
+func (q *EquivalenceGraph) NumRealNodes() int { return q.n }
+
+// HasEdge reports whether (v, w) remains in Q, i.e. {v} and {w} are
+// indistinguishable. Index n denotes v0.
+func (q *EquivalenceGraph) HasEdge(v, w int) bool {
+	return v != w && q.adj[v][w]
+}
+
+// Degree returns the degree of node v in Q — the paper's "degree of
+// uncertainty" (Section VI-B, Fig. 8): the number of other failure
+// hypotheses observationally identical to {v}. Index n denotes v0.
+func (q *EquivalenceGraph) Degree(v int) int {
+	d := 0
+	for w := range q.adj[v] {
+		if q.adj[v][w] {
+			d++
+		}
+	}
+	return d
+}
+
+// S1 returns |S_1(P)|: the number of real nodes isolated in Q (excluding
+// v0), i.e. 1-identifiable nodes.
+func (q *EquivalenceGraph) S1() int {
+	count := 0
+	for v := 0; v < q.n; v++ {
+		if q.Degree(v) == 0 {
+			count++
+		}
+	}
+	return count
+}
+
+// D1 returns |D_1(P)|: the number of links in the complement of Q — the
+// distinguishable pairs among the |N|+1 failure hypotheses of F_1.
+func (q *EquivalenceGraph) D1() int64 {
+	links := int64(0)
+	for v := 0; v <= q.n; v++ {
+		for w := v + 1; w <= q.n; w++ {
+			if q.adj[v][w] {
+				links++
+			}
+		}
+	}
+	return combinat.Pairs(int64(q.n)+1) - links
+}
+
+// DegreeDistribution returns how many nodes of Q (v0 included) have each
+// degree of uncertainty; the slice index is the degree. This is the Fig. 8
+// statistic.
+func (q *EquivalenceGraph) DegreeDistribution() []int {
+	dist := make([]int, q.n+1)
+	for v := 0; v <= q.n; v++ {
+		dist[q.Degree(v)]++
+	}
+	return dist
+}
+
+func (q *EquivalenceGraph) removeEdge(v, w int) {
+	q.adj[v][w] = false
+	q.adj[w][v] = false
+}

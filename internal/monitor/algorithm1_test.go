@@ -1,0 +1,152 @@
+package monitor
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitset"
+)
+
+func TestEquivalenceGraphNoPaths(t *testing.T) {
+	ps := NewPathSet(3)
+	q := NewEquivalenceGraph(ps)
+	// Complete graph on 4 vertices (3 real + v0): every pair
+	// indistinguishable, so S1 = 0 and D1 = 0.
+	if got := q.S1(); got != 0 {
+		t.Fatalf("S1 = %d, want 0", got)
+	}
+	if got := q.D1(); got != 0 {
+		t.Fatalf("D1 = %d, want 0", got)
+	}
+	if !q.HasEdge(0, 3) {
+		t.Fatal("edge to v0 should exist with no paths")
+	}
+}
+
+func TestEquivalenceGraphSinglePath(t *testing.T) {
+	// One path {0, 1} over 3 nodes: {0} and {1} remain indistinguishable;
+	// both are distinguishable from {2} and from no-failure; {2} and v0
+	// remain indistinguishable.
+	ps := mkPathSet(t, 3, []int{0, 1})
+	q := NewEquivalenceGraph(ps)
+	if !q.HasEdge(0, 1) {
+		t.Fatal("{0},{1} should be indistinguishable")
+	}
+	if q.HasEdge(0, 2) || q.HasEdge(1, 2) {
+		t.Fatal("{0},{2} should be distinguishable")
+	}
+	if q.HasEdge(0, 3) || q.HasEdge(1, 3) {
+		t.Fatal("covered nodes should be distinguishable from v0")
+	}
+	if !q.HasEdge(2, 3) {
+		t.Fatal("uncovered node should be indistinguishable from v0")
+	}
+	if got := q.S1(); got != 0 {
+		t.Fatalf("S1 = %d, want 0", got)
+	}
+	// Hypotheses: {0},{1},{2},∅. Classes: {{0},{1}}, {{2},∅}.
+	// D1 = C(4,2) − 1 − 1 = 4.
+	if got := q.D1(); got != 4 {
+		t.Fatalf("D1 = %d, want 4", got)
+	}
+}
+
+func TestEquivalenceGraphFullyIdentifying(t *testing.T) {
+	// Paths {0}, {1}, {2}: every node covered by a unique path.
+	ps := mkPathSet(t, 3, []int{0}, []int{1}, []int{2})
+	q := NewEquivalenceGraph(ps)
+	if got := q.S1(); got != 3 {
+		t.Fatalf("S1 = %d, want 3", got)
+	}
+	if got := q.D1(); got != 6 {
+		t.Fatalf("D1 = %d, want C(4,2) = 6", got)
+	}
+	for v := 0; v < 4; v++ {
+		if got := q.Degree(v); got != 0 {
+			t.Fatalf("Degree(%d) = %d, want 0", v, got)
+		}
+	}
+}
+
+func TestEquivalenceGraphDegreeDistribution(t *testing.T) {
+	ps := mkPathSet(t, 4, []int{0, 1})
+	q := NewEquivalenceGraph(ps)
+	// Classes: {0,1} (degree 1 each), {2,3,v0} (degree 2 each).
+	dist := q.DegreeDistribution()
+	if dist[1] != 2 || dist[2] != 3 {
+		t.Fatalf("DegreeDistribution = %v", dist)
+	}
+}
+
+func TestEquivalenceGraphIncrementalMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		n := 3 + rng.Intn(10)
+		ps := randomPathSet(rng, n, 1+rng.Intn(6), 4)
+		batch := NewEquivalenceGraph(ps)
+
+		// Incremental: start empty, add one path at a time.
+		empty := NewPathSet(n)
+		inc := NewEquivalenceGraph(empty)
+		for i := 0; i < ps.Len(); i++ {
+			inc.AddPath(ps, i)
+		}
+		if batch.S1() != inc.S1() || batch.D1() != inc.D1() {
+			t.Fatalf("trial %d: batch (S1=%d D1=%d) != incremental (S1=%d D1=%d)",
+				trial, batch.S1(), batch.D1(), inc.S1(), inc.D1())
+		}
+	}
+}
+
+func TestFig1ExampleMetrics(t *testing.T) {
+	// The paper's Fig. 1 example with all five services on host a
+	// (node IDs: r=0, a..d=1..4, e..h=5..8): paths {e,a,r},{f,b,r} — wait,
+	// the QoS placement puts all services on r's neighbors? The paper's
+	// QoS-optimal placement yields paths {e,a,r},{f,b,r},{g,c,r},{h,d,r}:
+	// every client reaches the co-located service through its own branch.
+	// Those paths cover all nodes but identify only r.
+	ps := mkPathSet(t, 9,
+		[]int{5, 1, 0}, // e-a-r
+		[]int{6, 2, 0}, // f-b-r
+		[]int{7, 3, 0}, // g-c-r
+		[]int{8, 4, 0}, // h-d-r
+	)
+	if got := ps.Coverage(); got != 9 {
+		t.Fatalf("Coverage = %d, want 9", got)
+	}
+	q := NewEquivalenceGraph(ps)
+	if got := q.S1(); got != 1 {
+		t.Fatalf("S1 = %d, want 1 (only r identifiable)", got)
+	}
+	// The failures of e and a (same branch) are indistinguishable.
+	if !q.HasEdge(5, 1) {
+		t.Fatal("{e},{a} should be indistinguishable")
+	}
+
+	// Spreading one service per candidate host adds the 16 cross paths and
+	// makes every node identifiable.
+	full := mkPathSet(t, 9,
+		[]int{5, 1, 0}, []int{6, 2, 0}, []int{7, 3, 0}, []int{8, 4, 0},
+	)
+	for _, h := range []int{1, 2, 3, 4} {
+		for _, c := range []int{5, 6, 7, 8} {
+			if c == h+4 {
+				continue // own-branch path already present
+			}
+			// Path c — (c's access host) — r — h.
+			if err := full.Add(mkCrossPath(c, h)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	q2 := NewEquivalenceGraph(full)
+	if got := q2.S1(); got != 9 {
+		t.Fatalf("S1 with spread placement = %d, want 9", got)
+	}
+}
+
+// mkCrossPath builds the Fig. 1 path from client c (5..8) to host h (1..4)
+// through the client's own access node (c-4) and the root 0.
+func mkCrossPath(c, h int) *bitset.Set {
+	return bitset.FromIndices(9, c, c-4, 0, h)
+}

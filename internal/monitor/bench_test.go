@@ -1,0 +1,83 @@
+package monitor
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitset"
+)
+
+// benchPaths builds a reproducible path set of the given dimensions.
+func benchPaths(n, numPaths, pathLen int) *PathSet {
+	rng := rand.New(rand.NewSource(5))
+	ps := NewPathSet(n)
+	for i := 0; i < numPaths; i++ {
+		p := bitset.New(n)
+		start := rng.Intn(n)
+		for j := 0; j < pathLen; j++ {
+			p.Add((start + j) % n)
+		}
+		if err := ps.Add(p); err != nil {
+			panic(err)
+		}
+	}
+	return ps
+}
+
+func BenchmarkPartitionRefine(b *testing.B) {
+	ps := benchPaths(108, 21, 6)
+	paths := make([]*bitset.Set, ps.Len())
+	for i := range paths {
+		paths[i] = ps.Path(i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pt := NewPartition(108)
+		pt.Refine(paths)
+		_ = pt.D1()
+	}
+}
+
+func BenchmarkEquivalenceGraphBuild(b *testing.B) {
+	ps := benchPaths(108, 21, 6)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := NewEquivalenceGraph(ps)
+		_ = q.D1()
+	}
+}
+
+func BenchmarkSignatures(b *testing.B) {
+	ps := benchPaths(108, 21, 6)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ps.Signatures()
+	}
+}
+
+func BenchmarkDistinguishabilityK2(b *testing.B) {
+	ps := benchPaths(22, 9, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = DistinguishabilityK(ps, 2)
+	}
+}
+
+func BenchmarkIdentifiabilityK2(b *testing.B) {
+	ps := benchPaths(22, 9, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = IdentifiabilityK(ps, 2)
+	}
+}
+
+func BenchmarkGreedySetCover(b *testing.B) {
+	ps := benchPaths(108, 21, 6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = GreedySetCover(ps, i%108)
+	}
+}

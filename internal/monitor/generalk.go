@@ -1,0 +1,141 @@
+package monitor
+
+import (
+	"fmt"
+
+	"repro/internal/bitset"
+	"repro/internal/combinat"
+)
+
+// This file evaluates the general-k measures by exact enumeration of the
+// failure-set collection F_k = {F ⊆ N : |F| ≤ k} (Section III-B). The
+// complexity is Θ(|F_k|·k) signature unions, so callers should keep
+// |N| choose k modest — the paper's evaluation uses k = 1, where the
+// Partition type is preferred; enumeration exists for validation, small
+// deployments, and the k > 1 extension experiments.
+
+// signatureClasses groups every failure set in F_k by its path-state
+// signature P_F. For each class it records the number of member sets and,
+// to support identifiability, which nodes are in all members (and) and in
+// any member (or).
+type signatureClass struct {
+	count int64
+	and   *bitset.Set // nodes present in every member failure set
+	or    *bitset.Set // nodes present in some member failure set
+}
+
+func classify(ps *PathSet, k int) map[string]*signatureClass {
+	n := ps.NumNodes()
+	sigs := ps.Signatures()
+	classes := map[string]*signatureClass{}
+	sig := bitset.New(ps.Len())
+	combinat.SubsetsUpTo(n, k, func(f []int) bool {
+		sig.Clear()
+		for _, v := range f {
+			sig.UnionWith(sigs[v])
+		}
+		key := sig.Key()
+		cl, ok := classes[key]
+		member := bitset.FromIndices(n, f...)
+		if !ok {
+			cl = &signatureClass{and: member.Clone(), or: member}
+			classes[key] = cl
+		} else {
+			cl.and.IntersectWith(member)
+			cl.or.UnionWith(member)
+		}
+		cl.count++
+		return true
+	})
+	return classes
+}
+
+// DistinguishabilityK returns |D_k(P)| by exact enumeration: the total
+// number of unordered failure-set pairs minus the pairs sharing a
+// signature.
+func DistinguishabilityK(ps *PathSet, k int) int64 {
+	if k < 0 {
+		return 0
+	}
+	total := combinat.Pairs(combinat.NumFailureSets(ps.NumNodes(), k))
+	for _, cl := range classify(ps, k) {
+		total -= combinat.Pairs(cl.count)
+	}
+	return total
+}
+
+// IdentifiableNodesK returns S_k(P) by exact enumeration. A node v is
+// k-identifiable iff every signature class is homogeneous at v: either all
+// member failure sets contain v or none do (otherwise two failure sets
+// differing in v collide, violating Definition 2).
+func IdentifiableNodesK(ps *PathSet, k int) *bitset.Set {
+	n := ps.NumNodes()
+	identifiable := bitset.New(n)
+	for v := 0; v < n; v++ {
+		identifiable.Add(v)
+	}
+	for _, cl := range classify(ps, k) {
+		// Nodes where or=1 but and=0 are ambiguous within this class.
+		ambiguous := cl.or.Difference(cl.and)
+		identifiable.DifferenceWith(ambiguous)
+	}
+	return identifiable
+}
+
+// IdentifiabilityK returns |S_k(P)|.
+func IdentifiabilityK(ps *PathSet, k int) int {
+	return IdentifiableNodesK(ps, k).Count()
+}
+
+// UncertaintyK returns |I_k(F; P)|: the number of failure sets in F_k,
+// other than F itself, indistinguishable from F (Section II-B3). F must
+// have at most k nodes.
+func UncertaintyK(ps *PathSet, k int, f []int) (int64, error) {
+	if len(f) > k {
+		return 0, fmt.Errorf("monitor: |F| = %d exceeds k = %d", len(f), k)
+	}
+	for _, v := range f {
+		if v < 0 || v >= ps.NumNodes() {
+			return 0, fmt.Errorf("monitor: failure node %d out of range", v)
+		}
+	}
+	sigs := ps.Signatures()
+	target := FailureSignature(sigs, f, ps.Len())
+	key := target.Key()
+	classes := classify(ps, k)
+	cl, ok := classes[key]
+	if !ok {
+		return 0, fmt.Errorf("monitor: internal: failure set not enumerated")
+	}
+	return cl.count - 1, nil
+}
+
+// AverageUncertaintyK returns the expected localization uncertainty
+// (1/|F_k|) Σ_{F ∈ F_k} |I_k(F; P)|, computed directly from the class
+// sizes. Lemma 3 states this equals (2/|F_k|)(C(|F_k|, 2) − |D_k(P)|);
+// tests verify the identity.
+func AverageUncertaintyK(ps *PathSet, k int) float64 {
+	m := combinat.NumFailureSets(ps.NumNodes(), k)
+	if m == 0 {
+		return 0
+	}
+	var sum int64
+	for _, cl := range classify(ps, k) {
+		// Each of the cl.count members has cl.count-1 indistinguishable peers.
+		sum += cl.count * (cl.count - 1)
+	}
+	return float64(sum) / float64(m)
+}
+
+// IdentifiableFailureSetsK returns the number of failure sets F ∈ F_k
+// whose signature is unique in F_k — the generalized k-identifiability of
+// the remark after Theorem 19 ("the failures can be uniquely localized").
+func IdentifiableFailureSetsK(ps *PathSet, k int) int64 {
+	var count int64
+	for _, cl := range classify(ps, k) {
+		if cl.count == 1 {
+			count++
+		}
+	}
+	return count
+}

@@ -1,0 +1,206 @@
+package monitor
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/combinat"
+)
+
+// fig3PathSet returns the paths of the paper's Fig. 3 counterexample:
+// nodes v1, v2, v3 = 0, 1, 2; p0 = {v2}, p1 = {v1, v2}, p2 = {v2, v3}.
+// which selects from the three possible paths.
+func fig3PathSet(t *testing.T, include ...int) *PathSet {
+	t.Helper()
+	all := [][]int{{1}, {0, 1}, {1, 2}}
+	paths := make([][]int, 0, len(include))
+	for _, i := range include {
+		paths = append(paths, all[i])
+	}
+	return mkPathSet(t, 3, paths...)
+}
+
+func TestFig3IdentifiabilityValues(t *testing.T) {
+	cases := []struct {
+		name    string
+		include []int
+		wantS1  int
+	}{
+		{"empty", nil, 0},
+		{"p0", []int{0}, 1},
+		{"p1", []int{1}, 0},
+		{"p0p1", []int{0, 1}, 2},
+		{"p1p2", []int{1, 2}, 3},
+		{"p0p1p2", []int{0, 1, 2}, 3},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			ps := fig3PathSet(t, c.include...)
+			if got := IdentifiabilityK(ps, 1); got != c.wantS1 {
+				t.Fatalf("S1 = %d, want %d", got, c.wantS1)
+			}
+		})
+	}
+}
+
+func TestFig3SubmodularityViolation(t *testing.T) {
+	// Proposition 15's counterexample: the marginal gain of p0 grows when
+	// p1 is already present (1 → 2), violating diminishing returns.
+	gainEmpty := IdentifiabilityK(fig3PathSet(t, 0), 1) - IdentifiabilityK(fig3PathSet(t), 1)
+	gainAfterP1 := IdentifiabilityK(fig3PathSet(t, 0, 1), 1) - IdentifiabilityK(fig3PathSet(t, 1), 1)
+	gainAfterP1P2 := IdentifiabilityK(fig3PathSet(t, 0, 1, 2), 1) - IdentifiabilityK(fig3PathSet(t, 1, 2), 1)
+	if gainEmpty != 1 || gainAfterP1 != 2 || gainAfterP1P2 != 0 {
+		t.Fatalf("gains = %d, %d, %d; want 1, 2, 0", gainEmpty, gainAfterP1, gainAfterP1P2)
+	}
+	if gainAfterP1 <= gainEmpty {
+		t.Fatal("expected the submodularity violation of Proposition 15")
+	}
+}
+
+func TestDistinguishabilityKEmptyAndNegative(t *testing.T) {
+	ps := NewPathSet(3)
+	if got := DistinguishabilityK(ps, -1); got != 0 {
+		t.Fatalf("k<0: %d", got)
+	}
+	// No paths: all failure sets share the empty signature → D_k = 0.
+	if got := DistinguishabilityK(ps, 2); got != 0 {
+		t.Fatalf("no paths: D2 = %d, want 0", got)
+	}
+}
+
+func TestDistinguishabilityKFullSeparation(t *testing.T) {
+	// One singleton path per node: every failure set has a distinct
+	// signature, so D_k = C(|F_k|, 2).
+	ps := mkPathSet(t, 3, []int{0}, []int{1}, []int{2})
+	for k := 0; k <= 3; k++ {
+		m := combinat.NumFailureSets(3, k)
+		if got := DistinguishabilityK(ps, k); got != combinat.Pairs(m) {
+			t.Fatalf("k=%d: D = %d, want %d", k, got, combinat.Pairs(m))
+		}
+	}
+}
+
+func TestIdentifiabilityKDecreasesInK(t *testing.T) {
+	// S_{k+1} ⊆ S_k (larger failure budgets are harder).
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(7)
+		ps := randomPathSet(rng, n, rng.Intn(6), 4)
+		prev := IdentifiabilityK(ps, 1)
+		for k := 2; k <= 3; k++ {
+			cur := IdentifiabilityK(ps, k)
+			if cur > prev {
+				t.Fatalf("trial %d: S_%d = %d > S_%d = %d", trial, k, cur, k-1, prev)
+			}
+			prev = cur
+		}
+	}
+}
+
+func TestIdentifiableNodesKSetMembership(t *testing.T) {
+	// Line paths: p = {0,1}: neither 0 nor 1 is 1-identifiable; with
+	// q = {1} added, both become 1-identifiable.
+	ps := mkPathSet(t, 2, []int{0, 1})
+	if got := IdentifiableNodesK(ps, 1); !got.Empty() {
+		t.Fatalf("S_1 = %v, want empty", got)
+	}
+	ps2 := mkPathSet(t, 2, []int{0, 1}, []int{1})
+	got := IdentifiableNodesK(ps2, 1)
+	if !got.Contains(0) || !got.Contains(1) {
+		t.Fatalf("S_1 = %v, want {0, 1}", got)
+	}
+}
+
+func TestUncertaintyK(t *testing.T) {
+	// Path {0,1} over 3 nodes, k=1. Hypotheses: ∅,{0},{1},{2}.
+	// Signatures: ∅→∅, {0}→{p}, {1}→{p}, {2}→∅.
+	ps := mkPathSet(t, 3, []int{0, 1})
+	cases := []struct {
+		f    []int
+		want int64
+	}{
+		{nil, 1},      // ∅ collides with {2}
+		{[]int{0}, 1}, // {0} collides with {1}
+		{[]int{2}, 1}, // {2} collides with ∅
+	}
+	for _, c := range cases {
+		got, err := UncertaintyK(ps, 1, c.f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Fatalf("I_1(%v) = %d, want %d", c.f, got, c.want)
+		}
+	}
+}
+
+func TestUncertaintyKErrors(t *testing.T) {
+	ps := mkPathSet(t, 3, []int{0})
+	if _, err := UncertaintyK(ps, 1, []int{0, 1}); err == nil {
+		t.Fatal("|F| > k should error")
+	}
+	if _, err := UncertaintyK(ps, 1, []int{9}); err == nil {
+		t.Fatal("out-of-range node should error")
+	}
+}
+
+// Lemma 3: average uncertainty = (2/|F_k|)(C(|F_k|,2) − |D_k(P)|).
+func TestLemma3Identity(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(7)
+		ps := randomPathSet(rng, n, rng.Intn(5), 4)
+		for k := 1; k <= 2; k++ {
+			m := combinat.NumFailureSets(n, k)
+			direct := AverageUncertaintyK(ps, k)
+			viaD := 2 / float64(m) * float64(combinat.Pairs(m)-DistinguishabilityK(ps, k))
+			if diff := direct - viaD; diff > 1e-9 || diff < -1e-9 {
+				t.Fatalf("trial %d k=%d: direct %v != via D_k %v", trial, k, direct, viaD)
+			}
+		}
+	}
+}
+
+func TestAverageUncertaintyEmptyUniverse(t *testing.T) {
+	ps := NewPathSet(0)
+	if got := AverageUncertaintyK(ps, 1); got != 0 {
+		t.Fatalf("got %v, want 0", got)
+	}
+}
+
+func TestIdentifiableFailureSetsK(t *testing.T) {
+	// Full separation: every failure set unique.
+	ps := mkPathSet(t, 2, []int{0}, []int{1})
+	if got := IdentifiableFailureSetsK(ps, 2); got != 4 {
+		t.Fatalf("got %d, want 4 (∅,{0},{1},{0,1})", got)
+	}
+	// Single shared path: ∅ unique among... signatures: ∅→{}, {0}→{p},
+	// {1}→{p}, {0,1}→{p}: only ∅ has a unique signature.
+	ps2 := mkPathSet(t, 2, []int{0, 1})
+	if got := IdentifiableFailureSetsK(ps2, 2); got != 1 {
+		t.Fatalf("got %d, want 1", got)
+	}
+}
+
+func TestDistinguishabilityMonotoneInPaths(t *testing.T) {
+	// Lemma 17's monotonicity: adding a path never decreases D_k.
+	rng := rand.New(rand.NewSource(67))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(6)
+		full := randomPathSet(rng, n, 1+rng.Intn(5), 4)
+		for k := 1; k <= 2; k++ {
+			prev := int64(-1)
+			partial := NewPathSet(n)
+			for i := 0; i < full.Len(); i++ {
+				if err := partial.Add(full.Path(i)); err != nil {
+					t.Fatal(err)
+				}
+				cur := DistinguishabilityK(partial, k)
+				if cur < prev {
+					t.Fatalf("trial %d: D_%d decreased from %d to %d", trial, k, prev, cur)
+				}
+				prev = cur
+			}
+		}
+	}
+}

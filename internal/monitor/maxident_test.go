@@ -1,0 +1,128 @@
+package monitor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestMaxIdentifiabilityUncovered(t *testing.T) {
+	ps := mkPathSet(t, 3, []int{0})
+	if got := MaxIdentifiability(ps, 1); got != 0 {
+		t.Fatalf("uncovered node: %d, want 0", got)
+	}
+	if got := MaxIdentifiability(ps, -1); got != 0 {
+		t.Fatalf("out of range: %d, want 0", got)
+	}
+	if got := MaxIdentifiability(ps, 9); got != 0 {
+		t.Fatalf("out of range: %d, want 0", got)
+	}
+}
+
+func TestMaxIdentifiabilitySingletonPath(t *testing.T) {
+	// Path {0} over 2 nodes: no other node can mask node 0, so 0 is
+	// k-identifiable for every k → capped at n.
+	ps := mkPathSet(t, 2, []int{0})
+	if got := MaxIdentifiability(ps, 0); got != 2 {
+		t.Fatalf("got %d, want 2 (cap)", got)
+	}
+}
+
+func TestMaxIdentifiabilitySharedPath(t *testing.T) {
+	// Path {0,1}: neither endpoint is even 1-identifiable ({0} vs {1}
+	// collide).
+	ps := mkPathSet(t, 2, []int{0, 1})
+	if got := MaxIdentifiability(ps, 0); got != 0 {
+		t.Fatalf("got %d, want 0", got)
+	}
+}
+
+func TestMaxIdentifiabilityMonotoneConsistency(t *testing.T) {
+	// MaxIdentifiability(v) = k means v ∈ S_j for j ≤ k and v ∉ S_{k+1}
+	// (unless capped).
+	rng := rand.New(rand.NewSource(97))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(5)
+		ps := randomPathSet(rng, n, 1+rng.Intn(4), 3)
+		for v := 0; v < n; v++ {
+			k := MaxIdentifiability(ps, v)
+			if k > 0 && !IdentifiableNodesK(ps, k).Contains(v) {
+				t.Fatalf("trial %d node %d: claimed %d-identifiable but is not", trial, v, k)
+			}
+			if k < n && IdentifiableNodesK(ps, k+1).Contains(v) {
+				t.Fatalf("trial %d node %d: max %d but also (k+1)-identifiable", trial, v, k)
+			}
+		}
+	}
+}
+
+func TestNetworkMaxIdentifiability(t *testing.T) {
+	// Three singleton paths: every covered node identifiable at any k.
+	ps := mkPathSet(t, 3, []int{0}, []int{1}, []int{2})
+	if got := NetworkMaxIdentifiability(ps); got != 3 {
+		t.Fatalf("got %d, want 3 (cap)", got)
+	}
+	// Shared path: covered nodes not even 1-identifiable.
+	ps2 := mkPathSet(t, 3, []int{0, 1})
+	if got := NetworkMaxIdentifiability(ps2); got != 0 {
+		t.Fatalf("got %d, want 0", got)
+	}
+	// Empty path set: nothing covered.
+	if got := NetworkMaxIdentifiability(NewPathSet(3)); got != 0 {
+		t.Fatalf("got %d, want 0", got)
+	}
+}
+
+func TestNetworkMaxIdentifiabilityIsMinOverCovered(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 15; trial++ {
+		n := 2 + rng.Intn(5)
+		ps := randomPathSet(rng, n, 1+rng.Intn(4), 3)
+		covered := ps.CoveredNodes()
+		if covered.Empty() {
+			continue
+		}
+		min := n + 1
+		covered.ForEach(func(v int) bool {
+			if k := MaxIdentifiability(ps, v); k < min {
+				min = k
+			}
+			return true
+		})
+		if got := NetworkMaxIdentifiability(ps); got != min {
+			t.Fatalf("trial %d: network max %d != min over covered %d", trial, got, min)
+		}
+	}
+}
+
+func TestMaxIdentifiabilityBoundsSandwich(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(6)
+		ps := randomPathSet(rng, n, 1+rng.Intn(5), 4)
+		for v := 0; v < n; v++ {
+			exact := MaxIdentifiability(ps, v)
+			lower, upper := MaxIdentifiabilityBounds(ps, v)
+			if lower > exact || exact > upper {
+				t.Fatalf("trial %d node %d: bounds [%d, %d] miss exact %d\npaths=%v",
+					trial, v, lower, upper, exact, dumpPaths(ps))
+			}
+		}
+	}
+}
+
+func TestMaxIdentifiabilityBoundsUncoverable(t *testing.T) {
+	ps := mkPathSet(t, 3, []int{0})
+	lower, upper := MaxIdentifiabilityBounds(ps, 0)
+	if lower != 3 || upper != 3 {
+		t.Fatalf("bounds = [%d, %d], want [3, 3]", lower, upper)
+	}
+	// Uncovered node bounds collapse to zero.
+	lower, upper = MaxIdentifiabilityBounds(ps, 1)
+	if lower != 0 || upper != 0 {
+		t.Fatalf("bounds = [%d, %d], want [0, 0]", lower, upper)
+	}
+	lower, upper = MaxIdentifiabilityBounds(ps, -1)
+	if lower != 0 || upper != 0 {
+		t.Fatalf("out of range bounds = [%d, %d]", lower, upper)
+	}
+}

@@ -1,0 +1,95 @@
+package monitor
+
+import (
+	"fmt"
+
+	"repro/internal/bitset"
+	"repro/internal/combinat"
+)
+
+// This file provides the pairwise queries behind Definition 1: direct
+// distinguishability tests between concrete failure sets, and the
+// materialized indistinguishability class I_k(F; P) whose size the
+// general-k counters summarize.
+
+// Distinguishable reports whether failure sets F1 and F2 are
+// distinguishable wrt the path set (Definition 1): some path fails under
+// exactly one of them. Out-of-range nodes are rejected.
+func Distinguishable(ps *PathSet, f1, f2 []int) (bool, error) {
+	for _, f := range [][]int{f1, f2} {
+		for _, v := range f {
+			if v < 0 || v >= ps.NumNodes() {
+				return false, fmt.Errorf("monitor: node %d out of range", v)
+			}
+		}
+	}
+	sigs := ps.Signatures()
+	s1 := FailureSignature(sigs, f1, ps.Len())
+	s2 := FailureSignature(sigs, f2, ps.Len())
+	return !s1.Equal(s2), nil
+}
+
+// IndistinguishableSets returns every failure set F' ∈ F_k \ {F} with
+// P_{F'} = P_F — the materialized I_k(F; P) (Section II-B3) — each sorted
+// ascending, ordered by size then lexicographically. |F| may exceed k;
+// only the returned alternatives are budget-limited.
+func IndistinguishableSets(ps *PathSet, k int, f []int) ([][]int, error) {
+	if k < 0 {
+		return nil, fmt.Errorf("monitor: negative k")
+	}
+	n := ps.NumNodes()
+	target := bitset.FromIndices(n, f...)
+	for _, v := range f {
+		if v < 0 || v >= n {
+			return nil, fmt.Errorf("monitor: node %d out of range", v)
+		}
+	}
+	sigs := ps.Signatures()
+	targetSig := FailureSignature(sigs, f, ps.Len())
+
+	var out [][]int
+	sig := bitset.New(ps.Len())
+	combinat.SubsetsUpTo(n, k, func(candidate []int) bool {
+		sig.Clear()
+		for _, v := range candidate {
+			sig.UnionWith(sigs[v])
+		}
+		if !sig.Equal(targetSig) {
+			return true
+		}
+		if len(candidate) == target.Count() {
+			same := true
+			for _, v := range candidate {
+				if !target.Contains(v) {
+					same = false
+					break
+				}
+			}
+			if same {
+				return true // skip F itself
+			}
+		}
+		out = append(out, append([]int(nil), candidate...))
+		return true
+	})
+	return out, nil
+}
+
+// ConfusionSet returns, for a single node v, the set of nodes w whose
+// lone failure is indistinguishable from v's — v's neighborhood in the
+// equivalence graph Q, excluding v0. A node with an empty confusion set
+// and non-empty signature is 1-identifiable.
+func ConfusionSet(ps *PathSet, v int) (*bitset.Set, error) {
+	n := ps.NumNodes()
+	if v < 0 || v >= n {
+		return nil, fmt.Errorf("monitor: node %d out of range", v)
+	}
+	sigs := ps.Signatures()
+	out := bitset.New(n)
+	for w := 0; w < n; w++ {
+		if w != v && sigs[w].Equal(sigs[v]) {
+			out.Add(w)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,188 @@
+package monitor
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestDistinguishable(t *testing.T) {
+	ps := mkPathSet(t, 3, []int{0, 1})
+	cases := []struct {
+		f1, f2 []int
+		want   bool
+	}{
+		{[]int{0}, []int{1}, false}, // same path set affected
+		{[]int{0}, []int{2}, true},  // path fails only under {0}
+		{nil, []int{2}, false},      // both affect no path
+		{nil, []int{0}, true},       // ∅ vs covered node
+		{[]int{0}, []int{0, 1}, false},
+	}
+	for _, c := range cases {
+		got, err := Distinguishable(ps, c.f1, c.f2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Errorf("Distinguishable(%v, %v) = %v, want %v", c.f1, c.f2, got, c.want)
+		}
+	}
+	if _, err := Distinguishable(ps, []int{9}, nil); err == nil {
+		t.Fatal("out-of-range node should error")
+	}
+}
+
+func TestDistinguishableConsistentWithDK(t *testing.T) {
+	// Summing pairwise Distinguishable over all F_k pairs must equal D_k.
+	rng := rand.New(rand.NewSource(107))
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + rng.Intn(4)
+		ps := randomPathSet(rng, n, 1+rng.Intn(4), 3)
+		k := 1 + rng.Intn(2)
+
+		var all [][]int
+		collect := func(f []int) bool {
+			all = append(all, append([]int(nil), f...))
+			return true
+		}
+		enumerateSubsets(n, k, collect)
+
+		var count int64
+		for i := range all {
+			for j := i + 1; j < len(all); j++ {
+				d, err := Distinguishable(ps, all[i], all[j])
+				if err != nil {
+					t.Fatal(err)
+				}
+				if d {
+					count++
+				}
+			}
+		}
+		if want := DistinguishabilityK(ps, k); count != want {
+			t.Fatalf("trial %d: pairwise count %d != D_%d %d", trial, count, k, want)
+		}
+	}
+}
+
+// enumerateSubsets is a tiny local mirror of combinat.SubsetsUpTo to keep
+// this test independent of enumeration order details.
+func enumerateSubsets(n, k int, fn func([]int) bool) {
+	var rec func(start int, cur []int)
+	var bySize [][][]int = make([][][]int, k+1)
+	rec = func(start int, cur []int) {
+		if len(cur) <= k {
+			cp := append([]int(nil), cur...)
+			bySize[len(cur)] = append(bySize[len(cur)], cp)
+		}
+		if len(cur) == k {
+			return
+		}
+		for v := start; v < n; v++ {
+			rec(v+1, append(cur, v))
+		}
+	}
+	rec(0, nil)
+	for _, group := range bySize {
+		for _, s := range group {
+			if !fn(s) {
+				return
+			}
+		}
+	}
+}
+
+func TestIndistinguishableSets(t *testing.T) {
+	ps := mkPathSet(t, 3, []int{0, 1})
+	// I_1({0}): only {1} shares the signature.
+	sets, err := IndistinguishableSets(ps, 1, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sets, [][]int{{1}}) {
+		t.Fatalf("I_1({0}) = %v", sets)
+	}
+	// I_1(∅): the uncovered node {2}.
+	sets, err = IndistinguishableSets(ps, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sets, [][]int{{2}}) {
+		t.Fatalf("I_1(∅) = %v", sets)
+	}
+	if _, err := IndistinguishableSets(ps, -1, nil); err == nil {
+		t.Fatal("negative k should error")
+	}
+	if _, err := IndistinguishableSets(ps, 1, []int{7}); err == nil {
+		t.Fatal("out-of-range node should error")
+	}
+}
+
+func TestIndistinguishableSetsSizeMatchesUncertainty(t *testing.T) {
+	rng := rand.New(rand.NewSource(109))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(5)
+		ps := randomPathSet(rng, n, 1+rng.Intn(4), 3)
+		k := 1 + rng.Intn(2)
+		f := []int{rng.Intn(n)}
+		sets, err := IndistinguishableSets(ps, k, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := UncertaintyK(ps, k, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int64(len(sets)) != want {
+			t.Fatalf("trial %d: |I_k| = %d, want %d", trial, len(sets), want)
+		}
+	}
+}
+
+func TestConfusionSet(t *testing.T) {
+	ps := mkPathSet(t, 4, []int{0, 1})
+	c, err := ConfusionSet(ps, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(c.Indices(), []int{1}) {
+		t.Fatalf("ConfusionSet(0) = %v", c.Indices())
+	}
+	// Uncovered nodes are mutually confusable.
+	c, err = ConfusionSet(ps, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(c.Indices(), []int{3}) {
+		t.Fatalf("ConfusionSet(2) = %v", c.Indices())
+	}
+	if _, err := ConfusionSet(ps, 9); err == nil {
+		t.Fatal("out-of-range node should error")
+	}
+}
+
+func TestConfusionSetMatchesPartitionDegrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(113))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(8)
+		ps := randomPathSet(rng, n, rng.Intn(5), 4)
+		pt := NewPartitionFromPaths(ps)
+		deg := pt.Degrees()
+		for v := 0; v < n; v++ {
+			c, err := ConfusionSet(ps, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Partition degree counts v0 for uncovered nodes; ConfusionSet
+			// counts real nodes only.
+			want := deg[v]
+			if !pt.Covered(v) {
+				want--
+			}
+			if c.Count() != want {
+				t.Fatalf("trial %d node %d: confusion %d != degree-derived %d",
+					trial, v, c.Count(), want)
+			}
+		}
+	}
+}

@@ -1,0 +1,246 @@
+package monitor
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/bitset"
+	"repro/internal/combinat"
+)
+
+// Partition is the efficient incremental counterpart of the equivalence
+// graph Q (Section V-D1). Instead of an adjacency matrix it keeps the
+// equivalence classes of single-node failure hypotheses: two nodes are in
+// the same group iff they are traversed by exactly the same set of paths
+// added so far. Adding measurement paths can only split groups ("once
+// distinguishable, always distinguishable"), so refinement is monotone and
+// cheap: O(|N| · new paths) per update rather than O(|N|² · |P|).
+//
+// The virtual no-failure node v0 is implicit: it always belongs with the
+// uncovered nodes (empty signature). The uncovered nodes, when any exist,
+// form exactly one group because an empty signature is equal only to
+// another empty signature.
+type Partition struct {
+	numNodes int
+	covered  *bitset.Set
+	groups   [][]int
+}
+
+// NewPartition returns the partition of an empty path set: every node is
+// uncovered and mutually indistinguishable.
+func NewPartition(numNodes int) *Partition {
+	pt := &Partition{
+		numNodes: numNodes,
+		covered:  bitset.New(numNodes),
+	}
+	if numNodes > 0 {
+		all := make([]int, numNodes)
+		for i := range all {
+			all[i] = i
+		}
+		pt.groups = [][]int{all}
+	}
+	return pt
+}
+
+// NewPartitionFromPaths builds the partition for an existing path set.
+func NewPartitionFromPaths(ps *PathSet) *Partition {
+	pt := NewPartition(ps.NumNodes())
+	paths := make([]*bitset.Set, ps.Len())
+	for i := range paths {
+		paths[i] = ps.Path(i)
+	}
+	pt.Refine(paths)
+	return pt
+}
+
+// NumNodes returns |N|.
+func (pt *Partition) NumNodes() int { return pt.numNodes }
+
+// NumGroups returns the current number of equivalence classes over real
+// nodes (v0 not counted as a separate group).
+func (pt *Partition) NumGroups() int { return len(pt.groups) }
+
+// Refine splits the partition according to the node membership of the new
+// paths and marks their nodes covered. Paths must use the node universe.
+func (pt *Partition) Refine(paths []*bitset.Set) {
+	if len(paths) == 0 {
+		return
+	}
+	for _, p := range paths {
+		if p.Cap() != pt.numNodes {
+			panic(fmt.Sprintf("monitor: path universe %d != %d", p.Cap(), pt.numNodes))
+		}
+	}
+	var next [][]int
+	for _, group := range pt.groups {
+		if len(group) == 1 {
+			next = append(next, group)
+			continue
+		}
+		next = append(next, splitGroup(group, paths)...)
+	}
+	pt.groups = next
+	for _, p := range paths {
+		pt.covered.UnionWith(p)
+	}
+}
+
+// splitGroup partitions a node group by membership pattern across paths.
+// Patterns are uint64 bitmasks for ≤64 paths (the common case: one
+// placement contributes |C_s| paths) and string keys beyond that.
+func splitGroup(group []int, paths []*bitset.Set) [][]int {
+	if len(paths) <= 64 {
+		buckets := map[uint64][]int{}
+		var order []uint64
+		for _, v := range group {
+			var pat uint64
+			for i, p := range paths {
+				if p.Contains(v) {
+					pat |= 1 << uint(i)
+				}
+			}
+			if _, ok := buckets[pat]; !ok {
+				order = append(order, pat)
+			}
+			buckets[pat] = append(buckets[pat], v)
+		}
+		out := make([][]int, 0, len(order))
+		for _, pat := range order {
+			out = append(out, buckets[pat])
+		}
+		return out
+	}
+	buckets := map[string][]int{}
+	var order []string
+	var b strings.Builder
+	for _, v := range group {
+		b.Reset()
+		for _, p := range paths {
+			if p.Contains(v) {
+				b.WriteByte('1')
+			} else {
+				b.WriteByte('0')
+			}
+		}
+		key := b.String()
+		if _, ok := buckets[key]; !ok {
+			order = append(order, key)
+		}
+		buckets[key] = append(buckets[key], v)
+	}
+	out := make([][]int, 0, len(order))
+	for _, key := range order {
+		out = append(out, buckets[key])
+	}
+	return out
+}
+
+// Clone returns an independent copy.
+func (pt *Partition) Clone() *Partition {
+	c := &Partition{
+		numNodes: pt.numNodes,
+		covered:  pt.covered.Clone(),
+		groups:   make([][]int, len(pt.groups)),
+	}
+	for i, g := range pt.groups {
+		c.groups[i] = append([]int(nil), g...)
+	}
+	return c
+}
+
+// Coverage returns |C(P)| for the paths refined so far.
+func (pt *Partition) Coverage() int { return pt.covered.Count() }
+
+// Covered reports whether node v lies on at least one refined path.
+func (pt *Partition) Covered(v int) bool { return pt.covered.Contains(v) }
+
+// isUncovered reports whether a group holds uncovered nodes. Groups are
+// homogeneous: equal signatures are either all empty or all non-empty.
+func (pt *Partition) isUncovered(group []int) bool {
+	return !pt.covered.Contains(group[0])
+}
+
+// S1 returns |S_1(P)|: covered nodes alone in their class.
+func (pt *Partition) S1() int {
+	count := 0
+	for _, g := range pt.groups {
+		if len(g) == 1 && !pt.isUncovered(g) {
+			count++
+		}
+	}
+	return count
+}
+
+// D1 returns |D_1(P)|: total hypothesis pairs C(|N|+1, 2) minus the
+// indistinguishable pairs inside each class, counting v0 with the
+// uncovered class.
+func (pt *Partition) D1() int64 {
+	total := combinat.Pairs(int64(pt.numNodes) + 1)
+	for _, g := range pt.groups {
+		size := int64(len(g))
+		if pt.isUncovered(g) {
+			size++ // v0 shares the empty signature
+		}
+		total -= combinat.Pairs(size)
+	}
+	return total
+}
+
+// Degrees returns the degree of uncertainty for every node of Q, with
+// index numNodes holding v0's degree (Fig. 8's statistic). A node's degree
+// is the number of other hypotheses with an identical signature.
+func (pt *Partition) Degrees() []int {
+	deg := make([]int, pt.numNodes+1)
+	v0Degree := 0
+	for _, g := range pt.groups {
+		uncovered := pt.isUncovered(g)
+		d := len(g) - 1
+		if uncovered {
+			d++ // also adjacent to v0
+			v0Degree = len(g)
+		}
+		for _, v := range g {
+			deg[v] = d
+		}
+	}
+	deg[pt.numNodes] = v0Degree
+	return deg
+}
+
+// Groups returns the equivalence classes, each sorted ascending, ordered
+// by smallest member. The uncovered class, if any, does not include v0;
+// use Degrees for v0-aware statistics.
+func (pt *Partition) Groups() [][]int {
+	out := make([][]int, len(pt.groups))
+	for i, g := range pt.groups {
+		cp := append([]int(nil), g...)
+		sort.Ints(cp)
+		out[i] = cp
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}
+
+// String summarizes the partition for debugging.
+func (pt *Partition) String() string {
+	var b strings.Builder
+	b.WriteString("partition{")
+	for i, g := range pt.Groups() {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteByte('[')
+		for j, v := range g {
+			if j > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(strconv.Itoa(v))
+		}
+		b.WriteByte(']')
+	}
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,138 @@
+// Package monitor implements the failure-monitoring performance measures
+// of the paper's Sections II-B and III-B:
+//
+//   - coverage |C(P)| — nodes traversed by at least one measurement path;
+//   - identifiability |S_k(P)| — nodes whose up/down state is uniquely
+//     determined whenever at most k nodes fail (Definition 2);
+//   - distinguishability |D_k(P)| — pairs of failure sets of size ≤ k that
+//     produce different path states (Definition 1), which by Lemma 3 is an
+//     affine transform of the expected localization uncertainty;
+//   - the equivalence graph Q of Algorithm 1 and its incremental refinement
+//     (Section V-D1);
+//   - the minimum-set-cover bounds of Theorem 4 / Corollary 5 / eq. (4).
+//
+// The central representation is the node signature: for node v, sig(v) is
+// the set of paths traversing v. Failure set F produces path states P_F =
+// ∪_{v∈F} sig(v), so distinguishability of failure sets is equality of
+// signature unions, and every measure above reduces to grouping equal
+// signatures.
+package monitor
+
+import (
+	"fmt"
+
+	"repro/internal/bitset"
+)
+
+// PathSet is an ordered collection of measurement paths over a fixed node
+// universe. Each path is the set of nodes it traverses (endpoints
+// included), matching Section II-A. PathSet is append-only.
+type PathSet struct {
+	numNodes int
+	paths    []*bitset.Set
+}
+
+// NewPathSet returns an empty path set over numNodes nodes.
+func NewPathSet(numNodes int) *PathSet {
+	if numNodes < 0 {
+		numNodes = 0
+	}
+	return &PathSet{numNodes: numNodes}
+}
+
+// Add appends a path. The path's universe must match the node count, and a
+// path must be non-empty (a path traverses at least its endpoint).
+func (ps *PathSet) Add(p *bitset.Set) error {
+	if p == nil {
+		return fmt.Errorf("monitor: nil path")
+	}
+	if p.Cap() != ps.numNodes {
+		return fmt.Errorf("monitor: path universe %d != node count %d", p.Cap(), ps.numNodes)
+	}
+	if p.Empty() {
+		return fmt.Errorf("monitor: empty path")
+	}
+	ps.paths = append(ps.paths, p.Clone())
+	return nil
+}
+
+// AddAll appends every path in order, stopping at the first error.
+func (ps *PathSet) AddAll(paths []*bitset.Set) error {
+	for i, p := range paths {
+		if err := ps.Add(p); err != nil {
+			return fmt.Errorf("monitor: path %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Len returns |P|.
+func (ps *PathSet) Len() int { return len(ps.paths) }
+
+// NumNodes returns |N|.
+func (ps *PathSet) NumNodes() int { return ps.numNodes }
+
+// Path returns the i-th path (the stored copy; callers must not mutate).
+func (ps *PathSet) Path(i int) *bitset.Set { return ps.paths[i] }
+
+// Clone returns a deep copy.
+func (ps *PathSet) Clone() *PathSet {
+	c := &PathSet{
+		numNodes: ps.numNodes,
+		paths:    make([]*bitset.Set, len(ps.paths)),
+	}
+	for i, p := range ps.paths {
+		c.paths[i] = p.Clone()
+	}
+	return c
+}
+
+// CoveredNodes returns C(P) = ∪_{p∈P} p as a node set.
+func (ps *PathSet) CoveredNodes() *bitset.Set {
+	c := bitset.New(ps.numNodes)
+	for _, p := range ps.paths {
+		c.UnionWith(p)
+	}
+	return c
+}
+
+// Coverage returns |C(P)|, the coverage objective of Section II-B1.
+func (ps *PathSet) Coverage() int { return ps.CoveredNodes().Count() }
+
+// Signatures returns, for every node v, the set of path indices traversing
+// v (the sets P_v of Section II-A, indexed over P). The result is freshly
+// computed on each call.
+func (ps *PathSet) Signatures() []*bitset.Set {
+	sigs := make([]*bitset.Set, ps.numNodes)
+	for v := range sigs {
+		sigs[v] = bitset.New(len(ps.paths))
+	}
+	for i, p := range ps.paths {
+		p.ForEach(func(v int) bool {
+			sigs[v].Add(i)
+			return true
+		})
+	}
+	return sigs
+}
+
+// FailureSignature returns P_F for the failure set F: the set of path
+// indices disrupted when exactly the nodes of F fail. sigs must come from
+// Signatures of this path set.
+func FailureSignature(sigs []*bitset.Set, f []int, numPaths int) *bitset.Set {
+	out := bitset.New(numPaths)
+	for _, v := range f {
+		out.UnionWith(sigs[v])
+	}
+	return out
+}
+
+// PathStates returns the observed binary path states under failure set F:
+// states[i] is true iff path i is disrupted (traverses a failed node).
+func (ps *PathSet) PathStates(failed *bitset.Set) []bool {
+	states := make([]bool, len(ps.paths))
+	for i, p := range ps.paths {
+		states[i] = p.Intersects(failed)
+	}
+	return states
+}

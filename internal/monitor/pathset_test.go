@@ -1,0 +1,141 @@
+package monitor
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/bitset"
+)
+
+// mkPathSet builds a PathSet over n nodes from node index lists.
+func mkPathSet(t testing.TB, n int, paths ...[]int) *PathSet {
+	t.Helper()
+	ps := NewPathSet(n)
+	for _, p := range paths {
+		if err := ps.Add(bitset.FromIndices(n, p...)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return ps
+}
+
+// randomPathSet builds a random path set of contiguous "routes" over n
+// nodes for property tests.
+func randomPathSet(rng *rand.Rand, n, numPaths, maxLen int) *PathSet {
+	ps := NewPathSet(n)
+	for i := 0; i < numPaths; i++ {
+		start := rng.Intn(n)
+		length := 1 + rng.Intn(maxLen)
+		p := bitset.New(n)
+		for j := 0; j < length && start+j < n; j++ {
+			p.Add(start + j)
+		}
+		if err := ps.Add(p); err != nil {
+			panic(err)
+		}
+	}
+	return ps
+}
+
+func TestPathSetAddErrors(t *testing.T) {
+	ps := NewPathSet(4)
+	if err := ps.Add(nil); err == nil {
+		t.Fatal("nil path should error")
+	}
+	if err := ps.Add(bitset.New(5)); err == nil {
+		t.Fatal("wrong universe should error")
+	}
+	if err := ps.Add(bitset.New(4)); err == nil {
+		t.Fatal("empty path should error")
+	}
+	if ps.Len() != 0 {
+		t.Fatal("failed adds must not change the set")
+	}
+}
+
+func TestPathSetAddCopies(t *testing.T) {
+	ps := NewPathSet(4)
+	p := bitset.FromIndices(4, 0, 1)
+	if err := ps.Add(p); err != nil {
+		t.Fatal(err)
+	}
+	p.Add(3)
+	if ps.Path(0).Contains(3) {
+		t.Fatal("Add must copy the path")
+	}
+}
+
+func TestAddAll(t *testing.T) {
+	ps := NewPathSet(4)
+	err := ps.AddAll([]*bitset.Set{
+		bitset.FromIndices(4, 0),
+		bitset.New(4), // invalid: empty
+	})
+	if err == nil {
+		t.Fatal("AddAll should propagate errors")
+	}
+	if ps.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 (stop at first error)", ps.Len())
+	}
+}
+
+func TestCoverage(t *testing.T) {
+	ps := mkPathSet(t, 6, []int{0, 1, 2}, []int{2, 3})
+	if got := ps.Coverage(); got != 4 {
+		t.Fatalf("Coverage = %d, want 4", got)
+	}
+	if got := ps.CoveredNodes().Indices(); !reflect.DeepEqual(got, []int{0, 1, 2, 3}) {
+		t.Fatalf("CoveredNodes = %v", got)
+	}
+}
+
+func TestSignatures(t *testing.T) {
+	ps := mkPathSet(t, 4, []int{0, 1}, []int{1, 2})
+	sigs := ps.Signatures()
+	if got := sigs[0].Indices(); !reflect.DeepEqual(got, []int{0}) {
+		t.Fatalf("sig(0) = %v", got)
+	}
+	if got := sigs[1].Indices(); !reflect.DeepEqual(got, []int{0, 1}) {
+		t.Fatalf("sig(1) = %v", got)
+	}
+	if !sigs[3].Empty() {
+		t.Fatal("uncovered node should have empty signature")
+	}
+}
+
+func TestFailureSignature(t *testing.T) {
+	ps := mkPathSet(t, 4, []int{0, 1}, []int{1, 2}, []int{3})
+	sigs := ps.Signatures()
+	got := FailureSignature(sigs, []int{0, 3}, ps.Len())
+	if !reflect.DeepEqual(got.Indices(), []int{0, 2}) {
+		t.Fatalf("FailureSignature = %v", got)
+	}
+	empty := FailureSignature(sigs, nil, ps.Len())
+	if !empty.Empty() {
+		t.Fatal("empty failure set should produce empty signature")
+	}
+}
+
+func TestPathStates(t *testing.T) {
+	ps := mkPathSet(t, 4, []int{0, 1}, []int{2, 3})
+	states := ps.PathStates(bitset.FromIndices(4, 1))
+	if !reflect.DeepEqual(states, []bool{true, false}) {
+		t.Fatalf("states = %v", states)
+	}
+	none := ps.PathStates(bitset.New(4))
+	if none[0] || none[1] {
+		t.Fatal("no failures should fail no paths")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	ps := mkPathSet(t, 4, []int{0, 1})
+	c := ps.Clone()
+	if err := c.Add(bitset.FromIndices(4, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if ps.Len() != 1 {
+		t.Fatal("clone must not alias")
+	}
+}

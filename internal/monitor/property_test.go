@@ -1,0 +1,128 @@
+package monitor
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/combinat"
+)
+
+// Structural property tests pinning invariants the algorithms rely on.
+
+func TestPartitionRefinementIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(211))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(10)
+		ps := randomPathSet(rng, n, 1+rng.Intn(5), 4)
+		once := NewPartitionFromPaths(ps)
+		twice := NewPartitionFromPaths(ps)
+		for i := 0; i < ps.Len(); i++ {
+			twice.Refine([]*bitset.Set{ps.Path(i)}) // replay every path
+		}
+		if once.S1() != twice.S1() || once.D1() != twice.D1() || once.Coverage() != twice.Coverage() {
+			t.Fatalf("trial %d: refinement is not idempotent", trial)
+		}
+	}
+}
+
+func TestDuplicatePathsDoNotChangeMeasures(t *testing.T) {
+	// Measuring the same connection twice adds no information: all
+	// measures are invariant under path duplication.
+	rng := rand.New(rand.NewSource(223))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(6)
+		ps := randomPathSet(rng, n, 1+rng.Intn(4), 3)
+		dup := ps.Clone()
+		for i := 0; i < ps.Len(); i++ {
+			if err := dup.Add(ps.Path(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if ps.Coverage() != dup.Coverage() {
+			t.Fatal("coverage changed under duplication")
+		}
+		a, b := NewPartitionFromPaths(ps), NewPartitionFromPaths(dup)
+		if a.S1() != b.S1() || a.D1() != b.D1() {
+			t.Fatalf("trial %d: k=1 measures changed under duplication", trial)
+		}
+		for k := 1; k <= 2; k++ {
+			if DistinguishabilityK(ps, k) != DistinguishabilityK(dup, k) {
+				t.Fatalf("trial %d: D_%d changed under duplication", trial, k)
+			}
+			if IdentifiabilityK(ps, k) != IdentifiabilityK(dup, k) {
+				t.Fatalf("trial %d: S_%d changed under duplication", trial, k)
+			}
+		}
+	}
+}
+
+func TestMeasureBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(227))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(10)
+		ps := randomPathSet(rng, n, rng.Intn(6), 4)
+		pt := NewPartitionFromPaths(ps)
+
+		// S1 counts covered nodes only.
+		if pt.S1() > pt.Coverage() {
+			t.Fatalf("trial %d: S1 %d > coverage %d", trial, pt.S1(), pt.Coverage())
+		}
+		// D1 is bounded by all hypothesis pairs.
+		if maxPairs := combinat.Pairs(int64(n) + 1); pt.D1() > maxPairs {
+			t.Fatalf("trial %d: D1 %d > C(n+1,2) %d", trial, pt.D1(), maxPairs)
+		}
+		// Full identifiability ⇔ full distinguishability at k=1.
+		fullD := pt.D1() == combinat.Pairs(int64(n)+1)
+		fullS := pt.S1() == n
+		if fullD != fullS {
+			t.Fatalf("trial %d: full D1 (%v) must coincide with full S1 (%v)", trial, fullD, fullS)
+		}
+	}
+}
+
+func TestMeasuresMonotoneUnderRefinement(t *testing.T) {
+	rng := rand.New(rand.NewSource(229))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(8)
+		full := randomPathSet(rng, n, 1+rng.Intn(6), 4)
+		pt := NewPartition(n)
+		prevS1, prevD1, prevCov := 0, int64(0), 0
+		for i := 0; i < full.Len(); i++ {
+			pt.Refine([]*bitset.Set{full.Path(i)})
+			if pt.S1() < prevS1 {
+				t.Fatalf("trial %d: S1 decreased", trial)
+			}
+			if pt.D1() < prevD1 {
+				t.Fatalf("trial %d: D1 decreased", trial)
+			}
+			if pt.Coverage() < prevCov {
+				t.Fatalf("trial %d: coverage decreased", trial)
+			}
+			prevS1, prevD1, prevCov = pt.S1(), pt.D1(), pt.Coverage()
+		}
+	}
+}
+
+func TestGroupsPartitionNodes(t *testing.T) {
+	rng := rand.New(rand.NewSource(233))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(12)
+		ps := randomPathSet(rng, n, rng.Intn(6), 4)
+		pt := NewPartitionFromPaths(ps)
+		seen := make([]bool, n)
+		for _, g := range pt.Groups() {
+			for _, v := range g {
+				if seen[v] {
+					t.Fatalf("trial %d: node %d appears in two groups", trial, v)
+				}
+				seen[v] = true
+			}
+		}
+		for v, ok := range seen {
+			if !ok {
+				t.Fatalf("trial %d: node %d missing from partition", trial, v)
+			}
+		}
+	}
+}

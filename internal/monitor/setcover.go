@@ -1,0 +1,166 @@
+package monitor
+
+import (
+	"math"
+
+	"repro/internal/bitset"
+	"repro/internal/combinat"
+)
+
+// This file implements the minimum-set-cover machinery of Section III-B:
+// MSC(v; P) is the minimum number of nodes other than v whose joint
+// failure disrupts every path through v. Theorem 4 sandwiches
+// k-identifiability between MSC ≥ k+1 (sufficient) and MSC ≥ k
+// (necessary); Corollary 5 and eq. (4) turn that into countable bounds on
+// |S_k(P)|, with the greedy cover GSC standing in for the NP-hard MSC.
+
+// Uncoverable marks an MSC/GSC value of +∞: some path through v traverses
+// no other node, so no set of other nodes can disrupt all of P_v. Such a
+// node is k-identifiable for every k.
+const Uncoverable = math.MaxInt
+
+// GreedySetCover returns GSC(v; P): the size of the greedy cover of P_v by
+// {P_w : w ≠ v} (footnote 1 of the paper — repeatedly pick the node
+// covering the most uncovered paths of P_v). It returns 0 when v is
+// uncovered and Uncoverable when no cover exists.
+func GreedySetCover(ps *PathSet, v int) int {
+	sigs := ps.Signatures()
+	return greedySetCover(sigs, v)
+}
+
+func greedySetCover(sigs []*bitset.Set, v int) int {
+	uncovered := sigs[v].Clone()
+	if uncovered.Empty() {
+		return 0
+	}
+	size := 0
+	for !uncovered.Empty() {
+		best, bestGain := -1, 0
+		for w := range sigs {
+			if w == v {
+				continue
+			}
+			if gain := uncovered.IntersectionCount(sigs[w]); gain > bestGain {
+				best, bestGain = w, gain
+			}
+		}
+		if best < 0 {
+			return Uncoverable
+		}
+		uncovered.DifferenceWith(sigs[best])
+		size++
+	}
+	return size
+}
+
+// MinimumSetCover returns the exact MSC(v; P) by exhaustive search over
+// cover sizes (exponential; intended for validation on small instances).
+// It returns 0 for uncovered v and Uncoverable when no cover exists.
+func MinimumSetCover(ps *PathSet, v int) int {
+	sigs := ps.Signatures()
+	target := sigs[v]
+	if target.Empty() {
+		return 0
+	}
+	// Candidate nodes: those covering at least one path of P_v.
+	var candidates []int
+	for w := range sigs {
+		if w != v && sigs[w].Intersects(target) {
+			candidates = append(candidates, w)
+		}
+	}
+	// Quick infeasibility check: even all candidates together may miss.
+	all := bitset.New(ps.Len())
+	for _, w := range candidates {
+		all.UnionWith(sigs[w])
+	}
+	if !target.IsSubsetOf(all) {
+		return Uncoverable
+	}
+	cover := bitset.New(ps.Len())
+	for size := 1; size <= len(candidates); size++ {
+		found := false
+		combinat.Combinations(len(candidates), size, func(idx []int) bool {
+			cover.Clear()
+			for _, i := range idx {
+				cover.UnionWith(sigs[candidates[i]])
+			}
+			if target.IsSubsetOf(cover) {
+				found = true
+				return false
+			}
+			return true
+		})
+		if found {
+			return size
+		}
+	}
+	return Uncoverable
+}
+
+// SetCoverBounds holds the identifiability bounds derived from set covers.
+type SetCoverBounds struct {
+	// Lower ≤ |S_k(P)| ≤ Upper.
+	Lower, Upper int
+}
+
+// IdentifiabilityBoundsExact applies Corollary 5 with the exact MSC:
+// |{v : MSC ≥ k+1}| ≤ |S_k(P)| ≤ |{v : MSC ≥ k}|. Exponential in the worst
+// case; use IdentifiabilityBoundsGreedy on real networks.
+func IdentifiabilityBoundsExact(ps *PathSet, k int) SetCoverBounds {
+	var b SetCoverBounds
+	for v := 0; v < ps.NumNodes(); v++ {
+		msc := MinimumSetCover(ps, v)
+		if msc == 0 {
+			// Uncovered node (P_v = ∅): not identifiable for k ≥ 1.
+			if k <= 0 {
+				b.Lower++
+				b.Upper++
+			}
+			continue
+		}
+		if msc >= k+1 {
+			b.Lower++
+		}
+		if msc >= k {
+			b.Upper++
+		}
+	}
+	return b
+}
+
+// IdentifiabilityBoundsGreedy applies eq. (4): using GSC with the
+// H-number approximation ratio,
+//
+//	|{v : GSC/(ln|P_v|+1) ≥ k+1}| ≤ |S_k(P)| ≤ |{v : GSC ≥ k}|.
+//
+// Uncovered nodes are excluded for k ≥ 1 (their state is never
+// observable).
+func IdentifiabilityBoundsGreedy(ps *PathSet, k int) SetCoverBounds {
+	sigs := ps.Signatures()
+	var b SetCoverBounds
+	for v := 0; v < ps.NumNodes(); v++ {
+		pv := sigs[v].Count()
+		if pv == 0 {
+			if k <= 0 {
+				b.Lower++
+				b.Upper++
+			}
+			continue
+		}
+		gsc := greedySetCover(sigs, v)
+		if gsc == Uncoverable {
+			b.Lower++
+			b.Upper++
+			continue
+		}
+		ratio := math.Log(float64(pv)) + 1
+		if float64(gsc)/ratio >= float64(k+1) {
+			b.Lower++
+		}
+		if gsc >= k {
+			b.Upper++
+		}
+	}
+	return b
+}

@@ -1,0 +1,136 @@
+package monitor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestGreedySetCoverUncoveredNode(t *testing.T) {
+	ps := mkPathSet(t, 3, []int{0, 1})
+	if got := GreedySetCover(ps, 2); got != 0 {
+		t.Fatalf("GSC(uncovered) = %d, want 0", got)
+	}
+	if got := MinimumSetCover(ps, 2); got != 0 {
+		t.Fatalf("MSC(uncovered) = %d, want 0", got)
+	}
+}
+
+func TestSetCoverUncoverable(t *testing.T) {
+	// Path {0} traverses only node 0: no other node can disrupt it.
+	ps := mkPathSet(t, 3, []int{0})
+	if got := GreedySetCover(ps, 0); got != Uncoverable {
+		t.Fatalf("GSC = %d, want Uncoverable", got)
+	}
+	if got := MinimumSetCover(ps, 0); got != Uncoverable {
+		t.Fatalf("MSC = %d, want Uncoverable", got)
+	}
+}
+
+func TestSetCoverSimple(t *testing.T) {
+	// Paths through node 0: {0,1}, {0,2}. Node 1 covers the first, node 2
+	// the second → MSC(0) = 2. Or one node covering both? None. So 2.
+	ps := mkPathSet(t, 3, []int{0, 1}, []int{0, 2})
+	if got := MinimumSetCover(ps, 0); got != 2 {
+		t.Fatalf("MSC = %d, want 2", got)
+	}
+	if got := GreedySetCover(ps, 0); got != 2 {
+		t.Fatalf("GSC = %d, want 2", got)
+	}
+}
+
+func TestSetCoverSingleCoveringNode(t *testing.T) {
+	// Paths {0,1}, {0,1,2}: node 1 lies on both → MSC(0) = 1.
+	ps := mkPathSet(t, 3, []int{0, 1}, []int{0, 1, 2})
+	if got := MinimumSetCover(ps, 0); got != 1 {
+		t.Fatalf("MSC = %d, want 1", got)
+	}
+	if got := GreedySetCover(ps, 0); got != 1 {
+		t.Fatalf("GSC = %d, want 1", got)
+	}
+}
+
+func TestGSCUpperBoundsMSC(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.Intn(8)
+		ps := randomPathSet(rng, n, 1+rng.Intn(6), 4)
+		sigs := ps.Signatures()
+		for v := 0; v < n; v++ {
+			msc := MinimumSetCover(ps, v)
+			gsc := GreedySetCover(ps, v)
+			if (msc == Uncoverable) != (gsc == Uncoverable) {
+				t.Fatalf("trial %d node %d: coverability disagrees (msc=%d gsc=%d)", trial, v, msc, gsc)
+			}
+			if msc == Uncoverable {
+				continue
+			}
+			if gsc < msc {
+				t.Fatalf("trial %d node %d: GSC %d < MSC %d", trial, v, gsc, msc)
+			}
+			// Approximation guarantee: GSC ≤ (ln|P_v| + 1)·MSC.
+			pv := sigs[v].Count()
+			if pv > 0 && float64(gsc) > (math.Log(float64(pv))+1)*float64(msc)+1e-9 {
+				t.Fatalf("trial %d node %d: GSC %d exceeds ratio bound (|P_v|=%d, MSC=%d)",
+					trial, v, gsc, pv, msc)
+			}
+		}
+	}
+}
+
+// Corollary 5: |{MSC ≥ k+1}| ≤ |S_k| ≤ |{MSC ≥ k}| on random instances,
+// with S_k computed by exact enumeration.
+func TestCorollary5Sandwich(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(7)
+		ps := randomPathSet(rng, n, 1+rng.Intn(6), 4)
+		for k := 1; k <= 2; k++ {
+			sk := IdentifiabilityK(ps, k)
+			b := IdentifiabilityBoundsExact(ps, k)
+			if b.Lower > sk || sk > b.Upper {
+				t.Fatalf("trial %d k=%d: bounds [%d, %d] miss S_k = %d\npaths=%v",
+					trial, k, b.Lower, b.Upper, sk, dumpPaths(ps))
+			}
+		}
+	}
+}
+
+// eq. (4): the relaxed greedy bounds also sandwich S_k.
+func TestEquation4Sandwich(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(7)
+		ps := randomPathSet(rng, n, 1+rng.Intn(6), 4)
+		for k := 1; k <= 2; k++ {
+			sk := IdentifiabilityK(ps, k)
+			b := IdentifiabilityBoundsGreedy(ps, k)
+			if b.Lower > sk || sk > b.Upper {
+				t.Fatalf("trial %d k=%d: greedy bounds [%d, %d] miss S_k = %d\npaths=%v",
+					trial, k, b.Lower, b.Upper, sk, dumpPaths(ps))
+			}
+			// The greedy bounds are relaxations of the exact ones.
+			exact := IdentifiabilityBoundsExact(ps, k)
+			if b.Lower > exact.Lower || b.Upper < exact.Upper {
+				t.Fatalf("trial %d k=%d: greedy bounds [%d, %d] tighter than exact [%d, %d]",
+					trial, k, b.Lower, b.Upper, exact.Lower, exact.Upper)
+			}
+		}
+	}
+}
+
+func TestBoundsK0(t *testing.T) {
+	// Every node is vacuously 0-identifiable: F_0 = {∅} only.
+	ps := mkPathSet(t, 4, []int{0, 1})
+	if got := IdentifiabilityK(ps, 0); got != 4 {
+		t.Fatalf("S_0 = %d, want 4", got)
+	}
+	b := IdentifiabilityBoundsExact(ps, 0)
+	if b.Lower > 4 || b.Upper < 4 {
+		t.Fatalf("k=0 exact bounds [%d, %d] should include 4", b.Lower, b.Upper)
+	}
+	bg := IdentifiabilityBoundsGreedy(ps, 0)
+	if bg.Upper < 4 {
+		t.Fatalf("k=0 greedy upper %d should include 4", bg.Upper)
+	}
+}

@@ -1,0 +1,241 @@
+// Package monitord is the online monitoring daemon: it consumes the
+// stream of end-to-end connection state changes a deployed placement
+// produces and maintains a rolling failure diagnosis. It is the runtime
+// counterpart of the offline tomography package — same inference, but
+// incremental, event-driven, and aware that some connections have not
+// reported yet.
+//
+// The daemon is deliberately synchronous and deterministic: callers feed
+// it state transitions (from netsim, from production probes, or from
+// tests) and receive the events the transition triggered. Concurrency, if
+// needed, belongs to the caller.
+package monitord
+
+import (
+	"fmt"
+
+	"repro/internal/bitset"
+	"repro/internal/monitor"
+	"repro/internal/tomography"
+)
+
+// ConnState is the last known state of one monitored connection.
+type ConnState int
+
+// Connection states.
+const (
+	// StateUnknown means the connection has not reported yet; it
+	// contributes nothing to the diagnosis.
+	StateUnknown ConnState = iota
+	// StateUp means the last report was a success.
+	StateUp
+	// StateDown means the last report was a failure.
+	StateDown
+)
+
+// String renders the state.
+func (s ConnState) String() string {
+	switch s {
+	case StateUnknown:
+		return "unknown"
+	case StateUp:
+		return "up"
+	case StateDown:
+		return "down"
+	default:
+		return fmt.Sprintf("ConnState(%d)", int(s))
+	}
+}
+
+// EventKind classifies daemon events.
+type EventKind int
+
+// Daemon event kinds.
+const (
+	// EventOutageStarted fires when the first connection goes down after
+	// an all-clear period.
+	EventOutageStarted EventKind = iota + 1
+	// EventDiagnosisChanged fires whenever the candidate failure sets
+	// change while an outage is in progress.
+	EventDiagnosisChanged
+	// EventOutageCleared fires when every reporting connection is up
+	// again.
+	EventOutageCleared
+	// EventInconsistent fires when no failure set within the budget
+	// explains the reports (more failures than k, or conflicting data).
+	EventInconsistent
+)
+
+// String renders the kind.
+func (k EventKind) String() string {
+	switch k {
+	case EventOutageStarted:
+		return "outage-started"
+	case EventDiagnosisChanged:
+		return "diagnosis-changed"
+	case EventOutageCleared:
+		return "outage-cleared"
+	case EventInconsistent:
+		return "inconsistent"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is one daemon notification.
+type Event struct {
+	Time float64
+	Kind EventKind
+	// Diagnosis accompanies EventOutageStarted and
+	// EventDiagnosisChanged.
+	Diagnosis *tomography.Diagnosis
+}
+
+// Monitor is the daemon state. Create with New; not safe for concurrent
+// use.
+type Monitor struct {
+	numNodes int
+	k        int
+	paths    []*bitset.Set
+	states   []ConnState
+	inOutage bool
+	lastKey  string
+}
+
+// New creates a monitor for a fixed set of monitored connections, each
+// identified by its index and described by the node set of its routed
+// path. k is the failure budget used for diagnosis.
+func New(numNodes, k int, paths []*bitset.Set) (*Monitor, error) {
+	if numNodes <= 0 {
+		return nil, fmt.Errorf("monitord: numNodes = %d", numNodes)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("monitord: k = %d", k)
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("monitord: no connections")
+	}
+	m := &Monitor{
+		numNodes: numNodes,
+		k:        k,
+		paths:    make([]*bitset.Set, len(paths)),
+		states:   make([]ConnState, len(paths)),
+	}
+	for i, p := range paths {
+		if p == nil || p.Cap() != numNodes || p.Empty() {
+			return nil, fmt.Errorf("monitord: connection %d has an invalid path", i)
+		}
+		m.paths[i] = p.Clone()
+	}
+	return m, nil
+}
+
+// NumConnections returns the number of monitored connections.
+func (m *Monitor) NumConnections() int { return len(m.paths) }
+
+// State returns the last known state of connection i.
+func (m *Monitor) State(i int) ConnState { return m.states[i] }
+
+// InOutage reports whether at least one reporting connection is down.
+func (m *Monitor) InOutage() bool { return m.inOutage }
+
+// Report feeds one connection observation at virtual time t and returns
+// the events it triggered (possibly none). Repeated identical reports are
+// cheap no-ops.
+func (m *Monitor) Report(t float64, conn int, up bool) ([]Event, error) {
+	if conn < 0 || conn >= len(m.paths) {
+		return nil, fmt.Errorf("monitord: connection %d out of range", conn)
+	}
+	newState := StateDown
+	if up {
+		newState = StateUp
+	}
+	if m.states[conn] == newState {
+		return nil, nil
+	}
+	m.states[conn] = newState
+
+	anyDown := false
+	for _, s := range m.states {
+		if s == StateDown {
+			anyDown = true
+			break
+		}
+	}
+
+	var events []Event
+	switch {
+	case anyDown && !m.inOutage:
+		m.inOutage = true
+		diag, err := m.diagnose()
+		if err != nil {
+			events = append(events,
+				Event{Time: t, Kind: EventOutageStarted},
+				Event{Time: t, Kind: EventInconsistent})
+			m.lastKey = "!"
+			return events, nil
+		}
+		m.lastKey = diagnosisKey(diag)
+		events = append(events, Event{Time: t, Kind: EventOutageStarted, Diagnosis: diag})
+	case anyDown && m.inOutage:
+		diag, err := m.diagnose()
+		if err != nil {
+			if m.lastKey != "!" {
+				m.lastKey = "!"
+				events = append(events, Event{Time: t, Kind: EventInconsistent})
+			}
+			return events, nil
+		}
+		if key := diagnosisKey(diag); key != m.lastKey {
+			m.lastKey = key
+			events = append(events, Event{Time: t, Kind: EventDiagnosisChanged, Diagnosis: diag})
+		}
+	case !anyDown && m.inOutage:
+		m.inOutage = false
+		m.lastKey = ""
+		events = append(events, Event{Time: t, Kind: EventOutageCleared})
+	}
+	return events, nil
+}
+
+// Diagnosis recomputes the current diagnosis from all reporting
+// connections. It returns an error outside outages (nothing to diagnose)
+// or when the reports are inconsistent with the failure budget.
+func (m *Monitor) Diagnosis() (*tomography.Diagnosis, error) {
+	if !m.inOutage {
+		return nil, fmt.Errorf("monitord: no outage in progress")
+	}
+	return m.diagnose()
+}
+
+func (m *Monitor) diagnose() (*tomography.Diagnosis, error) {
+	ps := monitor.NewPathSet(m.numNodes)
+	var failed []bool
+	for i, s := range m.states {
+		if s == StateUnknown {
+			continue
+		}
+		if err := ps.Add(m.paths[i]); err != nil {
+			return nil, err
+		}
+		failed = append(failed, s == StateDown)
+	}
+	obs, err := tomography.NewObservation(ps, failed)
+	if err != nil {
+		return nil, err
+	}
+	return tomography.Localize(obs, m.k)
+}
+
+// diagnosisKey fingerprints the candidate list so changes are detectable.
+func diagnosisKey(d *tomography.Diagnosis) string {
+	key := ""
+	for _, f := range d.Consistent {
+		key += "["
+		for _, v := range f {
+			key += fmt.Sprintf("%d,", v)
+		}
+		key += "]"
+	}
+	return key
+}

@@ -1,0 +1,85 @@
+package monitord
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/monitor"
+	"repro/internal/tomography"
+)
+
+// The daemon's incremental diagnosis must always equal an offline
+// Localize over the currently known connection states, whatever the
+// report order — the event-driven path adds no approximation.
+func TestDaemonMatchesOfflineLocalization(t *testing.T) {
+	rng := rand.New(rand.NewSource(307))
+	for trial := 0; trial < 30; trial++ {
+		n := 3 + rng.Intn(6)
+		numConns := 2 + rng.Intn(4)
+		paths := make([]*bitset.Set, numConns)
+		for i := range paths {
+			p := bitset.New(n)
+			start := rng.Intn(n)
+			for j := 0; j <= rng.Intn(3); j++ {
+				p.Add((start + j) % n)
+			}
+			paths[i] = p
+		}
+		m, err := New(n, 1, paths)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Random report stream.
+		for step := 0; step < 12; step++ {
+			conn := rng.Intn(numConns)
+			up := rng.Intn(2) == 0
+			if _, err := m.Report(float64(step), conn, up); err != nil {
+				t.Fatal(err)
+			}
+			if !m.InOutage() {
+				continue
+			}
+			daemonDiag, daemonErr := m.Diagnosis()
+			offlineDiag, offlineErr := offlineLocalize(n, paths, m)
+			if (daemonErr == nil) != (offlineErr == nil) {
+				t.Fatalf("trial %d step %d: error disagreement: %v vs %v",
+					trial, step, daemonErr, offlineErr)
+			}
+			if daemonErr != nil {
+				continue
+			}
+			if !reflect.DeepEqual(daemonDiag.Consistent, offlineDiag.Consistent) {
+				t.Fatalf("trial %d step %d: daemon %v != offline %v",
+					trial, step, daemonDiag.Consistent, offlineDiag.Consistent)
+			}
+		}
+	}
+}
+
+// offlineLocalize rebuilds the observation from the daemon's visible
+// state and runs plain tomography.
+func offlineLocalize(n int, paths []*bitset.Set, m *Monitor) (*tomography.Diagnosis, error) {
+	ps := monitor.NewPathSet(n)
+	var failed []bool
+	for i, p := range paths {
+		switch m.State(i) {
+		case StateUnknown:
+			continue
+		case StateUp:
+			failed = append(failed, false)
+		case StateDown:
+			failed = append(failed, true)
+		}
+		if err := ps.Add(p); err != nil {
+			return nil, err
+		}
+	}
+	obs, err := tomography.NewObservation(ps, failed)
+	if err != nil {
+		return nil, err
+	}
+	return tomography.Localize(obs, 1)
+}

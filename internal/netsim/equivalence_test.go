@@ -1,0 +1,104 @@
+package netsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/monitor"
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+// Under static failures (no transitions during probing), the event
+// simulator's connection states must agree exactly with the analytic
+// path-state model the monitoring theory uses: a connection fails iff its
+// routed path intersects the failure set. This is the contract that makes
+// the simulator a faithful observation generator.
+func TestSimulatorMatchesAnalyticModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	topo := topology.MustBuild(topology.Abovenet)
+	router, err := routing.New(topo.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := topo.Graph.NumNodes()
+
+	for trial := 0; trial < 20; trial++ {
+		// Random static failure set.
+		failed := bitset.New(n)
+		for v := 0; v < n; v++ {
+			if rng.Intn(6) == 0 {
+				failed.Add(v)
+			}
+		}
+		// Random client-host pairs avoiding failed endpoints is NOT
+		// required — endpoint failures must be observed too.
+		var pairs []Pair
+		for i := 0; i < 6; i++ {
+			pairs = append(pairs, Pair{Client: rng.Intn(n), Host: rng.Intn(n)})
+		}
+
+		sim, err := New(router, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		failed.ForEach(func(v int) bool {
+			if err := sim.FailAt(0, v); err != nil {
+				t.Fatal(err)
+			}
+			return true
+		})
+		seen := map[Pair]bool{}
+		for _, p := range pairs {
+			if seen[p] {
+				continue
+			}
+			seen[p] = true
+			if err := sim.RequestAt(1, p.Client, p.Host); err != nil {
+				t.Fatal(err)
+			}
+		}
+		outcomes, err := sim.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Analytic states.
+		ps := monitor.NewPathSet(n)
+		var want []bool
+		order := make([]Pair, 0, len(seen))
+		for _, p := range pairs {
+			if len(order) > 0 && contains(order, p) {
+				continue
+			}
+			order = append(order, p)
+			path, err := router.Path(p.Client, p.Host)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := ps.Add(path); err != nil {
+				t.Fatal(err)
+			}
+			want = append(want, path.Intersects(failed))
+		}
+
+		got := ConnectionStates(outcomes)
+		for i, p := range order {
+			simFailed := !got[p]
+			if simFailed != want[i] {
+				t.Fatalf("trial %d pair %+v: simulator failed=%v, analytic=%v (failure set %v)",
+					trial, p, simFailed, want[i], failed)
+			}
+		}
+	}
+}
+
+func contains(pairs []Pair, p Pair) bool {
+	for _, q := range pairs {
+		if q == p {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,17 @@
+package netsim
+
+import (
+	"testing"
+
+	"repro/internal/tomography"
+)
+
+// localize runs tomography at k = 1 and returns the consistent sets.
+func localize(t testing.TB, obs *tomography.Observation) ([][]int, error) {
+	t.Helper()
+	d, err := tomography.Localize(obs, 1)
+	if err != nil {
+		return nil, err
+	}
+	return d.Consistent, nil
+}

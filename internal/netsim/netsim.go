@@ -1,0 +1,251 @@
+// Package netsim is a deterministic discrete-event simulator of the
+// service network. It produces the paper's raw input — binary end-to-end
+// connection states between clients and servers — by actually delivering
+// request/response traffic hop by hop over routed paths while nodes fail
+// and recover on a schedule. The monitoring stack (monitor, tomography)
+// consumes the resulting observations exactly as it would consume
+// production connection logs; no wall-clock time is involved, so runs are
+// reproducible.
+package netsim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/routing"
+)
+
+// Outcome describes one completed service request.
+type Outcome struct {
+	Client, Host graph.NodeID
+	// Start and End are virtual times; End is when the response returned
+	// to the client or the request died.
+	Start, End float64
+	// Success reports whether the round trip completed.
+	Success bool
+	// FailedAt is the node that dropped the request, or -1 on success.
+	FailedAt graph.NodeID
+}
+
+// Simulator is a single-run discrete-event engine. Create with New,
+// schedule failures/recoveries/requests, then Run. A Simulator is not safe
+// for concurrent use.
+type Simulator struct {
+	router      *routing.Router
+	perHopDelay float64
+	now         float64
+	seq         int
+	queue       eventHeap
+	down        []bool
+	outcomes    []Outcome
+	ran         bool
+}
+
+// New creates a simulator over a routed graph. perHopDelay is the virtual
+// time to traverse one hop; it must be positive.
+func New(r *routing.Router, perHopDelay float64) (*Simulator, error) {
+	if r == nil {
+		return nil, fmt.Errorf("netsim: nil router")
+	}
+	if perHopDelay <= 0 || math.IsNaN(perHopDelay) || math.IsInf(perHopDelay, 0) {
+		return nil, fmt.Errorf("netsim: perHopDelay must be positive and finite, got %v", perHopDelay)
+	}
+	return &Simulator{
+		router:      r,
+		perHopDelay: perHopDelay,
+		down:        make([]bool, r.NumNodes()),
+	}, nil
+}
+
+// event is a scheduled action. Kind-specific fields are overloaded.
+type event struct {
+	time float64
+	seq  int // insertion order for deterministic same-time ordering
+	kind eventKind
+
+	node graph.NodeID // FailNode / RecoverNode
+
+	// request traversal state:
+	client, host graph.NodeID
+	path         []graph.NodeID
+	idx          int // current position on path (outbound 0→len-1, inbound back)
+	inbound      bool
+	start        float64
+}
+
+type eventKind int
+
+const (
+	kindFail eventKind = iota + 1
+	kindRecover
+	kindHop
+)
+
+// FailAt schedules node v to go down at time t.
+func (s *Simulator) FailAt(t float64, v graph.NodeID) error {
+	if err := s.checkSchedule(t, v); err != nil {
+		return err
+	}
+	s.push(&event{time: t, kind: kindFail, node: v})
+	return nil
+}
+
+// RecoverAt schedules node v to come back up at time t.
+func (s *Simulator) RecoverAt(t float64, v graph.NodeID) error {
+	if err := s.checkSchedule(t, v); err != nil {
+		return err
+	}
+	s.push(&event{time: t, kind: kindRecover, node: v})
+	return nil
+}
+
+// RequestAt schedules a service request from client to host departing at
+// time t. The request follows the routed path outbound and retraces it
+// inbound; it dies at the first down node it touches (endpoints included,
+// matching the paper's node-set path semantics).
+func (s *Simulator) RequestAt(t float64, client, host graph.NodeID) error {
+	if err := s.checkSchedule(t, client); err != nil {
+		return err
+	}
+	if host < 0 || host >= s.router.NumNodes() {
+		return fmt.Errorf("netsim: host %d out of range", host)
+	}
+	path := s.router.PathNodes(client, host)
+	if path == nil {
+		return fmt.Errorf("netsim: no route from %d to %d", client, host)
+	}
+	s.push(&event{
+		time: t, kind: kindHop,
+		client: client, host: host,
+		path: path, idx: 0, inbound: false, start: t,
+	})
+	return nil
+}
+
+// ProbeAllAt schedules one request per (client, host) pair at time t —
+// the periodic service-layer measurement round.
+func (s *Simulator) ProbeAllAt(t float64, clients []graph.NodeID, host graph.NodeID) error {
+	for _, c := range clients {
+		if err := s.RequestAt(t, c, host); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Run processes all scheduled events and returns the request outcomes
+// sorted by (start time, client, host). Run can be called once.
+func (s *Simulator) Run() ([]Outcome, error) {
+	if s.ran {
+		return nil, fmt.Errorf("netsim: Run already called")
+	}
+	s.ran = true
+	for s.queue.Len() > 0 {
+		ev := heap.Pop(&s.queue).(*event)
+		if ev.time < s.now {
+			return nil, fmt.Errorf("netsim: time went backwards (%v < %v)", ev.time, s.now)
+		}
+		s.now = ev.time
+		switch ev.kind {
+		case kindFail:
+			s.down[ev.node] = true
+		case kindRecover:
+			s.down[ev.node] = false
+		case kindHop:
+			s.hop(ev)
+		}
+	}
+	out := append([]Outcome(nil), s.outcomes...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		if out[i].Client != out[j].Client {
+			return out[i].Client < out[j].Client
+		}
+		return out[i].Host < out[j].Host
+	})
+	return out, nil
+}
+
+// hop advances a request one node. The request is at path[idx] now.
+func (s *Simulator) hop(ev *event) {
+	at := ev.path[ev.idx]
+	if s.down[at] {
+		s.outcomes = append(s.outcomes, Outcome{
+			Client: ev.client, Host: ev.host,
+			Start: ev.start, End: s.now,
+			Success: false, FailedAt: at,
+		})
+		return
+	}
+	if !ev.inbound {
+		if ev.idx == len(ev.path)-1 {
+			// Reached the host; turn around (degenerate single-node paths
+			// turn around immediately).
+			ev.inbound = true
+		}
+	}
+	if ev.inbound && ev.idx == 0 {
+		s.outcomes = append(s.outcomes, Outcome{
+			Client: ev.client, Host: ev.host,
+			Start: ev.start, End: s.now,
+			Success: true, FailedAt: -1,
+		})
+		return
+	}
+	if ev.inbound {
+		ev.idx--
+	} else {
+		ev.idx++
+	}
+	ev.time = s.now + s.perHopDelay
+	s.push(ev)
+}
+
+func (s *Simulator) push(ev *event) {
+	ev.seq = s.seq
+	s.seq++
+	heap.Push(&s.queue, ev)
+}
+
+func (s *Simulator) checkSchedule(t float64, v graph.NodeID) error {
+	if s.ran {
+		return fmt.Errorf("netsim: cannot schedule after Run")
+	}
+	if t < 0 || math.IsNaN(t) || math.IsInf(t, 0) {
+		return fmt.Errorf("netsim: bad time %v", t)
+	}
+	if v < 0 || v >= s.router.NumNodes() {
+		return fmt.Errorf("netsim: node %d out of range", v)
+	}
+	return nil
+}
+
+// eventHeap orders events by (time, seq).
+type eventHeap struct {
+	events []*event
+}
+
+func (h *eventHeap) Len() int { return len(h.events) }
+
+func (h *eventHeap) Less(i, j int) bool {
+	if h.events[i].time != h.events[j].time {
+		return h.events[i].time < h.events[j].time
+	}
+	return h.events[i].seq < h.events[j].seq
+}
+
+func (h *eventHeap) Swap(i, j int) { h.events[i], h.events[j] = h.events[j], h.events[i] }
+
+func (h *eventHeap) Push(x any) { h.events = append(h.events, x.(*event)) }
+
+func (h *eventHeap) Pop() any {
+	last := len(h.events) - 1
+	e := h.events[last]
+	h.events = h.events[:last]
+	return e
+}

@@ -1,0 +1,280 @@
+package netsim
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+func lineRouter(t testing.TB, n int) *routing.Router {
+	t.Helper()
+	g, err := topology.Line(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := routing.New(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestNewValidation(t *testing.T) {
+	r := lineRouter(t, 3)
+	if _, err := New(nil, 1); err == nil {
+		t.Fatal("nil router should error")
+	}
+	if _, err := New(r, 0); err == nil {
+		t.Fatal("zero delay should error")
+	}
+	if _, err := New(r, -1); err == nil {
+		t.Fatal("negative delay should error")
+	}
+}
+
+func TestHealthyRoundTrip(t *testing.T) {
+	r := lineRouter(t, 4)
+	s, err := New(r, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RequestAt(0, 0, 3); err != nil {
+		t.Fatal(err)
+	}
+	out, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 {
+		t.Fatalf("outcomes = %v", out)
+	}
+	o := out[0]
+	if !o.Success || o.FailedAt != -1 {
+		t.Fatalf("expected success, got %+v", o)
+	}
+	// Round trip over 3 hops each way = 6 hop delays.
+	if o.End-o.Start != 6 {
+		t.Fatalf("RTT = %v, want 6", o.End-o.Start)
+	}
+}
+
+func TestDegenerateSelfRequest(t *testing.T) {
+	r := lineRouter(t, 2)
+	s, err := New(r, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RequestAt(5, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	out, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out[0].Success || out[0].End != 5 {
+		t.Fatalf("self request outcome = %+v", out[0])
+	}
+}
+
+func TestFailedNodeDropsRequest(t *testing.T) {
+	r := lineRouter(t, 4)
+	s, err := New(r, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.FailAt(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RequestAt(1, 0, 3); err != nil {
+		t.Fatal(err)
+	}
+	out, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := out[0]
+	if o.Success {
+		t.Fatalf("expected failure, got %+v", o)
+	}
+	if o.FailedAt != 2 {
+		t.Fatalf("FailedAt = %d, want 2", o.FailedAt)
+	}
+}
+
+func TestFailedEndpointDropsRequest(t *testing.T) {
+	// Failure of the client itself counts (paper: client nodes are access
+	// points whose state matters).
+	r := lineRouter(t, 3)
+	s, err := New(r, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.FailAt(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RequestAt(1, 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	out, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].Success || out[0].FailedAt != 0 {
+		t.Fatalf("outcome = %+v", out[0])
+	}
+}
+
+func TestRecoveryRestoresService(t *testing.T) {
+	r := lineRouter(t, 3)
+	s, err := New(r, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.FailAt(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RecoverAt(10, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RequestAt(1, 0, 2); err != nil { // during outage
+		t.Fatal(err)
+	}
+	if err := s.RequestAt(20, 0, 2); err != nil { // after recovery
+		t.Fatal(err)
+	}
+	out, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].Success {
+		t.Fatal("request during outage should fail")
+	}
+	if !out[1].Success {
+		t.Fatal("request after recovery should succeed")
+	}
+}
+
+func TestMidFlightFailure(t *testing.T) {
+	// Node 2 fails at t=2.5; a request leaving at t=0 passes node 2
+	// outbound at t=2 but hits it inbound at t=4 → fails inbound.
+	r := lineRouter(t, 4)
+	s, err := New(r, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.FailAt(2.5, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RequestAt(0, 0, 3); err != nil {
+		t.Fatal(err)
+	}
+	out, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].Success || out[0].FailedAt != 2 {
+		t.Fatalf("outcome = %+v", out[0])
+	}
+	if out[0].End != 4 {
+		t.Fatalf("failure time = %v, want 4 (inbound pass)", out[0].End)
+	}
+}
+
+func TestSchedulingValidation(t *testing.T) {
+	r := lineRouter(t, 3)
+	s, err := New(r, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.FailAt(-1, 0); err == nil {
+		t.Fatal("negative time should error")
+	}
+	if err := s.FailAt(0, 9); err == nil {
+		t.Fatal("bad node should error")
+	}
+	if err := s.RequestAt(0, 0, 9); err == nil {
+		t.Fatal("bad host should error")
+	}
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(); err == nil {
+		t.Fatal("second Run should error")
+	}
+	if err := s.RequestAt(0, 0, 1); err == nil {
+		t.Fatal("scheduling after Run should error")
+	}
+}
+
+func TestProbeAllAt(t *testing.T) {
+	r := lineRouter(t, 5)
+	s, err := New(r, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ProbeAllAt(0, []graph.NodeID{0, 4}, 2); err != nil {
+		t.Fatal(err)
+	}
+	out, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("outcomes = %d, want 2", len(out))
+	}
+}
+
+func TestConnectionStatesLatestWins(t *testing.T) {
+	outcomes := []Outcome{
+		{Client: 0, Host: 2, Start: 0, Success: false},
+		{Client: 0, Host: 2, Start: 10, Success: true},
+	}
+	states := ConnectionStates(outcomes)
+	if !states[Pair{Client: 0, Host: 2}] {
+		t.Fatal("latest outcome should win")
+	}
+}
+
+func TestBuildObservationEndToEnd(t *testing.T) {
+	// Line 0-1-2-3-4, host at 2, clients 0 and 4, node 1 down: the pair
+	// (0,2) fails, (4,2) succeeds. Tomography should prove 2, 3, 4 healthy
+	// and narrow the failure to {0, 1}.
+	r := lineRouter(t, 5)
+	s, err := New(r, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.FailAt(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ProbeAllAt(1, []graph.NodeID{0, 4}, 2); err != nil {
+		t.Fatal(err)
+	}
+	out, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs, err := BuildObservation(r, ConnectionStates(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !obs.AnyFailure() {
+		t.Fatal("expected a failed connection")
+	}
+	diag, err := localize(t, obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(diag, [][]int{{0}, {1}}) {
+		t.Fatalf("consistent sets = %v, want [[0] [1]]", diag)
+	}
+}
+
+func TestBuildObservationNilRouter(t *testing.T) {
+	if _, err := BuildObservation(nil, nil); err == nil {
+		t.Fatal("nil router should error")
+	}
+}

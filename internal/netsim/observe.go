@@ -1,0 +1,70 @@
+package netsim
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/monitor"
+	"repro/internal/routing"
+	"repro/internal/tomography"
+)
+
+// Pair identifies a client-host connection.
+type Pair struct {
+	Client, Host graph.NodeID
+}
+
+// ConnectionStates folds request outcomes into per-connection binary
+// states, keeping the latest outcome per (client, host) pair — the view a
+// service-layer monitor accumulates from ongoing traffic.
+func ConnectionStates(outcomes []Outcome) map[Pair]bool {
+	states := make(map[Pair]bool, len(outcomes))
+	for _, o := range outcomes { // outcomes are start-time sorted by Run
+		states[Pair{Client: o.Client, Host: o.Host}] = o.Success
+	}
+	return states
+}
+
+// BuildObservation turns per-connection states into a tomography
+// observation: each connection contributes its routed path with state
+// failed = !success. The pairs are processed in deterministic
+// (client, host) order.
+func BuildObservation(r *routing.Router, states map[Pair]bool) (*tomography.Observation, error) {
+	if r == nil {
+		return nil, fmt.Errorf("netsim: nil router")
+	}
+	pairs := make([]Pair, 0, len(states))
+	for p := range states {
+		pairs = append(pairs, p)
+	}
+	sortPairs(pairs)
+
+	ps := monitor.NewPathSet(r.NumNodes())
+	failed := make([]bool, 0, len(pairs))
+	for _, p := range pairs {
+		path, err := r.Path(p.Client, p.Host)
+		if err != nil {
+			return nil, fmt.Errorf("netsim: pair (%d,%d): %w", p.Client, p.Host, err)
+		}
+		if err := ps.Add(path); err != nil {
+			return nil, err
+		}
+		failed = append(failed, !states[p])
+	}
+	return tomography.NewObservation(ps, failed)
+}
+
+func sortPairs(pairs []Pair) {
+	for i := 1; i < len(pairs); i++ {
+		for j := i; j > 0 && less(pairs[j], pairs[j-1]); j-- {
+			pairs[j], pairs[j-1] = pairs[j-1], pairs[j]
+		}
+	}
+}
+
+func less(a, b Pair) bool {
+	if a.Client != b.Client {
+		return a.Client < b.Client
+	}
+	return a.Host < b.Host
+}

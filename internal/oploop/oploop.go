@@ -1,0 +1,255 @@
+// Package oploop measures the operational value of a placement end to
+// end: it generates a failure/recovery trace, replays it through the
+// discrete-event simulator with periodic probing, feeds the binary
+// connection states to the online monitoring daemon, and scores the
+// daemon's timeline against ground truth — detection rate, detection
+// delay, and diagnosis correctness. This is the latency-domain
+// counterpart of failsim's accuracy-domain experiments, and the
+// quantified version of `placemon simulate`.
+package oploop
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bitset"
+	"repro/internal/failmodel"
+	"repro/internal/graph"
+	"repro/internal/monitord"
+	"repro/internal/netsim"
+	"repro/internal/routing"
+)
+
+// Config parameterizes one run.
+type Config struct {
+	// ProbePeriod is the virtual time between probe rounds (> 0).
+	ProbePeriod float64
+	// Horizon is the trace length.
+	Horizon float64
+	// MTBF and MTTR parameterize the failure model. Choose MTTR several
+	// probe periods long or episodes end before they can be observed.
+	MTBF, MTTR float64
+	// Seed drives the failure schedule.
+	Seed int64
+	// PerHopDelay is the simulator's hop latency (default 0.01).
+	PerHopDelay float64
+}
+
+// Episode is one ground-truth failure with the daemon's response.
+type Episode struct {
+	Node           graph.NodeID
+	Start, End     float64
+	Detected       bool
+	DetectionDelay float64 // valid when Detected
+	// Diagnosed reports whether, at some point during the episode, the
+	// daemon's candidate list contained exactly-{Node} among candidates.
+	Diagnosed bool
+	// Pinpointed reports whether the daemon's diagnosis was uniquely
+	// {Node} at some point during the episode.
+	Pinpointed bool
+}
+
+// Outcome aggregates a run.
+type Outcome struct {
+	Episodes []Episode
+	// Covered is the number of nodes on at least one monitored path;
+	// failures of uncovered nodes are invisible by construction.
+	Covered int
+}
+
+// DetectionRate returns the fraction of episodes detected.
+func (o *Outcome) DetectionRate() float64 {
+	if len(o.Episodes) == 0 {
+		return 0
+	}
+	d := 0
+	for _, e := range o.Episodes {
+		if e.Detected {
+			d++
+		}
+	}
+	return float64(d) / float64(len(o.Episodes))
+}
+
+// PinpointRate returns the fraction of episodes whose failing node was
+// uniquely identified.
+func (o *Outcome) PinpointRate() float64 {
+	if len(o.Episodes) == 0 {
+		return 0
+	}
+	p := 0
+	for _, e := range o.Episodes {
+		if e.Pinpointed {
+			p++
+		}
+	}
+	return float64(p) / float64(len(o.Episodes))
+}
+
+// MeanDetectionDelay returns the average delay over detected episodes,
+// or -1 when nothing was detected.
+func (o *Outcome) MeanDetectionDelay() float64 {
+	sum, n := 0.0, 0
+	for _, e := range o.Episodes {
+		if e.Detected {
+			sum += e.DetectionDelay
+			n++
+		}
+	}
+	if n == 0 {
+		return -1
+	}
+	return sum / float64(n)
+}
+
+// Run executes the loop for one placement, given the monitored
+// connections as (client, host) pairs. The failure schedule is capped at
+// one concurrent failure so episodes are disjoint and attribution is
+// unambiguous.
+func Run(router *routing.Router, conns []netsim.Pair, cfg Config) (*Outcome, error) {
+	if router == nil {
+		return nil, fmt.Errorf("oploop: nil router")
+	}
+	if len(conns) == 0 {
+		return nil, fmt.Errorf("oploop: no connections")
+	}
+	if cfg.ProbePeriod <= 0 {
+		return nil, fmt.Errorf("oploop: ProbePeriod = %v", cfg.ProbePeriod)
+	}
+	if cfg.PerHopDelay == 0 {
+		cfg.PerHopDelay = 0.01
+	}
+
+	schedule, err := failmodel.Generate(failmodel.Config{
+		NumNodes:      router.NumNodes(),
+		MTBF:          cfg.MTBF,
+		MTTR:          cfg.MTTR,
+		Horizon:       cfg.Horizon,
+		MaxConcurrent: 1,
+		Seed:          cfg.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("oploop: %w", err)
+	}
+
+	sim, err := netsim.New(router, cfg.PerHopDelay)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range schedule {
+		if e.Down {
+			err = sim.FailAt(e.Time, e.Node)
+		} else {
+			err = sim.RecoverAt(e.Time, e.Node)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	for t := 0.0; t <= cfg.Horizon; t += cfg.ProbePeriod {
+		for _, c := range conns {
+			if err := sim.RequestAt(t, c.Client, c.Host); err != nil {
+				return nil, err
+			}
+		}
+	}
+	outcomes, err := sim.Run()
+	if err != nil {
+		return nil, err
+	}
+
+	paths := make([]*bitset.Set, len(conns))
+	index := map[netsim.Pair]int{}
+	covered := bitset.New(router.NumNodes())
+	for i, c := range conns {
+		p, err := router.Path(c.Client, c.Host)
+		if err != nil {
+			return nil, err
+		}
+		paths[i] = p
+		covered.UnionWith(p)
+		index[c] = i
+	}
+	daemon, err := monitord.New(router.NumNodes(), 1, paths)
+	if err != nil {
+		return nil, err
+	}
+
+	sort.SliceStable(outcomes, func(i, j int) bool { return outcomes[i].End < outcomes[j].End })
+	var timeline []monitord.Event
+	for _, o := range outcomes {
+		events, err := daemon.Report(o.End, index[netsim.Pair{Client: o.Client, Host: o.Host}], o.Success)
+		if err != nil {
+			return nil, err
+		}
+		timeline = append(timeline, events...)
+	}
+
+	out := &Outcome{Covered: covered.Count()}
+	out.Episodes = scoreEpisodes(schedule, timeline, cfg.Horizon, cfg.ProbePeriod)
+	return out, nil
+}
+
+// scoreEpisodes matches daemon events to ground-truth failure windows.
+// With at most one concurrent failure, an episode owns every event in
+// [start, end + one probe period) — the slack covers in-flight probes
+// that report just after recovery.
+func scoreEpisodes(schedule []failmodel.Event, timeline []monitord.Event, horizon, slack float64) []Episode {
+	var episodes []Episode
+	downAt := map[int]float64{}
+	for _, e := range schedule {
+		if e.Down {
+			downAt[e.Node] = e.Time
+			continue
+		}
+		episodes = append(episodes, Episode{Node: e.Node, Start: downAt[e.Node], End: e.Time})
+		delete(downAt, e.Node)
+	}
+	for node, start := range downAt {
+		episodes = append(episodes, Episode{Node: node, Start: start, End: horizon})
+	}
+	sort.Slice(episodes, func(i, j int) bool { return episodes[i].Start < episodes[j].Start })
+
+	// Assign each event to exactly one episode: the one active at the
+	// event time, or failing that the most recently ended one within the
+	// slack window (covers probes that were in flight at recovery).
+	owner := func(t float64) *Episode {
+		var late *Episode
+		for i := range episodes {
+			ep := &episodes[i]
+			if t >= ep.Start && t < ep.End {
+				return ep
+			}
+			if t >= ep.End && t < ep.End+slack {
+				if late == nil || ep.End > late.End {
+					late = ep
+				}
+			}
+		}
+		return late
+	}
+	for _, ev := range timeline {
+		if ev.Kind != monitord.EventOutageStarted && ev.Kind != monitord.EventDiagnosisChanged {
+			continue
+		}
+		ep := owner(ev.Time)
+		if ep == nil {
+			continue
+		}
+		if !ep.Detected {
+			ep.Detected = true
+			ep.DetectionDelay = ev.Time - ep.Start
+		}
+		if ev.Diagnosis != nil {
+			for _, cand := range ev.Diagnosis.Consistent {
+				if len(cand) == 1 && cand[0] == ep.Node {
+					ep.Diagnosed = true
+					if ev.Diagnosis.Unique() {
+						ep.Pinpointed = true
+					}
+				}
+			}
+		}
+	}
+	return episodes
+}

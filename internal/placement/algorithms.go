@@ -1,0 +1,201 @@
+package placement
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Result is the outcome of a placement algorithm run.
+type Result struct {
+	Placement Placement
+	// Value is the objective value of the final placement.
+	Value float64
+	// Order lists services in the order the algorithm placed them
+	// (greedy algorithms only; nil otherwise).
+	Order []int
+	// Evaluations counts objective evaluations, the dominant cost.
+	Evaluations int
+}
+
+// Greedy runs Algorithm 2: starting from no placements, it repeatedly
+// chooses the (service, host) pair that maximizes f(P ∪ P(C_s, h)) among
+// unplaced services and their candidates, until every service is placed.
+// Ties break toward the smaller service index, then the smaller host ID,
+// making runs deterministic.
+//
+// For the coverage and distinguishability objectives this is a
+// 1/2-approximation of the optimum (Corollaries 14 and 18); for
+// identifiability it is the GI heuristic without a guarantee
+// (Proposition 15).
+func Greedy(inst *Instance, obj Objective) (*Result, error) {
+	if obj == nil {
+		return nil, fmt.Errorf("placement: nil objective")
+	}
+	res := &Result{Placement: NewPlacement(inst.NumServices())}
+	base := obj.newEvaluator(inst.NumNodes())
+	placed := make([]bool, inst.NumServices())
+
+	for iter := 0; iter < inst.NumServices(); iter++ {
+		bestS, bestH, bestVal := -1, -1, -1.0
+		for s := 0; s < inst.NumServices(); s++ {
+			if placed[s] {
+				continue
+			}
+			for _, h := range inst.candidates[s] {
+				paths, err := inst.ServicePaths(s, h)
+				if err != nil {
+					return nil, err
+				}
+				trial := base.Clone()
+				trial.Add(paths)
+				res.Evaluations++
+				if v := trial.Value(); v > bestVal {
+					bestS, bestH, bestVal = s, h, v
+				}
+			}
+		}
+		if bestS < 0 {
+			return nil, fmt.Errorf("placement: no feasible placement at iteration %d", iter)
+		}
+		paths, err := inst.ServicePaths(bestS, bestH)
+		if err != nil {
+			return nil, err
+		}
+		base.Add(paths)
+		placed[bestS] = true
+		res.Placement.Hosts[bestS] = bestH
+		res.Order = append(res.Order, bestS)
+	}
+	res.Value = base.Value()
+	return res, nil
+}
+
+// QoS computes the best-QoS baseline: each service goes to the host
+// minimizing its worst-case client distance (ties to the smallest node
+// ID), ignoring monitoring value. The objective is still evaluated so the
+// result is comparable.
+func QoS(inst *Instance, obj Objective) (*Result, error) {
+	if obj == nil {
+		return nil, fmt.Errorf("placement: nil objective")
+	}
+	res := &Result{Placement: NewPlacement(inst.NumServices())}
+	eval := obj.newEvaluator(inst.NumNodes())
+	for s := 0; s < inst.NumServices(); s++ {
+		h := inst.profiles[s].BestHost()
+		paths, err := inst.ServicePaths(s, h)
+		if err != nil {
+			return nil, err
+		}
+		eval.Add(paths)
+		res.Placement.Hosts[s] = h
+	}
+	res.Value = eval.Value()
+	return res, nil
+}
+
+// Random computes the RD baseline: each service is placed on a host drawn
+// uniformly from its candidate set using the provided source. Use a
+// seeded source and average across seeds for the evaluation curves.
+func Random(inst *Instance, obj Objective, rng *rand.Rand) (*Result, error) {
+	if obj == nil {
+		return nil, fmt.Errorf("placement: nil objective")
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("placement: nil rng")
+	}
+	res := &Result{Placement: NewPlacement(inst.NumServices())}
+	eval := obj.newEvaluator(inst.NumNodes())
+	for s := 0; s < inst.NumServices(); s++ {
+		h := inst.candidates[s][rng.Intn(len(inst.candidates[s]))]
+		paths, err := inst.ServicePaths(s, h)
+		if err != nil {
+			return nil, err
+		}
+		eval.Add(paths)
+		res.Placement.Hosts[s] = h
+	}
+	res.Value = eval.Value()
+	return res, nil
+}
+
+// DefaultBruteForceBudget caps the number of placements BruteForce will
+// enumerate unless the caller raises it.
+const DefaultBruteForceBudget = 5_000_000
+
+// BruteForce enumerates every feasible placement (the product of the
+// candidate sets) and returns one maximizing the objective — the BF
+// reference of Section VI. It refuses instances whose search space exceeds
+// budget (pass 0 for DefaultBruteForceBudget). Ties break toward the
+// lexicographically smallest host vector.
+func BruteForce(inst *Instance, obj Objective, budget int64) (*Result, error) {
+	if obj == nil {
+		return nil, fmt.Errorf("placement: nil objective")
+	}
+	if budget <= 0 {
+		budget = DefaultBruteForceBudget
+	}
+	space := int64(1)
+	for s := 0; s < inst.NumServices(); s++ {
+		space *= int64(len(inst.candidates[s]))
+		if space > budget {
+			return nil, fmt.Errorf("placement: brute force space exceeds budget %d", budget)
+		}
+	}
+
+	res := &Result{Placement: NewPlacement(inst.NumServices()), Value: -1}
+	choice := make([]int, inst.NumServices())
+	for {
+		eval := obj.newEvaluator(inst.NumNodes())
+		for s, ci := range choice {
+			paths, err := inst.ServicePaths(s, inst.candidates[s][ci])
+			if err != nil {
+				return nil, err
+			}
+			eval.Add(paths)
+		}
+		res.Evaluations++
+		if v := eval.Value(); v > res.Value {
+			res.Value = v
+			for s, ci := range choice {
+				res.Placement.Hosts[s] = inst.candidates[s][ci]
+			}
+		}
+		// Odometer increment over the candidate index vector.
+		s := inst.NumServices() - 1
+		for s >= 0 {
+			choice[s]++
+			if choice[s] < len(inst.candidates[s]) {
+				break
+			}
+			choice[s] = 0
+			s--
+		}
+		if s < 0 {
+			break
+		}
+	}
+	return res, nil
+}
+
+// EvaluateWith computes the objective value of an arbitrary placement,
+// e.g. one produced by a different algorithm or loaded from a file.
+func EvaluateWith(inst *Instance, obj Objective, pl Placement) (float64, error) {
+	if obj == nil {
+		return 0, fmt.Errorf("placement: nil objective")
+	}
+	if len(pl.Hosts) != inst.NumServices() {
+		return 0, fmt.Errorf("placement: placement has %d hosts, want %d", len(pl.Hosts), inst.NumServices())
+	}
+	eval := obj.newEvaluator(inst.NumNodes())
+	for s, h := range pl.Hosts {
+		if h == Unplaced {
+			continue
+		}
+		paths, err := inst.ServicePaths(s, h)
+		if err != nil {
+			return 0, err
+		}
+		eval.Add(paths)
+	}
+	return eval.Value(), nil
+}

@@ -1,0 +1,85 @@
+package placement
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunPortfolioDefault(t *testing.T) {
+	inst := fig1Instance(t, 3, 0.5)
+	p, err := RunPortfolio(inst, PortfolioConfig{RDSeed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantOrder := []string{"GC", "GI", "GD", "QoS", "RD"}
+	if len(p.Entries) != len(wantOrder) {
+		t.Fatalf("entries = %d", len(p.Entries))
+	}
+	for i, name := range wantOrder {
+		if p.Entries[i].Name != name {
+			t.Fatalf("entry %d = %s, want %s", i, p.Entries[i].Name, name)
+		}
+		if !p.Entries[i].Placement.Complete() {
+			t.Fatalf("%s placement incomplete", name)
+		}
+		if p.Entries[i].WorstRelDistance > 0.5+1e-9 {
+			t.Fatalf("%s violates QoS: %v", name, p.Entries[i].WorstRelDistance)
+		}
+	}
+}
+
+func TestRunPortfolioWithBFAndLS(t *testing.T) {
+	inst := fig1Instance(t, 2, 0.5)
+	p, err := RunPortfolio(inst, PortfolioConfig{IncludeBF: true, LocalSearch: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bf := p.Lookup("BF")
+	if bf == nil {
+		t.Fatal("missing BF entry")
+	}
+	ls := p.Lookup("GD+LS")
+	if ls == nil {
+		t.Fatal("missing GD+LS entry")
+	}
+	gd := p.Lookup("GD")
+	// BF dominates every entry in every measure it optimized.
+	for _, e := range p.Entries {
+		if e.Name == "BF" {
+			continue
+		}
+		if e.Metrics.Coverage > bf.Metrics.Coverage {
+			t.Fatalf("%s coverage %d beats BF %d", e.Name, e.Metrics.Coverage, bf.Metrics.Coverage)
+		}
+		if e.Metrics.S1 > bf.Metrics.S1 {
+			t.Fatalf("%s S1 %d beats BF %d", e.Name, e.Metrics.S1, bf.Metrics.S1)
+		}
+		if e.Metrics.D1 > bf.Metrics.D1 {
+			t.Fatalf("%s D1 %d beats BF %d", e.Name, e.Metrics.D1, bf.Metrics.D1)
+		}
+	}
+	if ls.Metrics.D1 < gd.Metrics.D1 {
+		t.Fatalf("GD+LS D1 %d below GD %d", ls.Metrics.D1, gd.Metrics.D1)
+	}
+}
+
+func TestPortfolioLookupMissing(t *testing.T) {
+	p := &Portfolio{}
+	if p.Lookup("nope") != nil {
+		t.Fatal("missing lookup should return nil")
+	}
+}
+
+func TestPortfolioRender(t *testing.T) {
+	inst := fig1Instance(t, 2, 0.5)
+	p, err := RunPortfolio(inst, PortfolioConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := p.Render()
+	for _, want := range []string{"GC", "GD", "QoS", "covered", "disting."} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("render missing %q:\n%s", want, text)
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package qos
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+func lineRouter(t *testing.T, n int) *routing.Router {
+	t.Helper()
+	g, err := topology.Line(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := routing.New(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestNewProfileNoClients(t *testing.T) {
+	r := lineRouter(t, 3)
+	if _, err := NewProfile(r, nil); err == nil {
+		t.Fatal("no clients should error")
+	}
+}
+
+func TestNewProfileDisconnected(t *testing.T) {
+	g := graph.New(3)
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	r, err := routing.New(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewProfile(r, []graph.NodeID{0}); err == nil {
+		t.Fatal("unreachable host should error")
+	}
+}
+
+func TestProfileLine(t *testing.T) {
+	// Line 0-1-2-3-4, clients {0, 4}: d(C,h) = max(h, 4-h):
+	// h=0→4, h=1→3, h=2→2, h=3→3, h=4→4. dmin=2, dmax=4.
+	r := lineRouter(t, 5)
+	p, err := NewProfile(r, []graph.NodeID{0, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{4, 3, 2, 3, 4}
+	if !reflect.DeepEqual(p.Dist, want) {
+		t.Fatalf("Dist = %v, want %v", p.Dist, want)
+	}
+	if p.DMin != 2 || p.DMax != 4 {
+		t.Fatalf("DMin/DMax = %v/%v", p.DMin, p.DMax)
+	}
+	if got := p.RelativeDistance(2); got != 0 {
+		t.Fatalf("d̄(2) = %v, want 0", got)
+	}
+	if got := p.RelativeDistance(1); got != 0.5 {
+		t.Fatalf("d̄(1) = %v, want 0.5", got)
+	}
+	if got := p.RelativeDistance(0); got != 1 {
+		t.Fatalf("d̄(0) = %v, want 1", got)
+	}
+}
+
+func TestCandidateHostsGrowWithAlpha(t *testing.T) {
+	r := lineRouter(t, 5)
+	p, err := NewProfile(r, []graph.NodeID{0, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.CandidateHosts(0); !reflect.DeepEqual(got, []graph.NodeID{2}) {
+		t.Fatalf("H(0) = %v", got)
+	}
+	if got := p.CandidateHosts(0.5); !reflect.DeepEqual(got, []graph.NodeID{1, 2, 3}) {
+		t.Fatalf("H(0.5) = %v", got)
+	}
+	if got := p.CandidateHosts(1); len(got) != 5 {
+		t.Fatalf("H(1) = %v, want all nodes", got)
+	}
+	// Negative α clamps to 0 and stays nonempty.
+	if got := p.CandidateHosts(-1); !reflect.DeepEqual(got, []graph.NodeID{2}) {
+		t.Fatalf("H(-1) = %v", got)
+	}
+}
+
+func TestCandidateHostsMonotoneInAlpha(t *testing.T) {
+	topo := topology.MustBuild(topology.Tiscali)
+	r, err := routing.New(topo.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clients := topo.CandidateClients[:3]
+	p, err := NewProfile(r, clients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 0
+	for _, alpha := range []float64{0, 0.2, 0.4, 0.6, 0.8, 1} {
+		cur := len(p.CandidateHosts(alpha))
+		if cur < prev {
+			t.Fatalf("candidate count decreased at α=%v: %d < %d", alpha, cur, prev)
+		}
+		prev = cur
+	}
+	if prev != topo.Graph.NumNodes() {
+		t.Fatalf("H(1) should contain all %d nodes, got %d", topo.Graph.NumNodes(), prev)
+	}
+}
+
+func TestRelativeDistanceDegenerate(t *testing.T) {
+	// Single-node graph: every host equidistant → d̄ ≡ 0.
+	g := graph.New(1)
+	r, err := routing.New(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewProfile(r, []graph.NodeID{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.RelativeDistance(0); got != 0 {
+		t.Fatalf("d̄ = %v, want 0", got)
+	}
+	if got := p.CandidateHosts(0); len(got) != 1 {
+		t.Fatalf("H(0) = %v", got)
+	}
+}
+
+func TestBestHost(t *testing.T) {
+	r := lineRouter(t, 5)
+	p, err := NewProfile(r, []graph.NodeID{0, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.BestHost(); got != 2 {
+		t.Fatalf("BestHost = %d, want 2", got)
+	}
+	// Tie case: clients {0}: every h has d = h, best is 0.
+	p2, err := NewProfile(r, []graph.NodeID{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p2.BestHost(); got != 0 {
+		t.Fatalf("BestHost = %d, want 0", got)
+	}
+}
+
+func TestCandidatesBatch(t *testing.T) {
+	r := lineRouter(t, 5)
+	sets, err := Candidates(r, [][]graph.NodeID{{0, 4}, {0}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sets[0], []graph.NodeID{2}) {
+		t.Fatalf("H_0 = %v", sets[0])
+	}
+	if !reflect.DeepEqual(sets[1], []graph.NodeID{0}) {
+		t.Fatalf("H_1 = %v", sets[1])
+	}
+	if _, err := Candidates(r, [][]graph.NodeID{nil}, 0); err == nil {
+		t.Fatal("empty client set should error")
+	}
+}

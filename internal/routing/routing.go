@@ -1,0 +1,130 @@
+// Package routing computes the measurement paths of the paper's Section
+// II-A: for every (client, host) pair, the set of nodes p(c, h) traversed
+// by a service request under the network's routing protocol, endpoints
+// included. The paper assumes one fixed path per pair ("uncontrollable"
+// paths in the terminology of [5]); we realize that with deterministic
+// shortest-path routing (hop count, lexicographic tie-break), the standard
+// stand-in when the operator's routing tables are unavailable.
+package routing
+
+import (
+	"fmt"
+
+	"repro/internal/bitset"
+	"repro/internal/graph"
+)
+
+// Router precomputes all-pairs shortest paths over a graph and serves
+// measurement paths and distances. Construction costs one Dijkstra per
+// node, matching the complexity budget of Section III-A. A Router is
+// immutable after construction and safe for concurrent use.
+type Router struct {
+	g     *graph.Graph
+	trees []*graph.ShortestPathTree
+}
+
+// New builds a Router for g. The graph must be non-empty; for placement it
+// should also be connected (see graph.Validate), but New does not insist so
+// that tests can exercise unreachable pairs.
+func New(g *graph.Graph) (*Router, error) {
+	if g.NumNodes() == 0 {
+		return nil, graph.ErrEmptyGraph
+	}
+	r := &Router{
+		g:     g,
+		trees: make([]*graph.ShortestPathTree, g.NumNodes()),
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		r.trees[v] = g.Dijkstra(v)
+	}
+	return r, nil
+}
+
+// Graph returns the routed graph.
+func (r *Router) Graph() *graph.Graph { return r.g }
+
+// NumNodes returns the number of nodes in the routed graph.
+func (r *Router) NumNodes() int { return r.g.NumNodes() }
+
+// Distance returns the routing distance from u to v, or -1 if unreachable.
+func (r *Router) Distance(u, v graph.NodeID) float64 {
+	r.mustHave(u)
+	r.mustHave(v)
+	return r.trees[u].Dist[v]
+}
+
+// PathNodes returns the node sequence from c to h inclusive, or nil if h is
+// unreachable from c. The path is taken from h's shortest-path tree so that
+// p(c, h) is the route a request from client c to host h follows under
+// destination-rooted routing; because tie-breaking is deterministic, the
+// same (c, h) always yields the same path.
+func (r *Router) PathNodes(c, h graph.NodeID) []graph.NodeID {
+	r.mustHave(c)
+	r.mustHave(h)
+	nodes := r.trees[h].PathTo(c)
+	// PathTo walks from the tree root h toward c; present it client-first.
+	for i, j := 0, len(nodes)-1; i < j; i, j = i+1, j-1 {
+		nodes[i], nodes[j] = nodes[j], nodes[i]
+	}
+	return nodes
+}
+
+// Path returns the measurement path p(c, h) as a node set over the graph's
+// universe (the representation Section II-A uses: a path is the set of
+// traversed nodes, endpoints included). It returns an error if h is
+// unreachable from c.
+func (r *Router) Path(c, h graph.NodeID) (*bitset.Set, error) {
+	nodes := r.PathNodes(c, h)
+	if nodes == nil {
+		return nil, fmt.Errorf("routing: no path between %d and %d", c, h)
+	}
+	s := bitset.New(r.g.NumNodes())
+	for _, v := range nodes {
+		s.Add(v)
+	}
+	return s, nil
+}
+
+// PathSet returns the measurement paths P(C, h) = {p(c, h) : c ∈ C}
+// between every client in C and host h (Section II-C). Duplicate client
+// entries produce duplicate paths and are rejected; unreachable pairs are
+// an error.
+func (r *Router) PathSet(clients []graph.NodeID, h graph.NodeID) ([]*bitset.Set, error) {
+	seen := make(map[graph.NodeID]bool, len(clients))
+	out := make([]*bitset.Set, 0, len(clients))
+	for _, c := range clients {
+		if seen[c] {
+			return nil, fmt.Errorf("routing: duplicate client %d", c)
+		}
+		seen[c] = true
+		p, err := r.Path(c, h)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// Eccentricity returns max_{c ∈ C} d(c, h), the worst-case client distance
+// d(C, h) of Section III-A, or -1 if any client is unreachable from h.
+func (r *Router) Eccentricity(clients []graph.NodeID, h graph.NodeID) float64 {
+	r.mustHave(h)
+	worst := 0.0
+	for _, c := range clients {
+		d := r.trees[h].Dist[c]
+		if d < 0 {
+			return -1
+		}
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+func (r *Router) mustHave(v graph.NodeID) {
+	if v < 0 || v >= r.g.NumNodes() {
+		panic(fmt.Sprintf("routing: node %d out of range [0, %d)", v, r.g.NumNodes()))
+	}
+}

@@ -1,0 +1,193 @@
+package routing
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/topology"
+)
+
+func lineRouter(t *testing.T, n int) *Router {
+	t.Helper()
+	g, err := topology.Line(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := New(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestNewEmptyGraph(t *testing.T) {
+	if _, err := New(graph.New(0)); !errors.Is(err, graph.ErrEmptyGraph) {
+		t.Fatalf("got %v, want ErrEmptyGraph", err)
+	}
+}
+
+func TestDistance(t *testing.T) {
+	r := lineRouter(t, 5)
+	if d := r.Distance(0, 4); d != 4 {
+		t.Fatalf("Distance(0,4) = %v, want 4", d)
+	}
+	if d := r.Distance(2, 2); d != 0 {
+		t.Fatalf("Distance(2,2) = %v, want 0", d)
+	}
+}
+
+func TestDistanceUnreachable(t *testing.T) {
+	g := graph.New(3)
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	r, err := New(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := r.Distance(0, 2); d != -1 {
+		t.Fatalf("Distance = %v, want -1", d)
+	}
+	if p := r.PathNodes(0, 2); p != nil {
+		t.Fatalf("PathNodes = %v, want nil", p)
+	}
+	if _, err := r.Path(0, 2); err == nil {
+		t.Fatal("Path should error for unreachable pair")
+	}
+	if e := r.Eccentricity([]graph.NodeID{0, 2}, 1); e != -1 {
+		t.Fatalf("Eccentricity = %v, want -1", e)
+	}
+}
+
+func TestPathNodesEndpoints(t *testing.T) {
+	r := lineRouter(t, 4)
+	got := r.PathNodes(0, 3)
+	if !reflect.DeepEqual(got, []graph.NodeID{0, 1, 2, 3}) {
+		t.Fatalf("PathNodes = %v", got)
+	}
+	// Degenerate path: client co-located with host (footnote 3 in paper).
+	if got := r.PathNodes(2, 2); !reflect.DeepEqual(got, []graph.NodeID{2}) {
+		t.Fatalf("degenerate path = %v", got)
+	}
+}
+
+func TestPathBitset(t *testing.T) {
+	r := lineRouter(t, 4)
+	p, err := r.Path(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Indices(); !reflect.DeepEqual(got, []int{1, 2, 3}) {
+		t.Fatalf("Path = %v", got)
+	}
+	if p.Cap() != 4 {
+		t.Fatalf("path universe = %d, want 4", p.Cap())
+	}
+}
+
+func TestPathSymmetricNodes(t *testing.T) {
+	// For an undirected graph with deterministic tie-breaks, the node SET of
+	// p(c,h) equals that of p(h,c) even if direction differs.
+	topo := topology.MustBuild(topology.Abovenet)
+	r, err := New(topo.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := topo.Graph.NumNodes()
+	for c := 0; c < n; c += 3 {
+		for h := 0; h < n; h += 5 {
+			d1, d2 := r.Distance(c, h), r.Distance(h, c)
+			if d1 != d2 {
+				t.Fatalf("asymmetric distance %v vs %v", d1, d2)
+			}
+		}
+	}
+}
+
+func TestPathSet(t *testing.T) {
+	r := lineRouter(t, 5)
+	ps, err := r.PathSet([]graph.NodeID{0, 4}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 2 {
+		t.Fatalf("|P| = %d", len(ps))
+	}
+	if got := ps[0].Indices(); !reflect.DeepEqual(got, []int{0, 1, 2}) {
+		t.Fatalf("p(0,2) = %v", got)
+	}
+	if got := ps[1].Indices(); !reflect.DeepEqual(got, []int{2, 3, 4}) {
+		t.Fatalf("p(4,2) = %v", got)
+	}
+}
+
+func TestPathSetDuplicateClient(t *testing.T) {
+	r := lineRouter(t, 5)
+	if _, err := r.PathSet([]graph.NodeID{1, 1}, 2); err == nil {
+		t.Fatal("duplicate client should error")
+	}
+}
+
+func TestEccentricity(t *testing.T) {
+	r := lineRouter(t, 6)
+	if e := r.Eccentricity([]graph.NodeID{0, 5}, 2); e != 3 {
+		t.Fatalf("Eccentricity = %v, want 3", e)
+	}
+	if e := r.Eccentricity(nil, 2); e != 0 {
+		t.Fatalf("Eccentricity(no clients) = %v, want 0", e)
+	}
+}
+
+func TestPathsConsistentWithDistance(t *testing.T) {
+	topo := topology.MustBuild(topology.Tiscali)
+	r, err := New(topo.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := topo.Graph.NumNodes()
+	for c := 0; c < n; c += 7 {
+		for h := 0; h < n; h += 11 {
+			nodes := r.PathNodes(c, h)
+			if nodes == nil {
+				t.Fatalf("no path %d→%d in connected graph", c, h)
+			}
+			if float64(len(nodes)-1) != r.Distance(c, h) {
+				t.Fatalf("path length %d disagrees with distance %v", len(nodes)-1, r.Distance(c, h))
+			}
+			// Consecutive nodes must be adjacent; endpoints must match.
+			if nodes[0] != c || nodes[len(nodes)-1] != h {
+				t.Fatalf("endpoints wrong: %v for (%d,%d)", nodes, c, h)
+			}
+			for i := 1; i < len(nodes); i++ {
+				if !topo.Graph.HasEdge(nodes[i-1], nodes[i]) {
+					t.Fatalf("non-edge on path: %d-%d", nodes[i-1], nodes[i])
+				}
+			}
+		}
+	}
+}
+
+func TestRouterDeterministic(t *testing.T) {
+	topo := topology.MustBuild(topology.Abovenet)
+	r1, _ := New(topo.Graph)
+	r2, _ := New(topo.Graph)
+	for c := 0; c < topo.Graph.NumNodes(); c++ {
+		for h := 0; h < topo.Graph.NumNodes(); h++ {
+			if !reflect.DeepEqual(r1.PathNodes(c, h), r2.PathNodes(c, h)) {
+				t.Fatalf("nondeterministic path for (%d,%d)", c, h)
+			}
+		}
+	}
+}
+
+func TestMustHavePanics(t *testing.T) {
+	r := lineRouter(t, 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	r.Distance(0, 9)
+}

@@ -1,0 +1,157 @@
+// Package stats provides the small descriptive-statistics toolkit the
+// experiment harness needs: means, quantiles, five-number box-plot
+// summaries (Fig. 4), and discrete distributions (Fig. 8).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation, or 0 for fewer than
+// two samples.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	sum := 0.0
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(xs)))
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) using linear interpolation
+// between order statistics (type-7, the spreadsheet default). It returns
+// an error for empty input or out-of-range q.
+func Quantile(xs []float64, q float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, fmt.Errorf("stats: quantile of empty slice")
+	}
+	if q < 0 || q > 1 || math.IsNaN(q) {
+		return 0, fmt.Errorf("stats: quantile %v outside [0, 1]", q)
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0], nil
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo], nil
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
+}
+
+// FiveNumber is a box-plot summary.
+type FiveNumber struct {
+	Min, Q1, Median, Q3, Max float64
+	N                        int
+}
+
+// Summarize computes the five-number summary of xs.
+func Summarize(xs []float64) (FiveNumber, error) {
+	if len(xs) == 0 {
+		return FiveNumber{}, fmt.Errorf("stats: summary of empty slice")
+	}
+	var f FiveNumber
+	var err error
+	f.N = len(xs)
+	if f.Min, err = Quantile(xs, 0); err != nil {
+		return f, err
+	}
+	if f.Q1, err = Quantile(xs, 0.25); err != nil {
+		return f, err
+	}
+	if f.Median, err = Quantile(xs, 0.5); err != nil {
+		return f, err
+	}
+	if f.Q3, err = Quantile(xs, 0.75); err != nil {
+		return f, err
+	}
+	f.Max, err = Quantile(xs, 1)
+	return f, err
+}
+
+// String renders the summary compactly.
+func (f FiveNumber) String() string {
+	return fmt.Sprintf("min=%g q1=%g med=%g q3=%g max=%g (n=%d)", f.Min, f.Q1, f.Median, f.Q3, f.Max, f.N)
+}
+
+// Distribution is a normalized discrete distribution over integer values
+// 0..len(Frac)-1 (Fig. 8's fraction-of-nodes-per-degree statistic).
+type Distribution struct {
+	// Frac[d] is the fraction of samples with value d.
+	Frac []float64
+	// N is the number of samples.
+	N int
+}
+
+// NewDistribution normalizes integer counts into a distribution. Trailing
+// zero buckets are preserved so distributions over the same support align.
+func NewDistribution(counts []int) (Distribution, error) {
+	total := 0
+	for i, c := range counts {
+		if c < 0 {
+			return Distribution{}, fmt.Errorf("stats: negative count at %d", i)
+		}
+		total += c
+	}
+	if total == 0 {
+		return Distribution{}, fmt.Errorf("stats: empty distribution")
+	}
+	frac := make([]float64, len(counts))
+	for i, c := range counts {
+		frac[i] = float64(c) / float64(total)
+	}
+	return Distribution{Frac: frac, N: total}, nil
+}
+
+// Mean returns the expected value of the distribution.
+func (d Distribution) Mean() float64 {
+	m := 0.0
+	for v, f := range d.Frac {
+		m += float64(v) * f
+	}
+	return m
+}
+
+// Mode returns the most likely value (smallest on ties).
+func (d Distribution) Mode() int {
+	best, bestF := 0, -1.0
+	for v, f := range d.Frac {
+		if f > bestF {
+			best, bestF = v, f
+		}
+	}
+	return best
+}
+
+// Support returns the values with non-zero probability, ascending.
+func (d Distribution) Support() []int {
+	var out []int
+	for v, f := range d.Frac {
+		if f > 0 {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,186 @@
+package stats
+
+import (
+	"math"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("empty mean should be 0")
+	}
+	if !almost(Mean([]float64{1, 2, 3}), 2) {
+		t.Fatal("mean wrong")
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if StdDev([]float64{5}) != 0 {
+		t.Fatal("single sample stddev should be 0")
+	}
+	// Population stddev of {2, 4}: mean 3, var 1, sd 1.
+	if !almost(StdDev([]float64{2, 4}), 1) {
+		t.Fatalf("stddev = %v", StdDev([]float64{2, 4}))
+	}
+}
+
+func TestQuantileErrors(t *testing.T) {
+	if _, err := Quantile(nil, 0.5); err == nil {
+		t.Fatal("empty quantile should error")
+	}
+	if _, err := Quantile([]float64{1}, -0.1); err == nil {
+		t.Fatal("q<0 should error")
+	}
+	if _, err := Quantile([]float64{1}, 1.1); err == nil {
+		t.Fatal("q>1 should error")
+	}
+	if _, err := Quantile([]float64{1}, math.NaN()); err == nil {
+		t.Fatal("NaN q should error")
+	}
+}
+
+func TestQuantileValues(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	cases := []struct{ q, want float64 }{
+		{0, 1},
+		{1, 4},
+		{0.5, 2.5},
+		{0.25, 1.75},
+		{0.75, 3.25},
+	}
+	for _, c := range cases {
+		got, err := Quantile(xs, c.q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almost(got, c.want) {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	// Single element.
+	got, err := Quantile([]float64{7}, 0.3)
+	if err != nil || got != 7 {
+		t.Fatalf("single-element quantile = %v, %v", got, err)
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if _, err := Quantile(xs, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(xs, []float64{3, 1, 2}) {
+		t.Fatal("Quantile must not sort in place")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	f, err := Summarize([]float64{4, 1, 3, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Min != 1 || f.Max != 4 || !almost(f.Median, 2.5) || f.N != 4 {
+		t.Fatalf("summary = %+v", f)
+	}
+	if f.String() == "" {
+		t.Fatal("String should render")
+	}
+	if _, err := Summarize(nil); err == nil {
+		t.Fatal("empty summary should error")
+	}
+}
+
+func TestQuickQuantileMonotone(t *testing.T) {
+	f := func(raw []float64, q1, q2 float64) bool {
+		var xs []float64
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		a := math.Abs(math.Mod(q1, 1))
+		b := math.Abs(math.Mod(q2, 1))
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		if a > b {
+			a, b = b, a
+		}
+		va, err1 := Quantile(xs, a)
+		vb, err2 := Quantile(xs, b)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return va <= vb+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSummaryOrdering(t *testing.T) {
+	f := func(raw []float64) bool {
+		var xs []float64
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		s, err := Summarize(xs)
+		if err != nil {
+			return false
+		}
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		return s.Min == sorted[0] && s.Max == sorted[len(sorted)-1] &&
+			s.Min <= s.Q1 && s.Q1 <= s.Median && s.Median <= s.Q3 && s.Q3 <= s.Max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistribution(t *testing.T) {
+	d, err := NewDistribution([]int{2, 0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(d.Frac[0], 0.5) || d.Frac[1] != 0 || !almost(d.Frac[2], 0.5) {
+		t.Fatalf("Frac = %v", d.Frac)
+	}
+	if d.N != 4 {
+		t.Fatalf("N = %d", d.N)
+	}
+	if !almost(d.Mean(), 1) {
+		t.Fatalf("Mean = %v", d.Mean())
+	}
+	if d.Mode() != 0 {
+		t.Fatalf("Mode = %d (smallest tie should win)", d.Mode())
+	}
+	if got := d.Support(); !reflect.DeepEqual(got, []int{0, 2}) {
+		t.Fatalf("Support = %v", got)
+	}
+}
+
+func TestDistributionErrors(t *testing.T) {
+	if _, err := NewDistribution([]int{0, 0}); err == nil {
+		t.Fatal("all-zero counts should error")
+	}
+	if _, err := NewDistribution([]int{-1, 2}); err == nil {
+		t.Fatal("negative count should error")
+	}
+	if _, err := NewDistribution(nil); err == nil {
+		t.Fatal("nil counts should error")
+	}
+}

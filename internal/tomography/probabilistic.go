@@ -1,0 +1,181 @@
+package tomography
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/bitset"
+)
+
+// This file implements the probability-aware refinements of the paper's
+// related work ([13]): when per-node failure probabilities are known, the
+// best explanation is not the smallest one but the most likely one, and
+// candidate hypotheses can be ranked instead of merely enumerated.
+
+// Prior holds independent per-node failure probabilities.
+type Prior struct {
+	p []float64
+}
+
+// NewPrior validates per-node failure probabilities (each in (0, 1)).
+// Probabilities of exactly 0 or 1 are rejected: a certain node state
+// should be encoded by removing the node from the hypothesis space, not
+// by degenerate weights.
+func NewPrior(probs []float64) (*Prior, error) {
+	for v, p := range probs {
+		if !(p > 0 && p < 1) || math.IsNaN(p) {
+			return nil, fmt.Errorf("tomography: node %d probability %v outside (0, 1)", v, p)
+		}
+	}
+	return &Prior{p: append([]float64(nil), probs...)}, nil
+}
+
+// UniformPrior returns a prior with the same failure probability for
+// every one of n nodes.
+func UniformPrior(n int, p float64) (*Prior, error) {
+	probs := make([]float64, n)
+	for i := range probs {
+		probs[i] = p
+	}
+	return NewPrior(probs)
+}
+
+// NumNodes returns the prior's universe size.
+func (pr *Prior) NumNodes() int { return len(pr.p) }
+
+// LogLikelihood returns the log-probability that exactly the given nodes
+// failed (independent failures): Σ_{v∈F} ln p_v + Σ_{v∉F} ln(1−p_v).
+func (pr *Prior) LogLikelihood(f []int) float64 {
+	in := make(map[int]bool, len(f))
+	for _, v := range f {
+		in[v] = true
+	}
+	ll := 0.0
+	for v, p := range pr.p {
+		if in[v] {
+			ll += math.Log(p)
+		} else {
+			ll += math.Log(1 - p)
+		}
+	}
+	return ll
+}
+
+// weight returns the per-node cost for weighted set cover: choosing v
+// costs ln((1−p_v)/p_v) ≥ 0 for p_v ≤ 1/2 — the log-likelihood penalty of
+// flipping v from healthy to failed. Rare failures cost more, so the
+// cheapest cover is the most likely explanation among covers.
+func (pr *Prior) weight(v int) float64 {
+	return math.Log((1 - pr.p[v]) / pr.p[v])
+}
+
+// MostLikelyExplanation returns a failure set explaining the observation,
+// chosen by greedy *weighted* set cover: it minimizes (approximately) the
+// summed log-likelihood penalty instead of the set size, so a common-
+// failure node is preferred over two rare ones. With a uniform prior it
+// degenerates to GreedyExplanation's cardinality objective.
+func MostLikelyExplanation(o *Observation, prior *Prior) ([]int, error) {
+	if prior == nil {
+		return nil, fmt.Errorf("tomography: nil prior")
+	}
+	n := o.Paths.NumNodes()
+	if prior.NumNodes() != n {
+		return nil, fmt.Errorf("tomography: prior over %d nodes, paths over %d", prior.NumNodes(), n)
+	}
+	sigs := o.Paths.Signatures()
+	target := o.failedSignature()
+	if target.Empty() {
+		return nil, nil
+	}
+
+	healthy := bitset.New(n)
+	for i, failed := range o.Failed {
+		if !failed {
+			healthy.UnionWith(o.Paths.Path(i))
+		}
+	}
+
+	uncovered := target.Clone()
+	var explanation []int
+	for !uncovered.Empty() {
+		best := -1
+		bestScore := math.Inf(-1)
+		for v := 0; v < n; v++ {
+			if healthy.Contains(v) {
+				continue
+			}
+			gain := uncovered.IntersectionCount(sigs[v])
+			if gain == 0 {
+				continue
+			}
+			// Classic weighted-set-cover rule: coverage per unit cost.
+			// Zero or negative weight (p_v ≥ 1/2, failure-prone node) is
+			// clamped to a small ε so such nodes are strongly preferred.
+			w := prior.weight(v)
+			if w < 1e-9 {
+				w = 1e-9
+			}
+			if score := float64(gain) / w; score > bestScore {
+				best, bestScore = v, score
+			}
+		}
+		if best < 0 {
+			return nil, fmt.Errorf("tomography: observation cannot be explained by node failures")
+		}
+		explanation = append(explanation, best)
+		uncovered.DifferenceWith(sigs[best])
+	}
+	sort.Ints(explanation)
+	return explanation, nil
+}
+
+// RankedCandidate is a consistent hypothesis with its prior likelihood.
+type RankedCandidate struct {
+	Failure       []int
+	LogLikelihood float64
+	// Posterior is the probability of this hypothesis given the
+	// observation, normalized over the consistent candidates.
+	Posterior float64
+}
+
+// RankCandidates scores every consistent failure hypothesis of size ≤ k
+// by its prior likelihood and normalizes into a posterior (the
+// observation is deterministic given the failure set, so the posterior is
+// the renormalized prior over consistent sets). Candidates come back most
+// likely first; ties break toward smaller sets, then lexicographically
+// (the order Localize produced).
+func RankCandidates(o *Observation, prior *Prior, k int) ([]RankedCandidate, error) {
+	if prior == nil {
+		return nil, fmt.Errorf("tomography: nil prior")
+	}
+	if prior.NumNodes() != o.Paths.NumNodes() {
+		return nil, fmt.Errorf("tomography: prior universe mismatch")
+	}
+	diag, err := Localize(o, k)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]RankedCandidate, 0, len(diag.Consistent))
+	maxLL := math.Inf(-1)
+	for _, f := range diag.Consistent {
+		ll := prior.LogLikelihood(f)
+		if ll > maxLL {
+			maxLL = ll
+		}
+		out = append(out, RankedCandidate{Failure: f, LogLikelihood: ll})
+	}
+	// Normalize in a numerically safe way (subtract the max exponent).
+	total := 0.0
+	for i := range out {
+		out[i].Posterior = math.Exp(out[i].LogLikelihood - maxLL)
+		total += out[i].Posterior
+	}
+	for i := range out {
+		out[i].Posterior /= total
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		return out[i].LogLikelihood > out[j].LogLikelihood
+	})
+	return out, nil
+}

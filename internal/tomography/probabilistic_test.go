@@ -1,0 +1,211 @@
+package tomography
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/bitset"
+)
+
+func TestNewPriorValidation(t *testing.T) {
+	if _, err := NewPrior([]float64{0.5, 0}); err == nil {
+		t.Fatal("p=0 should error")
+	}
+	if _, err := NewPrior([]float64{1}); err == nil {
+		t.Fatal("p=1 should error")
+	}
+	if _, err := NewPrior([]float64{math.NaN()}); err == nil {
+		t.Fatal("NaN should error")
+	}
+	pr, err := NewPrior([]float64{0.1, 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.NumNodes() != 2 {
+		t.Fatal("NumNodes wrong")
+	}
+}
+
+func TestUniformPrior(t *testing.T) {
+	pr, err := UniformPrior(3, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.NumNodes() != 3 {
+		t.Fatal("size wrong")
+	}
+	if _, err := UniformPrior(2, 0); err == nil {
+		t.Fatal("p=0 should error")
+	}
+}
+
+func TestLogLikelihood(t *testing.T) {
+	pr, err := NewPrior([]float64{0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every outcome equally likely: ln(0.25).
+	want := math.Log(0.25)
+	for _, f := range [][]int{nil, {0}, {1}, {0, 1}} {
+		if got := pr.LogLikelihood(f); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("LogLikelihood(%v) = %v, want %v", f, got, want)
+		}
+	}
+	// Rare failures: failing is less likely than not.
+	rare, err := NewPrior([]float64{0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rare.LogLikelihood([]int{0}) >= rare.LogLikelihood(nil) {
+		t.Fatal("failing a rare node should lower likelihood")
+	}
+}
+
+func TestMostLikelyExplanationPrefersFailureProneNode(t *testing.T) {
+	// Failed paths {0,2} and {1,2}. Cardinality-greedy picks the shared
+	// node 2. But if node 2 is very reliable and 0, 1 are failure-prone,
+	// the likely explanation is {0, 1}.
+	ps := mkPathSet(t, 3, []int{0, 2}, []int{1, 2})
+	o, err := NewObservation(ps, []bool{true, true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cardinality, err := GreedyExplanation(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cardinality, []int{2}) {
+		t.Fatalf("cardinality explanation = %v, want [2]", cardinality)
+	}
+
+	prior, err := NewPrior([]float64{0.45, 0.45, 0.0001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	likely, err := MostLikelyExplanation(o, prior)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(likely, []int{0, 1}) {
+		t.Fatalf("likely explanation = %v, want [0 1]", likely)
+	}
+	// Sanity: the weighted answer really is more likely under the prior.
+	if prior.LogLikelihood(likely) <= prior.LogLikelihood(cardinality) {
+		t.Fatal("weighted explanation should have higher likelihood")
+	}
+}
+
+func TestMostLikelyExplanationUniformMatchesGreedy(t *testing.T) {
+	ps := mkPathSet(t, 4, []int{0, 1}, []int{1, 2}, []int{3})
+	o, err := NewObservation(ps, []bool{true, true, false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prior, err := UniformPrior(4, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	likely, err := MostLikelyExplanation(o, prior)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := GreedyExplanation(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(likely, plain) {
+		t.Fatalf("uniform prior: %v != %v", likely, plain)
+	}
+}
+
+func TestMostLikelyExplanationErrors(t *testing.T) {
+	ps := mkPathSet(t, 2, []int{0}, []int{0, 1})
+	o, err := NewObservation(ps, []bool{true, false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prior, err := UniformPrior(2, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MostLikelyExplanation(o, prior); err == nil {
+		t.Fatal("impossible observation should error")
+	}
+	if _, err := MostLikelyExplanation(o, nil); err == nil {
+		t.Fatal("nil prior should error")
+	}
+	wrong, err := UniformPrior(3, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MostLikelyExplanation(o, wrong); err == nil {
+		t.Fatal("universe mismatch should error")
+	}
+}
+
+func TestMostLikelyExplanationNoFailure(t *testing.T) {
+	ps := mkPathSet(t, 2, []int{0})
+	o, err := NewObservation(ps, []bool{false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prior, err := UniformPrior(2, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expl, err := MostLikelyExplanation(o, prior)
+	if err != nil || expl != nil {
+		t.Fatalf("got %v, %v", expl, err)
+	}
+}
+
+func TestRankCandidates(t *testing.T) {
+	// Path {0,1} failed over 2 nodes, k=1: candidates {0} and {1}. Node 0
+	// fails often, node 1 rarely → {0} ranks first.
+	ps := mkPathSet(t, 2, []int{0, 1})
+	o, err := Observe(ps, bitset.FromIndices(2, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prior, err := NewPrior([]float64{0.3, 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranked, err := RankCandidates(o, prior, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranked) != 2 {
+		t.Fatalf("candidates = %d, want 2", len(ranked))
+	}
+	if !reflect.DeepEqual(ranked[0].Failure, []int{0}) {
+		t.Fatalf("top candidate = %v, want [0]", ranked[0].Failure)
+	}
+	total := ranked[0].Posterior + ranked[1].Posterior
+	if math.Abs(total-1) > 1e-9 {
+		t.Fatalf("posteriors sum to %v", total)
+	}
+	if ranked[0].Posterior <= ranked[1].Posterior {
+		t.Fatal("likelier candidate should have higher posterior")
+	}
+}
+
+func TestRankCandidatesErrors(t *testing.T) {
+	ps := mkPathSet(t, 2, []int{0, 1})
+	o, err := Observe(ps, bitset.FromIndices(2, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RankCandidates(o, nil, 1); err == nil {
+		t.Fatal("nil prior should error")
+	}
+	wrong, err := UniformPrior(5, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RankCandidates(o, wrong, 1); err == nil {
+		t.Fatal("universe mismatch should error")
+	}
+}

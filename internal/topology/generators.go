@@ -1,0 +1,161 @@
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// This file provides generic random-graph generators used by tests,
+// examples, and the ablation benchmarks. They are independent of the
+// Table I calibrated builders in topology.go.
+
+// RandomConnected generates a connected random graph with n nodes and m
+// edges: a uniform random spanning tree (random-parent construction) plus
+// uniformly random extra edges. It returns an error if m is infeasible.
+func RandomConnected(n, m int, seed int64) (*graph.Graph, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("topology: RandomConnected: n = %d", n)
+	}
+	if m < n-1 || int64(m) > int64(n)*int64(n-1)/2 {
+		return nil, fmt.Errorf("topology: RandomConnected: m = %d infeasible for n = %d", m, n)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New(n)
+	for v := 1; v < n; v++ {
+		u := rng.Intn(v)
+		if err := g.AddEdge(u, v); err != nil {
+			return nil, err
+		}
+	}
+	for g.NumEdges() < m {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v || g.HasEdge(u, v) {
+			continue
+		}
+		if err := g.AddEdge(u, v); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// BarabasiAlbert generates a preferential-attachment graph: a seed clique
+// of m0 nodes, then each new node attaches to m distinct existing nodes
+// chosen proportionally to degree. Produces ISP-like heavy-tailed degree
+// distributions.
+func BarabasiAlbert(n, m0, m int, seed int64) (*graph.Graph, error) {
+	if m0 < 1 || m < 1 || m > m0 || n < m0 {
+		return nil, fmt.Errorf("topology: BarabasiAlbert: bad parameters n=%d m0=%d m=%d", n, m0, m)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New(n)
+	// Seed clique.
+	for u := 0; u < m0; u++ {
+		for v := u + 1; v < m0; v++ {
+			if err := g.AddEdge(u, v); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// endpoints holds one entry per edge endpoint, giving degree-weighted
+	// sampling by uniform choice.
+	var endpoints []int
+	for _, e := range g.Edges() {
+		endpoints = append(endpoints, e.U, e.V)
+	}
+	for v := m0; v < n; v++ {
+		chosen := map[int]bool{}
+		for len(chosen) < m {
+			var u int
+			if len(endpoints) == 0 {
+				u = rng.Intn(v)
+			} else {
+				u = endpoints[rng.Intn(len(endpoints))]
+			}
+			if u != v && !chosen[u] {
+				chosen[u] = true
+			}
+		}
+		for u := range chosen {
+			if err := g.AddEdge(u, v); err != nil {
+				return nil, err
+			}
+			endpoints = append(endpoints, u, v)
+		}
+	}
+	return g, nil
+}
+
+// Line generates the path graph 0-1-...-(n-1), a convenient worst case for
+// identifiability (interior nodes are pairwise confusable from few paths).
+func Line(n int) (*graph.Graph, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("topology: Line: n = %d", n)
+	}
+	g := graph.New(n)
+	for v := 1; v < n; v++ {
+		if err := g.AddEdge(v-1, v); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// Star generates a star with the given number of leaves around center 0.
+// It reproduces the shape of the paper's Fig. 1 motivating example when
+// combined with a second tier of leaves.
+func Star(leaves int) (*graph.Graph, error) {
+	if leaves < 1 {
+		return nil, fmt.Errorf("topology: Star: leaves = %d", leaves)
+	}
+	g := graph.New(leaves + 1)
+	for v := 1; v <= leaves; v++ {
+		if err := g.AddEdge(0, v); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// Grid generates the rows×cols grid graph; node (r, c) has ID r*cols + c.
+func Grid(rows, cols int) (*graph.Graph, error) {
+	if rows < 1 || cols < 1 {
+		return nil, fmt.Errorf("topology: Grid: %dx%d", rows, cols)
+	}
+	g := graph.New(rows * cols)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				if err := g.AddEdge(id(r, c), id(r, c+1)); err != nil {
+					return nil, err
+				}
+			}
+			if r+1 < rows {
+				if err := g.AddEdge(id(r, c), id(r+1, c)); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return g, nil
+}
+
+// Fig1Example builds the paper's Fig. 1 topology: a root r connected to
+// four candidate hosts {a, b, c, d}, each host connected to one client of
+// {e, f, g, h}. Node IDs: r=0, a..d = 1..4, e..h = 5..8. It returns the
+// graph plus the client and candidate-host ID sets.
+func Fig1Example() (g *graph.Graph, clients, hosts []graph.NodeID) {
+	g = graph.New(9)
+	labels := []string{"r", "a", "b", "c", "d", "e", "f", "g", "h"}
+	for v, l := range labels {
+		g.SetLabel(v, l)
+	}
+	for host := 1; host <= 4; host++ {
+		mustAdd(g, 0, host)      // r — host
+		mustAdd(g, host, host+4) // host — its client
+	}
+	return g, []graph.NodeID{5, 6, 7, 8}, []graph.NodeID{1, 2, 3, 4}
+}

@@ -1,0 +1,303 @@
+// Package topology provides the evaluation networks of the paper's
+// Section VI-A. The paper uses three Rocketfuel ISP POP-level maps
+// (Abovenet, Tiscali, AT&T). The measured maps are not redistributable, so
+// this package generates deterministic synthetic ISPs calibrated to the
+// exact characteristics the paper reports in Table I — node count, link
+// count, and dangling-node (degree-1) count — plus connectivity. A loader
+// for externally supplied maps is available via graph.Parse.
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Spec describes the Table I characteristics of a topology.
+type Spec struct {
+	Name     string
+	Nodes    int // |N|
+	Links    int // |L|
+	Dangling int // number of degree-1 nodes
+	Seed     int64
+}
+
+// The three evaluation topologies of Table I. Seeds are arbitrary but
+// fixed so every experiment is reproducible.
+var (
+	Abovenet = Spec{Name: "Abovenet", Nodes: 22, Links: 80, Dangling: 2, Seed: 1001}
+	Tiscali  = Spec{Name: "Tiscali", Nodes: 51, Links: 129, Dangling: 13, Seed: 1002}
+	ATT      = Spec{Name: "AT&T", Nodes: 108, Links: 141, Dangling: 78, Seed: 1003}
+)
+
+// Specs returns the three paper topologies in Table I order.
+func Specs() []Spec { return []Spec{Abovenet, Tiscali, ATT} }
+
+// ByName returns the spec with the given name (case-sensitive).
+func ByName(name string) (Spec, error) {
+	for _, s := range Specs() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("topology: unknown topology %q", name)
+}
+
+// Topology couples a generated graph with its spec and the candidate client
+// set used in the evaluation.
+type Topology struct {
+	Spec  Spec
+	Graph *graph.Graph
+
+	// CandidateClients are the nodes eligible to host service clients. Per
+	// Section VI-A these are the dangling nodes; for Abovenet six extra
+	// nodes are added because only two dangle.
+	CandidateClients []graph.NodeID
+}
+
+// Build generates the topology for a spec. The construction is:
+//
+//  1. a random spanning tree over the core (non-dangling) nodes, grown with
+//     preferential attachment so that hub-and-spoke POP structure emerges;
+//  2. extra core edges, first eliminating degree-1 core nodes, then placed
+//     preferentially toward high-degree nodes;
+//  3. one access link per dangling node to a random core node.
+//
+// The result is connected and matches the spec's node, link, and dangling
+// counts exactly; Build returns an error if the spec is infeasible.
+func Build(spec Spec) (*Topology, error) {
+	if err := validateSpec(spec); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	core := spec.Nodes - spec.Dangling
+	g := graph.New(spec.Nodes)
+	for v := 0; v < spec.Nodes; v++ {
+		if v < core {
+			g.SetLabel(v, fmt.Sprintf("%s-pop%d", spec.Name, v))
+		} else {
+			g.SetLabel(v, fmt.Sprintf("%s-access%d", spec.Name, v))
+		}
+	}
+
+	// Step 1: preferential-attachment spanning tree over core nodes.
+	degree := make([]int, core)
+	for v := 1; v < core; v++ {
+		u := pickPreferential(rng, degree[:v])
+		mustAdd(g, u, v)
+		degree[u]++
+		degree[v]++
+	}
+
+	// Step 2a: eliminate degree-1 core nodes.
+	extra := spec.Links - spec.Dangling - (core - 1)
+	for extra > 0 {
+		u := lowestDegreeOne(degree)
+		if u < 0 {
+			break
+		}
+		v := pickNonNeighbor(rng, g, u, core)
+		if v < 0 {
+			return nil, fmt.Errorf("topology: %s: cannot repair degree-1 core node %d", spec.Name, u)
+		}
+		mustAdd(g, u, v)
+		degree[u]++
+		degree[v]++
+		extra--
+	}
+	if lowestDegreeOne(degree) >= 0 {
+		return nil, fmt.Errorf("topology: %s: not enough links to avoid extra dangling core nodes", spec.Name)
+	}
+
+	// Step 2b: spend remaining extra edges preferentially.
+	for extra > 0 {
+		u := pickPreferential(rng, degree)
+		v := pickNonNeighbor(rng, g, u, core)
+		if v < 0 {
+			// u is saturated; fall back to any non-saturated pair.
+			u, v = anyMissingPair(g, core)
+			if u < 0 {
+				return nil, fmt.Errorf("topology: %s: core is complete before placing all links", spec.Name)
+			}
+		}
+		mustAdd(g, u, v)
+		degree[u]++
+		degree[v]++
+		extra--
+	}
+
+	// Step 3: attach dangling nodes.
+	for v := core; v < spec.Nodes; v++ {
+		u := pickPreferential(rng, degree)
+		mustAdd(g, u, v)
+		degree[u]++
+	}
+
+	topo := &Topology{Spec: spec, Graph: g}
+	topo.CandidateClients = candidateClients(spec, g, rng)
+	if err := topo.Verify(); err != nil {
+		return nil, err
+	}
+	return topo, nil
+}
+
+// MustBuild is Build for the three vetted paper specs, panicking on error.
+// The specs are verified by tests, so a failure indicates memory corruption
+// or a modified spec, both programming errors.
+func MustBuild(spec Spec) *Topology {
+	t, err := Build(spec)
+	if err != nil {
+		panic(fmt.Sprintf("topology: %v", err))
+	}
+	return t
+}
+
+// Verify checks that the built graph matches the spec (Table I row) and is
+// connected.
+func (t *Topology) Verify() error {
+	g := t.Graph
+	if g.NumNodes() != t.Spec.Nodes {
+		return fmt.Errorf("topology: %s: %d nodes, want %d", t.Spec.Name, g.NumNodes(), t.Spec.Nodes)
+	}
+	if g.NumEdges() != t.Spec.Links {
+		return fmt.Errorf("topology: %s: %d links, want %d", t.Spec.Name, g.NumEdges(), t.Spec.Links)
+	}
+	if d := len(g.DanglingNodes()); d != t.Spec.Dangling {
+		return fmt.Errorf("topology: %s: %d dangling nodes, want %d", t.Spec.Name, d, t.Spec.Dangling)
+	}
+	if err := g.Validate(); err != nil {
+		return fmt.Errorf("topology: %s: %w", t.Spec.Name, err)
+	}
+	if len(t.CandidateClients) == 0 {
+		return fmt.Errorf("topology: %s: no candidate clients", t.Spec.Name)
+	}
+	return nil
+}
+
+// TableIRow is one row of the paper's Table I.
+type TableIRow struct {
+	ISP      string
+	Nodes    int
+	Links    int
+	Dangling int
+}
+
+// TableI computes the Table I characteristics from the actual built graphs
+// (not the specs), so the experiment output reflects what the algorithms
+// really consumed.
+func TableI() ([]TableIRow, error) {
+	rows := make([]TableIRow, 0, 3)
+	for _, spec := range Specs() {
+		t, err := Build(spec)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, TableIRow{
+			ISP:      spec.Name,
+			Nodes:    t.Graph.NumNodes(),
+			Links:    t.Graph.NumEdges(),
+			Dangling: len(t.Graph.DanglingNodes()),
+		})
+	}
+	return rows, nil
+}
+
+func validateSpec(spec Spec) error {
+	core := spec.Nodes - spec.Dangling
+	switch {
+	case spec.Nodes <= 0:
+		return fmt.Errorf("topology: %s: non-positive node count", spec.Name)
+	case spec.Dangling < 0 || spec.Dangling >= spec.Nodes:
+		return fmt.Errorf("topology: %s: dangling count %d out of range", spec.Name, spec.Dangling)
+	case core == 1 && spec.Links != spec.Dangling:
+		return fmt.Errorf("topology: %s: single-core spec needs links == dangling", spec.Name)
+	case spec.Links < spec.Dangling+core-1:
+		return fmt.Errorf("topology: %s: too few links for a connected graph", spec.Name)
+	case int64(spec.Links-spec.Dangling) > int64(core)*int64(core-1)/2:
+		return fmt.Errorf("topology: %s: too many core links", spec.Name)
+	}
+	return nil
+}
+
+// candidateClients implements the Section VI-A client selection: dangling
+// nodes, plus six randomly chosen non-dangling nodes for Abovenet.
+func candidateClients(spec Spec, g *graph.Graph, rng *rand.Rand) []graph.NodeID {
+	clients := g.DanglingNodes()
+	if spec.Name == Abovenet.Name {
+		chosen := map[int]bool{}
+		for _, c := range clients {
+			chosen[c] = true
+		}
+		for len(clients) < len(g.DanglingNodes())+6 {
+			v := rng.Intn(g.NumNodes())
+			if !chosen[v] {
+				chosen[v] = true
+				clients = append(clients, v)
+			}
+		}
+	}
+	sort.Ints(clients)
+	return clients
+}
+
+func mustAdd(g *graph.Graph, u, v int) {
+	if err := g.AddEdge(u, v); err != nil {
+		panic(fmt.Sprintf("topology: internal edge conflict: %v", err))
+	}
+}
+
+// pickPreferential picks an index with probability proportional to
+// degree+1 (the +1 keeps isolated nodes reachable).
+func pickPreferential(rng *rand.Rand, degree []int) int {
+	total := len(degree)
+	for _, d := range degree {
+		total += d
+	}
+	r := rng.Intn(total)
+	for i, d := range degree {
+		r -= d + 1
+		if r < 0 {
+			return i
+		}
+	}
+	return len(degree) - 1
+}
+
+// lowestDegreeOne returns the smallest index with degree exactly 1, or -1.
+func lowestDegreeOne(degree []int) int {
+	for i, d := range degree {
+		if d == 1 {
+			return i
+		}
+	}
+	return -1
+}
+
+// pickNonNeighbor returns a random node in [0, core) that is neither u nor
+// adjacent to u, or -1 if none exists.
+func pickNonNeighbor(rng *rand.Rand, g *graph.Graph, u, core int) int {
+	var candidates []int
+	for v := 0; v < core; v++ {
+		if v != u && !g.HasEdge(u, v) {
+			candidates = append(candidates, v)
+		}
+	}
+	if len(candidates) == 0 {
+		return -1
+	}
+	return candidates[rng.Intn(len(candidates))]
+}
+
+// anyMissingPair returns some non-adjacent core pair, or (-1, -1).
+func anyMissingPair(g *graph.Graph, core int) (int, int) {
+	for u := 0; u < core; u++ {
+		for v := u + 1; v < core; v++ {
+			if !g.HasEdge(u, v) {
+				return u, v
+			}
+		}
+	}
+	return -1, -1
+}

@@ -1,0 +1,259 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestBuildMatchesTableI(t *testing.T) {
+	for _, spec := range Specs() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			topo, err := Build(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g := topo.Graph
+			if g.NumNodes() != spec.Nodes {
+				t.Errorf("nodes = %d, want %d", g.NumNodes(), spec.Nodes)
+			}
+			if g.NumEdges() != spec.Links {
+				t.Errorf("links = %d, want %d", g.NumEdges(), spec.Links)
+			}
+			if d := len(g.DanglingNodes()); d != spec.Dangling {
+				t.Errorf("dangling = %d, want %d", d, spec.Dangling)
+			}
+			if !g.Connected() {
+				t.Error("graph must be connected")
+			}
+		})
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	a, err := Build(Tiscali)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(Tiscali)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ea, eb := a.Graph.Edges(), b.Graph.Edges()
+	if len(ea) != len(eb) {
+		t.Fatal("edge counts differ across builds")
+	}
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatalf("edge %d differs: %v vs %v", i, ea[i], eb[i])
+		}
+	}
+	if len(a.CandidateClients) != len(b.CandidateClients) {
+		t.Fatal("client counts differ across builds")
+	}
+	for i := range a.CandidateClients {
+		if a.CandidateClients[i] != b.CandidateClients[i] {
+			t.Fatal("candidate clients differ across builds")
+		}
+	}
+}
+
+func TestCandidateClients(t *testing.T) {
+	ab := MustBuild(Abovenet)
+	// 2 dangling + 6 extra = 8.
+	if got := len(ab.CandidateClients); got != 8 {
+		t.Fatalf("Abovenet clients = %d, want 8", got)
+	}
+	ti := MustBuild(Tiscali)
+	if got := len(ti.CandidateClients); got != 13 {
+		t.Fatalf("Tiscali clients = %d, want 13", got)
+	}
+	att := MustBuild(ATT)
+	if got := len(att.CandidateClients); got != 78 {
+		t.Fatalf("AT&T clients = %d, want 78", got)
+	}
+	// All dangling nodes must be candidate clients.
+	dangling := att.Graph.DanglingNodes()
+	inClients := map[int]bool{}
+	for _, c := range att.CandidateClients {
+		inClients[c] = true
+	}
+	for _, d := range dangling {
+		if !inClients[d] {
+			t.Fatalf("dangling node %d missing from clients", d)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	s, err := ByName("Tiscali")
+	if err != nil || s.Nodes != 51 {
+		t.Fatalf("ByName(Tiscali) = %+v, %v", s, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown name should error")
+	}
+}
+
+func TestTableI(t *testing.T) {
+	rows, err := TableI()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TableIRow{
+		{ISP: "Abovenet", Nodes: 22, Links: 80, Dangling: 2},
+		{ISP: "Tiscali", Nodes: 51, Links: 129, Dangling: 13},
+		{ISP: "AT&T", Nodes: 108, Links: 141, Dangling: 78},
+	}
+	if len(rows) != len(want) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i := range want {
+		if rows[i] != want[i] {
+			t.Errorf("row %d = %+v, want %+v", i, rows[i], want[i])
+		}
+	}
+}
+
+func TestValidateSpecErrors(t *testing.T) {
+	cases := []Spec{
+		{Name: "zero", Nodes: 0},
+		{Name: "dangling-too-big", Nodes: 4, Dangling: 4, Links: 3},
+		{Name: "too-few-links", Nodes: 10, Dangling: 2, Links: 5},
+		{Name: "too-many-core-links", Nodes: 5, Dangling: 2, Links: 20},
+	}
+	for _, spec := range cases {
+		if _, err := Build(spec); err == nil {
+			t.Errorf("Build(%s) should fail", spec.Name)
+		}
+	}
+}
+
+func TestNodeLabels(t *testing.T) {
+	topo := MustBuild(Abovenet)
+	if !strings.HasPrefix(topo.Graph.Label(0), "Abovenet-pop") {
+		t.Fatalf("core label = %q", topo.Graph.Label(0))
+	}
+	if !strings.HasPrefix(topo.Graph.Label(21), "Abovenet-access") {
+		t.Fatalf("access label = %q", topo.Graph.Label(21))
+	}
+}
+
+func TestRandomConnected(t *testing.T) {
+	g, err := RandomConnected(20, 40, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 20 || g.NumEdges() != 40 {
+		t.Fatalf("shape = %d/%d", g.NumNodes(), g.NumEdges())
+	}
+	if !g.Connected() {
+		t.Fatal("must be connected")
+	}
+}
+
+func TestRandomConnectedErrors(t *testing.T) {
+	if _, err := RandomConnected(0, 0, 1); err == nil {
+		t.Fatal("n=0 should fail")
+	}
+	if _, err := RandomConnected(5, 3, 1); err == nil {
+		t.Fatal("m < n-1 should fail")
+	}
+	if _, err := RandomConnected(4, 7, 1); err == nil {
+		t.Fatal("m > C(n,2) should fail")
+	}
+}
+
+func TestRandomConnectedDeterministic(t *testing.T) {
+	a, _ := RandomConnected(15, 30, 99)
+	b, _ := RandomConnected(15, 30, 99)
+	ea, eb := a.Edges(), b.Edges()
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatal("same seed should give same graph")
+		}
+	}
+}
+
+func TestBarabasiAlbert(t *testing.T) {
+	g, err := BarabasiAlbert(50, 3, 2, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 50 {
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+	// clique edges + m per new node.
+	wantEdges := 3 + (50-3)*2
+	if g.NumEdges() != wantEdges {
+		t.Fatalf("edges = %d, want %d", g.NumEdges(), wantEdges)
+	}
+	if !g.Connected() {
+		t.Fatal("BA graph must be connected")
+	}
+}
+
+func TestBarabasiAlbertErrors(t *testing.T) {
+	if _, err := BarabasiAlbert(10, 2, 3, 1); err == nil {
+		t.Fatal("m > m0 should fail")
+	}
+	if _, err := BarabasiAlbert(2, 3, 1, 1); err == nil {
+		t.Fatal("n < m0 should fail")
+	}
+}
+
+func TestLineStarGrid(t *testing.T) {
+	l, err := Line(5)
+	if err != nil || l.NumEdges() != 4 {
+		t.Fatalf("Line: %v %d", err, l.NumEdges())
+	}
+	s, err := Star(4)
+	if err != nil || s.NumNodes() != 5 || s.Degree(0) != 4 {
+		t.Fatalf("Star wrong")
+	}
+	g, err := Grid(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 12 {
+		t.Fatalf("Grid nodes = %d", g.NumNodes())
+	}
+	// Edges: 3*(4-1) horizontal + (3-1)*4 vertical = 9 + 8 = 17.
+	if g.NumEdges() != 17 {
+		t.Fatalf("Grid edges = %d, want 17", g.NumEdges())
+	}
+	if _, err := Line(0); err == nil {
+		t.Fatal("Line(0) should fail")
+	}
+	if _, err := Star(0); err == nil {
+		t.Fatal("Star(0) should fail")
+	}
+	if _, err := Grid(0, 3); err == nil {
+		t.Fatal("Grid(0,3) should fail")
+	}
+}
+
+func TestFig1Example(t *testing.T) {
+	g, clients, hosts := Fig1Example()
+	if g.NumNodes() != 9 || g.NumEdges() != 8 {
+		t.Fatalf("shape = %d/%d", g.NumNodes(), g.NumEdges())
+	}
+	if len(clients) != 4 || len(hosts) != 4 {
+		t.Fatal("client/host sets wrong")
+	}
+	if g.Label(0) != "r" {
+		t.Fatalf("root label = %q", g.Label(0))
+	}
+	// Each client hangs off its host; hosts hang off r.
+	for i, h := range hosts {
+		if !g.HasEdge(0, h) {
+			t.Fatalf("missing r—%s edge", g.Label(h))
+		}
+		if !g.HasEdge(h, clients[i]) {
+			t.Fatalf("missing %s—%s edge", g.Label(h), g.Label(clients[i]))
+		}
+	}
+	var _ *graph.Graph = g
+}

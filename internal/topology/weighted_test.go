@@ -1,0 +1,68 @@
+package topology
+
+import (
+	"testing"
+)
+
+func TestBuildWeightedShape(t *testing.T) {
+	topo, err := BuildWeighted(Abovenet, 1, 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	sawNonUnit := false
+	for _, e := range topo.Graph.Edges() {
+		if e.Weight < 1 || e.Weight >= 10 {
+			t.Fatalf("weight %v outside [1, 10)", e.Weight)
+		}
+		if e.Weight != 1 {
+			sawNonUnit = true
+		}
+	}
+	if !sawNonUnit {
+		t.Fatal("expected heterogeneous weights")
+	}
+}
+
+func TestBuildWeightedDeterministic(t *testing.T) {
+	a, err := BuildWeighted(Tiscali, 0.5, 3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildWeighted(Tiscali, 0.5, 3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ea, eb := a.Graph.Edges(), b.Graph.Edges()
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatalf("edge %d differs: %v vs %v", i, ea[i], eb[i])
+		}
+	}
+}
+
+func TestBuildWeightedConstantRange(t *testing.T) {
+	topo, err := BuildWeighted(Abovenet, 2, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range topo.Graph.Edges() {
+		if e.Weight != 2 {
+			t.Fatalf("weight %v, want constant 2", e.Weight)
+		}
+	}
+}
+
+func TestBuildWeightedValidation(t *testing.T) {
+	if _, err := BuildWeighted(Abovenet, 0, 1, 1); err == nil {
+		t.Fatal("zero min weight should error")
+	}
+	if _, err := BuildWeighted(Abovenet, 3, 2, 1); err == nil {
+		t.Fatal("inverted range should error")
+	}
+	if _, err := BuildWeighted(Spec{Name: "bad"}, 1, 2, 1); err == nil {
+		t.Fatal("bad spec should propagate")
+	}
+}

@@ -1,0 +1,152 @@
+package placemon
+
+import (
+	"fmt"
+
+	"repro/internal/bitset"
+	"repro/internal/monitor"
+	"repro/internal/placement"
+	"repro/internal/tomography"
+)
+
+// This file is the operational side of the facade: generating the binary
+// end-to-end observations a placement yields under failures, and running
+// Boolean tomography over them.
+
+// Observation holds the per-connection binary states for a placement.
+type Observation struct {
+	// Connections lists the (client, host) pairs in order.
+	Connections []Connection
+	// Failed[i] reports whether connection i is down.
+	Failed []bool
+
+	paths *monitor.PathSet
+}
+
+// Connection identifies one measured client-server pair.
+type Connection struct {
+	Service int
+	Client  int
+	Host    int
+}
+
+// Observe computes the connection states a placement would report when
+// the given nodes have failed — the paper's measurement model: a
+// connection is down iff its routed path traverses a failed node
+// (endpoints included).
+func (nw *Network) Observe(services []Service, hosts []int, alpha float64, failedNodes []int) (*Observation, error) {
+	inst, _, err := nw.prepare(services, PlaceConfig{Alpha: alpha})
+	if err != nil {
+		return nil, err
+	}
+	if len(hosts) != len(services) {
+		return nil, fmt.Errorf("placemon: %d hosts for %d services", len(hosts), len(services))
+	}
+	failed := bitset.New(nw.NumNodes())
+	for _, v := range failedNodes {
+		if v < 0 || v >= nw.NumNodes() {
+			return nil, fmt.Errorf("placemon: failed node %d out of range", v)
+		}
+		failed.Add(v)
+	}
+
+	obs := &Observation{paths: monitor.NewPathSet(nw.NumNodes())}
+	for s, h := range hosts {
+		if h == placement.Unplaced {
+			continue
+		}
+		paths, err := inst.ServicePaths(s, h)
+		if err != nil {
+			return nil, fmt.Errorf("placemon: %w", err)
+		}
+		for i, p := range paths {
+			if err := obs.paths.Add(p); err != nil {
+				return nil, fmt.Errorf("placemon: %w", err)
+			}
+			obs.Connections = append(obs.Connections, Connection{
+				Service: s,
+				Client:  services[s].Clients[i],
+				Host:    h,
+			})
+			obs.Failed = append(obs.Failed, p.Intersects(failed))
+		}
+	}
+	return obs, nil
+}
+
+// AnyFailure reports whether at least one connection is down.
+func (o *Observation) AnyFailure() bool {
+	for _, f := range o.Failed {
+		if f {
+			return true
+		}
+	}
+	return false
+}
+
+// Diagnosis is the localization outcome over an observation.
+type Diagnosis struct {
+	// Candidates lists every failure set of size ≤ K consistent with the
+	// observation; the truth is among them whenever it has ≤ K nodes.
+	Candidates [][]int
+	// DefinitelyFailed are nodes present in every candidate.
+	DefinitelyFailed []int
+	// PossiblyFailed are nodes present in some candidate.
+	PossiblyFailed []int
+	// Healthy are nodes proven up by a successful connection.
+	Healthy []int
+	// Unobserved are nodes on no measured connection.
+	Unobserved []int
+	// GreedyExplanation is a small failure set explaining the observation
+	// (the related-work heuristic); nil when nothing failed.
+	GreedyExplanation []int
+}
+
+// Ambiguity returns the number of alternative explanations beyond one.
+func (d *Diagnosis) Ambiguity() int { return len(d.Candidates) - 1 }
+
+// Unique reports whether exactly one candidate remains.
+func (d *Diagnosis) Unique() bool { return len(d.Candidates) == 1 }
+
+// Localize runs Boolean tomography over the observation with failure
+// budget k.
+func (nw *Network) Localize(o *Observation, k int) (*Diagnosis, error) {
+	if o == nil || o.paths == nil {
+		return nil, fmt.Errorf("placemon: observation was not produced by Observe")
+	}
+	tobs, err := tomography.NewObservation(o.paths, o.Failed)
+	if err != nil {
+		return nil, fmt.Errorf("placemon: %w", err)
+	}
+	diag, err := tomography.Localize(tobs, k)
+	if err != nil {
+		return nil, fmt.Errorf("placemon: %w", err)
+	}
+	out := &Diagnosis{
+		Candidates:       diag.Consistent,
+		DefinitelyFailed: diag.DefinitelyFailed,
+		PossiblyFailed:   diag.PossiblyFailed,
+		Healthy:          diag.Healthy,
+		Unobserved:       diag.Unobserved,
+	}
+	if expl, err := tomography.GreedyExplanation(tobs); err == nil {
+		out.GreedyExplanation = expl
+	}
+	return out, nil
+}
+
+// UncertaintyDegrees returns, for the measurement paths of a placement,
+// the degree of uncertainty of every node (index NumNodes() is the
+// virtual no-failure hypothesis v0): the number of other single-failure
+// hypotheses indistinguishable from it. Zero means 1-identifiable.
+func (nw *Network) UncertaintyDegrees(services []Service, hosts []int, alpha float64) ([]int, error) {
+	inst, _, err := nw.prepare(services, PlaceConfig{Alpha: alpha})
+	if err != nil {
+		return nil, err
+	}
+	ps, err := inst.PathSet(placement.Placement{Hosts: append([]int(nil), hosts...)})
+	if err != nil {
+		return nil, fmt.Errorf("placemon: %w", err)
+	}
+	return monitor.NewPartitionFromPaths(ps).Degrees(), nil
+}

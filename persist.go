@@ -1,0 +1,90 @@
+package placemon
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// PlacementFile is the JSON document Save/LoadPlacement exchange: enough
+// context to re-evaluate, observe, and localize against the placement
+// later (or on another machine).
+type PlacementFile struct {
+	// Topology names a built-in topology; empty for custom networks
+	// (whose graphs travel separately via Network export).
+	Topology string `json:"topology,omitempty"`
+	// Alpha is the QoS slack the placement was computed under.
+	Alpha float64 `json:"alpha"`
+	// Services are the service definitions.
+	Services []ServiceRecord `json:"services"`
+	// Hosts[s] is the host of service s (-1 = unplaced).
+	Hosts []int `json:"hosts"`
+}
+
+// ServiceRecord is the serialized form of Service.
+type ServiceRecord struct {
+	Name    string `json:"name,omitempty"`
+	Clients []int  `json:"clients"`
+}
+
+// SavePlacement writes a placement document as indented JSON.
+func SavePlacement(w io.Writer, doc PlacementFile) error {
+	if len(doc.Hosts) != len(doc.Services) {
+		return fmt.Errorf("placemon: %d hosts for %d services", len(doc.Hosts), len(doc.Services))
+	}
+	for i, s := range doc.Services {
+		if len(s.Clients) == 0 {
+			return fmt.Errorf("placemon: service %d has no clients", i)
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("placemon: encode placement: %w", err)
+	}
+	return nil
+}
+
+// LoadPlacement reads a placement document written by SavePlacement.
+func LoadPlacement(r io.Reader) (PlacementFile, error) {
+	var doc PlacementFile
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&doc); err != nil {
+		return doc, fmt.Errorf("placemon: decode placement: %w", err)
+	}
+	if len(doc.Hosts) != len(doc.Services) {
+		return doc, fmt.Errorf("placemon: %d hosts for %d services", len(doc.Hosts), len(doc.Services))
+	}
+	for i, s := range doc.Services {
+		if len(s.Clients) == 0 {
+			return doc, fmt.Errorf("placemon: service %d has no clients", i)
+		}
+	}
+	return doc, nil
+}
+
+// ToServices converts the records back to Service values.
+func (f PlacementFile) ToServices() []Service {
+	out := make([]Service, len(f.Services))
+	for i, s := range f.Services {
+		out[i] = Service{Name: s.Name, Clients: append([]int(nil), s.Clients...)}
+	}
+	return out
+}
+
+// NewPlacementFile assembles a document from a placement run.
+func NewPlacementFile(topologyName string, alpha float64, services []Service, hosts []int) PlacementFile {
+	doc := PlacementFile{
+		Topology: topologyName,
+		Alpha:    alpha,
+		Hosts:    append([]int(nil), hosts...),
+	}
+	for _, s := range services {
+		doc.Services = append(doc.Services, ServiceRecord{
+			Name:    s.Name,
+			Clients: append([]int(nil), s.Clients...),
+		})
+	}
+	return doc
+}

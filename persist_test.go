@@ -1,0 +1,81 @@
+package placemon
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestSaveLoadPlacementRoundTrip(t *testing.T) {
+	doc := NewPlacementFile("Abovenet", 0.5,
+		[]Service{{Name: "svc", Clients: []int{1, 2}}, {Clients: []int{3}}},
+		[]int{4, 5})
+	var buf strings.Builder
+	if err := SavePlacement(&buf, doc); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadPlacement(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, doc) {
+		t.Fatalf("round trip changed document:\n%+v\n%+v", got, doc)
+	}
+	services := got.ToServices()
+	if len(services) != 2 || services[0].Name != "svc" || !reflect.DeepEqual(services[1].Clients, []int{3}) {
+		t.Fatalf("ToServices = %+v", services)
+	}
+}
+
+func TestSavePlacementValidation(t *testing.T) {
+	var buf strings.Builder
+	bad := PlacementFile{Services: []ServiceRecord{{Clients: []int{1}}}, Hosts: nil}
+	if err := SavePlacement(&buf, bad); err == nil {
+		t.Fatal("length mismatch should error")
+	}
+	bad = PlacementFile{Services: []ServiceRecord{{}}, Hosts: []int{1}}
+	if err := SavePlacement(&buf, bad); err == nil {
+		t.Fatal("clientless service should error")
+	}
+}
+
+func TestLoadPlacementValidation(t *testing.T) {
+	cases := []string{
+		`not json`,
+		`{"hosts":[1],"services":[]}`,
+		`{"hosts":[1],"services":[{"clients":[]}]}`,
+		`{"hosts":[1],"services":[{"clients":[1]}],"surprise":true}`,
+	}
+	for _, c := range cases {
+		if _, err := LoadPlacement(strings.NewReader(c)); err == nil {
+			t.Fatalf("LoadPlacement(%q) should fail", c)
+		}
+	}
+}
+
+func TestPlacementFileEndToEnd(t *testing.T) {
+	// Save a real placement, reload it, and re-evaluate to identical
+	// metrics.
+	nw := fig1Network(t)
+	services := fig1Services(3)
+	res, err := nw.Place(services, PlaceConfig{Alpha: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := NewPlacementFile("", 0.5, services, res.Hosts)
+	var buf strings.Builder
+	if err := SavePlacement(&buf, doc); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadPlacement(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := nw.Evaluate(loaded.ToServices(), loaded.Hosts, loaded.Alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Identifiable != res.Identifiable || again.Distinguishable != res.Distinguishable {
+		t.Fatalf("reloaded metrics differ: %+v vs %+v", again, res)
+	}
+}

@@ -1,0 +1,70 @@
+package placemon
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SweepPoint is one α-point of a monitoring-QoS tradeoff sweep: the three
+// k = 1 monitoring measures of the placement the configured algorithm
+// produced at that slack.
+type SweepPoint struct {
+	Alpha                 float64
+	Coverage              int
+	Identifiable          int
+	Distinguishable       int64
+	WorstRelativeDistance float64
+}
+
+// SweepConfig tunes Network.Sweep. The zero value sweeps α over
+// {0, 0.1, …, 1} with the greedy distinguishability placement.
+type SweepConfig struct {
+	// Alphas lists the QoS slacks to evaluate (default 0..1 in steps of
+	// 0.1). Values must lie in [0, 1].
+	Alphas []float64
+	// Objective and Algorithm select the placement strategy per α
+	// (defaults: distinguishability, greedy).
+	Objective ObjectiveKind
+	Algorithm Algorithm
+	// Seed drives AlgorithmRandom.
+	Seed int64
+}
+
+// Sweep computes the monitoring-QoS tradeoff curve for a service set: the
+// answer to "how much observability does each unit of QoS slack buy?"
+// (the paper's Figs. 5-7 for a single algorithm). Points come back in
+// ascending α order.
+func (nw *Network) Sweep(services []Service, cfg SweepConfig) ([]SweepPoint, error) {
+	alphas := cfg.Alphas
+	if len(alphas) == 0 {
+		alphas = []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+	}
+	for _, a := range alphas {
+		if a < 0 || a > 1 {
+			return nil, fmt.Errorf("placemon: sweep alpha %g outside [0, 1]", a)
+		}
+	}
+	sorted := append([]float64(nil), alphas...)
+	sort.Float64s(sorted)
+
+	points := make([]SweepPoint, 0, len(sorted))
+	for _, alpha := range sorted {
+		res, err := nw.Place(services, PlaceConfig{
+			Alpha:     alpha,
+			Objective: cfg.Objective,
+			Algorithm: cfg.Algorithm,
+			Seed:      cfg.Seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("placemon: sweep at α=%g: %w", alpha, err)
+		}
+		points = append(points, SweepPoint{
+			Alpha:                 alpha,
+			Coverage:              res.Coverage,
+			Identifiable:          res.Identifiable,
+			Distinguishable:       res.Distinguishable,
+			WorstRelativeDistance: res.WorstRelativeDistance,
+		})
+	}
+	return points, nil
+}

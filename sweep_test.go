@@ -1,0 +1,83 @@
+package placemon
+
+import (
+	"testing"
+)
+
+func TestSweepDefaults(t *testing.T) {
+	nw := fig1Network(t)
+	points, err := nw.Sweep(fig1Services(3), SweepConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 11 {
+		t.Fatalf("points = %d, want 11", len(points))
+	}
+	for i := 1; i < len(points); i++ {
+		if points[i].Alpha <= points[i-1].Alpha {
+			t.Fatal("points must be ascending in α")
+		}
+	}
+	// Each placement honors its own slack.
+	for _, p := range points {
+		if p.WorstRelativeDistance > p.Alpha+1e-9 {
+			t.Fatalf("QoS violated at α=%v: d̄=%v", p.Alpha, p.WorstRelativeDistance)
+		}
+	}
+}
+
+func TestSweepQoSAlgorithmIsFlat(t *testing.T) {
+	nw := fig1Network(t)
+	points, err := nw.Sweep(fig1Services(3), SweepConfig{
+		Alphas:    []float64{0, 0.5, 1},
+		Algorithm: AlgorithmQoS,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range points[1:] {
+		if p.Distinguishable != points[0].Distinguishable {
+			t.Fatalf("QoS series should be flat in α: %+v vs %+v", p, points[0])
+		}
+	}
+}
+
+func TestSweepUnsortedAlphas(t *testing.T) {
+	nw := fig1Network(t)
+	points, err := nw.Sweep(fig1Services(2), SweepConfig{Alphas: []float64{1, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if points[0].Alpha != 0 || points[1].Alpha != 1 {
+		t.Fatalf("points not sorted: %v", points)
+	}
+}
+
+func TestSweepValidation(t *testing.T) {
+	nw := fig1Network(t)
+	if _, err := nw.Sweep(fig1Services(1), SweepConfig{Alphas: []float64{-0.1}}); err == nil {
+		t.Fatal("negative alpha should error")
+	}
+	if _, err := nw.Sweep(fig1Services(1), SweepConfig{Alphas: []float64{1.5}}); err == nil {
+		t.Fatal("alpha > 1 should error")
+	}
+	if _, err := nw.Sweep(nil, SweepConfig{}); err == nil {
+		t.Fatal("no services should error")
+	}
+}
+
+func TestSweepGreedyDominatesItselfAtWiderSlack(t *testing.T) {
+	// Greedy is not guaranteed monotone in α point-by-point, but the
+	// candidate sets grow, so the final α=1 value should be at least the
+	// α=0 value for the distinguishability objective on this symmetric
+	// instance.
+	nw := fig1Network(t)
+	points, err := nw.Sweep(fig1Services(4), SweepConfig{Alphas: []float64{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if points[1].Distinguishable < points[0].Distinguishable {
+		t.Fatalf("α=1 distinguishability %d below α=0 %d",
+			points[1].Distinguishable, points[0].Distinguishable)
+	}
+}

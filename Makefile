@@ -1,8 +1,11 @@
 # Convenience targets; everything is plain `go` underneath.
 
 GO ?= go
+# Extra flags for the benchmark targets, e.g. BENCHFLAGS=-benchtime=1x
+# for a quick smoke run.
+BENCHFLAGS ?=
 
-.PHONY: all build test race bench fuzz experiments results clean
+.PHONY: all build test race check bench bench-json fuzz experiments results serve clean
 
 all: build test
 
@@ -16,9 +19,26 @@ test:
 race:
 	$(GO) test -race ./...
 
+# The full static + concurrency gate: vet everything, then run every test
+# under the race detector (the serving layer, worker pool, and metrics
+# registry are exercised concurrently by their tests).
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
 # One benchmark run per table/figure plus the ablations.
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# Machine-readable benchmark snapshot for the perf trajectory: runs the
+# root benchmarks and archives them as BENCH_<date>.json.
+bench-json:
+	$(GO) test -run NONE -bench=. -benchmem $(BENCHFLAGS) . | $(GO) run ./cmd/benchjson > BENCH_$(shell date +%F).json
+
+# Compute a placement and serve it with the monitoring daemon.
+serve:
+	$(GO) run ./cmd/placemon place -topology Tiscali -services 3 -alpha 0.6 -o /tmp/placement.json
+	$(GO) run ./cmd/placemond -placement /tmp/placement.json -addr :8080
 
 # Short fuzz session over the edge-list parser.
 fuzz:

@@ -1,0 +1,134 @@
+// Command benchjson converts `go test -bench` text output into a
+// machine-readable JSON summary, so benchmark runs can be archived and
+// diffed across commits (the repo's perf trajectory):
+//
+//	go test -run NONE -bench=. -benchmem . | go run ./cmd/benchjson > BENCH_2026-08-05.json
+//
+// It reads the benchmark output on stdin and writes one JSON document on
+// stdout; context lines (goos/goarch/cpu/pkg) are captured as metadata,
+// and every `-benchmem` column plus any custom metric (`value unit`
+// pairs) lands in the per-benchmark metrics map.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Summary is the output document.
+type Summary struct {
+	// Date is the run timestamp (RFC 3339).
+	Date string `json:"date"`
+	// Goos, Goarch, CPU, and Pkg echo the benchmark context lines.
+	Goos   string `json:"goos,omitempty"`
+	Goarch string `json:"goarch,omitempty"`
+	CPU    string `json:"cpu,omitempty"`
+	Pkg    string `json:"pkg,omitempty"`
+	// Benchmarks are the parsed result lines in input order.
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	// Name is the full benchmark name including sub-benchmark path and
+	// the -N GOMAXPROCS suffix, e.g. "BenchmarkFig4/Tiscali-8".
+	Name string `json:"name"`
+	// Iterations is b.N for the reported run.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is the headline metric.
+	NsPerOp float64 `json:"ns_per_op"`
+	// Metrics holds every unit → value pair on the line, including
+	// "B/op" and "allocs/op" under -benchmem and any b.ReportMetric
+	// extras (ns/op is repeated here for uniform consumers).
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+func main() {
+	sum, err := parse(os.Stdin, time.Now())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(sum); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks\n", len(sum.Benchmarks))
+}
+
+// parse consumes `go test -bench` output and builds the summary.
+func parse(r io.Reader, now time.Time) (*Summary, error) {
+	sum := &Summary{Date: now.Format(time.RFC3339), Benchmarks: []Benchmark{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			sum.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			sum.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			sum.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "pkg:"):
+			sum.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			b, ok, err := parseBenchLine(line)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				sum.Benchmarks = append(sum.Benchmarks, b)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return sum, nil
+}
+
+// parseBenchLine parses one result line of the form
+//
+//	BenchmarkName-8  100  12345 ns/op  678 B/op  9 allocs/op
+//
+// Lines without an iteration count (e.g. a bare "BenchmarkX" progress
+// line under -v) report ok=false rather than an error.
+func parseBenchLine(line string) (Benchmark, bool, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return Benchmark{}, false, nil
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false, nil
+	}
+	b := Benchmark{
+		Name:       fields[0],
+		Iterations: iters,
+		Metrics:    map[string]float64{},
+	}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false, fmt.Errorf("line %q: bad value %q: %v", line, fields[i], err)
+		}
+		unit := fields[i+1]
+		b.Metrics[unit] = v
+		if unit == "ns/op" {
+			b.NsPerOp = v
+		}
+	}
+	if _, ok := b.Metrics["ns/op"]; !ok {
+		return Benchmark{}, false, nil
+	}
+	return b, true, nil
+}

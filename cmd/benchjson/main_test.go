@@ -1,0 +1,78 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: AMD EPYC 7B13
+BenchmarkTableI/Abovenet-8         	     100	  11093907 ns/op	 4093438 B/op	   39110 allocs/op
+BenchmarkRouterConstruction-8      	    5000	    245678 ns/op
+BenchmarkOpLoop-8                  	       2	 600123456 ns/op	       51.0 detect-%	12345 B/op	  100 allocs/op
+PASS
+ok  	repro	42.195s
+`
+
+func TestParse(t *testing.T) {
+	now := time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
+	sum, err := parse(strings.NewReader(sample), now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Goos != "linux" || sum.Goarch != "amd64" || sum.Pkg != "repro" {
+		t.Fatalf("metadata = %+v", sum)
+	}
+	if sum.CPU != "AMD EPYC 7B13" {
+		t.Fatalf("cpu = %q", sum.CPU)
+	}
+	if sum.Date != "2026-08-05T12:00:00Z" {
+		t.Fatalf("date = %q", sum.Date)
+	}
+	if len(sum.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(sum.Benchmarks))
+	}
+
+	b := sum.Benchmarks[0]
+	if b.Name != "BenchmarkTableI/Abovenet-8" || b.Iterations != 100 {
+		t.Fatalf("first = %+v", b)
+	}
+	if b.NsPerOp != 11093907 || b.Metrics["B/op"] != 4093438 || b.Metrics["allocs/op"] != 39110 {
+		t.Fatalf("first metrics = %+v", b.Metrics)
+	}
+
+	// No -benchmem columns is fine.
+	if got := sum.Benchmarks[1].Metrics; len(got) != 1 || got["ns/op"] != 245678 {
+		t.Fatalf("second metrics = %v", got)
+	}
+
+	// Custom b.ReportMetric units are preserved.
+	if got := sum.Benchmarks[2].Metrics["detect-%"]; got != 51.0 {
+		t.Fatalf("custom metric = %v, want 51", got)
+	}
+}
+
+func TestParseIgnoresNonResultLines(t *testing.T) {
+	in := `BenchmarkInProgress
+Benchmark-not-a-result line here
+goos: linux
+PASS
+`
+	sum, err := parse(strings.NewReader(in), time.Unix(0, 0).UTC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Benchmarks) != 0 {
+		t.Fatalf("parsed %d benchmarks from noise, want 0", len(sum.Benchmarks))
+	}
+}
+
+func TestParseRejectsCorruptValues(t *testing.T) {
+	in := "BenchmarkX-8  10  abc ns/op\n"
+	if _, err := parse(strings.NewReader(in), time.Unix(0, 0).UTC()); err == nil {
+		t.Fatalf("corrupt value accepted")
+	}
+}

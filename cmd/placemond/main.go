@@ -1,0 +1,145 @@
+// Command placemond is the network-facing monitoring service: it loads a
+// topology and a deployed placement (the JSON document `placemon place
+// -o` writes), builds the placement's measurement paths, and serves the
+// monitoring API over HTTP until SIGINT/SIGTERM, then drains gracefully.
+//
+//	placemond -placement placement.json -addr :8080
+//
+// Endpoints: POST /v1/observations, GET /v1/diagnosis,
+// POST /v1/placements, GET /healthz, GET /metrics, and (with -pprof)
+// GET /debug/pprof/*. See internal/server for the wire formats.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	placemon "repro"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], log.New(os.Stderr, "placemond: ", log.LstdFlags)); err != nil {
+		fmt.Fprintln(os.Stderr, "placemond:", err)
+		os.Exit(1)
+	}
+}
+
+// options are the parsed command-line flags.
+type options struct {
+	addr           string
+	topology       string
+	graphFile      string
+	placementFile  string
+	k              int
+	workers        int
+	queue          int
+	requestTimeout time.Duration
+	drainTimeout   time.Duration
+	pprof          bool
+}
+
+func parseFlags(args []string) (*options, error) {
+	o := &options{}
+	fs := flag.NewFlagSet("placemond", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	fs.StringVar(&o.addr, "addr", ":8080", "listen address")
+	fs.StringVar(&o.topology, "topology", "", "built-in topology name (default: the placement document's)")
+	fs.StringVar(&o.graphFile, "graph", "", "edge-list file for a custom network (overrides -topology)")
+	fs.StringVar(&o.placementFile, "placement", "", "placement JSON written by `placemon place -o` (required)")
+	fs.IntVar(&o.k, "k", 1, "failure budget for the rolling diagnosis")
+	fs.IntVar(&o.workers, "workers", 0, "placement worker pool size (0 = half the CPUs)")
+	fs.IntVar(&o.queue, "queue", 8, "placement queue depth (full queue answers 429)")
+	fs.DurationVar(&o.requestTimeout, "request-timeout", 15*time.Second, "per-request timeout")
+	fs.DurationVar(&o.drainTimeout, "drain-timeout", 10*time.Second, "graceful shutdown budget")
+	fs.BoolVar(&o.pprof, "pprof", false, "mount net/http/pprof under /debug/pprof/")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if o.placementFile == "" {
+		return nil, fmt.Errorf("-placement is required")
+	}
+	return o, nil
+}
+
+// buildServer assembles the facade server from the parsed options; split
+// from run so tests can exercise it without opening sockets.
+func buildServer(o *options, logger *log.Logger) (*placemon.Server, *placemon.Network, placemon.PlacementFile, error) {
+	var zero placemon.PlacementFile
+	f, err := os.Open(o.placementFile)
+	if err != nil {
+		return nil, nil, zero, err
+	}
+	doc, err := placemon.LoadPlacement(f)
+	f.Close()
+	if err != nil {
+		return nil, nil, zero, err
+	}
+
+	var nw *placemon.Network
+	switch {
+	case o.graphFile != "":
+		g, err := os.Open(o.graphFile)
+		if err != nil {
+			return nil, nil, zero, err
+		}
+		nw, err = placemon.Load(g)
+		g.Close()
+		if err != nil {
+			return nil, nil, zero, err
+		}
+	case o.topology != "":
+		if nw, err = placemon.BuildTopology(o.topology); err != nil {
+			return nil, nil, zero, err
+		}
+	case doc.Topology != "":
+		if nw, err = placemon.BuildTopology(doc.Topology); err != nil {
+			return nil, nil, zero, err
+		}
+	default:
+		return nil, nil, zero, fmt.Errorf("no network: the placement names no topology, and neither -topology nor -graph was given")
+	}
+
+	srv, err := placemon.NewServer(nw, doc, placemon.ServerConfig{
+		K:              o.k,
+		Workers:        o.workers,
+		QueueDepth:     o.queue,
+		RequestTimeout: o.requestTimeout,
+		DrainTimeout:   o.drainTimeout,
+		EnablePprof:    o.pprof,
+		Logger:         logger,
+	})
+	if err != nil {
+		return nil, nil, zero, err
+	}
+	return srv, nw, doc, nil
+}
+
+func run(ctx context.Context, args []string, logger *log.Logger) error {
+	o, err := parseFlags(args)
+	if err != nil {
+		return err
+	}
+	srv, nw, doc, err := buildServer(o, logger)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", o.addr)
+	if err != nil {
+		srv.Close()
+		return err
+	}
+	logger.Printf("serving on %s: %d nodes, %d services, %d monitored connections (k=%d)",
+		ln.Addr(), nw.NumNodes(), len(doc.Services), len(srv.Connections()), o.k)
+	err = srv.Serve(ctx, ln)
+	logger.Printf("drained, exiting")
+	return err
+}

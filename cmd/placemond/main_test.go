@@ -1,0 +1,148 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	placemon "repro"
+)
+
+// writePlacement computes a small greedy placement on Abovenet and saves
+// it the way `placemon place -o` would.
+func writePlacement(t *testing.T) string {
+	t.Helper()
+	nw, err := placemon.BuildTopology("Abovenet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	clients := nw.SuggestedClients()
+	services := []placemon.Service{{Name: "svc", Clients: clients[:2]}}
+	res, err := nw.Place(services, placemon.PlaceConfig{Alpha: 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "placement.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	doc := placemon.NewPlacementFile("Abovenet", 0.6, services, res.Hosts)
+	if err := placemon.SavePlacement(f, doc); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func quietLogger() *log.Logger { return log.New(io.Discard, "", 0) }
+
+func TestFlagValidation(t *testing.T) {
+	if _, err := parseFlags(nil); err == nil {
+		t.Errorf("missing -placement accepted")
+	}
+	if _, err := parseFlags([]string{"-placement", "x.json", "-bogus"}); err == nil {
+		t.Errorf("unknown flag accepted")
+	}
+}
+
+func TestBuildServerErrors(t *testing.T) {
+	if _, _, _, err := buildServer(&options{placementFile: "/does/not/exist.json"}, quietLogger()); err == nil {
+		t.Errorf("missing placement file accepted")
+	}
+	// A placement that names no topology needs -topology or -graph.
+	path := filepath.Join(t.TempDir(), "anon.json")
+	doc := placemon.PlacementFile{
+		Alpha:    0.5,
+		Services: []placemon.ServiceRecord{{Clients: []int{0}}},
+		Hosts:    []int{0},
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := placemon.SavePlacement(f, doc); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, _, _, err := buildServer(&options{placementFile: path}, quietLogger()); err == nil {
+		t.Errorf("anonymous placement without -topology accepted")
+	}
+	if _, _, _, err := buildServer(&options{placementFile: path, topology: "NoSuchISP"}, quietLogger()); err == nil {
+		t.Errorf("unknown topology accepted")
+	}
+}
+
+// TestServeLifecycle boots the daemon on a loopback port, checks the API
+// answers, and verifies SIGINT-style cancellation drains cleanly.
+func TestServeLifecycle(t *testing.T) {
+	placement := writePlacement(t)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close() // run re-listens on the now-free port
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-placement", placement, "-addr", addr}, quietLogger())
+	}()
+
+	// Wait for the daemon to come up.
+	url := "http://" + addr
+	var resp *http.Response
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err = http.Get(url + "/healthz")
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never came up: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	var health map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if health["status"] != "ok" {
+		t.Fatalf("healthz = %v", health)
+	}
+	if health["connections"] != float64(2) {
+		t.Fatalf("connections = %v, want 2", health["connections"])
+	}
+
+	// One observation round-trips through the real TCP stack.
+	resp, err = http.Post(url+"/v1/observations", "application/json",
+		strings.NewReader(`{"time": 1, "reports": [{"connection": 0, "up": true}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest status = %d", resp.StatusCode)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v after graceful drain", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatalf("daemon did not drain after cancellation")
+	}
+}
+

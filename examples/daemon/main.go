@@ -1,22 +1,31 @@
-// Daemon: run the online monitoring daemon over a stochastic
-// failure/recovery workload. Services are placed with the
-// monitoring-aware greedy; the discrete-event simulator probes every
+// Daemon: run the online monitoring service over a stochastic
+// failure/recovery workload — through the real HTTP serving layer.
+//
+// Services are placed with the monitoring-aware greedy via the facade;
+// the placement becomes a PlacementFile (the placemond wire format) and
+// boots a placemon.Server. The discrete-event simulator probes every
 // client-server connection periodically while nodes fail and recover on
-// an exponential schedule; the daemon turns the resulting binary
-// connection states into a live diagnosis timeline.
+// an exponential schedule, and every resulting binary observation is
+// POSTed through the HTTP handler path (httptest transport). The same
+// observations also drive an in-process monitord instance, proving the
+// network path and the library path emit the identical event timeline.
 package main
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
 	"log"
+	"net/http"
+	"net/http/httptest"
 	"sort"
+	"strings"
 
+	placemon "repro"
 	"repro/internal/bitset"
 	"repro/internal/failmodel"
-	"repro/internal/graph"
 	"repro/internal/monitord"
 	"repro/internal/netsim"
-	"repro/internal/placement"
 	"repro/internal/routing"
 	"repro/internal/topology"
 )
@@ -28,36 +37,51 @@ func main() {
 }
 
 func run() error {
+	// Place 3 services with the distinguishability greedy at α = 0.6,
+	// entirely through the public facade.
+	nw, err := placemon.BuildTopology("Tiscali")
+	if err != nil {
+		return err
+	}
+	pool := nw.SuggestedClients()
+	services := make([]placemon.Service, 3)
+	for s := range services {
+		services[s] = placemon.Service{
+			Name:    fmt.Sprintf("svc-%d", s),
+			Clients: pool[3*s : 3*s+3],
+		}
+	}
+	const alpha = 0.6
+	placed, err := nw.Place(services, placemon.PlaceConfig{
+		Alpha:     alpha,
+		Objective: placemon.ObjectiveDistinguishability,
+		Algorithm: placemon.AlgorithmGreedy,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("GD placement: hosts %v\n", placed.Hosts)
+
+	// The placement document is the daemon's boot artifact; serve it.
+	doc := placemon.NewPlacementFile("Tiscali", alpha, services, placed.Hosts)
+	srv, err := placemon.NewServer(nw, doc, placemon.ServerConfig{})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	conns := srv.Connections()
+	fmt.Printf("placemond serving %d monitored connections at %s\n", len(conns), ts.URL)
+
+	// One failure at a time (the k = 1 design point), exponential
+	// sojourns. The simulator needs the internal router; the generators
+	// are deterministic, so this is the same graph the facade routed.
 	topo := topology.MustBuild(topology.Tiscali)
 	router, err := routing.New(topo.Graph)
 	if err != nil {
 		return err
 	}
-
-	// Place 3 services with the distinguishability greedy at α = 0.6.
-	services := make([]placement.Service, 3)
-	pool := topo.CandidateClients
-	for s := range services {
-		services[s] = placement.Service{
-			Name:    fmt.Sprintf("svc-%d", s),
-			Clients: []graph.NodeID{pool[3*s], pool[3*s+1], pool[3*s+2]},
-		}
-	}
-	inst, err := placement.NewInstance(router, services, 0.6)
-	if err != nil {
-		return err
-	}
-	obj, err := placement.NewDistinguishability(1)
-	if err != nil {
-		return err
-	}
-	placed, err := placement.Greedy(inst, obj)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("GD placement: hosts %v\n", placed.Placement.Hosts)
-
-	// One failure at a time (the k = 1 design point), exponential sojourns.
 	const horizon = 400.0
 	schedule, err := failmodel.Generate(failmodel.Config{
 		NumNodes:      topo.Graph.NumNodes(),
@@ -72,8 +96,6 @@ func run() error {
 	}
 	fmt.Printf("failure schedule: %d transitions\n\n", len(schedule))
 
-	// Probe each connection every 5 time units through the event
-	// simulator.
 	sim, err := netsim.New(router, 0.01)
 	if err != nil {
 		return err
@@ -88,28 +110,24 @@ func run() error {
 			return err
 		}
 	}
-	type key struct{ c, h graph.NodeID }
-	index := map[key]int{}
+
+	// Probe every monitored connection every 5 time units. Distinct
+	// connections may share a (client, host) pair; probe each pair once
+	// and fan the outcome out to all its connection indices.
+	type pair struct{ c, h int }
+	byPair := map[pair][]int{}
 	var paths []*bitset.Set
-	var pairs []key
-	for s, h := range placed.Placement.Hosts {
-		for _, c := range services[s].Clients {
-			k := key{c: c, h: h}
-			if _, ok := index[k]; ok {
-				continue
-			}
-			p, err := router.Path(c, h)
-			if err != nil {
-				return err
-			}
-			index[k] = len(paths)
-			paths = append(paths, p)
-			pairs = append(pairs, k)
+	for i, cn := range conns {
+		byPair[pair{cn.Client, cn.Host}] = append(byPair[pair{cn.Client, cn.Host}], i)
+		p, err := router.Path(cn.Client, cn.Host)
+		if err != nil {
+			return err
 		}
+		paths = append(paths, p)
 	}
 	for t := 0.0; t <= horizon; t += 5 {
-		for _, k := range pairs {
-			if err := sim.RequestAt(t, k.c, k.h); err != nil {
+		for p := range byPair {
+			if err := sim.RequestAt(t, p.c, p.h); err != nil {
 				return err
 			}
 		}
@@ -118,36 +136,68 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	sort.SliceStable(outcomes, func(i, j int) bool { return outcomes[i].End < outcomes[j].End })
 
-	daemon, err := monitord.New(topo.Graph.NumNodes(), 1, paths)
+	// Reference daemon: the same observations, in process.
+	core, err := monitord.New(topo.Graph.NumNodes(), 1, paths)
 	if err != nil {
 		return err
 	}
-	sort.SliceStable(outcomes, func(i, j int) bool { return outcomes[i].End < outcomes[j].End })
 
-	fmt.Println("monitoring timeline:")
-	outages, pinpointed := 0, 0
+	fmt.Println("monitoring timeline (via HTTP):")
+	outages, pinpointed, httpEvents, inprocEvents := 0, 0, 0, 0
 	for _, o := range outcomes {
-		events, err := daemon.Report(o.End, index[key{c: o.Client, h: o.Host}], o.Success)
+		indices := byPair[pair{o.Client, o.Host}]
+
+		// Library path.
+		var reference []monitord.Event
+		for _, idx := range indices {
+			evs, err := core.Report(o.End, idx, o.Success)
+			if err != nil {
+				return err
+			}
+			reference = append(reference, evs...)
+		}
+		inprocEvents += len(reference)
+
+		// Network path: the same reports through POST /v1/observations.
+		events, err := postObservation(ts.URL, o.End, indices, o.Success)
 		if err != nil {
 			return err
 		}
-		for _, ev := range events {
+		httpEvents += len(events)
+		if len(events) != len(reference) {
+			return fmt.Errorf("t=%.2f: HTTP path emitted %d events, library path %d",
+				o.End, len(events), len(reference))
+		}
+
+		for i, ev := range events {
+			if ev.Kind != reference[i].Kind.String() {
+				return fmt.Errorf("t=%.2f: HTTP event %q != library event %q",
+					o.End, ev.Kind, reference[i].Kind)
+			}
 			fmt.Printf("  t=%7.2f  %-18s", ev.Time, ev.Kind)
 			if ev.Diagnosis != nil {
-				fmt.Printf("  suspects %v", ev.Diagnosis.Consistent)
-				if ev.Diagnosis.Unique() {
+				fmt.Printf("  suspects %v", ev.Diagnosis.Candidates)
+				if len(ev.Diagnosis.Candidates) == 1 {
 					fmt.Printf("  ← pinpointed")
 					pinpointed++
 				}
 			}
-			if ev.Kind == monitord.EventOutageStarted {
+			if ev.Kind == "outage-started" {
 				outages++
 			}
 			fmt.Println()
 		}
 	}
 	fmt.Printf("\n%d outages observed; %d diagnoses pinpointed a single node\n", outages, pinpointed)
+	fmt.Printf("in-process and HTTP event streams agree: %d events each\n", inprocEvents)
+
+	// The daemon's own metrics tell the same story.
+	if err := printEventMetrics(ts.URL); err != nil {
+		return err
+	}
+
 	fmt.Println("(ground truth below for comparison)")
 	for _, e := range schedule {
 		verb := "fails"
@@ -155,6 +205,66 @@ func run() error {
 			verb = "recovers"
 		}
 		fmt.Printf("  t=%7.2f  node %d %s\n", e.Time, e.Node, verb)
+	}
+	return nil
+}
+
+// httpEvent mirrors the server's event JSON.
+type httpEvent struct {
+	Time      float64 `json:"time"`
+	Kind      string  `json:"kind"`
+	Diagnosis *struct {
+		Candidates [][]int `json:"candidates"`
+	} `json:"diagnosis"`
+}
+
+// postObservation reports one probe outcome for every connection index it
+// covers and returns the events the daemon emitted.
+func postObservation(base string, t float64, indices []int, up bool) ([]httpEvent, error) {
+	var reports []map[string]any
+	for _, idx := range indices {
+		reports = append(reports, map[string]any{"connection": idx, "up": up})
+	}
+	body, err := json.Marshal(map[string]any{"time": t, "reports": reports})
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.Post(base+"/v1/observations", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		return nil, fmt.Errorf("ingest: status %d: %s", resp.StatusCode, raw)
+	}
+	var out struct {
+		Events []httpEvent `json:"events"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return out.Events, nil
+}
+
+// printEventMetrics scrapes /metrics and prints the daemon's event and
+// ingest counters.
+func printEventMetrics(base string) error {
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	fmt.Println("\ndaemon metrics (/metrics excerpt):")
+	for _, line := range strings.Split(string(raw), "\n") {
+		if strings.HasPrefix(line, "placemond_events_total") ||
+			strings.HasPrefix(line, "placemond_observations_ingested_total") {
+			fmt.Println(" ", line)
+		}
 	}
 	return nil
 }

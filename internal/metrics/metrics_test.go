@@ -1,0 +1,150 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("jobs_total", "jobs")
+	c.Inc()
+	c.Add(2.5)
+	c.Add(-10) // ignored: counters are monotone
+	if got := c.Value(); got != 3.5 {
+		t.Fatalf("counter = %v, want 3.5", got)
+	}
+	g := r.Gauge("depth", "queue depth")
+	g.Set(4)
+	g.Add(-1.5)
+	if got := g.Value(); got != 2.5 {
+		t.Fatalf("gauge = %v, want 2.5", got)
+	}
+}
+
+func TestIdempotentRegistration(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("hits_total", "hits", "route", "/healthz")
+	b := r.Counter("hits_total", "hits", "route", "/healthz")
+	if a != b {
+		t.Fatalf("same name+labels returned distinct counters")
+	}
+	other := r.Counter("hits_total", "hits", "route", "/metrics")
+	if a == other {
+		t.Fatalf("distinct labels returned the same counter")
+	}
+}
+
+func TestKindCollisionPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("registering x_total as gauge did not panic")
+		}
+	}()
+	r.Gauge("x_total", "")
+}
+
+func TestInvalidNamePanics(t *testing.T) {
+	r := NewRegistry()
+	for _, bad := range []string{"", "9lives", "has space", "dash-ed"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("name %q did not panic", bad)
+				}
+			}()
+			r.Counter(bad, "")
+		}()
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("latency_seconds", "latency", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.1, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if math.Abs(h.Sum()-55.65) > 1e-9 {
+		t.Fatalf("sum = %v, want 55.65", h.Sum())
+	}
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE latency_seconds histogram",
+		`latency_seconds_bucket{le="0.1"} 2`, // 0.05 and the boundary value 0.1
+		`latency_seconds_bucket{le="1"} 3`,
+		`latency_seconds_bucket{le="10"} 4`,
+		`latency_seconds_bucket{le="+Inf"} 5`,
+		"latency_seconds_count 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteTextDeterministicAndSorted(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("zz", "last").Set(1)
+	r.Counter("aa_total", "first").Inc()
+	r.Counter("mm_total", "mid", "b", "2", "a", "1").Inc()
+
+	var first, second strings.Builder
+	if err := r.WriteText(&first); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteText(&second); err != nil {
+		t.Fatal(err)
+	}
+	if first.String() != second.String() {
+		t.Fatalf("non-deterministic exposition")
+	}
+	out := first.String()
+	if strings.Index(out, "aa_total") > strings.Index(out, "mm_total") ||
+		strings.Index(out, "mm_total") > strings.Index(out, "zz") {
+		t.Fatalf("families not sorted:\n%s", out)
+	}
+	// Label keys are canonicalized (sorted) regardless of call order.
+	if !strings.Contains(out, `mm_total{a="1",b="2"} 1`) {
+		t.Fatalf("labels not canonicalized:\n%s", out)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Counter("ops_total", "").Inc()
+				r.Gauge("g", "").Add(1)
+				r.Histogram("h_seconds", "", nil).Observe(float64(i) / 1000)
+				if i%100 == 0 {
+					var b strings.Builder
+					if err := r.WriteText(&b); err != nil {
+						t.Error(err)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("ops_total", "").Value(); got != 8000 {
+		t.Fatalf("ops_total = %v, want 8000", got)
+	}
+	if got := r.Histogram("h_seconds", "", nil).Count(); got != 8000 {
+		t.Fatalf("h count = %d, want 8000", got)
+	}
+}

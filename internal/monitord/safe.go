@@ -1,0 +1,77 @@
+package monitord
+
+import (
+	"sync"
+
+	"repro/internal/tomography"
+)
+
+// Safe wraps a Monitor for concurrent use: every operation takes an
+// internal mutex, so HTTP handlers (or any other concurrent producers)
+// can feed reports and read the diagnosis without external locking. The
+// core Monitor stays synchronous and deterministic; Safe is the
+// concurrency layer the package doc says belongs to the caller.
+type Safe struct {
+	mu sync.Mutex
+	m  *Monitor
+}
+
+// NewSafe wraps m. The caller must not use m directly afterwards.
+func NewSafe(m *Monitor) *Safe { return &Safe{m: m} }
+
+// Report feeds one observation; see Monitor.Report.
+func (s *Safe) Report(t float64, conn int, up bool) ([]Event, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m.Report(t, conn, up)
+}
+
+// ReportBatch feeds several observations at the same virtual time and
+// returns the concatenated events. The batch is applied atomically with
+// respect to other Safe calls: no Report or Snapshot interleaves. On a
+// bad connection index the prefix already applied stays applied, the
+// events it produced are returned alongside the error.
+func (s *Safe) ReportBatch(t float64, conns []int, ups []bool) ([]Event, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var events []Event
+	for i, conn := range conns {
+		evs, err := s.m.Report(t, conn, ups[i])
+		events = append(events, evs...)
+		if err != nil {
+			return events, err
+		}
+	}
+	return events, nil
+}
+
+// Diagnosis recomputes the current diagnosis; see Monitor.Diagnosis.
+func (s *Safe) Diagnosis() (*tomography.Diagnosis, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m.Diagnosis()
+}
+
+// NumConnections returns the number of monitored connections.
+func (s *Safe) NumConnections() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m.NumConnections()
+}
+
+// Snapshot is a consistent point-in-time view of the daemon state.
+type Snapshot struct {
+	InOutage bool
+	States   []ConnState
+}
+
+// Snapshot returns the outage flag and every connection state under one
+// lock acquisition, so readers never see a half-applied batch.
+func (s *Safe) Snapshot() Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Snapshot{
+		InOutage: s.m.InOutage(),
+		States:   append([]ConnState(nil), s.m.states...),
+	}
+}

@@ -1,0 +1,107 @@
+package monitord
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/bitset"
+)
+
+// newSafeLine builds a Safe monitor over a 5-node line 0-1-2-3-4 with two
+// connections: 0→2 (nodes 0,1,2) and 4→2 (nodes 2,3,4).
+func newSafeLine(t *testing.T) *Safe {
+	t.Helper()
+	paths := []*bitset.Set{
+		bitset.FromIndices(5, 0, 1, 2),
+		bitset.FromIndices(5, 2, 3, 4),
+	}
+	m, err := New(5, 1, paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewSafe(m)
+}
+
+func TestSafeSequentialSemantics(t *testing.T) {
+	s := newSafeLine(t)
+	events, err := s.ReportBatch(1, []int{0, 1}, []bool{false, true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 || events[0].Kind != EventOutageStarted {
+		t.Fatalf("events = %v, want outage-started first", events)
+	}
+	snap := s.Snapshot()
+	if !snap.InOutage {
+		t.Fatalf("not in outage after down report")
+	}
+	if snap.States[0] != StateDown || snap.States[1] != StateUp {
+		t.Fatalf("states = %v", snap.States)
+	}
+	diag, err := s.Diagnosis()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Connection 4→2 is up, so 2, 3, 4 are healthy; 0 or 1 must have failed.
+	if got := len(diag.Consistent); got != 2 {
+		t.Fatalf("candidates = %v, want {0},{1}", diag.Consistent)
+	}
+
+	events, err = s.Report(2, 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 || events[0].Kind != EventOutageCleared {
+		t.Fatalf("events = %v, want outage-cleared", events)
+	}
+	if s.Snapshot().InOutage {
+		t.Fatalf("still in outage after all-clear")
+	}
+}
+
+func TestSafeBadConnectionKeepsPrefix(t *testing.T) {
+	s := newSafeLine(t)
+	events, err := s.ReportBatch(1, []int{0, 99}, []bool{false, false})
+	if err == nil {
+		t.Fatalf("out-of-range connection accepted")
+	}
+	if len(events) == 0 {
+		t.Fatalf("prefix events lost on error")
+	}
+	if !s.Snapshot().InOutage {
+		t.Fatalf("prefix report not applied")
+	}
+}
+
+// TestSafeConcurrent hammers the wrapper from many goroutines; run with
+// -race to verify the locking (the serving layer calls it exactly like
+// this).
+func TestSafeConcurrent(t *testing.T) {
+	s := newSafeLine(t)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				up := (i+w)%3 != 0
+				if _, err := s.Report(float64(i), w%2, up); err != nil {
+					t.Error(err)
+					return
+				}
+				snap := s.Snapshot()
+				if len(snap.States) != 2 {
+					t.Errorf("snapshot states = %v", snap.States)
+					return
+				}
+				if snap.InOutage {
+					// Diagnosis may legitimately race with a clearing
+					// report; only hard errors other than "no outage"
+					// would be bugs, and those surface via -race.
+					_, _ = s.Diagnosis()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,116 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime/debug"
+	"strconv"
+	"time"
+)
+
+// statusWriter records the status code and byte count a handler produced
+// so the logging/metrics layer can report them.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += n
+	return n, err
+}
+
+// Flush lets streaming handlers (pprof) keep working through the wrapper.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// withObservability is the outermost middleware: it captures the response
+// status, converts panics into 500s (logging the stack), and writes one
+// request log line per request.
+func (s *Server) withObservability(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		defer func() {
+			if p := recover(); p != nil {
+				s.logger.Printf("panic serving %s %s: %v\n%s", r.Method, r.URL.Path, p, debug.Stack())
+				if sw.status == 0 {
+					writeError(sw, http.StatusInternalServerError, "internal server error")
+				}
+			}
+			if sw.status == 0 {
+				sw.status = http.StatusOK
+			}
+			s.logger.Printf("%s %s %d %dB %s", r.Method, r.URL.Path, sw.status, sw.bytes,
+				time.Since(start).Round(time.Microsecond))
+		}()
+		next.ServeHTTP(sw, r)
+	})
+}
+
+// withTimeout bounds every request with a context deadline. Handlers that
+// wait (the placement pool) observe the deadline and abort; quick handlers
+// never notice it.
+func (s *Server) withTimeout(next http.Handler) http.Handler {
+	if s.requestTimeout <= 0 {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), s.requestTimeout)
+		defer cancel()
+		next.ServeHTTP(w, r.WithContext(ctx))
+	})
+}
+
+// instrument counts requests and observes latency for one named route.
+func (s *Server) instrument(route string, next http.Handler) http.Handler {
+	hist := s.registry.Histogram("placemond_http_request_duration_seconds",
+		"HTTP request latency by route.", nil, "route", route)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw, ok := w.(*statusWriter)
+		if !ok {
+			sw = &statusWriter{ResponseWriter: w}
+		}
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		hist.Observe(time.Since(start).Seconds())
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		s.registry.Counter("placemond_http_requests_total",
+			"HTTP requests by route and status code.",
+			"route", route, "code", strconv.Itoa(status)).Inc()
+	})
+}
+
+// writeJSON renders v as the response body with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// Encode errors after WriteHeader can only be transport failures;
+	// there is nothing useful left to tell the client.
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeError renders the uniform error envelope.
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,182 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Errors the placement pool can return from submit.
+var (
+	// ErrQueueFull means the bounded job queue had no room; the HTTP
+	// layer translates it to 429 Too Many Requests.
+	ErrQueueFull = errors.New("server: placement queue full")
+	// ErrPoolClosed means the pool has been shut down.
+	ErrPoolClosed = errors.New("server: placement pool closed")
+	// ErrJobPanicked means the placement function panicked; the worker
+	// recovered (one bad job must not take the daemon down) and the HTTP
+	// layer reports 500.
+	ErrJobPanicked = errors.New("server: placement job panicked")
+)
+
+// ServiceSpec is the wire form of one service to place.
+type ServiceSpec struct {
+	Name    string `json:"name,omitempty"`
+	Clients []int  `json:"clients"`
+}
+
+// PlacementRequest is the body of POST /v1/placements.
+type PlacementRequest struct {
+	Services  []ServiceSpec `json:"services"`
+	Alpha     float64       `json:"alpha"`
+	Objective string        `json:"objective,omitempty"`
+	Algorithm string        `json:"algorithm,omitempty"`
+	K         int           `json:"k,omitempty"`
+	Seed      int64         `json:"seed,omitempty"`
+}
+
+// PlacementResult is the body of a successful placement response.
+type PlacementResult struct {
+	Hosts                 []int   `json:"hosts"`
+	Objective             float64 `json:"objective"`
+	Coverage              int     `json:"coverage"`
+	Identifiable          int     `json:"identifiable"`
+	Distinguishable       int64   `json:"distinguishable"`
+	WorstRelativeDistance float64 `json:"worst_relative_distance"`
+	Evaluations           int     `json:"evaluations"`
+	DurationSeconds       float64 `json:"duration_seconds"`
+}
+
+// PlaceFunc runs one placement job. Implementations must be safe for
+// concurrent use (the facade's Network methods are). An error is treated
+// as a bad request: the placement library validates inputs and only fails
+// on infeasible or malformed jobs.
+type PlaceFunc func(req PlacementRequest) (*PlacementResult, error)
+
+// pool is a bounded worker pool for placement jobs: a fixed number of
+// workers drain a fixed-capacity queue, and submission never blocks —
+// when the queue is full the caller gets ErrQueueFull immediately, which
+// is the backpressure contract the API exposes as HTTP 429.
+type pool struct {
+	place   PlaceFunc
+	queue   chan *job
+	wg      sync.WaitGroup
+	mu      sync.RWMutex // guards closed against concurrent submits
+	closed  bool
+	jobs    func(status string) *metrics.Counter
+	latency *metrics.Histogram
+}
+
+type job struct {
+	ctx  context.Context
+	req  PlacementRequest
+	done chan jobResult // buffered; workers never block on delivery
+}
+
+type jobResult struct {
+	res *PlacementResult
+	err error
+}
+
+func newPool(place PlaceFunc, workers, depth int, reg *metrics.Registry) *pool {
+	p := &pool{
+		place: place,
+		queue: make(chan *job, depth),
+		jobs: func(status string) *metrics.Counter {
+			return reg.Counter("placemond_placement_jobs_total",
+				"Placement jobs by final status.", "status", status)
+		},
+		latency: reg.Histogram("placemond_placement_job_duration_seconds",
+			"Wall-clock duration of executed placement jobs.", nil),
+	}
+	// Pre-register every status so /metrics shows the full vocabulary
+	// from the first scrape.
+	for _, st := range []string{"completed", "failed", "rejected", "canceled"} {
+		p.jobs(st)
+	}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *pool) worker() {
+	defer p.wg.Done()
+	for j := range p.queue {
+		// The submitter may have given up (request timeout, client gone)
+		// while the job sat in the queue; don't burn a worker on it.
+		if j.ctx.Err() != nil {
+			p.jobs("canceled").Inc()
+			j.done <- jobResult{err: j.ctx.Err()}
+			continue
+		}
+		start := time.Now()
+		res, err := p.run(j.req)
+		p.latency.Observe(time.Since(start).Seconds())
+		if err != nil {
+			p.jobs("failed").Inc()
+		} else {
+			res.DurationSeconds = time.Since(start).Seconds()
+			p.jobs("completed").Inc()
+		}
+		j.done <- jobResult{res: res, err: err}
+	}
+}
+
+// run executes one job, converting a panic in the placement function
+// into ErrJobPanicked so a poisoned request cannot kill the worker (or
+// the process — workers run outside the HTTP recovery middleware).
+func (p *pool) run(req PlacementRequest) (res *PlacementResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, fmt.Errorf("%w: %v", ErrJobPanicked, r)
+		}
+	}()
+	return p.place(req)
+}
+
+// submit enqueues a job and waits for its result or for ctx to end.
+// It returns ErrQueueFull without blocking when the queue has no room.
+func (p *pool) submit(ctx context.Context, req PlacementRequest) (*PlacementResult, error) {
+	j := &job{ctx: ctx, req: req, done: make(chan jobResult, 1)}
+
+	p.mu.RLock()
+	if p.closed {
+		p.mu.RUnlock()
+		return nil, ErrPoolClosed
+	}
+	select {
+	case p.queue <- j:
+		p.mu.RUnlock()
+	default:
+		p.mu.RUnlock()
+		p.jobs("rejected").Inc()
+		return nil, ErrQueueFull
+	}
+
+	select {
+	case r := <-j.done:
+		return r.res, r.err
+	case <-ctx.Done():
+		// The worker will notice the dead context (or deliver into the
+		// buffered channel and move on); either way nothing leaks.
+		return nil, ctx.Err()
+	}
+}
+
+// close stops accepting jobs and waits for queued work to drain, so a
+// graceful server shutdown finishes in-flight placements.
+func (p *pool) close() {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.queue)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}

@@ -1,0 +1,437 @@
+// Package server is placemond's HTTP serving layer: it wraps the online
+// monitoring daemon (internal/monitord) and the placement engine behind a
+// small JSON API so that observations can arrive over the network — the
+// paper's premise that end-to-end measurements are "a byproduct of
+// fulfilling the service" realized as a long-running ingestion service.
+//
+// Endpoints:
+//
+//	POST /v1/observations  ingest connection state transitions → events
+//	GET  /v1/diagnosis     current rolling diagnosis + connection states
+//	POST /v1/placements    run a placement job on the bounded worker pool
+//	GET  /healthz          liveness probe
+//	GET  /metrics          Prometheus text exposition
+//	GET  /debug/pprof/*    optional profiling (Config.EnablePprof)
+//
+// The package depends only on the standard library plus internal/metrics,
+// internal/monitord, and internal/bitset; the placement engine is injected
+// as a PlaceFunc so the root facade can close over its Network without an
+// import cycle.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"time"
+
+	"repro/internal/bitset"
+	"repro/internal/metrics"
+	"repro/internal/monitord"
+	"repro/internal/tomography"
+)
+
+// Connection describes one monitored client↔host pair, index-aligned with
+// the paths handed to New.
+type Connection struct {
+	Service int `json:"service"`
+	Client  int `json:"client"`
+	Host    int `json:"host"`
+}
+
+// Config parameterizes New. NumNodes, Paths, Connections, and Place are
+// required; everything else has serviceable defaults.
+type Config struct {
+	// NumNodes is the size of the monitored network's node universe.
+	NumNodes int
+	// K is the failure budget for the rolling diagnosis (default 1).
+	K int
+	// Paths are the measurement paths of the deployed placement, one per
+	// monitored connection.
+	Paths []*bitset.Set
+	// Connections is index-aligned metadata for Paths.
+	Connections []Connection
+	// Place runs one placement job; must be safe for concurrent use.
+	Place PlaceFunc
+	// Workers is the placement pool size (default: half the CPUs, ≥ 1).
+	Workers int
+	// QueueDepth bounds the placement backlog (default 8); a full queue
+	// rejects with 429.
+	QueueDepth int
+	// RequestTimeout bounds each request's context (default 15s; ≤ -1
+	// disables, 0 means default).
+	RequestTimeout time.Duration
+	// DrainTimeout bounds graceful shutdown (default 10s).
+	DrainTimeout time.Duration
+	// EnablePprof mounts net/http/pprof under /debug/pprof/.
+	EnablePprof bool
+	// Logger receives request and error lines (default: discard).
+	Logger *log.Logger
+	// Registry receives the server's metrics (default: a fresh registry).
+	Registry *metrics.Registry
+}
+
+// Server is the placemond HTTP service. Create with New; the embedded
+// worker pool starts immediately, so either Serve or Close must be called
+// eventually.
+type Server struct {
+	mon            *monitord.Safe
+	conns          []Connection
+	pool           *pool
+	registry       *metrics.Registry
+	logger         *log.Logger
+	requestTimeout time.Duration
+	drainTimeout   time.Duration
+	handler        http.Handler
+
+	obsIngested *metrics.Counter
+	outageGauge *metrics.Gauge
+	eventTotal  map[monitord.EventKind]*metrics.Counter
+}
+
+// New builds the service: a thread-safe monitor over the given paths, a
+// bounded placement pool, and the routed, instrumented HTTP handler.
+func New(cfg Config) (*Server, error) {
+	if cfg.Place == nil {
+		return nil, fmt.Errorf("server: Config.Place is required")
+	}
+	if len(cfg.Paths) != len(cfg.Connections) {
+		return nil, fmt.Errorf("server: %d paths for %d connections", len(cfg.Paths), len(cfg.Connections))
+	}
+	k := cfg.K
+	if k == 0 {
+		k = 1
+	}
+	core, err := monitord.New(cfg.NumNodes, k, cfg.Paths)
+	if err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0) / 2
+		if workers < 1 {
+			workers = 1
+		}
+	}
+	depth := cfg.QueueDepth
+	if depth <= 0 {
+		depth = 8
+	}
+	reqTimeout := cfg.RequestTimeout
+	if reqTimeout == 0 {
+		reqTimeout = 15 * time.Second
+	}
+	drain := cfg.DrainTimeout
+	if drain <= 0 {
+		drain = 10 * time.Second
+	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = log.New(io.Discard, "", 0)
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+
+	s := &Server{
+		mon:            monitord.NewSafe(core),
+		conns:          append([]Connection(nil), cfg.Connections...),
+		pool:           newPool(cfg.Place, workers, depth, reg),
+		registry:       reg,
+		logger:         logger,
+		requestTimeout: reqTimeout,
+		drainTimeout:   drain,
+		obsIngested: reg.Counter("placemond_observations_ingested_total",
+			"Connection state reports accepted by POST /v1/observations."),
+		outageGauge: reg.Gauge("placemond_outage",
+			"1 while at least one reporting connection is down, else 0."),
+		eventTotal: map[monitord.EventKind]*metrics.Counter{},
+	}
+	for _, kind := range []monitord.EventKind{
+		monitord.EventOutageStarted, monitord.EventDiagnosisChanged,
+		monitord.EventOutageCleared, monitord.EventInconsistent,
+	} {
+		s.eventTotal[kind] = reg.Counter("placemond_events_total",
+			"Monitoring daemon events by kind.", "kind", kind.String())
+	}
+	reg.Gauge("placemond_connections",
+		"Number of monitored connections.").Set(float64(len(cfg.Paths)))
+
+	api := http.NewServeMux()
+	api.Handle("POST /v1/observations", s.instrument("/v1/observations", http.HandlerFunc(s.handleObservations)))
+	api.Handle("GET /v1/diagnosis", s.instrument("/v1/diagnosis", http.HandlerFunc(s.handleDiagnosis)))
+	api.Handle("POST /v1/placements", s.instrument("/v1/placements", http.HandlerFunc(s.handlePlacements)))
+	api.Handle("GET /healthz", s.instrument("/healthz", http.HandlerFunc(s.handleHealthz)))
+	api.Handle("GET /metrics", s.instrument("/metrics", http.HandlerFunc(s.handleMetrics)))
+
+	root := http.NewServeMux()
+	// pprof mounts outside the timeout middleware: profile collection
+	// legitimately runs longer than an API request is allowed to.
+	root.Handle("/", s.withTimeout(api))
+	if cfg.EnablePprof {
+		root.HandleFunc("/debug/pprof/", pprof.Index)
+		root.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		root.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		root.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		root.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	s.handler = s.withObservability(root)
+	return s, nil
+}
+
+// Handler returns the fully middleware-wrapped HTTP handler (also usable
+// under httptest without a real listener).
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// Registry returns the metrics registry the server writes to.
+func (s *Server) Registry() *metrics.Registry { return s.registry }
+
+// Close stops the placement pool, draining queued jobs. It is idempotent
+// and implied by Serve returning.
+func (s *Server) Close() { s.pool.close() }
+
+// Serve accepts connections on ln until ctx is canceled, then drains:
+// in-flight requests get DrainTimeout to complete, the placement pool
+// finishes queued jobs, and Serve returns nil on a clean drain.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	srv := &http.Server{
+		Handler:           s.handler,
+		ReadHeaderTimeout: 5 * time.Second,
+		ErrorLog:          s.logger,
+	}
+	shutdownErr := make(chan error, 1)
+	go func() {
+		<-ctx.Done()
+		drainCtx, cancel := context.WithTimeout(context.Background(), s.drainTimeout)
+		defer cancel()
+		shutdownErr <- srv.Shutdown(drainCtx)
+	}()
+
+	err := srv.Serve(ln)
+	if !errors.Is(err, http.ErrServerClosed) {
+		// Listener failure, not a shutdown: report it (and still stop the
+		// pool so workers don't leak).
+		s.pool.close()
+		return err
+	}
+	err = <-shutdownErr
+	s.pool.close()
+	return err
+}
+
+// --- handlers ---
+
+// observationsRequest is the body of POST /v1/observations.
+type observationsRequest struct {
+	// Time is the virtual or wall-clock timestamp of the batch.
+	Time float64 `json:"time"`
+	// Reports are the state transitions, applied in order.
+	Reports []reportEntry `json:"reports"`
+}
+
+type reportEntry struct {
+	Connection int  `json:"connection"`
+	Up         bool `json:"up"`
+}
+
+// eventJSON is the wire form of a monitord.Event.
+type eventJSON struct {
+	Time      float64        `json:"time"`
+	Kind      string         `json:"kind"`
+	Diagnosis *diagnosisJSON `json:"diagnosis,omitempty"`
+}
+
+// diagnosisJSON is the wire form of a tomography diagnosis.
+type diagnosisJSON struct {
+	Candidates       [][]int `json:"candidates"`
+	DefinitelyFailed []int   `json:"definitely_failed"`
+	PossiblyFailed   []int   `json:"possibly_failed"`
+	Healthy          []int   `json:"healthy"`
+	Unobserved       []int   `json:"unobserved"`
+}
+
+func (s *Server) handleObservations(w http.ResponseWriter, r *http.Request) {
+	var req observationsRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if len(req.Reports) == 0 {
+		writeError(w, http.StatusBadRequest, "no reports in batch")
+		return
+	}
+	n := s.mon.NumConnections()
+	conns := make([]int, len(req.Reports))
+	ups := make([]bool, len(req.Reports))
+	for i, rep := range req.Reports {
+		if rep.Connection < 0 || rep.Connection >= n {
+			// Validated up front so a bad entry rejects the whole batch
+			// without side effects.
+			writeError(w, http.StatusBadRequest,
+				"report %d: connection %d out of range [0, %d)", i, rep.Connection, n)
+			return
+		}
+		conns[i] = rep.Connection
+		ups[i] = rep.Up
+	}
+
+	events, err := s.mon.ReportBatch(req.Time, conns, ups)
+	if err != nil {
+		// Unreachable after validation; kept as a hard failure signal.
+		writeError(w, http.StatusInternalServerError, "ingest: %v", err)
+		return
+	}
+	s.obsIngested.Add(float64(len(req.Reports)))
+	for _, ev := range events {
+		if c, ok := s.eventTotal[ev.Kind]; ok {
+			c.Inc()
+		}
+	}
+	if s.mon.Snapshot().InOutage {
+		s.outageGauge.Set(1)
+	} else {
+		s.outageGauge.Set(0)
+	}
+
+	out := struct {
+		Events []eventJSON `json:"events"`
+	}{Events: make([]eventJSON, 0, len(events))}
+	for _, ev := range events {
+		out.Events = append(out.Events, eventJSON{
+			Time:      ev.Time,
+			Kind:      ev.Kind.String(),
+			Diagnosis: diagnosisToJSON(ev.Diagnosis),
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// connectionJSON is one row of GET /v1/diagnosis's connection table.
+type connectionJSON struct {
+	Connection
+	State string `json:"state"`
+}
+
+func (s *Server) handleDiagnosis(w http.ResponseWriter, r *http.Request) {
+	snap := s.mon.Snapshot()
+	out := struct {
+		InOutage     bool             `json:"in_outage"`
+		Inconsistent bool             `json:"inconsistent,omitempty"`
+		Connections  []connectionJSON `json:"connections"`
+		Diagnosis    *diagnosisJSON   `json:"diagnosis,omitempty"`
+	}{InOutage: snap.InOutage}
+	for i, c := range s.conns {
+		out.Connections = append(out.Connections, connectionJSON{
+			Connection: c,
+			State:      snap.States[i].String(),
+		})
+	}
+	if snap.InOutage {
+		diag, err := s.mon.Diagnosis()
+		if err != nil {
+			// More simultaneous failures than the budget k explains, or
+			// conflicting reports: the outage is real but unlocalizable.
+			out.Inconsistent = true
+		} else {
+			out.Diagnosis = diagnosisToJSON(diag)
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handlePlacements(w http.ResponseWriter, r *http.Request) {
+	var req PlacementRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if len(req.Services) == 0 {
+		writeError(w, http.StatusBadRequest, "no services to place")
+		return
+	}
+	for i, svc := range req.Services {
+		if len(svc.Clients) == 0 {
+			writeError(w, http.StatusBadRequest, "service %d has no clients", i)
+			return
+		}
+	}
+
+	res, err := s.pool.submit(r.Context(), req)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "placement queue full")
+	case errors.Is(err, ErrPoolClosed):
+		writeError(w, http.StatusServiceUnavailable, "server shutting down")
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusGatewayTimeout, "placement job timed out")
+	case errors.Is(err, context.Canceled):
+		writeError(w, http.StatusServiceUnavailable, "request canceled")
+	case errors.Is(err, ErrJobPanicked):
+		s.logger.Printf("placement job panic: %v", err)
+		writeError(w, http.StatusInternalServerError, "placement job failed")
+	case err != nil:
+		// The placement library validates inputs; its errors describe
+		// what was wrong with the job.
+		writeError(w, http.StatusBadRequest, "placement: %v", err)
+	default:
+		writeJSON(w, http.StatusOK, res)
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	snap := s.mon.Snapshot()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":      "ok",
+		"connections": len(snap.States),
+		"in_outage":   snap.InOutage,
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.registry.WriteText(w); err != nil {
+		s.logger.Printf("metrics: %v", err)
+	}
+}
+
+// decodeJSON strictly decodes the request body into v, writing the 4xx
+// response itself (and returning false) on failure.
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	const maxBody = 1 << 20
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", tooBig.Limit)
+		} else {
+			writeError(w, http.StatusBadRequest, "invalid JSON body: %v", err)
+		}
+		return false
+	}
+	if dec.More() {
+		writeError(w, http.StatusBadRequest, "trailing data after JSON body")
+		return false
+	}
+	return true
+}
+
+func diagnosisToJSON(d *tomography.Diagnosis) *diagnosisJSON {
+	if d == nil {
+		return nil
+	}
+	return &diagnosisJSON{
+		Candidates:       d.Consistent,
+		DefinitelyFailed: d.DefinitelyFailed,
+		PossiblyFailed:   d.PossiblyFailed,
+		Healthy:          d.Healthy,
+		Unobserved:       d.Unobserved,
+	}
+}

@@ -1,0 +1,162 @@
+package placemon
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"repro/internal/bitset"
+	"repro/internal/placement"
+	"repro/internal/server"
+)
+
+// This file is the serving side of the facade: it turns a Network plus a
+// deployed placement (the PlacementFile document persist.go defines) into
+// a runnable monitoring service — the placemond daemon — without exposing
+// any internal package in the API.
+
+// ServerConfig parameterizes NewServer. The zero value is a sensible
+// production default.
+type ServerConfig struct {
+	// K is the failure budget of the rolling diagnosis (default 1).
+	K int
+	// Workers sizes the placement worker pool (default: half the CPUs).
+	Workers int
+	// QueueDepth bounds the placement job backlog; a full queue answers
+	// 429 (default 8).
+	QueueDepth int
+	// RequestTimeout bounds each API request (default 15s).
+	RequestTimeout time.Duration
+	// DrainTimeout bounds graceful shutdown (default 10s).
+	DrainTimeout time.Duration
+	// EnablePprof mounts net/http/pprof under /debug/pprof/.
+	EnablePprof bool
+	// Logger receives request and error lines; nil discards them.
+	Logger *log.Logger
+}
+
+// Server is the placemond HTTP monitoring service over one deployed
+// placement: it ingests end-to-end connection observations, serves the
+// rolling diagnosis, and runs placement jobs on a bounded worker pool.
+// Create with NewServer; see cmd/placemond for the standalone binary.
+type Server struct {
+	inner *server.Server
+	conns []Connection
+}
+
+// NewServer builds the service for the placement described by doc, whose
+// services and hosts must be valid for nw at doc.Alpha. The monitored
+// connections are the routed (client, host) pairs of every placed
+// service, in the same order Network.Observe reports them; connection
+// indices in the ingest API refer to that order (see Server.Connections).
+func NewServer(nw *Network, doc PlacementFile, cfg ServerConfig) (*Server, error) {
+	services := doc.ToServices()
+	if len(doc.Hosts) != len(services) {
+		return nil, fmt.Errorf("placemon: %d hosts for %d services", len(doc.Hosts), len(services))
+	}
+	inst, _, err := nw.prepare(services, PlaceConfig{Alpha: doc.Alpha})
+	if err != nil {
+		return nil, err
+	}
+
+	var paths []*bitset.Set
+	var conns []server.Connection
+	var public []Connection
+	for s, h := range doc.Hosts {
+		if h == placement.Unplaced {
+			continue
+		}
+		ps, err := inst.ServicePaths(s, h)
+		if err != nil {
+			return nil, fmt.Errorf("placemon: %w", err)
+		}
+		for i, p := range ps {
+			paths = append(paths, p)
+			conns = append(conns, server.Connection{Service: s, Client: services[s].Clients[i], Host: h})
+			public = append(public, Connection{Service: s, Client: services[s].Clients[i], Host: h})
+		}
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("placemon: placement has no monitored connections")
+	}
+
+	inner, err := server.New(server.Config{
+		NumNodes:       nw.NumNodes(),
+		K:              cfg.K,
+		Paths:          paths,
+		Connections:    conns,
+		Place:          nw.placeFunc(),
+		Workers:        cfg.Workers,
+		QueueDepth:     cfg.QueueDepth,
+		RequestTimeout: cfg.RequestTimeout,
+		DrainTimeout:   cfg.DrainTimeout,
+		EnablePprof:    cfg.EnablePprof,
+		Logger:         cfg.Logger,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("placemon: %w", err)
+	}
+	return &Server{inner: inner, conns: public}, nil
+}
+
+// placeFunc adapts Network.Place to the serving layer's job signature.
+// Network methods are safe for concurrent use, so the closure is too.
+func (nw *Network) placeFunc() server.PlaceFunc {
+	return func(req server.PlacementRequest) (*server.PlacementResult, error) {
+		services := make([]Service, len(req.Services))
+		for i, s := range req.Services {
+			services[i] = Service{Name: s.Name, Clients: s.Clients}
+		}
+		res, err := nw.Place(services, PlaceConfig{
+			Alpha:     req.Alpha,
+			Objective: ObjectiveKind(req.Objective),
+			Algorithm: Algorithm(req.Algorithm),
+			K:         req.K,
+			Seed:      req.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &server.PlacementResult{
+			Hosts:                 res.Hosts,
+			Objective:             res.Objective,
+			Coverage:              res.Coverage,
+			Identifiable:          res.Identifiable,
+			Distinguishable:       res.Distinguishable,
+			WorstRelativeDistance: res.WorstRelativeDistance,
+			Evaluations:           res.Evaluations,
+		}, nil
+	}
+}
+
+// Connections returns the monitored (client, host) pairs in ingest-index
+// order: POST /v1/observations report entries name connections by their
+// position in this slice.
+func (s *Server) Connections() []Connection {
+	return append([]Connection(nil), s.conns...)
+}
+
+// Handler returns the service's HTTP handler — the full API with
+// middleware — for mounting under a custom server or httptest.
+func (s *Server) Handler() http.Handler { return s.inner.Handler() }
+
+// Serve accepts connections on ln until ctx is canceled, then drains
+// gracefully: in-flight requests complete (bounded by DrainTimeout) and
+// queued placement jobs finish. Returns nil on a clean drain.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	return s.inner.Serve(ctx, ln)
+}
+
+// Close releases the worker pool without serving; required if the Server
+// is used via Handler alone. Idempotent, and implied by Serve returning.
+func (s *Server) Close() { s.inner.Close() }
+
+// WriteMetrics renders the server's metrics in the Prometheus text
+// exposition format (the same payload GET /metrics serves).
+func (s *Server) WriteMetrics(w io.Writer) error {
+	return s.inner.Registry().WriteText(w)
+}

@@ -1,0 +1,246 @@
+package placemon_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+
+	placemon "repro"
+)
+
+// TestServerEndToEnd is the acceptance path for the serving layer: place
+// with the in-process greedy, stand the HTTP service up on that
+// placement, inject a ground-truth failure through Observe, push the
+// resulting connection states through POST /v1/observations, and check
+// that GET /v1/diagnosis localizes the injected node, GET /metrics
+// exposes the event counters, and a placement job submitted through the
+// worker pool returns the same hosts as the in-process greedy.
+func TestServerEndToEnd(t *testing.T) {
+	nw, err := placemon.BuildTopology("Abovenet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	clients := nw.SuggestedClients()
+	if len(clients) < 4 {
+		t.Fatalf("only %d suggested clients", len(clients))
+	}
+	services := []placemon.Service{
+		{Name: "svc-0", Clients: clients[:2]},
+		{Name: "svc-1", Clients: clients[2:4]},
+	}
+	const alpha = 0.6
+	inProc, err := nw.Place(services, placemon.PlaceConfig{
+		Alpha:     alpha,
+		Objective: placemon.ObjectiveDistinguishability,
+		Algorithm: placemon.AlgorithmGreedy,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	doc := placemon.NewPlacementFile("Abovenet", alpha, services, inProc.Hosts)
+	srv, err := placemon.NewServer(nw, doc, placemon.ServerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// The server's connection order must match Observe's, so observation
+	// indices line up between the in-process and network paths.
+	failNode := inProc.Hosts[0]
+	obs, err := nw.Observe(services, inProc.Hosts, alpha, []int{failNode})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(srv.Connections(), obs.Connections) {
+		t.Fatalf("server connections %v != Observe connections %v", srv.Connections(), obs.Connections)
+	}
+	if !obs.AnyFailure() {
+		t.Fatalf("failing host %d broke no connection", failNode)
+	}
+
+	// Ingest: every connection state in one batch, exactly as a probe
+	// fleet would report it.
+	var reports []string
+	for i, down := range obs.Failed {
+		reports = append(reports, fmt.Sprintf(`{"connection": %d, "up": %v}`, i, !down))
+	}
+	body := fmt.Sprintf(`{"time": 1, "reports": [%s]}`, strings.Join(reports, ","))
+	resp, err := http.Post(ts.URL+"/v1/observations", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ingest struct {
+		Events []struct {
+			Kind string `json:"kind"`
+		} `json:"events"`
+	}
+	mustDecode(t, resp, &ingest)
+	if len(ingest.Events) == 0 || ingest.Events[0].Kind != "outage-started" {
+		t.Fatalf("ingest events = %+v, want outage-started first", ingest.Events)
+	}
+
+	// Diagnosis over HTTP must contain the injected node.
+	resp, err = http.Get(ts.URL + "/v1/diagnosis")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var diag struct {
+		InOutage  bool `json:"in_outage"`
+		Diagnosis *struct {
+			Candidates     [][]int `json:"candidates"`
+			PossiblyFailed []int   `json:"possibly_failed"`
+		} `json:"diagnosis"`
+	}
+	mustDecode(t, resp, &diag)
+	if !diag.InOutage || diag.Diagnosis == nil {
+		t.Fatalf("diagnosis = %+v, want an outage with a diagnosis", diag)
+	}
+	found := false
+	for _, v := range diag.Diagnosis.PossiblyFailed {
+		if v == failNode {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("injected node %d not among possibly-failed %v", failNode, diag.Diagnosis.PossiblyFailed)
+	}
+	// And it must agree with the in-process localization.
+	local, err := nw.Localize(obs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(local.Candidates, diag.Diagnosis.Candidates) {
+		t.Fatalf("HTTP candidates %v != in-process candidates %v",
+			diag.Diagnosis.Candidates, local.Candidates)
+	}
+
+	// Metrics expose the ingest and the events.
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(raw)
+	for _, want := range []string{
+		`placemond_events_total{kind="outage-started"} 1`,
+		fmt.Sprintf("placemond_observations_ingested_total %d", len(obs.Failed)),
+		"placemond_outage 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// A placement job through the worker pool reproduces the in-process
+	// greedy exactly (same deterministic algorithm behind both paths).
+	jobBody, err := json.Marshal(map[string]any{
+		"services": []map[string]any{
+			{"name": "svc-0", "clients": services[0].Clients},
+			{"name": "svc-1", "clients": services[1].Clients},
+		},
+		"alpha":     alpha,
+		"objective": "distinguishability",
+		"algorithm": "greedy",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Post(ts.URL+"/v1/placements", "application/json", strings.NewReader(string(jobBody)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var job struct {
+		Hosts           []int   `json:"hosts"`
+		Objective       float64 `json:"objective"`
+		Coverage        int     `json:"coverage"`
+		DurationSeconds float64 `json:"duration_seconds"`
+	}
+	mustDecode(t, resp, &job)
+	if !reflect.DeepEqual(job.Hosts, inProc.Hosts) {
+		t.Fatalf("worker-pool hosts %v != in-process hosts %v", job.Hosts, inProc.Hosts)
+	}
+	if job.Objective != inProc.Objective || job.Coverage != inProc.Coverage {
+		t.Fatalf("worker-pool metrics (%v, %d) != in-process (%v, %d)",
+			job.Objective, job.Coverage, inProc.Objective, inProc.Coverage)
+	}
+	if job.DurationSeconds <= 0 {
+		t.Errorf("duration_seconds = %v, want > 0", job.DurationSeconds)
+	}
+}
+
+// TestNewServerValidation covers the constructor's rejection paths.
+func TestNewServerValidation(t *testing.T) {
+	nw, err := placemon.BuildTopology("Abovenet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	clients := nw.SuggestedClients()
+	services := []placemon.Service{{Name: "s", Clients: clients[:2]}}
+
+	// Host count mismatch.
+	doc := placemon.PlacementFile{
+		Alpha:    0.5,
+		Services: []placemon.ServiceRecord{{Name: "s", Clients: clients[:2]}},
+		Hosts:    []int{0, 1},
+	}
+	if _, err := placemon.NewServer(nw, doc, placemon.ServerConfig{}); err == nil {
+		t.Errorf("host/service mismatch accepted")
+	}
+
+	// All services unplaced → no connections to monitor.
+	doc = placemon.NewPlacementFile("", 0.5, services, []int{-1})
+	if _, err := placemon.NewServer(nw, doc, placemon.ServerConfig{}); err == nil {
+		t.Errorf("fully unplaced document accepted")
+	}
+
+	// Host outside the candidate set at the stored alpha.
+	doc = placemon.NewPlacementFile("", 0.0, services, []int{nodeFarFrom(t, nw, clients[:2])})
+	if _, err := placemon.NewServer(nw, doc, placemon.ServerConfig{}); err == nil {
+		t.Errorf("infeasible host accepted at alpha=0")
+	}
+}
+
+// nodeFarFrom returns a node that is not QoS-optimal for the client set,
+// hence infeasible at alpha = 0.
+func nodeFarFrom(t *testing.T, nw *placemon.Network, clients []int) int {
+	t.Helper()
+	cands, err := nw.CandidateHosts(clients, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := map[int]bool{}
+	for _, c := range cands {
+		in[c] = true
+	}
+	for v := 0; v < nw.NumNodes(); v++ {
+		if !in[v] {
+			return v
+		}
+	}
+	t.Fatalf("every node is a candidate at alpha=0")
+	return -1
+}
+
+func mustDecode(t *testing.T, resp *http.Response, v any) {
+	t.Helper()
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		t.Fatalf("%s: status %d: %s", resp.Request.URL, resp.StatusCode, raw)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -5,9 +5,24 @@ GO ?= go
 # for a quick smoke run.
 BENCHFLAGS ?=
 
-.PHONY: all build test race check bench bench-json fuzz experiments results serve clean
+.PHONY: all help build test race check chaos bench bench-json fuzz experiments results serve clean
 
 all: build test
+
+help:
+	@echo "Targets:"
+	@echo "  build        compile and vet every package"
+	@echo "  test         go test ./..."
+	@echo "  race         go test -race ./..."
+	@echo "  check        vet + full race-detector test run"
+	@echo "  chaos        chaos soak: placemond behind the fault injector, race detector on"
+	@echo "  bench        one benchmark run per table/figure plus ablations"
+	@echo "  bench-json   machine-readable benchmark snapshot (BENCH_<date>.json)"
+	@echo "  fuzz         short fuzz session over the edge-list parser"
+	@echo "  experiments  regenerate every evaluation artifact into results/"
+	@echo "  results      archive test + benchmark logs"
+	@echo "  serve        compute a placement and run placemond on :8080"
+	@echo "  clean        remove archived logs"
 
 build:
 	$(GO) build ./...
@@ -25,6 +40,14 @@ race:
 check:
 	$(GO) vet ./...
 	$(GO) test -race ./...
+
+# Chaos soak: drive a real placemond through the seeded fault injector
+# (drops, duplicates, resets, 5xx flaps, reorders) and require the event
+# stream to match a fault-free run exactly. CHAOSFLAGS=-short for the
+# one-cycle smoke variant CI uses.
+CHAOSFLAGS ?=
+chaos:
+	$(GO) test -race -run TestChaosSoak -v $(CHAOSFLAGS) .
 
 # One benchmark run per table/figure plus the ablations.
 bench:

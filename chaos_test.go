@@ -1,0 +1,336 @@
+package placemon_test
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	placemon "repro"
+	"repro/internal/faultinject"
+	"repro/placemonclient"
+)
+
+// chaosPolicy is the fault mix the soak runs under: roughly one in three
+// deliveries is harmed, covering every injectable kind.
+func chaosPolicy(seed int64) faultinject.Policy {
+	return faultinject.Policy{
+		Seed:           seed,
+		DropProb:       0.10,
+		FlapProb:       0.08,
+		FlapRetryAfter: 0, // "Retry-After: 0": honored, but keeps the soak fast
+		ResetProb:      0.08,
+		DupProb:        0.10,
+		HoldProb:       0.06,
+		MaxHold:        4 * time.Millisecond,
+		DelayProb:      0.10,
+		MaxDelay:       2 * time.Millisecond,
+		ConnResetProb:  0.10,
+	}
+}
+
+// chaosScenario is the shared fixture: a placed Abovenet deployment plus
+// a deterministic timeline of full-state observation batches (fail one
+// node, clear, next node, ...), ending mid-outage so the diagnosis can be
+// checked.
+type chaosScenario struct {
+	nw       *placemon.Network
+	doc      placemon.PlacementFile
+	batches  []placemonclient.ObservationBatch
+	lastFail int // the node the final batch leaves failed
+}
+
+func buildChaosScenario(t *testing.T, cycles int) *chaosScenario {
+	t.Helper()
+	nw, err := placemon.BuildTopology("Abovenet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	clients := nw.SuggestedClients()
+	if len(clients) < 4 {
+		t.Fatalf("only %d suggested clients", len(clients))
+	}
+	services := []placemon.Service{
+		{Name: "svc-0", Clients: clients[:2]},
+		{Name: "svc-1", Clients: clients[2:4]},
+	}
+	const alpha = 0.6
+	res, err := nw.Place(services, placemon.PlaceConfig{Alpha: alpha})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := placemon.NewPlacementFile("Abovenet", alpha, services, res.Hosts)
+
+	// Fault targets: nodes whose failure actually breaks a monitored
+	// connection, so every fail step produces daemon events.
+	var targets []int
+	var failedStates [][]bool
+	for node := 0; node < nw.NumNodes() && len(targets) < 8; node++ {
+		obs, err := nw.Observe(services, res.Hosts, alpha, []int{node})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if obs.AnyFailure() {
+			targets = append(targets, node)
+			failedStates = append(failedStates, append([]bool(nil), obs.Failed...))
+		}
+	}
+	if len(targets) < 3 {
+		t.Fatalf("only %d observable fault targets", len(targets))
+	}
+
+	numConns := len(failedStates[0])
+	allUp := make([]placemonclient.Report, numConns)
+	for i := range allUp {
+		allUp[i] = placemonclient.Report{Connection: i, Up: true}
+	}
+
+	sc := &chaosScenario{nw: nw, doc: doc}
+	step := 0
+	batch := func(reports []placemonclient.Report) {
+		step++
+		sc.batches = append(sc.batches, placemonclient.ObservationBatch{
+			Time:    float64(step),
+			Reports: append([]placemonclient.Report(nil), reports...),
+		})
+	}
+	for cycle := 0; cycle < cycles; cycle++ {
+		for ti, node := range targets {
+			down := make([]placemonclient.Report, numConns)
+			for i, failed := range failedStates[ti] {
+				down[i] = placemonclient.Report{Connection: i, Up: !failed}
+			}
+			batch(down)
+			sc.lastFail = node
+			batch(allUp)
+		}
+	}
+	// Drop the final all-clear so the run ends inside an outage.
+	sc.batches = sc.batches[:len(sc.batches)-1]
+	return sc
+}
+
+// runScenario feeds every batch through the client in order, failing the
+// test if any batch is lost, and returns the concatenated event stream.
+func runScenario(t *testing.T, c *placemonclient.Client, sc *chaosScenario) []placemonclient.Event {
+	t.Helper()
+	ctx := context.Background()
+	var events []placemonclient.Event
+	for i, b := range sc.batches {
+		res, err := c.ReportObservations(ctx, b)
+		if err != nil {
+			t.Fatalf("batch %d/%d lost despite retries: %v", i+1, len(sc.batches), err)
+		}
+		events = append(events, res.Events...)
+	}
+	return events
+}
+
+// chaosServer stands a placemond up behind a fault-injecting listener and
+// returns its base URL plus a shutdown func that cancels Serve and
+// reports its error.
+func chaosServer(t *testing.T, sc *chaosScenario, inj *faultinject.Injector) (string, func() error) {
+	t.Helper()
+	srv, err := placemon.NewServer(sc.nw, sc.doc, placemon.ServerConfig{
+		RequestTimeout: 10 * time.Second,
+		DrainTimeout:   5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ctx, faultinject.NewListener(ln, inj)) }()
+	shutdown := func() error {
+		cancel()
+		select {
+		case err := <-done:
+			return err
+		case <-time.After(15 * time.Second):
+			t.Fatalf("server never drained")
+			return nil
+		}
+	}
+	return "http://" + ln.Addr().String(), shutdown
+}
+
+func retryingClient(t *testing.T, url string, inj *faultinject.Injector, maxAttempts int) *placemonclient.Client {
+	t.Helper()
+	var transport http.RoundTripper = &http.Transport{DisableKeepAlives: false}
+	if inj != nil {
+		transport = faultinject.NewTransport(transport, inj)
+	}
+	c, err := placemonclient.New(placemonclient.Config{
+		BaseURL:           url,
+		HTTPClient:        &http.Client{Transport: transport},
+		MaxAttempts:       maxAttempts,
+		BaseBackoff:       2 * time.Millisecond,
+		MaxBackoff:        30 * time.Millisecond,
+		PerAttemptTimeout: 5 * time.Second,
+		BreakerThreshold:  -1, // the soak wants retries to grind through, not fail fast
+		Seed:              99,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestChaosSoak is the acceptance run for the resilience layer: the same
+// deterministic observation timeline is played (a) against a clean
+// in-process server and (b) through a seeded fault injector that drops,
+// duplicates, holds, resets, delays, and 5xx-flaps deliveries on both
+// sides of a real TCP stack. With the retrying client and the idempotent
+// server the two event streams must be identical; the diagnosis must
+// still localize the final failure; and (c) the same hostile run with
+// retries disabled must demonstrably diverge — proving the guarantee
+// comes from the resilience layer, not from luck.
+func TestChaosSoak(t *testing.T) {
+	cycles := 3
+	if testing.Short() {
+		cycles = 1
+	}
+	sc := buildChaosScenario(t, cycles)
+
+	// (a) Fault-free reference run, in process.
+	refSrv, err := placemon.NewServer(sc.nw, sc.doc, placemon.ServerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer refSrv.Close()
+	ref := httptest.NewServer(refSrv.Handler())
+	defer ref.Close()
+	want := runScenario(t, retryingClient(t, ref.URL, nil, 1), sc)
+	if len(want) == 0 {
+		t.Fatalf("reference run produced no events; scenario is broken")
+	}
+
+	// (b) Chaos run: same timeline through the injector, with retries.
+	inj, err := faultinject.New(chaosPolicy(4242))
+	if err != nil {
+		t.Fatal(err)
+	}
+	url, shutdown := chaosServer(t, sc, inj)
+	client := retryingClient(t, url, inj, 12)
+	got := runScenario(t, client, sc)
+
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("chaos event stream diverged from fault-free run:\n got %d events: %+v\nwant %d events: %+v",
+			len(got), got, len(want), want)
+	}
+	counts := inj.Counts()
+	t.Logf("injected faults: %v", counts)
+	if inj.Total() == 0 {
+		t.Fatalf("no faults injected; the soak proved nothing")
+	}
+	if testing.Short() {
+		// The one-cycle smoke run is too brief to guarantee every rare
+		// kind a turn; a diverse handful is evidence enough.
+		if len(counts) < 3 {
+			t.Errorf("only %d fault kinds fired in short mode (counts %v)", len(counts), counts)
+		}
+	} else {
+		for _, kind := range []faultinject.Kind{
+			faultinject.KindDrop, faultinject.KindDuplicate, faultinject.KindReset,
+			faultinject.KindFlap, faultinject.KindHold,
+		} {
+			if counts[kind] == 0 {
+				t.Errorf("fault kind %q never fired; soak coverage incomplete (counts %v)", kind, counts)
+			}
+		}
+	}
+
+	// The timeline ends mid-outage: the diagnosis must converge on the
+	// injected node through the same hostile network.
+	diag, err := client.Diagnosis(context.Background())
+	if err != nil {
+		t.Fatalf("diagnosis through chaos: %v", err)
+	}
+	if !diag.InOutage {
+		t.Fatalf("not in outage at end of timeline")
+	}
+	if diag.Diagnosis == nil {
+		t.Fatalf("no diagnosis served: %+v", diag)
+	}
+	found := false
+	for _, cand := range diag.Diagnosis.Candidates {
+		for _, node := range cand {
+			if node == sc.lastFail {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("failed node %d not among candidates %v", sc.lastFail, diag.Diagnosis.Candidates)
+	}
+
+	// (b, continued) Graceful drain while fault-laden traffic is still
+	// arriving: hammer the server from several goroutines and shut down
+	// mid-flight. Serve must return nil (clean drain), not a timeout.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			hammer := retryingClient(t, url, inj, 3)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Errors are expected once the server starts refusing.
+				_, _ = hammer.ReportObservations(context.Background(), placemonclient.ObservationBatch{
+					Time:    float64(1000 + i),
+					Reports: []placemonclient.Report{{Connection: w % 4, Up: i%2 == 0}},
+				})
+			}
+		}(w)
+	}
+	time.Sleep(50 * time.Millisecond) // let the hammers land mid-drain
+	if err := shutdown(); err != nil {
+		t.Fatalf("drain under active fault load: %v", err)
+	}
+	close(stop)
+	wg.Wait()
+
+	// (c) Control: same policy, no retries. Lost batches stay lost, so
+	// the event stream must diverge — the resilience layer, not luck, is
+	// what made (b) exact.
+	injNoRetry, err := faultinject.New(chaosPolicy(4242))
+	if err != nil {
+		t.Fatal(err)
+	}
+	url2, shutdown2 := chaosServer(t, sc, injNoRetry)
+	naive := retryingClient(t, url2, injNoRetry, 1)
+	var gotNaive []placemonclient.Event
+	lost := 0
+	for _, b := range sc.batches {
+		res, err := naive.ReportObservations(context.Background(), b)
+		if err != nil {
+			lost++
+			continue
+		}
+		gotNaive = append(gotNaive, res.Events...)
+	}
+	if err := shutdown2(); err != nil {
+		t.Fatalf("no-retry server drain: %v", err)
+	}
+	if lost == 0 {
+		t.Fatalf("no-retry run lost nothing; fault policy too tame to prove anything")
+	}
+	if reflect.DeepEqual(gotNaive, want) {
+		t.Fatalf("no-retry run matched the fault-free stream despite losing %d batches", lost)
+	}
+	t.Logf("no-retry control: %d/%d batches lost, %d/%d events seen",
+		lost, len(sc.batches), len(gotNaive), len(want))
+}

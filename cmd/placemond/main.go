@@ -35,16 +35,18 @@ func main() {
 
 // options are the parsed command-line flags.
 type options struct {
-	addr           string
-	topology       string
-	graphFile      string
-	placementFile  string
-	k              int
-	workers        int
-	queue          int
-	requestTimeout time.Duration
-	drainTimeout   time.Duration
-	pprof          bool
+	addr             string
+	topology         string
+	graphFile        string
+	placementFile    string
+	k                int
+	workers          int
+	queue            int
+	requestTimeout   time.Duration
+	drainTimeout     time.Duration
+	dedupWindow      int
+	diagnosisTimeout time.Duration
+	pprof            bool
 }
 
 func parseFlags(args []string) (*options, error) {
@@ -60,6 +62,8 @@ func parseFlags(args []string) (*options, error) {
 	fs.IntVar(&o.queue, "queue", 8, "placement queue depth (full queue answers 429)")
 	fs.DurationVar(&o.requestTimeout, "request-timeout", 15*time.Second, "per-request timeout")
 	fs.DurationVar(&o.drainTimeout, "drain-timeout", 10*time.Second, "graceful shutdown budget")
+	fs.IntVar(&o.dedupWindow, "dedup-window", 1024, "batch IDs remembered for idempotent ingest; retried batches replay their original response (-1 disables)")
+	fs.DurationVar(&o.diagnosisTimeout, "diagnosis-timeout", 2*time.Second, "diagnosis recompute deadline; past it the last good diagnosis is served marked stale (-1s disables)")
 	fs.BoolVar(&o.pprof, "pprof", false, "mount net/http/pprof under /debug/pprof/")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -109,13 +113,15 @@ func buildServer(o *options, logger *log.Logger) (*placemon.Server, *placemon.Ne
 	}
 
 	srv, err := placemon.NewServer(nw, doc, placemon.ServerConfig{
-		K:              o.k,
-		Workers:        o.workers,
-		QueueDepth:     o.queue,
-		RequestTimeout: o.requestTimeout,
-		DrainTimeout:   o.drainTimeout,
-		EnablePprof:    o.pprof,
-		Logger:         logger,
+		K:                o.k,
+		Workers:          o.workers,
+		QueueDepth:       o.queue,
+		RequestTimeout:   o.requestTimeout,
+		DrainTimeout:     o.drainTimeout,
+		DedupWindow:      o.dedupWindow,
+		DiagnosisTimeout: o.diagnosisTimeout,
+		EnablePprof:      o.pprof,
+		Logger:           logger,
 	})
 	if err != nil {
 		return nil, nil, zero, err

@@ -1,0 +1,223 @@
+// Package faultinject is a seeded, deterministic fault policy engine for
+// exercising placemond's resilience layer: it wraps an http.RoundTripper
+// (client side) and a net.Listener (server side) and injects the failure
+// modes an observation ingest path meets in production — latency spikes,
+// connection resets, 5xx flaps, and dropped, duplicated, or held/reordered
+// observation batches.
+//
+// The engine is stdlib-only and draws every decision from one seeded PRNG,
+// so a given seed always produces the same decision stream. Under
+// concurrency the *assignment* of decisions to requests depends on arrival
+// order, but the multiset of injected faults — and therefore the stress the
+// system is put under — is reproducible. Counts() exposes how many faults
+// of each kind actually fired so tests can assert the run was genuinely
+// hostile rather than lucky.
+package faultinject
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Kind names one injectable fault for Counts and test assertions.
+type Kind string
+
+// The injectable fault kinds.
+const (
+	// KindDrop: the request never reaches the server; the client observes
+	// a transport error. Safe to retry — nothing was applied.
+	KindDrop Kind = "drop"
+	// KindDuplicate: the request is delivered twice back-to-back — the
+	// at-least-once delivery a retrying client produces, compressed into
+	// one call. Exercises server-side idempotency.
+	KindDuplicate Kind = "duplicate"
+	// KindReset: the request is delivered, then the response is destroyed
+	// and the client observes a connection reset. The nasty half of
+	// at-least-once delivery: the server applied a batch the client must
+	// now retry.
+	KindReset Kind = "reset"
+	// KindFlap: the client observes an injected 503 (with a Retry-After
+	// header) without the request reaching the server — an overloaded or
+	// restarting frontend.
+	KindFlap Kind = "flap"
+	// KindDelay: the request is delivered after an injected latency.
+	KindDelay Kind = "delay"
+	// KindHold: the request is parked until either a later request
+	// completes or MaxHold elapses, so concurrent senders observe genuine
+	// reordering; a sequential sender degrades to extra latency.
+	KindHold Kind = "hold"
+	// KindConnReset: an accepted server-side connection is destroyed
+	// after a bounded number of I/O operations (listener wrapper).
+	KindConnReset Kind = "conn-reset"
+)
+
+// Policy configures an Injector. All probabilities are in [0, 1] and are
+// evaluated in the order drop, flap, reset, duplicate, hold, delay — the
+// first match wins, so at most one fault applies per request (plus any
+// listener-side fault on the underlying connection).
+type Policy struct {
+	// Seed feeds the decision PRNG; the same seed reproduces the same
+	// decision stream.
+	Seed int64
+
+	// DropProb loses the request before delivery.
+	DropProb float64
+	// FlapProb answers an injected 503 without delivering.
+	FlapProb float64
+	// FlapRetryAfter is the Retry-After value (whole seconds, floor 0)
+	// the injected 503 carries.
+	FlapRetryAfter time.Duration
+	// ResetProb delivers the request, then destroys the response.
+	ResetProb float64
+	// DupProb delivers the request twice (requires a rewindable body;
+	// requests without GetBody fall through to a single delivery).
+	DupProb float64
+	// HoldProb parks the request until a later request completes or
+	// MaxHold elapses.
+	HoldProb float64
+	// MaxHold bounds a hold (default 10ms).
+	MaxHold time.Duration
+	// DelayProb sleeps for a uniform duration in (0, MaxDelay] before
+	// delivering.
+	DelayProb float64
+	// MaxDelay bounds an injected delay (default 5ms).
+	MaxDelay time.Duration
+
+	// ConnResetProb destroys an accepted server-side connection after
+	// 0–3 I/O operations (listener wrapper only).
+	ConnResetProb float64
+}
+
+// Injector draws fault decisions from the policy's seeded PRNG and keeps
+// per-kind counts. Safe for concurrent use; create with New and share one
+// instance between the Transport and Listener wrappers so they consume a
+// single decision stream.
+type Injector struct {
+	policy Policy
+
+	mu        sync.Mutex
+	rng       *rand.Rand
+	counts    map[Kind]int
+	delivered chan struct{} // closed and replaced on every delivery
+}
+
+// New creates an injector for the policy, validating probabilities and
+// filling duration defaults.
+func New(policy Policy) (*Injector, error) {
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{
+		{"DropProb", policy.DropProb}, {"FlapProb", policy.FlapProb},
+		{"ResetProb", policy.ResetProb}, {"DupProb", policy.DupProb},
+		{"HoldProb", policy.HoldProb}, {"DelayProb", policy.DelayProb},
+		{"ConnResetProb", policy.ConnResetProb},
+	} {
+		if p.v < 0 || p.v > 1 {
+			return nil, fmt.Errorf("faultinject: %s = %v outside [0, 1]", p.name, p.v)
+		}
+	}
+	if policy.MaxHold <= 0 {
+		policy.MaxHold = 10 * time.Millisecond
+	}
+	if policy.MaxDelay <= 0 {
+		policy.MaxDelay = 5 * time.Millisecond
+	}
+	return &Injector{
+		policy:    policy,
+		rng:       rand.New(rand.NewSource(policy.Seed)),
+		counts:    make(map[Kind]int),
+		delivered: make(chan struct{}),
+	}, nil
+}
+
+// Counts returns a snapshot of how many faults of each kind have fired.
+func (i *Injector) Counts() map[Kind]int {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	out := make(map[Kind]int, len(i.counts))
+	for k, v := range i.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// Total returns the total number of injected faults across all kinds.
+func (i *Injector) Total() int {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	n := 0
+	for _, v := range i.counts {
+		n += v
+	}
+	return n
+}
+
+// decision is one drawn fault (kind + any duration parameter).
+type decision struct {
+	kind Kind // "" means no fault
+	d    time.Duration
+}
+
+// decide draws the fault (if any) for one request.
+func (i *Injector) decide() decision {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	p := i.policy
+	roll := i.rng.Float64()
+	switch {
+	case roll < p.DropProb:
+		return i.record(decision{kind: KindDrop})
+	case roll < p.DropProb+p.FlapProb:
+		return i.record(decision{kind: KindFlap, d: p.FlapRetryAfter})
+	case roll < p.DropProb+p.FlapProb+p.ResetProb:
+		return i.record(decision{kind: KindReset})
+	case roll < p.DropProb+p.FlapProb+p.ResetProb+p.DupProb:
+		return i.record(decision{kind: KindDuplicate})
+	case roll < p.DropProb+p.FlapProb+p.ResetProb+p.DupProb+p.HoldProb:
+		return i.record(decision{kind: KindHold, d: p.MaxHold})
+	case roll < p.DropProb+p.FlapProb+p.ResetProb+p.DupProb+p.HoldProb+p.DelayProb:
+		// Uniform in (0, MaxDelay]; never zero so the fault is observable.
+		d := time.Duration(i.rng.Int63n(int64(p.MaxDelay))) + 1
+		return i.record(decision{kind: KindDelay, d: d})
+	}
+	return decision{}
+}
+
+// decideConnReset draws the listener-side decision for one accepted
+// connection: the number of I/O operations to allow before destroying it
+// (0–3, so the reset lands before, during, or just after one request), or
+// -1 for a healthy connection.
+func (i *Injector) decideConnReset() int {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if i.rng.Float64() >= i.policy.ConnResetProb {
+		return -1
+	}
+	i.record(decision{kind: KindConnReset})
+	return i.rng.Intn(4)
+}
+
+// record bumps the count for d's kind; callers hold i.mu.
+func (i *Injector) record(d decision) decision {
+	i.counts[d.kind]++
+	return d
+}
+
+// noteDelivered wakes any held request: a later request has completed, so
+// the hold has achieved a genuine reorder.
+func (i *Injector) noteDelivered() {
+	i.mu.Lock()
+	close(i.delivered)
+	i.delivered = make(chan struct{})
+	i.mu.Unlock()
+}
+
+// deliveredCh returns the channel the next delivery will close.
+func (i *Injector) deliveredCh() <-chan struct{} {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.delivered
+}

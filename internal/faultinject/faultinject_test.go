@@ -1,0 +1,214 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestDeterministicDecisions: the same seed must reproduce the same
+// decision stream — the property that makes chaos runs replayable.
+func TestDeterministicDecisions(t *testing.T) {
+	policy := Policy{
+		Seed: 42, DropProb: 0.1, FlapProb: 0.1, ResetProb: 0.1,
+		DupProb: 0.1, HoldProb: 0.1, DelayProb: 0.1,
+	}
+	a, err := New(policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[Kind]bool{}
+	for i := 0; i < 2000; i++ {
+		da, db := a.decide(), b.decide()
+		if da != db {
+			t.Fatalf("decision %d: %v != %v", i, da, db)
+		}
+		seen[da.kind] = true
+	}
+	for _, k := range []Kind{KindDrop, KindFlap, KindReset, KindDuplicate, KindHold, KindDelay} {
+		if !seen[k] {
+			t.Errorf("kind %q never drawn in 2000 decisions at p=0.1", k)
+		}
+	}
+	if a.Total() == 0 || a.Total() != b.Total() {
+		t.Fatalf("totals diverge: %d vs %d", a.Total(), b.Total())
+	}
+}
+
+func TestPolicyValidation(t *testing.T) {
+	if _, err := New(Policy{DropProb: 1.5}); err == nil {
+		t.Fatalf("DropProb 1.5 accepted")
+	}
+	if _, err := New(Policy{DelayProb: -0.1}); err == nil {
+		t.Fatalf("negative DelayProb accepted")
+	}
+	if _, err := New(Policy{}); err != nil {
+		t.Fatalf("zero policy rejected: %v", err)
+	}
+}
+
+// single returns an injector whose every transport decision is the one
+// kind under test.
+func single(t *testing.T, p Policy) *Injector {
+	t.Helper()
+	inj, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inj
+}
+
+func countingServer(t *testing.T) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		hits.Add(1)
+		w.Write([]byte("ok"))
+	}))
+	t.Cleanup(ts.Close)
+	return ts, &hits
+}
+
+func post(t *testing.T, rt http.RoundTripper, url string) (*http.Response, error) {
+	t.Helper()
+	req, err := http.NewRequestWithContext(context.Background(),
+		http.MethodPost, url, strings.NewReader(`{"n":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt.RoundTrip(req)
+}
+
+func TestTransportDrop(t *testing.T) {
+	ts, hits := countingServer(t)
+	rt := NewTransport(nil, single(t, Policy{DropProb: 1}))
+	_, err := post(t, rt, ts.URL)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if hits.Load() != 0 {
+		t.Fatalf("dropped request reached the server")
+	}
+}
+
+func TestTransportFlap(t *testing.T) {
+	ts, hits := countingServer(t)
+	rt := NewTransport(nil, single(t, Policy{FlapProb: 1, FlapRetryAfter: 2 * time.Second}))
+	resp, err := post(t, rt, ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "2" {
+		t.Fatalf("Retry-After = %q, want \"2\"", ra)
+	}
+	if hits.Load() != 0 {
+		t.Fatalf("flapped request reached the server")
+	}
+}
+
+func TestTransportResetDeliversFirst(t *testing.T) {
+	ts, hits := countingServer(t)
+	rt := NewTransport(nil, single(t, Policy{ResetProb: 1}))
+	_, err := post(t, rt, ts.URL)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if hits.Load() != 1 {
+		t.Fatalf("server hits = %d, want 1 (reset happens after delivery)", hits.Load())
+	}
+}
+
+func TestTransportDuplicateDeliversTwice(t *testing.T) {
+	ts, hits := countingServer(t)
+	rt := NewTransport(nil, single(t, Policy{DupProb: 1}))
+	resp, err := post(t, rt, ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if hits.Load() != 2 {
+		t.Fatalf("server hits = %d, want 2", hits.Load())
+	}
+}
+
+func TestTransportDelayAndHoldStillDeliver(t *testing.T) {
+	ts, hits := countingServer(t)
+	rt := NewTransport(nil, single(t, Policy{
+		DelayProb: 0.5, HoldProb: 0.5,
+		MaxDelay: time.Millisecond, MaxHold: time.Millisecond,
+	}))
+	for i := 0; i < 10; i++ {
+		resp, err := post(t, rt, ts.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	if hits.Load() != 10 {
+		t.Fatalf("server hits = %d, want 10", hits.Load())
+	}
+	counts := rt.Injector.Counts()
+	if counts[KindDelay]+counts[KindHold] != 10 {
+		t.Fatalf("counts = %v, want 10 delay+hold", counts)
+	}
+}
+
+// TestListenerResets: with ConnResetProb 1 every accepted connection dies
+// within a few reads, so a plain HTTP request must fail — and the wrapped
+// listener must keep accepting afterwards.
+func TestListenerResets(t *testing.T) {
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := single(t, Policy{ConnResetProb: 1})
+	ln := NewListener(inner, inj)
+	srv := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		w.Write([]byte("ok"))
+	})}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	// Fresh connection per request: keep-alive reuse would let Go's
+	// transparent replay-on-dead-idle-conn retry mask the injected resets.
+	client := &http.Client{
+		Timeout:   2 * time.Second,
+		Transport: &http.Transport{DisableKeepAlives: true},
+	}
+	failures := 0
+	for i := 0; i < 5; i++ {
+		resp, err := client.Post("http://"+ln.Addr().String(), "application/json",
+			strings.NewReader(strings.Repeat(`{"filler":"xxxxxxxxxxxxxxxx"}`, 64)))
+		if err != nil {
+			failures++
+			continue
+		}
+		resp.Body.Close()
+	}
+	if failures == 0 {
+		t.Fatalf("no request failed despite ConnResetProb=1")
+	}
+	if inj.Counts()[KindConnReset] == 0 {
+		t.Fatalf("no conn-reset recorded: %v", inj.Counts())
+	}
+}

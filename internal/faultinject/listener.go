@@ -1,0 +1,84 @@
+package faultinject
+
+import (
+	"net"
+	"sync"
+	"syscall"
+)
+
+// Listener wraps a net.Listener so that a policy-chosen fraction of
+// accepted connections are destroyed after a bounded number of reads —
+// the server-side view of a client (or middlebox) dying mid-request. TCP
+// connections are closed with linger disabled so the peer observes a real
+// RST rather than a graceful FIN.
+type Listener struct {
+	net.Listener
+	inj *Injector
+}
+
+// NewListener wraps ln with inj's connection-level faults.
+func NewListener(ln net.Listener, inj *Injector) *Listener {
+	return &Listener{Listener: ln, inj: inj}
+}
+
+// Accept accepts from the inner listener and, per policy, arms the
+// connection to reset after a small number of I/O operations.
+func (l *Listener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	if ops := l.inj.decideConnReset(); ops >= 0 {
+		return &resetConn{Conn: c, remaining: ops}, nil
+	}
+	return c, nil
+}
+
+// resetConn destroys the connection once its I/O budget is spent: both
+// reads and writes count, so a connection can die before the request is
+// parsed, mid-body, or after the server applied the batch but before the
+// response escaped — the full spectrum of at-least-once delivery hazards.
+type resetConn struct {
+	net.Conn
+	mu        sync.Mutex
+	remaining int
+	dead      bool
+}
+
+// spend consumes one I/O operation, destroying the connection when the
+// budget runs out. It reports whether the connection is still alive.
+func (c *resetConn) spend() bool {
+	c.mu.Lock()
+	if c.dead {
+		c.mu.Unlock()
+		return false
+	}
+	if c.remaining <= 0 {
+		c.dead = true
+		c.mu.Unlock()
+		if tc, ok := c.Conn.(*net.TCPConn); ok {
+			// Linger 0 turns Close into an RST, the abortive teardown a
+			// crashed peer produces.
+			tc.SetLinger(0)
+		}
+		c.Conn.Close()
+		return false
+	}
+	c.remaining--
+	c.mu.Unlock()
+	return true
+}
+
+func (c *resetConn) Read(b []byte) (int, error) {
+	if !c.spend() {
+		return 0, syscall.ECONNRESET
+	}
+	return c.Conn.Read(b)
+}
+
+func (c *resetConn) Write(b []byte) (int, error) {
+	if !c.spend() {
+		return 0, syscall.ECONNRESET
+	}
+	return c.Conn.Write(b)
+}

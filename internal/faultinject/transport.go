@@ -1,0 +1,144 @@
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// ErrInjected marks every error the injector fabricates, so tests and
+// retry layers can tell injected faults from real transport failures with
+// errors.Is.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// Transport is an http.RoundTripper that applies the injector's policy to
+// every outgoing request before (or after) delegating to Base. It is the
+// client-side half of the harness: put it inside the retrying client's
+// http.Client to simulate a lossy path to placemond.
+type Transport struct {
+	// Base performs real deliveries (default http.DefaultTransport).
+	Base http.RoundTripper
+	// Injector supplies the fault decisions; required.
+	Injector *Injector
+}
+
+// NewTransport wraps base (nil means http.DefaultTransport) with inj.
+func NewTransport(base http.RoundTripper, inj *Injector) *Transport {
+	return &Transport{Base: base, Injector: inj}
+}
+
+// RoundTrip applies at most one injected fault, then delivers (or
+// doesn't). Requests the injector drops or resets return errors wrapping
+// ErrInjected; flaps return a synthetic 503 carrying Retry-After.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	base := t.Base
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	switch d := t.Injector.decide(); d.kind {
+	case KindDrop:
+		// The request vanishes before reaching the wire: close the body
+		// (RoundTripper contract) and report a transport error.
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		return nil, fmt.Errorf("%w: request dropped", ErrInjected)
+
+	case KindFlap:
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		secs := int(d.d / time.Second)
+		if secs < 0 {
+			secs = 0
+		}
+		resp := &http.Response{
+			Status:     "503 Service Unavailable",
+			StatusCode: http.StatusServiceUnavailable,
+			Proto:      "HTTP/1.1", ProtoMajor: 1, ProtoMinor: 1,
+			Header:  http.Header{"Retry-After": []string{fmt.Sprintf("%d", secs)}},
+			Body:    io.NopCloser(strings.NewReader(`{"error":"injected flap"}`)),
+			Request: req,
+		}
+		return resp, nil
+
+	case KindReset:
+		// Deliver for real — the server applies the batch — then destroy
+		// the response so the client must retry something already applied.
+		resp, err := base.RoundTrip(req)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		t.Injector.noteDelivered()
+		return nil, fmt.Errorf("%w: connection reset after delivery", ErrInjected)
+
+	case KindDuplicate:
+		// Deliver twice back-to-back when the body is rewindable; the
+		// caller sees only the second response, like a duplicated packet
+		// whose first copy's reply was lost.
+		if req.Body == nil || req.GetBody != nil {
+			if first, err := base.RoundTrip(cloneRequest(req)); err == nil {
+				io.Copy(io.Discard, first.Body)
+				first.Body.Close()
+				t.Injector.noteDelivered()
+			}
+		}
+		return t.deliver(base, req)
+
+	case KindHold:
+		// Park until a later request completes (true reorder under
+		// concurrency) or the hold budget elapses (plain latency for a
+		// sequential sender).
+		timer := time.NewTimer(d.d)
+		defer timer.Stop()
+		select {
+		case <-t.Injector.deliveredCh():
+		case <-timer.C:
+		case <-req.Context().Done():
+			if req.Body != nil {
+				req.Body.Close()
+			}
+			return nil, req.Context().Err()
+		}
+		return t.deliver(base, req)
+
+	case KindDelay:
+		timer := time.NewTimer(d.d)
+		defer timer.Stop()
+		select {
+		case <-timer.C:
+		case <-req.Context().Done():
+			if req.Body != nil {
+				req.Body.Close()
+			}
+			return nil, req.Context().Err()
+		}
+		return t.deliver(base, req)
+
+	default:
+		return t.deliver(base, req)
+	}
+}
+
+// deliver performs one real round trip and wakes held requests.
+func (t *Transport) deliver(base http.RoundTripper, req *http.Request) (*http.Response, error) {
+	resp, err := base.RoundTrip(req)
+	t.Injector.noteDelivered()
+	return resp, err
+}
+
+// cloneRequest copies req with a fresh body from GetBody, so it can be
+// sent a second time. Bodyless requests are cloned as-is.
+func cloneRequest(req *http.Request) *http.Request {
+	clone := req.Clone(req.Context())
+	if req.GetBody != nil {
+		if body, err := req.GetBody(); err == nil {
+			clone.Body = body
+		}
+	}
+	return clone
+}

@@ -1,6 +1,7 @@
 package monitord
 
 import (
+	"fmt"
 	"sync"
 
 	"repro/internal/tomography"
@@ -28,10 +29,14 @@ func (s *Safe) Report(t float64, conn int, up bool) ([]Event, error) {
 
 // ReportBatch feeds several observations at the same virtual time and
 // returns the concatenated events. The batch is applied atomically with
-// respect to other Safe calls: no Report or Snapshot interleaves. On a
-// bad connection index the prefix already applied stays applied, the
-// events it produced are returned alongside the error.
+// respect to other Safe calls: no Report or Snapshot interleaves. A
+// mismatched conns/ups length rejects the whole batch before anything is
+// applied; on a bad connection index the prefix already applied stays
+// applied, and the events it produced are returned alongside the error.
 func (s *Safe) ReportBatch(t float64, conns []int, ups []bool) ([]Event, error) {
+	if len(conns) != len(ups) {
+		return nil, fmt.Errorf("monitord: batch has %d connections but %d states", len(conns), len(ups))
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var events []Event

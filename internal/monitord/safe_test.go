@@ -105,3 +105,31 @@ func TestSafeConcurrent(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestSafeMismatchedBatchRejected is the regression test for the panic a
+// short ups slice used to cause: ReportBatch indexed ups[i] for every
+// conns entry, so a length mismatch crashed the daemon while holding its
+// lock. The batch must now be rejected whole, before any report applies.
+func TestSafeMismatchedBatchRejected(t *testing.T) {
+	s := newSafeLine(t)
+	events, err := s.ReportBatch(1, []int{0, 1}, []bool{false})
+	if err == nil {
+		t.Fatalf("mismatched batch accepted")
+	}
+	if len(events) != 0 {
+		t.Fatalf("events = %v, want none from a rejected batch", events)
+	}
+	snap := s.Snapshot()
+	if snap.InOutage {
+		t.Fatalf("rejected batch still applied a report")
+	}
+	for i, st := range snap.States {
+		if st != StateUnknown {
+			t.Fatalf("connection %d state = %v, want unknown", i, st)
+		}
+	}
+	// The longer-ups direction must be rejected too, not silently truncated.
+	if _, err := s.ReportBatch(2, []int{0}, []bool{false, true}); err == nil {
+		t.Fatalf("oversized ups slice accepted")
+	}
+}

@@ -1,0 +1,75 @@
+package server
+
+import "sync"
+
+// dedupWindow makes observation ingest idempotent under at-least-once
+// delivery: it remembers the full responses of the last `capacity`
+// successfully ingested batches by their client-supplied batch ID, so a
+// retried or duplicated delivery replays the original answer — same
+// events, same status — instead of re-applying the batch and emitting a
+// divergent (usually empty) event list.
+//
+// The window is bounded FIFO: once capacity is exceeded the oldest entry
+// is evicted, which keeps memory constant and matches the retry horizon —
+// a client that retries a batch after the window has turned over is
+// indistinguishable from a new batch, and the monitor's transition
+// semantics make the re-application a harmless no-op.
+type dedupWindow struct {
+	mu       sync.Mutex
+	capacity int
+	order    []string // ring buffer of IDs in insertion order
+	next     int      // ring write cursor
+	byID     map[string]dedupEntry
+}
+
+// dedupEntry is one cached ingest response.
+type dedupEntry struct {
+	status int
+	body   []byte
+}
+
+// newDedupWindow creates a window remembering the last capacity batches;
+// capacity must be positive.
+func newDedupWindow(capacity int) *dedupWindow {
+	return &dedupWindow{
+		capacity: capacity,
+		order:    make([]string, 0, capacity),
+		byID:     make(map[string]dedupEntry, capacity),
+	}
+}
+
+// lookup returns the cached response for id, if it is still in the
+// window.
+func (d *dedupWindow) lookup(id string) (dedupEntry, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	e, ok := d.byID[id]
+	return e, ok
+}
+
+// store records the response for id, evicting the oldest entry when the
+// window is full. Re-storing a present id refreshes its payload but not
+// its eviction slot.
+func (d *dedupWindow) store(id string, e dedupEntry) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.byID[id]; ok {
+		d.byID[id] = e
+		return
+	}
+	if len(d.order) < d.capacity {
+		d.order = append(d.order, id)
+	} else {
+		delete(d.byID, d.order[d.next])
+		d.order[d.next] = id
+		d.next = (d.next + 1) % d.capacity
+	}
+	d.byID[id] = e
+}
+
+// size returns the number of cached batches (for the gauge).
+func (d *dedupWindow) size() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.byID)
+}

@@ -1,0 +1,59 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// FuzzObservations throws arbitrary bytes at the POST /v1/observations
+// decode path. The contract under fuzz: the handler never panics (a panic
+// would surface as a 500 through the recovery middleware, or crash the
+// fuzz worker outright) and malformed input is always answered with a
+// 4xx, never a 5xx.
+func FuzzObservations(f *testing.F) {
+	seeds := []string{
+		`{"time": 1, "reports": [{"connection": 0, "up": false}]}`,
+		`{"batch_id": "b-1", "time": 1, "reports": [{"connection": 1, "up": true}]}`,
+		``,
+		`{}`,
+		`null`,
+		`[]`,
+		`{"time": 1, "reports": []}`,
+		`{"time": 1, "reports": [{"connection": -1, "up": false}]}`,
+		`{"time": 1, "reports": [{"connection": 99999999, "up": true}]}`,
+		`{"time": "yesterday", "reports": [{"connection": 0, "up": false}]}`,
+		`{"time": 1, "reports": [{"connection": 0, "up": false}]} trailing`,
+		`{"time": 1, "reports": [{"connection": 0, "up": false}], "extra": 1}`,
+		`{"batch_id": 42, "time": 1, "reports": [{"connection": 0}]}`,
+		`{"time": 1e309, "reports": [{"connection": 0, "up": false}]}`,
+		`{"time": 1, "reports": [{"connection": 0.5, "up": false}]}`,
+		strings.Repeat(`{"time":1,`, 1000),
+		"\x00\xff\xfe",
+		`{"reports": ` + strings.Repeat("[", 200) + strings.Repeat("]", 200) + `}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+
+	srv, err := New(testConfig())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Cleanup(srv.Close)
+	handler := srv.Handler()
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req := httptest.NewRequest(http.MethodPost, "/v1/observations", strings.NewReader(string(body)))
+		req.Header.Set("Content-Type", "application/json")
+		rec := httptest.NewRecorder()
+		handler.ServeHTTP(rec, req)
+		if rec.Code >= 500 {
+			t.Fatalf("body %q answered %d:\n%s", body, rec.Code, rec.Body.String())
+		}
+		if rec.Code != http.StatusOK && (rec.Code < 400 || rec.Code > 499) {
+			t.Fatalf("body %q answered %d, want 200 or 4xx", body, rec.Code)
+		}
+	})
+}

@@ -30,6 +30,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"runtime"
+	"sync"
 	"time"
 
 	"repro/internal/bitset"
@@ -70,6 +71,16 @@ type Config struct {
 	RequestTimeout time.Duration
 	// DrainTimeout bounds graceful shutdown (default 10s).
 	DrainTimeout time.Duration
+	// DedupWindow is how many recent batch IDs the idempotent-ingest
+	// window remembers; retried or duplicated POST /v1/observations
+	// deliveries carrying a remembered batch_id replay the original
+	// response instead of re-applying (default 1024; ≤ -1 disables).
+	DedupWindow int
+	// DiagnosisTimeout bounds the diagnosis recompute in
+	// GET /v1/diagnosis; on timeout (or an inconsistent recompute) the
+	// handler serves the last good diagnosis marked stale (default 2s;
+	// ≤ -1 disables the deadline).
+	DiagnosisTimeout time.Duration
 	// EnablePprof mounts net/http/pprof under /debug/pprof/.
 	EnablePprof bool
 	// Logger receives request and error lines (default: discard).
@@ -91,7 +102,18 @@ type Server struct {
 	drainTimeout   time.Duration
 	handler        http.Handler
 
+	// Resilience layer: idempotent ingest + stale-diagnosis fallback.
+	dedup       *dedupWindow                          // nil when disabled
+	diagTimeout time.Duration                         // ≤ 0 means no deadline
+	diagnoseFn  func() (*tomography.Diagnosis, error) // test seam; defaults to mon.Diagnosis
+	lastGoodMu  sync.Mutex
+	lastGood    *diagnosisJSON
+	lastGoodAt  time.Time
+
 	obsIngested *metrics.Counter
+	obsReplayed *metrics.Counter
+	staleServed *metrics.Counter
+	dedupGauge  *metrics.Gauge
 	outageGauge *metrics.Gauge
 	eventTotal  map[monitord.EventKind]*metrics.Counter
 }
@@ -140,6 +162,14 @@ func New(cfg Config) (*Server, error) {
 	if reg == nil {
 		reg = metrics.NewRegistry()
 	}
+	dedupSize := cfg.DedupWindow
+	if dedupSize == 0 {
+		dedupSize = 1024
+	}
+	diagTimeout := cfg.DiagnosisTimeout
+	if diagTimeout == 0 {
+		diagTimeout = 2 * time.Second
+	}
 
 	s := &Server{
 		mon:            monitord.NewSafe(core),
@@ -149,11 +179,22 @@ func New(cfg Config) (*Server, error) {
 		logger:         logger,
 		requestTimeout: reqTimeout,
 		drainTimeout:   drain,
+		diagTimeout:    diagTimeout,
 		obsIngested: reg.Counter("placemond_observations_ingested_total",
 			"Connection state reports accepted by POST /v1/observations."),
+		obsReplayed: reg.Counter("placemond_ingest_replayed_total",
+			"Duplicate observation batches answered from the dedup window."),
+		staleServed: reg.Counter("placemond_diagnosis_stale_total",
+			"Diagnosis requests served from the last good diagnosis."),
 		outageGauge: reg.Gauge("placemond_outage",
 			"1 while at least one reporting connection is down, else 0."),
 		eventTotal: map[monitord.EventKind]*metrics.Counter{},
+	}
+	s.diagnoseFn = s.mon.Diagnosis
+	if dedupSize > 0 {
+		s.dedup = newDedupWindow(dedupSize)
+		s.dedupGauge = reg.Gauge("placemond_dedup_window_batches",
+			"Batch IDs currently remembered by the idempotent-ingest window.")
 	}
 	for _, kind := range []monitord.EventKind{
 		monitord.EventOutageStarted, monitord.EventDiagnosisChanged,
@@ -231,6 +272,11 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 
 // observationsRequest is the body of POST /v1/observations.
 type observationsRequest struct {
+	// BatchID is an optional client-supplied idempotency key: deliveries
+	// repeating a remembered ID replay the original response instead of
+	// re-applying the batch, so at-least-once delivery (client retries,
+	// duplicated packets) yields exactly-once ingestion.
+	BatchID string `json:"batch_id,omitempty"`
 	// Time is the virtual or wall-clock timestamp of the batch.
 	Time float64 `json:"time"`
 	// Reports are the state transitions, applied in order.
@@ -266,6 +312,18 @@ func (s *Server) handleObservations(w http.ResponseWriter, r *http.Request) {
 	if len(req.Reports) == 0 {
 		writeError(w, http.StatusBadRequest, "no reports in batch")
 		return
+	}
+	if s.dedup != nil && req.BatchID != "" {
+		if cached, ok := s.dedup.lookup(req.BatchID); ok {
+			// Already applied: replay the original answer byte for byte
+			// so the retrying client observes the events it missed.
+			s.obsReplayed.Inc()
+			w.Header().Set("Placemond-Replayed", "true")
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(cached.status)
+			w.Write(cached.body)
+			return
+		}
 	}
 	n := s.mon.NumConnections()
 	conns := make([]int, len(req.Reports))
@@ -304,13 +362,48 @@ func (s *Server) handleObservations(w http.ResponseWriter, r *http.Request) {
 		Events []eventJSON `json:"events"`
 	}{Events: make([]eventJSON, 0, len(events))}
 	for _, ev := range events {
+		diag := diagnosisToJSON(ev.Diagnosis)
+		if diag != nil {
+			// Every diagnosis the daemon emits is by construction fresh
+			// and good: remember it for the stale-serving fallback.
+			s.recordGoodDiagnosis(diag)
+		}
 		out.Events = append(out.Events, eventJSON{
 			Time:      ev.Time,
 			Kind:      ev.Kind.String(),
-			Diagnosis: diagnosisToJSON(ev.Diagnosis),
+			Diagnosis: diag,
 		})
 	}
+	if s.dedup != nil && req.BatchID != "" {
+		if body, err := json.Marshal(out); err == nil {
+			body = append(body, '\n')
+			s.dedup.store(req.BatchID, dedupEntry{status: http.StatusOK, body: body})
+			s.dedupGauge.Set(float64(s.dedup.size()))
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusOK)
+			w.Write(body)
+			return
+		}
+	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+// recordGoodDiagnosis remembers the latest successfully computed
+// diagnosis for the stale-serving fallback.
+func (s *Server) recordGoodDiagnosis(d *diagnosisJSON) {
+	s.lastGoodMu.Lock()
+	s.lastGood, s.lastGoodAt = d, time.Now()
+	s.lastGoodMu.Unlock()
+}
+
+// lastGoodDiagnosis returns the remembered diagnosis and its age.
+func (s *Server) lastGoodDiagnosis() (*diagnosisJSON, time.Duration, bool) {
+	s.lastGoodMu.Lock()
+	defer s.lastGoodMu.Unlock()
+	if s.lastGood == nil {
+		return nil, 0, false
+	}
+	return s.lastGood, time.Since(s.lastGoodAt), true
 }
 
 // connectionJSON is one row of GET /v1/diagnosis's connection table.
@@ -319,13 +412,18 @@ type connectionJSON struct {
 	State string `json:"state"`
 }
 
+// errDiagnosisTimeout marks a recompute that blew its deadline.
+var errDiagnosisTimeout = errors.New("server: diagnosis recompute timed out")
+
 func (s *Server) handleDiagnosis(w http.ResponseWriter, r *http.Request) {
 	snap := s.mon.Snapshot()
 	out := struct {
-		InOutage     bool             `json:"in_outage"`
-		Inconsistent bool             `json:"inconsistent,omitempty"`
-		Connections  []connectionJSON `json:"connections"`
-		Diagnosis    *diagnosisJSON   `json:"diagnosis,omitempty"`
+		InOutage        bool             `json:"in_outage"`
+		Inconsistent    bool             `json:"inconsistent,omitempty"`
+		Stale           bool             `json:"stale,omitempty"`
+		StaleAgeSeconds float64          `json:"stale_age_seconds,omitempty"`
+		Connections     []connectionJSON `json:"connections"`
+		Diagnosis       *diagnosisJSON   `json:"diagnosis,omitempty"`
 	}{InOutage: snap.InOutage}
 	for i, c := range s.conns {
 		out.Connections = append(out.Connections, connectionJSON{
@@ -334,16 +432,57 @@ func (s *Server) handleDiagnosis(w http.ResponseWriter, r *http.Request) {
 		})
 	}
 	if snap.InOutage {
-		diag, err := s.mon.Diagnosis()
-		if err != nil {
-			// More simultaneous failures than the budget k explains, or
-			// conflicting reports: the outage is real but unlocalizable.
-			out.Inconsistent = true
-		} else {
+		diag, err := s.diagnoseWithDeadline(r.Context())
+		if err == nil {
 			out.Diagnosis = diagnosisToJSON(diag)
+			s.recordGoodDiagnosis(out.Diagnosis)
+		} else {
+			if !errors.Is(err, errDiagnosisTimeout) && !errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, context.Canceled) {
+				// More simultaneous failures than the budget k explains,
+				// or conflicting reports: the outage is real but
+				// unlocalizable right now.
+				out.Inconsistent = true
+			}
+			// Degrade gracefully: a stale localization beats a blank
+			// page during an outage, as long as it is marked as such.
+			if cached, age, ok := s.lastGoodDiagnosis(); ok {
+				out.Diagnosis = cached
+				out.Stale = true
+				out.StaleAgeSeconds = age.Seconds()
+				s.staleServed.Inc()
+			}
 		}
 	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+// diagnoseWithDeadline recomputes the diagnosis, bounded by the
+// configured deadline and the request context. On timeout the recompute
+// goroutine finishes (and is discarded) in the background — the monitor
+// lock is held at most one recompute longer than the deadline.
+func (s *Server) diagnoseWithDeadline(ctx context.Context) (*tomography.Diagnosis, error) {
+	if s.diagTimeout <= 0 {
+		return s.diagnoseFn()
+	}
+	type result struct {
+		diag *tomography.Diagnosis
+		err  error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		diag, err := s.diagnoseFn()
+		ch <- result{diag, err}
+	}()
+	timer := time.NewTimer(s.diagTimeout)
+	defer timer.Stop()
+	select {
+	case res := <-ch:
+		return res.diag, res.err
+	case <-timer.C:
+		return nil, errDiagnosisTimeout
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
 }
 
 func (s *Server) handlePlacements(w http.ResponseWriter, r *http.Request) {

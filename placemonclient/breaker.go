@@ -1,0 +1,139 @@
+package placemonclient
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// breakerState is the classic three-state circuit breaker automaton.
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota // normal operation
+	breakerOpen                       // failing fast, waiting out the cooldown
+	breakerHalfOpen                   // one probe in flight decides reopen vs close
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerClosed:
+		return "closed"
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// breaker fails fast once the server looks down: `threshold` consecutive
+// retryable failures open it, every call is rejected for `cooldown`, then
+// exactly one probe is let through (half-open) — its outcome either closes
+// the breaker or re-opens it for another cooldown. A 4xx counts as a
+// success for breaker purposes: the server answered, it just disliked the
+// request.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time // injectable for tests
+
+	mu       sync.Mutex
+	state    breakerState
+	failures int       // consecutive, while closed
+	openedAt time.Time // when the breaker last opened
+
+	stateGauge *metrics.Gauge   // 0 closed, 1 open, 0.5 half-open
+	rejected   *metrics.Counter // calls refused while open
+	opened     *metrics.Counter // closed/half-open → open transitions
+}
+
+func newBreaker(threshold int, cooldown time.Duration, reg *metrics.Registry) *breaker {
+	return &breaker{
+		threshold: threshold,
+		cooldown:  cooldown,
+		now:       time.Now,
+		stateGauge: reg.Gauge("placemonclient_breaker_state",
+			"Circuit breaker state: 0 closed, 0.5 half-open, 1 open."),
+		rejected: reg.Counter("placemonclient_breaker_rejected_total",
+			"Calls refused because the circuit breaker was open."),
+		opened: reg.Counter("placemonclient_breaker_opened_total",
+			"Transitions into the open state."),
+	}
+}
+
+// allow reports whether a call may proceed. While open it fails fast
+// until the cooldown elapses, then admits a single half-open probe.
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if b.now().Sub(b.openedAt) >= b.cooldown {
+			b.setState(breakerHalfOpen)
+			return true
+		}
+		b.rejected.Inc()
+		return false
+	case breakerHalfOpen:
+		// A probe is already in flight; don't pile on.
+		b.rejected.Inc()
+		return false
+	}
+	return false
+}
+
+// success records a call the server answered sanely.
+func (b *breaker) success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures = 0
+	if b.state != breakerClosed {
+		b.setState(breakerClosed)
+	}
+}
+
+// failure records a retryable failure (transport error, 429, or 5xx).
+func (b *breaker) failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerHalfOpen:
+		// The probe failed: straight back to open for another cooldown.
+		b.openedAt = b.now()
+		b.setState(breakerOpen)
+		b.opened.Inc()
+	case breakerClosed:
+		b.failures++
+		if b.failures >= b.threshold {
+			b.openedAt = b.now()
+			b.setState(breakerOpen)
+			b.opened.Inc()
+		}
+	}
+}
+
+// setState updates the automaton and its gauge; callers hold b.mu.
+func (b *breaker) setState(s breakerState) {
+	b.state = s
+	switch s {
+	case breakerClosed:
+		b.failures = 0
+		b.stateGauge.Set(0)
+	case breakerHalfOpen:
+		b.stateGauge.Set(0.5)
+	case breakerOpen:
+		b.stateGauge.Set(1)
+	}
+}
+
+// currentState returns the state for tests and error messages.
+func (b *breaker) currentState() breakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

@@ -33,6 +33,15 @@ type ServerConfig struct {
 	RequestTimeout time.Duration
 	// DrainTimeout bounds graceful shutdown (default 10s).
 	DrainTimeout time.Duration
+	// DedupWindow sizes the idempotent-ingest window: how many recent
+	// batch IDs are remembered so retried observation batches replay
+	// their original response instead of re-applying (default 1024;
+	// ≤ -1 disables).
+	DedupWindow int
+	// DiagnosisTimeout bounds the diagnosis recompute in
+	// GET /v1/diagnosis; past it the last good diagnosis is served with
+	// a staleness marker (default 2s; ≤ -1 disables the deadline).
+	DiagnosisTimeout time.Duration
 	// EnablePprof mounts net/http/pprof under /debug/pprof/.
 	EnablePprof bool
 	// Logger receives request and error lines; nil discards them.
@@ -92,10 +101,12 @@ func NewServer(nw *Network, doc PlacementFile, cfg ServerConfig) (*Server, error
 		Place:          nw.placeFunc(),
 		Workers:        cfg.Workers,
 		QueueDepth:     cfg.QueueDepth,
-		RequestTimeout: cfg.RequestTimeout,
-		DrainTimeout:   cfg.DrainTimeout,
-		EnablePprof:    cfg.EnablePprof,
-		Logger:         cfg.Logger,
+		RequestTimeout:   cfg.RequestTimeout,
+		DrainTimeout:     cfg.DrainTimeout,
+		DedupWindow:      cfg.DedupWindow,
+		DiagnosisTimeout: cfg.DiagnosisTimeout,
+		EnablePprof:      cfg.EnablePprof,
+		Logger:           cfg.Logger,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("placemon: %w", err)

@@ -5,7 +5,7 @@ GO ?= go
 # for a quick smoke run.
 BENCHFLAGS ?=
 
-.PHONY: all help build test race check chaos bench bench-json fuzz experiments results serve clean
+.PHONY: all help build test race check chaos bench bench-json bench-smoke fuzz experiments results serve clean
 
 all: build test
 
@@ -18,6 +18,7 @@ help:
 	@echo "  chaos        chaos soak: placemond behind the fault injector, race detector on"
 	@echo "  bench        one benchmark run per table/figure plus ablations"
 	@echo "  bench-json   machine-readable benchmark snapshot (BENCH_<date>.json)"
+	@echo "  bench-smoke  single-iteration benchmark compile-and-run gate (CI)"
 	@echo "  fuzz         short fuzz session over the edge-list parser"
 	@echo "  experiments  regenerate every evaluation artifact into results/"
 	@echo "  results      archive test + benchmark logs"
@@ -52,6 +53,11 @@ chaos:
 # One benchmark run per table/figure plus the ablations.
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# Single-iteration smoke over a cheap benchmark: proves the benchmark
+# harness still compiles and runs without paying for a real measurement.
+bench-smoke:
+	$(GO) test -run NONE -bench=TableI -benchtime=1x .
 
 # Machine-readable benchmark snapshot for the perf trajectory: runs the
 # root benchmarks and archives them as BENCH_<date>.json.

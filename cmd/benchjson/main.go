@@ -8,14 +8,27 @@
 // stdout; context lines (goos/goarch/cpu/pkg) are captured as metadata,
 // and every `-benchmem` column plus any custom metric (`value unit`
 // pairs) lands in the per-benchmark metrics map.
+//
+// With -compare, it diffs two archived snapshots instead:
+//
+//	go run ./cmd/benchjson -compare BENCH_old.json BENCH_new.json
+//	go test -run NONE -bench=. . | go run ./cmd/benchjson -compare BENCH_old.json
+//
+// The baseline comes from the -compare file; the candidate is the second
+// positional argument, or stdin parsed as fresh `go test -bench` text
+// when no second file is given. For every benchmark present in both
+// snapshots it prints ns/op and each shared metric (B/op, allocs/op,
+// evaluations/op, ...) side by side with the relative change.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -50,18 +63,130 @@ type Benchmark struct {
 }
 
 func main() {
-	sum, err := parse(os.Stdin, time.Now())
+	compare := flag.String("compare", "", "baseline snapshot JSON; diff against a second snapshot file or stdin bench text")
+	flag.Parse()
+	if err := run(*compare, flag.Args(), os.Stdin, os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(compare string, args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+	if compare == "" {
+		sum, err := parse(stdin, time.Now())
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(sum); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "benchjson: %d benchmarks\n", len(sum.Benchmarks))
+		return nil
+	}
+	base, err := readSummary(compare)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+		return err
 	}
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(sum); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+	var cand *Summary
+	if len(args) > 0 {
+		if cand, err = readSummary(args[0]); err != nil {
+			return err
+		}
+	} else if cand, err = parse(stdin, time.Now()); err != nil {
+		return err
 	}
-	fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks\n", len(sum.Benchmarks))
+	shared := compareSummaries(stdout, base, cand)
+	if shared == 0 {
+		return fmt.Errorf("no benchmark names in common between the two snapshots")
+	}
+	return nil
+}
+
+// readSummary loads a snapshot previously written by this command.
+func readSummary(path string) (*Summary, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Summary
+	if err := json.Unmarshal(raw, &s); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &s, nil
+}
+
+// compareSummaries prints, for every benchmark name present in both
+// snapshots, each shared metric side by side with the relative change
+// (negative = the candidate improved). It returns the number of shared
+// benchmarks; names unique to one side are listed at the end so a
+// renamed benchmark is not mistaken for a regression-free run.
+func compareSummaries(w io.Writer, base, cand *Summary) int {
+	old := make(map[string]Benchmark, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		old[b.Name] = b
+	}
+	fmt.Fprintf(w, "baseline %s vs candidate %s\n", base.Date, cand.Date)
+	shared := 0
+	var onlyNew []string
+	seen := map[string]bool{}
+	for _, nb := range cand.Benchmarks {
+		seen[nb.Name] = true
+		ob, ok := old[nb.Name]
+		if !ok {
+			onlyNew = append(onlyNew, nb.Name)
+			continue
+		}
+		shared++
+		fmt.Fprintln(w, nb.Name)
+		for _, unit := range sharedUnits(ob, nb) {
+			o, n := ob.Metrics[unit], nb.Metrics[unit]
+			fmt.Fprintf(w, "    %-18s %16s -> %-16s %8s\n",
+				unit, trimFloat(o), trimFloat(n), relChange(o, n))
+		}
+	}
+	var onlyOld []string
+	for _, ob := range base.Benchmarks {
+		if !seen[ob.Name] {
+			onlyOld = append(onlyOld, ob.Name)
+		}
+	}
+	for _, name := range onlyOld {
+		fmt.Fprintf(w, "only in baseline:  %s\n", name)
+	}
+	for _, name := range onlyNew {
+		fmt.Fprintf(w, "only in candidate: %s\n", name)
+	}
+	return shared
+}
+
+// sharedUnits returns the metric units both lines report, ns/op first
+// and the rest sorted, so diffs are stable across runs.
+func sharedUnits(a, b Benchmark) []string {
+	units := make([]string, 0, len(b.Metrics))
+	for u := range b.Metrics {
+		if u == "ns/op" {
+			continue
+		}
+		if _, ok := a.Metrics[u]; ok {
+			units = append(units, u)
+		}
+	}
+	sort.Strings(units)
+	return append([]string{"ns/op"}, units...)
+}
+
+func trimFloat(v float64) string {
+	return strconv.FormatFloat(v, 'f', -1, 64)
+}
+
+// relChange formats (new-old)/old as a signed percentage.
+func relChange(o, n float64) string {
+	if o == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%+.1f%%", 100*(n-o)/o)
 }
 
 // parse consumes `go test -bench` output and builds the summary.

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"os"
 	"strings"
 	"testing"
 	"time"
@@ -74,5 +75,118 @@ func TestParseRejectsCorruptValues(t *testing.T) {
 	in := "BenchmarkX-8  10  abc ns/op\n"
 	if _, err := parse(strings.NewReader(in), time.Unix(0, 0).UTC()); err == nil {
 		t.Fatalf("corrupt value accepted")
+	}
+}
+
+const lazySample = `goos: linux
+pkg: repro
+BenchmarkLazyPlacement/AT&T/svc=20/greedy-8  	       5	 122508516 ns/op	     11085 evaluations/op	75429680 B/op	 1006799 allocs/op
+BenchmarkLazyPlacement/AT&T/svc=20/lazy-8    	      14	  82256480 ns/op	      5256 evaluations/op	33268456 B/op	  437774 allocs/op
+PASS
+`
+
+func TestParseEvaluationsMetric(t *testing.T) {
+	sum, err := parse(strings.NewReader(lazySample), time.Unix(0, 0).UTC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(sum.Benchmarks))
+	}
+	if got := sum.Benchmarks[0].Metrics["evaluations/op"]; got != 11085 {
+		t.Fatalf("greedy evaluations/op = %v, want 11085", got)
+	}
+	if got := sum.Benchmarks[1].Metrics["evaluations/op"]; got != 5256 {
+		t.Fatalf("lazy evaluations/op = %v, want 5256", got)
+	}
+}
+
+func TestCompareSummaries(t *testing.T) {
+	base := &Summary{
+		Date: "2026-08-01T00:00:00Z",
+		Benchmarks: []Benchmark{
+			{Name: "BenchmarkA-8", NsPerOp: 1000, Metrics: map[string]float64{
+				"ns/op": 1000, "evaluations/op": 200, "B/op": 512,
+			}},
+			{Name: "BenchmarkGone-8", NsPerOp: 5, Metrics: map[string]float64{"ns/op": 5}},
+		},
+	}
+	cand := &Summary{
+		Date: "2026-08-05T00:00:00Z",
+		Benchmarks: []Benchmark{
+			{Name: "BenchmarkA-8", NsPerOp: 500, Metrics: map[string]float64{
+				"ns/op": 500, "evaluations/op": 100, "allocs/op": 9,
+			}},
+			{Name: "BenchmarkNew-8", NsPerOp: 7, Metrics: map[string]float64{"ns/op": 7}},
+		},
+	}
+	var out strings.Builder
+	if shared := compareSummaries(&out, base, cand); shared != 1 {
+		t.Fatalf("shared = %d, want 1", shared)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"BenchmarkA-8",
+		"-50.0%", // both ns/op and evaluations/op halved
+		"evaluations/op",
+		"only in baseline:  BenchmarkGone-8",
+		"only in candidate: BenchmarkNew-8",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("compare output missing %q:\n%s", want, text)
+		}
+	}
+	// allocs/op exists only in the candidate, B/op only in the
+	// baseline: neither is a shared unit, so neither may be printed.
+	for _, reject := range []string{"allocs/op", "B/op"} {
+		if strings.Contains(text, reject) {
+			t.Errorf("compare output shows unshared unit %q:\n%s", reject, text)
+		}
+	}
+}
+
+func TestRunCompareFiles(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, body string) string {
+		path := dir + "/" + name
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	old := write("old.json", `{"date":"d1","benchmarks":[{"name":"BenchmarkX-8","ns_per_op":10,"metrics":{"ns/op":10}}]}`)
+	new_ := write("new.json", `{"date":"d2","benchmarks":[{"name":"BenchmarkX-8","ns_per_op":20,"metrics":{"ns/op":20}}]}`)
+
+	var out, errOut strings.Builder
+	if err := run(old, []string{new_}, strings.NewReader(""), &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "+100.0%") {
+		t.Fatalf("file-vs-file compare output:\n%s", out.String())
+	}
+
+	// Candidate from stdin bench text.
+	out.Reset()
+	if err := run(old, nil, strings.NewReader("BenchmarkX-8  3  5 ns/op\nPASS\n"), &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "-50.0%") {
+		t.Fatalf("file-vs-stdin compare output:\n%s", out.String())
+	}
+
+	// Disjoint snapshots are an error, not a silent all-clear.
+	disjoint := write("disjoint.json", `{"date":"d3","benchmarks":[{"name":"BenchmarkY-8","ns_per_op":1,"metrics":{"ns/op":1}}]}`)
+	out.Reset()
+	if err := run(old, []string{disjoint}, strings.NewReader(""), &out, &errOut); err == nil {
+		t.Fatal("disjoint snapshots should error")
+	}
+
+	// Missing or corrupt baseline files error out.
+	if err := run(dir+"/missing.json", nil, strings.NewReader(""), &out, &errOut); err == nil {
+		t.Fatal("missing baseline should error")
+	}
+	corrupt := write("corrupt.json", "{not json")
+	if err := run(corrupt, nil, strings.NewReader(""), &out, &errOut); err == nil {
+		t.Fatal("corrupt baseline should error")
 	}
 }

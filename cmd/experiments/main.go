@@ -30,6 +30,7 @@ func run(args []string) error {
 	only := fs.String("only", "", "run a single artifact: TableI, Fig4, Fig5, Fig6, Fig7, Fig8, K2, OpLoop")
 	rdSeeds := fs.Int("rdseeds", 5, "random-placement seeds averaged per α")
 	seed := fs.Int64("seed", 1, "base seed for randomized series")
+	lazy := fs.Bool("lazy", true, "use the lazy-greedy (CELF) engine for the greedy series; identical curves, fewer evaluations")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -38,7 +39,7 @@ func run(args []string) error {
 			return err
 		}
 	}
-	r := &runner{out: *out, rdSeeds: *rdSeeds, seed: *seed}
+	r := &runner{out: *out, rdSeeds: *rdSeeds, seed: *seed, lazy: *lazy}
 
 	artifacts := []struct {
 		name string
@@ -74,6 +75,7 @@ type runner struct {
 	out     string
 	rdSeeds int
 	seed    int64
+	lazy    bool
 }
 
 func (r *runner) tableI() error {
@@ -143,6 +145,7 @@ func (r *runner) curves(figure, topo string, includeBF bool) error {
 		IncludeBF: includeBF,
 		RDSeeds:   r.rdSeeds,
 		Seed:      r.seed,
+		Lazy:      r.lazy,
 	})
 	if err != nil {
 		return err

@@ -63,7 +63,9 @@ func cmdPlace(args []string) error {
 	fs := newFlagSet("place")
 	cf, addCommon := commonFlagSet(fs)
 	objective := fs.String("objective", "distinguishability", "coverage | identifiability | distinguishability")
-	algorithm := fs.String("algorithm", "greedy", "greedy | greedy+ls | qos | random | bruteforce | branchbound")
+	algorithm := fs.String("algorithm", "",
+		"lazy | lazy-parallel | greedy | greedy+ls | qos | random | bruteforce | branchbound"+
+			" (default: lazy for submodular objectives, greedy otherwise; identical placements)")
 	seed := fs.Int64("seed", 1, "seed for the random algorithm")
 	out := fs.String("o", "", "save the placement as JSON to this file")
 	if err := fs.Parse(args); err != nil {

@@ -64,7 +64,7 @@ func TestCmdCandidates(t *testing.T) {
 
 func TestCmdPlace(t *testing.T) {
 	silence(t)
-	for _, algo := range []string{"greedy", "qos", "random"} {
+	for _, algo := range []string{"greedy", "lazy", "lazy-parallel", "qos", "random"} {
 		if err := run([]string{"place", "-topology", "Tiscali", "-services", "2",
 			"-alpha", "0.5", "-algorithm", algo}); err != nil {
 			t.Fatalf("%s: %v", algo, err)

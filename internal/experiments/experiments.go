@@ -7,6 +7,7 @@ package experiments
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"repro/internal/graph"
 	"repro/internal/placement"
@@ -57,6 +58,12 @@ type Prepared struct {
 	Topo     *topology.Topology
 	Router   *routing.Router
 	Services []placement.Service
+
+	// mu guards instances, the per-α instance cache. Instances are
+	// immutable once constructed, so sharing them across figures (and
+	// benchmark iterations) is safe.
+	mu        sync.Mutex
+	instances map[float64]*placement.Instance
 }
 
 // Prepare builds the topology, router, and the round-robin service/client
@@ -103,9 +110,25 @@ func Prepare(w Workload) (*Prepared, error) {
 	return &Prepared{Workload: w, Topo: topo, Router: r, Services: services}, nil
 }
 
-// Instance builds the placement instance for one α.
+// Instance returns the placement instance for one α, building it on
+// first use and caching it after: every figure of a sweep (and every
+// benchmark iteration) shares the same immutable instance, so the α-grid
+// is routed and candidate-profiled exactly once.
 func (p *Prepared) Instance(alpha float64) (*placement.Instance, error) {
-	return placement.NewInstance(p.Router, p.Services, alpha)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if inst, ok := p.instances[alpha]; ok {
+		return inst, nil
+	}
+	inst, err := placement.NewInstance(p.Router, p.Services, alpha)
+	if err != nil {
+		return nil, err
+	}
+	if p.instances == nil {
+		p.instances = make(map[float64]*placement.Instance)
+	}
+	p.instances[alpha] = inst
+	return inst, nil
 }
 
 // ---- Table I -----------------------------------------------------------
@@ -182,6 +205,11 @@ type CurvesConfig struct {
 	RDSeeds int
 	// Seed drives the RD series.
 	Seed int64
+	// Lazy routes the greedy series (GC, GI, GD) through the lazy-greedy
+	// (CELF) engine. The curves are identical — the engine is bit-for-bit
+	// equivalent for submodular objectives and falls back to exact greedy
+	// for identifiability — only the evaluation count drops.
+	Lazy bool
 }
 
 // MonitoringCurves reproduces the data behind Figs. 5 (Abovenet, with BF),
@@ -257,7 +285,11 @@ func MonitoringCurves(p *Prepared, cfg CurvesConfig) (Curves, error) {
 			{AlgoGI, ident},
 			{AlgoGD, dist},
 		} {
-			res, err := placement.Greedy(inst, run.obj)
+			greedy := placement.Greedy
+			if cfg.Lazy {
+				greedy = placement.GreedyLazy
+			}
+			res, err := greedy(inst, run.obj)
 			if err != nil {
 				return nil, fmt.Errorf("experiments: %s at α=%g: %w", run.algo, alpha, err)
 			}

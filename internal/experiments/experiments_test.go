@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
@@ -168,6 +169,27 @@ func TestMonitoringCurvesDefaults(t *testing.T) {
 	}
 	if len(curves[AlgoGD]) != 1 {
 		t.Fatal("single-α sweep broken")
+	}
+}
+
+// TestMonitoringCurvesLazyIdentical pins the CELF wiring: routing the
+// greedy series through GreedyLazy must reproduce the exact curves of
+// the eager engine (the lazy evaluator only skips redundant marginal
+// evaluations; it never changes the selected placement).
+func TestMonitoringCurvesLazyIdentical(t *testing.T) {
+	p := prepare(t, "Abovenet")
+	cfg := CurvesConfig{Alphas: []float64{0, 0.5, 1}, RDSeeds: 1, Seed: 1}
+	eager, err := MonitoringCurves(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Lazy = true
+	lazy, err := MonitoringCurves(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(eager, lazy) {
+		t.Fatalf("lazy curves differ from eager:\nlazy:  %+v\neager: %+v", lazy, eager)
 	}
 }
 

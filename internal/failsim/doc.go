@@ -1,0 +1,27 @@
+// Package failsim runs end-to-end failure localization experiments:
+// inject ground-truth failure sets, generate the binary observations the
+// service layer would see, run Boolean tomography (Section III-B), and
+// score the diagnosis.
+//
+// It quantifies, in operational terms, what the monitor package's
+// abstract measures buy:
+//
+//   - detection rate — a failure set is detected iff it breaks some
+//     monitoring path, i.e. iff it meets the covered set C(P) of
+//     Section II-B1;
+//   - unique-localization rate — the injected set is returned as the
+//     only candidate explanation, which Section II-B2 identifiability
+//     guarantees for 1-identifiable nodes;
+//   - residual ambiguity — the size of the candidate collection when
+//     localization is not unique, the per-trial version of the
+//     "degree of uncertainty" distribution of Section VI-B (Fig. 8),
+//     which Section II-B3 distinguishability drives down.
+//
+// Run scores one placement's path set over seeded random k-failure
+// trials (Stats). Compare scores several placements on identical trial
+// sequences (same seed, same injected sets) so the comparison isolates
+// the placement, mirroring how Section VI's evaluation holds the
+// workload fixed across algorithms. The ordering the paper predicts —
+// the greedy distinguishability placement beating the QoS-only baseline
+// — is pinned by this package's tests.
+package failsim

@@ -1,9 +1,3 @@
-// Package failsim runs end-to-end failure localization experiments: inject
-// ground-truth failure sets, generate the binary observations the service
-// layer would see, run Boolean tomography, and score the diagnosis. It
-// quantifies, in operational terms, what the monitor package's abstract
-// measures (coverage, identifiability, distinguishability) buy: detection
-// rate, unique-localization rate, and residual ambiguity.
 package failsim
 
 import (

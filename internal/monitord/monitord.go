@@ -1,14 +1,3 @@
-// Package monitord is the online monitoring daemon: it consumes the
-// stream of end-to-end connection state changes a deployed placement
-// produces and maintains a rolling failure diagnosis. It is the runtime
-// counterpart of the offline tomography package — same inference, but
-// incremental, event-driven, and aware that some connections have not
-// reported yet.
-//
-// The daemon is deliberately synchronous and deterministic: callers feed
-// it state transitions (from netsim, from production probes, or from
-// tests) and receive the events the transition triggered. Concurrency, if
-// needed, belongs to the caller.
 package monitord
 
 import (

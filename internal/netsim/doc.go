@@ -1,0 +1,26 @@
+// Package netsim is a deterministic discrete-event simulator of the
+// service network. It produces the paper's raw input — binary end-to-end
+// connection states between clients and servers (the path states of
+// Section II-A, Definition 1) — by actually delivering request/response
+// traffic hop by hop over routed paths while nodes fail and recover on a
+// schedule.
+//
+// The point of simulating at the packet level rather than evaluating the
+// analytic model directly is falsifiability: the paper's model says a
+// monitoring path is down iff some node on it is failed, and the
+// simulator reproduces that equivalence (or would expose a divergence)
+// from first principles — a request times out exactly when a hop on the
+// routed path, or an endpoint, is failed at traversal time. Node
+// failures cover link failures too via the link-node splitting
+// transformation of Section II-A.
+//
+// A Simulator schedules requests and failure/recovery events in virtual
+// time; Outcome records whether each request completed. ConnectionStates
+// folds outcomes into the latest per-connection up/down map, and
+// BuildObservation converts that map into the tomography.Observation the
+// offline localization (Section III-B) consumes — the same shape a
+// production probe fleet would report, so the monitoring stack cannot
+// tell simulation from deployment. No wall-clock time is involved, so
+// runs are reproducible; oploop and the `placemon simulate` subcommand
+// are the main consumers.
+package netsim

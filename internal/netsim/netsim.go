@@ -1,11 +1,3 @@
-// Package netsim is a deterministic discrete-event simulator of the
-// service network. It produces the paper's raw input — binary end-to-end
-// connection states between clients and servers — by actually delivering
-// request/response traffic hop by hop over routed paths while nodes fail
-// and recover on a schedule. The monitoring stack (monitor, tomography)
-// consumes the resulting observations exactly as it would consume
-// production connection logs; no wall-clock time is involved, so runs are
-// reproducible.
 package netsim
 
 import (

@@ -1,0 +1,30 @@
+// Package oploop measures the operational value of a placement end to
+// end: it generates a failure/recovery trace, replays it through the
+// discrete-event simulator (netsim) with periodic probing, feeds the
+// binary connection states to the online monitoring daemon (monitord),
+// and scores the daemon's timeline against ground truth.
+//
+// Where the paper's objectives are static set-function values — coverage
+// |C(P)| (Section II-B1), identifiability |S_k(P)| (Section II-B2), and
+// distinguishability |D_k(P)| (Section II-B3) — this package converts
+// them into the time-domain quantities an operator actually experiences:
+//
+//   - detection rate: the fraction of ground-truth outage episodes the
+//     daemon notices at all, the operational face of coverage — a
+//     failure at an uncovered node (one on no monitoring path of
+//     Section II-A) is invisible by construction;
+//   - detection delay: how long after a failure the first broken probe
+//     lands, bounded by the probe period for covered nodes;
+//   - diagnosis correctness: whether the rolling localization
+//     (Section III-B Boolean tomography) pins the failed node, which is
+//     what identifiability and distinguishability pay for.
+//
+// Run drives one Config through the whole pipeline and returns an
+// Outcome of per-episode records plus aggregate rates. This is the
+// latency-domain counterpart of failsim's accuracy-domain experiments
+// (failure sets there are injected i.i.d., not embedded in a timeline),
+// and the quantified version of the `placemon simulate` subcommand. The
+// X7 experiment in EXPERIMENTS.md and BenchmarkOpLoop run it across
+// probe periods to show the placement quality ordering (GD > QoS)
+// survives the translation from set sizes to operational metrics.
+package oploop

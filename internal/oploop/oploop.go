@@ -1,11 +1,3 @@
-// Package oploop measures the operational value of a placement end to
-// end: it generates a failure/recovery trace, replays it through the
-// discrete-event simulator with periodic probing, feeds the binary
-// connection states to the online monitoring daemon, and scores the
-// daemon's timeline against ground truth — detection rate, detection
-// delay, and diagnosis correctness. This is the latency-domain
-// counterpart of failsim's accuracy-domain experiments, and the
-// quantified version of `placemon simulate`.
 package oploop
 
 import (

@@ -37,31 +37,27 @@ func Greedy(inst *Instance, obj Objective) (*Result, error) {
 
 	for iter := 0; iter < inst.NumServices(); iter++ {
 		bestS, bestH, bestVal := -1, -1, -1.0
+		var bestEval evaluator
 		for s := 0; s < inst.NumServices(); s++ {
 			if placed[s] {
 				continue
 			}
-			for _, h := range inst.candidates[s] {
-				paths, err := inst.ServicePaths(s, h)
-				if err != nil {
-					return nil, err
-				}
+			for i := range inst.candidates[s] {
+				el := &inst.elements[inst.elemIndex[s][i]]
 				trial := base.Clone()
-				trial.Add(paths)
+				trial.Add(el.evalPaths)
 				res.Evaluations++
 				if v := trial.Value(); v > bestVal {
-					bestS, bestH, bestVal = s, h, v
+					bestS, bestH, bestVal, bestEval = s, el.host, v, trial
 				}
 			}
 		}
 		if bestS < 0 {
 			return nil, fmt.Errorf("placement: no feasible placement at iteration %d", iter)
 		}
-		paths, err := inst.ServicePaths(bestS, bestH)
-		if err != nil {
-			return nil, err
-		}
-		base.Add(paths)
+		// The winning trial already holds base ∪ P(C_s, h): adopt it as
+		// the new base instead of re-refining the old one.
+		base = bestEval
 		placed[bestS] = true
 		res.Placement.Hosts[bestS] = bestH
 		res.Order = append(res.Order, bestS)
@@ -82,7 +78,7 @@ func QoS(inst *Instance, obj Objective) (*Result, error) {
 	eval := obj.newEvaluator(inst.NumNodes())
 	for s := 0; s < inst.NumServices(); s++ {
 		h := inst.profiles[s].BestHost()
-		paths, err := inst.ServicePaths(s, h)
+		paths, err := inst.EvalPaths(s, h)
 		if err != nil {
 			return nil, err
 		}
@@ -107,7 +103,7 @@ func Random(inst *Instance, obj Objective, rng *rand.Rand) (*Result, error) {
 	eval := obj.newEvaluator(inst.NumNodes())
 	for s := 0; s < inst.NumServices(); s++ {
 		h := inst.candidates[s][rng.Intn(len(inst.candidates[s]))]
-		paths, err := inst.ServicePaths(s, h)
+		paths, err := inst.EvalPaths(s, h)
 		if err != nil {
 			return nil, err
 		}
@@ -147,11 +143,7 @@ func BruteForce(inst *Instance, obj Objective, budget int64) (*Result, error) {
 	for {
 		eval := obj.newEvaluator(inst.NumNodes())
 		for s, ci := range choice {
-			paths, err := inst.ServicePaths(s, inst.candidates[s][ci])
-			if err != nil {
-				return nil, err
-			}
-			eval.Add(paths)
+			eval.Add(inst.elements[inst.elemIndex[s][ci]].evalPaths)
 		}
 		res.Evaluations++
 		if v := eval.Value(); v > res.Value {
@@ -191,7 +183,7 @@ func EvaluateWith(inst *Instance, obj Objective, pl Placement) (float64, error) 
 		if h == Unplaced {
 			continue
 		}
-		paths, err := inst.ServicePaths(s, h)
+		paths, err := inst.EvalPaths(s, h)
 		if err != nil {
 			return 0, err
 		}

@@ -70,7 +70,7 @@ func BranchAndBound(inst *Instance, obj Objective, nodeBudget int64) (*Result, e
 		for rem := s; rem < inst.NumServices(); rem++ {
 			bestGain := 0.0
 			for _, h := range inst.candidates[rem] {
-				paths, err := inst.ServicePaths(rem, h)
+				paths, err := inst.EvalPaths(rem, h)
 				if err != nil {
 					return err
 				}
@@ -100,7 +100,7 @@ func BranchAndBound(inst *Instance, obj Objective, nodeBudget int64) (*Result, e
 			}
 		}
 		for _, hg := range sGains {
-			paths, err := inst.ServicePaths(s, hg.host)
+			paths, err := inst.EvalPaths(s, hg.host)
 			if err != nil {
 				return err
 			}

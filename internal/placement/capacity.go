@@ -82,7 +82,7 @@ func GreedyCapacitated(inst *Instance, obj Objective, cons CapacityConstraints) 
 				if !fits(s, h) {
 					continue
 				}
-				paths, err := inst.ServicePaths(s, h)
+				paths, err := inst.EvalPaths(s, h)
 				if err != nil {
 					return nil, err
 				}
@@ -97,7 +97,7 @@ func GreedyCapacitated(inst *Instance, obj Objective, cons CapacityConstraints) 
 		if bestS < 0 {
 			break // remaining services cannot fit anywhere
 		}
-		paths, err := inst.ServicePaths(bestS, bestH)
+		paths, err := inst.EvalPaths(bestS, bestH)
 		if err != nil {
 			return nil, err
 		}
@@ -162,7 +162,7 @@ func (inst *Instance) ObjectiveOnElements(obj Objective) matroid.SetFunction {
 	return matroid.SetFunctionFunc(func(selected []int) float64 {
 		eval := obj.newEvaluator(inst.NumNodes())
 		for _, e := range selected {
-			eval.Add(inst.elements[e].paths)
+			eval.Add(inst.elements[e].evalPaths)
 		}
 		return eval.Value()
 	})

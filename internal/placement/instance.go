@@ -6,9 +6,16 @@
 //
 //   - Greedy — Algorithm 2, the 1/2-approximate greedy over the partition
 //     matroid (GC, GI, GD depending on the objective);
+//   - GreedyLazy / GreedyLazyParallel — the same algorithm with CELF lazy
+//     evaluation for submodular objectives: identical placements, far
+//     fewer objective evaluations;
+//   - GreedyParallel — Algorithm 2 with each round's evaluations fanned
+//     out across goroutines;
+//   - LocalSearch / GreedyWithLocalSearch — swap-based refinement;
 //   - QoS — the best-QoS baseline (minimize worst client distance);
 //   - Random — the random-within-candidates baseline (RD);
-//   - BruteForce — the exact optimum (BF) for small instances;
+//   - BruteForce / BranchAndBound — the exact optimum (BF) for small
+//     instances, without and with submodular bound pruning;
 //   - GreedyCapacitated — the Section VII-A extension with node capacity
 //     constraints, a 1/(p+1)-approximation by Theorem 21.
 package placement
@@ -69,7 +76,43 @@ func (p Placement) Clone() Placement {
 type element struct {
 	service int
 	host    graph.NodeID
-	paths   []*bitset.Set
+	// paths holds one path per client, index-aligned with
+	// Service.Clients — the per-connection view the serving and
+	// localization layers rely on.
+	paths []*bitset.Set
+	// evalPaths is paths with duplicate node sets removed. Every
+	// objective evaluator is idempotent in repeated paths — coverage
+	// unions, partition refinement, and signature-based enumeration all
+	// ignore duplicates — so the algorithms evaluate this smaller slice.
+	// Today the routing layer rejects duplicate clients at construction,
+	// making every per-element path distinct and evalPaths an alias of
+	// paths; the dedup is the guard that keeps evaluation counts honest
+	// should coincident paths ever become constructible.
+	evalPaths []*bitset.Set
+}
+
+// dedupPaths returns paths with duplicate node sets removed, keeping the
+// first occurrence. The input slice is returned unchanged (not copied)
+// when every path is distinct.
+func dedupPaths(paths []*bitset.Set) []*bitset.Set {
+	seen := make(map[string]struct{}, len(paths))
+	out := paths
+	deduped := false
+	for i, p := range paths {
+		k := p.Key()
+		if _, dup := seen[k]; dup {
+			if !deduped {
+				out = append([]*bitset.Set(nil), paths[:i]...)
+				deduped = true
+			}
+			continue
+		}
+		seen[k] = struct{}{}
+		if deduped {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 // Instance is a fully prepared placement problem: the routed graph, the
@@ -128,7 +171,12 @@ func NewInstance(r *routing.Router, services []Service, alpha float64) (*Instanc
 				return nil, fmt.Errorf("placement: service %d (%s) host %d: %w", s, svc.Name, h, err)
 			}
 			inst.elemIndex[s][i] = len(inst.elements)
-			inst.elements = append(inst.elements, element{service: s, host: h, paths: paths})
+			inst.elements = append(inst.elements, element{
+				service:   s,
+				host:      h,
+				paths:     paths,
+				evalPaths: dedupPaths(paths),
+			})
 		}
 	}
 	return inst, nil
@@ -157,10 +205,29 @@ func (inst *Instance) Profile(s int) *qos.Profile { return inst.profiles[s] }
 
 // ServicePaths returns P(C_s, h), precomputed, for a candidate host h of
 // service s. It returns an error if h is not a candidate.
+//
+// The result is index-aligned with the service's Clients slice — entry i
+// is the routed path of Clients[i] — and may therefore contain duplicate
+// paths when a client is listed twice. Observation ingest and
+// localization depend on this alignment; objective evaluation should use
+// EvalPaths instead.
 func (inst *Instance) ServicePaths(s int, h graph.NodeID) ([]*bitset.Set, error) {
 	for i, cand := range inst.candidates[s] {
 		if cand == h {
 			return inst.elements[inst.elemIndex[s][i]].paths, nil
+		}
+	}
+	return nil, fmt.Errorf("placement: host %d not a candidate for service %d", h, s)
+}
+
+// EvalPaths returns P(C_s, h) with duplicate paths removed — the form the
+// objective evaluators consume (identical objective values, fewer
+// refinements). Unlike ServicePaths the result is NOT index-aligned with
+// the service's clients.
+func (inst *Instance) EvalPaths(s int, h graph.NodeID) ([]*bitset.Set, error) {
+	for i, cand := range inst.candidates[s] {
+		if cand == h {
+			return inst.elements[inst.elemIndex[s][i]].evalPaths, nil
 		}
 	}
 	return nil, fmt.Errorf("placement: host %d not a candidate for service %d", h, s)

@@ -29,12 +29,22 @@ type Objective interface {
 
 // evaluator incrementally tracks the objective value of a growing path
 // set. Add is destructive; use Clone to branch for hypothetical
-// evaluations (line 4 of Algorithm 2).
+// evaluations (line 4 of Algorithm 2). A clone is fully independent of
+// its origin, so an algorithm may adopt a trial evaluator as its new
+// running state — Greedy and GreedyLazy keep the winning trial of each
+// round instead of re-adding the chosen paths.
 type evaluator interface {
 	Add(paths []*bitset.Set)
 	Clone() evaluator
 	Value() float64
 }
+
+// IsSubmodular reports whether obj is monotone submodular: true for
+// coverage and distinguishability at every k (Lemmas 13 and 17), false
+// for identifiability (Propositions 15 and 16). Submodular objectives
+// admit the lazy-greedy engine and branch-and-bound pruning; callers such
+// as the placemon facade use this to pick a default algorithm.
+func IsSubmodular(obj Objective) bool { return obj != nil && obj.submodular() }
 
 // ---- Coverage (MCSP) -------------------------------------------------
 

@@ -29,11 +29,11 @@ func GreedyParallel(inst *Instance, obj Objective, workers int) (*Result, error)
 	type candidate struct {
 		service int
 		host    int
+		elem    int
 	}
 	type verdict struct {
 		candidate
 		value float64
-		err   error
 	}
 
 	for iter := 0; iter < inst.NumServices(); iter++ {
@@ -42,8 +42,8 @@ func GreedyParallel(inst *Instance, obj Objective, workers int) (*Result, error)
 			if placed[s] {
 				continue
 			}
-			for _, h := range inst.candidates[s] {
-				work = append(work, candidate{service: s, host: h})
+			for i, h := range inst.candidates[s] {
+				work = append(work, candidate{service: s, host: h, elem: inst.elemIndex[s][i]})
 			}
 		}
 		if len(work) == 0 {
@@ -67,13 +67,8 @@ func GreedyParallel(inst *Instance, obj Objective, workers int) (*Result, error)
 				defer wg.Done()
 				for i := lo; i < hi; i++ {
 					c := work[i]
-					paths, err := inst.ServicePaths(c.service, c.host)
-					if err != nil {
-						verdicts[i] = verdict{candidate: c, err: err}
-						continue
-					}
 					trial := base.Clone()
-					trial.Add(paths)
+					trial.Add(inst.elements[c.elem].evalPaths)
 					verdicts[i] = verdict{candidate: c, value: trial.Value()}
 				}
 			}(lo, hi)
@@ -82,9 +77,6 @@ func GreedyParallel(inst *Instance, obj Objective, workers int) (*Result, error)
 
 		bestIdx := -1
 		for i, v := range verdicts {
-			if v.err != nil {
-				return nil, v.err
-			}
 			if bestIdx < 0 || v.value > verdicts[bestIdx].value {
 				bestIdx = i
 			}
@@ -94,11 +86,7 @@ func GreedyParallel(inst *Instance, obj Objective, workers int) (*Result, error)
 		res.Evaluations += len(work)
 
 		chosen := verdicts[bestIdx]
-		paths, err := inst.ServicePaths(chosen.service, chosen.host)
-		if err != nil {
-			return nil, err
-		}
-		base.Add(paths)
+		base.Add(inst.elements[chosen.elem].evalPaths)
 		placed[chosen.service] = true
 		res.Placement.Hosts[chosen.service] = chosen.host
 		res.Order = append(res.Order, chosen.service)

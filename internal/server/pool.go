@@ -34,9 +34,14 @@ type PlacementRequest struct {
 	Services  []ServiceSpec `json:"services"`
 	Alpha     float64       `json:"alpha"`
 	Objective string        `json:"objective,omitempty"`
-	Algorithm string        `json:"algorithm,omitempty"`
-	K         int           `json:"k,omitempty"`
-	Seed      int64         `json:"seed,omitempty"`
+	// Algorithm selects the placement strategy: "lazy", "lazy-parallel",
+	// "greedy", "greedy+ls", "qos", "random", "bruteforce", or
+	// "branchbound". Empty selects the facade default — lazy for
+	// submodular objectives, greedy otherwise; both produce the identical
+	// deterministic placement.
+	Algorithm string `json:"algorithm,omitempty"`
+	K         int    `json:"k,omitempty"`
+	Seed      int64  `json:"seed,omitempty"`
 }
 
 // PlacementResult is the body of a successful placement response.

@@ -1,0 +1,17 @@
+// Package stats provides the small descriptive-statistics toolkit the
+// experiment harness (internal/experiments) needs to reproduce the
+// paper's Section VI evaluation figures:
+//
+//   - Mean, StdDev, and Quantile for aggregating per-seed series (the
+//     random-placement baseline of Section VI-A averages several seeds
+//     per α);
+//   - FiveNumber/Summarize for the Fig. 4 box plots of candidate-set
+//     sizes |H_s(α)| across α (Section III-A);
+//   - Distribution for the Fig. 8 degree-of-uncertainty histogram
+//     (Section VI-B).
+//
+// Quantiles use linear interpolation between order statistics and never
+// mutate the input slice. The package is dependency-free and knows
+// nothing about placements; it exists so the experiment code reads as
+// methodology rather than arithmetic.
+package stats

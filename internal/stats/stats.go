@@ -1,6 +1,3 @@
-// Package stats provides the small descriptive-statistics toolkit the
-// experiment harness needs: means, quantiles, five-number box-plot
-// summaries (Fig. 4), and discrete distributions (Fig. 8).
 package stats
 
 import (

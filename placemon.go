@@ -146,6 +146,17 @@ const (
 	// AlgorithmGreedy is Algorithm 2: 1/2-approximate for the coverage
 	// and distinguishability objectives.
 	AlgorithmGreedy Algorithm = "greedy"
+	// AlgorithmLazy is Algorithm 2 with CELF lazy evaluation: the same
+	// placement as AlgorithmGreedy — identical hosts, value, and order —
+	// computed with far fewer objective evaluations. It is the default
+	// for submodular objectives (coverage, distinguishability); the
+	// non-submodular identifiability objective transparently runs the
+	// exact greedy instead.
+	AlgorithmLazy Algorithm = "lazy"
+	// AlgorithmLazyParallel is AlgorithmLazy with the evaluations fanned
+	// out across GOMAXPROCS goroutines; same placement, fastest on large
+	// networks and k ≥ 2 objectives.
+	AlgorithmLazyParallel Algorithm = "lazy-parallel"
 	// AlgorithmQoS places each service at its minimum-worst-distance host.
 	AlgorithmQoS Algorithm = "qos"
 	// AlgorithmRandom places each service uniformly within its candidates.
@@ -183,7 +194,9 @@ type PlaceConfig struct {
 	// K is the failure budget for identifiability/distinguishability;
 	// default 1 (values above 1 are exponential — small networks only).
 	K int
-	// Algorithm is the strategy; default greedy.
+	// Algorithm is the strategy. The default is lazy for submodular
+	// objectives without capacity constraints — identical results to
+	// greedy, fewer evaluations — and greedy otherwise.
 	Algorithm Algorithm
 	// Seed drives AlgorithmRandom.
 	Seed int64
@@ -233,7 +246,16 @@ func (nw *Network) Place(services []Service, cfg PlaceConfig) (*Result, error) {
 		return nil, err
 	}
 
-	algo := algorithmOrDefault(cfg.Algorithm)
+	algo := cfg.Algorithm
+	if algo == "" {
+		// Default: the lazy engine wherever it provably matches greedy
+		// bit-for-bit (submodular objective, no capacity constraints).
+		if cfg.Capacity == nil && placement.IsSubmodular(obj) {
+			algo = AlgorithmLazy
+		} else {
+			algo = AlgorithmGreedy
+		}
+	}
 	if cfg.Capacity != nil && algo != AlgorithmGreedy {
 		return nil, fmt.Errorf("placemon: capacity constraints are only supported with the greedy algorithm, not %q", algo)
 	}
@@ -242,6 +264,10 @@ func (nw *Network) Place(services []Service, cfg PlaceConfig) (*Result, error) {
 	switch algo {
 	case AlgorithmGreedyLS:
 		res, err = placeLS(inst, obj)
+	case AlgorithmLazy:
+		res, err = placement.GreedyLazy(inst, obj)
+	case AlgorithmLazyParallel:
+		res, err = placement.GreedyLazyParallel(inst, obj, 0)
 	case AlgorithmGreedy:
 		if cfg.Capacity != nil {
 			res, err = placement.GreedyCapacitated(inst, obj, placement.CapacityConstraints{
@@ -375,13 +401,6 @@ func (nw *Network) objective(cfg PlaceConfig) (placement.Objective, error) {
 	default:
 		return nil, fmt.Errorf("placemon: unknown objective %q", cfg.Objective)
 	}
-}
-
-func algorithmOrDefault(a Algorithm) Algorithm {
-	if a == "" {
-		return AlgorithmGreedy
-	}
-	return a
 }
 
 // WithLinkNodes returns a copy of the network in which every link is

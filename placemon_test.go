@@ -128,7 +128,7 @@ func TestPlaceQoSBaseline(t *testing.T) {
 func TestPlaceAlgorithmsAndObjectives(t *testing.T) {
 	nw := fig1Network(t)
 	services := fig1Services(2)
-	for _, algo := range []Algorithm{AlgorithmGreedy, AlgorithmQoS, AlgorithmRandom, AlgorithmBruteForce} {
+	for _, algo := range []Algorithm{AlgorithmGreedy, AlgorithmLazy, AlgorithmLazyParallel, AlgorithmQoS, AlgorithmRandom, AlgorithmBruteForce} {
 		for _, obj := range []ObjectiveKind{ObjectiveCoverage, ObjectiveIdentifiability, ObjectiveDistinguishability} {
 			res, err := nw.Place(services, PlaceConfig{Alpha: 0.5, Algorithm: algo, Objective: obj, Seed: 3})
 			if err != nil {
@@ -147,6 +147,62 @@ func TestPlaceAlgorithmsAndObjectives(t *testing.T) {
 	}
 	if _, err := nw.Place(nil, PlaceConfig{}); err == nil {
 		t.Fatal("no services should error")
+	}
+}
+
+// TestPlaceLazyMatchesGreedy checks the facade contract of the lazy
+// engine: identical placements and objective values to explicit greedy
+// for every objective, fewer evaluations for the submodular ones, and a
+// default algorithm that routes submodular objectives through the lazy
+// path.
+func TestPlaceLazyMatchesGreedy(t *testing.T) {
+	nw := fig1Network(t)
+	services := fig1Services(5)
+	for _, obj := range []ObjectiveKind{ObjectiveCoverage, ObjectiveIdentifiability, ObjectiveDistinguishability} {
+		greedy, err := nw.Place(services, PlaceConfig{Alpha: 0.5, Objective: obj, Algorithm: AlgorithmGreedy})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, algo := range []Algorithm{AlgorithmLazy, AlgorithmLazyParallel} {
+			lazy, err := nw.Place(services, PlaceConfig{Alpha: 0.5, Objective: obj, Algorithm: algo})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(lazy.Hosts, greedy.Hosts) || lazy.Objective != greedy.Objective {
+				t.Fatalf("%s/%s: %v (%v) != greedy %v (%v)",
+					algo, obj, lazy.Hosts, lazy.Objective, greedy.Hosts, greedy.Objective)
+			}
+			if obj != ObjectiveIdentifiability && lazy.Evaluations >= greedy.Evaluations {
+				t.Fatalf("%s/%s: lazy used %d evaluations, greedy %d",
+					algo, obj, lazy.Evaluations, greedy.Evaluations)
+			}
+		}
+		// The default algorithm is lazy exactly when the objective is
+		// submodular; identifiability keeps the exact greedy (and its
+		// evaluation count) because its gains admit no caching bound.
+		def, err := nw.Place(services, PlaceConfig{Alpha: 0.5, Objective: obj})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(def.Hosts, greedy.Hosts) {
+			t.Fatalf("default/%s: hosts %v != greedy %v", obj, def.Hosts, greedy.Hosts)
+		}
+		if obj == ObjectiveIdentifiability && def.Evaluations != greedy.Evaluations {
+			t.Fatalf("default/%s: evaluations %d != greedy %d (should not take the lazy path)",
+				obj, def.Evaluations, greedy.Evaluations)
+		}
+		if obj != ObjectiveIdentifiability && def.Evaluations >= greedy.Evaluations {
+			t.Fatalf("default/%s: evaluations %d not below greedy %d (lazy default not applied)",
+				obj, def.Evaluations, greedy.Evaluations)
+		}
+	}
+	// Lazy cannot honor capacity constraints; only greedy can.
+	if _, err := nw.Place(fig1Services(2), PlaceConfig{
+		Alpha:     0.5,
+		Algorithm: AlgorithmLazy,
+		Capacity:  &Capacity{Demand: []float64{1, 1}},
+	}); err == nil {
+		t.Fatal("capacity with lazy algorithm should error")
 	}
 }
 

@@ -178,6 +178,36 @@ func TestServerEndToEnd(t *testing.T) {
 	if job.DurationSeconds <= 0 {
 		t.Errorf("duration_seconds = %v, want > 0", job.DurationSeconds)
 	}
+
+	// The lazy (CELF) algorithm through the job API lands on the same
+	// deterministic placement.
+	lazyBody, err := json.Marshal(map[string]any{
+		"services": []map[string]any{
+			{"name": "svc-0", "clients": services[0].Clients},
+			{"name": "svc-1", "clients": services[1].Clients},
+		},
+		"alpha":     alpha,
+		"objective": "distinguishability",
+		"algorithm": "lazy",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Post(ts.URL+"/v1/placements", "application/json", strings.NewReader(string(lazyBody)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lazyJob struct {
+		Hosts       []int `json:"hosts"`
+		Evaluations int   `json:"evaluations"`
+	}
+	mustDecode(t, resp, &lazyJob)
+	if !reflect.DeepEqual(lazyJob.Hosts, inProc.Hosts) {
+		t.Fatalf("lazy job hosts %v != in-process hosts %v", lazyJob.Hosts, inProc.Hosts)
+	}
+	if lazyJob.Evaluations <= 0 {
+		t.Errorf("lazy job evaluations = %d, want > 0", lazyJob.Evaluations)
+	}
 }
 
 // TestNewServerValidation covers the constructor's rejection paths.

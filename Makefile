@@ -5,7 +5,7 @@ GO ?= go
 # for a quick smoke run.
 BENCHFLAGS ?=
 
-.PHONY: all help build test race check chaos bench bench-json bench-smoke fuzz experiments results serve clean
+.PHONY: all help build test race check chaos bench bench-json bench-smoke fuzz fuzz-smoke experiments results serve clean
 
 all: build test
 
@@ -20,6 +20,7 @@ help:
 	@echo "  bench-json   machine-readable benchmark snapshot (BENCH_<date>.json)"
 	@echo "  bench-smoke  single-iteration benchmark compile-and-run gate (CI)"
 	@echo "  fuzz         short fuzz session over the edge-list parser"
+	@echo "  fuzz-smoke   ~10s of every fuzz target (CI)"
 	@echo "  experiments  regenerate every evaluation artifact into results/"
 	@echo "  results      archive test + benchmark logs"
 	@echo "  serve        compute a placement and run placemond on :8080"
@@ -72,6 +73,16 @@ serve:
 # Short fuzz session over the edge-list parser.
 fuzz:
 	$(GO) test -run NONE -fuzz FuzzParse -fuzztime 30s ./internal/graph/
+
+# Smoke every fuzz target briefly: enough to catch a freshly broken
+# invariant or panic without a dedicated fuzz farm. FUZZTIME=5s for an
+# even quicker local pass.
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test -run NONE -fuzz FuzzParse -fuzztime $(FUZZTIME) ./internal/graph/
+	$(GO) test -run NONE -fuzz FuzzObservations -fuzztime $(FUZZTIME) ./internal/server/
+	$(GO) test -run NONE -fuzz FuzzGreedyLazyEquivalence -fuzztime $(FUZZTIME) ./internal/placement/
+	$(GO) test -run NONE -fuzz FuzzLoadPlacement -fuzztime $(FUZZTIME) .
 
 # Regenerate every evaluation artifact (text + CSV) into results/.
 experiments:

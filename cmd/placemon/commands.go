@@ -6,6 +6,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	placemon "repro"
 )
@@ -76,14 +77,26 @@ func cmdPlace(args []string) error {
 	if err != nil {
 		return err
 	}
+	start := time.Now()
 	res, err := nw.Place(services, placemon.PlaceConfig{
 		Alpha:     cf.alpha,
 		Objective: placemon.ObjectiveKind(*objective),
 		Algorithm: placemon.Algorithm(*algorithm),
 		Seed:      *seed,
+		Progress: func(r placemon.RoundProgress) {
+			logger.Debug("placement round",
+				"round", r.Round, "service", r.Service, "host", r.Host,
+				"gain", r.Gain, "candidates", r.Candidates,
+				"evaluations", r.Evaluations, "duration", r.Duration)
+		},
 	})
 	if err != nil {
 		return err
+	}
+	if d := time.Since(start); slowRequest > 0 && d >= slowRequest {
+		logger.Warn("slow placement",
+			"duration", d.Round(time.Millisecond),
+			"threshold", slowRequest, "evaluations", res.Evaluations)
 	}
 	printResult(nw, services, res)
 	if *out != "" {
@@ -145,6 +158,9 @@ func cmdLocalize(args []string) error {
 		if err != nil {
 			return err
 		}
+		if err := doc.Validate(nw); err != nil {
+			return err
+		}
 		services = doc.ToServices()
 		res, err = nw.Evaluate(services, doc.Hosts, doc.Alpha)
 		if err != nil {
@@ -174,9 +190,14 @@ func cmdLocalize(args []string) error {
 	}
 	fmt.Printf("\ninjected failures: %v → %d/%d connections down\n", failed, down, len(obs.Failed))
 
+	start := time.Now()
 	diag, err := nw.Localize(obs, *k)
 	if err != nil {
 		return err
+	}
+	if d := time.Since(start); slowRequest > 0 && d >= slowRequest {
+		logger.Warn("slow diagnosis",
+			"duration", d.Round(time.Millisecond), "threshold", slowRequest, "k", *k)
 	}
 	fmt.Printf("diagnosis (k = %d):\n", *k)
 	fmt.Printf("  candidates:        %v\n", diag.Candidates)

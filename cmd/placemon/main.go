@@ -6,13 +6,32 @@
 //	placemon place [flags]              # place services and report metrics
 //	placemon localize [flags]           # place, inject failures, localize
 //
-// Run `placemon <subcommand> -h` for flags.
+// Global flags precede the subcommand: `placemon -log-level debug place
+// ...`. -log-level tunes the structured diagnostics on stderr and
+// -slow-request sets the duration above which a placement run or a
+// diagnosis recompute logs a warning.
+//
+// Run `placemon <subcommand> -h` for subcommand flags.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
+	"time"
+
+	"repro/internal/trace"
+)
+
+var (
+	// logger carries structured diagnostics (stderr); the global
+	// -log-level flag configures it before subcommand dispatch.
+	logger = slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelWarn}))
+	// slowRequest is the global -slow-request threshold: placement runs
+	// and diagnosis recomputes at or above it log a warning (≤ 0
+	// disables).
+	slowRequest = time.Second
 )
 
 func main() {
@@ -23,6 +42,21 @@ func main() {
 }
 
 func run(args []string) error {
+	fs := newFlagSet("placemon")
+	fs.Usage = usage
+	logLevel := fs.String("log-level", "warn", "minimum diagnostics log level: debug, info, warn, or error")
+	slow := fs.Duration("slow-request", time.Second, "duration at which a placement run or diagnosis recompute logs a warning (-1s disables)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	level, err := trace.ParseLevel(*logLevel)
+	if err != nil {
+		return fmt.Errorf("-log-level: %v", err)
+	}
+	logger = slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+	slowRequest = *slow
+
+	args = fs.Args()
 	if len(args) == 0 {
 		usage()
 		return fmt.Errorf("missing subcommand")
@@ -52,7 +86,12 @@ func run(args []string) error {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: placemon <subcommand> [flags]
+	fmt.Fprintln(os.Stderr, `usage: placemon [global flags] <subcommand> [flags]
+
+global flags:
+  -log-level     minimum diagnostics log level: debug, info, warn, error (default warn)
+  -slow-request  duration at which a placement run or diagnosis recompute
+                 logs a warning (default 1s; -1s disables)
 
 subcommands:
   topos        list the built-in topologies and their Table I characteristics

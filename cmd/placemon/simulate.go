@@ -3,6 +3,7 @@ package main
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/bitset"
 	"repro/internal/failmodel"
@@ -143,9 +144,15 @@ func cmdSimulate(args []string) error {
 	eventCount := 0
 	for _, o := range outcomes {
 		idx := connIndex[connKey{client: o.Client, host: o.Host}]
+		repStart := time.Now()
 		events, err := daemon.Report(o.End, idx, o.Success)
 		if err != nil {
 			return err
+		}
+		if d := time.Since(repStart); slowRequest > 0 && d >= slowRequest {
+			logger.Warn("slow diagnosis",
+				"connection", idx, "virtual_time", o.End,
+				"duration", d.Round(time.Millisecond), "threshold", slowRequest)
 		}
 		for _, ev := range events {
 			eventCount++

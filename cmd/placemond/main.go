@@ -6,15 +6,21 @@
 //	placemond -placement placement.json -addr :8080
 //
 // Endpoints: POST /v1/observations, GET /v1/diagnosis,
-// POST /v1/placements, GET /healthz, GET /metrics, and (with -pprof)
-// GET /debug/pprof/*. See internal/server for the wire formats.
+// POST /v1/placements, GET /healthz, GET /metrics, GET /debug/traces,
+// and (with -pprof) GET /debug/pprof/*. See internal/server for the wire
+// formats.
+//
+// Logs are structured (log/slog) and every request line carries the
+// request's trace ID; tune verbosity with -log-level and slow-request
+// warnings with -slow-request.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"io"
+	"log/slog"
 	"net"
 	"os"
 	"os/signal"
@@ -22,12 +28,13 @@ import (
 	"time"
 
 	placemon "repro"
+	"repro/internal/trace"
 )
 
 func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx, os.Args[1:], log.New(os.Stderr, "placemond: ", log.LstdFlags)); err != nil {
+	if err := run(ctx, os.Args[1:], os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "placemond:", err)
 		os.Exit(1)
 	}
@@ -46,6 +53,9 @@ type options struct {
 	drainTimeout     time.Duration
 	dedupWindow      int
 	diagnosisTimeout time.Duration
+	logLevel         string
+	slowRequest      time.Duration
+	traceBuffer      int
 	pprof            bool
 }
 
@@ -64,6 +74,9 @@ func parseFlags(args []string) (*options, error) {
 	fs.DurationVar(&o.drainTimeout, "drain-timeout", 10*time.Second, "graceful shutdown budget")
 	fs.IntVar(&o.dedupWindow, "dedup-window", 1024, "batch IDs remembered for idempotent ingest; retried batches replay their original response (-1 disables)")
 	fs.DurationVar(&o.diagnosisTimeout, "diagnosis-timeout", 2*time.Second, "diagnosis recompute deadline; past it the last good diagnosis is served marked stale (-1s disables)")
+	fs.StringVar(&o.logLevel, "log-level", "info", "minimum log level: debug, info, warn, or error")
+	fs.DurationVar(&o.slowRequest, "slow-request", time.Second, "latency at which a request logs a warning (-1s disables)")
+	fs.IntVar(&o.traceBuffer, "trace-buffer", 64, "request traces retained for GET /debug/traces (-1 disables)")
 	fs.BoolVar(&o.pprof, "pprof", false, "mount net/http/pprof under /debug/pprof/")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -71,12 +84,22 @@ func parseFlags(args []string) (*options, error) {
 	if o.placementFile == "" {
 		return nil, fmt.Errorf("-placement is required")
 	}
+	if _, err := trace.ParseLevel(o.logLevel); err != nil {
+		return nil, fmt.Errorf("-log-level: %v", err)
+	}
 	return o, nil
+}
+
+// newLogger builds the daemon's structured logger at the level the
+// options selected (parseFlags already validated it).
+func newLogger(o *options, w io.Writer) *slog.Logger {
+	level, _ := trace.ParseLevel(o.logLevel)
+	return slog.New(slog.NewTextHandler(w, &slog.HandlerOptions{Level: level}))
 }
 
 // buildServer assembles the facade server from the parsed options; split
 // from run so tests can exercise it without opening sockets.
-func buildServer(o *options, logger *log.Logger) (*placemon.Server, *placemon.Network, placemon.PlacementFile, error) {
+func buildServer(o *options, logger *slog.Logger) (*placemon.Server, *placemon.Network, placemon.PlacementFile, error) {
 	var zero placemon.PlacementFile
 	f, err := os.Open(o.placementFile)
 	if err != nil {
@@ -122,6 +145,8 @@ func buildServer(o *options, logger *log.Logger) (*placemon.Server, *placemon.Ne
 		DiagnosisTimeout: o.diagnosisTimeout,
 		EnablePprof:      o.pprof,
 		Logger:           logger,
+		SlowRequest:      o.slowRequest,
+		TraceBuffer:      o.traceBuffer,
 	})
 	if err != nil {
 		return nil, nil, zero, err
@@ -129,11 +154,12 @@ func buildServer(o *options, logger *log.Logger) (*placemon.Server, *placemon.Ne
 	return srv, nw, doc, nil
 }
 
-func run(ctx context.Context, args []string, logger *log.Logger) error {
+func run(ctx context.Context, args []string, logOut io.Writer) error {
 	o, err := parseFlags(args)
 	if err != nil {
 		return err
 	}
+	logger := newLogger(o, logOut)
 	srv, nw, doc, err := buildServer(o, logger)
 	if err != nil {
 		return err
@@ -143,9 +169,15 @@ func run(ctx context.Context, args []string, logger *log.Logger) error {
 		srv.Close()
 		return err
 	}
-	logger.Printf("serving on %s: %d nodes, %d services, %d monitored connections (k=%d)",
-		ln.Addr(), nw.NumNodes(), len(doc.Services), len(srv.Connections()), o.k)
+	logger.Info("serving",
+		"addr", ln.Addr().String(),
+		"nodes", nw.NumNodes(),
+		"services", len(doc.Services),
+		"connections", len(srv.Connections()),
+		"k", o.k,
+		"log_level", o.logLevel,
+		"slow_request", o.slowRequest)
 	err = srv.Serve(ctx, ln)
-	logger.Printf("drained, exiting")
+	logger.Info("drained, exiting")
 	return err
 }

@@ -4,7 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"io"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -43,7 +43,7 @@ func writePlacement(t *testing.T) string {
 	return path
 }
 
-func quietLogger() *log.Logger { return log.New(io.Discard, "", 0) }
+func quietLogger() *slog.Logger { return slog.New(slog.NewTextHandler(io.Discard, nil)) }
 
 func TestFlagValidation(t *testing.T) {
 	if _, err := parseFlags(nil); err == nil {
@@ -51,6 +51,35 @@ func TestFlagValidation(t *testing.T) {
 	}
 	if _, err := parseFlags([]string{"-placement", "x.json", "-bogus"}); err == nil {
 		t.Errorf("unknown flag accepted")
+	}
+	if _, err := parseFlags([]string{"-placement", "x.json", "-log-level", "shout"}); err == nil {
+		t.Errorf("bogus -log-level accepted")
+	}
+}
+
+// TestObservabilityFlags: the tracing/logging knobs parse and default
+// sanely.
+func TestObservabilityFlags(t *testing.T) {
+	o, err := parseFlags([]string{"-placement", "x.json"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.logLevel != "info" {
+		t.Errorf("default -log-level = %q, want info", o.logLevel)
+	}
+	if o.slowRequest != time.Second {
+		t.Errorf("default -slow-request = %v, want 1s", o.slowRequest)
+	}
+	if o.traceBuffer != 64 {
+		t.Errorf("default -trace-buffer = %d, want 64", o.traceBuffer)
+	}
+	o, err = parseFlags([]string{"-placement", "x.json",
+		"-log-level", "DEBUG", "-slow-request", "250ms", "-trace-buffer", "-1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.logLevel != "DEBUG" || o.slowRequest != 250*time.Millisecond || o.traceBuffer != -1 {
+		t.Errorf("parsed observability flags = %q %v %d", o.logLevel, o.slowRequest, o.traceBuffer)
 	}
 }
 
@@ -95,7 +124,7 @@ func TestServeLifecycle(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
 	go func() {
-		done <- run(ctx, []string{"-placement", placement, "-addr", addr}, quietLogger())
+		done <- run(ctx, []string{"-placement", placement, "-addr", addr}, io.Discard)
 	}()
 
 	// Wait for the daemon to come up.

@@ -1,0 +1,74 @@
+package placemon
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// FuzzLoadPlacement checks that the placement-document loader never
+// panics, that every accepted document satisfies the structural
+// invariants LoadPlacement promises, and that accepted documents
+// round-trip through SavePlacement unchanged in meaning.
+func FuzzLoadPlacement(f *testing.F) {
+	seeds := []string{
+		``,
+		`not json`,
+		`{}`,
+		`{"alpha":0.5,"hosts":[1],"services":[{"clients":[1,2]}]}`,
+		`{"topology":"Abovenet","alpha":0.5,"hosts":[4,5],"services":[{"name":"svc","clients":[1,2]},{"clients":[3]}]}`,
+		`{"alpha":0.5,"hosts":[-1],"services":[{"clients":[0]}]}`,
+		`{"alpha":-0.1,"hosts":[1],"services":[{"clients":[1]}]}`,
+		`{"alpha":2,"hosts":[1],"services":[{"clients":[1]}]}`,
+		`{"alpha":0.5,"hosts":[-2],"services":[{"clients":[1]}]}`,
+		`{"alpha":0.5,"hosts":[1],"services":[{"clients":[-1]}]}`,
+		`{"alpha":0.5,"hosts":[1,2],"services":[{"clients":[1]}]}`,
+		`{"alpha":0.5,"hosts":[1],"services":[{"clients":[]}]}`,
+		`{"alpha":0.5,"hosts":[1],"services":[{"clients":[1]}],"surprise":true}`,
+		`{"alpha":1e308,"hosts":[1],"services":[{"clients":[1]}]}`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		doc, err := LoadPlacement(strings.NewReader(input))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		// Accepted documents must satisfy the advertised invariants.
+		if math.IsNaN(doc.Alpha) || doc.Alpha < 0 || doc.Alpha > 1 {
+			t.Fatalf("accepted alpha %v", doc.Alpha)
+		}
+		if len(doc.Hosts) != len(doc.Services) {
+			t.Fatalf("accepted %d hosts for %d services", len(doc.Hosts), len(doc.Services))
+		}
+		for s, h := range doc.Hosts {
+			if h < -1 {
+				t.Fatalf("accepted host %d for service %d", h, s)
+			}
+		}
+		for i, svc := range doc.Services {
+			if len(svc.Clients) == 0 {
+				t.Fatalf("accepted clientless service %d", i)
+			}
+			for _, c := range svc.Clients {
+				if c < 0 {
+					t.Fatalf("accepted negative client %d in service %d", c, i)
+				}
+			}
+		}
+		// Round trip: save and reload to the same document.
+		var buf strings.Builder
+		if err := SavePlacement(&buf, doc); err != nil {
+			t.Fatalf("save accepted document: %v", err)
+		}
+		again, err := LoadPlacement(strings.NewReader(buf.String()))
+		if err != nil {
+			t.Fatalf("reload saved document: %v\n%s", err, buf.String())
+		}
+		if again.Topology != doc.Topology || again.Alpha != doc.Alpha ||
+			len(again.Hosts) != len(doc.Hosts) || len(again.Services) != len(doc.Services) {
+			t.Fatalf("round trip changed document:\n%+v\n%+v", again, doc)
+		}
+	})
+}

@@ -3,6 +3,7 @@ package placement
 import (
 	"fmt"
 	"math/rand"
+	"time"
 )
 
 // Result is the outcome of a placement algorithm run.
@@ -28,14 +29,25 @@ type Result struct {
 // identifiability it is the GI heuristic without a guarantee
 // (Proposition 15).
 func Greedy(inst *Instance, obj Objective) (*Result, error) {
+	return GreedyWithProgress(inst, obj, nil)
+}
+
+// GreedyWithProgress is Greedy with a per-round progress hook; a nil
+// progress reproduces Greedy exactly (same placement, same evaluation
+// count — the hook never changes the computation, only reports it).
+func GreedyWithProgress(inst *Instance, obj Objective, progress ProgressFunc) (*Result, error) {
 	if obj == nil {
 		return nil, fmt.Errorf("placement: nil objective")
 	}
 	res := &Result{Placement: NewPlacement(inst.NumServices())}
 	base := obj.newEvaluator(inst.NumNodes())
+	baseVal := base.Value()
 	placed := make([]bool, inst.NumServices())
 
 	for iter := 0; iter < inst.NumServices(); iter++ {
+		roundStart := time.Now()
+		evalsBefore := res.Evaluations
+		candidates := 0
 		bestS, bestH, bestVal := -1, -1, -1.0
 		var bestEval evaluator
 		for s := 0; s < inst.NumServices(); s++ {
@@ -47,6 +59,7 @@ func Greedy(inst *Instance, obj Objective) (*Result, error) {
 				trial := base.Clone()
 				trial.Add(el.evalPaths)
 				res.Evaluations++
+				candidates++
 				if v := trial.Value(); v > bestVal {
 					bestS, bestH, bestVal, bestEval = s, el.host, v, trial
 				}
@@ -61,6 +74,16 @@ func Greedy(inst *Instance, obj Objective) (*Result, error) {
 		placed[bestS] = true
 		res.Placement.Hosts[bestS] = bestH
 		res.Order = append(res.Order, bestS)
+		progress.emit(Round{
+			Index:       iter,
+			Service:     bestS,
+			Host:        bestH,
+			Gain:        bestVal - baseVal,
+			Candidates:  candidates,
+			Evaluations: res.Evaluations - evalsBefore,
+			Duration:    time.Since(roundStart),
+		})
+		baseVal = bestVal
 	}
 	res.Value = base.Value()
 	return res, nil

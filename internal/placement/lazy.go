@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 )
 
 // This file implements the CELF ("cost-effective lazy forward") variant of
@@ -69,13 +70,21 @@ func (h *lazyHeap) Pop() any {
 // submodular (Propositions 15 and 16), so it is routed to the exact
 // Greedy automatically; the returned Result is then exactly Greedy's.
 func GreedyLazy(inst *Instance, obj Objective) (*Result, error) {
+	return GreedyLazyWithProgress(inst, obj, nil)
+}
+
+// GreedyLazyWithProgress is GreedyLazy with a per-round progress hook;
+// the hook only observes the computation (round winner, gain, candidate
+// pops, evaluations, duration) and never changes it. Non-submodular
+// objectives route to GreedyWithProgress, so the hook fires either way.
+func GreedyLazyWithProgress(inst *Instance, obj Objective, progress ProgressFunc) (*Result, error) {
 	if obj == nil {
 		return nil, fmt.Errorf("placement: nil objective")
 	}
 	if !obj.submodular() {
-		return Greedy(inst, obj)
+		return GreedyWithProgress(inst, obj, progress)
 	}
-	return greedyLazy(inst, obj, 1)
+	return greedyLazy(inst, obj, 1, progress)
 }
 
 // GreedyLazyParallel is GreedyLazy with the evaluations fanned out across
@@ -89,6 +98,13 @@ func GreedyLazy(inst *Instance, obj Objective) (*Result, error) {
 // Non-submodular objectives fall back to GreedyParallel. workers ≤ 0
 // selects GOMAXPROCS.
 func GreedyLazyParallel(inst *Instance, obj Objective, workers int) (*Result, error) {
+	return GreedyLazyParallelWithProgress(inst, obj, workers, nil)
+}
+
+// GreedyLazyParallelWithProgress is GreedyLazyParallel with a per-round
+// progress hook (see GreedyLazyWithProgress). The hook runs on the
+// coordinating goroutine, never inside the evaluation fan-out.
+func GreedyLazyParallelWithProgress(inst *Instance, obj Objective, workers int, progress ProgressFunc) (*Result, error) {
 	if obj == nil {
 		return nil, fmt.Errorf("placement: nil objective")
 	}
@@ -98,12 +114,12 @@ func GreedyLazyParallel(inst *Instance, obj Objective, workers int) (*Result, er
 	if !obj.submodular() {
 		return GreedyParallel(inst, obj, workers)
 	}
-	return greedyLazy(inst, obj, workers)
+	return greedyLazy(inst, obj, workers, progress)
 }
 
 // greedyLazy is the shared CELF engine; workers == 1 is the sequential
 // variant.
-func greedyLazy(inst *Instance, obj Objective, workers int) (*Result, error) {
+func greedyLazy(inst *Instance, obj Objective, workers int, progress ProgressFunc) (*Result, error) {
 	res := &Result{Placement: NewPlacement(inst.NumServices())}
 	base := obj.newEvaluator(inst.NumNodes())
 	baseVal := base.Value()
@@ -161,6 +177,14 @@ func greedyLazy(inst *Instance, obj Objective, workers int) (*Result, error) {
 
 	var batch []lazyEntry
 	for iter := 0; iter < inst.NumServices(); iter++ {
+		roundStart := time.Now()
+		evalsBefore := res.Evaluations
+		if iter == 0 {
+			// The initial ground-set sweep is plain greedy's first round;
+			// attribute its evaluations to round 0.
+			evalsBefore = 0
+		}
+		pops := 0
 		chosen, found := lazyEntry{}, false
 		for h.Len() > 0 || len(batch) > 0 {
 			if h.Len() == 0 {
@@ -174,6 +198,7 @@ func greedyLazy(inst *Instance, obj Objective, workers int) (*Result, error) {
 				continue
 			}
 			top := heap.Pop(&h).(lazyEntry)
+			pops++
 			if placed[inst.elements[top.elem].service] {
 				continue // service already placed; retire the entry
 			}
@@ -216,10 +241,20 @@ func greedyLazy(inst *Instance, obj Objective, workers int) (*Result, error) {
 		} else {
 			base.Add(el.evalPaths)
 		}
+		prevVal := baseVal
 		baseVal = base.Value()
 		placed[el.service] = true
 		res.Placement.Hosts[el.service] = el.host
 		res.Order = append(res.Order, el.service)
+		progress.emit(Round{
+			Index:       iter,
+			Service:     el.service,
+			Host:        el.host,
+			Gain:        baseVal - prevVal,
+			Candidates:  pops,
+			Evaluations: res.Evaluations - evalsBefore,
+			Duration:    time.Since(roundStart),
+		})
 	}
 	res.Value = baseVal
 	return res, nil

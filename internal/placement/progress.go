@@ -1,0 +1,40 @@
+package placement
+
+import "time"
+
+// Round is one greedy/lazy placement round as reported to a
+// ProgressFunc: which (service, host) won, with what marginal gain, and
+// what the round cost in candidates examined, objective evaluations, and
+// wall-clock time. The serving layer turns these into trace-span stages
+// and round-duration histograms.
+type Round struct {
+	// Index is the 0-based round number (one service placed per round).
+	Index int
+	// Service and Host are the winning ground element.
+	Service int
+	Host    int
+	// Gain is the winning marginal gain f(P ∪ P(C_s, h)) − f(P).
+	Gain float64
+	// Candidates counts the (service, host) pairs examined this round —
+	// the full unplaced ground set for the eager engine, only the heap
+	// pops for the lazy one.
+	Candidates int
+	// Evaluations counts objective evaluations spent this round; the
+	// lazy engine attributes its initial ground-set sweep to round 0, so
+	// for both engines the rounds sum to Result.Evaluations.
+	Evaluations int
+	// Duration is the wall-clock time of the round.
+	Duration time.Duration
+}
+
+// ProgressFunc receives one callback per completed round. It runs on the
+// engine's goroutine between rounds, so implementations must be fast and
+// must not call back into the engine.
+type ProgressFunc func(Round)
+
+// emit reports a round to fn when one is installed.
+func (fn ProgressFunc) emit(r Round) {
+	if fn != nil {
+		fn(r)
+	}
+}

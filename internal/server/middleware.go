@@ -7,7 +7,10 @@ import (
 	"net/http"
 	"runtime/debug"
 	"strconv"
+	"strings"
 	"time"
+
+	"repro/internal/trace"
 )
 
 // statusWriter records the status code and byte count a handler produced
@@ -41,16 +44,32 @@ func (w *statusWriter) Flush() {
 	}
 }
 
-// withObservability is the outermost middleware: it captures the response
-// status, converts panics into 500s (logging the stack), and writes one
-// request log line per request.
+// withObservability is the outermost middleware: it adopts the client's
+// Placemond-Trace-Id (minting one when absent), attaches a span to the
+// request context, echoes the ID on the response, captures the response
+// status, converts panics into 500s (logging the stack), writes one
+// structured request record per request — plus a warning above the
+// slow-request threshold — and files the finished trace into the
+// /debug/traces ring.
 func (s *Server) withObservability(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		sw := &statusWriter{ResponseWriter: w}
 		start := time.Now()
+		sp := trace.NewSpan(r.Header.Get(trace.Header))
+		sp.OnStage(func(st trace.Stage) {
+			// Engine rounds surface as span stages; fold them into the
+			// round-duration histogram as they land.
+			if strings.HasPrefix(st.Name, "placement round") {
+				s.roundHist.Observe(st.DurationSeconds)
+			}
+		})
+		sw.Header().Set(trace.Header, sp.ID())
+		r = r.WithContext(trace.NewContext(r.Context(), sp))
 		defer func() {
 			if p := recover(); p != nil {
-				s.logger.Printf("panic serving %s %s: %v\n%s", r.Method, r.URL.Path, p, debug.Stack())
+				s.logger.Error("panic serving request",
+					"method", r.Method, "path", r.URL.Path,
+					"trace_id", sp.ID(), "panic", p, "stack", string(debug.Stack()))
 				if sw.status == 0 {
 					writeError(sw, http.StatusInternalServerError, "internal server error")
 				}
@@ -58,8 +77,26 @@ func (s *Server) withObservability(next http.Handler) http.Handler {
 			if sw.status == 0 {
 				sw.status = http.StatusOK
 			}
-			s.logger.Printf("%s %s %d %dB %s", r.Method, r.URL.Path, sw.status, sw.bytes,
-				time.Since(start).Round(time.Microsecond))
+			elapsed := time.Since(start)
+			s.reqHist.Observe(elapsed.Seconds())
+			s.logger.Info("request",
+				"method", r.Method, "path", r.URL.Path,
+				"status", sw.status, "bytes", sw.bytes,
+				"duration", elapsed.Round(time.Microsecond),
+				"trace_id", sp.ID())
+			if s.slowRequest > 0 && elapsed >= s.slowRequest {
+				s.logger.Warn("slow request",
+					"method", r.Method, "path", r.URL.Path,
+					"status", sw.status,
+					"duration", elapsed.Round(time.Microsecond),
+					"threshold", s.slowRequest,
+					"trace_id", sp.ID())
+			}
+			if s.traces != nil && !strings.HasPrefix(r.URL.Path, "/debug/") {
+				// Reading /debug/traces (or profiling) must not evict the
+				// traces being inspected.
+				s.traces.Add(sp.Finish(r.Method, r.URL.Path, sw.status, elapsed))
+			}
 		}()
 		next.ServeHTTP(sw, r)
 	})

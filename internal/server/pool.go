@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/trace"
 )
 
 // Errors the placement pool can return from submit.
@@ -57,10 +58,12 @@ type PlacementResult struct {
 }
 
 // PlaceFunc runs one placement job. Implementations must be safe for
-// concurrent use (the facade's Network methods are). An error is treated
-// as a bad request: the placement library validates inputs and only fails
-// on infeasible or malformed jobs.
-type PlaceFunc func(req PlacementRequest) (*PlacementResult, error)
+// concurrent use (the facade's Network methods are). ctx is the
+// submitting request's context and carries its trace span, so engine
+// progress can be recorded against the originating request. An error is
+// treated as a bad request: the placement library validates inputs and
+// only fails on infeasible or malformed jobs.
+type PlaceFunc func(ctx context.Context, req PlacementRequest) (*PlacementResult, error)
 
 // pool is a bounded worker pool for placement jobs: a fixed number of
 // workers drain a fixed-capacity queue, and submission never blocks —
@@ -77,9 +80,10 @@ type pool struct {
 }
 
 type job struct {
-	ctx  context.Context
-	req  PlacementRequest
-	done chan jobResult // buffered; workers never block on delivery
+	ctx      context.Context
+	req      PlacementRequest
+	enqueued time.Time
+	done     chan jobResult // buffered; workers never block on delivery
 }
 
 type jobResult struct {
@@ -120,8 +124,12 @@ func (p *pool) worker() {
 			j.done <- jobResult{err: j.ctx.Err()}
 			continue
 		}
+		sp := trace.FromContext(j.ctx)
+		sp.AddStage("queue wait", time.Since(j.enqueued), "")
 		start := time.Now()
-		res, err := p.run(j.req)
+		st := sp.StartStage("place")
+		res, err := p.run(j.ctx, j.req)
+		st.EndDetail("ok=%t", err == nil)
 		p.latency.Observe(time.Since(start).Seconds())
 		if err != nil {
 			p.jobs("failed").Inc()
@@ -136,19 +144,19 @@ func (p *pool) worker() {
 // run executes one job, converting a panic in the placement function
 // into ErrJobPanicked so a poisoned request cannot kill the worker (or
 // the process — workers run outside the HTTP recovery middleware).
-func (p *pool) run(req PlacementRequest) (res *PlacementResult, err error) {
+func (p *pool) run(ctx context.Context, req PlacementRequest) (res *PlacementResult, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			res, err = nil, fmt.Errorf("%w: %v", ErrJobPanicked, r)
 		}
 	}()
-	return p.place(req)
+	return p.place(ctx, req)
 }
 
 // submit enqueues a job and waits for its result or for ctx to end.
 // It returns ErrQueueFull without blocking when the queue has no room.
 func (p *pool) submit(ctx context.Context, req PlacementRequest) (*PlacementResult, error) {
-	j := &job{ctx: ctx, req: req, done: make(chan jobResult, 1)}
+	j := &job{ctx: ctx, req: req, enqueued: time.Now(), done: make(chan jobResult, 1)}
 
 	p.mu.RLock()
 	if p.closed {

@@ -16,7 +16,7 @@ import (
 func TestPoolDrainCompletesInFlightJobs(t *testing.T) {
 	release := make(chan struct{})
 	started := make(chan struct{}, 8)
-	p := newPool(func(req PlacementRequest) (*PlacementResult, error) {
+	p := newPool(func(ctx context.Context, req PlacementRequest) (*PlacementResult, error) {
 		started <- struct{}{}
 		<-release
 		return &PlacementResult{Hosts: []int{int(req.Seed)}}, nil
@@ -114,7 +114,7 @@ func TestPoolDrainCompletesInFlightJobs(t *testing.T) {
 
 // TestPoolCloseIdempotent: double close must not panic or deadlock.
 func TestPoolCloseIdempotent(t *testing.T) {
-	p := newPool(func(req PlacementRequest) (*PlacementResult, error) {
+	p := newPool(func(ctx context.Context, req PlacementRequest) (*PlacementResult, error) {
 		return &PlacementResult{}, nil
 	}, 2, 2, metrics.NewRegistry())
 	p.close()

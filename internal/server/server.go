@@ -11,12 +11,19 @@
 //	POST /v1/placements    run a placement job on the bounded worker pool
 //	GET  /healthz          liveness probe
 //	GET  /metrics          Prometheus text exposition
+//	GET  /debug/traces     recent request traces with per-stage timings
 //	GET  /debug/pprof/*    optional profiling (Config.EnablePprof)
 //
+// Every request carries a trace ID (minted here or adopted from the
+// client's Placemond-Trace-Id header), echoed in the response header,
+// attached to every structured log line, and recorded — together with
+// named per-stage timings — in a bounded in-memory ring served at
+// /debug/traces.
+//
 // The package depends only on the standard library plus internal/metrics,
-// internal/monitord, and internal/bitset; the placement engine is injected
-// as a PlaceFunc so the root facade can close over its Network without an
-// import cycle.
+// internal/monitord, internal/trace, and internal/bitset; the placement
+// engine is injected as a PlaceFunc so the root facade can close over its
+// Network without an import cycle.
 package server
 
 import (
@@ -25,7 +32,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -37,6 +44,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/monitord"
 	"repro/internal/tomography"
+	"repro/internal/trace"
 )
 
 // Connection describes one monitored client↔host pair, index-aligned with
@@ -83,8 +91,16 @@ type Config struct {
 	DiagnosisTimeout time.Duration
 	// EnablePprof mounts net/http/pprof under /debug/pprof/.
 	EnablePprof bool
-	// Logger receives request and error lines (default: discard).
-	Logger *log.Logger
+	// Logger receives structured request and error records
+	// (default: discard).
+	Logger *slog.Logger
+	// SlowRequest is the latency at or above which a request additionally
+	// logs a warning (default 1s; ≤ -1 disables slow-request warnings).
+	SlowRequest time.Duration
+	// TraceBuffer is how many finished request traces the /debug/traces
+	// ring retains, newest first (default 64; ≤ -1 disables the ring and
+	// the endpoint).
+	TraceBuffer int
 	// Registry receives the server's metrics (default: a fresh registry).
 	Registry *metrics.Registry
 }
@@ -97,7 +113,9 @@ type Server struct {
 	conns          []Connection
 	pool           *pool
 	registry       *metrics.Registry
-	logger         *log.Logger
+	logger         *slog.Logger
+	slowRequest    time.Duration
+	traces         *trace.Ring // nil when disabled
 	requestTimeout time.Duration
 	drainTimeout   time.Duration
 	handler        http.Handler
@@ -115,6 +133,8 @@ type Server struct {
 	staleServed *metrics.Counter
 	dedupGauge  *metrics.Gauge
 	outageGauge *metrics.Gauge
+	reqHist     *metrics.Histogram
+	roundHist   *metrics.Histogram
 	eventTotal  map[monitord.EventKind]*metrics.Counter
 }
 
@@ -156,7 +176,15 @@ func New(cfg Config) (*Server, error) {
 	}
 	logger := cfg.Logger
 	if logger == nil {
-		logger = log.New(io.Discard, "", 0)
+		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	slowReq := cfg.SlowRequest
+	if slowReq == 0 {
+		slowReq = time.Second
+	}
+	traceBuf := cfg.TraceBuffer
+	if traceBuf == 0 {
+		traceBuf = 64
 	}
 	reg := cfg.Registry
 	if reg == nil {
@@ -177,6 +205,7 @@ func New(cfg Config) (*Server, error) {
 		pool:           newPool(cfg.Place, workers, depth, reg),
 		registry:       reg,
 		logger:         logger,
+		slowRequest:    slowReq,
 		requestTimeout: reqTimeout,
 		drainTimeout:   drain,
 		diagTimeout:    diagTimeout,
@@ -188,9 +217,16 @@ func New(cfg Config) (*Server, error) {
 			"Diagnosis requests served from the last good diagnosis."),
 		outageGauge: reg.Gauge("placemond_outage",
 			"1 while at least one reporting connection is down, else 0."),
+		reqHist: reg.Histogram("placemond_request_duration_seconds",
+			"End-to-end latency of traced requests.", nil),
+		roundHist: reg.Histogram("placemond_placement_round_duration_seconds",
+			"Wall-clock duration of individual placement engine rounds.", nil),
 		eventTotal: map[monitord.EventKind]*metrics.Counter{},
 	}
 	s.diagnoseFn = s.mon.Diagnosis
+	if traceBuf > 0 {
+		s.traces = trace.NewRing(traceBuf)
+	}
 	if dedupSize > 0 {
 		s.dedup = newDedupWindow(dedupSize)
 		s.dedupGauge = reg.Gauge("placemond_dedup_window_batches",
@@ -217,6 +253,9 @@ func New(cfg Config) (*Server, error) {
 	// pprof mounts outside the timeout middleware: profile collection
 	// legitimately runs longer than an API request is allowed to.
 	root.Handle("/", s.withTimeout(api))
+	if s.traces != nil {
+		root.Handle("GET /debug/traces", s.instrument("/debug/traces", http.HandlerFunc(s.handleTraces)))
+	}
 	if cfg.EnablePprof {
 		root.HandleFunc("/debug/pprof/", pprof.Index)
 		root.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -246,7 +285,7 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	srv := &http.Server{
 		Handler:           s.handler,
 		ReadHeaderTimeout: 5 * time.Second,
-		ErrorLog:          s.logger,
+		ErrorLog:          slog.NewLogLogger(s.logger.Handler(), slog.LevelError),
 	}
 	shutdownErr := make(chan error, 1)
 	go func() {
@@ -305,8 +344,12 @@ type diagnosisJSON struct {
 }
 
 func (s *Server) handleObservations(w http.ResponseWriter, r *http.Request) {
+	sp := trace.FromContext(r.Context())
 	var req observationsRequest
-	if !decodeJSON(w, r, &req) {
+	st := sp.StartStage("decode")
+	ok := decodeJSON(w, r, &req)
+	st.EndDetail("reports=%d", len(req.Reports))
+	if !ok {
 		return
 	}
 	if len(req.Reports) == 0 {
@@ -314,10 +357,14 @@ func (s *Server) handleObservations(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if s.dedup != nil && req.BatchID != "" {
-		if cached, ok := s.dedup.lookup(req.BatchID); ok {
+		st := sp.StartStage("dedup")
+		cached, hit := s.dedup.lookup(req.BatchID)
+		st.EndDetail("batch_id=%s hit=%t", req.BatchID, hit)
+		if hit {
 			// Already applied: replay the original answer byte for byte
 			// so the retrying client observes the events it missed.
 			s.obsReplayed.Inc()
+			sp.Annotate("replayed", true)
 			w.Header().Set("Placemond-Replayed", "true")
 			w.Header().Set("Content-Type", "application/json")
 			w.WriteHeader(cached.status)
@@ -325,6 +372,7 @@ func (s *Server) handleObservations(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	ingest := sp.StartStage("ingest")
 	n := s.mon.NumConnections()
 	conns := make([]int, len(req.Reports))
 	ups := make([]bool, len(req.Reports))
@@ -332,6 +380,7 @@ func (s *Server) handleObservations(w http.ResponseWriter, r *http.Request) {
 		if rep.Connection < 0 || rep.Connection >= n {
 			// Validated up front so a bad entry rejects the whole batch
 			// without side effects.
+			ingest.EndDetail("rejected report %d", i)
 			writeError(w, http.StatusBadRequest,
 				"report %d: connection %d out of range [0, %d)", i, rep.Connection, n)
 			return
@@ -343,6 +392,7 @@ func (s *Server) handleObservations(w http.ResponseWriter, r *http.Request) {
 	events, err := s.mon.ReportBatch(req.Time, conns, ups)
 	if err != nil {
 		// Unreachable after validation; kept as a hard failure signal.
+		ingest.EndDetail("error")
 		writeError(w, http.StatusInternalServerError, "ingest: %v", err)
 		return
 	}
@@ -374,6 +424,7 @@ func (s *Server) handleObservations(w http.ResponseWriter, r *http.Request) {
 			Diagnosis: diag,
 		})
 	}
+	ingest.EndDetail("events=%d", len(events))
 	if s.dedup != nil && req.BatchID != "" {
 		if body, err := json.Marshal(out); err == nil {
 			body = append(body, '\n')
@@ -432,7 +483,10 @@ func (s *Server) handleDiagnosis(w http.ResponseWriter, r *http.Request) {
 		})
 	}
 	if snap.InOutage {
+		sp := trace.FromContext(r.Context())
+		st := sp.StartStage("diagnose")
 		diag, err := s.diagnoseWithDeadline(r.Context())
+		st.EndDetail("ok=%t", err == nil)
 		if err == nil {
 			out.Diagnosis = diagnosisToJSON(diag)
 			s.recordGoodDiagnosis(out.Diagnosis)
@@ -486,8 +540,12 @@ func (s *Server) diagnoseWithDeadline(ctx context.Context) (*tomography.Diagnosi
 }
 
 func (s *Server) handlePlacements(w http.ResponseWriter, r *http.Request) {
+	sp := trace.FromContext(r.Context())
 	var req PlacementRequest
-	if !decodeJSON(w, r, &req) {
+	st := sp.StartStage("decode")
+	ok := decodeJSON(w, r, &req)
+	st.EndDetail("services=%d", len(req.Services))
+	if !ok {
 		return
 	}
 	if len(req.Services) == 0 {
@@ -513,7 +571,8 @@ func (s *Server) handlePlacements(w http.ResponseWriter, r *http.Request) {
 	case errors.Is(err, context.Canceled):
 		writeError(w, http.StatusServiceUnavailable, "request canceled")
 	case errors.Is(err, ErrJobPanicked):
-		s.logger.Printf("placement job panic: %v", err)
+		s.logger.Error("placement job panicked",
+			"error", err, "trace_id", trace.IDFromContext(r.Context()))
 		writeError(w, http.StatusInternalServerError, "placement job failed")
 	case err != nil:
 		// The placement library validates inputs; its errors describe
@@ -533,10 +592,18 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleTraces serves the trace ring, newest first. The ring itself
+// skips /debug/ paths, so reading traces never pollutes them.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Traces []trace.Record `json:"traces"`
+	}{Traces: s.traces.Snapshot()})
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	if err := s.registry.WriteText(w); err != nil {
-		s.logger.Printf("metrics: %v", err)
+		s.logger.Error("metrics exposition failed", "error", err)
 	}
 }
 

@@ -29,7 +29,7 @@ func testConfig() Config {
 			{Service: 0, Client: 0, Host: 2},
 			{Service: 0, Client: 4, Host: 2},
 		},
-		Place: func(req PlacementRequest) (*PlacementResult, error) {
+		Place: func(ctx context.Context, req PlacementRequest) (*PlacementResult, error) {
 			return &PlacementResult{Hosts: []int{2}, Coverage: 3}, nil
 		},
 	}
@@ -230,7 +230,7 @@ func TestQueueFull(t *testing.T) {
 	cfg.Workers = 1
 	cfg.QueueDepth = 1
 	cfg.RequestTimeout = 200 * time.Millisecond
-	cfg.Place = func(req PlacementRequest) (*PlacementResult, error) {
+	cfg.Place = func(ctx context.Context, req PlacementRequest) (*PlacementResult, error) {
 		started <- struct{}{}
 		<-release
 		return &PlacementResult{Hosts: []int{2}}, nil
@@ -279,7 +279,7 @@ func TestQueueFull(t *testing.T) {
 
 func TestPlacementPanicIsContained(t *testing.T) {
 	cfg := testConfig()
-	cfg.Place = func(req PlacementRequest) (*PlacementResult, error) {
+	cfg.Place = func(ctx context.Context, req PlacementRequest) (*PlacementResult, error) {
 		panic("poisoned instance")
 	}
 	_, ts := newTestServer(t, cfg)
@@ -314,7 +314,7 @@ func TestRequestTimeout(t *testing.T) {
 	cfg := testConfig()
 	cfg.RequestTimeout = 50 * time.Millisecond
 	block := make(chan struct{})
-	cfg.Place = func(req PlacementRequest) (*PlacementResult, error) {
+	cfg.Place = func(ctx context.Context, req PlacementRequest) (*PlacementResult, error) {
 		<-block
 		return &PlacementResult{}, nil
 	}
@@ -365,7 +365,7 @@ func TestGracefulShutdown(t *testing.T) {
 	inFlight := make(chan struct{})
 	release := make(chan struct{})
 	cfg := testConfig()
-	cfg.Place = func(req PlacementRequest) (*PlacementResult, error) {
+	cfg.Place = func(ctx context.Context, req PlacementRequest) (*PlacementResult, error) {
 		close(inFlight)
 		<-release
 		return &PlacementResult{Hosts: []int{2}}, nil

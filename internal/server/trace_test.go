@@ -1,0 +1,156 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// getTraces fetches and decodes /debug/traces.
+func getTraces(t *testing.T, base string) []map[string]any {
+	t.Helper()
+	resp, body := getJSON(t, base+"/debug/traces")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/traces = %d", resp.StatusCode)
+	}
+	raw, ok := body["traces"].([]any)
+	if !ok {
+		t.Fatalf("no traces array in %v", body)
+	}
+	out := make([]map[string]any, len(raw))
+	for i, r := range raw {
+		out[i] = r.(map[string]any)
+	}
+	return out
+}
+
+func stageNames(rec map[string]any) []string {
+	var names []string
+	stages, _ := rec["stages"].([]any)
+	for _, s := range stages {
+		names = append(names, s.(map[string]any)["name"].(string))
+	}
+	return names
+}
+
+// TestTraceAdoptedAndRecorded sends an ingest request with a
+// client-supplied trace ID and checks the ID is echoed on the response
+// and that the ring entry carries the named stages with real timings.
+func TestTraceAdoptedAndRecorded(t *testing.T) {
+	_, ts := newTestServer(t, testConfig())
+
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/observations",
+		strings.NewReader(`{"batch_id": "b1", "time": 1, "reports": [{"connection": 0, "up": true}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(trace.Header, "client-chosen-id")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get(trace.Header); got != "client-chosen-id" {
+		t.Fatalf("response %s = %q, want the adopted ID", trace.Header, got)
+	}
+
+	recs := getTraces(t, ts.URL)
+	if len(recs) != 1 {
+		t.Fatalf("ring has %d records, want 1: %v", len(recs), recs)
+	}
+	rec := recs[0]
+	if rec["trace_id"] != "client-chosen-id" || rec["path"] != "/v1/observations" {
+		t.Fatalf("record = %v", rec)
+	}
+	if names := stageNames(rec); len(names) != 3 ||
+		names[0] != "decode" || names[1] != "dedup" || names[2] != "ingest" {
+		t.Fatalf("stages = %v, want [decode dedup ingest]", names)
+	}
+	if rec["duration_seconds"].(float64) <= 0 {
+		t.Fatalf("record duration = %v", rec["duration_seconds"])
+	}
+}
+
+// TestTraceMintedWhenAbsent: a request without the header still gets a
+// fresh ID on the response.
+func TestTraceMintedWhenAbsent(t *testing.T) {
+	_, ts := newTestServer(t, testConfig())
+	resp, _ := getJSON(t, ts.URL+"/healthz")
+	if id := resp.Header.Get(trace.Header); len(id) != 24 {
+		t.Fatalf("minted ID = %q, want 24 hex chars", id)
+	}
+}
+
+// TestTraceReachesWorkerPool checks the request's trace ID is visible
+// inside the PlaceFunc via its context, and that the finished placement
+// trace records the pool stages.
+func TestTraceReachesWorkerPool(t *testing.T) {
+	seen := make(chan string, 1)
+	cfg := testConfig()
+	cfg.Place = func(ctx context.Context, req PlacementRequest) (*PlacementResult, error) {
+		seen <- trace.IDFromContext(ctx)
+		return &PlacementResult{Hosts: []int{2}}, nil
+	}
+	_, ts := newTestServer(t, cfg)
+
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/placements",
+		strings.NewReader(`{"services": [{"clients": [0]}], "alpha": 0.5}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(trace.Header, "pool-trace-id")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("placement status = %d", resp.StatusCode)
+	}
+	if got := <-seen; got != "pool-trace-id" {
+		t.Fatalf("PlaceFunc saw trace ID %q, want pool-trace-id", got)
+	}
+
+	recs := getTraces(t, ts.URL)
+	if len(recs) != 1 {
+		t.Fatalf("ring has %d records, want 1", len(recs))
+	}
+	names := stageNames(recs[0])
+	want := []string{"decode", "queue wait", "place"}
+	if len(names) != len(want) {
+		t.Fatalf("stages = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("stages = %v, want %v", names, want)
+		}
+	}
+}
+
+// TestTraceRingSkipsDebug: reading /debug/traces must not add itself to
+// the ring, and TraceBuffer ≤ -1 disables the endpoint entirely.
+func TestTraceRingSkipsDebug(t *testing.T) {
+	_, ts := newTestServer(t, testConfig())
+	for i := 0; i < 3; i++ {
+		if recs := getTraces(t, ts.URL); len(recs) != 0 {
+			t.Fatalf("ring polluted by /debug/traces reads: %v", recs)
+		}
+	}
+
+	cfg := testConfig()
+	cfg.TraceBuffer = -1
+	_, ts2 := newTestServer(t, cfg)
+	resp, err := http.Get(ts2.URL + "/debug/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("disabled /debug/traces = %d, want 404", resp.StatusCode)
+	}
+}

@@ -46,9 +46,15 @@ func (pr *Prior) NumNodes() int { return len(pr.p) }
 
 // LogLikelihood returns the log-probability that exactly the given nodes
 // failed (independent failures): Σ_{v∈F} ln p_v + Σ_{v∉F} ln(1−p_v).
-func (pr *Prior) LogLikelihood(f []int) float64 {
+// Every node must lie inside the prior's universe; an out-of-range node
+// is an error, not a silently-ignored term (which would overstate the
+// likelihood of the remaining set).
+func (pr *Prior) LogLikelihood(f []int) (float64, error) {
 	in := make(map[int]bool, len(f))
 	for _, v := range f {
+		if v < 0 || v >= len(pr.p) {
+			return 0, fmt.Errorf("tomography: node %d outside prior over %d nodes", v, len(pr.p))
+		}
 		in[v] = true
 	}
 	ll := 0.0
@@ -59,7 +65,7 @@ func (pr *Prior) LogLikelihood(f []int) float64 {
 			ll += math.Log(1 - p)
 		}
 	}
-	return ll
+	return ll, nil
 }
 
 // weight returns the per-node cost for weighted set cover: choosing v
@@ -159,7 +165,10 @@ func RankCandidates(o *Observation, prior *Prior, k int) ([]RankedCandidate, err
 	out := make([]RankedCandidate, 0, len(diag.Consistent))
 	maxLL := math.Inf(-1)
 	for _, f := range diag.Consistent {
-		ll := prior.LogLikelihood(f)
+		ll, err := prior.LogLikelihood(f)
+		if err != nil {
+			return nil, err
+		}
 		if ll > maxLL {
 			maxLL = ll
 		}

@@ -48,7 +48,11 @@ func TestLogLikelihood(t *testing.T) {
 	// Every outcome equally likely: ln(0.25).
 	want := math.Log(0.25)
 	for _, f := range [][]int{nil, {0}, {1}, {0, 1}} {
-		if got := pr.LogLikelihood(f); math.Abs(got-want) > 1e-12 {
+		got, err := pr.LogLikelihood(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-want) > 1e-12 {
 			t.Fatalf("LogLikelihood(%v) = %v, want %v", f, got, want)
 		}
 	}
@@ -57,8 +61,30 @@ func TestLogLikelihood(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rare.LogLikelihood([]int{0}) >= rare.LogLikelihood(nil) {
+	failed, err := rare.LogLikelihood([]int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	healthy, err := rare.LogLikelihood(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed >= healthy {
 		t.Fatal("failing a rare node should lower likelihood")
+	}
+}
+
+func TestLogLikelihoodRejectsOutOfRangeNodes(t *testing.T) {
+	pr, err := NewPrior([]float64{0.1, 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Before validation these silently fell out of the membership map, so
+	// the set scored like the empty hypothesis.
+	for _, f := range [][]int{{-1}, {2}, {0, 7}} {
+		if _, err := pr.LogLikelihood(f); err == nil {
+			t.Fatalf("LogLikelihood(%v) should reject out-of-range node", f)
+		}
 	}
 }
 
@@ -92,7 +118,15 @@ func TestMostLikelyExplanationPrefersFailureProneNode(t *testing.T) {
 		t.Fatalf("likely explanation = %v, want [0 1]", likely)
 	}
 	// Sanity: the weighted answer really is more likely under the prior.
-	if prior.LogLikelihood(likely) <= prior.LogLikelihood(cardinality) {
+	llLikely, err := prior.LogLikelihood(likely)
+	if err != nil {
+		t.Fatal(err)
+	}
+	llCard, err := prior.LogLikelihood(cardinality)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if llLikely <= llCard {
 		t.Fatal("weighted explanation should have higher likelihood")
 	}
 }

@@ -1,0 +1,72 @@
+package trace
+
+import (
+	"log/slog"
+	"strings"
+	"sync"
+)
+
+// Ring is a bounded in-memory buffer of the last N finished traces,
+// newest first on read — the backing store of GET /debug/traces. Safe
+// for concurrent use.
+type Ring struct {
+	mu   sync.Mutex
+	buf  []Record
+	next int
+	full bool
+}
+
+// NewRing creates a ring remembering the last capacity traces; capacity
+// must be positive.
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		panic("trace: ring capacity must be positive")
+	}
+	return &Ring{buf: make([]Record, capacity)}
+}
+
+// Add stores one finished trace, evicting the oldest when full.
+func (r *Ring) Add(rec Record) {
+	r.mu.Lock()
+	r.buf[r.next] = rec
+	r.next = (r.next + 1) % len(r.buf)
+	if r.next == 0 {
+		r.full = true
+	}
+	r.mu.Unlock()
+}
+
+// Len returns the number of stored traces.
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.full {
+		return len(r.buf)
+	}
+	return r.next
+}
+
+// Snapshot returns the stored traces, newest first.
+func (r *Ring) Snapshot() []Record {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.next
+	if r.full {
+		n = len(r.buf)
+	}
+	out := make([]Record, 0, n)
+	for i := 1; i <= n; i++ {
+		out = append(out, r.buf[(r.next-i+len(r.buf))%len(r.buf)])
+	}
+	return out
+}
+
+// ParseLevel maps the -log-level flag vocabulary (debug, info, warn,
+// error; case-insensitive) to a slog.Level.
+func ParseLevel(s string) (slog.Level, error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(strings.TrimSpace(s))); err != nil {
+		return 0, err
+	}
+	return lvl, nil
+}

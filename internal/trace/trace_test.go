@@ -1,0 +1,184 @@
+package trace
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNewIDUnique(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 100; i++ {
+		id := NewID()
+		if len(id) != 24 {
+			t.Fatalf("NewID() = %q, want 24 hex chars", id)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate ID %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestSpanStages(t *testing.T) {
+	sp := NewSpan("abc")
+	if sp.ID() != "abc" {
+		t.Fatalf("ID = %q", sp.ID())
+	}
+	st := sp.StartStage("ingest")
+	time.Sleep(time.Millisecond)
+	st.EndDetail("batch=%d", 7)
+	sp.AddStage("round 0", 2*time.Millisecond, "gain=3")
+	sp.Annotate("rounds", 1)
+
+	stages := sp.Stages()
+	if len(stages) != 2 {
+		t.Fatalf("stages = %+v, want 2", stages)
+	}
+	if stages[0].Name != "ingest" || stages[0].Detail != "batch=7" {
+		t.Fatalf("stage 0 = %+v", stages[0])
+	}
+	if stages[0].DurationSeconds <= 0 {
+		t.Fatalf("stage 0 duration = %v, want > 0", stages[0].DurationSeconds)
+	}
+	if stages[1].Name != "round 0" || stages[1].DurationSeconds < 0.002 {
+		t.Fatalf("stage 1 = %+v", stages[1])
+	}
+
+	rec := sp.Finish("POST", "/v1/observations", 200, 3*time.Millisecond)
+	if rec.TraceID != "abc" || rec.Status != 200 || len(rec.Stages) != 2 {
+		t.Fatalf("record = %+v", rec)
+	}
+	if rec.Attrs["rounds"] != 1 {
+		t.Fatalf("attrs = %+v", rec.Attrs)
+	}
+}
+
+func TestSpanNilSafe(t *testing.T) {
+	var sp *Span
+	if sp.ID() != "" {
+		t.Fatal("nil span has an ID")
+	}
+	sp.StartStage("x").End()
+	sp.AddStage("y", time.Millisecond, "")
+	sp.Annotate("k", "v")
+	sp.OnStage(func(Stage) {})
+	if got := sp.Stages(); got != nil {
+		t.Fatalf("nil span stages = %v", got)
+	}
+	rec := sp.Finish("GET", "/healthz", 200, 0)
+	if rec.TraceID != "" || rec.Path != "/healthz" {
+		t.Fatalf("nil span record = %+v", rec)
+	}
+}
+
+func TestSpanOnStageHook(t *testing.T) {
+	sp := NewSpan("")
+	var got []string
+	sp.OnStage(func(st Stage) { got = append(got, st.Name) })
+	sp.AddStage("a", time.Millisecond, "")
+	sp.StartStage("b").End()
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("hook saw %v", got)
+	}
+}
+
+func TestSpanConcurrent(t *testing.T) {
+	sp := NewSpan("")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				sp.AddStage(fmt.Sprintf("w%d", i), time.Microsecond, "")
+				sp.Annotate(fmt.Sprintf("k%d", i), j)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := len(sp.Stages()); got != 400 {
+		t.Fatalf("stages = %d, want 400", got)
+	}
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	if FromContext(context.Background()) != nil {
+		t.Fatal("empty context carries a span")
+	}
+	if IDFromContext(context.Background()) != "" {
+		t.Fatal("empty context has an ID")
+	}
+	sp := NewSpan("xyz")
+	ctx := NewContext(context.Background(), sp)
+	if FromContext(ctx) != sp || IDFromContext(ctx) != "xyz" {
+		t.Fatal("span did not round-trip through the context")
+	}
+}
+
+func TestRingEvictsOldest(t *testing.T) {
+	r := NewRing(3)
+	for i := 0; i < 5; i++ {
+		r.Add(Record{TraceID: fmt.Sprintf("t%d", i)})
+	}
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", r.Len())
+	}
+	snap := r.Snapshot()
+	want := []string{"t4", "t3", "t2"}
+	for i, w := range want {
+		if snap[i].TraceID != w {
+			t.Fatalf("snapshot = %+v, want newest-first %v", snap, want)
+		}
+	}
+}
+
+func TestRingPartial(t *testing.T) {
+	r := NewRing(8)
+	r.Add(Record{TraceID: "a"})
+	r.Add(Record{TraceID: "b"})
+	snap := r.Snapshot()
+	if len(snap) != 2 || snap[0].TraceID != "b" || snap[1].TraceID != "a" {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+}
+
+func TestRingConcurrent(t *testing.T) {
+	r := NewRing(16)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				r.Add(Record{TraceID: "x"})
+				r.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Len() != 16 {
+		t.Fatalf("Len = %d, want 16", r.Len())
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	cases := map[string]slog.Level{
+		"debug": slog.LevelDebug,
+		"INFO":  slog.LevelInfo,
+		"warn":  slog.LevelWarn,
+		"error": slog.LevelError,
+	}
+	for in, want := range cases {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("shout"); err == nil {
+		t.Fatal("bogus level accepted")
+	}
+}

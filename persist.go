@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 )
 
 // PlacementFile is the JSON document Save/LoadPlacement exchange: enough
@@ -46,6 +47,12 @@ func SavePlacement(w io.Writer, doc PlacementFile) error {
 }
 
 // LoadPlacement reads a placement document written by SavePlacement.
+// Beyond decoding, it rejects structurally invalid documents — a slack
+// outside [0, 1] (or NaN), host IDs below -1, negative client IDs, and
+// host/service count mismatches — so a hand-edited or corrupted file
+// fails here with a clear message instead of deep inside an engine.
+// Bounds that depend on a concrete network (node-ID ranges) are checked
+// separately by PlacementFile.Validate.
 func LoadPlacement(r io.Reader) (PlacementFile, error) {
 	var doc PlacementFile
 	dec := json.NewDecoder(r)
@@ -56,12 +63,51 @@ func LoadPlacement(r io.Reader) (PlacementFile, error) {
 	if len(doc.Hosts) != len(doc.Services) {
 		return doc, fmt.Errorf("placemon: %d hosts for %d services", len(doc.Hosts), len(doc.Services))
 	}
+	if math.IsNaN(doc.Alpha) || doc.Alpha < 0 || doc.Alpha > 1 {
+		return doc, fmt.Errorf("placemon: alpha %v outside [0, 1]", doc.Alpha)
+	}
+	for s, h := range doc.Hosts {
+		if h < -1 {
+			return doc, fmt.Errorf("placemon: service %d has invalid host %d (want ≥ -1)", s, h)
+		}
+	}
 	for i, s := range doc.Services {
 		if len(s.Clients) == 0 {
 			return doc, fmt.Errorf("placemon: service %d has no clients", i)
 		}
+		for j, c := range s.Clients {
+			if c < 0 {
+				return doc, fmt.Errorf("placemon: service %d client %d is negative (%d)", i, j, c)
+			}
+		}
 	}
 	return doc, nil
+}
+
+// Validate checks the document against a concrete network: every host
+// and client ID must name a node of nw (hosts may also be -1, unplaced).
+// LoadPlacement already enforces the network-independent invariants;
+// callers that apply a document to a network (NewServer, `placemon
+// localize -placement`) run this too, so an ID from a different topology
+// is caught before any paths are built.
+func (f PlacementFile) Validate(nw *Network) error {
+	if nw == nil {
+		return fmt.Errorf("placemon: Validate: nil network")
+	}
+	n := nw.NumNodes()
+	for s, h := range f.Hosts {
+		if h != -1 && (h < 0 || h >= n) {
+			return fmt.Errorf("placemon: service %d host %d outside the network's %d nodes", s, h, n)
+		}
+	}
+	for i, svc := range f.Services {
+		for _, c := range svc.Clients {
+			if c < 0 || c >= n {
+				return fmt.Errorf("placemon: service %d client %d outside the network's %d nodes", i, c, n)
+			}
+		}
+	}
+	return nil
 }
 
 // ToServices converts the records back to Service values.

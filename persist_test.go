@@ -45,11 +45,69 @@ func TestLoadPlacementValidation(t *testing.T) {
 		`{"hosts":[1],"services":[]}`,
 		`{"hosts":[1],"services":[{"clients":[]}]}`,
 		`{"hosts":[1],"services":[{"clients":[1]}],"surprise":true}`,
+		// Structural invariants a hand-edited file can break: slack
+		// outside [0, 1], a host below the -1 "unplaced" sentinel, and a
+		// negative client ID.
+		`{"alpha":-0.1,"hosts":[1],"services":[{"clients":[1]}]}`,
+		`{"alpha":1.5,"hosts":[1],"services":[{"clients":[1]}]}`,
+		`{"alpha":0.5,"hosts":[-2],"services":[{"clients":[1]}]}`,
+		`{"alpha":0.5,"hosts":[1],"services":[{"clients":[-3]}]}`,
 	}
 	for _, c := range cases {
 		if _, err := LoadPlacement(strings.NewReader(c)); err == nil {
 			t.Fatalf("LoadPlacement(%q) should fail", c)
 		}
+	}
+	// An unplaced service (host -1) remains valid.
+	ok := `{"alpha":0.5,"hosts":[-1],"services":[{"clients":[1]}]}`
+	if _, err := LoadPlacement(strings.NewReader(ok)); err != nil {
+		t.Fatalf("LoadPlacement(%q) = %v, want ok", ok, err)
+	}
+}
+
+func TestPlacementFileValidate(t *testing.T) {
+	nw := fig1Network(t)
+	n := nw.NumNodes()
+	good := PlacementFile{
+		Alpha:    0.5,
+		Services: []ServiceRecord{{Clients: []int{0, 1}}},
+		Hosts:    []int{n - 1},
+	}
+	if err := good.Validate(nw); err != nil {
+		t.Fatalf("valid document rejected: %v", err)
+	}
+	unplaced := good
+	unplaced.Hosts = []int{-1}
+	if err := unplaced.Validate(nw); err != nil {
+		t.Fatalf("unplaced host rejected: %v", err)
+	}
+
+	badHost := good
+	badHost.Hosts = []int{n}
+	if err := badHost.Validate(nw); err == nil {
+		t.Fatal("host beyond the network should error")
+	}
+	badClient := good
+	badClient.Services = []ServiceRecord{{Clients: []int{n + 3}}}
+	if err := badClient.Validate(nw); err == nil {
+		t.Fatal("client beyond the network should error")
+	}
+	if err := good.Validate(nil); err == nil {
+		t.Fatal("nil network should error")
+	}
+}
+
+func TestNewServerRejectsOutOfNetworkPlacement(t *testing.T) {
+	// The serving path runs Validate too, so a document from a larger
+	// topology cannot reach path construction with foreign node IDs.
+	nw := fig1Network(t)
+	doc := PlacementFile{
+		Alpha:    0.5,
+		Services: []ServiceRecord{{Clients: []int{0}}},
+		Hosts:    []int{nw.NumNodes() + 10},
+	}
+	if _, err := NewServer(nw, doc, ServerConfig{}); err == nil {
+		t.Fatal("NewServer should reject a host outside the network")
 	}
 }
 

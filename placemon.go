@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"time"
 
 	"repro/internal/graph"
 	"repro/internal/placement"
@@ -208,6 +209,31 @@ type PlaceConfig struct {
 	// Capacity, when non-nil, adds node capacity constraints (Section
 	// VII-A) and routes greedy placement through the capacitated variant.
 	Capacity *Capacity
+	// Progress, when non-nil, receives one callback per completed
+	// greedy/lazy round (see RoundProgress). Honored by the greedy, lazy,
+	// and lazy-parallel algorithms — including the lazy engines' eager
+	// fallback for non-submodular objectives — and ignored by the rest.
+	// The callback runs on the engine goroutine between rounds; it only
+	// observes the computation and never changes its result.
+	Progress func(RoundProgress)
+}
+
+// RoundProgress reports one completed round of a greedy or lazy
+// placement run to PlaceConfig.Progress.
+type RoundProgress struct {
+	// Round is the 0-based round index (one service placed per round).
+	Round int
+	// Service and Host are the winning (service, host) pair.
+	Service int
+	Host    int
+	// Gain is the marginal objective gain of the winning pair.
+	Gain float64
+	// Candidates counts the (service, host) pairs examined this round.
+	Candidates int
+	// Evaluations counts objective evaluations spent this round.
+	Evaluations int
+	// Duration is the wall-clock time of the round.
+	Duration time.Duration
 }
 
 // Capacity models the Section VII-A constraints.
@@ -260,14 +286,30 @@ func (nw *Network) Place(services []Service, cfg PlaceConfig) (*Result, error) {
 		return nil, fmt.Errorf("placemon: capacity constraints are only supported with the greedy algorithm, not %q", algo)
 	}
 
+	var progress placement.ProgressFunc
+	if cfg.Progress != nil {
+		report := cfg.Progress
+		progress = func(r placement.Round) {
+			report(RoundProgress{
+				Round:       r.Index,
+				Service:     r.Service,
+				Host:        r.Host,
+				Gain:        r.Gain,
+				Candidates:  r.Candidates,
+				Evaluations: r.Evaluations,
+				Duration:    r.Duration,
+			})
+		}
+	}
+
 	var res *placement.Result
 	switch algo {
 	case AlgorithmGreedyLS:
 		res, err = placeLS(inst, obj)
 	case AlgorithmLazy:
-		res, err = placement.GreedyLazy(inst, obj)
+		res, err = placement.GreedyLazyWithProgress(inst, obj, progress)
 	case AlgorithmLazyParallel:
-		res, err = placement.GreedyLazyParallel(inst, obj, 0)
+		res, err = placement.GreedyLazyParallelWithProgress(inst, obj, 0, progress)
 	case AlgorithmGreedy:
 		if cfg.Capacity != nil {
 			res, err = placement.GreedyCapacitated(inst, obj, placement.CapacityConstraints{
@@ -275,7 +317,7 @@ func (nw *Network) Place(services []Service, cfg PlaceConfig) (*Result, error) {
 				Capacity: cfg.Capacity.HostCapacity,
 			})
 		} else {
-			res, err = placement.Greedy(inst, obj)
+			res, err = placement.GreedyWithProgress(inst, obj, progress)
 		}
 	case AlgorithmQoS:
 		res, err = placement.QoS(inst, obj)

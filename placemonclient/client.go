@@ -11,13 +11,18 @@
 // (batch IDs), so at-least-once delivery — retries, duplicates — yields
 // exactly-once ingestion against a dedup-enabled placemond. Everything is
 // instrumented via internal/metrics.
+//
+// Every call is traced end to end: the client stamps a Placemond-Trace-Id
+// header (minted with the same crypto-random construction as its
+// idempotency keys, or adopted from a server-side span already in ctx)
+// that is stable across the call's retries, so all deliveries of one
+// logical request share one trace ID in the server's logs and
+// /debug/traces ring.
 package placemonclient
 
 import (
 	"bytes"
 	"context"
-	"crypto/rand"
-	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -31,6 +36,7 @@ import (
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/trace"
 )
 
 // ErrCircuitOpen means the breaker refused the call without touching the
@@ -264,12 +270,14 @@ type PlacementResult struct {
 }
 
 // IngestResult is ReportObservations' answer: the events the batch
-// triggered, the idempotency key it was sent under, and whether the
-// server replayed a cached response for a batch it had already applied.
+// triggered, the idempotency key it was sent under, whether the server
+// replayed a cached response for a batch it had already applied, and the
+// trace ID the exchange ran under (as echoed by the server).
 type IngestResult struct {
 	BatchID  string
 	Events   []Event
 	Replayed bool
+	TraceID  string
 }
 
 // --- API methods ---
@@ -296,6 +304,7 @@ func (c *Client) ReportObservations(ctx context.Context, batch ObservationBatch)
 		BatchID:  batch.BatchID,
 		Events:   out.Events,
 		Replayed: hdr.Get("Placemond-Replayed") == "true",
+		TraceID:  hdr.Get(trace.Header),
 	}, nil
 }
 
@@ -329,6 +338,10 @@ func (c *Client) Healthz(ctx context.Context) error {
 // do runs the retry loop for one API call: breaker gate, delivery with a
 // per-attempt timeout, classification, backoff with full jitter and
 // Retry-After honoring. It returns the successful response's headers.
+//
+// One trace ID covers the whole call — adopted from a span already in ctx
+// or minted here — and is stamped on every delivery, so the retries of a
+// single logical request are correlated in the server's logs.
 func (c *Client) do(ctx context.Context, method, path string, in, out any) (http.Header, error) {
 	var body []byte
 	if in != nil {
@@ -336,6 +349,10 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) (http
 		if body, err = json.Marshal(in); err != nil {
 			return nil, fmt.Errorf("placemonclient: encoding %s body: %w", path, err)
 		}
+	}
+	traceID := trace.IDFromContext(ctx)
+	if traceID == "" {
+		traceID = trace.NewID()
 	}
 	start := time.Now()
 	defer func() { c.latency.Observe(time.Since(start).Seconds()) }()
@@ -358,7 +375,7 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) (http
 			return nil, ErrCircuitOpen
 		}
 
-		hdr, retryable, ra, err := c.attempt(ctx, method, path, body, out)
+		hdr, retryable, ra, err := c.attempt(ctx, method, path, traceID, body, out)
 		if err == nil {
 			c.requests("success").Inc()
 			return hdr, nil
@@ -378,7 +395,7 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) (http
 // covers transport errors, per-attempt timeouts, 429, and 5xx; other 4xx
 // answers are permanent (and count as breaker successes — the server is
 // alive, it just rejected the request).
-func (c *Client) attempt(ctx context.Context, method, path string, body []byte, out any) (http.Header, bool, time.Duration, error) {
+func (c *Client) attempt(ctx context.Context, method, path, traceID string, body []byte, out any) (http.Header, bool, time.Duration, error) {
 	actx := ctx
 	if c.cfg.PerAttemptTimeout > 0 {
 		var cancel context.CancelFunc
@@ -396,6 +413,7 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte, 
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	req.Header.Set(trace.Header, traceID)
 
 	resp, err := c.hc.Do(req)
 	if err != nil {
@@ -515,13 +533,8 @@ func apiError(resp *http.Response) error {
 	return &APIError{Status: resp.StatusCode, Message: msg}
 }
 
-// newBatchID mints a 96-bit random idempotency key.
+// newBatchID mints a 96-bit random idempotency key — the same
+// construction as trace IDs, shared via internal/trace.
 func newBatchID() string {
-	var b [12]byte
-	if _, err := rand.Read(b[:]); err != nil {
-		// crypto/rand failing is effectively fatal elsewhere; a
-		// time-derived key keeps ingestion alive with unique-enough IDs.
-		return fmt.Sprintf("t-%d", time.Now().UnixNano())
-	}
-	return hex.EncodeToString(b[:])
+	return trace.NewID()
 }

@@ -4,7 +4,7 @@ import (
 	"context"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"time"
@@ -12,6 +12,7 @@ import (
 	"repro/internal/bitset"
 	"repro/internal/placement"
 	"repro/internal/server"
+	"repro/internal/trace"
 )
 
 // This file is the serving side of the facade: it turns a Network plus a
@@ -44,8 +45,15 @@ type ServerConfig struct {
 	DiagnosisTimeout time.Duration
 	// EnablePprof mounts net/http/pprof under /debug/pprof/.
 	EnablePprof bool
-	// Logger receives request and error lines; nil discards them.
-	Logger *log.Logger
+	// Logger receives structured request and error records; nil discards
+	// them. Every record carries the request's trace ID.
+	Logger *slog.Logger
+	// SlowRequest is the latency at or above which a request additionally
+	// logs a warning (default 1s; ≤ -1 disables).
+	SlowRequest time.Duration
+	// TraceBuffer sizes the /debug/traces ring of recent request traces
+	// (default 64; ≤ -1 disables the ring and the endpoint).
+	TraceBuffer int
 }
 
 // Server is the placemond HTTP monitoring service over one deployed
@@ -66,6 +74,9 @@ func NewServer(nw *Network, doc PlacementFile, cfg ServerConfig) (*Server, error
 	services := doc.ToServices()
 	if len(doc.Hosts) != len(services) {
 		return nil, fmt.Errorf("placemon: %d hosts for %d services", len(doc.Hosts), len(services))
+	}
+	if err := doc.Validate(nw); err != nil {
+		return nil, err
 	}
 	inst, _, err := nw.prepare(services, PlaceConfig{Alpha: doc.Alpha})
 	if err != nil {
@@ -94,19 +105,21 @@ func NewServer(nw *Network, doc PlacementFile, cfg ServerConfig) (*Server, error
 	}
 
 	inner, err := server.New(server.Config{
-		NumNodes:       nw.NumNodes(),
-		K:              cfg.K,
-		Paths:          paths,
-		Connections:    conns,
-		Place:          nw.placeFunc(),
-		Workers:        cfg.Workers,
-		QueueDepth:     cfg.QueueDepth,
+		NumNodes:         nw.NumNodes(),
+		K:                cfg.K,
+		Paths:            paths,
+		Connections:      conns,
+		Place:            nw.placeFunc(),
+		Workers:          cfg.Workers,
+		QueueDepth:       cfg.QueueDepth,
 		RequestTimeout:   cfg.RequestTimeout,
 		DrainTimeout:     cfg.DrainTimeout,
 		DedupWindow:      cfg.DedupWindow,
 		DiagnosisTimeout: cfg.DiagnosisTimeout,
 		EnablePprof:      cfg.EnablePprof,
 		Logger:           cfg.Logger,
+		SlowRequest:      cfg.SlowRequest,
+		TraceBuffer:      cfg.TraceBuffer,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("placemon: %w", err)
@@ -116,11 +129,22 @@ func NewServer(nw *Network, doc PlacementFile, cfg ServerConfig) (*Server, error
 
 // placeFunc adapts Network.Place to the serving layer's job signature.
 // Network methods are safe for concurrent use, so the closure is too.
+// The request's trace span (carried by ctx into the worker pool) receives
+// one stage per engine round, which the serving layer also folds into the
+// round-duration histogram.
 func (nw *Network) placeFunc() server.PlaceFunc {
-	return func(req server.PlacementRequest) (*server.PlacementResult, error) {
+	return func(ctx context.Context, req server.PlacementRequest) (*server.PlacementResult, error) {
 		services := make([]Service, len(req.Services))
 		for i, s := range req.Services {
 			services[i] = Service{Name: s.Name, Clients: s.Clients}
+		}
+		var progress func(RoundProgress)
+		if sp := trace.FromContext(ctx); sp != nil {
+			progress = func(r RoundProgress) {
+				sp.AddStage(fmt.Sprintf("placement round %d", r.Round), r.Duration,
+					fmt.Sprintf("service=%d host=%d gain=%g candidates=%d evaluations=%d",
+						r.Service, r.Host, r.Gain, r.Candidates, r.Evaluations))
+			}
 		}
 		res, err := nw.Place(services, PlaceConfig{
 			Alpha:     req.Alpha,
@@ -128,6 +152,7 @@ func (nw *Network) placeFunc() server.PlaceFunc {
 			Algorithm: Algorithm(req.Algorithm),
 			K:         req.K,
 			Seed:      req.Seed,
+			Progress:  progress,
 		})
 		if err != nil {
 			return nil, err

@@ -2,6 +2,7 @@ package placemon
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 )
 
@@ -46,6 +47,9 @@ func (nw *Network) Sweep(services []Service, cfg SweepConfig) ([]SweepPoint, err
 	}
 	sorted := append([]float64(nil), alphas...)
 	sort.Float64s(sorted)
+	// A repeated α would silently duplicate its point (and waste a full
+	// placement run); one point per distinct slack.
+	sorted = slices.Compact(sorted)
 
 	points := make([]SweepPoint, 0, len(sorted))
 	for _, alpha := range sorted {

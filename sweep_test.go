@@ -53,6 +53,24 @@ func TestSweepUnsortedAlphas(t *testing.T) {
 	}
 }
 
+func TestSweepDedupesAlphas(t *testing.T) {
+	// Repeated slacks used to produce duplicate points (and waste a full
+	// placement run each); now the sweep yields one point per distinct α.
+	nw := fig1Network(t)
+	points, err := nw.Sweep(fig1Services(2), SweepConfig{
+		Alphas: []float64{0.5, 0.5, 0, 0, 0.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %d, want 2 (one per distinct α): %+v", len(points), points)
+	}
+	if points[0].Alpha != 0 || points[1].Alpha != 0.5 {
+		t.Fatalf("alphas = %g, %g, want 0, 0.5", points[0].Alpha, points[1].Alpha)
+	}
+}
+
 func TestSweepValidation(t *testing.T) {
 	nw := fig1Network(t)
 	if _, err := nw.Sweep(fig1Services(1), SweepConfig{Alphas: []float64{-0.1}}); err == nil {

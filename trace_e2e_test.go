@@ -1,0 +1,268 @@
+package placemon_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	placemon "repro"
+	"repro/internal/faultinject"
+	"repro/internal/trace"
+	"repro/placemonclient"
+)
+
+// syncBuffer is a goroutine-safe log sink: the server logs from request
+// goroutines while the test drives traffic.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// tracesSnapshot fetches /debug/traces and returns the ring newest-first.
+func tracesSnapshot(t *testing.T, baseURL string) []trace.Record {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/debug/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/traces status %d", resp.StatusCode)
+	}
+	var out struct {
+		Traces []trace.Record `json:"traces"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out.Traces
+}
+
+// findTrace returns the first ring record with the given trace ID.
+func findTrace(records []trace.Record, id string) *trace.Record {
+	for i := range records {
+		if records[i].TraceID == id {
+			return &records[i]
+		}
+	}
+	return nil
+}
+
+// stageByName returns the named stage of a record, or nil.
+func stageByName(rec *trace.Record, name string) *trace.Stage {
+	for i := range rec.Stages {
+		if rec.Stages[i].Name == name {
+			return &rec.Stages[i]
+		}
+	}
+	return nil
+}
+
+// TestTracePropagationEndToEnd is the acceptance run for the tracing
+// layer: observation batches travel from the retrying client through a
+// fault injector that drops and duplicates deliveries, and every hop must
+// agree on the request's trace ID — the response header the client
+// surfaces, the structured log lines, the /debug/traces ring entry, and
+// (for placement jobs) the worker-pool and engine-round stages recorded
+// inside the span. Dedup-replayed batches keep their batch semantics
+// while carrying their own distinct trace IDs.
+func TestTracePropagationEndToEnd(t *testing.T) {
+	sc := buildChaosScenario(t, 1)
+
+	logs := &syncBuffer{}
+	logger := slog.New(slog.NewTextHandler(logs, &slog.HandlerOptions{Level: slog.LevelInfo}))
+	srv, err := placemon.NewServer(sc.nw, sc.doc, placemon.ServerConfig{
+		Logger:      logger,
+		TraceBuffer: 256,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Drops force retries (one trace ID spanning all attempts of a batch)
+	// and duplicates force server-side dedup replays of live traffic.
+	inj, err := faultinject.New(faultinject.Policy{
+		Seed:     7,
+		DropProb: 0.15,
+		DupProb:  0.20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := retryingClient(t, ts.URL, inj, 12)
+
+	// Every delivered batch must come back with the server's trace ID in
+	// the response header, even when the delivery needed retries.
+	var first *placemonclient.IngestResult
+	for i, b := range sc.batches {
+		res, err := client.ReportObservations(context.Background(), b)
+		if err != nil {
+			t.Fatalf("batch %d/%d lost despite retries: %v", i+1, len(sc.batches), err)
+		}
+		if res.TraceID == "" {
+			t.Fatalf("batch %d: no %s header on the response", i+1, trace.Header)
+		}
+		if first == nil {
+			first = res
+		}
+	}
+	if inj.Total() == 0 {
+		t.Fatalf("no faults injected; the run proved nothing about retries")
+	}
+
+	// Replaying a batch by hand (same batch ID) must dedup — and the
+	// replay is its own request, so it carries a different trace ID.
+	replayBatch := sc.batches[len(sc.batches)-1]
+	replayBatch.BatchID = "e2e-replay-batch"
+	if _, err := client.ReportObservations(context.Background(), replayBatch); err != nil {
+		t.Fatal(err)
+	}
+	replay, err := client.ReportObservations(context.Background(), replayBatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !replay.Replayed {
+		t.Fatalf("second delivery of batch %q not marked replayed", replay.BatchID)
+	}
+	if replay.TraceID == "" || replay.TraceID == first.TraceID {
+		t.Fatalf("replay trace ID %q should be fresh (first was %q)", replay.TraceID, first.TraceID)
+	}
+
+	// A placement job with a caller-chosen trace ID: the client stamps it
+	// on the wire, the server adopts it, and the span follows the job into
+	// the worker pool and the engine rounds.
+	const placeTraceID = "e2e-placement-trace-id"
+	ctx := trace.NewContext(context.Background(), trace.NewSpan(placeTraceID))
+	services := sc.doc.ToServices()
+	if _, err := client.Place(ctx, placemonclient.PlacementRequest{
+		Services: []placemonclient.ServiceSpec{
+			{Name: services[0].Name, Clients: services[0].Clients},
+			{Name: services[1].Name, Clients: services[1].Clients},
+		},
+		Alpha: sc.doc.Alpha,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	records := tracesSnapshot(t, ts.URL)
+
+	// The ingest request's ring entry: same trace ID the client saw, with
+	// the full decode → dedup → ingest pipeline timed.
+	ingestRec := findTrace(records, first.TraceID)
+	if ingestRec == nil {
+		t.Fatalf("trace %q not in /debug/traces ring (%d records)", first.TraceID, len(records))
+	}
+	for _, name := range []string{"decode", "dedup", "ingest"} {
+		st := stageByName(ingestRec, name)
+		if st == nil {
+			t.Fatalf("ingest trace %q missing stage %q: %+v", first.TraceID, name, ingestRec.Stages)
+		}
+		if st.DurationSeconds <= 0 {
+			t.Errorf("ingest stage %q has zero duration", name)
+		}
+	}
+
+	// The hand-replayed batch's ring entry is marked as a dedup hit.
+	replayRec := findTrace(records, replay.TraceID)
+	if replayRec == nil {
+		t.Fatalf("replay trace %q not in ring", replay.TraceID)
+	}
+	if v, ok := replayRec.Attrs["replayed"].(bool); !ok || !v {
+		t.Fatalf("replay trace attrs = %v, want replayed=true", replayRec.Attrs)
+	}
+
+	// The placement request's ring entry: the adopted ID, the worker-pool
+	// stages, and at least one engine round — ≥ 3 named, timed stages.
+	placeRec := findTrace(records, placeTraceID)
+	if placeRec == nil {
+		t.Fatalf("placement trace %q not in ring", placeTraceID)
+	}
+	timed := 0
+	for _, name := range []string{"decode", "queue wait", "place"} {
+		st := stageByName(placeRec, name)
+		if st == nil {
+			t.Fatalf("placement trace missing stage %q: %+v", name, placeRec.Stages)
+		}
+		if st.DurationSeconds <= 0 {
+			t.Errorf("placement stage %q has zero duration", name)
+		} else {
+			timed++
+		}
+	}
+	if timed < 3 {
+		t.Fatalf("placement trace has %d non-zero-duration stages, want ≥ 3", timed)
+	}
+	rounds := 0
+	for _, st := range placeRec.Stages {
+		if strings.HasPrefix(st.Name, "placement round") {
+			rounds++
+		}
+	}
+	if rounds == 0 {
+		t.Fatalf("placement trace has no engine-round stages: %+v", placeRec.Stages)
+	}
+	if placeRec.DurationSeconds <= 0 || placeRec.Status != http.StatusOK {
+		t.Fatalf("placement record = status %d, %.9fs", placeRec.Status, placeRec.DurationSeconds)
+	}
+
+	// The structured request log carries the same IDs.
+	text := logs.String()
+	for _, id := range []string{first.TraceID, replay.TraceID, placeTraceID} {
+		if !strings.Contains(text, id) {
+			t.Errorf("structured logs missing trace ID %q", id)
+		}
+	}
+
+	// Trace metadata never changes behavior: the traced placement matches
+	// the in-process engine bit for bit.
+	inProc, err := sc.nw.Place(services, placemon.PlaceConfig{Alpha: sc.doc.Alpha})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var viaPool placemonclient.PlacementResult
+	resp, err := http.Post(ts.URL+"/v1/placements", "application/json",
+		strings.NewReader(mustPlacementBody(t, services, sc.doc.Alpha)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustDecode(t, resp, &viaPool)
+	for i, h := range viaPool.Hosts {
+		if h != inProc.Hosts[i] {
+			t.Fatalf("traced pool placement %v != in-process %v", viaPool.Hosts, inProc.Hosts)
+		}
+	}
+}
+
+func mustPlacementBody(t *testing.T, services []placemon.Service, alpha float64) string {
+	t.Helper()
+	specs := make([]map[string]any, len(services))
+	for i, s := range services {
+		specs[i] = map[string]any{"name": s.Name, "clients": s.Clients}
+	}
+	raw, err := json.Marshal(map[string]any{"services": specs, "alpha": alpha})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(raw)
+}

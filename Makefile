@@ -5,7 +5,7 @@ GO ?= go
 # for a quick smoke run.
 BENCHFLAGS ?=
 
-.PHONY: all help build test race check chaos bench bench-json bench-smoke fuzz fuzz-smoke experiments results serve clean
+.PHONY: all help build test race check chaos bench bench-json bench-smoke bench-compare fuzz fuzz-smoke experiments results serve clean
 
 all: build test
 
@@ -19,6 +19,7 @@ help:
 	@echo "  bench        one benchmark run per table/figure plus ablations"
 	@echo "  bench-json   machine-readable benchmark snapshot (BENCH_<date>.json)"
 	@echo "  bench-smoke  single-iteration benchmark compile-and-run gate (CI)"
+	@echo "  bench-compare  registry-overhead run gated against the archived seed baseline (CI)"
 	@echo "  fuzz         short fuzz session over the edge-list parser"
 	@echo "  fuzz-smoke   ~10s of every fuzz target (CI)"
 	@echo "  experiments  regenerate every evaluation artifact into results/"
@@ -58,7 +59,12 @@ bench:
 # Single-iteration smoke over a cheap benchmark: proves the benchmark
 # harness still compiles and runs without paying for a real measurement.
 bench-smoke:
-	$(GO) test -run NONE -bench=TableI -benchtime=1x .
+	$(GO) test -run NONE -bench='TableI|RegistryOverhead' -benchtime=1x .
+
+# Multi-tenant serving overhead, gated against the archived pre-refactor
+# baseline: fails when any route regressed more than 10% in ns/op.
+bench-compare:
+	$(GO) test -run NONE -bench=RegistryOverhead -benchmem -benchtime=2000x . | $(GO) run ./cmd/benchjson -compare BENCH_2026-08-06_registry_seed.json -fail-over 10
 
 # Machine-readable benchmark snapshot for the perf trajectory: runs the
 # root benchmarks and archives them as BENCH_<date>.json.

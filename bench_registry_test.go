@@ -1,0 +1,55 @@
+package placemon_test
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// BenchmarkRegistryOverhead measures single-tenant request latency on the
+// serving hot paths — observation ingest and the no-outage diagnosis read
+// — straight through the HTTP handler, with no real socket. The sub-
+// benchmark names are stable across the registry refactor so archived
+// snapshots diff the seed single-tenant path against the registry-backed
+// "default" tenant path with `benchjson -compare`: the acceptance bar is
+// ≤10% ns/op overhead on these shared names.
+func BenchmarkRegistryOverhead(b *testing.B) {
+	srv, _, _, _ := legacyGoldenServer(b)
+	defer srv.Close()
+	handler := srv.Handler()
+
+	nConns := len(srv.Connections())
+	var up []string
+	for i := 0; i < nConns; i++ {
+		up = append(up, fmt.Sprintf(`{"connection": %d, "up": true}`, i))
+	}
+	ingestBody := fmt.Sprintf(`{"time": 1, "reports": [%s]}`, strings.Join(up, ","))
+
+	run := func(b *testing.B, method, path, body string) {
+		b.Helper()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			req := httptest.NewRequest(method, path, strings.NewReader(body))
+			if body != "" {
+				req.Header.Set("Content-Type", "application/json")
+			}
+			rec := httptest.NewRecorder()
+			handler.ServeHTTP(rec, req)
+			if rec.Code != http.StatusOK {
+				b.Fatalf("%s %s: status %d: %s", method, path, rec.Code, rec.Body)
+			}
+		}
+	}
+
+	b.Run("ingest", func(b *testing.B) {
+		run(b, http.MethodPost, "/v1/observations", ingestBody)
+	})
+	b.Run("diagnosis", func(b *testing.B) {
+		run(b, http.MethodGet, "/v1/diagnosis", "")
+	})
+	b.Run("healthz", func(b *testing.B) {
+		run(b, http.MethodGet, "/healthz", "")
+	})
+}

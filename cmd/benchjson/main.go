@@ -19,6 +19,12 @@
 // when no second file is given. For every benchmark present in both
 // snapshots it prints ns/op and each shared metric (B/op, allocs/op,
 // evaluations/op, ...) side by side with the relative change.
+//
+// With -fail-over N (percent, compare mode only) the command exits
+// non-zero if any shared benchmark's ns/op regressed by more than N%, so
+// CI can gate merges on archived baselines:
+//
+//	go test -run NONE -bench=Registry . | go run ./cmd/benchjson -compare BENCH_seed.json -fail-over 10
 package main
 
 import (
@@ -64,14 +70,21 @@ type Benchmark struct {
 
 func main() {
 	compare := flag.String("compare", "", "baseline snapshot JSON; diff against a second snapshot file or stdin bench text")
+	failOver := flag.Float64("fail-over", 0, "with -compare: exit non-zero if any shared benchmark's ns/op regressed by more than this percentage (0 disables)")
 	flag.Parse()
-	if err := run(*compare, flag.Args(), os.Stdin, os.Stdout, os.Stderr); err != nil {
+	if err := run(*compare, *failOver, flag.Args(), os.Stdin, os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
 }
 
-func run(compare string, args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+func run(compare string, failOver float64, args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+	if failOver != 0 && compare == "" {
+		return fmt.Errorf("-fail-over needs -compare")
+	}
+	if failOver < 0 {
+		return fmt.Errorf("-fail-over must be non-negative, got %v", failOver)
+	}
 	if compare == "" {
 		sum, err := parse(stdin, time.Now())
 		if err != nil {
@@ -97,9 +110,13 @@ func run(compare string, args []string, stdin io.Reader, stdout, stderr io.Write
 	} else if cand, err = parse(stdin, time.Now()); err != nil {
 		return err
 	}
-	shared := compareSummaries(stdout, base, cand)
+	shared, regressed := compareSummaries(stdout, base, cand, failOver)
 	if shared == 0 {
 		return fmt.Errorf("no benchmark names in common between the two snapshots")
+	}
+	if len(regressed) > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed more than %v%% in ns/op: %s",
+			len(regressed), failOver, strings.Join(regressed, ", "))
 	}
 	return nil
 }
@@ -120,16 +137,17 @@ func readSummary(path string) (*Summary, error) {
 // compareSummaries prints, for every benchmark name present in both
 // snapshots, each shared metric side by side with the relative change
 // (negative = the candidate improved). It returns the number of shared
-// benchmarks; names unique to one side are listed at the end so a
-// renamed benchmark is not mistaken for a regression-free run.
-func compareSummaries(w io.Writer, base, cand *Summary) int {
+// benchmarks and — when failOver > 0 — the names whose ns/op regressed
+// past that percentage; names unique to one side are listed at the end
+// so a renamed benchmark is not mistaken for a regression-free run.
+func compareSummaries(w io.Writer, base, cand *Summary, failOver float64) (int, []string) {
 	old := make(map[string]Benchmark, len(base.Benchmarks))
 	for _, b := range base.Benchmarks {
 		old[b.Name] = b
 	}
 	fmt.Fprintf(w, "baseline %s vs candidate %s\n", base.Date, cand.Date)
 	shared := 0
-	var onlyNew []string
+	var onlyNew, regressed []string
 	seen := map[string]bool{}
 	for _, nb := range cand.Benchmarks {
 		seen[nb.Name] = true
@@ -145,6 +163,10 @@ func compareSummaries(w io.Writer, base, cand *Summary) int {
 			fmt.Fprintf(w, "    %-18s %16s -> %-16s %8s\n",
 				unit, trimFloat(o), trimFloat(n), relChange(o, n))
 		}
+		if failOver > 0 && ob.NsPerOp > 0 &&
+			100*(nb.NsPerOp-ob.NsPerOp)/ob.NsPerOp > failOver {
+			regressed = append(regressed, nb.Name)
+		}
 	}
 	var onlyOld []string
 	for _, ob := range base.Benchmarks {
@@ -158,7 +180,7 @@ func compareSummaries(w io.Writer, base, cand *Summary) int {
 	for _, name := range onlyNew {
 		fmt.Fprintf(w, "only in candidate: %s\n", name)
 	}
-	return shared
+	return shared, regressed
 }
 
 // sharedUnits returns the metric units both lines report, ns/op first

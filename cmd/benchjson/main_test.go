@@ -121,7 +121,7 @@ func TestCompareSummaries(t *testing.T) {
 		},
 	}
 	var out strings.Builder
-	if shared := compareSummaries(&out, base, cand); shared != 1 {
+	if shared, _ := compareSummaries(&out, base, cand, 0); shared != 1 {
 		t.Fatalf("shared = %d, want 1", shared)
 	}
 	text := out.String()
@@ -158,7 +158,7 @@ func TestRunCompareFiles(t *testing.T) {
 	new_ := write("new.json", `{"date":"d2","benchmarks":[{"name":"BenchmarkX-8","ns_per_op":20,"metrics":{"ns/op":20}}]}`)
 
 	var out, errOut strings.Builder
-	if err := run(old, []string{new_}, strings.NewReader(""), &out, &errOut); err != nil {
+	if err := run(old, 0, []string{new_}, strings.NewReader(""), &out, &errOut); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "+100.0%") {
@@ -167,7 +167,7 @@ func TestRunCompareFiles(t *testing.T) {
 
 	// Candidate from stdin bench text.
 	out.Reset()
-	if err := run(old, nil, strings.NewReader("BenchmarkX-8  3  5 ns/op\nPASS\n"), &out, &errOut); err != nil {
+	if err := run(old, 0, nil, strings.NewReader("BenchmarkX-8  3  5 ns/op\nPASS\n"), &out, &errOut); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "-50.0%") {
@@ -177,16 +177,56 @@ func TestRunCompareFiles(t *testing.T) {
 	// Disjoint snapshots are an error, not a silent all-clear.
 	disjoint := write("disjoint.json", `{"date":"d3","benchmarks":[{"name":"BenchmarkY-8","ns_per_op":1,"metrics":{"ns/op":1}}]}`)
 	out.Reset()
-	if err := run(old, []string{disjoint}, strings.NewReader(""), &out, &errOut); err == nil {
+	if err := run(old, 0, []string{disjoint}, strings.NewReader(""), &out, &errOut); err == nil {
 		t.Fatal("disjoint snapshots should error")
 	}
 
 	// Missing or corrupt baseline files error out.
-	if err := run(dir+"/missing.json", nil, strings.NewReader(""), &out, &errOut); err == nil {
+	if err := run(dir+"/missing.json", 0, nil, strings.NewReader(""), &out, &errOut); err == nil {
 		t.Fatal("missing baseline should error")
 	}
 	corrupt := write("corrupt.json", "{not json")
-	if err := run(corrupt, nil, strings.NewReader(""), &out, &errOut); err == nil {
+	if err := run(corrupt, 0, nil, strings.NewReader(""), &out, &errOut); err == nil {
 		t.Fatal("corrupt baseline should error")
+	}
+}
+
+// TestFailOverGate: -fail-over turns an ns/op regression past the
+// threshold into a non-zero exit, tolerates regressions under it, and
+// never fires on improvements.
+func TestFailOverGate(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, body string) string {
+		path := dir + "/" + name
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	base := write("base.json",
+		`{"date":"d1","benchmarks":[{"name":"BenchmarkX-8","ns_per_op":100,"metrics":{"ns/op":100}}]}`)
+
+	var out, errOut strings.Builder
+	// +50% regression over a 10% gate fails and names the benchmark.
+	err := run(base, 10, nil, strings.NewReader("BenchmarkX-8  3  150 ns/op\nPASS\n"), &out, &errOut)
+	if err == nil || !strings.Contains(err.Error(), "BenchmarkX-8") {
+		t.Fatalf("regression past the gate returned %v", err)
+	}
+	// +5% under a 10% gate passes.
+	out.Reset()
+	if err := run(base, 10, nil, strings.NewReader("BenchmarkX-8  3  105 ns/op\nPASS\n"), &out, &errOut); err != nil {
+		t.Fatalf("small regression under the gate failed: %v", err)
+	}
+	// An improvement passes.
+	out.Reset()
+	if err := run(base, 10, nil, strings.NewReader("BenchmarkX-8  3  50 ns/op\nPASS\n"), &out, &errOut); err != nil {
+		t.Fatalf("improvement failed the gate: %v", err)
+	}
+	// -fail-over without -compare, and negative values, are usage errors.
+	if err := run("", 10, nil, strings.NewReader(""), &out, &errOut); err == nil {
+		t.Fatal("-fail-over without -compare accepted")
+	}
+	if err := run(base, -1, nil, strings.NewReader(""), &out, &errOut); err == nil {
+		t.Fatal("negative -fail-over accepted")
 	}
 }

@@ -1,14 +1,22 @@
-// Command placemond is the network-facing monitoring service: it loads a
-// topology and a deployed placement (the JSON document `placemon place
-// -o` writes), builds the placement's measurement paths, and serves the
-// monitoring API over HTTP until SIGINT/SIGTERM, then drains gracefully.
+// Command placemond is the network-facing monitoring service: it hosts
+// one or many monitoring scenarios — each a topology plus a deployed
+// placement (the JSON document `placemon place -o` writes) — and serves
+// the monitoring API over HTTP until SIGINT/SIGTERM, then drains
+// gracefully.
 //
 //	placemond -placement placement.json -addr :8080
+//	placemond -scenario-dir /var/lib/placemond/scenarios -addr :8080
+//
+// With -placement the document becomes the "default" scenario, served on
+// the classic single-scenario routes. With -scenario-dir (usable with or
+// without -placement) scenarios are created dynamically over
+// PUT /v1/scenarios/{id}, persisted as files, and reloaded at the next
+// boot.
 //
 // Endpoints: POST /v1/observations, GET /v1/diagnosis,
 // POST /v1/placements, GET /healthz, GET /metrics, GET /debug/traces,
-// and (with -pprof) GET /debug/pprof/*. See internal/server for the wire
-// formats.
+// the scenario API under /v1/scenarios, and (with -pprof)
+// GET /debug/pprof/*. See internal/server for the wire formats.
 //
 // Logs are structured (log/slog) and every request line carries the
 // request's trace ID; tune verbosity with -log-level and slow-request
@@ -57,6 +65,9 @@ type options struct {
 	slowRequest      time.Duration
 	traceBuffer      int
 	pprof            bool
+	scenarioDir      string
+	maxScenarios     int
+	maxScenarioJobs  int
 }
 
 func parseFlags(args []string) (*options, error) {
@@ -78,11 +89,14 @@ func parseFlags(args []string) (*options, error) {
 	fs.DurationVar(&o.slowRequest, "slow-request", time.Second, "latency at which a request logs a warning (-1s disables)")
 	fs.IntVar(&o.traceBuffer, "trace-buffer", 64, "request traces retained for GET /debug/traces (-1 disables)")
 	fs.BoolVar(&o.pprof, "pprof", false, "mount net/http/pprof under /debug/pprof/")
+	fs.StringVar(&o.scenarioDir, "scenario-dir", "", "directory persisting dynamically created scenarios across restarts (empty: in-memory only)")
+	fs.IntVar(&o.maxScenarios, "max-scenarios", 0, "concurrently hosted scenario cap (0 = default 64)")
+	fs.IntVar(&o.maxScenarioJobs, "max-jobs-per-scenario", 0, "one scenario's queued+running placement job cap (0 = the whole pool, -1 disables)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
-	if o.placementFile == "" {
-		return nil, fmt.Errorf("-placement is required")
+	if o.placementFile == "" && o.scenarioDir == "" {
+		return nil, fmt.Errorf("-placement is required (or -scenario-dir for a scenario-only daemon)")
 	}
 	if _, err := trace.ParseLevel(o.logLevel); err != nil {
 		return nil, fmt.Errorf("-log-level: %v", err)
@@ -97,10 +111,39 @@ func newLogger(o *options, w io.Writer) *slog.Logger {
 	return slog.New(slog.NewTextHandler(w, &slog.HandlerOptions{Level: level}))
 }
 
+// serverConfig translates the parsed options into the facade's config.
+func (o *options) serverConfig(logger *slog.Logger) placemon.ServerConfig {
+	return placemon.ServerConfig{
+		K:                  o.k,
+		Workers:            o.workers,
+		QueueDepth:         o.queue,
+		RequestTimeout:     o.requestTimeout,
+		DrainTimeout:       o.drainTimeout,
+		DedupWindow:        o.dedupWindow,
+		DiagnosisTimeout:   o.diagnosisTimeout,
+		EnablePprof:        o.pprof,
+		Logger:             logger,
+		SlowRequest:        o.slowRequest,
+		TraceBuffer:        o.traceBuffer,
+		ScenarioDir:        o.scenarioDir,
+		MaxScenarios:       o.maxScenarios,
+		MaxJobsPerScenario: o.maxScenarioJobs,
+	}
+}
+
 // buildServer assembles the facade server from the parsed options; split
-// from run so tests can exercise it without opening sockets.
+// from run so tests can exercise it without opening sockets. Without
+// -placement it builds a scenario-only daemon: no default scenario, and
+// nil network and zero document in the return.
 func buildServer(o *options, logger *slog.Logger) (*placemon.Server, *placemon.Network, placemon.PlacementFile, error) {
 	var zero placemon.PlacementFile
+	if o.placementFile == "" {
+		srv, err := placemon.NewScenarioServer(o.serverConfig(logger))
+		if err != nil {
+			return nil, nil, zero, err
+		}
+		return srv, nil, zero, nil
+	}
 	f, err := os.Open(o.placementFile)
 	if err != nil {
 		return nil, nil, zero, err
@@ -135,19 +178,7 @@ func buildServer(o *options, logger *slog.Logger) (*placemon.Server, *placemon.N
 		return nil, nil, zero, fmt.Errorf("no network: the placement names no topology, and neither -topology nor -graph was given")
 	}
 
-	srv, err := placemon.NewServer(nw, doc, placemon.ServerConfig{
-		K:                o.k,
-		Workers:          o.workers,
-		QueueDepth:       o.queue,
-		RequestTimeout:   o.requestTimeout,
-		DrainTimeout:     o.drainTimeout,
-		DedupWindow:      o.dedupWindow,
-		DiagnosisTimeout: o.diagnosisTimeout,
-		EnablePprof:      o.pprof,
-		Logger:           logger,
-		SlowRequest:      o.slowRequest,
-		TraceBuffer:      o.traceBuffer,
-	})
+	srv, err := placemon.NewServer(nw, doc, o.serverConfig(logger))
 	if err != nil {
 		return nil, nil, zero, err
 	}
@@ -169,14 +200,24 @@ func run(ctx context.Context, args []string, logOut io.Writer) error {
 		srv.Close()
 		return err
 	}
-	logger.Info("serving",
-		"addr", ln.Addr().String(),
-		"nodes", nw.NumNodes(),
-		"services", len(doc.Services),
-		"connections", len(srv.Connections()),
-		"k", o.k,
-		"log_level", o.logLevel,
-		"slow_request", o.slowRequest)
+	if nw != nil {
+		logger.Info("serving",
+			"addr", ln.Addr().String(),
+			"nodes", nw.NumNodes(),
+			"services", len(doc.Services),
+			"connections", len(srv.Connections()),
+			"k", o.k,
+			"log_level", o.logLevel,
+			"slow_request", o.slowRequest)
+	} else {
+		logger.Info("serving (scenario-only)",
+			"addr", ln.Addr().String(),
+			"scenario_dir", o.scenarioDir,
+			"scenarios", len(srv.Scenarios()),
+			"k", o.k,
+			"log_level", o.logLevel,
+			"slow_request", o.slowRequest)
+	}
 	err = srv.Serve(ctx, ln)
 	logger.Info("drained, exiting")
 	return err

@@ -203,3 +203,124 @@ func TestResilienceFlags(t *testing.T) {
 		t.Errorf("non-numeric -dedup-window accepted")
 	}
 }
+
+// TestScenarioFlags: -scenario-dir lifts the -placement requirement and
+// the multi-tenant knobs parse.
+func TestScenarioFlags(t *testing.T) {
+	o, err := parseFlags([]string{"-scenario-dir", "/tmp/scenarios"})
+	if err != nil {
+		t.Fatalf("-scenario-dir without -placement rejected: %v", err)
+	}
+	if o.scenarioDir != "/tmp/scenarios" || o.maxScenarios != 0 || o.maxScenarioJobs != 0 {
+		t.Errorf("scenario flag defaults = %q %d %d", o.scenarioDir, o.maxScenarios, o.maxScenarioJobs)
+	}
+	o, err = parseFlags([]string{"-placement", "x.json",
+		"-scenario-dir", "s", "-max-scenarios", "3", "-max-jobs-per-scenario", "2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.maxScenarios != 3 || o.maxScenarioJobs != 2 {
+		t.Errorf("scenario caps parsed as %d %d", o.maxScenarios, o.maxScenarioJobs)
+	}
+}
+
+// waitHealthz polls the daemon until it answers, returning the last
+// healthz body.
+func waitHealthz(t *testing.T, url string) map[string]any {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(url + "/healthz")
+		if err == nil {
+			var health map[string]any
+			if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			return health
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never came up: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestScenarioOnlyDaemonLifecycle boots a scenario-only daemon, creates
+// a scenario over the wire, restarts the daemon on the same directory,
+// and checks the scenario survived.
+func TestScenarioOnlyDaemonLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close() // run re-listens on the now-free port
+	url := "http://" + addr
+	args := []string{"-scenario-dir", dir, "-addr", addr}
+
+	boot := func() (context.CancelFunc, chan error) {
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan error, 1)
+		go func() { done <- run(ctx, args, io.Discard) }()
+		return cancel, done
+	}
+	stop := func(cancel context.CancelFunc, done chan error) {
+		cancel()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("run returned %v after graceful drain", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("daemon did not drain after cancellation")
+		}
+	}
+
+	cancel, done := boot()
+	if health := waitHealthz(t, url); health["scenarios"] != float64(0) {
+		t.Fatalf("fresh scenario-only healthz = %v", health)
+	}
+	// Legacy routes 404 without a default scenario.
+	resp, err := http.Get(url + "/v1/diagnosis")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("legacy diagnosis on scenario-only daemon = %d, want 404", resp.StatusCode)
+	}
+
+	spec := `{"nodes": 5, "edges": [[0,1],[1,2],[2,3],[3,4]],
+		"placement": {"alpha": 1, "services": [{"clients": [0,4]}], "hosts": [2]}}`
+	req, err := http.NewRequest(http.MethodPut, url+"/v1/scenarios/edge", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("scenario create over the wire = %d", resp.StatusCode)
+	}
+	stop(cancel, done)
+
+	// Reboot on the same directory: the scenario is reloaded and serves.
+	cancel, done = boot()
+	defer stop(cancel, done)
+	if health := waitHealthz(t, url); health["scenarios"] != float64(1) {
+		t.Fatalf("rebooted healthz = %v, want 1 scenario", health)
+	}
+	resp, err = http.Post(url+"/v1/scenarios/edge/observations", "application/json",
+		strings.NewReader(`{"time": 1, "reports": [{"connection": 0, "up": false}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("reloaded scenario ingest = %d", resp.StatusCode)
+	}
+}

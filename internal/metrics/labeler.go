@@ -1,0 +1,48 @@
+package metrics
+
+import "sync"
+
+// OtherLabel is the bucket value a Labeler assigns once its cardinality
+// cap is reached.
+const OtherLabel = "other"
+
+// Labeler caps the cardinality of one label dimension: the first cap
+// distinct values map to themselves, every later value maps to
+// OtherLabel. The serving layer uses it for tenant-labeled series, so a
+// daemon hosting an unbounded stream of short-lived scenarios cannot grow
+// an unbounded /metrics page.
+//
+// The assignment is sticky for the life of the Labeler: a value that ever
+// mapped to OtherLabel keeps mapping there even after labeled values are
+// deleted, because the registry retains the already-created series either
+// way and flapping a tenant between its own series and the shared bucket
+// would split its counts.
+type Labeler struct {
+	mu   sync.Mutex
+	cap  int
+	seen map[string]struct{}
+}
+
+// NewLabeler creates a labeler admitting cap distinct values; cap ≤ 0
+// means unlimited (Value is then the identity).
+func NewLabeler(cap int) *Labeler {
+	return &Labeler{cap: cap, seen: make(map[string]struct{})}
+}
+
+// Value returns the label value to use for v: v itself while the cap
+// admits it, OtherLabel afterwards.
+func (l *Labeler) Value(v string) string {
+	if l == nil || l.cap <= 0 {
+		return v
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, ok := l.seen[v]; ok {
+		return v
+	}
+	if len(l.seen) < l.cap {
+		l.seen[v] = struct{}{}
+		return v
+	}
+	return OtherLabel
+}

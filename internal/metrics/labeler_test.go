@@ -1,0 +1,66 @@
+package metrics
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestLabelerCapsCardinality(t *testing.T) {
+	l := NewLabeler(2)
+	if got := l.Value("a"); got != "a" {
+		t.Fatalf("first value = %q, want a", got)
+	}
+	if got := l.Value("b"); got != "b" {
+		t.Fatalf("second value = %q, want b", got)
+	}
+	if got := l.Value("c"); got != OtherLabel {
+		t.Fatalf("over-cap value = %q, want %q", got, OtherLabel)
+	}
+	// Admitted values stay admitted; rejected ones stay rejected.
+	if got := l.Value("a"); got != "a" {
+		t.Fatalf("repeat admitted value = %q, want a", got)
+	}
+	if got := l.Value("c"); got != OtherLabel {
+		t.Fatalf("repeat rejected value = %q, want %q", got, OtherLabel)
+	}
+}
+
+func TestLabelerUnlimited(t *testing.T) {
+	for _, l := range []*Labeler{nil, NewLabeler(0), NewLabeler(-1)} {
+		for i := 0; i < 100; i++ {
+			v := fmt.Sprintf("v%d", i)
+			if got := l.Value(v); got != v {
+				t.Fatalf("unlimited labeler rewrote %q to %q", v, got)
+			}
+		}
+	}
+}
+
+func TestLabelerConcurrent(t *testing.T) {
+	const cap = 8
+	l := NewLabeler(cap)
+	var wg sync.WaitGroup
+	results := make([]string, 64)
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = l.Value(fmt.Sprintf("t%d", i))
+		}(i)
+	}
+	wg.Wait()
+	own := 0
+	for i, got := range results {
+		switch got {
+		case fmt.Sprintf("t%d", i):
+			own++
+		case OtherLabel:
+		default:
+			t.Fatalf("value %d mapped to foreign label %q", i, got)
+		}
+	}
+	if own != cap {
+		t.Fatalf("%d values got their own label, want exactly %d", own, cap)
+	}
+}

@@ -1,6 +1,7 @@
 package placement
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -36,6 +37,21 @@ func Greedy(inst *Instance, obj Objective) (*Result, error) {
 // progress reproduces Greedy exactly (same placement, same evaluation
 // count — the hook never changes the computation, only reports it).
 func GreedyWithProgress(inst *Instance, obj Objective, progress ProgressFunc) (*Result, error) {
+	return GreedyCtx(context.Background(), inst, obj, progress)
+}
+
+// errCanceled wraps ctx.Err() so callers can errors.Is-match
+// context.Canceled / DeadlineExceeded on an abandoned run.
+func errCanceled(ctx context.Context, iter int) error {
+	return fmt.Errorf("placement: run canceled before round %d: %w", iter, ctx.Err())
+}
+
+// GreedyCtx is GreedyWithProgress bounded by ctx: cancellation is
+// observed once per greedy round (the same cadence as the progress
+// hook), so an abandoned placement job stops within one round instead of
+// running every remaining round to completion. The returned error wraps
+// ctx.Err(). A background context reproduces Greedy exactly.
+func GreedyCtx(ctx context.Context, inst *Instance, obj Objective, progress ProgressFunc) (*Result, error) {
 	if obj == nil {
 		return nil, fmt.Errorf("placement: nil objective")
 	}
@@ -45,6 +61,9 @@ func GreedyWithProgress(inst *Instance, obj Objective, progress ProgressFunc) (*
 	placed := make([]bool, inst.NumServices())
 
 	for iter := 0; iter < inst.NumServices(); iter++ {
+		if ctx.Err() != nil {
+			return nil, errCanceled(ctx, iter)
+		}
 		roundStart := time.Now()
 		evalsBefore := res.Evaluations
 		candidates := 0

@@ -2,6 +2,7 @@ package placement
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -78,13 +79,22 @@ func GreedyLazy(inst *Instance, obj Objective) (*Result, error) {
 // pops, evaluations, duration) and never changes it. Non-submodular
 // objectives route to GreedyWithProgress, so the hook fires either way.
 func GreedyLazyWithProgress(inst *Instance, obj Objective, progress ProgressFunc) (*Result, error) {
+	return GreedyLazyCtx(context.Background(), inst, obj, progress)
+}
+
+// GreedyLazyCtx is GreedyLazyWithProgress bounded by ctx: cancellation
+// is observed once per round, at the same hook sites the progress
+// callback uses, so a drained or abandoned job stops burning CPU within
+// one round. The returned error wraps ctx.Err(). A background context
+// reproduces GreedyLazy exactly.
+func GreedyLazyCtx(ctx context.Context, inst *Instance, obj Objective, progress ProgressFunc) (*Result, error) {
 	if obj == nil {
 		return nil, fmt.Errorf("placement: nil objective")
 	}
 	if !obj.submodular() {
-		return GreedyWithProgress(inst, obj, progress)
+		return GreedyCtx(ctx, inst, obj, progress)
 	}
-	return greedyLazy(inst, obj, 1, progress)
+	return greedyLazy(ctx, inst, obj, 1, progress)
 }
 
 // GreedyLazyParallel is GreedyLazy with the evaluations fanned out across
@@ -105,6 +115,13 @@ func GreedyLazyParallel(inst *Instance, obj Objective, workers int) (*Result, er
 // progress hook (see GreedyLazyWithProgress). The hook runs on the
 // coordinating goroutine, never inside the evaluation fan-out.
 func GreedyLazyParallelWithProgress(inst *Instance, obj Objective, workers int, progress ProgressFunc) (*Result, error) {
+	return GreedyLazyParallelCtx(context.Background(), inst, obj, workers, progress)
+}
+
+// GreedyLazyParallelCtx is GreedyLazyParallelWithProgress bounded by ctx
+// (see GreedyLazyCtx); the cancellation check runs on the coordinating
+// goroutine between rounds, never inside the evaluation fan-out.
+func GreedyLazyParallelCtx(ctx context.Context, inst *Instance, obj Objective, workers int, progress ProgressFunc) (*Result, error) {
 	if obj == nil {
 		return nil, fmt.Errorf("placement: nil objective")
 	}
@@ -112,14 +129,14 @@ func GreedyLazyParallelWithProgress(inst *Instance, obj Objective, workers int, 
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if !obj.submodular() {
-		return GreedyParallel(inst, obj, workers)
+		return GreedyParallelCtx(ctx, inst, obj, workers)
 	}
-	return greedyLazy(inst, obj, workers, progress)
+	return greedyLazy(ctx, inst, obj, workers, progress)
 }
 
 // greedyLazy is the shared CELF engine; workers == 1 is the sequential
 // variant.
-func greedyLazy(inst *Instance, obj Objective, workers int, progress ProgressFunc) (*Result, error) {
+func greedyLazy(ctx context.Context, inst *Instance, obj Objective, workers int, progress ProgressFunc) (*Result, error) {
 	res := &Result{Placement: NewPlacement(inst.NumServices())}
 	base := obj.newEvaluator(inst.NumNodes())
 	baseVal := base.Value()
@@ -177,6 +194,9 @@ func greedyLazy(inst *Instance, obj Objective, workers int, progress ProgressFun
 
 	var batch []lazyEntry
 	for iter := 0; iter < inst.NumServices(); iter++ {
+		if ctx.Err() != nil {
+			return nil, errCanceled(ctx, iter)
+		}
 		roundStart := time.Now()
 		evalsBefore := res.Evaluations
 		if iter == 0 {

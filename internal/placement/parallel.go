@@ -1,6 +1,7 @@
 package placement
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -15,6 +16,13 @@ import (
 //
 // workers ≤ 0 selects GOMAXPROCS.
 func GreedyParallel(inst *Instance, obj Objective, workers int) (*Result, error) {
+	return GreedyParallelCtx(context.Background(), inst, obj, workers)
+}
+
+// GreedyParallelCtx is GreedyParallel bounded by ctx: cancellation is
+// observed once per round on the coordinating goroutine (an in-flight
+// fan-out finishes first), and the returned error wraps ctx.Err().
+func GreedyParallelCtx(ctx context.Context, inst *Instance, obj Objective, workers int) (*Result, error) {
 	if obj == nil {
 		return nil, fmt.Errorf("placement: nil objective")
 	}
@@ -37,6 +45,9 @@ func GreedyParallel(inst *Instance, obj Objective, workers int) (*Result, error)
 	}
 
 	for iter := 0; iter < inst.NumServices(); iter++ {
+		if ctx.Err() != nil {
+			return nil, errCanceled(ctx, iter)
+		}
 		var work []candidate
 		for s := 0; s < inst.NumServices(); s++ {
 			if placed[s] {

@@ -1,0 +1,152 @@
+package registry
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestValidateID(t *testing.T) {
+	for _, ok := range []string{"default", "a", "Tenant-2", "net.0_1", "x-" + string(make([]byte, 0))} {
+		if err := ValidateID(ok); err != nil {
+			t.Errorf("ValidateID(%q) = %v, want nil", ok, err)
+		}
+	}
+	long := make([]byte, MaxIDLength+1)
+	for i := range long {
+		long[i] = 'a'
+	}
+	for _, bad := range []string{"", ".hidden", "..", "a/b", "a\\b", "a b", "a\nb", "ü", string(long)} {
+		if err := ValidateID(bad); err == nil {
+			t.Errorf("ValidateID(%q) accepted", bad)
+		}
+	}
+}
+
+func TestRegistryLifecycle(t *testing.T) {
+	r := New[int](0)
+	if err := r.Put("a", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Put("a", 2); !errors.Is(err, ErrExists) {
+		t.Fatalf("duplicate Put error = %v, want ErrExists", err)
+	}
+	if v, ok := r.Get("a"); !ok || v != 1 {
+		t.Fatalf("Get(a) = %d, %t", v, ok)
+	}
+	if _, ok := r.Get("b"); ok {
+		t.Fatal("Get(b) found a ghost")
+	}
+	if err := r.Put("b", 2); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.IDs(); !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Fatalf("IDs = %v", got)
+	}
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	if v, ok := r.Delete("a"); !ok || v != 1 {
+		t.Fatalf("Delete(a) = %d, %t", v, ok)
+	}
+	if _, ok := r.Delete("a"); ok {
+		t.Fatal("second Delete(a) succeeded")
+	}
+	if r.Len() != 1 {
+		t.Fatalf("Len after delete = %d", r.Len())
+	}
+}
+
+func TestRegistryCap(t *testing.T) {
+	r := New[int](2)
+	if err := r.Put("a", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Put("b", 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Put("c", 3); !errors.Is(err, ErrFull) {
+		t.Fatalf("over-cap Put error = %v, want ErrFull", err)
+	}
+	// A duplicate Put at the cap must not leak a length slot.
+	r.Delete("b")
+	if err := r.Put("a", 9); !errors.Is(err, ErrExists) {
+		t.Fatalf("duplicate Put error = %v", err)
+	}
+	if err := r.Put("c", 3); err != nil {
+		t.Fatalf("Put after freeing a slot: %v", err)
+	}
+}
+
+func TestRegistryRange(t *testing.T) {
+	r := New[int](0)
+	for i := 0; i < 10; i++ {
+		if err := r.Put(fmt.Sprintf("s%02d", i), i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var visited []string
+	r.Range(func(id string, v int) bool {
+		visited = append(visited, id)
+		return len(visited) < 5
+	})
+	if len(visited) != 5 {
+		t.Fatalf("Range visited %d entries after early stop, want 5", len(visited))
+	}
+	// Range must tolerate mutation from inside fn (no shard lock held).
+	r.Range(func(id string, v int) bool {
+		r.Delete(id)
+		return true
+	})
+	if r.Len() != 0 {
+		t.Fatalf("Len after deleting during Range = %d", r.Len())
+	}
+}
+
+// TestRegistryConcurrent hammers every operation from many goroutines;
+// run under -race this is the lock-striping correctness gate.
+func TestRegistryConcurrent(t *testing.T) {
+	r := New[int](0)
+	const workers = 8
+	const perWorker = 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				id := fmt.Sprintf("w%d-s%d", w, i)
+				if err := r.Put(id, i); err != nil {
+					t.Error(err)
+					return
+				}
+				if v, ok := r.Get(id); !ok || v != i {
+					t.Errorf("Get(%s) = %d, %t", id, v, ok)
+					return
+				}
+				if i%3 == 0 {
+					r.Delete(id)
+				}
+				if i%17 == 0 {
+					r.IDs()
+					r.Len()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	want := 0
+	for i := 0; i < perWorker; i++ {
+		if i%3 != 0 {
+			want++
+		}
+	}
+	if got := r.Len(); got != want*workers {
+		t.Fatalf("Len = %d, want %d", got, want*workers)
+	}
+	if got := len(r.IDs()); got != want*workers {
+		t.Fatalf("len(IDs) = %d, want %d", got, want*workers)
+	}
+}

@@ -1,0 +1,175 @@
+package registry
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Store persists scenario documents — opaque JSON blobs owned by the
+// caller — so a restarted daemon can rebuild every tenant it was serving.
+// The contract is snapshot-on-write: Save replaces the stored document
+// atomically (a reader or a crash never observes a torn write), Delete
+// forgets it, and Load returns every stored document at boot.
+//
+// Implementations must be safe for concurrent use. The registry itself
+// never calls the Store; the serving layer does, at scenario create,
+// delete, and graceful shutdown, which keeps I/O off the ingest path.
+type Store interface {
+	// Save atomically replaces the document stored under id.
+	Save(id string, doc []byte) error
+	// Delete forgets the document stored under id; deleting an absent
+	// document is not an error.
+	Delete(id string) error
+	// Load returns every stored (id, document) pair.
+	Load() (map[string][]byte, error)
+}
+
+// MemStore is an in-memory Store: scenarios survive for the life of the
+// process only. It is the default when no scenario directory is
+// configured, and the test double everywhere else.
+type MemStore struct {
+	mu   sync.Mutex
+	docs map[string][]byte
+}
+
+// NewMemStore creates an empty in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{docs: make(map[string][]byte)}
+}
+
+// Save stores a private copy of doc under id.
+func (s *MemStore) Save(id string, doc []byte) error {
+	if err := ValidateID(id); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.docs[id] = append([]byte(nil), doc...)
+	s.mu.Unlock()
+	return nil
+}
+
+// Delete forgets id.
+func (s *MemStore) Delete(id string) error {
+	s.mu.Lock()
+	delete(s.docs, id)
+	s.mu.Unlock()
+	return nil
+}
+
+// Load returns a copy of every stored document.
+func (s *MemStore) Load() (map[string][]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string][]byte, len(s.docs))
+	for id, doc := range s.docs {
+		out[id] = append([]byte(nil), doc...)
+	}
+	return out, nil
+}
+
+// storeExt is the file extension of persisted scenario documents.
+const storeExt = ".json"
+
+// FileStore persists each scenario as <dir>/<id>.json with atomic
+// snapshot-on-write: the document is written to a temporary file in the
+// same directory, fsynced, and renamed over the target, so a crash at any
+// point leaves either the old or the new document — never a torn one.
+// IDs pass ValidateID (no separators, no leading dot), so the document
+// path cannot escape the directory.
+type FileStore struct {
+	dir string
+	mu  sync.Mutex // serializes writers per store; readers go through Load
+}
+
+// NewFileStore creates (if needed) dir and returns a store over it.
+func NewFileStore(dir string) (*FileStore, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("registry: empty scenario directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("registry: scenario dir: %w", err)
+	}
+	return &FileStore{dir: dir}, nil
+}
+
+// Dir returns the directory the store writes to.
+func (s *FileStore) Dir() string { return s.dir }
+
+// Save atomically replaces <dir>/<id>.json with doc.
+func (s *FileStore) Save(id string, doc []byte) error {
+	if err := ValidateID(id); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tmp, err := os.CreateTemp(s.dir, "."+id+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("registry: snapshot %s: %w", id, err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(doc); err != nil {
+		tmp.Close()
+		return fmt.Errorf("registry: snapshot %s: %w", id, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("registry: snapshot %s: %w", id, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("registry: snapshot %s: %w", id, err)
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(s.dir, id+storeExt)); err != nil {
+		return fmt.Errorf("registry: snapshot %s: %w", id, err)
+	}
+	return nil
+}
+
+// Delete removes <dir>/<id>.json; an absent file is not an error.
+func (s *FileStore) Delete(id string) error {
+	if err := ValidateID(id); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	err := os.Remove(filepath.Join(s.dir, id+storeExt))
+	if err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("registry: delete %s: %w", id, err)
+	}
+	return nil
+}
+
+// Load reads every <id>.json in the directory, in sorted order.
+// Temporary files from interrupted writes (dot-prefixed) are skipped, so
+// a crash mid-Save never resurrects a partial document.
+func (s *FileStore) Load() (map[string][]byte, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("registry: load: %w", err)
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, storeExt) || strings.HasPrefix(name, ".") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make(map[string][]byte, len(names))
+	for _, name := range names {
+		id := strings.TrimSuffix(name, storeExt)
+		if ValidateID(id) != nil {
+			continue // foreign file in the scenario directory
+		}
+		doc, err := os.ReadFile(filepath.Join(s.dir, name))
+		if err != nil {
+			return nil, fmt.Errorf("registry: load %s: %w", id, err)
+		}
+		out[id] = doc
+	}
+	return out, nil
+}

@@ -1,0 +1,164 @@
+package registry
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// storeContract exercises the Store semantics every implementation must
+// share: save, overwrite, delete (including absent IDs), and load-all.
+func storeContract(t *testing.T, s Store) {
+	t.Helper()
+	if err := s.Save("a", []byte(`{"v":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save("b", []byte(`{"v":2}`)); err != nil {
+		t.Fatal(err)
+	}
+	// Snapshot-on-write: a second Save replaces the document.
+	if err := s.Save("a", []byte(`{"v":3}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete("ghost"); err != nil {
+		t.Fatalf("deleting an absent document: %v", err)
+	}
+	if err := s.Delete("b"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string][]byte{"a": []byte(`{"v":3}`)}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Load = %q, want %q", got, want)
+	}
+	if err := s.Save(".sneaky", []byte("x")); err == nil {
+		t.Fatal("Save accepted a dot-leading ID")
+	}
+	if err := s.Save("a/b", []byte("x")); err == nil {
+		t.Fatal("Save accepted a path separator in the ID")
+	}
+}
+
+func TestMemStoreContract(t *testing.T) {
+	storeContract(t, NewMemStore())
+}
+
+func TestFileStoreContract(t *testing.T) {
+	s, err := NewFileStore(filepath.Join(t.TempDir(), "scenarios"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	storeContract(t, s)
+}
+
+// TestMemStoreIsolation: Load must return copies, not aliases.
+func TestMemStoreIsolation(t *testing.T) {
+	s := NewMemStore()
+	doc := []byte(`{"v":1}`)
+	if err := s.Save("a", doc); err != nil {
+		t.Fatal(err)
+	}
+	doc[1] = 'X' // caller mutates its buffer after Save
+	got, err := s.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got["a"]) != `{"v":1}` {
+		t.Fatalf("stored doc aliased the caller's buffer: %q", got["a"])
+	}
+	got["a"][1] = 'Y' // caller mutates the loaded copy
+	again, _ := s.Load()
+	if string(again["a"]) != `{"v":1}` {
+		t.Fatalf("loaded doc aliased the store's buffer: %q", again["a"])
+	}
+}
+
+// TestFileStoreSurvivesRestart is the durability contract: a new store
+// over the same directory sees everything a previous one saved.
+func TestFileStoreSurvivesRestart(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "scenarios")
+	s1, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Save("net-1", []byte(`{"topology":"Abovenet"}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Save("net-2", []byte(`{"topology":"Tiscali"}`)); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := NewFileStore(dir) // the "restarted daemon"
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s2.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || string(got["net-1"]) != `{"topology":"Abovenet"}` {
+		t.Fatalf("restart lost documents: %q", got)
+	}
+}
+
+// TestFileStoreIgnoresDebris: interrupted-write temp files and foreign
+// files must not surface as scenarios at boot.
+func TestFileStoreIgnoresDebris(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "scenarios")
+	s, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save("real", []byte(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{".real.json.tmp-123", "README.txt", "bad name.json"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("junk"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := s.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || string(got["real"]) != `{}` {
+		t.Fatalf("debris leaked into Load: %q", got)
+	}
+}
+
+// TestFileStoreConcurrent: concurrent writers must not corrupt documents
+// (each Load observes complete snapshots).
+func TestFileStoreConcurrent(t *testing.T) {
+	s, err := NewFileStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				if err := s.Save("shared", []byte(`{"full":"document"}`)); err != nil {
+					t.Error(err)
+					return
+				}
+				docs, err := s.Load()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if d, ok := docs["shared"]; ok && string(d) != `{"full":"document"}` {
+					t.Errorf("torn read: %q", d)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -49,22 +49,27 @@ func (d *dedupWindow) lookup(id string) (dedupEntry, bool) {
 
 // store records the response for id, evicting the oldest entry when the
 // window is full. Re-storing a present id refreshes its payload but not
-// its eviction slot.
-func (d *dedupWindow) store(id string, e dedupEntry) {
+// its eviction slot. It reports whether the window grew by one entry, so
+// the caller can keep an aggregate gauge by delta (windows are per
+// tenant; summing sizes on every store would touch other tenants).
+func (d *dedupWindow) store(id string, e dedupEntry) bool {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if _, ok := d.byID[id]; ok {
 		d.byID[id] = e
-		return
+		return false
 	}
+	grew := false
 	if len(d.order) < d.capacity {
 		d.order = append(d.order, id)
+		grew = true
 	} else {
 		delete(d.byID, d.order[d.next])
 		d.order[d.next] = id
 		d.next = (d.next + 1) % d.capacity
 	}
 	d.byID[id] = e
+	return grew
 }
 
 // size returns the number of cached batches (for the gauge).

@@ -92,10 +92,20 @@ func (s *Server) withObservability(next http.Handler) http.Handler {
 					"threshold", s.slowRequest,
 					"trace_id", sp.ID())
 			}
-			if s.traces != nil && !strings.HasPrefix(r.URL.Path, "/debug/") {
+			if !strings.HasPrefix(r.URL.Path, "/debug/") {
 				// Reading /debug/traces (or profiling) must not evict the
 				// traces being inspected.
-				s.traces.Add(sp.Finish(r.Method, r.URL.Path, sw.status, elapsed))
+				rec := sp.Finish(r.Method, r.URL.Path, sw.status, elapsed)
+				if s.traces != nil {
+					s.traces.Add(rec)
+				}
+				// Scenario-scoped requests (span carries the tenant) are
+				// also filed into that tenant's own ring.
+				if rec.Tenant != "" {
+					if t, ok := s.tenants.Get(rec.Tenant); ok && t.ring != nil {
+						t.ring.Add(rec)
+					}
+				}
 			}
 		}()
 		next.ServeHTTP(sw, r)

@@ -22,6 +22,10 @@ var (
 	// recovered (one bad job must not take the daemon down) and the HTTP
 	// layer reports 500.
 	ErrJobPanicked = errors.New("server: placement job panicked")
+	// ErrTenantBusy means one scenario already has its per-tenant quota of
+	// placement jobs queued or running; the HTTP layer translates it to
+	// 429 so a single noisy tenant cannot monopolize the shared pool.
+	ErrTenantBusy = errors.New("server: scenario placement job limit reached")
 )
 
 // ServiceSpec is the wire form of one service to place.
@@ -70,18 +74,29 @@ type PlaceFunc func(ctx context.Context, req PlacementRequest) (*PlacementResult
 // when the queue is full the caller gets ErrQueueFull immediately, which
 // is the backpressure contract the API exposes as HTTP 429.
 type pool struct {
-	place   PlaceFunc
+	place   PlaceFunc // default job runner; keyed submits may override per job
 	queue   chan *job
 	wg      sync.WaitGroup
 	mu      sync.RWMutex // guards closed against concurrent submits
 	closed  bool
 	jobs    func(status string) *metrics.Counter
 	latency *metrics.Histogram
+
+	// Per-key accounting: a keyed job occupies one slot of its key's
+	// quota from submit until the worker retires it, so queued and
+	// running jobs both count. keyCond broadcasts on every release,
+	// which is what waitIdle (per-tenant drain) sleeps on.
+	keyMu     sync.Mutex
+	keyCond   *sync.Cond
+	inflight  map[string]int
+	maxPerKey int // ≤ 0 means no per-key quota
 }
 
 type job struct {
 	ctx      context.Context
 	req      PlacementRequest
+	key      string    // per-tenant quota key; "" for unkeyed jobs
+	place    PlaceFunc // nil selects the pool default
 	enqueued time.Time
 	done     chan jobResult // buffered; workers never block on delivery
 }
@@ -101,7 +116,12 @@ func newPool(place PlaceFunc, workers, depth int, reg *metrics.Registry) *pool {
 		},
 		latency: reg.Histogram("placemond_placement_job_duration_seconds",
 			"Wall-clock duration of executed placement jobs.", nil),
+		inflight: make(map[string]int),
+		// By default one key may use the pool's whole capacity (running
+		// plus queued); the quota only bites below that when configured.
+		maxPerKey: workers + depth,
 	}
+	p.keyCond = sync.NewCond(&p.keyMu)
 	// Pre-register every status so /metrics shows the full vocabulary
 	// from the first scrape.
 	for _, st := range []string{"completed", "failed", "rejected", "canceled"} {
@@ -122,13 +142,14 @@ func (p *pool) worker() {
 		if j.ctx.Err() != nil {
 			p.jobs("canceled").Inc()
 			j.done <- jobResult{err: j.ctx.Err()}
+			p.release(j.key)
 			continue
 		}
 		sp := trace.FromContext(j.ctx)
 		sp.AddStage("queue wait", time.Since(j.enqueued), "")
 		start := time.Now()
 		st := sp.StartStage("place")
-		res, err := p.run(j.ctx, j.req)
+		res, err := p.run(j)
 		st.EndDetail("ok=%t", err == nil)
 		p.latency.Observe(time.Since(start).Seconds())
 		if err != nil {
@@ -138,29 +159,101 @@ func (p *pool) worker() {
 			p.jobs("completed").Inc()
 		}
 		j.done <- jobResult{res: res, err: err}
+		p.release(j.key)
 	}
 }
 
 // run executes one job, converting a panic in the placement function
 // into ErrJobPanicked so a poisoned request cannot kill the worker (or
 // the process — workers run outside the HTTP recovery middleware).
-func (p *pool) run(ctx context.Context, req PlacementRequest) (res *PlacementResult, err error) {
+func (p *pool) run(j *job) (res *PlacementResult, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			res, err = nil, fmt.Errorf("%w: %v", ErrJobPanicked, r)
 		}
 	}()
-	return p.place(ctx, req)
+	fn := j.place
+	if fn == nil {
+		fn = p.place
+	}
+	return fn(j.ctx, j.req)
 }
 
-// submit enqueues a job and waits for its result or for ctx to end.
-// It returns ErrQueueFull without blocking when the queue has no room.
+// acquire claims one quota slot for key; it fails with ErrTenantBusy at
+// the per-key cap. An empty key is unkeyed and never limited.
+func (p *pool) acquire(key string) error {
+	if key == "" {
+		return nil
+	}
+	p.keyMu.Lock()
+	defer p.keyMu.Unlock()
+	if p.maxPerKey > 0 && p.inflight[key] >= p.maxPerKey {
+		return fmt.Errorf("%w: %q", ErrTenantBusy, key)
+	}
+	p.inflight[key]++
+	return nil
+}
+
+// release returns key's quota slot and wakes any drain waiting on it.
+func (p *pool) release(key string) {
+	if key == "" {
+		return
+	}
+	p.keyMu.Lock()
+	if p.inflight[key]--; p.inflight[key] <= 0 {
+		delete(p.inflight, key)
+	}
+	p.keyCond.Broadcast()
+	p.keyMu.Unlock()
+}
+
+// waitIdle blocks until key has no queued or running jobs, or ctx ends;
+// it reports whether the key actually drained.
+func (p *pool) waitIdle(ctx context.Context, key string) bool {
+	stop := context.AfterFunc(ctx, func() {
+		p.keyMu.Lock()
+		p.keyCond.Broadcast()
+		p.keyMu.Unlock()
+	})
+	defer stop()
+	p.keyMu.Lock()
+	defer p.keyMu.Unlock()
+	for p.inflight[key] > 0 {
+		if ctx.Err() != nil {
+			return false
+		}
+		p.keyCond.Wait()
+	}
+	return true
+}
+
+// submit enqueues an unkeyed job with the pool's default place function
+// and waits for its result or for ctx to end.
 func (p *pool) submit(ctx context.Context, req PlacementRequest) (*PlacementResult, error) {
-	j := &job{ctx: ctx, req: req, enqueued: time.Now(), done: make(chan jobResult, 1)}
+	return p.submitKeyed(ctx, "", nil, req)
+}
+
+// submitKeyed enqueues a job charged against key's per-tenant quota,
+// running place (or the pool default when nil), and waits for its result
+// or for ctx to end. It returns ErrQueueFull or ErrTenantBusy without
+// blocking when there is no room.
+func (p *pool) submitKeyed(ctx context.Context, key string, place PlaceFunc, req PlacementRequest) (*PlacementResult, error) {
+	if err := p.acquire(key); err != nil {
+		p.jobs("rejected").Inc()
+		if len(p.queue) == cap(p.queue) {
+			// Both limits are hit: report the pool-wide condition, which
+			// keeps single-tenant behavior identical to the pre-registry
+			// daemon's.
+			return nil, ErrQueueFull
+		}
+		return nil, err
+	}
+	j := &job{ctx: ctx, req: req, key: key, place: place, enqueued: time.Now(), done: make(chan jobResult, 1)}
 
 	p.mu.RLock()
 	if p.closed {
 		p.mu.RUnlock()
+		p.release(key)
 		return nil, ErrPoolClosed
 	}
 	select {
@@ -168,6 +261,7 @@ func (p *pool) submit(ctx context.Context, req PlacementRequest) (*PlacementResu
 		p.mu.RUnlock()
 	default:
 		p.mu.RUnlock()
+		p.release(key)
 		p.jobs("rejected").Inc()
 		return nil, ErrQueueFull
 	}
@@ -177,7 +271,8 @@ func (p *pool) submit(ctx context.Context, req PlacementRequest) (*PlacementResu
 		return r.res, r.err
 	case <-ctx.Done():
 		// The worker will notice the dead context (or deliver into the
-		// buffered channel and move on); either way nothing leaks.
+		// buffered channel and move on); either way nothing leaks — the
+		// quota slot is released when the worker retires the job.
 		return nil, ctx.Err()
 	}
 }

@@ -199,9 +199,10 @@ func TestStaleWithoutCacheDegradesLikeBefore(t *testing.T) {
 	ingestOutage(t, ts.URL)
 	// Ingest events seed the cache through the daemon's internal
 	// recompute; empty it so the fallback genuinely has nothing.
-	s.lastGoodMu.Lock()
-	s.lastGood = nil
-	s.lastGoodMu.Unlock()
+	def := s.defaultTenant()
+	def.lastGoodMu.Lock()
+	def.lastGood = nil
+	def.lastGoodMu.Unlock()
 
 	_, body := getJSON(t, ts.URL+"/v1/diagnosis")
 	if body["inconsistent"] != true {

@@ -4,7 +4,14 @@
 // paper's premise that end-to-end measurements are "a byproduct of
 // fulfilling the service" realized as a long-running ingestion service.
 //
-// Endpoints:
+// The server is multi-tenant: it hosts many independent monitoring
+// scenarios (each its own network, placement, monitor state, dedup
+// window, and trace ring) behind a sharded registry, so tenants never
+// serialize against each other on the hot ingest path. The legacy
+// single-scenario routes operate on the tenant named "default" and are
+// byte-compatible with the single-network daemon they replace.
+//
+// Legacy (default-tenant) endpoints:
 //
 //	POST /v1/observations  ingest connection state transitions → events
 //	GET  /v1/diagnosis     current rolling diagnosis + connection states
@@ -13,6 +20,24 @@
 //	GET  /metrics          Prometheus text exposition
 //	GET  /debug/traces     recent request traces with per-stage timings
 //	GET  /debug/pprof/*    optional profiling (Config.EnablePprof)
+//
+// Scenario-scoped endpoints (the same wire formats, per tenant):
+//
+//	POST   /v1/scenarios/{id}/observations
+//	GET    /v1/scenarios/{id}/diagnosis
+//	POST   /v1/scenarios/{id}/placements
+//	GET    /v1/scenarios/{id}/traces
+//
+// Scenario administration:
+//
+//	GET    /v1/scenarios        list scenarios
+//	PUT    /v1/scenarios/{id}   create from a scenario document
+//	GET    /v1/scenarios/{id}   one scenario's status
+//	DELETE /v1/scenarios/{id}   drain and remove
+//
+// Created scenarios are persisted through a registry.Store
+// (snapshot-on-write, load-on-boot), so a file-backed daemon restarts
+// with the fleet it was serving.
 //
 // Every request carries a trace ID (minted here or adopted from the
 // client's Placemond-Trace-Id header), echoed in the response header,
@@ -43,6 +68,7 @@ import (
 	"repro/internal/bitset"
 	"repro/internal/metrics"
 	"repro/internal/monitord"
+	"repro/internal/registry"
 	"repro/internal/tomography"
 	"repro/internal/trace"
 )
@@ -99,50 +125,85 @@ type Config struct {
 	SlowRequest time.Duration
 	// TraceBuffer is how many finished request traces the /debug/traces
 	// ring retains, newest first (default 64; ≤ -1 disables the ring and
-	// the endpoint).
+	// the endpoint). Each tenant gets its own ring of the same size for
+	// GET /v1/scenarios/{id}/traces.
 	TraceBuffer int
 	// Registry receives the server's metrics (default: a fresh registry).
 	Registry *metrics.Registry
+
+	// BuildScenario turns a stored scenario document into its monitoring
+	// state; required to enable the scenario create/load API. When nil,
+	// only the boot-time default tenant (Paths/Place above) is served.
+	BuildScenario BuildFunc
+	// Store persists scenario documents across restarts (default: an
+	// in-memory store, i.e. process-lifetime scenarios only).
+	Store registry.Store
+	// MaxScenarios caps concurrently hosted scenarios (default 64).
+	MaxScenarios int
+	// TenantSeriesCap caps tenant-labeled metric cardinality: the first
+	// cap tenants get their own series, later ones share tenant="other"
+	// (default 32; ≤ -1 removes the cap).
+	TenantSeriesCap int
+	// MaxJobsPerScenario caps one scenario's queued-plus-running
+	// placement jobs, rejecting the excess with 429 so a noisy tenant
+	// cannot monopolize the shared pool (default: Workers + QueueDepth,
+	// i.e. the whole pool; < 0 removes the quota).
+	MaxJobsPerScenario int
 }
 
 // Server is the placemond HTTP service. Create with New; the embedded
 // worker pool starts immediately, so either Serve or Close must be called
 // eventually.
 type Server struct {
-	mon            *monitord.Safe
-	conns          []Connection
+	tenants        *registry.Registry[*tenant]
+	store          registry.Store
+	build          BuildFunc // nil disables the scenario create/load API
+	labeler        *metrics.Labeler
 	pool           *pool
 	registry       *metrics.Registry
 	logger         *slog.Logger
 	slowRequest    time.Duration
-	traces         *trace.Ring // nil when disabled
+	traces         *trace.Ring // global ring; nil when disabled
 	requestTimeout time.Duration
 	drainTimeout   time.Duration
 	handler        http.Handler
+	closeOnce      sync.Once
 
-	// Resilience layer: idempotent ingest + stale-diagnosis fallback.
-	dedup       *dedupWindow                          // nil when disabled
-	diagTimeout time.Duration                         // ≤ 0 means no deadline
-	diagnoseFn  func() (*tomography.Diagnosis, error) // test seam; defaults to mon.Diagnosis
-	lastGoodMu  sync.Mutex
-	lastGood    *diagnosisJSON
-	lastGoodAt  time.Time
+	// Per-tenant knobs applied to every scenario as it is built.
+	defaultK    int
+	dedupSize   int           // ≤ 0 disables the idempotent-ingest window
+	traceBuf    int           // ≤ 0 disables per-tenant trace rings
+	diagTimeout time.Duration // ≤ 0 means no diagnosis recompute deadline
 
-	obsIngested *metrics.Counter
-	obsReplayed *metrics.Counter
-	staleServed *metrics.Counter
-	dedupGauge  *metrics.Gauge
-	outageGauge *metrics.Gauge
-	reqHist     *metrics.Histogram
-	roundHist   *metrics.Histogram
-	eventTotal  map[monitord.EventKind]*metrics.Counter
+	// diagnoseFn is a test seam: when non-nil it overrides the default
+	// tenant's diagnosis recompute (scenario tenants always use their own
+	// monitor).
+	diagnoseFn func() (*tomography.Diagnosis, error)
+
+	obsIngested   *metrics.Counter
+	obsReplayed   *metrics.Counter
+	staleServed   *metrics.Counter
+	dedupGauge    *metrics.Gauge
+	outageGauge   *metrics.Gauge
+	reqHist       *metrics.Histogram
+	roundHist     *metrics.Histogram
+	scenarioGauge *metrics.Gauge
+	connsGauge    *metrics.Gauge
+	eventTotal    map[monitord.EventKind]*metrics.Counter
 }
 
-// New builds the service: a thread-safe monitor over the given paths, a
-// bounded placement pool, and the routed, instrumented HTTP handler.
+// New builds the service: the scenario registry (seeded with a default
+// tenant when the legacy Paths/Place config is given, and with every
+// stored scenario when a Store plus BuildScenario are), a bounded
+// placement pool shared by all tenants, and the routed, instrumented
+// HTTP handler.
 func New(cfg Config) (*Server, error) {
-	if cfg.Place == nil {
+	legacy := cfg.Place != nil || len(cfg.Paths) > 0 || len(cfg.Connections) > 0
+	if legacy && cfg.Place == nil {
 		return nil, fmt.Errorf("server: Config.Place is required")
+	}
+	if !legacy && cfg.BuildScenario == nil {
+		return nil, fmt.Errorf("server: neither a default scenario (Paths/Place) nor BuildScenario configured")
 	}
 	if len(cfg.Paths) != len(cfg.Connections) {
 		return nil, fmt.Errorf("server: %d paths for %d connections", len(cfg.Paths), len(cfg.Connections))
@@ -150,10 +211,6 @@ func New(cfg Config) (*Server, error) {
 	k := cfg.K
 	if k == 0 {
 		k = 1
-	}
-	core, err := monitord.New(cfg.NumNodes, k, cfg.Paths)
-	if err != nil {
-		return nil, fmt.Errorf("server: %w", err)
 	}
 	workers := cfg.Workers
 	if workers <= 0 {
@@ -198,16 +255,33 @@ func New(cfg Config) (*Server, error) {
 	if diagTimeout == 0 {
 		diagTimeout = 2 * time.Second
 	}
+	maxScenarios := cfg.MaxScenarios
+	if maxScenarios == 0 {
+		maxScenarios = 64
+	}
+	seriesCap := cfg.TenantSeriesCap
+	if seriesCap == 0 {
+		seriesCap = 32
+	}
+	store := cfg.Store
+	if store == nil {
+		store = registry.NewMemStore()
+	}
 
 	s := &Server{
-		mon:            monitord.NewSafe(core),
-		conns:          append([]Connection(nil), cfg.Connections...),
+		tenants:        registry.New[*tenant](maxScenarios),
+		store:          store,
+		build:          cfg.BuildScenario,
+		labeler:        metrics.NewLabeler(seriesCap),
 		pool:           newPool(cfg.Place, workers, depth, reg),
 		registry:       reg,
 		logger:         logger,
 		slowRequest:    slowReq,
 		requestTimeout: reqTimeout,
 		drainTimeout:   drain,
+		defaultK:       k,
+		dedupSize:      dedupSize,
+		traceBuf:       traceBuf,
 		diagTimeout:    diagTimeout,
 		obsIngested: reg.Counter("placemond_observations_ingested_total",
 			"Connection state reports accepted by POST /v1/observations."),
@@ -221,16 +295,21 @@ func New(cfg Config) (*Server, error) {
 			"End-to-end latency of traced requests.", nil),
 		roundHist: reg.Histogram("placemond_placement_round_duration_seconds",
 			"Wall-clock duration of individual placement engine rounds.", nil),
+		scenarioGauge: reg.Gauge("placemond_scenarios",
+			"Number of hosted monitoring scenarios."),
+		connsGauge: reg.Gauge("placemond_connections",
+			"Number of monitored connections across all scenarios."),
 		eventTotal: map[monitord.EventKind]*metrics.Counter{},
 	}
-	s.diagnoseFn = s.mon.Diagnosis
+	if cfg.MaxJobsPerScenario != 0 {
+		s.pool.maxPerKey = cfg.MaxJobsPerScenario // < 0 removes the quota
+	}
 	if traceBuf > 0 {
 		s.traces = trace.NewRing(traceBuf)
 	}
 	if dedupSize > 0 {
-		s.dedup = newDedupWindow(dedupSize)
 		s.dedupGauge = reg.Gauge("placemond_dedup_window_batches",
-			"Batch IDs currently remembered by the idempotent-ingest window.")
+			"Batch IDs remembered by the idempotent-ingest windows, all scenarios.")
 	}
 	for _, kind := range []monitord.EventKind{
 		monitord.EventOutageStarted, monitord.EventDiagnosisChanged,
@@ -239,15 +318,55 @@ func New(cfg Config) (*Server, error) {
 		s.eventTotal[kind] = reg.Counter("placemond_events_total",
 			"Monitoring daemon events by kind.", "kind", kind.String())
 	}
-	reg.Gauge("placemond_connections",
-		"Number of monitored connections.").Set(float64(len(cfg.Paths)))
+
+	if legacy {
+		def, err := s.newTenant(DefaultScenario, &TenantConfig{
+			NumNodes:    cfg.NumNodes,
+			K:           k,
+			Paths:       cfg.Paths,
+			Connections: cfg.Connections,
+			Place:       cfg.Place,
+		}, nil)
+		if err != nil {
+			s.pool.close()
+			return nil, err
+		}
+		// The test seam: the default tenant's recompute indirects through
+		// s.diagnoseFn so tests can inject slow or failing tomography.
+		s.diagnoseFn = def.mon.Diagnosis
+		def.diagnose = func() (*tomography.Diagnosis, error) { return s.diagnoseFn() }
+		if err := s.addTenant(def); err != nil {
+			s.pool.close()
+			return nil, err
+		}
+	}
+	if s.build != nil {
+		if err := s.loadScenarios(); err != nil {
+			s.pool.close()
+			return nil, err
+		}
+	}
 
 	api := http.NewServeMux()
-	api.Handle("POST /v1/observations", s.instrument("/v1/observations", http.HandlerFunc(s.handleObservations)))
-	api.Handle("GET /v1/diagnosis", s.instrument("/v1/diagnosis", http.HandlerFunc(s.handleDiagnosis)))
-	api.Handle("POST /v1/placements", s.instrument("/v1/placements", http.HandlerFunc(s.handlePlacements)))
+	api.Handle("POST /v1/observations", s.instrument("/v1/observations", s.forDefault(s.serveObservations)))
+	api.Handle("GET /v1/diagnosis", s.instrument("/v1/diagnosis", s.forDefault(s.serveDiagnosis)))
+	api.Handle("POST /v1/placements", s.instrument("/v1/placements", s.forDefault(s.servePlacements)))
 	api.Handle("GET /healthz", s.instrument("/healthz", http.HandlerFunc(s.handleHealthz)))
 	api.Handle("GET /metrics", s.instrument("/metrics", http.HandlerFunc(s.handleMetrics)))
+
+	api.Handle("POST /v1/scenarios/{id}/observations",
+		s.instrument("/v1/scenarios/{id}/observations", s.forScenario(s.serveObservations)))
+	api.Handle("GET /v1/scenarios/{id}/diagnosis",
+		s.instrument("/v1/scenarios/{id}/diagnosis", s.forScenario(s.serveDiagnosis)))
+	api.Handle("POST /v1/scenarios/{id}/placements",
+		s.instrument("/v1/scenarios/{id}/placements", s.forScenario(s.servePlacements)))
+	api.Handle("GET /v1/scenarios/{id}/traces",
+		s.instrument("/v1/scenarios/{id}/traces", s.forScenario(s.serveTenantTraces)))
+
+	api.Handle("GET /v1/scenarios", s.instrument("/v1/scenarios", http.HandlerFunc(s.handleScenarioList)))
+	api.Handle("PUT /v1/scenarios/{id}", s.instrument("/v1/scenarios/{id}", http.HandlerFunc(s.handleScenarioCreate)))
+	api.Handle("GET /v1/scenarios/{id}", s.instrument("/v1/scenarios/{id}", s.forScenario(s.serveScenarioInfo)))
+	api.Handle("DELETE /v1/scenarios/{id}", s.instrument("/v1/scenarios/{id}", http.HandlerFunc(s.handleScenarioDelete)))
 
 	root := http.NewServeMux()
 	// pprof mounts outside the timeout middleware: profile collection
@@ -274,9 +393,14 @@ func (s *Server) Handler() http.Handler { return s.handler }
 // Registry returns the metrics registry the server writes to.
 func (s *Server) Registry() *metrics.Registry { return s.registry }
 
-// Close stops the placement pool, draining queued jobs. It is idempotent
-// and implied by Serve returning.
-func (s *Server) Close() { s.pool.close() }
+// Close stops the placement pool (draining queued jobs) and snapshots
+// every registered scenario through the Store, one logged outcome per
+// tenant, so a graceful exit leaves the stored fleet consistent. It is
+// idempotent and implied by Serve returning.
+func (s *Server) Close() {
+	s.pool.close()
+	s.closeOnce.Do(s.snapshotScenarios)
+}
 
 // Serve accepts connections on ln until ctx is canceled, then drains:
 // in-flight requests get DrainTimeout to complete, the placement pool
@@ -299,12 +423,53 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	if !errors.Is(err, http.ErrServerClosed) {
 		// Listener failure, not a shutdown: report it (and still stop the
 		// pool so workers don't leak).
-		s.pool.close()
+		s.Close()
 		return err
 	}
 	err = <-shutdownErr
-	s.pool.close()
+	s.Close()
 	return err
+}
+
+// --- tenant resolution ---
+
+// tenantHandler is a request handler bound to one resolved tenant.
+type tenantHandler func(t *tenant, w http.ResponseWriter, r *http.Request)
+
+// forDefault serves the legacy single-scenario routes against the
+// "default" tenant. The response bytes are identical to the pre-registry
+// daemon's; a registry-only server (no default tenant) answers 404.
+func (s *Server) forDefault(fn tenantHandler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t, ok := s.tenants.Get(DefaultScenario)
+		if !ok {
+			writeError(w, http.StatusNotFound, "no default scenario (use /v1/scenarios/{id}/...)")
+			return
+		}
+		t.requests.Inc()
+		fn(t, w, r)
+	})
+}
+
+// forScenario resolves the {id} path segment against the registry,
+// stamps the request's trace span with the tenant, and rejects tenants
+// mid-drain so removal has a clean cutoff.
+func (s *Server) forScenario(fn tenantHandler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		t, ok := s.tenants.Get(id)
+		if !ok {
+			writeError(w, http.StatusNotFound, "scenario %q not found", id)
+			return
+		}
+		if t.isDraining() {
+			writeError(w, http.StatusConflict, "scenario %q is draining", id)
+			return
+		}
+		trace.FromContext(r.Context()).SetTenant(id)
+		t.requests.Inc()
+		fn(t, w, r)
+	})
 }
 
 // --- handlers ---
@@ -343,7 +508,7 @@ type diagnosisJSON struct {
 	Unobserved       []int   `json:"unobserved"`
 }
 
-func (s *Server) handleObservations(w http.ResponseWriter, r *http.Request) {
+func (s *Server) serveObservations(t *tenant, w http.ResponseWriter, r *http.Request) {
 	sp := trace.FromContext(r.Context())
 	var req observationsRequest
 	st := sp.StartStage("decode")
@@ -356,9 +521,9 @@ func (s *Server) handleObservations(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "no reports in batch")
 		return
 	}
-	if s.dedup != nil && req.BatchID != "" {
+	if t.dedup != nil && req.BatchID != "" {
 		st := sp.StartStage("dedup")
-		cached, hit := s.dedup.lookup(req.BatchID)
+		cached, hit := t.dedup.lookup(req.BatchID)
 		st.EndDetail("batch_id=%s hit=%t", req.BatchID, hit)
 		if hit {
 			// Already applied: replay the original answer byte for byte
@@ -373,7 +538,7 @@ func (s *Server) handleObservations(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	ingest := sp.StartStage("ingest")
-	n := s.mon.NumConnections()
+	n := t.mon.NumConnections()
 	conns := make([]int, len(req.Reports))
 	ups := make([]bool, len(req.Reports))
 	for i, rep := range req.Reports {
@@ -389,7 +554,7 @@ func (s *Server) handleObservations(w http.ResponseWriter, r *http.Request) {
 		ups[i] = rep.Up
 	}
 
-	events, err := s.mon.ReportBatch(req.Time, conns, ups)
+	events, err := t.mon.ReportBatch(req.Time, conns, ups)
 	if err != nil {
 		// Unreachable after validation; kept as a hard failure signal.
 		ingest.EndDetail("error")
@@ -397,15 +562,21 @@ func (s *Server) handleObservations(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.obsIngested.Add(float64(len(req.Reports)))
+	t.obsIngested.Add(float64(len(req.Reports)))
 	for _, ev := range events {
 		if c, ok := s.eventTotal[ev.Kind]; ok {
 			c.Inc()
 		}
 	}
-	if s.mon.Snapshot().InOutage {
-		s.outageGauge.Set(1)
-	} else {
-		s.outageGauge.Set(0)
+	outage := 0.0
+	if t.mon.Snapshot().InOutage {
+		outage = 1
+	}
+	t.outage.Set(outage)
+	if t.id == DefaultScenario {
+		// The legacy unlabeled gauge keeps its pre-registry meaning: the
+		// default scenario's outage state.
+		s.outageGauge.Set(outage)
 	}
 
 	out := struct {
@@ -416,7 +587,7 @@ func (s *Server) handleObservations(w http.ResponseWriter, r *http.Request) {
 		if diag != nil {
 			// Every diagnosis the daemon emits is by construction fresh
 			// and good: remember it for the stale-serving fallback.
-			s.recordGoodDiagnosis(diag)
+			t.recordGoodDiagnosis(diag)
 		}
 		out.Events = append(out.Events, eventJSON{
 			Time:      ev.Time,
@@ -425,11 +596,12 @@ func (s *Server) handleObservations(w http.ResponseWriter, r *http.Request) {
 		})
 	}
 	ingest.EndDetail("events=%d", len(events))
-	if s.dedup != nil && req.BatchID != "" {
+	if t.dedup != nil && req.BatchID != "" {
 		if body, err := json.Marshal(out); err == nil {
 			body = append(body, '\n')
-			s.dedup.store(req.BatchID, dedupEntry{status: http.StatusOK, body: body})
-			s.dedupGauge.Set(float64(s.dedup.size()))
+			if t.dedup.store(req.BatchID, dedupEntry{status: http.StatusOK, body: body}) {
+				s.dedupGauge.Add(1)
+			}
 			w.Header().Set("Content-Type", "application/json")
 			w.WriteHeader(http.StatusOK)
 			w.Write(body)
@@ -437,24 +609,6 @@ func (s *Server) handleObservations(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, http.StatusOK, out)
-}
-
-// recordGoodDiagnosis remembers the latest successfully computed
-// diagnosis for the stale-serving fallback.
-func (s *Server) recordGoodDiagnosis(d *diagnosisJSON) {
-	s.lastGoodMu.Lock()
-	s.lastGood, s.lastGoodAt = d, time.Now()
-	s.lastGoodMu.Unlock()
-}
-
-// lastGoodDiagnosis returns the remembered diagnosis and its age.
-func (s *Server) lastGoodDiagnosis() (*diagnosisJSON, time.Duration, bool) {
-	s.lastGoodMu.Lock()
-	defer s.lastGoodMu.Unlock()
-	if s.lastGood == nil {
-		return nil, 0, false
-	}
-	return s.lastGood, time.Since(s.lastGoodAt), true
 }
 
 // connectionJSON is one row of GET /v1/diagnosis's connection table.
@@ -466,8 +620,8 @@ type connectionJSON struct {
 // errDiagnosisTimeout marks a recompute that blew its deadline.
 var errDiagnosisTimeout = errors.New("server: diagnosis recompute timed out")
 
-func (s *Server) handleDiagnosis(w http.ResponseWriter, r *http.Request) {
-	snap := s.mon.Snapshot()
+func (s *Server) serveDiagnosis(t *tenant, w http.ResponseWriter, r *http.Request) {
+	snap := t.mon.Snapshot()
 	out := struct {
 		InOutage        bool             `json:"in_outage"`
 		Inconsistent    bool             `json:"inconsistent,omitempty"`
@@ -476,7 +630,7 @@ func (s *Server) handleDiagnosis(w http.ResponseWriter, r *http.Request) {
 		Connections     []connectionJSON `json:"connections"`
 		Diagnosis       *diagnosisJSON   `json:"diagnosis,omitempty"`
 	}{InOutage: snap.InOutage}
-	for i, c := range s.conns {
+	for i, c := range t.conns {
 		out.Connections = append(out.Connections, connectionJSON{
 			Connection: c,
 			State:      snap.States[i].String(),
@@ -485,11 +639,11 @@ func (s *Server) handleDiagnosis(w http.ResponseWriter, r *http.Request) {
 	if snap.InOutage {
 		sp := trace.FromContext(r.Context())
 		st := sp.StartStage("diagnose")
-		diag, err := s.diagnoseWithDeadline(r.Context())
+		diag, err := s.diagnoseWithDeadline(r.Context(), t)
 		st.EndDetail("ok=%t", err == nil)
 		if err == nil {
 			out.Diagnosis = diagnosisToJSON(diag)
-			s.recordGoodDiagnosis(out.Diagnosis)
+			t.recordGoodDiagnosis(out.Diagnosis)
 		} else {
 			if !errors.Is(err, errDiagnosisTimeout) && !errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, context.Canceled) {
 				// More simultaneous failures than the budget k explains,
@@ -499,7 +653,7 @@ func (s *Server) handleDiagnosis(w http.ResponseWriter, r *http.Request) {
 			}
 			// Degrade gracefully: a stale localization beats a blank
 			// page during an outage, as long as it is marked as such.
-			if cached, age, ok := s.lastGoodDiagnosis(); ok {
+			if cached, age, ok := t.lastGoodDiagnosis(); ok {
 				out.Diagnosis = cached
 				out.Stale = true
 				out.StaleAgeSeconds = age.Seconds()
@@ -510,13 +664,13 @@ func (s *Server) handleDiagnosis(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
-// diagnoseWithDeadline recomputes the diagnosis, bounded by the
+// diagnoseWithDeadline recomputes t's diagnosis, bounded by the
 // configured deadline and the request context. On timeout the recompute
 // goroutine finishes (and is discarded) in the background — the monitor
 // lock is held at most one recompute longer than the deadline.
-func (s *Server) diagnoseWithDeadline(ctx context.Context) (*tomography.Diagnosis, error) {
+func (s *Server) diagnoseWithDeadline(ctx context.Context, t *tenant) (*tomography.Diagnosis, error) {
 	if s.diagTimeout <= 0 {
-		return s.diagnoseFn()
+		return t.diagnose()
 	}
 	type result struct {
 		diag *tomography.Diagnosis
@@ -524,7 +678,7 @@ func (s *Server) diagnoseWithDeadline(ctx context.Context) (*tomography.Diagnosi
 	}
 	ch := make(chan result, 1)
 	go func() {
-		diag, err := s.diagnoseFn()
+		diag, err := t.diagnose()
 		ch <- result{diag, err}
 	}()
 	timer := time.NewTimer(s.diagTimeout)
@@ -539,7 +693,7 @@ func (s *Server) diagnoseWithDeadline(ctx context.Context) (*tomography.Diagnosi
 	}
 }
 
-func (s *Server) handlePlacements(w http.ResponseWriter, r *http.Request) {
+func (s *Server) servePlacements(t *tenant, w http.ResponseWriter, r *http.Request) {
 	sp := trace.FromContext(r.Context())
 	var req PlacementRequest
 	st := sp.StartStage("decode")
@@ -559,11 +713,14 @@ func (s *Server) handlePlacements(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	res, err := s.pool.submit(r.Context(), req)
+	res, err := s.pool.submitKeyed(r.Context(), t.id, t.place, req)
 	switch {
 	case errors.Is(err, ErrQueueFull):
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusTooManyRequests, "placement queue full")
+	case errors.Is(err, ErrTenantBusy):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "scenario placement job limit reached")
 	case errors.Is(err, ErrPoolClosed):
 		writeError(w, http.StatusServiceUnavailable, "server shutting down")
 	case errors.Is(err, context.DeadlineExceeded):
@@ -584,11 +741,19 @@ func (s *Server) handlePlacements(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	snap := s.mon.Snapshot()
+	if t, ok := s.tenants.Get(DefaultScenario); ok {
+		// Byte-compatible with the single-scenario daemon.
+		snap := t.mon.Snapshot()
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status":      "ok",
+			"connections": len(snap.States),
+			"in_outage":   snap.InOutage,
+		})
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":      "ok",
-		"connections": len(snap.States),
-		"in_outage":   snap.InOutage,
+		"status":    "ok",
+		"scenarios": s.tenants.Len(),
 	})
 }
 
@@ -604,6 +769,100 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	if err := s.registry.WriteText(w); err != nil {
 		s.logger.Error("metrics exposition failed", "error", err)
+	}
+}
+
+// --- scenario administration ---
+
+// scenarioInfoJSON is one scenario's status row.
+type scenarioInfoJSON struct {
+	ID          string `json:"id"`
+	Connections int    `json:"connections"`
+	InOutage    bool   `json:"in_outage"`
+	// Persistent marks scenarios created from a stored document; the
+	// boot-time default tenant is rebuilt from flags instead and reports
+	// false.
+	Persistent bool `json:"persistent"`
+}
+
+func (t *tenant) info() scenarioInfoJSON {
+	return scenarioInfoJSON{
+		ID:          t.id,
+		Connections: len(t.conns),
+		InOutage:    t.mon.Snapshot().InOutage,
+		Persistent:  t.spec != nil,
+	}
+}
+
+func (s *Server) handleScenarioList(w http.ResponseWriter, r *http.Request) {
+	out := struct {
+		Scenarios []scenarioInfoJSON `json:"scenarios"`
+	}{Scenarios: []scenarioInfoJSON{}}
+	s.tenants.Range(func(id string, t *tenant) bool {
+		out.Scenarios = append(out.Scenarios, t.info())
+		return true
+	})
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) serveScenarioInfo(t *tenant, w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, t.info())
+}
+
+// serveTenantTraces serves the tenant's own trace ring, newest first —
+// the per-scenario view of /debug/traces.
+func (s *Server) serveTenantTraces(t *tenant, w http.ResponseWriter, r *http.Request) {
+	traces := []trace.Record{}
+	if t.ring != nil {
+		traces = t.ring.Snapshot()
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Traces []trace.Record `json:"traces"`
+	}{Traces: traces})
+}
+
+func (s *Server) handleScenarioCreate(w http.ResponseWriter, r *http.Request) {
+	if s.build == nil {
+		writeError(w, http.StatusNotImplemented, "scenario API not configured")
+		return
+	}
+	id := r.PathValue("id")
+	const maxSpec = 1 << 20
+	spec, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxSpec))
+	if err != nil {
+		writeError(w, http.StatusRequestEntityTooLarge, "scenario document exceeds %d bytes", maxSpec)
+		return
+	}
+	switch err := s.CreateScenario(id, spec); {
+	case errors.Is(err, registry.ErrExists):
+		writeError(w, http.StatusConflict, "scenario %q already exists", id)
+	case errors.Is(err, registry.ErrFull):
+		writeError(w, http.StatusInsufficientStorage, "%v", err)
+	case errors.Is(err, ErrBadSpec):
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+	case err != nil:
+		// ID validation failures and persistence errors; the former are
+		// the caller's fault, and the latter must not report success.
+		writeError(w, http.StatusBadRequest, "%v", err)
+	default:
+		if t, ok := s.tenants.Get(id); ok {
+			writeJSON(w, http.StatusCreated, t.info())
+		} else {
+			// Deleted again between create and response; report the create.
+			writeJSON(w, http.StatusCreated, scenarioInfoJSON{ID: id})
+		}
+	}
+}
+
+func (s *Server) handleScenarioDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	switch err := s.RemoveScenario(r.Context(), id); {
+	case errors.Is(err, registry.ErrNotFound):
+		writeError(w, http.StatusNotFound, "scenario %q not found", id)
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+	default:
+		w.WriteHeader(http.StatusNoContent)
 	}
 }
 

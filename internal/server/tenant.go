@@ -1,0 +1,312 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/bitset"
+	"repro/internal/metrics"
+	"repro/internal/monitord"
+	"repro/internal/registry"
+	"repro/internal/tomography"
+	"repro/internal/trace"
+)
+
+// DefaultScenario is the tenant the legacy single-scenario routes
+// (/v1/observations, /v1/diagnosis, ...) operate on. A server built from
+// a legacy Config hosts exactly this tenant at boot; scenario-scoped
+// routes address it like any other under /v1/scenarios/default/....
+const DefaultScenario = "default"
+
+// ErrBadSpec wraps scenario-spec build failures so the HTTP layer can
+// distinguish a malformed document (422) from a malformed ID (400).
+var ErrBadSpec = fmt.Errorf("server: invalid scenario spec")
+
+// TenantConfig is the per-scenario monitoring state a BuildFunc produces:
+// everything New's legacy Config carries for the default tenant, scoped
+// to one scenario.
+type TenantConfig struct {
+	// NumNodes is the scenario network's node universe.
+	NumNodes int
+	// K is the scenario's failure budget (≤ 0 means the server default).
+	K int
+	// Paths are the measurement paths of the deployed placement.
+	Paths []*bitset.Set
+	// Connections is index-aligned metadata for Paths.
+	Connections []Connection
+	// Place runs this scenario's placement jobs; must be safe for
+	// concurrent use.
+	Place PlaceFunc
+}
+
+// BuildFunc turns a stored scenario document (an opaque JSON blob owned
+// by the facade) into the scenario's monitoring state. It must be pure
+// with respect to the server: the same document always builds an
+// equivalent tenant, which is what makes the Store's load-on-boot sound.
+type BuildFunc func(id string, spec []byte) (*TenantConfig, error)
+
+// tenant is one scenario's isolated state bundle: its own monitor, dedup
+// window, trace ring, stale-diagnosis cache, and tenant-labeled metrics.
+// Tenants never share mutable state, so requests for different scenarios
+// only meet at the sharded registry lookup and the bounded worker pool.
+type tenant struct {
+	id    string
+	mon   *monitord.Safe
+	conns []Connection
+	place PlaceFunc
+	dedup *dedupWindow // nil when disabled
+	ring  *trace.Ring  // nil when disabled
+	// spec is the scenario document the tenant was built from; nil for
+	// the legacy default tenant, which is rebuilt from flags at boot and
+	// therefore never snapshotted.
+	spec []byte
+
+	// diagnose recomputes the rolling diagnosis; a test seam on the
+	// default tenant, mon.Diagnosis everywhere else.
+	diagnose func() (*tomography.Diagnosis, error)
+
+	lastGoodMu sync.Mutex
+	lastGood   *diagnosisJSON
+	lastGoodAt time.Time
+
+	drainMu  sync.Mutex
+	draining bool
+
+	// Tenant-labeled series. The label value may be the shared "other"
+	// bucket once the cardinality cap is reached.
+	obsIngested *metrics.Counter
+	outage      *metrics.Gauge
+	requests    *metrics.Counter
+}
+
+// beginDrain marks the tenant draining; it returns false if another
+// remover got there first.
+func (t *tenant) beginDrain() bool {
+	t.drainMu.Lock()
+	defer t.drainMu.Unlock()
+	if t.draining {
+		return false
+	}
+	t.draining = true
+	return true
+}
+
+// isDraining reports whether the tenant is being removed.
+func (t *tenant) isDraining() bool {
+	t.drainMu.Lock()
+	defer t.drainMu.Unlock()
+	return t.draining
+}
+
+// recordGoodDiagnosis remembers the latest successfully computed
+// diagnosis for the stale-serving fallback.
+func (t *tenant) recordGoodDiagnosis(d *diagnosisJSON) {
+	t.lastGoodMu.Lock()
+	t.lastGood, t.lastGoodAt = d, time.Now()
+	t.lastGoodMu.Unlock()
+}
+
+// lastGoodDiagnosis returns the remembered diagnosis and its age.
+func (t *tenant) lastGoodDiagnosis() (*diagnosisJSON, time.Duration, bool) {
+	t.lastGoodMu.Lock()
+	defer t.lastGoodMu.Unlock()
+	if t.lastGood == nil {
+		return nil, 0, false
+	}
+	return t.lastGood, time.Since(t.lastGoodAt), true
+}
+
+// newTenant assembles one scenario's state bundle from its config.
+func (s *Server) newTenant(id string, tc *TenantConfig, spec []byte) (*tenant, error) {
+	if tc.Place == nil {
+		return nil, fmt.Errorf("server: scenario %s: no place function", id)
+	}
+	if len(tc.Paths) != len(tc.Connections) {
+		return nil, fmt.Errorf("server: scenario %s: %d paths for %d connections", id, len(tc.Paths), len(tc.Connections))
+	}
+	k := tc.K
+	if k <= 0 {
+		k = s.defaultK
+	}
+	core, err := monitord.New(tc.NumNodes, k, tc.Paths)
+	if err != nil {
+		return nil, fmt.Errorf("server: scenario %s: %w", id, err)
+	}
+	label := s.labeler.Value(id)
+	t := &tenant{
+		id:    id,
+		mon:   monitord.NewSafe(core),
+		conns: append([]Connection(nil), tc.Connections...),
+		place: tc.Place,
+		spec:  spec,
+		obsIngested: s.registry.Counter("placemond_tenant_observations_ingested_total",
+			"Connection state reports accepted, by scenario (capped cardinality; overflow in tenant=\"other\").",
+			"tenant", label),
+		outage: s.registry.Gauge("placemond_tenant_outage",
+			"1 while the scenario has a reporting connection down, else 0 (capped cardinality).",
+			"tenant", label),
+		requests: s.registry.Counter("placemond_tenant_requests_total",
+			"Tenant-scoped API requests, by scenario (capped cardinality).",
+			"tenant", label),
+	}
+	t.diagnose = t.mon.Diagnosis
+	if s.dedupSize > 0 {
+		t.dedup = newDedupWindow(s.dedupSize)
+	}
+	if s.traceBuf > 0 {
+		t.ring = trace.NewRing(s.traceBuf)
+	}
+	return t, nil
+}
+
+// addTenant registers t, keeping the scenario-count and connection-count
+// gauges current.
+func (s *Server) addTenant(t *tenant) error {
+	if err := s.tenants.Put(t.id, t); err != nil {
+		return err
+	}
+	s.scenarioGauge.Set(float64(s.tenants.Len()))
+	s.connsGauge.Add(float64(len(t.conns)))
+	return nil
+}
+
+// CreateScenario builds the scenario described by spec (via the
+// configured BuildFunc), registers it, and persists the document through
+// the Store (snapshot-on-write). Errors: registry.ErrExists,
+// registry.ErrFull, an ID validation error, ErrBadSpec-wrapped build
+// failures, or a persistence failure (in which case the scenario is
+// rolled back — a create either fully survives a restart or fails).
+func (s *Server) CreateScenario(id string, spec []byte) error {
+	return s.createScenario(id, spec, true)
+}
+
+func (s *Server) createScenario(id string, spec []byte, persist bool) error {
+	if s.build == nil {
+		return fmt.Errorf("server: scenario API not configured (no BuildScenario)")
+	}
+	if err := registry.ValidateID(id); err != nil {
+		return err
+	}
+	tc, err := s.build(id, spec)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrBadSpec, err)
+	}
+	t, err := s.newTenant(id, tc, append([]byte(nil), spec...))
+	if err != nil {
+		return err
+	}
+	if err := s.addTenant(t); err != nil {
+		return err
+	}
+	if persist {
+		if err := s.store.Save(id, t.spec); err != nil {
+			s.removeTenantState(t)
+			return fmt.Errorf("server: persist scenario %s: %w", id, err)
+		}
+	}
+	s.logger.Info("scenario created", "scenario", id,
+		"connections", len(t.conns), "persisted", persist)
+	return nil
+}
+
+// removeTenantState unregisters t and rolls the aggregate gauges back.
+func (s *Server) removeTenantState(t *tenant) {
+	if _, ok := s.tenants.Delete(t.id); !ok {
+		return
+	}
+	s.scenarioGauge.Set(float64(s.tenants.Len()))
+	s.connsGauge.Add(-float64(len(t.conns)))
+	if s.dedupGauge != nil && t.dedup != nil {
+		s.dedupGauge.Add(-float64(t.dedup.size()))
+	}
+}
+
+// RemoveScenario drains and deletes a scenario: new requests for it are
+// rejected immediately, in-flight placement jobs get up to the drain
+// timeout (bounded further by ctx) to finish, and the stored document is
+// deleted so the scenario does not resurrect at the next boot.
+func (s *Server) RemoveScenario(ctx context.Context, id string) error {
+	t, ok := s.tenants.Get(id)
+	if !ok {
+		return fmt.Errorf("%w: %q", registry.ErrNotFound, id)
+	}
+	if !t.beginDrain() {
+		// A concurrent remover owns the drain; to this caller the
+		// scenario is already gone.
+		return fmt.Errorf("%w: %q", registry.ErrNotFound, id)
+	}
+	dctx, cancel := context.WithTimeout(ctx, s.drainTimeout)
+	defer cancel()
+	drained := s.pool.waitIdle(dctx, id)
+	s.removeTenantState(t)
+	var storeErr error
+	if t.spec != nil {
+		storeErr = s.store.Delete(id)
+	}
+	s.logger.Info("scenario removed", "scenario", id,
+		"drained", drained, "store_error", storeErr != nil)
+	if storeErr != nil {
+		return fmt.Errorf("server: forget scenario %s: %w", id, storeErr)
+	}
+	return nil
+}
+
+// ScenarioIDs returns the registered scenario IDs, sorted.
+func (s *Server) ScenarioIDs() []string { return s.tenants.IDs() }
+
+// defaultTenant returns the "default" tenant, or nil on a registry-only
+// server (used by tests and the legacy-route resolver).
+func (s *Server) defaultTenant() *tenant {
+	t, _ := s.tenants.Get(DefaultScenario)
+	return t
+}
+
+// loadScenarios rebuilds every stored scenario at boot, logging one
+// outcome line per scenario. A document that no longer builds (schema
+// drift, hand-edited file) is skipped with a warning rather than failing
+// the whole boot: one bad tenant must not take the fleet down.
+func (s *Server) loadScenarios() error {
+	docs, err := s.store.Load()
+	if err != nil {
+		return fmt.Errorf("server: load scenarios: %w", err)
+	}
+	ids := make([]string, 0, len(docs))
+	for id := range docs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		if _, taken := s.tenants.Get(id); taken {
+			s.logger.Warn("stored scenario shadowed by boot-time tenant", "scenario", id)
+			continue
+		}
+		if err := s.createScenario(id, docs[id], false); err != nil {
+			s.logger.Warn("stored scenario failed to load", "scenario", id, "error", err)
+			continue
+		}
+		s.logger.Info("scenario loaded", "scenario", id)
+	}
+	return nil
+}
+
+// snapshotScenarios writes every registered scenario document through the
+// Store, one slog outcome per tenant. It runs once, at graceful shutdown,
+// so even a store that missed a write (or a document updated in place)
+// is consistent on disk before the process exits.
+func (s *Server) snapshotScenarios() {
+	s.tenants.Range(func(id string, t *tenant) bool {
+		if t.spec == nil {
+			s.logger.Info("scenario snapshot skipped", "scenario", id, "reason", "no stored document")
+			return true
+		}
+		if err := s.store.Save(id, t.spec); err != nil {
+			s.logger.Error("scenario snapshot failed", "scenario", id, "error", err)
+		} else {
+			s.logger.Info("scenario snapshot written", "scenario", id, "bytes", len(t.spec))
+		}
+		return true
+	})
+}

@@ -62,6 +62,7 @@ type Span struct {
 	start time.Time
 
 	mu      sync.Mutex
+	tenant  string
 	stages  []Stage
 	attrs   map[string]any
 	onStage func(Stage) // called after each stage lands, outside mu
@@ -101,6 +102,30 @@ func (s *Span) OnStage(fn func(Stage)) {
 	s.mu.Lock()
 	s.onStage = fn
 	s.mu.Unlock()
+}
+
+// SetTenant tags the span with the scenario (tenant) that served the
+// request; the ring record and /debug/traces surface it, so one trace
+// stream stays attributable in a multi-tenant daemon. Requests on the
+// legacy tenant-less routes leave it empty.
+func (s *Span) SetTenant(tenant string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.tenant = tenant
+	s.mu.Unlock()
+}
+
+// Tenant returns the scenario tag set by SetTenant ("" when unset or on
+// a nil span).
+func (s *Span) Tenant() string {
+	if s == nil {
+		return ""
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tenant
 }
 
 // StageTimer measures one in-flight stage; obtain with StartStage and
@@ -195,10 +220,14 @@ func (s *Span) Stages() []Stage {
 // Record is one finished trace as stored in the ring and served at
 // /debug/traces.
 type Record struct {
-	TraceID         string         `json:"trace_id"`
-	Method          string         `json:"method"`
-	Path            string         `json:"path"`
-	Status          int            `json:"status"`
+	TraceID string `json:"trace_id"`
+	// Tenant is the scenario the request was served for; empty for
+	// requests on the legacy tenant-less routes and non-scenario
+	// endpoints.
+	Tenant string `json:"tenant,omitempty"`
+	Method string `json:"method"`
+	Path   string `json:"path"`
+	Status int    `json:"status"`
 	Start           time.Time      `json:"start"`
 	DurationSeconds float64        `json:"duration_seconds"`
 	Stages          []Stage        `json:"stages,omitempty"`
@@ -220,6 +249,7 @@ func (s *Span) Finish(method, path string, status int, d time.Duration) Record {
 	rec.TraceID = s.id
 	rec.Start = s.start
 	s.mu.Lock()
+	rec.Tenant = s.tenant
 	rec.Stages = append([]Stage(nil), s.stages...)
 	if len(s.attrs) > 0 {
 		rec.Attrs = make(map[string]any, len(s.attrs))

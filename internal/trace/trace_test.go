@@ -2,8 +2,10 @@ package trace
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"log/slog"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -180,5 +182,40 @@ func TestParseLevel(t *testing.T) {
 	}
 	if _, err := ParseLevel("shout"); err == nil {
 		t.Fatal("bogus level accepted")
+	}
+}
+
+func TestSpanTenant(t *testing.T) {
+	sp := NewSpan("")
+	if sp.Tenant() != "" {
+		t.Fatalf("fresh span tenant = %q", sp.Tenant())
+	}
+	sp.SetTenant("net-1")
+	if sp.Tenant() != "net-1" {
+		t.Fatalf("tenant = %q, want net-1", sp.Tenant())
+	}
+	rec := sp.Finish("GET", "/v1/scenarios/net-1/diagnosis", 200, time.Millisecond)
+	if rec.Tenant != "net-1" {
+		t.Fatalf("record tenant = %q, want net-1", rec.Tenant)
+	}
+
+	// Nil-safety, like every other Span method.
+	var nilSpan *Span
+	nilSpan.SetTenant("x")
+	if nilSpan.Tenant() != "" {
+		t.Fatal("nil span reported a tenant")
+	}
+	if rec := nilSpan.Finish("GET", "/", 200, 0); rec.Tenant != "" {
+		t.Fatalf("nil span record tenant = %q", rec.Tenant)
+	}
+
+	// Tenant-less records must not serialize the field (legacy
+	// /debug/traces output stays unchanged for legacy requests).
+	raw, err := json.Marshal(NewSpan("").Finish("GET", "/healthz", 200, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(raw), "tenant") {
+		t.Fatalf("empty tenant serialized: %s", raw)
 	}
 }

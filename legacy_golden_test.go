@@ -1,0 +1,152 @@
+package placemon_test
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	placemon "repro"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the legacy-route golden files")
+
+// durationField strips the one wall-clock-dependent field from placement
+// responses so the remaining bytes can be pinned exactly.
+var durationField = regexp.MustCompile(`"duration_seconds":[0-9.eE+-]+`)
+
+// legacyGoldenServer builds the deterministic single-tenant scenario every
+// golden request runs against: Abovenet, two services on the first four
+// suggested clients, the greedy distinguishability placement at α = 0.6.
+func legacyGoldenServer(t testing.TB) (*placemon.Server, *placemon.Network, []placemon.Service, *placemon.Result) {
+	t.Helper()
+	nw, err := placemon.BuildTopology("Abovenet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	clients := nw.SuggestedClients()
+	if len(clients) < 4 {
+		t.Fatalf("only %d suggested clients", len(clients))
+	}
+	services := []placemon.Service{
+		{Name: "svc-0", Clients: clients[:2]},
+		{Name: "svc-1", Clients: clients[2:4]},
+	}
+	const alpha = 0.6
+	res, err := nw.Place(services, placemon.PlaceConfig{
+		Alpha:     alpha,
+		Objective: placemon.ObjectiveDistinguishability,
+		Algorithm: placemon.AlgorithmGreedy,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := placemon.NewPlacementFile("Abovenet", alpha, services, res.Hosts)
+	srv, err := placemon.NewServer(nw, doc, placemon.ServerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv, nw, services, res
+}
+
+// legacyRequests is the pinned request sequence. Bodies are deterministic:
+// observation states come from Network.Observe on the deterministic greedy
+// placement, so the exact response bytes are reproducible run to run.
+func legacyRequests(t testing.TB, nw *placemon.Network, services []placemon.Service, res *placemon.Result) []struct {
+	name, method, path, body string
+} {
+	t.Helper()
+	failNode := res.Hosts[0]
+	obs, err := nw.Observe(services, res.Hosts, 0.6, []int{failNode})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var down, up []string
+	for i, failed := range obs.Failed {
+		down = append(down, fmt.Sprintf(`{"connection": %d, "up": %v}`, i, !failed))
+		up = append(up, fmt.Sprintf(`{"connection": %d, "up": true}`, i))
+	}
+	placeBody := fmt.Sprintf(
+		`{"services": [{"name": "svc-0", "clients": %s}, {"name": "svc-1", "clients": %s}], "alpha": 0.6, "objective": "distinguishability", "algorithm": "greedy"}`,
+		intsJSON(services[0].Clients), intsJSON(services[1].Clients))
+	return []struct{ name, method, path, body string }{
+		{"healthz_initial", http.MethodGet, "/healthz", ""},
+		{"ingest_failure", http.MethodPost, "/v1/observations",
+			fmt.Sprintf(`{"batch_id": "golden-batch-1", "time": 1, "reports": [%s]}`, strings.Join(down, ","))},
+		{"ingest_failure_replay", http.MethodPost, "/v1/observations",
+			fmt.Sprintf(`{"batch_id": "golden-batch-1", "time": 1, "reports": [%s]}`, strings.Join(down, ","))},
+		{"diagnosis_outage", http.MethodGet, "/v1/diagnosis", ""},
+		{"ingest_recovery", http.MethodPost, "/v1/observations",
+			fmt.Sprintf(`{"time": 2, "reports": [%s]}`, strings.Join(up, ","))},
+		{"diagnosis_clear", http.MethodGet, "/v1/diagnosis", ""},
+		{"healthz_after", http.MethodGet, "/healthz", ""},
+		{"placement_greedy", http.MethodPost, "/v1/placements", placeBody},
+		{"bad_request_empty_batch", http.MethodPost, "/v1/observations", `{"time": 3, "reports": []}`},
+		{"bad_request_out_of_range", http.MethodPost, "/v1/observations",
+			`{"time": 3, "reports": [{"connection": 9999, "up": false}]}`},
+		{"unknown_path", http.MethodGet, "/v1/nope", ""},
+	}
+}
+
+func intsJSON(v []int) string {
+	parts := make([]string, len(v))
+	for i, x := range v {
+		parts[i] = fmt.Sprint(x)
+	}
+	return "[" + strings.Join(parts, ", ") + "]"
+}
+
+// TestLegacyRoutesGolden pins the legacy (tenant-less) API byte for byte:
+// every response of the deterministic request sequence above must match
+// the goldens captured from the seed single-tenant server, so the
+// registry-backed "default" tenant cannot drift from the original wire
+// contract. Regenerate with `go test -run LegacyRoutesGolden -update .`
+// only when a wire change is intended.
+func TestLegacyRoutesGolden(t *testing.T) {
+	srv, nw, services, res := legacyGoldenServer(t)
+	defer srv.Close()
+	handler := srv.Handler()
+
+	for _, rq := range legacyRequests(t, nw, services, res) {
+		t.Run(rq.name, func(t *testing.T) {
+			var body *strings.Reader
+			if rq.body != "" {
+				body = strings.NewReader(rq.body)
+			} else {
+				body = strings.NewReader("")
+			}
+			req := httptest.NewRequest(rq.method, rq.path, body)
+			if rq.body != "" {
+				req.Header.Set("Content-Type", "application/json")
+			}
+			rec := httptest.NewRecorder()
+			handler.ServeHTTP(rec, req)
+
+			got := fmt.Sprintf("STATUS %d\n%s", rec.Code,
+				durationField.ReplaceAllString(rec.Body.String(), `"duration_seconds":0`))
+			path := filepath.Join("testdata", "legacy", rq.name+".golden")
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("%s %s: response drifted from the seed bytes\n--- got ---\n%s\n--- want ---\n%s",
+					rq.method, rq.path, got, want)
+			}
+		})
+	}
+}

@@ -20,6 +20,7 @@
 package placemon
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -216,6 +217,13 @@ type PlaceConfig struct {
 	// The callback runs on the engine goroutine between rounds; it only
 	// observes the computation and never changes its result.
 	Progress func(RoundProgress)
+	// Context, when non-nil, bounds the placement run: the greedy, lazy,
+	// and lazy-parallel engines observe cancellation once per round (the
+	// same cadence as Progress) and return an error wrapping ctx.Err(),
+	// so an abandoned or drained job stops within one round instead of
+	// running to completion. Nil means no cancellation. A canceled run
+	// never returns a partial placement.
+	Context context.Context
 }
 
 // RoundProgress reports one completed round of a greedy or lazy
@@ -302,14 +310,19 @@ func (nw *Network) Place(services []Service, cfg PlaceConfig) (*Result, error) {
 		}
 	}
 
+	ctx := cfg.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+
 	var res *placement.Result
 	switch algo {
 	case AlgorithmGreedyLS:
 		res, err = placeLS(inst, obj)
 	case AlgorithmLazy:
-		res, err = placement.GreedyLazyWithProgress(inst, obj, progress)
+		res, err = placement.GreedyLazyCtx(ctx, inst, obj, progress)
 	case AlgorithmLazyParallel:
-		res, err = placement.GreedyLazyParallelWithProgress(inst, obj, 0, progress)
+		res, err = placement.GreedyLazyParallelCtx(ctx, inst, obj, 0, progress)
 	case AlgorithmGreedy:
 		if cfg.Capacity != nil {
 			res, err = placement.GreedyCapacitated(inst, obj, placement.CapacityConstraints{
@@ -317,7 +330,7 @@ func (nw *Network) Place(services []Service, cfg PlaceConfig) (*Result, error) {
 				Capacity: cfg.Capacity.HostCapacity,
 			})
 		} else {
-			res, err = placement.GreedyWithProgress(inst, obj, progress)
+			res, err = placement.GreedyCtx(ctx, inst, obj, progress)
 		}
 	case AlgorithmQoS:
 		res, err = placement.QoS(inst, obj)

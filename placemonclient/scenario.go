@@ -1,0 +1,143 @@
+package placemonclient
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+
+	"repro/internal/trace"
+)
+
+// ErrScenarioNotFound means the addressed scenario does not exist on the
+// server (HTTP 404 on a scenario-scoped route). Scenario-scoped calls
+// and DeleteScenario wrap it, so callers can errors.Is instead of
+// inspecting APIError statuses.
+var ErrScenarioNotFound = errors.New("placemonclient: scenario not found")
+
+// ScenarioInfo is one scenario's status row, as served by
+// GET /v1/scenarios and GET /v1/scenarios/{id}.
+type ScenarioInfo struct {
+	ID          string `json:"id"`
+	Connections int    `json:"connections"`
+	InOutage    bool   `json:"in_outage"`
+	Persistent  bool   `json:"persistent"`
+}
+
+// ScenarioClient addresses one scenario of a multi-tenant placemond: the
+// same calls as Client, routed to /v1/scenarios/{id}/... and sharing the
+// parent's retry loop, circuit breaker, and metrics. Create with
+// Client.Scenario; safe for concurrent use.
+type ScenarioClient struct {
+	c      *Client
+	id     string
+	prefix string
+}
+
+// Scenario returns a client scoped to the named scenario. The ID is not
+// checked locally; an unknown one surfaces as ErrScenarioNotFound on the
+// first call.
+func (c *Client) Scenario(id string) *ScenarioClient {
+	return &ScenarioClient{c: c, id: id, prefix: "/v1/scenarios/" + url.PathEscape(id)}
+}
+
+// ID returns the scenario this client addresses.
+func (sc *ScenarioClient) ID() string { return sc.id }
+
+// scenarioErr converts a 404 APIError into an ErrScenarioNotFound chain
+// (both sentinels stay errors.Is/As-reachable); other errors pass through.
+func scenarioErr(id string, err error) error {
+	var apiErr *APIError
+	if errors.As(err, &apiErr) && apiErr.Status == http.StatusNotFound {
+		return fmt.Errorf("%w: %w: %q", err, ErrScenarioNotFound, id)
+	}
+	return err
+}
+
+// ReportObservations ingests one batch into the scenario; semantics as
+// Client.ReportObservations (idempotency key, replay detection).
+func (sc *ScenarioClient) ReportObservations(ctx context.Context, batch ObservationBatch) (*IngestResult, error) {
+	if len(batch.Reports) == 0 {
+		return nil, fmt.Errorf("placemonclient: empty observation batch")
+	}
+	if batch.BatchID == "" {
+		batch.BatchID = newBatchID()
+	}
+	var out struct {
+		Events []Event `json:"events"`
+	}
+	hdr, err := sc.c.do(ctx, http.MethodPost, sc.prefix+"/observations", batch, &out)
+	if err != nil {
+		return nil, scenarioErr(sc.id, err)
+	}
+	return &IngestResult{
+		BatchID:  batch.BatchID,
+		Events:   out.Events,
+		Replayed: hdr.Get("Placemond-Replayed") == "true",
+		TraceID:  hdr.Get(trace.Header),
+	}, nil
+}
+
+// Diagnosis fetches the scenario's rolling diagnosis.
+func (sc *ScenarioClient) Diagnosis(ctx context.Context) (*DiagnosisResponse, error) {
+	var out DiagnosisResponse
+	if _, err := sc.c.do(ctx, http.MethodGet, sc.prefix+"/diagnosis", nil, &out); err != nil {
+		return nil, scenarioErr(sc.id, err)
+	}
+	return &out, nil
+}
+
+// Place runs one placement job on the scenario's network, charged
+// against its per-scenario job quota.
+func (sc *ScenarioClient) Place(ctx context.Context, req PlacementRequest) (*PlacementResult, error) {
+	var out PlacementResult
+	if _, err := sc.c.do(ctx, http.MethodPost, sc.prefix+"/placements", req, &out); err != nil {
+		return nil, scenarioErr(sc.id, err)
+	}
+	return &out, nil
+}
+
+// Info fetches the scenario's status row.
+func (sc *ScenarioClient) Info(ctx context.Context) (*ScenarioInfo, error) {
+	var out ScenarioInfo
+	if _, err := sc.c.do(ctx, http.MethodGet, sc.prefix, nil, &out); err != nil {
+		return nil, scenarioErr(sc.id, err)
+	}
+	return &out, nil
+}
+
+// --- scenario administration on the parent client ---
+
+// CreateScenario registers a scenario from its JSON document (the
+// placemon.ScenarioSpec form) under the given ID. The call is idempotent
+// to retry in the HTTP sense only — a genuine duplicate answers 409,
+// surfaced as an APIError.
+func (c *Client) CreateScenario(ctx context.Context, id string, spec json.RawMessage) (*ScenarioInfo, error) {
+	var out ScenarioInfo
+	if _, err := c.do(ctx, http.MethodPut, "/v1/scenarios/"+url.PathEscape(id), spec, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// DeleteScenario drains and removes a scenario; ErrScenarioNotFound if
+// it does not exist.
+func (c *Client) DeleteScenario(ctx context.Context, id string) error {
+	if _, err := c.do(ctx, http.MethodDelete, "/v1/scenarios/"+url.PathEscape(id), nil, nil); err != nil {
+		return scenarioErr(id, err)
+	}
+	return nil
+}
+
+// ListScenarios fetches every hosted scenario's status row, sorted by ID.
+func (c *Client) ListScenarios(ctx context.Context) ([]ScenarioInfo, error) {
+	var out struct {
+		Scenarios []ScenarioInfo `json:"scenarios"`
+	}
+	if _, err := c.do(ctx, http.MethodGet, "/v1/scenarios", nil, &out); err != nil {
+		return nil, err
+	}
+	return out.Scenarios, nil
+}

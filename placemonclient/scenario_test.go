@@ -1,0 +1,113 @@
+package placemonclient
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestScenarioClientRoutes: every scenario-scoped call hits the
+// /v1/scenarios/{id}/... route of its scenario, with the ID escaped.
+func TestScenarioClientRoutes(t *testing.T) {
+	var paths []string
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		paths = append(paths, r.Method+" "+r.URL.Path)
+		json.NewEncoder(w).Encode(map[string]any{"events": []any{}})
+	}))
+	defer ts.Close()
+	sc := newTestClient(t, ts.URL, nil).Scenario("edge-1")
+
+	ctx := context.Background()
+	if _, err := sc.ReportObservations(ctx, ObservationBatch{Reports: []Report{{Connection: 0, Up: true}}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sc.Diagnosis(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sc.Place(ctx, PlacementRequest{Services: []ServiceSpec{{Clients: []int{0}}}, Alpha: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sc.Info(ctx); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"POST /v1/scenarios/edge-1/observations",
+		"GET /v1/scenarios/edge-1/diagnosis",
+		"POST /v1/scenarios/edge-1/placements",
+		"GET /v1/scenarios/edge-1",
+	}
+	if len(paths) != len(want) {
+		t.Fatalf("paths = %v, want %v", paths, want)
+	}
+	for i := range want {
+		if paths[i] != want[i] {
+			t.Errorf("call %d hit %q, want %q", i, paths[i], want[i])
+		}
+	}
+}
+
+// TestScenarioNotFoundTyped: a 404 on a scenario route surfaces as
+// ErrScenarioNotFound with the APIError still in the chain.
+func TestScenarioNotFoundTyped(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusNotFound)
+		json.NewEncoder(w).Encode(map[string]string{"error": "unknown scenario"})
+	}))
+	defer ts.Close()
+	c := newTestClient(t, ts.URL, nil)
+
+	_, err := c.Scenario("ghost").Diagnosis(context.Background())
+	if !errors.Is(err, ErrScenarioNotFound) {
+		t.Fatalf("error = %v, want ErrScenarioNotFound", err)
+	}
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusNotFound {
+		t.Fatalf("APIError lost from chain: %v", err)
+	}
+	if err := c.DeleteScenario(context.Background(), "ghost"); !errors.Is(err, ErrScenarioNotFound) {
+		t.Fatalf("delete error = %v, want ErrScenarioNotFound", err)
+	}
+}
+
+// TestScenarioAdminCalls: create sends the raw document via PUT, list
+// decodes the envelope.
+func TestScenarioAdminCalls(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch {
+		case r.Method == http.MethodPut && r.URL.Path == "/v1/scenarios/fresh":
+			var doc map[string]any
+			if err := json.NewDecoder(r.Body).Decode(&doc); err != nil || doc["nodes"] != float64(5) {
+				t.Errorf("create body = %v (%v)", doc, err)
+			}
+			w.WriteHeader(http.StatusCreated)
+			json.NewEncoder(w).Encode(ScenarioInfo{ID: "fresh", Connections: 2, Persistent: true})
+		case r.Method == http.MethodGet && r.URL.Path == "/v1/scenarios":
+			json.NewEncoder(w).Encode(map[string]any{"scenarios": []ScenarioInfo{
+				{ID: "default"}, {ID: "fresh", Persistent: true},
+			}})
+		default:
+			t.Errorf("unexpected call %s %s", r.Method, r.URL.Path)
+			w.WriteHeader(http.StatusTeapot)
+		}
+	}))
+	defer ts.Close()
+	c := newTestClient(t, ts.URL, nil)
+
+	info, err := c.CreateScenario(context.Background(), "fresh", json.RawMessage(`{"nodes": 5}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.ID != "fresh" || info.Connections != 2 || !info.Persistent {
+		t.Fatalf("create info = %+v", info)
+	}
+	list, err := c.ListScenarios(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 2 || list[0].ID != "default" || list[1].ID != "fresh" {
+		t.Fatalf("list = %+v", list)
+	}
+}

@@ -1,0 +1,222 @@
+package placemon_test
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+
+	placemon "repro"
+)
+
+// lineScenarioSpec is a self-contained inline scenario: a 5-node line
+// 0-1-2-3-4 with one service at host 2 serving clients 0 and 4, i.e. two
+// monitored connections.
+func lineScenarioSpec() placemon.ScenarioSpec {
+	return placemon.ScenarioSpec{
+		Nodes: 5,
+		Edges: [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}},
+		Placement: placemon.PlacementFile{
+			Alpha:    1,
+			Services: []placemon.ServiceRecord{{Name: "svc", Clients: []int{0, 4}}},
+			Hosts:    []int{2},
+		},
+	}
+}
+
+func scenarioGET(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(raw)
+}
+
+// TestScenarioServerEndToEnd: a registry-only facade server hosts
+// dynamically added scenarios with working ingest and diagnosis, and the
+// admin errors are typed.
+func TestScenarioServerEndToEnd(t *testing.T) {
+	srv, err := placemon.NewScenarioServer(placemon.ServerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	if err := srv.AddScenario("edge-net", lineScenarioSpec()); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.AddScenario("edge-net", lineScenarioSpec()); !errors.Is(err, placemon.ErrScenarioExists) {
+		t.Fatalf("duplicate add error = %v, want ErrScenarioExists", err)
+	}
+	// A built-in-topology scenario rides the same API.
+	topoSpec := placemon.ScenarioSpec{
+		Topology: "Abovenet",
+		Placement: placemon.PlacementFile{
+			Alpha:    1,
+			Services: []placemon.ServiceRecord{{Clients: []int{1, 2}}},
+			Hosts:    []int{0},
+		},
+	}
+	if err := srv.AddScenario("abovenet", topoSpec); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := srv.Scenarios(), []string{"abovenet", "edge-net"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("Scenarios() = %v, want %v", got, want)
+	}
+
+	// Ingest an outage into edge-net and diagnose it over HTTP.
+	resp, err := http.Post(ts.URL+"/v1/scenarios/edge-net/observations", "application/json",
+		strings.NewReader(`{"time": 1, "reports": [{"connection": 0, "up": false}, {"connection": 1, "up": true}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("scenario ingest status = %d", resp.StatusCode)
+	}
+	if code, body := scenarioGET(t, ts.URL+"/v1/scenarios/edge-net/diagnosis"); code != http.StatusOK || !strings.Contains(body, `"in_outage":true`) {
+		t.Fatalf("edge-net diagnosis = %d %s", code, body)
+	}
+	// The sibling scenario is untouched.
+	if _, body := scenarioGET(t, ts.URL+"/v1/scenarios/abovenet/diagnosis"); !strings.Contains(body, `"in_outage":false`) {
+		t.Fatalf("abovenet diagnosis leaked state: %s", body)
+	}
+	// No default scenario: legacy routes answer 404.
+	if code, _ := scenarioGET(t, ts.URL+"/v1/diagnosis"); code != http.StatusNotFound {
+		t.Fatalf("legacy route on registry-only server = %d, want 404", code)
+	}
+
+	if err := srv.RemoveScenario(context.Background(), "abovenet"); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.RemoveScenario(context.Background(), "abovenet"); !errors.Is(err, placemon.ErrScenarioNotFound) {
+		t.Fatalf("double remove error = %v, want ErrScenarioNotFound", err)
+	}
+	if got, want := srv.Scenarios(), []string{"edge-net"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("Scenarios() after remove = %v, want %v", got, want)
+	}
+}
+
+// TestScenarioLimitTyped: the MaxScenarios cap surfaces as
+// ErrScenarioLimit through the facade.
+func TestScenarioLimitTyped(t *testing.T) {
+	srv, err := placemon.NewScenarioServer(placemon.ServerConfig{MaxScenarios: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if err := srv.AddScenario("one", lineScenarioSpec()); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.AddScenario("two", lineScenarioSpec()); !errors.Is(err, placemon.ErrScenarioLimit) {
+		t.Fatalf("over-cap add error = %v, want ErrScenarioLimit", err)
+	}
+}
+
+// TestScenarioDirSurvivesRestart: scenarios added to a file-backed server
+// reload on the next boot, and removed ones stay gone.
+func TestScenarioDirSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	cfg := placemon.ServerConfig{ScenarioDir: dir}
+
+	srv1, err := placemon.NewScenarioServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv1.AddScenario("survivor", lineScenarioSpec()); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv1.AddScenario("casualty", lineScenarioSpec()); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv1.RemoveScenario(context.Background(), "casualty"); err != nil {
+		t.Fatal(err)
+	}
+	srv1.Close()
+
+	srv2, err := placemon.NewScenarioServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	if got, want := srv2.Scenarios(), []string{"survivor"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("reloaded scenarios = %v, want %v", got, want)
+	}
+	ts := httptest.NewServer(srv2.Handler())
+	defer ts.Close()
+	if code, body := scenarioGET(t, ts.URL+"/v1/scenarios/survivor/diagnosis"); code != http.StatusOK {
+		t.Fatalf("reloaded scenario not serving: %d %s", code, body)
+	}
+}
+
+// TestParseScenarioSpecValidation: malformed documents fail parse with a
+// useful error instead of failing deep inside an engine.
+func TestParseScenarioSpecValidation(t *testing.T) {
+	for _, tc := range []struct {
+		name, raw string
+	}{
+		{"not json", `{`},
+		{"unknown field", `{"bogus": 1, "placement": {"alpha": 0, "services": [], "hosts": []}}`},
+		{"negative nodes", `{"nodes": -3, "placement": {"alpha": 0, "services": [], "hosts": []}}`},
+		{"negative k", `{"nodes": 2, "k": -1, "placement": {"alpha": 0, "services": [], "hosts": []}}`},
+		{"host service mismatch", `{"nodes": 2, "edges": [[0,1]], "placement": {"alpha": 0, "services": [{"clients": [0]}], "hosts": []}}`},
+		{"clientless service", `{"nodes": 2, "edges": [[0,1]], "placement": {"alpha": 0, "services": [{"clients": []}], "hosts": [1]}}`},
+		{"alpha out of range", `{"nodes": 2, "edges": [[0,1]], "placement": {"alpha": 7, "services": [{"clients": [0]}], "hosts": [1]}}`},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := placemon.ParseScenarioSpec([]byte(tc.raw)); err == nil {
+				t.Fatalf("spec %s parsed without error", tc.raw)
+			}
+		})
+	}
+
+	// The happy path round-trips.
+	sp, err := placemon.ParseScenarioSpec([]byte(
+		`{"nodes": 5, "edges": [[0,1],[1,2],[2,3],[3,4]], "placement": {"alpha": 1, "services": [{"clients": [0,4]}], "hosts": [2]}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := sp.Network()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw.NumNodes() != 5 {
+		t.Fatalf("spec network has %d nodes, want 5", nw.NumNodes())
+	}
+}
+
+// TestScenarioSpecNetworkFallback: a spec without Topology or inline
+// edges falls back to the placement document's topology name, and a spec
+// naming nothing errors.
+func TestScenarioSpecNetworkFallback(t *testing.T) {
+	sp := placemon.ScenarioSpec{
+		Placement: placemon.PlacementFile{Topology: "Abovenet", Alpha: 1,
+			Services: []placemon.ServiceRecord{{Clients: []int{1}}}, Hosts: []int{0}},
+	}
+	nw, err := sp.Network()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := placemon.BuildTopology("Abovenet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw.NumNodes() != want.NumNodes() {
+		t.Fatalf("fallback network has %d nodes, want %d", nw.NumNodes(), want.NumNodes())
+	}
+	if _, err := (placemon.ScenarioSpec{}).Network(); err == nil {
+		t.Fatal("nameless spec built a network")
+	}
+}

@@ -52,47 +52,64 @@ type ServerConfig struct {
 	// logs a warning (default 1s; ≤ -1 disables).
 	SlowRequest time.Duration
 	// TraceBuffer sizes the /debug/traces ring of recent request traces
-	// (default 64; ≤ -1 disables the ring and the endpoint).
+	// (default 64; ≤ -1 disables the ring and the endpoint). Each scenario
+	// additionally gets its own ring of the same size.
 	TraceBuffer int
+
+	// ScenarioDir, when non-empty, persists scenario documents as files
+	// under this directory (created if missing): every created scenario is
+	// snapshotted on write and reloaded at the next boot. Empty keeps
+	// scenarios in memory for the process lifetime only.
+	ScenarioDir string
+	// MaxScenarios caps concurrently hosted scenarios (default 64).
+	MaxScenarios int
+	// TenantSeriesCap caps tenant-labeled metric cardinality: the first
+	// cap scenarios get their own series, later ones share the
+	// tenant="other" bucket (default 32; ≤ -1 removes the cap).
+	TenantSeriesCap int
+	// MaxJobsPerScenario caps one scenario's queued-plus-running placement
+	// jobs; the excess is rejected with 429 so a noisy tenant cannot
+	// monopolize the shared worker pool (default: the whole pool;
+	// < 0 removes the quota).
+	MaxJobsPerScenario int
 }
 
-// Server is the placemond HTTP monitoring service over one deployed
-// placement: it ingests end-to-end connection observations, serves the
-// rolling diagnosis, and runs placement jobs on a bounded worker pool.
-// Create with NewServer; see cmd/placemond for the standalone binary.
+// Server is the placemond HTTP monitoring service. Built with NewServer
+// it hosts one boot-time scenario (the "default" tenant the legacy
+// single-scenario routes address) and, like a NewScenarioServer-built
+// one, any number of additional named scenarios, each with fully
+// isolated monitoring state. See cmd/placemond for the standalone
+// binary.
 type Server struct {
 	inner *server.Server
 	conns []Connection
 }
 
-// NewServer builds the service for the placement described by doc, whose
-// services and hosts must be valid for nw at doc.Alpha. The monitored
-// connections are the routed (client, host) pairs of every placed
-// service, in the same order Network.Observe reports them; connection
-// indices in the ingest API refer to that order (see Server.Connections).
-func NewServer(nw *Network, doc PlacementFile, cfg ServerConfig) (*Server, error) {
+// buildMonitoring turns a placement document into the serving layer's
+// path and connection lists: the routed (client, host) pair of every
+// placed service, in the same order Network.Observe reports them. Shared
+// by NewServer (the default tenant) and buildScenario (every other
+// tenant), so a scenario built from a document monitors exactly what the
+// single-scenario daemon would.
+func buildMonitoring(nw *Network, doc PlacementFile) (paths []*bitset.Set, conns []server.Connection, public []Connection, err error) {
 	services := doc.ToServices()
 	if len(doc.Hosts) != len(services) {
-		return nil, fmt.Errorf("placemon: %d hosts for %d services", len(doc.Hosts), len(services))
+		return nil, nil, nil, fmt.Errorf("placemon: %d hosts for %d services", len(doc.Hosts), len(services))
 	}
 	if err := doc.Validate(nw); err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
 	inst, _, err := nw.prepare(services, PlaceConfig{Alpha: doc.Alpha})
 	if err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
-
-	var paths []*bitset.Set
-	var conns []server.Connection
-	var public []Connection
 	for s, h := range doc.Hosts {
 		if h == placement.Unplaced {
 			continue
 		}
 		ps, err := inst.ServicePaths(s, h)
 		if err != nil {
-			return nil, fmt.Errorf("placemon: %w", err)
+			return nil, nil, nil, fmt.Errorf("placemon: %w", err)
 		}
 		for i, p := range ps {
 			paths = append(paths, p)
@@ -101,26 +118,33 @@ func NewServer(nw *Network, doc PlacementFile, cfg ServerConfig) (*Server, error
 		}
 	}
 	if len(paths) == 0 {
-		return nil, fmt.Errorf("placemon: placement has no monitored connections")
+		return nil, nil, nil, fmt.Errorf("placemon: placement has no monitored connections")
 	}
+	return paths, conns, public, nil
+}
 
-	inner, err := server.New(server.Config{
-		NumNodes:         nw.NumNodes(),
-		K:                cfg.K,
-		Paths:            paths,
-		Connections:      conns,
-		Place:            nw.placeFunc(),
-		Workers:          cfg.Workers,
-		QueueDepth:       cfg.QueueDepth,
-		RequestTimeout:   cfg.RequestTimeout,
-		DrainTimeout:     cfg.DrainTimeout,
-		DedupWindow:      cfg.DedupWindow,
-		DiagnosisTimeout: cfg.DiagnosisTimeout,
-		EnablePprof:      cfg.EnablePprof,
-		Logger:           cfg.Logger,
-		SlowRequest:      cfg.SlowRequest,
-		TraceBuffer:      cfg.TraceBuffer,
-	})
+// NewServer builds the service for the placement described by doc, whose
+// services and hosts must be valid for nw at doc.Alpha. The monitored
+// connections are the routed (client, host) pairs of every placed
+// service, in the same order Network.Observe reports them; connection
+// indices in the ingest API refer to that order (see Server.Connections).
+// The deployment becomes the server's "default" scenario; further
+// scenarios may be added dynamically (see AddScenario and the
+// /v1/scenarios API).
+func NewServer(nw *Network, doc PlacementFile, cfg ServerConfig) (*Server, error) {
+	paths, conns, public, err := buildMonitoring(nw, doc)
+	if err != nil {
+		return nil, err
+	}
+	sc, err := cfg.innerConfig()
+	if err != nil {
+		return nil, err
+	}
+	sc.NumNodes = nw.NumNodes()
+	sc.Paths = paths
+	sc.Connections = conns
+	sc.Place = nw.placeFunc()
+	inner, err := server.New(sc)
 	if err != nil {
 		return nil, fmt.Errorf("placemon: %w", err)
 	}
@@ -153,6 +177,9 @@ func (nw *Network) placeFunc() server.PlaceFunc {
 			K:         req.K,
 			Seed:      req.Seed,
 			Progress:  progress,
+			// The request context rides into the engine so a timed-out,
+			// canceled, or drained job stops at the next round boundary.
+			Context: ctx,
 		})
 		if err != nil {
 			return nil, err

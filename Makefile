@@ -5,7 +5,7 @@ GO ?= go
 # for a quick smoke run.
 BENCHFLAGS ?=
 
-.PHONY: all help build test race check chaos bench bench-json bench-smoke bench-compare fuzz fuzz-smoke experiments results serve clean
+.PHONY: all help build test race check chaos bench bench-json bench-smoke bench-compare fuzz fuzz-smoke experiments paper-runs soak-smoke results serve clean
 
 all: build test
 
@@ -23,6 +23,8 @@ help:
 	@echo "  fuzz         short fuzz session over the edge-list parser"
 	@echo "  fuzz-smoke   ~10s of every fuzz target (CI)"
 	@echo "  experiments  regenerate every evaluation artifact into results/"
+	@echo "  paper-runs   execute the experiments.json grid into paper_runs/<ts>/ and validate vs results/"
+	@echo "  soak-smoke   ≤30s open-loop load against an in-process placemond, gated by slo.json (CI)"
 	@echo "  results      archive test + benchmark logs"
 	@echo "  serve        compute a placement and run placemond on :8080"
 	@echo "  clean        remove archived logs"
@@ -63,13 +65,15 @@ bench-smoke:
 
 # Multi-tenant serving overhead, gated against the archived pre-refactor
 # baseline: fails when any route regressed more than 10% in ns/op.
+# The bare snapshot name resolves via benchjson's archive fallback to
+# results/bench/, where the BENCH_*.json snapshots live.
 bench-compare:
 	$(GO) test -run NONE -bench=RegistryOverhead -benchmem -benchtime=2000x . | $(GO) run ./cmd/benchjson -compare BENCH_2026-08-06_registry_seed.json -fail-over 10
 
 # Machine-readable benchmark snapshot for the perf trajectory: runs the
-# root benchmarks and archives them as BENCH_<date>.json.
+# root benchmarks and archives them under results/bench/.
 bench-json:
-	$(GO) test -run NONE -bench=. -benchmem $(BENCHFLAGS) . | $(GO) run ./cmd/benchjson > BENCH_$(shell date +%F).json
+	$(GO) test -run NONE -bench=. -benchmem $(BENCHFLAGS) . | $(GO) run ./cmd/benchjson > results/bench/BENCH_$(shell date +%F).json
 
 # Compute a placement and serve it with the monitoring daemon.
 serve:
@@ -93,6 +97,18 @@ fuzz-smoke:
 # Regenerate every evaluation artifact (text + CSV) into results/.
 experiments:
 	$(GO) run ./cmd/experiments -out results | tee results/all.txt
+
+# Execute the declared experiment grid (experiments.json: placement runs
+# plus loadgen profiles) into a timestamped paper_runs/<ts>/ tree and
+# validate every regenerated CSV against the goldens in results/.
+paper-runs:
+	$(GO) run ./cmd/experiments -grid experiments.json -runs-dir paper_runs -goldens results
+
+# Open-loop load smoke: ≤30s of sustained traffic against an in-process
+# placemond, reconciled against the server's own histograms and gated by
+# the repo's declared SLO (slo.json). Non-zero exit on violation.
+soak-smoke:
+	$(GO) run ./cmd/placemon loadgen -rps 150 -duration 20s -scenarios 4 -slo slo.json
 
 # The final deliverable logs.
 results:

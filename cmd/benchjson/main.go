@@ -30,10 +30,12 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
@@ -121,9 +123,20 @@ func run(compare string, failOver float64, args []string, stdin io.Reader, stdou
 	return nil
 }
 
+// benchArchive is where the repo keeps its BENCH_*.json snapshots; a
+// bare snapshot name that does not exist in the working directory is
+// looked up there, so `-compare BENCH_<date>.json` keeps working from
+// the repo root after the snapshots moved out of it.
+var benchArchive = filepath.Join("results", "bench")
+
 // readSummary loads a snapshot previously written by this command.
 func readSummary(path string) (*Summary, error) {
 	raw, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) && filepath.Base(path) == path {
+		if archived, archErr := os.ReadFile(filepath.Join(benchArchive, path)); archErr == nil {
+			raw, err = archived, nil
+		}
+	}
 	if err != nil {
 		return nil, err
 	}

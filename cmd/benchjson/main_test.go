@@ -230,3 +230,37 @@ func TestFailOverGate(t *testing.T) {
 		t.Fatal("negative -fail-over accepted")
 	}
 }
+
+// TestReadSummaryArchiveFallback: a bare snapshot name missing from the
+// working directory resolves against results/bench/, where the repo
+// archives its BENCH_*.json files; explicit paths never fall back.
+func TestReadSummaryArchiveFallback(t *testing.T) {
+	dir := t.TempDir()
+	oldArchive := benchArchive
+	benchArchive = dir + "/results/bench"
+	t.Cleanup(func() { benchArchive = oldArchive })
+	if err := os.MkdirAll(benchArchive, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	body := `{"date":"d1","benchmarks":[{"name":"BenchmarkX-8","ns_per_op":10,"metrics":{"ns/op":10}}]}`
+	if err := os.WriteFile(benchArchive+"/BENCH_seed.json", []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	sum, err := readSummary("BENCH_seed.json")
+	if err != nil {
+		t.Fatalf("archive fallback failed: %v", err)
+	}
+	if len(sum.Benchmarks) != 1 || sum.Benchmarks[0].Name != "BenchmarkX-8" {
+		t.Fatalf("wrong snapshot loaded: %+v", sum)
+	}
+
+	// A name in neither place still errors.
+	if _, err := readSummary("BENCH_nope.json"); err == nil {
+		t.Fatal("missing snapshot did not error")
+	}
+	// An explicit relative path does not consult the archive.
+	if _, err := readSummary("sub/BENCH_seed.json"); err == nil {
+		t.Fatal("pathed name fell back to the archive")
+	}
+}

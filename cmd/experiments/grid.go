@@ -1,0 +1,214 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	placemon "repro"
+	"repro/internal/experiments"
+	"repro/internal/loadgen"
+)
+
+// runGrid executes a declarative experiments.json into a timestamped
+// paper_runs/<ts>/ tree:
+//
+//	paper_runs/<ts>/csv/<run>.csv        regenerated figure data
+//	paper_runs/<ts>/logs/<run>.log       rendered text tables / loadgen reports
+//	paper_runs/<ts>/analysis/            validation.csv + loadgen_<profile>.json
+//	paper_runs/<ts>/summary.md           the human entry point
+//
+// Every run with a `golden` is validated against the archived figures in
+// the goldens directory (results/ by default); loadgen profiles are
+// driven against an in-process placemond and graded by their SLO. Any
+// validation or SLO failure makes the whole invocation exit non-zero —
+// after all runs have executed, so a single drifted figure still leaves
+// a complete tree to inspect.
+func runGrid(specPath, runsDir, goldens, ts string) error {
+	spec, err := experiments.LoadGridSpec(specPath)
+	if err != nil {
+		return err
+	}
+	if ts == "" {
+		ts = time.Now().UTC().Format("20060102T150405Z")
+	}
+	root := filepath.Join(runsDir, ts)
+	for _, sub := range []string{"csv", "logs", "analysis"} {
+		if err := os.MkdirAll(filepath.Join(root, sub), 0o755); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("paper runs → %s (%d placement runs, %d load profiles)\n",
+		root, len(spec.Placements), len(spec.Loadgen))
+
+	failures := 0
+	var outcomes []experiments.RunOutcome
+	for _, run := range spec.Placements {
+		start := time.Now()
+		csv, text, err := spec.ExecutePlacement(run)
+		out := experiments.RunOutcome{
+			Name: run.Name, Kind: run.Kind, Topology: run.Topology,
+			Repeats: max(run.Repeats, 1), Golden: run.Golden,
+		}
+		if err != nil {
+			out.Status = "FAIL: " + err.Error()
+			failures++
+			outcomes = append(outcomes, out)
+			fmt.Printf("  %-16s FAIL (%v)\n", run.Name, err)
+			continue
+		}
+		if err := os.WriteFile(filepath.Join(root, "logs", run.Name+".log"), []byte(text), 0o644); err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(root, "csv", run.Name+".csv"), csv, 0o644); err != nil {
+			return err
+		}
+		out.Status = "unvalidated"
+		if run.Golden != "" {
+			want, err := os.ReadFile(filepath.Join(goldens, run.Golden))
+			if err == nil {
+				err = experiments.ValidateCSV(csv, want)
+			}
+			if err != nil {
+				out.Status = "FAIL: " + err.Error()
+				failures++
+			} else {
+				out.Status = "ok"
+			}
+		}
+		outcomes = append(outcomes, out)
+		fmt.Printf("  %-16s %s (%.1fs)\n", run.Name, out.Status, time.Since(start).Seconds())
+	}
+
+	loads, loadFailures, err := runLoadProfiles(spec, root)
+	if err != nil {
+		return err
+	}
+	failures += loadFailures
+
+	if err := writeValidationCSV(filepath.Join(root, "analysis", "validation.csv"), outcomes); err != nil {
+		return err
+	}
+	sf, err := os.Create(filepath.Join(root, "summary.md"))
+	if err != nil {
+		return err
+	}
+	if err := experiments.WriteSummary(sf, ts, spec.Defaults, outcomes, loads); err != nil {
+		sf.Close()
+		return err
+	}
+	if err := sf.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("summary → %s\n", filepath.Join(root, "summary.md"))
+	if failures > 0 {
+		return fmt.Errorf("%d run(s) failed validation", failures)
+	}
+	return nil
+}
+
+// runLoadProfiles drives each declared loadgen profile against its own
+// in-process placemond, writing the text report to logs/ and the full
+// JSON report to analysis/.
+func runLoadProfiles(spec experiments.GridSpec, root string) ([]experiments.LoadgenOutcome, int, error) {
+	var outcomes []experiments.LoadgenOutcome
+	failures := 0
+	for _, lp := range spec.Loadgen {
+		out, err := runLoadProfile(lp, root)
+		if err != nil {
+			return nil, 0, fmt.Errorf("loadgen %s: %w", lp.Name, err)
+		}
+		if out.Status != "pass" {
+			failures++
+		}
+		outcomes = append(outcomes, out)
+		fmt.Printf("  loadgen %-8s %s (p99 %.1fms, errors %.2f%%)\n",
+			lp.Name, out.Status, out.P99*1e3, out.ErrorRate*100)
+	}
+	return outcomes, failures, nil
+}
+
+func runLoadProfile(lp experiments.LoadgenProfile, root string) (experiments.LoadgenOutcome, error) {
+	out := experiments.LoadgenOutcome{Name: lp.Name, RPS: lp.RPS, Duration: lp.Duration}
+	dur, err := time.ParseDuration(lp.Duration)
+	if err != nil {
+		return out, fmt.Errorf("bad duration %q: %w", lp.Duration, err)
+	}
+	slo := loadgen.DefaultSLO()
+	if len(lp.SLO) > 0 {
+		if slo, err = loadgen.ParseSLO(lp.SLO); err != nil {
+			return out, err
+		}
+	}
+	d, err := loadgen.StartLocalDaemon(placemon.ServerConfig{})
+	if err != nil {
+		return out, err
+	}
+	defer d.Close()
+
+	r, err := loadgen.New(loadgen.Config{
+		BaseURL:   d.URL,
+		RPS:       lp.RPS,
+		Duration:  dur,
+		Scenarios: lp.Scenarios,
+		Clients:   lp.Clients,
+		Seed:      lp.Seed,
+		SLO:       slo,
+		Workload: loadgen.WorkloadConfig{
+			Topology: lp.Topology,
+			Services: lp.Services,
+			Alpha:    lp.Alpha,
+			K:        lp.K,
+		},
+	})
+	if err != nil {
+		return out, err
+	}
+	rep, err := r.Run(context.Background())
+	if err != nil {
+		return out, err
+	}
+
+	lf, err := os.Create(filepath.Join(root, "logs", "loadgen_"+lp.Name+".log"))
+	if err != nil {
+		return out, err
+	}
+	rep.WriteText(lf)
+	if err := lf.Close(); err != nil {
+		return out, err
+	}
+	raw, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return out, err
+	}
+	if err := os.WriteFile(filepath.Join(root, "analysis", "loadgen_"+lp.Name+".json"), raw, 0o644); err != nil {
+		return out, err
+	}
+
+	out.Arrivals = rep.Arrivals
+	out.P50, out.P99 = rep.Overall.P50, rep.Overall.P99
+	out.ErrorRate = rep.ErrorRate()
+	if rep.Passed() {
+		out.Status = "pass"
+	} else {
+		out.Status = fmt.Sprintf("FAIL: %d SLO violation(s)", len(rep.SLOViolations))
+	}
+	return out, nil
+}
+
+// writeValidationCSV archives the per-run validation verdicts in a
+// machine-readable form next to the loadgen reports.
+func writeValidationCSV(path string, outcomes []experiments.RunOutcome) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(f, "run,kind,topology,repeats,golden,status")
+	for _, o := range outcomes {
+		fmt.Fprintf(f, "%s,%s,%s,%d,%s,%q\n", o.Name, o.Kind, o.Topology, o.Repeats, o.Golden, o.Status)
+	}
+	return f.Close()
+}

@@ -5,6 +5,13 @@
 //	experiments                 # everything, text to stdout
 //	experiments -out results    # also write CSV per figure into results/
 //	experiments -only Fig5      # a single artifact (TableI, Fig4..Fig8)
+//
+// With -grid it switches to declarative mode, executing an
+// experiments.json grid (placement runs plus loadgen profiles) into a
+// timestamped paper_runs/<ts>/{csv,logs,analysis,summary.md} tree and
+// validating the regenerated CSVs against the golden figures:
+//
+//	experiments -grid experiments.json -runs-dir paper_runs -goldens results
 package main
 
 import (
@@ -31,8 +38,15 @@ func run(args []string) error {
 	rdSeeds := fs.Int("rdseeds", 5, "random-placement seeds averaged per α")
 	seed := fs.Int64("seed", 1, "base seed for randomized series")
 	lazy := fs.Bool("lazy", true, "use the lazy-greedy (CELF) engine for the greedy series; identical curves, fewer evaluations")
+	grid := fs.String("grid", "", "experiments.json grid spec: run declaratively into -runs-dir instead of the fixed artifact list")
+	runsDir := fs.String("runs-dir", "paper_runs", "with -grid: parent directory for the timestamped run tree")
+	goldens := fs.String("goldens", "results", "with -grid: directory holding the golden CSVs runs validate against")
+	ts := fs.String("ts", "", "with -grid: override the run-tree timestamp (default: current UTC time)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *grid != "" {
+		return runGrid(*grid, *runsDir, *goldens, *ts)
 	}
 	if *out != "" {
 		if err := os.MkdirAll(*out, 0o755); err != nil {

@@ -1,0 +1,117 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	placemon "repro"
+	"repro/internal/loadgen"
+)
+
+// cmdLoadgen is the open-loop load harness: it drives a placemond (a
+// remote one via -target, or an in-process daemon when -target is empty)
+// with synthesized observation traffic and grades the run against an
+// SLO. The process exits non-zero when the SLO is violated, so the
+// command doubles as a CI gate (`make soak-smoke`).
+func cmdLoadgen(args []string) error {
+	fs := newFlagSet("loadgen")
+	target := fs.String("target", "", "base URL of the placemond to load (default: start an in-process daemon)")
+	rps := fs.Float64("rps", 100, "target aggregate request rate")
+	duration := fs.Duration("duration", 10*time.Second, "load phase length")
+	scenarios := fs.Int("scenarios", 4, "number of isolated scenarios to create and drive")
+	clients := fs.Int("clients", 0, "concurrent simulated clients (default 4×scenarios)")
+	seed := fs.Int64("seed", 1, "seed for arrival jitter and failure synthesis")
+	topo := fs.String("topology", "Abovenet", "built-in topology each scenario monitors")
+	services := fs.Int("services", 4, "services placed per scenario")
+	alpha := fs.Float64("alpha", 1, "QoS slack α for the scenario placement")
+	k := fs.Int("k", 1, "failure budget for synthesis and diagnosis")
+	diagEvery := fs.Int("diagnosis-every", 10, "every Nth arrival reads the diagnosis (-1 disables)")
+	sloPath := fs.String("slo", "", "slo.json file to grade against (default: built-in SLO)")
+	jsonOut := fs.Bool("json", false, "emit the report as JSON instead of text")
+	printSched := fs.Bool("print-schedule", false, "print the arrival schedule (one offset per line) and exit without firing")
+	keep := fs.Bool("keep", false, "leave the created scenarios on the daemon after the run")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	slo := loadgen.DefaultSLO()
+	if *sloPath != "" {
+		var err error
+		if slo, err = loadgen.LoadSLO(*sloPath); err != nil {
+			return err
+		}
+	}
+
+	cfg := loadgen.Config{
+		BaseURL:        *target,
+		RPS:            *rps,
+		Duration:       *duration,
+		Scenarios:      *scenarios,
+		Clients:        *clients,
+		Seed:           *seed,
+		DiagnosisEvery: *diagEvery,
+		SLO:            slo,
+		KeepScenarios:  *keep,
+		Workload: loadgen.WorkloadConfig{
+			Topology: *topo,
+			Services: *services,
+			Alpha:    *alpha,
+			K:        *k,
+		},
+	}
+
+	var local *loadgen.LocalDaemon
+	if cfg.BaseURL == "" {
+		var err error
+		local, err = loadgen.StartLocalDaemon(placemon.ServerConfig{
+			Logger:      logger,
+			SlowRequest: slowRequest,
+		})
+		if err != nil {
+			return err
+		}
+		defer local.Close()
+		cfg.BaseURL = local.URL
+		logger.Info("started in-process daemon", "url", local.URL)
+	}
+
+	r, err := loadgen.New(cfg)
+	if err != nil {
+		return err
+	}
+	if *printSched {
+		sched := r.Schedule()
+		fmt.Printf("# rps=%g duration=%s seed=%d arrivals=%d fingerprint=%s\n",
+			*rps, *duration, *seed, sched.Len(), sched.Fingerprint())
+		for _, off := range sched.Offsets {
+			fmt.Println(off.Nanoseconds())
+		}
+		return nil
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	rep, err := r.Run(ctx)
+	if err != nil {
+		return err
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			return err
+		}
+	} else {
+		rep.WriteText(os.Stdout)
+	}
+	if !rep.Passed() {
+		return fmt.Errorf("SLO violated (%d violation(s))", len(rep.SLOViolations))
+	}
+	return nil
+}

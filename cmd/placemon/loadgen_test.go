@@ -1,0 +1,101 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// capture routes stdout into a buffer for the duration of fn.
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	rd, wr, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = wr
+	outc := make(chan string, 1)
+	go func() {
+		var b strings.Builder
+		buf := make([]byte, 4096)
+		for {
+			n, err := rd.Read(buf)
+			b.Write(buf[:n])
+			if err != nil {
+				outc <- b.String()
+				return
+			}
+		}
+	}()
+	runErr := fn()
+	os.Stdout = old
+	wr.Close()
+	out := <-outc
+	rd.Close()
+	return out, runErr
+}
+
+// TestCmdLoadgenPrintScheduleDeterministic: the same -seed prints the
+// same schedule byte for byte; a different seed does not.
+func TestCmdLoadgenPrintScheduleDeterministic(t *testing.T) {
+	args := []string{"loadgen", "-target", "http://127.0.0.1:1", "-rps", "250",
+		"-duration", "2s", "-seed", "42", "-print-schedule"}
+	first, err := capture(t, func() error { return run(args) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := capture(t, func() error { return run(args) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != second {
+		t.Fatal("same seed printed different schedules")
+	}
+	if lines := strings.Count(first, "\n"); lines != 501 { // header + 500 offsets
+		t.Fatalf("printed %d lines, want 501", lines)
+	}
+	args[8] = "43"
+	third, err := capture(t, func() error { return run(args) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first == third {
+		t.Fatal("different seeds printed identical schedules")
+	}
+}
+
+// TestCmdLoadgenInProcess runs a short load against the in-process
+// daemon: the default SLO passes, a absurdly tight one exits non-zero.
+func TestCmdLoadgenInProcess(t *testing.T) {
+	silence(t)
+	base := []string{"loadgen", "-rps", "50", "-duration", "1s", "-scenarios", "2", "-services", "2"}
+	if err := run(base); err != nil {
+		t.Fatalf("default SLO run failed: %v", err)
+	}
+
+	tight := filepath.Join(t.TempDir(), "slo.json")
+	if err := os.WriteFile(tight, []byte(`{"max_p99_seconds": 0.000001}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run(append(base, "-slo", tight))
+	if err == nil {
+		t.Fatal("impossible SLO did not fail the run")
+	}
+	if !strings.Contains(err.Error(), "SLO violated") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestCmdLoadgenBadFlags(t *testing.T) {
+	if err := run([]string{"loadgen", "-rps", "-5", "-print-schedule"}); err == nil {
+		t.Fatal("negative rps accepted")
+	}
+	if err := run([]string{"loadgen", "-slo", "/nonexistent/slo.json"}); err == nil {
+		t.Fatal("missing SLO file accepted")
+	}
+	if err := run([]string{"loadgen", "-topology", "nosuch", "-print-schedule", "-target", "http://127.0.0.1:1"}); err == nil {
+		t.Fatal("unknown topology accepted")
+	}
+}

@@ -76,6 +76,8 @@ func run(args []string) error {
 		return cmdCompare(args[1:])
 	case "export":
 		return cmdExport(args[1:])
+	case "loadgen":
+		return cmdLoadgen(args[1:])
 	case "-h", "--help", "help":
 		usage()
 		return nil
@@ -100,7 +102,8 @@ subcommands:
   localize     place services, inject failures, and localize them
   simulate     run the full loop: place, fail/recover, probe, diagnose online
   compare      run the whole algorithm portfolio and an injection shoot-out
-  export       write a built-in topology as an edge list or DOT`)
+  export       write a built-in topology as an edge list or DOT
+  loadgen      drive a placemond with open-loop load and grade it against an SLO`)
 }
 
 // newFlagSet builds a flag set that prints its own usage on error.

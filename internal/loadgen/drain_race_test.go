@@ -1,0 +1,152 @@
+package loadgen
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	placemon "repro"
+	"repro/placemonclient"
+)
+
+// tenantIngestCounters scrapes placemond_tenant_observations_ingested_total
+// per tenant from a metrics exposition.
+func tenantIngestCounters(t *testing.T, text []byte) map[string]uint64 {
+	t.Helper()
+	const name = "placemond_tenant_observations_ingested_total"
+	out := map[string]uint64{}
+	sc := bufio.NewScanner(bytes.NewReader(text))
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, name) || strings.HasPrefix(line, "#") {
+			continue
+		}
+		labels, value, err := splitSeries(line[len(name):])
+		if err != nil {
+			t.Fatalf("parse %q: %v", line, err)
+		}
+		out[labels["tenant"]] = uint64(value)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestRunnerDrainRace deletes and recreates scenarios while the Runner is
+// mid-flight, then drains the daemon and audits the books: every
+// connection report the client got an acknowledgement for must appear in
+// the server's per-tenant ingest counters — exactly once, no lost and no
+// double-counted batches — even though the tenants were torn down and
+// rebuilt under load and the final metrics snapshot raced the last
+// in-flight ingests. Run under -race this also exercises the registry
+// and tenant lifecycles for data races.
+func TestRunnerDrainRace(t *testing.T) {
+	d, err := StartLocalDaemon(placemon.ServerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wcfg := WorkloadConfig{Topology: "Abovenet", Services: 2, K: 1}
+	r, err := New(Config{
+		BaseURL:        d.URL,
+		RPS:            300,
+		Duration:       2 * time.Second,
+		Scenarios:      4,
+		Seed:           3,
+		DiagnosisEvery: -1, // ingest-only: the audit is about batches
+		SkipCrossCheck: true,
+		Workload:       wcfg,
+		// Chaos makes real 404s; keep them cheap and keep the breaker out
+		// of the way so one dead tenant cannot poison the others' calls.
+		Client: placemonclient.Config{MaxAttempts: 2, BreakerThreshold: -1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The chaos goroutine recreates scenarios from the same document the
+	// Runner installs.
+	wl, err := BuildWorkload(wcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := placemon.ParseScenarioSpec(wl.Spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	// Hold chaos until the Runner has created all its scenarios.
+	ready := func() bool { return len(d.Server.Scenarios()) >= 4 }
+
+	stop := make(chan struct{})
+	chaosDone := make(chan int)
+	go func() {
+		cycles := 0
+		defer func() { chaosDone <- cycles }()
+		for !ready() {
+			select {
+			case <-stop:
+				return
+			case <-time.After(10 * time.Millisecond):
+			}
+		}
+		ids := r.ScenarioIDs()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			case <-time.After(40 * time.Millisecond):
+			}
+			id := ids[i%len(ids)]
+			if err := d.Server.RemoveScenario(ctx, id); err != nil {
+				continue // already gone (teardown race): nothing deleted
+			}
+			cycles++
+			select {
+			case <-stop:
+			case <-time.After(40 * time.Millisecond):
+			}
+			// Recreate so the tenant keeps taking (and counting) traffic;
+			// errors mean the Runner's teardown already won, which is fine.
+			_ = d.Server.AddScenario(id, spec)
+		}
+	}()
+
+	rep, err := r.Run(ctx)
+	close(stop)
+	cycles := <-chaosDone
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Graceful drain: every in-flight ingest completes (and is counted)
+	// before the metrics snapshot below.
+	if err := d.Close(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := d.WriteMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	counters := tenantIngestCounters(t, buf.Bytes())
+
+	if cycles == 0 {
+		t.Fatal("chaos goroutine never deleted a live scenario")
+	}
+	if rep.Overall.Errors == 0 {
+		t.Fatal("no client errors despite scenarios being deleted under load")
+	}
+	for _, sc := range rep.Scenarios {
+		if got := counters[sc.Scenario]; got != sc.ConfirmedReports {
+			t.Errorf("scenario %s: server counted %d reports, client confirmed %d",
+				sc.Scenario, got, sc.ConfirmedReports)
+		}
+	}
+}

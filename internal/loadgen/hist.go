@@ -1,0 +1,161 @@
+package loadgen
+
+import (
+	"math"
+	"sync"
+)
+
+// histBounds are the latency histogram's bucket upper bounds in seconds:
+// log-spaced from 100µs to ~2 minutes in ×1.3 steps, fine enough that an
+// interpolated p99/p999 is within a bucket's width (≤ 30%) of the truth.
+var histBounds = buildLogBounds(100e-6, 130, 1.3)
+
+// buildLogBounds generates ascending bounds lo, lo·growth, lo·growth², …
+// up to and including the first bound ≥ hi.
+func buildLogBounds(lo, hi, growth float64) []float64 {
+	var out []float64
+	for b := lo; ; b *= growth {
+		out = append(out, b)
+		if b >= hi {
+			return out
+		}
+	}
+}
+
+// Hist is a log-bucketed latency histogram with interpolated quantiles.
+// Safe for concurrent use. The zero value is not usable; create with
+// NewHist.
+type Hist struct {
+	mu     sync.Mutex
+	counts []uint64 // per bucket of histBounds, non-cumulative
+	over   uint64   // observations past the last bound
+	count  uint64
+	sum    float64
+	max    float64
+}
+
+// NewHist creates an empty histogram over the package's log bounds.
+func NewHist() *Hist {
+	return &Hist{counts: make([]uint64, len(histBounds))}
+}
+
+// Observe records one latency in seconds; negative values clamp to 0.
+func (h *Hist) Observe(seconds float64) {
+	if seconds < 0 {
+		seconds = 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.count++
+	h.sum += seconds
+	if seconds > h.max {
+		h.max = seconds
+	}
+	for i, b := range histBounds {
+		if seconds <= b {
+			h.counts[i]++
+			return
+		}
+	}
+	h.over++
+}
+
+// Count returns the number of observations.
+func (h *Hist) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Sum returns the sum of all observations in seconds.
+func (h *Hist) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// Max returns the largest observation in seconds.
+func (h *Hist) Max() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.max
+}
+
+// Merge folds other into h.
+func (h *Hist) Merge(other *Hist) {
+	other.mu.Lock()
+	counts := append([]uint64(nil), other.counts...)
+	over, count, sum, max := other.over, other.count, other.sum, other.max
+	other.mu.Unlock()
+
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for i, c := range counts {
+		h.counts[i] += c
+	}
+	h.over += over
+	h.count += count
+	h.sum += sum
+	if max > h.max {
+		h.max = max
+	}
+}
+
+// Quantile returns the q-quantile (0 < q ≤ 1) in seconds, linearly
+// interpolated within the covering bucket; 0 when empty. Observations
+// beyond the last bound answer the recorded maximum.
+func (h *Hist) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	cum := make([]uint64, len(h.counts))
+	total := uint64(0)
+	for i, c := range h.counts {
+		total += c
+		cum[i] = total
+	}
+	v := quantileFromCum(histBounds, cum, h.count, q)
+	if math.IsInf(v, 1) || v > h.max {
+		return h.max
+	}
+	return v
+}
+
+// quantileFromCum estimates the q-quantile from cumulative bucket counts
+// over ascending finite bounds — the shared core of Hist.Quantile and the
+// server-side Prometheus snapshot (HistSnapshot.Quantile). count is the
+// total including any observations beyond the last bound; when the rank
+// falls past the last bound the answer is +Inf and the caller substitutes
+// whatever cap it knows (recorded max, or the last bound).
+func quantileFromCum(bounds []float64, cum []uint64, count uint64, q float64) float64 {
+	if count == 0 || len(bounds) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		q = 1e-9
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(count)))
+	for i, c := range cum {
+		if c >= rank {
+			lower := 0.0
+			prev := uint64(0)
+			if i > 0 {
+				lower = bounds[i-1]
+				prev = cum[i-1]
+			}
+			width := bounds[i] - lower
+			inBucket := c - prev
+			if inBucket == 0 {
+				return bounds[i]
+			}
+			frac := float64(rank-prev) / float64(inBucket)
+			return lower + width*frac
+		}
+	}
+	return math.Inf(1)
+}

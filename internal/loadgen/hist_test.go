@@ -1,0 +1,89 @@
+package loadgen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestHistBoundsShape(t *testing.T) {
+	if len(histBounds) == 0 {
+		t.Fatal("no bounds")
+	}
+	for i := 1; i < len(histBounds); i++ {
+		if histBounds[i] <= histBounds[i-1] {
+			t.Fatalf("bounds not increasing at %d: %v", i, histBounds[i])
+		}
+	}
+	if histBounds[0] > 1e-3 {
+		t.Fatalf("first bound %v too coarse for fast requests", histBounds[0])
+	}
+	if last := histBounds[len(histBounds)-1]; last < 100 {
+		t.Fatalf("last bound %v cannot hold a hung request", last)
+	}
+}
+
+func TestHistQuantileAccuracy(t *testing.T) {
+	// Uniform latencies in [0, 1s): every quantile is known analytically;
+	// the log-bucketed estimate must land within one bucket's growth
+	// factor (30%) of the truth.
+	h := NewHist()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100000; i++ {
+		h.Observe(rng.Float64())
+	}
+	for _, tc := range []struct{ q, want float64 }{
+		{0.50, 0.5}, {0.95, 0.95}, {0.99, 0.99},
+	} {
+		got := h.Quantile(tc.q)
+		if math.Abs(got-tc.want)/tc.want > 0.31 {
+			t.Errorf("q%.2f = %v, want within 31%% of %v", tc.q, got, tc.want)
+		}
+	}
+}
+
+func TestHistOverflowAndMax(t *testing.T) {
+	h := NewHist()
+	h.Observe(0.001)
+	h.Observe(1e6) // past the last bound
+	if h.Count() != 2 {
+		t.Fatalf("count = %d, want 2", h.Count())
+	}
+	if got := h.Quantile(1); got != 1e6 {
+		t.Fatalf("p100 = %v, want the recorded max", got)
+	}
+	if h.Max() != 1e6 {
+		t.Fatalf("max = %v", h.Max())
+	}
+}
+
+func TestHistMerge(t *testing.T) {
+	a, b := NewHist(), NewHist()
+	for i := 0; i < 100; i++ {
+		a.Observe(0.010)
+		b.Observe(0.100)
+	}
+	a.Merge(b)
+	if a.Count() != 200 {
+		t.Fatalf("merged count = %d, want 200", a.Count())
+	}
+	p50 := a.Quantile(0.5)
+	if p50 < 0.005 || p50 > 0.015 {
+		t.Fatalf("merged p50 = %v, want ≈10ms", p50)
+	}
+	p99 := a.Quantile(0.99)
+	if p99 < 0.07 || p99 > 0.14 {
+		t.Fatalf("merged p99 = %v, want ≈100ms", p99)
+	}
+}
+
+func TestHistEmptyAndNegative(t *testing.T) {
+	h := NewHist()
+	if h.Quantile(0.99) != 0 {
+		t.Fatalf("empty quantile = %v, want 0", h.Quantile(0.99))
+	}
+	h.Observe(-5) // clamps to 0
+	if h.Sum() != 0 || h.Count() != 1 {
+		t.Fatalf("negative observation not clamped: sum=%v count=%d", h.Sum(), h.Count())
+	}
+}

@@ -1,0 +1,64 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	placemon "repro"
+)
+
+// LocalDaemon is an in-process multi-tenant placemond on a loopback
+// listener: the target `placemon loadgen` and `make soak-smoke` fall
+// back to when no -target is given, and what the drain-race test drives.
+type LocalDaemon struct {
+	// URL is the daemon's base URL ("http://127.0.0.1:<port>").
+	URL string
+	// Server is the underlying facade server, exposed so tests can read
+	// metrics without a scrape (WriteMetrics) or remove scenarios
+	// mid-flight (RemoveScenario).
+	Server *placemon.Server
+
+	cancel context.CancelFunc
+	done   chan error
+}
+
+// StartLocalDaemon boots a scenario server on an ephemeral loopback port
+// and serves until Close.
+func StartLocalDaemon(cfg placemon.ServerConfig) (*LocalDaemon, error) {
+	srv, err := placemon.NewScenarioServer(cfg)
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		srv.Close()
+		return nil, fmt.Errorf("loadgen: listen: %w", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	d := &LocalDaemon{
+		URL:    "http://" + ln.Addr().String(),
+		Server: srv,
+		cancel: cancel,
+		done:   make(chan error, 1),
+	}
+	go func() { d.done <- srv.Serve(ctx, ln) }()
+	return d, nil
+}
+
+// WriteMetrics renders the daemon's metrics without an HTTP scrape.
+func (d *LocalDaemon) WriteMetrics(w io.Writer) error { return d.Server.WriteMetrics(w) }
+
+// Close drains the daemon gracefully: in-flight requests complete
+// (bounded by the server's DrainTimeout) before it returns.
+func (d *LocalDaemon) Close() error {
+	d.cancel()
+	select {
+	case err := <-d.done:
+		return err
+	case <-time.After(30 * time.Second):
+		return fmt.Errorf("loadgen: daemon did not drain within 30s")
+	}
+}

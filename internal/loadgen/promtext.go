@@ -1,0 +1,228 @@
+package loadgen
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// HistSnapshot is one histogram series scraped from a Prometheus text
+// exposition: ascending finite bounds with cumulative counts, plus the
+// total count and sum. It is the server-side counterpart of Hist, used
+// to reconcile the generator's view of latency with the daemon's.
+type HistSnapshot struct {
+	Bounds []float64
+	Cum    []uint64
+	Count  uint64
+	Sum    float64
+}
+
+// Quantile estimates the q-quantile in seconds by linear interpolation
+// within the covering bucket; observations past the last finite bound
+// answer the last bound (the snapshot does not know the true maximum).
+func (h HistSnapshot) Quantile(q float64) float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	v := quantileFromCum(h.Bounds, h.Cum, h.Count, q)
+	if math.IsInf(v, 1) {
+		if n := len(h.Bounds); n > 0 {
+			return h.Bounds[n-1]
+		}
+		return 0
+	}
+	return v
+}
+
+// ParseHistograms scrapes every series of the named histogram family from
+// a Prometheus text exposition, keyed by the value of keyLabel (series
+// without that label key under ""). It understands exactly the subset of
+// the format internal/metrics writes — `name_bucket{...le="..."} N`,
+// `name_sum`, `name_count` — which is all the daemon emits.
+func ParseHistograms(r io.Reader, name, keyLabel string) (map[string]HistSnapshot, error) {
+	type accum struct {
+		bounds []float64
+		cum    []uint64
+		count  uint64
+		sum    float64
+	}
+	series := map[string]*accum{}
+	get := func(key string) *accum {
+		a, ok := series[key]
+		if !ok {
+			a = &accum{}
+			series[key] = a
+		}
+		return a
+	}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") || !strings.HasPrefix(line, name) {
+			continue
+		}
+		rest := line[len(name):]
+		var suffix string
+		switch {
+		case strings.HasPrefix(rest, "_bucket"):
+			suffix, rest = "bucket", rest[len("_bucket"):]
+		case strings.HasPrefix(rest, "_sum"):
+			suffix, rest = "sum", rest[len("_sum"):]
+		case strings.HasPrefix(rest, "_count"):
+			suffix, rest = "count", rest[len("_count"):]
+		default:
+			continue // another family sharing the prefix
+		}
+		labels, value, err := splitSeries(rest)
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: parse %s series %q: %w", name, line, err)
+		}
+		a := get(labels[keyLabel])
+		switch suffix {
+		case "bucket":
+			le := labels["le"]
+			if le == "+Inf" {
+				continue // implicit: equals _count
+			}
+			bound, err := strconv.ParseFloat(le, 64)
+			if err != nil {
+				return nil, fmt.Errorf("loadgen: bad le %q in %q", le, line)
+			}
+			a.bounds = append(a.bounds, bound)
+			a.cum = append(a.cum, uint64(value))
+		case "sum":
+			a.sum = value
+		case "count":
+			a.count = uint64(value)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("loadgen: scan metrics: %w", err)
+	}
+
+	out := make(map[string]HistSnapshot, len(series))
+	for key, a := range series {
+		// The writer emits buckets in ascending order, but sort defensively:
+		// reconciliation must not silently misread a reordered exposition.
+		idx := make([]int, len(a.bounds))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(i, j int) bool { return a.bounds[idx[i]] < a.bounds[idx[j]] })
+		snap := HistSnapshot{
+			Bounds: make([]float64, len(idx)),
+			Cum:    make([]uint64, len(idx)),
+			Count:  a.count,
+			Sum:    a.sum,
+		}
+		for i, j := range idx {
+			snap.Bounds[i] = a.bounds[j]
+			snap.Cum[i] = a.cum[j]
+		}
+		out[key] = snap
+	}
+	return out, nil
+}
+
+// splitSeries parses `{k="v",...} value` or ` value` into a label map and
+// the sample value.
+func splitSeries(s string) (map[string]string, float64, error) {
+	labels := map[string]string{}
+	s = strings.TrimSpace(s)
+	if strings.HasPrefix(s, "{") {
+		// The closing brace must be found outside quotes: label values
+		// legitimately contain braces (route="/v1/scenarios/{id}").
+		end := -1
+		quoted := false
+		for i := 1; i < len(s) && end < 0; i++ {
+			switch s[i] {
+			case '\\':
+				if quoted {
+					i++
+				}
+			case '"':
+				quoted = !quoted
+			case '}':
+				if !quoted {
+					end = i
+				}
+			}
+		}
+		if end < 0 {
+			return nil, 0, fmt.Errorf("unterminated label set")
+		}
+		for _, pair := range splitLabelPairs(s[1:end]) {
+			eq := strings.Index(pair, "=")
+			if eq < 0 {
+				return nil, 0, fmt.Errorf("bad label pair %q", pair)
+			}
+			val, err := strconv.Unquote(strings.TrimSpace(pair[eq+1:]))
+			if err != nil {
+				return nil, 0, fmt.Errorf("bad label value in %q: %w", pair, err)
+			}
+			labels[strings.TrimSpace(pair[:eq])] = val
+		}
+		s = strings.TrimSpace(s[end+1:])
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return nil, 0, fmt.Errorf("bad sample value %q", s)
+	}
+	return labels, v, nil
+}
+
+// splitLabelPairs splits `k="v",k2="v2"` on commas outside quotes.
+func splitLabelPairs(s string) []string {
+	var out []string
+	depth := false // inside quotes
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			if depth {
+				i++ // skip escaped char
+			}
+		case '"':
+			depth = !depth
+		case ',':
+			if !depth {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}
+
+// reconcileTolerance decides whether a (client, server) quantile pair is
+// consistent. The client measures a strict superset of the server's
+// handler time — scheduled-arrival queue wait, connection setup, retries
+// — so the client may legitimately read higher; it may not read *lower*
+// than the server beyond bucket-resolution noise, and it may not exceed
+// the server by more than the slack either (that would mean the
+// generator, not the daemon, was the bottleneck).
+func reconcileTolerance(client, server float64) bool {
+	// Bucket interpolation on both sides is worth ~30% each; 50ms of
+	// absolute slack absorbs scheduling noise on loaded CI machines.
+	const abs = 0.05
+	if server > client*1.5+abs {
+		// The daemon claims slower handling than the client saw
+		// end-to-end — impossible beyond bucket noise.
+		return false
+	}
+	if client > server*4+abs {
+		// Latency was made outside the handler (open-loop queue wait,
+		// retries): the generator or the transport is the bottleneck.
+		return false
+	}
+	return true
+}

@@ -1,0 +1,99 @@
+package loadgen
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleExposition = `# HELP placemond_http_request_duration_seconds Per-route latency.
+# TYPE placemond_http_request_duration_seconds histogram
+placemond_http_request_duration_seconds_bucket{le="0.01",route="/v1/diagnosis"} 50
+placemond_http_request_duration_seconds_bucket{le="0.1",route="/v1/diagnosis"} 90
+placemond_http_request_duration_seconds_bucket{le="1",route="/v1/diagnosis"} 100
+placemond_http_request_duration_seconds_bucket{le="+Inf",route="/v1/diagnosis"} 100
+placemond_http_request_duration_seconds_sum{route="/v1/diagnosis"} 3.5
+placemond_http_request_duration_seconds_count{route="/v1/diagnosis"} 100
+placemond_http_requests_total{code="200",route="/v1/diagnosis"} 100
+placemond_request_duration_seconds_bucket{le="0.5"} 7
+placemond_request_duration_seconds_bucket{le="+Inf"} 9
+placemond_request_duration_seconds_sum 2
+placemond_request_duration_seconds_count 9
+`
+
+func TestParseHistogramsPerRoute(t *testing.T) {
+	hists, err := ParseHistograms(strings.NewReader(sampleExposition),
+		"placemond_http_request_duration_seconds", "route")
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, ok := hists["/v1/diagnosis"]
+	if !ok {
+		t.Fatalf("route series missing: %v", hists)
+	}
+	if snap.Count != 100 || snap.Sum != 3.5 {
+		t.Fatalf("count=%d sum=%v", snap.Count, snap.Sum)
+	}
+	if len(snap.Bounds) != 3 || snap.Bounds[2] != 1 || snap.Cum[1] != 90 {
+		t.Fatalf("bounds=%v cum=%v", snap.Bounds, snap.Cum)
+	}
+	// p50 falls in the first bucket (50 of 100 ≤ 10ms): interpolated
+	// toward its upper bound.
+	if p50 := snap.Quantile(0.50); p50 <= 0 || p50 > 0.01 {
+		t.Fatalf("p50 = %v, want in (0, 0.01]", p50)
+	}
+	// p95 falls in (0.1, 1].
+	if p95 := snap.Quantile(0.95); p95 <= 0.1 || p95 > 1 {
+		t.Fatalf("p95 = %v, want in (0.1, 1]", p95)
+	}
+}
+
+func TestParseHistogramsUnlabeled(t *testing.T) {
+	hists, err := ParseHistograms(strings.NewReader(sampleExposition),
+		"placemond_request_duration_seconds", "route")
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, ok := hists[""]
+	if !ok {
+		t.Fatalf("unlabeled series missing: %v", hists)
+	}
+	if snap.Count != 9 || len(snap.Bounds) != 1 || snap.Cum[0] != 7 {
+		t.Fatalf("snap = %+v", snap)
+	}
+	// Rank past the last finite bound: answer clamps to the bound.
+	if q := snap.Quantile(0.99); q != 0.5 {
+		t.Fatalf("p99 = %v, want clamp to 0.5", q)
+	}
+}
+
+func TestParseHistogramsPrefixIsolation(t *testing.T) {
+	// placemond_request_duration_seconds shares a prefix with nothing
+	// here, but the per-route family must not absorb the counter line
+	// (placemond_http_requests_total) or the shorter family.
+	hists, err := ParseHistograms(strings.NewReader(sampleExposition),
+		"placemond_http_request_duration_seconds", "route")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hists) != 1 {
+		t.Fatalf("families bled together: %v", hists)
+	}
+}
+
+func TestReconcileTolerance(t *testing.T) {
+	cases := []struct {
+		client, server float64
+		want           bool
+	}{
+		{0.010, 0.010, true},
+		{0.020, 0.010, true},  // client above server: expected shape
+		{0.500, 0.010, false}, // client way above: generator-side latency
+		{0.010, 0.200, false}, // server above client: impossible
+		{0.001, 0.002, true},  // sub-slack noise
+	}
+	for _, tc := range cases {
+		if got := reconcileTolerance(tc.client, tc.server); got != tc.want {
+			t.Errorf("reconcileTolerance(%v, %v) = %v, want %v", tc.client, tc.server, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,190 @@
+package loadgen
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// LatencyStats summarizes one histogram: counts plus interpolated
+// quantiles in seconds.
+type LatencyStats struct {
+	Count  uint64  `json:"count"`
+	Errors uint64  `json:"errors"`
+	P50    float64 `json:"p50_seconds"`
+	P95    float64 `json:"p95_seconds"`
+	P99    float64 `json:"p99_seconds"`
+	P999   float64 `json:"p999_seconds"`
+	Max    float64 `json:"max_seconds"`
+}
+
+// RouteStats is the per-route latency breakdown ("observations",
+// "diagnosis").
+type RouteStats struct {
+	Route string `json:"route"`
+	LatencyStats
+}
+
+// ScenarioStats is the per-scenario breakdown, including the ingest
+// accounting the drain-race test audits against the server's counters.
+type ScenarioStats struct {
+	Scenario string `json:"scenario"`
+	LatencyStats
+	// ConfirmedReports is the number of connection reports the server
+	// acknowledged applying for this scenario: the sum of batch sizes over
+	// successful ingest calls. A batch whose first delivery's answer was
+	// lost and whose retry was replayed from the dedup window counts once
+	// — exactly as the server counted it.
+	ConfirmedReports uint64 `json:"confirmed_reports"`
+	// ReplayedBatches counts successful ingests answered from the dedup
+	// window (a retry after a lost answer).
+	ReplayedBatches uint64 `json:"replayed_batches"`
+	// TracesSeen is how many of this scenario's requests were found in
+	// the server's (bounded) /debug/traces ring during cross-check; -1
+	// when the cross-check did not run.
+	TracesSeen int `json:"traces_seen"`
+}
+
+// ReconcileRow compares one client-side quantile against the server's
+// histogram for the same route.
+type ReconcileRow struct {
+	Route    string  `json:"route"`
+	Quantile string  `json:"quantile"`
+	Client   float64 `json:"client_seconds"`
+	Server   float64 `json:"server_seconds"`
+	// Within reports whether the pair is consistent: the server's view
+	// may never exceed the client's by more than the tolerance (the
+	// client measures a superset: queue wait + network + handler), and
+	// the client may not exceed the server beyond tolerance either.
+	Within bool `json:"within_tolerance"`
+}
+
+// Report is the outcome of one load run.
+type Report struct {
+	Target              string          `json:"target"`
+	RPS                 float64         `json:"rps"`
+	Duration            time.Duration   `json:"-"`
+	DurationSeconds     float64         `json:"duration_seconds"`
+	Seed                int64           `json:"seed"`
+	ScheduleFingerprint string          `json:"schedule_fingerprint"`
+	Arrivals            int             `json:"arrivals"`
+	Overall             LatencyStats    `json:"overall"`
+	Routes              []RouteStats    `json:"routes"`
+	Scenarios           []ScenarioStats `json:"scenarios"`
+	DiagnosisReads      uint64          `json:"diagnosis_reads"`
+	StaleDiagnoses      uint64          `json:"stale_diagnoses"`
+	Reconciliation      []ReconcileRow  `json:"reconciliation,omitempty"`
+	// CrossCheckError records why the server-side cross-check was skipped
+	// (endpoint disabled, parse failure); empty when it ran.
+	CrossCheckError string   `json:"cross_check_error,omitempty"`
+	SLOViolations   []string `json:"slo_violations,omitempty"`
+}
+
+// ErrorRate returns failed calls / total calls (0 when nothing ran).
+func (r *Report) ErrorRate() float64 {
+	if r.Overall.Count == 0 {
+		return 0
+	}
+	return float64(r.Overall.Errors) / float64(r.Overall.Count)
+}
+
+// StaleFraction returns stale diagnosis answers / diagnosis reads.
+func (r *Report) StaleFraction() float64 {
+	if r.DiagnosisReads == 0 {
+		return 0
+	}
+	return float64(r.StaleDiagnoses) / float64(r.DiagnosisReads)
+}
+
+// Passed reports whether the run met its SLO.
+func (r *Report) Passed() bool { return len(r.SLOViolations) == 0 }
+
+// ReconciliationOK reports whether every reconciled quantile was within
+// tolerance (vacuously true when the cross-check did not run).
+func (r *Report) ReconciliationOK() bool {
+	for _, row := range r.Reconciliation {
+		if !row.Within {
+			return false
+		}
+	}
+	return true
+}
+
+// statsOf summarizes one histogram.
+func statsOf(h *Hist, errors uint64) LatencyStats {
+	return LatencyStats{
+		Count:  h.Count(),
+		Errors: errors,
+		P50:    h.Quantile(0.50),
+		P95:    h.Quantile(0.95),
+		P99:    h.Quantile(0.99),
+		P999:   h.Quantile(0.999),
+		Max:    h.Max(),
+	}
+}
+
+// WriteText renders the human-readable run report.
+func (r *Report) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "loadgen: %s  rps=%g  duration=%s  seed=%d  schedule=%s\n",
+		r.Target, r.RPS, r.Duration, r.Seed, r.ScheduleFingerprint)
+	fmt.Fprintf(w, "arrivals=%d  errors=%d (rate %.4f)  diagnosis reads=%d  stale=%d (fraction %.4f)\n",
+		r.Arrivals, r.Overall.Errors, r.ErrorRate(), r.DiagnosisReads, r.StaleDiagnoses, r.StaleFraction())
+
+	fmt.Fprintf(w, "\n%-24s %8s %7s %9s %9s %9s %9s %9s\n",
+		"route", "count", "errors", "p50", "p95", "p99", "p999", "max")
+	row := func(name string, s LatencyStats) {
+		fmt.Fprintf(w, "%-24s %8d %7d %8.1fms %8.1fms %8.1fms %8.1fms %8.1fms\n",
+			name, s.Count, s.Errors,
+			s.P50*1e3, s.P95*1e3, s.P99*1e3, s.P999*1e3, s.Max*1e3)
+	}
+	for _, rt := range r.Routes {
+		row(rt.Route, rt.LatencyStats)
+	}
+	row("overall", r.Overall)
+
+	fmt.Fprintf(w, "\n%-24s %8s %7s %9s %9s  %9s %8s %7s\n",
+		"scenario", "count", "errors", "p50", "p99", "confirmed", "replayed", "traces")
+	for _, sc := range r.Scenarios {
+		traces := fmt.Sprintf("%d", sc.TracesSeen)
+		if sc.TracesSeen < 0 {
+			traces = "-"
+		}
+		fmt.Fprintf(w, "%-24s %8d %7d %8.1fms %8.1fms  %9d %8d %7s\n",
+			sc.Scenario, sc.Count, sc.Errors, sc.P50*1e3, sc.P99*1e3,
+			sc.ConfirmedReports, sc.ReplayedBatches, traces)
+	}
+
+	if r.CrossCheckError != "" {
+		fmt.Fprintf(w, "\nserver cross-check skipped: %s\n", r.CrossCheckError)
+	} else if len(r.Reconciliation) > 0 {
+		fmt.Fprintf(w, "\nserver reconciliation (client vs placemond histograms):\n")
+		for _, rec := range r.Reconciliation {
+			verdict := "ok"
+			if !rec.Within {
+				verdict = "DIVERGED"
+			}
+			fmt.Fprintf(w, "  %-24s %-5s client %8.1fms  server %8.1fms  %s\n",
+				rec.Route, rec.Quantile, rec.Client*1e3, rec.Server*1e3, verdict)
+		}
+	}
+
+	if len(r.SLOViolations) == 0 {
+		fmt.Fprintf(w, "\nSLO: PASS\n")
+	} else {
+		fmt.Fprintf(w, "\nSLO: FAIL\n")
+		for _, v := range r.SLOViolations {
+			fmt.Fprintf(w, "  - %s\n", v)
+		}
+	}
+}
+
+// sortRoutes orders route rows by name for deterministic output.
+func sortRoutes(rows []RouteStats) {
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Route < rows[j].Route })
+}
+
+// sortScenarios orders scenario rows by ID for deterministic output.
+func sortScenarios(rows []ScenarioStats) {
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Scenario < rows[j].Scenario })
+}

@@ -1,0 +1,436 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/trace"
+	"repro/placemonclient"
+)
+
+// Config parameterizes a Runner. Only BaseURL is required; every other
+// field has a sensible smoke-test default.
+type Config struct {
+	// BaseURL locates the placemond instance under test.
+	BaseURL string
+	// RPS is the target aggregate request rate (default 100).
+	RPS float64
+	// Duration is the load phase length (default 10s).
+	Duration time.Duration
+	// Scenarios is how many isolated scenarios the run creates and drives
+	// (default 4). Arrivals are dealt round-robin across them.
+	Scenarios int
+	// Clients is the number of concurrent simulated clients draining the
+	// arrival queue (default 4·Scenarios). More clients than scenarios is
+	// deliberate: several clients report into one scenario, as real
+	// vantage points would.
+	Clients int
+	// Seed drives the arrival jitter and every scenario's failure
+	// sampling (default 1). Two runs with equal (RPS, Duration, Seed)
+	// fire at identical offsets.
+	Seed int64
+	// DiagnosisEvery makes every Nth arrival a diagnosis read instead of
+	// an ingest (default 10; ≤ -1 disables reads).
+	DiagnosisEvery int
+	// Workload declares the scenario document and failure model.
+	Workload WorkloadConfig
+	// SLO grades the finished run (zero value: DefaultSLO).
+	SLO SLO
+	// ScenarioPrefix namespaces the created scenario IDs
+	// ("<prefix>-0" … ; default "loadgen").
+	ScenarioPrefix string
+	// KeepScenarios leaves the scenarios on the daemon after the run
+	// instead of deleting them.
+	KeepScenarios bool
+	// SkipCrossCheck disables the post-run /metrics and /debug/traces
+	// reconciliation (used against daemons with those endpoints disabled).
+	SkipCrossCheck bool
+	// Client overrides the placemonclient knobs (retries, breaker,
+	// timeouts). BaseURL and Seed are filled from this Config.
+	Client placemonclient.Config
+}
+
+func (cfg *Config) fillDefaults() error {
+	if cfg.BaseURL == "" {
+		return fmt.Errorf("loadgen: Config.BaseURL is required")
+	}
+	if cfg.RPS == 0 {
+		cfg.RPS = 100
+	}
+	if cfg.RPS < 0 {
+		return fmt.Errorf("loadgen: RPS must be positive, got %g", cfg.RPS)
+	}
+	if cfg.Duration == 0 {
+		cfg.Duration = 10 * time.Second
+	}
+	if cfg.Duration < 0 {
+		return fmt.Errorf("loadgen: Duration must be positive, got %s", cfg.Duration)
+	}
+	if cfg.Scenarios == 0 {
+		cfg.Scenarios = 4
+	}
+	if cfg.Scenarios < 0 {
+		return fmt.Errorf("loadgen: Scenarios must be positive, got %d", cfg.Scenarios)
+	}
+	if cfg.Clients <= 0 {
+		cfg.Clients = 4 * cfg.Scenarios
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	switch {
+	case cfg.DiagnosisEvery == 0:
+		cfg.DiagnosisEvery = 10
+	case cfg.DiagnosisEvery < 0:
+		cfg.DiagnosisEvery = 0 // disabled
+	}
+	if cfg.SLO == (SLO{}) {
+		cfg.SLO = DefaultSLO()
+	}
+	if cfg.ScenarioPrefix == "" {
+		cfg.ScenarioPrefix = "loadgen"
+	}
+	return nil
+}
+
+// Runner drives one open-loop load run against a placemond. Create with
+// New; a Runner is single-use (one Run call).
+type Runner struct {
+	cfg    Config
+	sched  Schedule
+	wl     *Workload
+	client *placemonclient.Client
+
+	ids     []string
+	sources []*BatchSource
+
+	mu        sync.Mutex
+	routes    map[string]*routeAgg
+	scenarios map[string]*scenarioAgg
+	overall   *Hist
+	errsTotal uint64
+	diagReads uint64
+	diagStale uint64
+}
+
+type routeAgg struct {
+	hist   *Hist
+	errors uint64
+}
+
+type scenarioAgg struct {
+	hist      *Hist
+	errors    uint64
+	confirmed uint64
+	replayed  uint64
+}
+
+// New validates cfg, builds the workload and the arrival schedule, and
+// connects the client. Nothing touches the daemon until Run.
+func New(cfg Config) (*Runner, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
+	sched, err := BuildSchedule(cfg.RPS, cfg.Duration, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Workload.Seed == 0 {
+		cfg.Workload.Seed = cfg.Seed
+	}
+	wl, err := BuildWorkload(cfg.Workload)
+	if err != nil {
+		return nil, err
+	}
+	ccfg := cfg.Client
+	ccfg.BaseURL = cfg.BaseURL
+	if ccfg.Seed == 0 {
+		ccfg.Seed = cfg.Seed
+	}
+	client, err := placemonclient.New(ccfg)
+	if err != nil {
+		return nil, err
+	}
+	r := &Runner{
+		cfg:       cfg,
+		sched:     sched,
+		wl:        wl,
+		client:    client,
+		routes:    map[string]*routeAgg{},
+		scenarios: map[string]*scenarioAgg{},
+		overall:   NewHist(),
+	}
+	for i := 0; i < cfg.Scenarios; i++ {
+		id := fmt.Sprintf("%s-%d", cfg.ScenarioPrefix, i)
+		r.ids = append(r.ids, id)
+		// Offset the per-scenario failure streams so tenants do not fail
+		// in lockstep.
+		r.sources = append(r.sources, wl.NewBatchSource(cfg.Seed+int64(i)+1))
+		r.scenarios[id] = &scenarioAgg{hist: NewHist()}
+	}
+	return r, nil
+}
+
+// Schedule exposes the precomputed arrival plan (for -print-schedule and
+// determinism tests).
+func (r *Runner) Schedule() Schedule { return r.sched }
+
+// ScenarioIDs returns the scenario IDs the run creates, in order.
+func (r *Runner) ScenarioIDs() []string { return append([]string(nil), r.ids...) }
+
+// Run executes the full load run: create the scenarios, fire the
+// schedule, cross-check against the server, grade the SLO, and (unless
+// KeepScenarios) delete the scenarios again. The returned Report is
+// non-nil whenever the load phase ran, even if the SLO failed — callers
+// decide the exit code from Report.Passed.
+func (r *Runner) Run(ctx context.Context) (*Report, error) {
+	if err := r.client.Healthz(ctx); err != nil {
+		return nil, fmt.Errorf("loadgen: target %s not healthy: %w", r.cfg.BaseURL, err)
+	}
+	for _, id := range r.ids {
+		if _, err := r.client.CreateScenario(ctx, id, r.wl.Spec); err != nil {
+			return nil, fmt.Errorf("loadgen: create scenario %s: %w", id, err)
+		}
+	}
+	if !r.cfg.KeepScenarios {
+		defer func() {
+			// Best-effort teardown on a fresh context: the run's ctx may
+			// already be canceled.
+			dctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			for _, id := range r.ids {
+				r.client.DeleteScenario(dctx, id)
+			}
+		}()
+	}
+
+	r.fire(ctx)
+
+	rep := r.buildReport()
+	if !r.cfg.SkipCrossCheck {
+		r.crossCheck(ctx, rep)
+	}
+	rep.SLOViolations = r.cfg.SLO.Check(rep)
+	return rep, nil
+}
+
+type arrival struct {
+	idx int
+	due time.Time
+}
+
+// fire replays the schedule: a dispatcher releases arrivals at their due
+// times into a deep buffered channel (it never blocks on slow workers —
+// that is what keeps the loop open), and Clients workers drain it.
+func (r *Runner) fire(ctx context.Context) {
+	queue := make(chan arrival, len(r.sched.Offsets))
+	start := time.Now()
+
+	var wg sync.WaitGroup
+	for w := 0; w < r.cfg.Clients; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for a := range queue {
+				r.serve(ctx, a, start)
+			}
+		}()
+	}
+
+	for i, off := range r.sched.Offsets {
+		if ctx.Err() != nil {
+			break
+		}
+		if wait := time.Until(start.Add(off)); wait > 0 {
+			select {
+			case <-time.After(wait):
+			case <-ctx.Done():
+			}
+			if ctx.Err() != nil {
+				break
+			}
+		}
+		queue <- arrival{idx: i, due: start.Add(off)}
+	}
+	close(queue)
+	wg.Wait()
+}
+
+// serve performs one scheduled request and records its outcome. Latency
+// is measured from the scheduled due time: if the queue backed up, the
+// wait is part of what the simulated client experienced.
+func (r *Runner) serve(ctx context.Context, a arrival, start time.Time) {
+	scIdx := a.idx % len(r.ids)
+	id := r.ids[scIdx]
+	sc := r.client.Scenario(id)
+
+	isDiag := r.cfg.DiagnosisEvery > 0 && a.idx%r.cfg.DiagnosisEvery == r.cfg.DiagnosisEvery-1
+	if isDiag {
+		d, err := sc.Diagnosis(ctx)
+		lat := time.Since(a.due).Seconds()
+		r.record("diagnosis", id, lat, err, 0, false)
+		r.mu.Lock()
+		r.diagReads++
+		if err == nil && d.Stale {
+			r.diagStale++
+		}
+		r.mu.Unlock()
+		return
+	}
+
+	batch := r.sources[scIdx].Next(a.due.Sub(start).Seconds())
+	res, err := sc.ReportObservations(ctx, batch)
+	lat := time.Since(a.due).Seconds()
+	confirmed := 0
+	replayed := false
+	if err == nil {
+		// Replayed or not, the server applied this batch exactly once.
+		confirmed = len(batch.Reports)
+		replayed = res.Replayed
+	}
+	r.record("observations", id, lat, err, confirmed, replayed)
+}
+
+func (r *Runner) record(route, scenario string, lat float64, err error, confirmed int, replayed bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ra, ok := r.routes[route]
+	if !ok {
+		ra = &routeAgg{hist: NewHist()}
+		r.routes[route] = ra
+	}
+	sa := r.scenarios[scenario]
+	ra.hist.Observe(lat)
+	sa.hist.Observe(lat)
+	r.overall.Observe(lat)
+	if err != nil {
+		ra.errors++
+		sa.errors++
+		r.errsTotal++
+		return
+	}
+	sa.confirmed += uint64(confirmed)
+	if replayed {
+		sa.replayed++
+	}
+}
+
+// buildReport snapshots the aggregates into a Report.
+func (r *Runner) buildReport() *Report {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rep := &Report{
+		Target:              r.cfg.BaseURL,
+		RPS:                 r.cfg.RPS,
+		Duration:            r.cfg.Duration,
+		DurationSeconds:     r.cfg.Duration.Seconds(),
+		Seed:                r.cfg.Seed,
+		ScheduleFingerprint: r.sched.Fingerprint(),
+		Arrivals:            r.sched.Len(),
+		Overall:             statsOf(r.overall, r.errsTotal),
+		DiagnosisReads:      r.diagReads,
+		StaleDiagnoses:      r.diagStale,
+	}
+	for route, ra := range r.routes {
+		rep.Routes = append(rep.Routes, RouteStats{Route: route, LatencyStats: statsOf(ra.hist, ra.errors)})
+	}
+	for id, sa := range r.scenarios {
+		rep.Scenarios = append(rep.Scenarios, ScenarioStats{
+			Scenario:         id,
+			LatencyStats:     statsOf(sa.hist, sa.errors),
+			ConfirmedReports: sa.confirmed,
+			ReplayedBatches:  sa.replayed,
+			TracesSeen:       -1,
+		})
+	}
+	sortRoutes(rep.Routes)
+	sortScenarios(rep.Scenarios)
+	return rep
+}
+
+// serverRoutes maps loadgen route names to the daemon's route labels.
+var serverRoutes = map[string]string{
+	"observations": "/v1/scenarios/{id}/observations",
+	"diagnosis":    "/v1/scenarios/{id}/diagnosis",
+}
+
+// crossCheck reconciles the client-side report with the daemon's own
+// telemetry: per-route latency quantiles against the
+// placemond_http_request_duration_seconds histograms, and per-scenario
+// presence in the (bounded) /debug/traces ring. Failures are recorded on
+// the report, never fatal — a daemon with tracing disabled still gets a
+// client-side report.
+func (r *Runner) crossCheck(ctx context.Context, rep *Report) {
+	text, err := r.client.MetricsText(ctx)
+	if err != nil {
+		rep.CrossCheckError = err.Error()
+		return
+	}
+	hists, err := ParseHistograms(bytes.NewReader(text), "placemond_http_request_duration_seconds", "route")
+	if err != nil {
+		rep.CrossCheckError = err.Error()
+		return
+	}
+	for _, rt := range rep.Routes {
+		snap, ok := hists[serverRoutes[rt.Route]]
+		if !ok {
+			continue
+		}
+		for _, q := range []struct {
+			name   string
+			q      float64
+			client float64
+		}{
+			{"p50", 0.50, rt.P50},
+			{"p95", 0.95, rt.P95},
+			{"p99", 0.99, rt.P99},
+		} {
+			server := snap.Quantile(q.q)
+			rep.Reconciliation = append(rep.Reconciliation, ReconcileRow{
+				Route:    rt.Route,
+				Quantile: q.name,
+				Client:   q.client,
+				Server:   server,
+				Within:   reconcileTolerance(q.client, server),
+			})
+		}
+	}
+
+	// The trace ring is bounded, so this is a liveness probe, not an
+	// accounting check: the newest traces must mention our scenarios.
+	for i := range rep.Scenarios {
+		recs, err := r.client.Traces(ctx, placemonclient.TraceQuery{Scenario: rep.Scenarios[i].Scenario})
+		if err != nil {
+			var apiErr *placemonclient.APIError
+			if errors.As(err, &apiErr) && apiErr.Status == 404 {
+				rep.CrossCheckError = "trace ring disabled on the daemon"
+				return
+			}
+			rep.CrossCheckError = err.Error()
+			return
+		}
+		rep.Scenarios[i].TracesSeen = countOurs(recs, rep.Scenarios[i].Scenario)
+	}
+}
+
+// countOurs counts trace records belonging to the scenario (defensive:
+// the server already filtered).
+func countOurs(recs []trace.Record, scenario string) int {
+	n := 0
+	for _, rec := range recs {
+		if rec.Tenant == scenario {
+			n++
+		}
+	}
+	return n
+}
+
+// String renders the run parameters for logs.
+func (r *Runner) String() string {
+	return fmt.Sprintf("loadgen{target=%s rps=%g duration=%s scenarios=%d clients=%d seed=%d}",
+		r.cfg.BaseURL, r.cfg.RPS, r.cfg.Duration, r.cfg.Scenarios, r.cfg.Clients, r.cfg.Seed)
+}

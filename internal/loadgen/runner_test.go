@@ -1,0 +1,143 @@
+package loadgen
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	placemon "repro"
+	"repro/placemonclient"
+)
+
+func testRunnerConfig(url string) Config {
+	return Config{
+		BaseURL:   url,
+		RPS:       200,
+		Duration:  time.Second,
+		Scenarios: 3,
+		Seed:      5,
+		Workload:  WorkloadConfig{Topology: "Abovenet", Services: 2, K: 1},
+	}
+}
+
+// TestRunnerEndToEnd is the subsystem's acceptance test: a full run
+// against an in-process daemon must serve every scheduled arrival,
+// reconcile with the server's histograms and trace ring, pass the
+// default SLO, fail a tightened one, and clean its scenarios up.
+func TestRunnerEndToEnd(t *testing.T) {
+	d, err := StartLocalDaemon(placemon.ServerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	r, err := New(testRunnerConfig(d.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	rep, err := r.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if rep.Arrivals != 200 {
+		t.Fatalf("arrivals = %d, want 200", rep.Arrivals)
+	}
+	if rep.Overall.Count != 200 {
+		t.Fatalf("served %d of 200 arrivals", rep.Overall.Count)
+	}
+	if rep.Overall.Errors != 0 {
+		t.Fatalf("%d errors against a healthy local daemon", rep.Overall.Errors)
+	}
+	if len(rep.Routes) != 2 {
+		t.Fatalf("routes = %+v, want observations and diagnosis", rep.Routes)
+	}
+	if rep.DiagnosisReads != 20 { // every 10th of 200 arrivals
+		t.Fatalf("diagnosis reads = %d, want 20", rep.DiagnosisReads)
+	}
+	var confirmed uint64
+	for _, sc := range rep.Scenarios {
+		confirmed += sc.ConfirmedReports
+		if sc.TracesSeen <= 0 {
+			t.Errorf("scenario %s: traces seen = %d, want > 0", sc.Scenario, sc.TracesSeen)
+		}
+	}
+	wantReports := uint64(180 * len(r.wl.Paths)) // 180 ingests, full state each
+	if confirmed != wantReports {
+		t.Fatalf("confirmed reports = %d, want %d", confirmed, wantReports)
+	}
+
+	if rep.CrossCheckError != "" {
+		t.Fatalf("cross-check failed: %s", rep.CrossCheckError)
+	}
+	if len(rep.Reconciliation) == 0 {
+		t.Fatal("no reconciliation rows")
+	}
+	if !rep.ReconciliationOK() {
+		t.Fatalf("client/server histograms diverged: %+v", rep.Reconciliation)
+	}
+
+	if !rep.Passed() {
+		t.Fatalf("default SLO failed: %v", rep.SLOViolations)
+	}
+	// Tightening the SLO below the observed p99 must flip the verdict.
+	tight := SLO{MaxP99Seconds: rep.Overall.P99 / 2}
+	if rep.Overall.P99 > 0 {
+		if v := tight.Check(rep); len(v) == 0 {
+			t.Fatalf("SLO tightened below observed p99 %v still passed", rep.Overall.P99)
+		}
+	}
+
+	// Scenarios are torn down after the run.
+	c, err := placemonclient.New(placemonclient.Config{BaseURL: d.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	infos, err := c.ListScenarios(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 0 {
+		t.Fatalf("scenarios left behind: %+v", infos)
+	}
+}
+
+// TestRunnerSchedulesReproducible: equal configs plan identical arrival
+// schedules; a different seed diverges.
+func TestRunnerSchedulesReproducible(t *testing.T) {
+	cfg := testRunnerConfig("http://127.0.0.1:1") // never dialed
+	a, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Schedule().Fingerprint() != b.Schedule().Fingerprint() {
+		t.Fatal("equal configs planned different schedules")
+	}
+	cfg.Seed = 6
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Schedule().Fingerprint() == a.Schedule().Fingerprint() {
+		t.Fatal("different seeds planned the same schedule")
+	}
+}
+
+func TestRunnerRejectsBadConfig(t *testing.T) {
+	for name, cfg := range map[string]Config{
+		"no target":     {},
+		"negative rps":  {BaseURL: "http://x", RPS: -1},
+		"bad topology":  {BaseURL: "http://x", Workload: WorkloadConfig{Topology: "nosuch"}},
+		"bad scenarios": {BaseURL: "http://x", Scenarios: -2},
+	} {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+// Package loadgen is an open-loop load generator for placemond: it fires
+// observation batches and diagnosis reads at a live daemon on a
+// precomputed arrival schedule (target RPS with seeded jitter), records
+// client-side latency into log-bucketed histograms, cross-checks them
+// against the server's own /metrics histograms and /debug/traces ring,
+// and grades the run against a declared SLO. The entry point is Runner;
+// the `placemon loadgen` subcommand and `make soak-smoke` are thin
+// wrappers around it.
+//
+// Open-loop means arrival times are fixed up front and never wait for
+// responses: when the server slows down, requests queue and their
+// measured latency grows, instead of the generator silently backing off
+// (the coordinated-omission trap of closed-loop "send, wait, repeat"
+// drivers). Latency is therefore measured from the scheduled arrival
+// time, not from when a worker got around to sending.
+package loadgen
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"time"
+)
+
+// Schedule is a precomputed open-loop arrival plan: monotonically
+// increasing offsets from the run's start time.
+type Schedule struct {
+	// Offsets holds one entry per planned request, sorted ascending.
+	Offsets []time.Duration
+}
+
+// BuildSchedule plans floor(rps·duration) arrivals across the run: each
+// request i is due at i/rps plus a uniform jitter within its own slot,
+// drawn from a PRNG seeded with seed. The same (rps, duration, seed)
+// triple always yields the same schedule, byte for byte — reproducible
+// runs are the whole point.
+func BuildSchedule(rps float64, duration time.Duration, seed int64) (Schedule, error) {
+	if rps <= 0 {
+		return Schedule{}, fmt.Errorf("loadgen: rps must be positive, got %g", rps)
+	}
+	if duration <= 0 {
+		return Schedule{}, fmt.Errorf("loadgen: duration must be positive, got %s", duration)
+	}
+	n := int(rps * duration.Seconds())
+	if n < 1 {
+		return Schedule{}, fmt.Errorf("loadgen: rps %g over %s plans zero requests", rps, duration)
+	}
+	interval := time.Duration(float64(time.Second) / rps)
+	rng := rand.New(rand.NewSource(seed))
+	offsets := make([]time.Duration, n)
+	for i := range offsets {
+		jitter := time.Duration(rng.Int63n(int64(interval)))
+		offsets[i] = time.Duration(i)*interval + jitter
+	}
+	return Schedule{Offsets: offsets}, nil
+}
+
+// Len returns the number of planned arrivals.
+func (s Schedule) Len() int { return len(s.Offsets) }
+
+// Fingerprint hashes the full arrival plan to a short hex string, so two
+// runs can assert schedule identity without diffing thousands of offsets.
+func (s Schedule) Fingerprint() string {
+	h := fnv.New64a()
+	var b [8]byte
+	for _, off := range s.Offsets {
+		v := uint64(off)
+		for i := range b {
+			b[i] = byte(v >> (8 * i))
+		}
+		h.Write(b[:])
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}

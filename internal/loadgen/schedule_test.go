@@ -1,0 +1,65 @@
+package loadgen
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBuildScheduleDeterministic(t *testing.T) {
+	a, err := BuildSchedule(500, 2*time.Second, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildSchedule(500, 2*time.Second, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != 1000 || b.Len() != 1000 {
+		t.Fatalf("lens = %d, %d, want 1000", a.Len(), b.Len())
+	}
+	for i := range a.Offsets {
+		if a.Offsets[i] != b.Offsets[i] {
+			t.Fatalf("offset %d differs: %s vs %s", i, a.Offsets[i], b.Offsets[i])
+		}
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatalf("fingerprints differ: %s vs %s", a.Fingerprint(), b.Fingerprint())
+	}
+	c, err := BuildSchedule(500, 2*time.Second, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Fingerprint() == a.Fingerprint() {
+		t.Fatalf("different seeds produced the same schedule")
+	}
+}
+
+func TestBuildScheduleShape(t *testing.T) {
+	s, err := BuildSchedule(100, time.Second, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	interval := 10 * time.Millisecond
+	for i, off := range s.Offsets {
+		lo := time.Duration(i) * interval
+		if off < lo || off >= lo+interval {
+			t.Fatalf("offset %d = %s outside slot [%s, %s)", i, off, lo, lo+interval)
+		}
+		if i > 0 && off <= s.Offsets[i-1]-interval {
+			t.Fatalf("offsets wildly out of order at %d", i)
+		}
+	}
+}
+
+func TestBuildScheduleRejectsBadInputs(t *testing.T) {
+	for name, run := range map[string]func() (Schedule, error){
+		"zero rps":      func() (Schedule, error) { return BuildSchedule(0, time.Second, 1) },
+		"neg rps":       func() (Schedule, error) { return BuildSchedule(-5, time.Second, 1) },
+		"zero duration": func() (Schedule, error) { return BuildSchedule(10, 0, 1) },
+		"empty plan":    func() (Schedule, error) { return BuildSchedule(0.1, time.Second, 1) },
+	} {
+		if _, err := run(); err == nil {
+			t.Errorf("%s: no error", name)
+		}
+	}
+}

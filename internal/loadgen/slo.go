@@ -1,0 +1,86 @@
+package loadgen
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// SLO is the pass/fail contract a load run is graded against, the
+// document slo.json carries. Zero-valued fields mean "no bound", so a
+// file can declare only the dimensions it cares about.
+type SLO struct {
+	// MaxP99Seconds bounds the overall client-side p99 latency.
+	MaxP99Seconds float64 `json:"max_p99_seconds,omitempty"`
+	// MaxErrorRate bounds failed calls / total calls, in [0, 1].
+	MaxErrorRate float64 `json:"max_error_rate,omitempty"`
+	// MaxStaleFraction bounds stale diagnosis answers / diagnosis reads,
+	// in [0, 1].
+	MaxStaleFraction float64 `json:"max_stale_fraction,omitempty"`
+}
+
+// DefaultSLO is the contract used when no slo.json is given: generous
+// enough that a healthy daemon on developer hardware passes, tight
+// enough that a hung or thrashing one does not.
+func DefaultSLO() SLO {
+	return SLO{
+		MaxP99Seconds:    2.5,
+		MaxErrorRate:     0.01,
+		MaxStaleFraction: 0.05,
+	}
+}
+
+// LoadSLO reads and validates an slo.json file. Unknown fields are
+// rejected so a typoed knob fails loudly instead of silently not
+// gating anything.
+func LoadSLO(path string) (SLO, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return SLO{}, fmt.Errorf("loadgen: read SLO: %w", err)
+	}
+	return ParseSLO(raw)
+}
+
+// ParseSLO decodes and validates an SLO document.
+func ParseSLO(raw []byte) (SLO, error) {
+	var s SLO
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return SLO{}, fmt.Errorf("loadgen: decode SLO: %w", err)
+	}
+	if s.MaxP99Seconds < 0 {
+		return SLO{}, fmt.Errorf("loadgen: SLO max_p99_seconds must be ≥ 0, got %g", s.MaxP99Seconds)
+	}
+	for name, v := range map[string]float64{
+		"max_error_rate":     s.MaxErrorRate,
+		"max_stale_fraction": s.MaxStaleFraction,
+	} {
+		if v < 0 || v > 1 {
+			return SLO{}, fmt.Errorf("loadgen: SLO %s must be in [0, 1], got %g", name, v)
+		}
+	}
+	return s, nil
+}
+
+// Check grades a finished run: each violated bound yields one
+// human-readable violation string; an empty slice means the run passed.
+func (s SLO) Check(rep *Report) []string {
+	var violations []string
+	if s.MaxP99Seconds > 0 && rep.Overall.P99 > s.MaxP99Seconds {
+		violations = append(violations, fmt.Sprintf(
+			"p99 latency %.4fs exceeds SLO max_p99_seconds %.4fs", rep.Overall.P99, s.MaxP99Seconds))
+	}
+	if s.MaxErrorRate > 0 && rep.ErrorRate() > s.MaxErrorRate {
+		violations = append(violations, fmt.Sprintf(
+			"error rate %.4f (%d/%d calls) exceeds SLO max_error_rate %.4f",
+			rep.ErrorRate(), rep.Overall.Errors, rep.Overall.Count, s.MaxErrorRate))
+	}
+	if s.MaxStaleFraction > 0 && rep.StaleFraction() > s.MaxStaleFraction {
+		violations = append(violations, fmt.Sprintf(
+			"stale diagnosis fraction %.4f (%d/%d reads) exceeds SLO max_stale_fraction %.4f",
+			rep.StaleFraction(), rep.StaleDiagnoses, rep.DiagnosisReads, s.MaxStaleFraction))
+	}
+	return violations
+}

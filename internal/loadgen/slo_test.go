@@ -1,0 +1,79 @@
+package loadgen
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseSLO(t *testing.T) {
+	s, err := ParseSLO([]byte(`{"max_p99_seconds": 0.5, "max_error_rate": 0.02}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.MaxP99Seconds != 0.5 || s.MaxErrorRate != 0.02 || s.MaxStaleFraction != 0 {
+		t.Fatalf("parsed %+v", s)
+	}
+	for name, raw := range map[string]string{
+		"unknown field": `{"max_p99": 1}`,
+		"bad rate":      `{"max_error_rate": 1.5}`,
+		"negative p99":  `{"max_p99_seconds": -1}`,
+		"not json":      `max_p99_seconds: 1`,
+	} {
+		if _, err := ParseSLO([]byte(raw)); err == nil {
+			t.Errorf("%s: accepted %s", name, raw)
+		}
+	}
+}
+
+func TestLoadSLOFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "slo.json")
+	if err := os.WriteFile(path, []byte(`{"max_p99_seconds": 1.25}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := LoadSLO(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.MaxP99Seconds != 1.25 {
+		t.Fatalf("loaded %+v", s)
+	}
+	if _, err := LoadSLO(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestSLOCheck(t *testing.T) {
+	rep := &Report{
+		Overall:        LatencyStats{Count: 1000, Errors: 30, P99: 0.8},
+		DiagnosisReads: 100,
+		StaleDiagnoses: 10,
+	}
+	// All three bounds violated.
+	tight := SLO{MaxP99Seconds: 0.5, MaxErrorRate: 0.01, MaxStaleFraction: 0.05}
+	v := tight.Check(rep)
+	if len(v) != 3 {
+		t.Fatalf("violations = %v, want 3", v)
+	}
+	for _, want := range []string{"p99", "error rate", "stale"} {
+		found := false
+		for _, msg := range v {
+			if strings.Contains(msg, want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no violation mentions %q: %v", want, v)
+		}
+	}
+	// Zero-valued bounds do not gate.
+	if v := (SLO{}).Check(rep); len(v) != 0 {
+		t.Fatalf("empty SLO produced violations: %v", v)
+	}
+	// Generous bounds pass.
+	loose := SLO{MaxP99Seconds: 2, MaxErrorRate: 0.5, MaxStaleFraction: 0.5}
+	if v := loose.Check(rep); len(v) != 0 {
+		t.Fatalf("loose SLO produced violations: %v", v)
+	}
+}

@@ -1,0 +1,171 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	placemon "repro"
+	"repro/placemonclient"
+)
+
+// WorkloadConfig declares the monitoring scenario every simulated tenant
+// runs: a built-in topology, a placement computed over it, and a failure
+// budget for the synthesized outages.
+type WorkloadConfig struct {
+	// Topology names a built-in topology (default "Abovenet").
+	Topology string
+	// Services is the number of services to place (default 4); the
+	// topology's suggested clients are dealt round-robin across them.
+	Services int
+	// Alpha is the QoS slack the placement is computed under (default 1).
+	Alpha float64
+	// K is the failure budget: synthesized failure sets have 0..K nodes,
+	// and the scenario diagnoses under the same budget (default 1).
+	K int
+	// Seed drives the placement algorithm's tie-breaking.
+	Seed int64
+}
+
+// Workload is a fully built scenario document plus the routing facts
+// needed to synthesize observations for it offline: the routed node set
+// of every monitored connection, in the server's connection order. One
+// Workload is shared by all scenarios of a run (they host identical
+// documents under different IDs) — per-scenario state lives in
+// BatchSource.
+type Workload struct {
+	// Spec is the scenario document to PUT, as the daemon accepts it.
+	Spec json.RawMessage
+	// NumNodes is the scenario network's node count.
+	NumNodes int
+	// K is the failure budget batches are synthesized under.
+	K int
+	// Paths[i] lists the routed nodes (endpoints included) of connection
+	// i, indexed exactly as the server indexes the scenario's connections.
+	Paths [][]int
+}
+
+// BuildWorkload places cfg.Services services on the named topology and
+// packages the result as a scenario document. The connection order
+// matches the daemon's: services in placement order, each service's
+// clients in declaration order — so Report indices line up between the
+// generator and the server.
+func BuildWorkload(cfg WorkloadConfig) (*Workload, error) {
+	if cfg.Topology == "" {
+		cfg.Topology = "Abovenet"
+	}
+	if cfg.Services <= 0 {
+		cfg.Services = 4
+	}
+	if cfg.Alpha == 0 {
+		cfg.Alpha = 1
+	}
+	if cfg.K <= 0 {
+		cfg.K = 1
+	}
+	nw, err := placemon.BuildTopology(cfg.Topology)
+	if err != nil {
+		return nil, err
+	}
+	clients := nw.SuggestedClients()
+	if len(clients) == 0 {
+		return nil, fmt.Errorf("loadgen: topology %s suggests no client nodes", cfg.Topology)
+	}
+	if cfg.Services > len(clients) {
+		cfg.Services = len(clients)
+	}
+	services := make([]placemon.Service, cfg.Services)
+	for i := range services {
+		services[i].Name = fmt.Sprintf("svc-%d", i)
+	}
+	for i, c := range clients {
+		s := i % cfg.Services
+		services[s].Clients = append(services[s].Clients, c)
+	}
+	res, err := nw.Place(services, placemon.PlaceConfig{
+		Alpha: cfg.Alpha,
+		K:     cfg.K,
+		Seed:  cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var paths [][]int
+	for s, h := range res.Hosts {
+		if h < 0 {
+			return nil, fmt.Errorf("loadgen: service %d unplaced under alpha %g", s, cfg.Alpha)
+		}
+		for _, c := range services[s].Clients {
+			paths = append(paths, nw.PathNodes(c, h))
+		}
+	}
+	spec := placemon.ScenarioSpec{
+		Topology:  cfg.Topology,
+		K:         cfg.K,
+		Placement: placemon.NewPlacementFile(cfg.Topology, cfg.Alpha, services, res.Hosts),
+	}
+	raw, err := json.Marshal(spec)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: encode scenario spec: %w", err)
+	}
+	return &Workload{
+		Spec:     raw,
+		NumNodes: nw.NumNodes(),
+		K:        cfg.K,
+		Paths:    paths,
+	}, nil
+}
+
+// BatchSource synthesizes one scenario's observation batches: each batch
+// samples a fresh failure set of 0..K nodes (uniform size, then uniform
+// distinct nodes — the failsim sampling model) and reports the full state
+// of every connection, down iff its routed path traverses a failed node
+// (the paper's measurement model, eq. 1). Deterministic per seed and
+// safe for concurrent use.
+type BatchSource struct {
+	mu     sync.Mutex
+	rng    *rand.Rand
+	w      *Workload
+	failed []bool // scratch, indexed by node
+}
+
+// NewBatchSource creates a batch generator over w seeded with seed.
+func (w *Workload) NewBatchSource(seed int64) *BatchSource {
+	return &BatchSource{
+		rng:    rand.New(rand.NewSource(seed)),
+		w:      w,
+		failed: make([]bool, w.NumNodes),
+	}
+}
+
+// Next synthesizes the batch due at scenario time t (seconds). The
+// returned batch has no BatchID; the client mints the idempotency key.
+func (b *BatchSource) Next(t float64) placemonclient.ObservationBatch {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for i := range b.failed {
+		b.failed[i] = false
+	}
+	// Sample |F| uniform in 0..K, then F itself by rejection — K is tiny
+	// relative to the network, so collisions are rare.
+	for n := b.rng.Intn(b.w.K + 1); n > 0; {
+		v := b.rng.Intn(b.w.NumNodes)
+		if !b.failed[v] {
+			b.failed[v] = true
+			n--
+		}
+	}
+	reports := make([]placemonclient.Report, len(b.w.Paths))
+	for i, path := range b.w.Paths {
+		up := true
+		for _, v := range path {
+			if b.failed[v] {
+				up = false
+				break
+			}
+		}
+		reports[i] = placemonclient.Report{Connection: i, Up: up}
+	}
+	return placemonclient.ObservationBatch{Time: t, Reports: reports}
+}

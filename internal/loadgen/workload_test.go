@@ -1,0 +1,82 @@
+package loadgen
+
+import (
+	"testing"
+
+	placemon "repro"
+)
+
+func TestBuildWorkload(t *testing.T) {
+	wl, err := BuildWorkload(WorkloadConfig{Topology: "AT&T", Services: 3, K: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wl.K != 2 || wl.NumNodes <= 0 || len(wl.Paths) == 0 {
+		t.Fatalf("workload = %+v", wl)
+	}
+	// The spec must be a document the daemon would accept.
+	spec, err := placemon.ParseScenarioSpec(wl.Spec)
+	if err != nil {
+		t.Fatalf("spec does not round-trip: %v", err)
+	}
+	if spec.Topology != "AT&T" || spec.K != 2 {
+		t.Fatalf("spec = %+v", spec)
+	}
+	// One connection per (service, client) pair, in document order.
+	want := 0
+	for _, s := range spec.Placement.Services {
+		want += len(s.Clients)
+	}
+	if len(wl.Paths) != want {
+		t.Fatalf("%d paths for %d connections", len(wl.Paths), want)
+	}
+	for i, p := range wl.Paths {
+		if len(p) == 0 {
+			t.Fatalf("connection %d has an empty path", i)
+		}
+	}
+}
+
+func TestBatchSourceDeterministicAndConsistent(t *testing.T) {
+	wl, err := BuildWorkload(WorkloadConfig{Topology: "Abovenet", K: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := wl.NewBatchSource(7), wl.NewBatchSource(7)
+	sawDown := false
+	for i := 0; i < 50; i++ {
+		ba, bb := a.Next(float64(i)), b.Next(float64(i))
+		if len(ba.Reports) != len(wl.Paths) {
+			t.Fatalf("batch %d has %d reports, want full state %d", i, len(ba.Reports), len(wl.Paths))
+		}
+		for j := range ba.Reports {
+			if ba.Reports[j] != bb.Reports[j] {
+				t.Fatalf("batch %d diverges at report %d under equal seeds", i, j)
+			}
+			if !ba.Reports[j].Up {
+				sawDown = true
+			}
+			if ba.Reports[j].Connection != j {
+				t.Fatalf("batch %d report %d has connection %d", i, j, ba.Reports[j].Connection)
+			}
+		}
+	}
+	if !sawDown {
+		t.Fatal("50 batches under K=2 synthesized no outage at all")
+	}
+	// A different seed must diverge somewhere.
+	c := wl.NewBatchSource(8)
+	diverged := false
+	d := wl.NewBatchSource(7)
+	for i := 0; i < 50 && !diverged; i++ {
+		bc, bd := c.Next(float64(i)), d.Next(float64(i))
+		for j := range bc.Reports {
+			if bc.Reports[j] != bd.Reports[j] {
+				diverged = true
+			}
+		}
+	}
+	if !diverged {
+		t.Fatal("seeds 7 and 8 synthesized identical failure streams")
+	}
+}

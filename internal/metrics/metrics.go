@@ -190,16 +190,22 @@ func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
 
 // Histogram returns (registering on first use) the histogram with the
 // given name, buckets, and label pairs. A nil or empty bucket slice means
-// DefaultBuckets. Buckets must be strictly increasing; the +Inf bucket is
-// implicit. Panics as Counter does, and additionally if the same series is
-// re-requested with different buckets.
+// DefaultBuckets. Buckets must be finite (no NaN or ±Inf — the +Inf
+// overflow bucket is implicit) and strictly increasing; a bad slice
+// panics at registration with the offending bucket named, instead of
+// silently misbinning every later observation. Panics as Counter does,
+// and additionally if the same series is re-requested with different
+// buckets.
 func (r *Registry) Histogram(name, help string, buckets []float64, labels ...string) *Histogram {
 	if len(buckets) == 0 {
 		buckets = DefaultBuckets
 	}
-	for i := 1; i < len(buckets); i++ {
-		if buckets[i] <= buckets[i-1] {
-			panic(fmt.Sprintf("metrics: %s: buckets not strictly increasing", name))
+	for i, b := range buckets {
+		if math.IsNaN(b) || math.IsInf(b, 0) {
+			panic(fmt.Sprintf("metrics: %s: bucket %d is %v; buckets must be finite (+Inf is implicit)", name, i, b))
+		}
+		if i > 0 && b <= buckets[i-1] {
+			panic(fmt.Sprintf("metrics: %s: buckets not strictly increasing (bucket %d: %v ≤ %v)", name, i, b, buckets[i-1]))
 		}
 	}
 	inst := r.lookup(name, help, "histogram", labels, func() instrument {

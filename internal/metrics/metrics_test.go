@@ -93,6 +93,61 @@ func TestHistogramBuckets(t *testing.T) {
 	}
 }
 
+func TestHistogramBadBucketsPanic(t *testing.T) {
+	cases := map[string][]float64{
+		"not increasing":  {1, 1, 2},
+		"decreasing":      {1, 0.5},
+		"nan bucket":      {0.1, math.NaN(), 1},
+		"plus inf bucket": {0.1, 1, math.Inf(1)},
+		"minus inf first": {math.Inf(-1), 0},
+	}
+	for name, buckets := range cases {
+		func() {
+			r := NewRegistry()
+			defer func() {
+				p := recover()
+				if p == nil {
+					t.Errorf("%s: buckets %v did not panic", name, buckets)
+					return
+				}
+				if msg, ok := p.(string); !ok || !strings.Contains(msg, "bad_seconds") {
+					t.Errorf("%s: panic message %v does not name the metric", name, p)
+				}
+			}()
+			r.Histogram("bad_seconds", "", buckets)
+		}()
+	}
+}
+
+func TestHistogramOverflowBucket(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("over_seconds", "", []float64{0.5, 1})
+	// Three observations past the last finite bucket land only in the
+	// implicit +Inf bucket; they must still be counted and summed.
+	for _, v := range []float64{2, 100, 1e9} {
+		h.Observe(v)
+	}
+	h.Observe(0.25)
+	if h.Count() != 4 {
+		t.Fatalf("count = %d, want 4", h.Count())
+	}
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`over_seconds_bucket{le="0.5"} 1`,
+		`over_seconds_bucket{le="1"} 1`, // overflow stays out of finite buckets
+		`over_seconds_bucket{le="+Inf"} 4`,
+		"over_seconds_count 4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+}
+
 func TestWriteTextDeterministicAndSorted(t *testing.T) {
 	r := NewRegistry()
 	r.Gauge("zz", "last").Set(1)

@@ -62,6 +62,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"runtime"
+	"strconv"
 	"sync"
 	"time"
 
@@ -758,11 +759,39 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleTraces serves the trace ring, newest first. The ring itself
-// skips /debug/ paths, so reading traces never pollutes them.
+// skips /debug/ paths, so reading traces never pollutes them. Query
+// filters scope the read: ?limit=N caps the answer to the N newest
+// records (large rings make an unbounded dump a self-inflicted slow
+// request) and ?scenario=ID keeps only traces served for that scenario.
 func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	limit, ok := traceLimit(w, r)
+	if !ok {
+		return
+	}
+	var keep func(*trace.Record) bool
+	if scenario := r.URL.Query().Get("scenario"); scenario != "" {
+		keep = func(rec *trace.Record) bool { return rec.Tenant == scenario }
+	}
 	writeJSON(w, http.StatusOK, struct {
 		Traces []trace.Record `json:"traces"`
-	}{Traces: s.traces.Snapshot()})
+	}{Traces: s.traces.SnapshotFunc(limit, keep)})
+}
+
+// traceLimit parses the ?limit= query parameter shared by the trace
+// endpoints: absent or 0 means the whole ring, negative or non-numeric
+// values answer 400. The second return is false when the response has
+// already been written.
+func traceLimit(w http.ResponseWriter, r *http.Request) (int, bool) {
+	raw := r.URL.Query().Get("limit")
+	if raw == "" {
+		return 0, true
+	}
+	limit, err := strconv.Atoi(raw)
+	if err != nil || limit < 0 {
+		writeError(w, http.StatusBadRequest, "limit must be a non-negative integer, got %q", raw)
+		return 0, false
+	}
+	return limit, true
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -810,11 +839,16 @@ func (s *Server) serveScenarioInfo(t *tenant, w http.ResponseWriter, r *http.Req
 }
 
 // serveTenantTraces serves the tenant's own trace ring, newest first —
-// the per-scenario view of /debug/traces.
+// the per-scenario view of /debug/traces. ?limit=N caps the answer to
+// the N newest records.
 func (s *Server) serveTenantTraces(t *tenant, w http.ResponseWriter, r *http.Request) {
+	limit, ok := traceLimit(w, r)
+	if !ok {
+		return
+	}
 	traces := []trace.Record{}
 	if t.ring != nil {
-		traces = t.ring.Snapshot()
+		traces = t.ring.SnapshotFunc(limit, nil)
 	}
 	writeJSON(w, http.StatusOK, struct {
 		Traces []trace.Record `json:"traces"`

@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"fmt"
 	"net/http"
 	"strings"
 	"testing"
@@ -152,5 +153,108 @@ func TestTraceRingSkipsDebug(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusNotFound {
 		t.Fatalf("disabled /debug/traces = %d, want 404", resp.StatusCode)
+	}
+}
+
+// tracesFrom fetches and decodes any traces URL (with query string).
+func tracesFrom(t *testing.T, url string) []map[string]any {
+	t.Helper()
+	resp, body := getJSON(t, url)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s = %d", url, resp.StatusCode)
+	}
+	raw, ok := body["traces"].([]any)
+	if !ok {
+		t.Fatalf("no traces array in %v", body)
+	}
+	out := make([]map[string]any, len(raw))
+	for i, r := range raw {
+		out[i] = r.(map[string]any)
+	}
+	return out
+}
+
+// TestTracesLimitAndScenarioFilters: /debug/traces?limit= caps the
+// response at the newest N records, ?scenario= keeps only one tenant's
+// requests, the two compose, and the per-scenario ring honours ?limit=
+// too. Malformed limits are rejected with 400.
+func TestTracesLimitAndScenarioFilters(t *testing.T) {
+	_, ts := newTestServer(t, scenarioConfig())
+	spec := mustJSON(t, lineSpec())
+	for _, id := range []string{"alpha", "beta"} {
+		if resp, body := doReq(t, http.MethodPut, ts.URL+"/v1/scenarios/"+id, spec); resp.StatusCode != http.StatusCreated {
+			t.Fatalf("create %s = %d %s", id, resp.StatusCode, body)
+		}
+	}
+	ingest := func(id string, n int) {
+		for i := 0; i < n; i++ {
+			resp, body := doReq(t, http.MethodPost, ts.URL+"/v1/scenarios/"+id+"/observations",
+				[]byte(fmt.Sprintf(`{"time": %d, "reports": [{"connection": 0, "up": true}]}`, i+1)))
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("ingest %s = %d %s", id, resp.StatusCode, body)
+			}
+		}
+	}
+	ingest("alpha", 3)
+	ingest("beta", 2)
+
+	all := getTraces(t, ts.URL)
+	if len(all) != 7 { // 2 creates + 5 ingests
+		t.Fatalf("ring has %d records, want 7", len(all))
+	}
+
+	// limit returns exactly the newest N: the two beta ingests.
+	limited := tracesFrom(t, ts.URL+"/debug/traces?limit=2")
+	if len(limited) != 2 {
+		t.Fatalf("limit=2 returned %d records", len(limited))
+	}
+	for _, rec := range limited {
+		if rec["tenant"] != "beta" {
+			t.Fatalf("limit=2 returned non-newest record: %v", rec)
+		}
+	}
+	// A limit beyond the ring size is not an error.
+	if recs := tracesFrom(t, ts.URL+"/debug/traces?limit=100"); len(recs) != 7 {
+		t.Fatalf("limit=100 returned %d records, want 7", len(recs))
+	}
+
+	// scenario= keeps only that tenant's records, even mid-ring.
+	alpha := tracesFrom(t, ts.URL+"/debug/traces?scenario=alpha")
+	if len(alpha) != 3 {
+		t.Fatalf("scenario=alpha returned %d records, want 3: %v", len(alpha), alpha)
+	}
+	for _, rec := range alpha {
+		if rec["tenant"] != "alpha" {
+			t.Fatalf("scenario=alpha leaked record: %v", rec)
+		}
+	}
+	if recs := tracesFrom(t, ts.URL+"/debug/traces?scenario=nosuch"); len(recs) != 0 {
+		t.Fatalf("scenario=nosuch returned %d records, want 0", len(recs))
+	}
+
+	// The filters compose: newest single alpha record.
+	combo := tracesFrom(t, ts.URL+"/debug/traces?scenario=alpha&limit=1")
+	if len(combo) != 1 || combo[0]["tenant"] != "alpha" {
+		t.Fatalf("scenario=alpha&limit=1 = %v", combo)
+	}
+
+	// The tenant-scoped ring understands limit too.
+	if recs := tracesFrom(t, ts.URL+"/v1/scenarios/beta/traces?limit=1"); len(recs) != 1 {
+		t.Fatalf("tenant traces limit=1 returned %d records", len(recs))
+	}
+
+	// Bad limits are rejected up front on both endpoints.
+	for _, url := range []string{
+		ts.URL + "/debug/traces?limit=abc",
+		ts.URL + "/debug/traces?limit=-1",
+		ts.URL + "/v1/scenarios/beta/traces?limit=abc",
+	} {
+		resp, _, err := rawReq(http.MethodGet, url, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("GET %s = %d, want 400", url, resp.StatusCode)
+		}
 	}
 }

@@ -48,15 +48,33 @@ func (r *Ring) Len() int {
 
 // Snapshot returns the stored traces, newest first.
 func (r *Ring) Snapshot() []Record {
+	return r.SnapshotFunc(0, nil)
+}
+
+// SnapshotFunc returns up to limit stored traces, newest first, keeping
+// only records for which keep returns true. limit ≤ 0 means no limit and
+// a nil keep admits everything, so SnapshotFunc(0, nil) == Snapshot().
+// The filter runs under the ring lock and must not block.
+func (r *Ring) SnapshotFunc(limit int, keep func(*Record) bool) []Record {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	n := r.next
 	if r.full {
 		n = len(r.buf)
 	}
-	out := make([]Record, 0, n)
+	want := n
+	if limit > 0 && limit < want {
+		want = limit
+	}
+	out := make([]Record, 0, want)
 	for i := 1; i <= n; i++ {
-		out = append(out, r.buf[(r.next-i+len(r.buf))%len(r.buf)])
+		if limit > 0 && len(out) >= limit {
+			break
+		}
+		rec := &r.buf[(r.next-i+len(r.buf))%len(r.buf)]
+		if keep == nil || keep(rec) {
+			out = append(out, *rec)
+		}
 	}
 	return out
 }

@@ -11,9 +11,9 @@ import (
 type breakerState int
 
 const (
-	breakerClosed breakerState = iota // normal operation
-	breakerOpen                       // failing fast, waiting out the cooldown
-	breakerHalfOpen                   // one probe in flight decides reopen vs close
+	breakerClosed   breakerState = iota // normal operation
+	breakerOpen                         // failing fast, waiting out the cooldown
+	breakerHalfOpen                     // one probe in flight decides reopen vs close
 )
 
 func (s breakerState) String() string {

@@ -406,7 +406,10 @@ func (c *Client) attempt(ctx context.Context, method, path, traceID string, body
 	if body != nil {
 		rd = bytes.NewReader(body)
 	}
-	req, err := http.NewRequestWithContext(actx, method, c.base.JoinPath(path).String(), rd)
+	path, query, _ := strings.Cut(path, "?")
+	u := c.base.JoinPath(path)
+	u.RawQuery = query
+	req, err := http.NewRequestWithContext(actx, method, u.String(), rd)
 	if err != nil {
 		return nil, false, 0, err
 	}

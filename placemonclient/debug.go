@@ -1,0 +1,72 @@
+package placemonclient
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+
+	"repro/internal/trace"
+)
+
+// This file covers the daemon's observability surface: the request-trace
+// ring and the Prometheus metrics endpoint. Load and soak harnesses use
+// these to reconcile their client-side view with the server's.
+
+// TraceQuery filters GET /debug/traces. The zero value fetches the whole
+// ring.
+type TraceQuery struct {
+	// Limit caps the answer at the newest N traces (0 = no cap).
+	Limit int
+	// Scenario keeps only one scenario's requests (empty = all).
+	Scenario string
+}
+
+// Traces fetches the daemon's recent-request ring, newest first. The
+// records are trace.Record as the server filed them.
+func (c *Client) Traces(ctx context.Context, q TraceQuery) ([]trace.Record, error) {
+	path := "/debug/traces"
+	vals := url.Values{}
+	if q.Limit > 0 {
+		vals.Set("limit", strconv.Itoa(q.Limit))
+	}
+	if q.Scenario != "" {
+		vals.Set("scenario", q.Scenario)
+	}
+	if enc := vals.Encode(); enc != "" {
+		path += "?" + enc
+	}
+	var out struct {
+		Traces []trace.Record `json:"traces"`
+	}
+	if _, err := c.do(ctx, http.MethodGet, path, nil, &out); err != nil {
+		return nil, err
+	}
+	return out.Traces, nil
+}
+
+// MetricsText fetches GET /metrics verbatim (Prometheus text exposition).
+// Unlike the API methods this is a single unretried delivery — a metrics
+// scrape is periodic anyway, and retrying one would skew the very
+// counters being read.
+func (c *Client) MetricsText(ctx context.Context) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base.JoinPath("/metrics").String(), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("placemonclient: GET /metrics: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("placemonclient: GET /metrics: %w", apiError(resp))
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("placemonclient: reading /metrics: %w", err)
+	}
+	return body, nil
+}

@@ -5,7 +5,7 @@ GO ?= go
 # for a quick smoke run.
 BENCHFLAGS ?=
 
-.PHONY: all help build test race check chaos bench bench-json bench-smoke bench-compare fuzz fuzz-smoke experiments paper-runs soak-smoke results serve clean
+.PHONY: all help build test race check chaos crash-smoke bench bench-json bench-smoke bench-compare bench-compare-wal fuzz fuzz-smoke experiments paper-runs soak-smoke results serve clean
 
 all: build test
 
@@ -16,10 +16,12 @@ help:
 	@echo "  race         go test -race ./..."
 	@echo "  check        vet + full race-detector test run"
 	@echo "  chaos        chaos soak: placemond behind the fault injector, race detector on"
+	@echo "  crash-smoke  WAL crash-injection matrix: kill writes mid-append/rotate/compact, assert exact recovery (CI)"
 	@echo "  bench        one benchmark run per table/figure plus ablations"
 	@echo "  bench-json   machine-readable benchmark snapshot (BENCH_<date>.json)"
 	@echo "  bench-smoke  single-iteration benchmark compile-and-run gate (CI)"
 	@echo "  bench-compare  registry-overhead run gated against the archived seed baseline (CI)"
+	@echo "  bench-compare-wal  WAL append/recovery run gated against the archived WAL baseline (CI)"
 	@echo "  fuzz         short fuzz session over the edge-list parser"
 	@echo "  fuzz-smoke   ~10s of every fuzz target (CI)"
 	@echo "  experiments  regenerate every evaluation artifact into results/"
@@ -54,6 +56,14 @@ CHAOSFLAGS ?=
 chaos:
 	$(GO) test -race -run TestChaosSoak -v $(CHAOSFLAGS) .
 
+# WAL crash-injection matrix: the fault-point filesystem kills writes at
+# seeded byte offsets mid-append, mid-rotation, and mid-compaction (log
+# layer) and mid-serving (HTTP layer); every recovered state must be
+# byte-identical to a never-crashed reference, and a retried pre-crash
+# batch must replay its original ack.
+crash-smoke:
+	$(GO) test -race -run 'TestCrashMatrix|TestCrashServerMatrix|TestTorn' -v ./internal/wal/ ./internal/server/
+
 # One benchmark run per table/figure plus the ablations.
 bench:
 	$(GO) test -bench=. -benchmem .
@@ -69,6 +79,15 @@ bench-smoke:
 # results/bench/, where the BENCH_*.json snapshots live.
 bench-compare:
 	$(GO) test -run NONE -bench=RegistryOverhead -benchmem -benchtime=2000x . | $(GO) run ./cmd/benchjson -compare BENCH_2026-08-06_registry_seed.json -fail-over 10
+
+# WAL hot paths (append fsync cost per sync mode, boot recovery) gated
+# against the snapshot archived when the log landed. fsync-bound ns/op
+# swings ±2x run-to-run on shared disks at small iteration counts, so
+# the gate averages over 1000 iterations and allows a 100% margin: it
+# catches order-of-magnitude regressions (an accidental fsync per record
+# in group mode, a quadratic recovery scan), not microsecond drift.
+bench-compare-wal:
+	$(GO) test -run NONE -bench='WALAppend|Recovery' -benchmem -benchtime=1000x ./internal/wal/ | $(GO) run ./cmd/benchjson -compare BENCH_2026-08-08_wal.json -fail-over 100
 
 # Machine-readable benchmark snapshot for the perf trajectory: runs the
 # root benchmarks and archives them under results/bench/.
@@ -91,6 +110,7 @@ FUZZTIME ?= 10s
 fuzz-smoke:
 	$(GO) test -run NONE -fuzz FuzzParse -fuzztime $(FUZZTIME) ./internal/graph/
 	$(GO) test -run NONE -fuzz FuzzObservations -fuzztime $(FUZZTIME) ./internal/server/
+	$(GO) test -run NONE -fuzz FuzzWALDecode -fuzztime $(FUZZTIME) ./internal/wal/
 	$(GO) test -run NONE -fuzz FuzzGreedyLazyEquivalence -fuzztime $(FUZZTIME) ./internal/placement/
 	$(GO) test -run NONE -fuzz FuzzLoadPlacement -fuzztime $(FUZZTIME) .
 

@@ -2,6 +2,7 @@ package placemon_test
 
 import (
 	"context"
+	"fmt"
 	"net"
 	"net/http"
 	"net/http/httptest"
@@ -12,6 +13,7 @@ import (
 
 	placemon "repro"
 	"repro/internal/faultinject"
+	"repro/internal/wal"
 	"repro/placemonclient"
 )
 
@@ -333,4 +335,140 @@ func TestChaosSoak(t *testing.T) {
 	}
 	t.Logf("no-retry control: %d/%d batches lost, %d/%d events seen",
 		lost, len(sc.batches), len(gotNaive), len(want))
+}
+
+// TestChaosSoakHardRestart is the durability half of the soak: the same
+// deterministic timeline runs against a WAL-backed placemond that is
+// killed mid-soak without drain or snapshot (Abort), rebooted from the
+// log tail, and fed the rest of the timeline — all through the same
+// seeded fault injector. The merged pre-crash + post-restart event
+// stream must equal the fault-free reference, the dedup window must
+// survive the crash (a retried pre-crash batch replays its original
+// ack), and the log must fsck clean after the final graceful close.
+func TestChaosSoakHardRestart(t *testing.T) {
+	cycles := 2
+	if testing.Short() {
+		cycles = 1
+	}
+	sc := buildChaosScenario(t, cycles)
+	// Pin batch IDs so the test can re-send a pre-crash batch verbatim
+	// and watch the recovered dedup window replay it.
+	for i := range sc.batches {
+		sc.batches[i].BatchID = fmt.Sprintf("chaos-restart-%d", i)
+	}
+
+	// Fault-free reference run, in process, no WAL.
+	refSrv, err := placemon.NewServer(sc.nw, sc.doc, placemon.ServerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer refSrv.Close()
+	ref := httptest.NewServer(refSrv.Handler())
+	defer ref.Close()
+	want := runScenario(t, retryingClient(t, ref.URL, nil, 1), sc)
+	if len(want) == 0 {
+		t.Fatalf("reference run produced no events; scenario is broken")
+	}
+
+	// First life: WAL-backed, behind the fault injector.
+	dir := t.TempDir()
+	walCfg := placemon.ServerConfig{WALDir: dir}
+	srv1, err := placemon.NewServer(sc.nw, sc.doc, walCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj, err := faultinject.New(chaosPolicy(7331))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(srv1.Handler())
+	c1 := retryingClient(t, ts1.URL, inj, 12)
+	half := len(sc.batches) / 2
+	var got []placemonclient.Event
+	var lastAck *placemonclient.IngestResult
+	for i, b := range sc.batches[:half] {
+		res, err := c1.ReportObservations(context.Background(), b)
+		if err != nil {
+			t.Fatalf("batch %d lost before the crash: %v", i, err)
+		}
+		got = append(got, res.Events...)
+		lastAck = res
+	}
+
+	// Hard kill: no drain, no final snapshot. Recovery has only the
+	// snapshotless log tail to work from.
+	srv1.Abort()
+	ts1.Close()
+
+	// Second life: reboot from the same directory.
+	srv2, err := placemon.NewServer(sc.nw, sc.doc, walCfg)
+	if err != nil {
+		t.Fatalf("recovery boot after hard kill: %v", err)
+	}
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+	c2 := retryingClient(t, ts2.URL, inj, 12)
+
+	// The dedup window crossed the crash: retrying the last pre-crash
+	// batch replays its original ack instead of double-applying it.
+	dup, err := c2.ReportObservations(context.Background(), sc.batches[half-1])
+	if err != nil {
+		t.Fatalf("post-restart duplicate of batch %d: %v", half-1, err)
+	}
+	if !dup.Replayed {
+		t.Fatalf("post-restart duplicate not flagged Placemond-Replayed")
+	}
+	if !reflect.DeepEqual(dup.Events, lastAck.Events) {
+		t.Fatalf("replayed ack diverged from the pre-crash original:\n got %+v\nwant %+v",
+			dup.Events, lastAck.Events)
+	}
+
+	for i, b := range sc.batches[half:] {
+		res, err := c2.ReportObservations(context.Background(), b)
+		if err != nil {
+			t.Fatalf("batch %d lost after the restart: %v", half+i, err)
+		}
+		got = append(got, res.Events...)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("merged pre-crash + post-restart event stream diverged from fault-free run:\n got %d events: %+v\nwant %d events: %+v",
+			len(got), got, len(want), want)
+	}
+	if inj.Total() == 0 {
+		t.Fatalf("no faults injected; the restart soak proved nothing")
+	}
+	t.Logf("injected faults across both lives: %v", inj.Counts())
+
+	// The timeline still ends mid-outage; the recovered daemon must
+	// localize the injected node.
+	diag, err := c2.Diagnosis(context.Background())
+	if err != nil {
+		t.Fatalf("diagnosis after restart: %v", err)
+	}
+	if !diag.InOutage || diag.Diagnosis == nil {
+		t.Fatalf("no outage diagnosis after restart: %+v", diag)
+	}
+	found := false
+	for _, cand := range diag.Diagnosis.Candidates {
+		for _, node := range cand {
+			if node == sc.lastFail {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("failed node %d not among candidates %v", sc.lastFail, diag.Diagnosis.Candidates)
+	}
+
+	// Graceful close snapshots; the log must fsck clean afterwards.
+	if err := srv2.Close(); err != nil {
+		t.Fatalf("final snapshot on close: %v", err)
+	}
+	rep, err := wal.Check(dir, false)
+	if err != nil {
+		t.Fatalf("fsck after clean close: %v", err)
+	}
+	if rep.Torn {
+		t.Fatalf("log torn after clean close: %+v", rep)
+	}
 }

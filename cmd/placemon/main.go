@@ -78,6 +78,8 @@ func run(args []string) error {
 		return cmdExport(args[1:])
 	case "loadgen":
 		return cmdLoadgen(args[1:])
+	case "fsck":
+		return cmdFsck(args[1:])
 	case "-h", "--help", "help":
 		usage()
 		return nil
@@ -103,7 +105,8 @@ subcommands:
   simulate     run the full loop: place, fail/recover, probe, diagnose online
   compare      run the whole algorithm portfolio and an injection shoot-out
   export       write a built-in topology as an edge list or DOT
-  loadgen      drive a placemond with open-loop load and grade it against an SLO`)
+  loadgen      drive a placemond with open-loop load and grade it against an SLO
+  fsck         verify a placemond write-ahead log offline (chain, CRCs, snapshot)`)
 }
 
 // newFlagSet builds a flag set that prints its own usage on error.

@@ -11,7 +11,13 @@
 // the classic single-scenario routes. With -scenario-dir (usable with or
 // without -placement) scenarios are created dynamically over
 // PUT /v1/scenarios/{id}, persisted as files, and reloaded at the next
-// boot.
+// boot. With -wal-dir (mutually exclusive with -scenario-dir) the daemon
+// instead persists its full mutable state through a write-ahead log:
+// every mutation is durable before its response is acknowledged, boot
+// replays snapshot + log tail, and a WAL write failure flips the daemon
+// read-only (503 + Placemond-Read-Only) instead of crashing it. Tune
+// durability with -wal-sync (always | group | none) and rotation with
+// -wal-segment-bytes; inspect a log offline with `placemon fsck`.
 //
 // Endpoints: POST /v1/observations, GET /v1/diagnosis,
 // POST /v1/placements, GET /healthz, GET /metrics, GET /debug/traces,
@@ -68,6 +74,9 @@ type options struct {
 	scenarioDir      string
 	maxScenarios     int
 	maxScenarioJobs  int
+	walDir           string
+	walSync          string
+	walSegmentBytes  int64
 }
 
 func parseFlags(args []string) (*options, error) {
@@ -92,11 +101,17 @@ func parseFlags(args []string) (*options, error) {
 	fs.StringVar(&o.scenarioDir, "scenario-dir", "", "directory persisting dynamically created scenarios across restarts (empty: in-memory only)")
 	fs.IntVar(&o.maxScenarios, "max-scenarios", 0, "concurrently hosted scenario cap (0 = default 64)")
 	fs.IntVar(&o.maxScenarioJobs, "max-jobs-per-scenario", 0, "one scenario's queued+running placement job cap (0 = the whole pool, -1 disables)")
+	fs.StringVar(&o.walDir, "wal-dir", "", "directory for the write-ahead log persisting all daemon state; mutations are durable before they are acknowledged (mutually exclusive with -scenario-dir)")
+	fs.StringVar(&o.walSync, "wal-sync", "always", "WAL append durability: always (fsync per mutation), group (group commit), or none (fsync on rotation/shutdown only)")
+	fs.Int64Var(&o.walSegmentBytes, "wal-segment-bytes", 0, "WAL segment rotation threshold in bytes (0 = default 4 MiB)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
-	if o.placementFile == "" && o.scenarioDir == "" {
-		return nil, fmt.Errorf("-placement is required (or -scenario-dir for a scenario-only daemon)")
+	if o.placementFile == "" && o.scenarioDir == "" && o.walDir == "" {
+		return nil, fmt.Errorf("-placement is required (or -scenario-dir / -wal-dir for a scenario-only daemon)")
+	}
+	if o.walDir != "" && o.scenarioDir != "" {
+		return nil, fmt.Errorf("-wal-dir and -scenario-dir are mutually exclusive (the WAL subsumes the scenario store)")
 	}
 	if _, err := trace.ParseLevel(o.logLevel); err != nil {
 		return nil, fmt.Errorf("-log-level: %v", err)
@@ -128,6 +143,9 @@ func (o *options) serverConfig(logger *slog.Logger) placemon.ServerConfig {
 		ScenarioDir:        o.scenarioDir,
 		MaxScenarios:       o.maxScenarios,
 		MaxJobsPerScenario: o.maxScenarioJobs,
+		WALDir:             o.walDir,
+		WALSync:            o.walSync,
+		WALSegmentBytes:    o.walSegmentBytes,
 	}
 }
 
@@ -213,6 +231,7 @@ func run(ctx context.Context, args []string, logOut io.Writer) error {
 		logger.Info("serving (scenario-only)",
 			"addr", ln.Addr().String(),
 			"scenario_dir", o.scenarioDir,
+			"wal_dir", o.walDir,
 			"scenarios", len(srv.Scenarios()),
 			"k", o.k,
 			"log_level", o.logLevel,

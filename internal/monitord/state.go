@@ -1,0 +1,63 @@
+package monitord
+
+import "fmt"
+
+// State is the monitor's replayable core: everything Report consults when
+// deciding which events a future observation emits. Exporting it, folding
+// it into a snapshot, and restoring it on a fresh Monitor built from the
+// same paths yields a daemon that continues the event stream exactly
+// where the exported one stopped — the property placemond's write-ahead
+// log compaction depends on.
+type State struct {
+	// States is the last known state per connection, index-aligned with
+	// the monitor's paths.
+	States []ConnState `json:"states"`
+	// InOutage mirrors the outage flag.
+	InOutage bool `json:"in_outage"`
+	// LastKey is the fingerprint of the last emitted diagnosis ("!" after
+	// an inconsistent localization, "" outside outages); it decides
+	// whether the next diagnosis emits EventDiagnosisChanged.
+	LastKey string `json:"last_key,omitempty"`
+}
+
+// ExportState captures the monitor's replayable state.
+func (m *Monitor) ExportState() State {
+	return State{
+		States:   append([]ConnState(nil), m.states...),
+		InOutage: m.inOutage,
+		LastKey:  m.lastKey,
+	}
+}
+
+// RestoreState overwrites the monitor's state with a previously exported
+// one. The connection count must match the monitor's paths — state from a
+// differently shaped scenario is refused.
+func (m *Monitor) RestoreState(st State) error {
+	if len(st.States) != len(m.paths) {
+		return fmt.Errorf("monitord: state has %d connections, monitor has %d", len(st.States), len(m.paths))
+	}
+	for i, s := range st.States {
+		if s != StateUnknown && s != StateUp && s != StateDown {
+			return fmt.Errorf("monitord: state %d has invalid connection state %d", i, int(s))
+		}
+	}
+	m.states = append(m.states[:0], st.States...)
+	m.inOutage = st.InOutage
+	m.lastKey = st.LastKey
+	return nil
+}
+
+// ExportState captures the monitor's replayable state; see
+// Monitor.ExportState.
+func (s *Safe) ExportState() State {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m.ExportState()
+}
+
+// RestoreState overwrites the monitor's state; see Monitor.RestoreState.
+func (s *Safe) RestoreState(st State) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m.RestoreState(st)
+}

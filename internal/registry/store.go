@@ -125,7 +125,27 @@ func (s *FileStore) Save(id string, doc []byte) error {
 	if err := os.Rename(tmp.Name(), filepath.Join(s.dir, id+storeExt)); err != nil {
 		return fmt.Errorf("registry: snapshot %s: %w", id, err)
 	}
+	// The rename itself must be made durable: without an fsync of the
+	// directory, a power cut after Save returns can roll the directory
+	// entry back to the old document even though the data file synced.
+	// (Regression note: Save originally skipped this, which the WAL crash
+	// harness flagged — the file contents were durable but the name was
+	// not.)
+	if err := syncDir(s.dir); err != nil {
+		return fmt.Errorf("registry: snapshot %s: %w", id, err)
+	}
 	return nil
+}
+
+// syncDir fsyncs a directory so a completed rename or remove of one of
+// its entries survives power loss.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
 }
 
 // Delete removes <dir>/<id>.json; an absent file is not an error.
@@ -137,6 +157,11 @@ func (s *FileStore) Delete(id string) error {
 	defer s.mu.Unlock()
 	err := os.Remove(filepath.Join(s.dir, id+storeExt))
 	if err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("registry: delete %s: %w", id, err)
+	}
+	// Same durability rule as Save: the unlink is only permanent once the
+	// directory itself is synced.
+	if err := syncDir(s.dir); err != nil {
 		return fmt.Errorf("registry: delete %s: %w", id, err)
 	}
 	return nil

@@ -78,3 +78,51 @@ func (d *dedupWindow) size() int {
 	defer d.mu.Unlock()
 	return len(d.byID)
 }
+
+// dedupRecord is one exported window entry, in insertion order, so a
+// restored window evicts in exactly the order the original would have —
+// the property that makes WAL-recovered dedup state byte-identical to a
+// never-crashed daemon's.
+type dedupRecord struct {
+	ID     string `json:"id"`
+	Status int    `json:"status"`
+	Body   []byte `json:"body"`
+}
+
+// export captures the window's entries oldest first.
+func (d *dedupWindow) export() []dedupRecord {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]dedupRecord, 0, len(d.order))
+	emit := func(id string) {
+		e := d.byID[id]
+		out = append(out, dedupRecord{ID: id, Status: e.status, Body: e.body})
+	}
+	if len(d.order) < d.capacity {
+		// Not yet wrapped: order is already insertion order.
+		for _, id := range d.order {
+			emit(id)
+		}
+		return out
+	}
+	// Wrapped ring: the write cursor points at the oldest entry.
+	for _, id := range d.order[d.next:] {
+		emit(id)
+	}
+	for _, id := range d.order[:d.next] {
+		emit(id)
+	}
+	return out
+}
+
+// restore replays exported entries (oldest first) into an empty window
+// and returns how many entries it now holds.
+func (d *dedupWindow) restore(recs []dedupRecord) int {
+	grew := 0
+	for _, r := range recs {
+		if d.store(r.ID, dedupEntry{status: r.Status, body: r.Body}) {
+			grew++
+		}
+	}
+	return grew
+}

@@ -41,7 +41,7 @@ func FuzzObservations(f *testing.F) {
 	if err != nil {
 		f.Fatal(err)
 	}
-	f.Cleanup(srv.Close)
+	f.Cleanup(func() { srv.Close() })
 	handler := srv.Handler()
 
 	f.Fuzz(func(t *testing.T, body []byte) {

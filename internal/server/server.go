@@ -64,6 +64,7 @@ import (
 	"runtime"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/bitset"
@@ -72,6 +73,7 @@ import (
 	"repro/internal/registry"
 	"repro/internal/tomography"
 	"repro/internal/trace"
+	"repro/internal/wal"
 )
 
 // Connection describes one monitored client↔host pair, index-aligned with
@@ -150,6 +152,9 @@ type Config struct {
 	// cannot monopolize the shared pool (default: Workers + QueueDepth,
 	// i.e. the whole pool; < 0 removes the quota).
 	MaxJobsPerScenario int
+	// WAL enables the crash-safe write-ahead log; see WALConfig. When
+	// set, Store must be nil (the WAL is the persistence layer).
+	WAL *WALConfig
 }
 
 // Server is the placemond HTTP service. Create with New; the embedded
@@ -169,6 +174,22 @@ type Server struct {
 	drainTimeout   time.Duration
 	handler        http.Handler
 	closeOnce      sync.Once
+	closeErr       error
+
+	// Write-ahead log state (wlog nil when disabled). walMu orders
+	// apply+append pairs (read side) against compaction's state capture
+	// (write side); readOnly freezes mutations after a WAL write failure.
+	wlog            *wal.Log
+	walMu           sync.RWMutex
+	readOnly        atomic.Bool
+	walCompactEvery int
+	walRecordCount  atomic.Int64
+	walCompacting   atomic.Bool
+	readOnlyGauge   *metrics.Gauge
+	walFsync        *metrics.Histogram
+	walSegments     *metrics.Gauge
+	walRecoveryDur  *metrics.Gauge
+	walReplayed     *metrics.Counter
 
 	// Per-tenant knobs applied to every scenario as it is built.
 	defaultK    int
@@ -188,9 +209,10 @@ type Server struct {
 	outageGauge   *metrics.Gauge
 	reqHist       *metrics.Histogram
 	roundHist     *metrics.Histogram
-	scenarioGauge *metrics.Gauge
-	connsGauge    *metrics.Gauge
-	eventTotal    map[monitord.EventKind]*metrics.Counter
+	scenarioGauge  *metrics.Gauge
+	connsGauge     *metrics.Gauge
+	snapshotErrors *metrics.Counter
+	eventTotal     map[monitord.EventKind]*metrics.Counter
 }
 
 // New builds the service: the scenario registry (seeded with a default
@@ -268,6 +290,9 @@ func New(cfg Config) (*Server, error) {
 	if store == nil {
 		store = registry.NewMemStore()
 	}
+	if cfg.WAL != nil && cfg.Store != nil {
+		return nil, fmt.Errorf("server: Config.WAL and Config.Store are mutually exclusive")
+	}
 
 	s := &Server{
 		tenants:        registry.New[*tenant](maxScenarios),
@@ -300,6 +325,8 @@ func New(cfg Config) (*Server, error) {
 			"Number of hosted monitoring scenarios."),
 		connsGauge: reg.Gauge("placemond_connections",
 			"Number of monitored connections across all scenarios."),
+		snapshotErrors: reg.Counter("placemond_snapshot_errors_total",
+			"Scenario snapshots or final WAL compactions that failed; a non-zero value at exit means state was NOT fully saved."),
 		eventTotal: map[monitord.EventKind]*metrics.Counter{},
 	}
 	if cfg.MaxJobsPerScenario != 0 {
@@ -341,8 +368,16 @@ func New(cfg Config) (*Server, error) {
 			return nil, err
 		}
 	}
-	if s.build != nil {
+	if s.build != nil && cfg.WAL == nil {
 		if err := s.loadScenarios(); err != nil {
+			s.pool.close()
+			return nil, err
+		}
+	}
+	if cfg.WAL != nil {
+		// Recovery runs before the handler exists: replay is not racing
+		// requests, so it needs no locks.
+		if err := s.openWAL(cfg.WAL); err != nil {
 			s.pool.close()
 			return nil, err
 		}
@@ -363,6 +398,8 @@ func New(cfg Config) (*Server, error) {
 		s.instrument("/v1/scenarios/{id}/placements", s.forScenario(s.servePlacements)))
 	api.Handle("GET /v1/scenarios/{id}/traces",
 		s.instrument("/v1/scenarios/{id}/traces", s.forScenario(s.serveTenantTraces)))
+	api.Handle("GET /v1/scenarios/{id}/audit",
+		s.instrument("/v1/scenarios/{id}/audit", s.forScenario(s.serveAudit)))
 
 	api.Handle("GET /v1/scenarios", s.instrument("/v1/scenarios", http.HandlerFunc(s.handleScenarioList)))
 	api.Handle("PUT /v1/scenarios/{id}", s.instrument("/v1/scenarios/{id}", http.HandlerFunc(s.handleScenarioCreate)))
@@ -394,13 +431,65 @@ func (s *Server) Handler() http.Handler { return s.handler }
 // Registry returns the metrics registry the server writes to.
 func (s *Server) Registry() *metrics.Registry { return s.registry }
 
-// Close stops the placement pool (draining queued jobs) and snapshots
-// every registered scenario through the Store, one logged outcome per
-// tenant, so a graceful exit leaves the stored fleet consistent. It is
-// idempotent and implied by Serve returning.
-func (s *Server) Close() {
+// Close stops the placement pool (draining queued jobs) and persists
+// final state: a compaction fold + clean close of the write-ahead log
+// when one is configured, else a snapshot of every registered scenario
+// through the Store, one logged outcome per tenant. The returned error
+// is non-nil when any final persistence step failed — placemond exits
+// non-zero on it, so supervisors restart instead of believing state was
+// saved. Idempotent (later calls return the first outcome) and implied
+// by Serve returning.
+func (s *Server) Close() error {
 	s.pool.close()
-	s.closeOnce.Do(s.snapshotScenarios)
+	s.closeOnce.Do(func() { s.closeErr = s.persistFinal() })
+	return s.closeErr
+}
+
+// persistFinal is the once-only shutdown persistence step behind Close.
+func (s *Server) persistFinal() error {
+	if s.wlog == nil {
+		return s.snapshotScenarios()
+	}
+	var err error
+	if s.readOnly.Load() {
+		// The log is poisoned: nothing more can be folded. The earlier
+		// failure is the exit status.
+		err = s.wlog.Err()
+		if err == nil {
+			err = errWALUnavailable
+		}
+	} else {
+		s.walMu.Lock()
+		var state []byte
+		state, err = json.Marshal(s.buildWALState())
+		if err == nil {
+			err = s.wlog.Compact(state)
+		}
+		s.walMu.Unlock()
+	}
+	if cerr := s.wlog.Close(); err == nil && cerr != nil && !errors.Is(cerr, wal.ErrClosed) {
+		err = cerr
+	}
+	if err != nil {
+		s.snapshotErrors.Inc()
+		s.logger.Error("final WAL fold failed", "error", err)
+		return fmt.Errorf("server: final WAL fold: %w", err)
+	}
+	s.logger.Info("WAL closed cleanly", "snapshot_seq", s.wlog.SnapshotSeq())
+	return nil
+}
+
+// Abort terminates without final persistence — the in-process stand-in
+// for kill -9 used by crash tests: the pool stops, the WAL file handle
+// is dropped without a closing fsync, and nothing is folded. Whatever
+// the sync policy already made durable is what the next boot recovers.
+func (s *Server) Abort() {
+	s.pool.close()
+	s.closeOnce.Do(func() {
+		if s.wlog != nil {
+			s.wlog.Abort()
+		}
+	})
 }
 
 // Serve accepts connections on ln until ctx is canceled, then drains:
@@ -428,7 +517,11 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 		return err
 	}
 	err = <-shutdownErr
-	s.Close()
+	if cerr := s.Close(); err == nil {
+		// A failed final snapshot surfaces here so placemond exits
+		// non-zero: state was NOT fully saved.
+		err = cerr
+	}
 	return err
 }
 
@@ -509,6 +602,29 @@ type diagnosisJSON struct {
 	Unobserved       []int   `json:"unobserved"`
 }
 
+// obsResponse is the body of a successful observations POST.
+type obsResponse struct {
+	Events []eventJSON `json:"events"`
+}
+
+// buildObsResponse turns emitted events into the wire response plus the
+// index-aligned diagnosis documents. Both the live handler and WAL boot
+// replay use it, which is what keeps recovered dedup-window bodies
+// byte-identical to the originally served ones.
+func buildObsResponse(events []monitord.Event) (obsResponse, []*diagnosisJSON) {
+	out := obsResponse{Events: make([]eventJSON, 0, len(events))}
+	diags := make([]*diagnosisJSON, len(events))
+	for i, ev := range events {
+		diags[i] = diagnosisToJSON(ev.Diagnosis)
+		out.Events = append(out.Events, eventJSON{
+			Time:      ev.Time,
+			Kind:      ev.Kind.String(),
+			Diagnosis: diags[i],
+		})
+	}
+	return out, diags
+}
+
 func (s *Server) serveObservations(t *tenant, w http.ResponseWriter, r *http.Request) {
 	sp := trace.FromContext(r.Context())
 	var req observationsRequest
@@ -521,6 +637,24 @@ func (s *Server) serveObservations(t *tenant, w http.ResponseWriter, r *http.Req
 	if len(req.Reports) == 0 {
 		writeError(w, http.StatusBadRequest, "no reports in batch")
 		return
+	}
+	if s.wlog != nil {
+		if s.rejectReadOnly(w) {
+			return
+		}
+		// Apply and append must not interleave across batches: replay
+		// re-applies in log order, so log order has to equal apply order.
+		// The per-tenant lock serializes same-tenant batches; the shared
+		// read lock lets compaction capture a state that matches the log
+		// position exactly.
+		t.ingestMu.Lock()
+		defer t.ingestMu.Unlock()
+		s.walMu.RLock()
+		defer s.walMu.RUnlock()
+		if s.rejectReadOnly(w) {
+			// Mode may have flipped while waiting on the locks.
+			return
+		}
 	}
 	if t.dedup != nil && req.BatchID != "" {
 		st := sp.StartStage("dedup")
@@ -562,6 +696,23 @@ func (s *Server) serveObservations(t *tenant, w http.ResponseWriter, r *http.Req
 		writeError(w, http.StatusInternalServerError, "ingest: %v", err)
 		return
 	}
+	out, diags := buildObsResponse(events)
+	if s.wlog != nil {
+		// Append-before-ack: the batch (and each emitted diagnosis) must
+		// be durable before the client hears 200. A failed append flips
+		// the daemon read-only — the batch was applied in memory but not
+		// logged, and freezing further mutations caps the divergence at
+		// this one unacknowledged batch, which the client will retry
+		// after the restart that recovers pre-batch state.
+		walStage := sp.StartStage("wal")
+		err := s.walAppendIngest(t, req.BatchID, req.Time, conns, ups, events, diags)
+		walStage.EndDetail("records=%d ok=%t", 1+len(events), err == nil)
+		if err != nil {
+			ingest.EndDetail("wal append failed")
+			respondReadOnly(w)
+			return
+		}
+	}
 	s.obsIngested.Add(float64(len(req.Reports)))
 	t.obsIngested.Add(float64(len(req.Reports)))
 	for _, ev := range events {
@@ -569,32 +720,16 @@ func (s *Server) serveObservations(t *tenant, w http.ResponseWriter, r *http.Req
 			c.Inc()
 		}
 	}
-	outage := 0.0
-	if t.mon.Snapshot().InOutage {
-		outage = 1
-	}
-	t.outage.Set(outage)
-	if t.id == DefaultScenario {
-		// The legacy unlabeled gauge keeps its pre-registry meaning: the
-		// default scenario's outage state.
-		s.outageGauge.Set(outage)
-	}
+	// The legacy unlabeled gauge keeps its pre-registry meaning: the
+	// default scenario's outage state.
+	s.setOutageGauges(t)
 
-	out := struct {
-		Events []eventJSON `json:"events"`
-	}{Events: make([]eventJSON, 0, len(events))}
-	for _, ev := range events {
-		diag := diagnosisToJSON(ev.Diagnosis)
+	for _, diag := range diags {
 		if diag != nil {
 			// Every diagnosis the daemon emits is by construction fresh
 			// and good: remember it for the stale-serving fallback.
 			t.recordGoodDiagnosis(diag)
 		}
-		out.Events = append(out.Events, eventJSON{
-			Time:      ev.Time,
-			Kind:      ev.Kind.String(),
-			Diagnosis: diag,
-		})
 	}
 	ingest.EndDetail("events=%d", len(events))
 	if t.dedup != nil && req.BatchID != "" {
@@ -860,6 +995,9 @@ func (s *Server) handleScenarioCreate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotImplemented, "scenario API not configured")
 		return
 	}
+	if s.rejectReadOnly(w) {
+		return
+	}
 	id := r.PathValue("id")
 	const maxSpec = 1 << 20
 	spec, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxSpec))
@@ -874,6 +1012,8 @@ func (s *Server) handleScenarioCreate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInsufficientStorage, "%v", err)
 	case errors.Is(err, ErrBadSpec):
 		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+	case errors.Is(err, errWALUnavailable):
+		respondReadOnly(w)
 	case err != nil:
 		// ID validation failures and persistence errors; the former are
 		// the caller's fault, and the latter must not report success.
@@ -889,10 +1029,15 @@ func (s *Server) handleScenarioCreate(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleScenarioDelete(w http.ResponseWriter, r *http.Request) {
+	if s.rejectReadOnly(w) {
+		return
+	}
 	id := r.PathValue("id")
 	switch err := s.RemoveScenario(r.Context(), id); {
 	case errors.Is(err, registry.ErrNotFound):
 		writeError(w, http.StatusNotFound, "scenario %q not found", id)
+	case errors.Is(err, errWALUnavailable):
+		respondReadOnly(w)
 	case err != nil:
 		writeError(w, http.StatusInternalServerError, "%v", err)
 	default:

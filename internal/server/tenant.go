@@ -13,6 +13,7 @@ import (
 	"repro/internal/registry"
 	"repro/internal/tomography"
 	"repro/internal/trace"
+	"repro/internal/wal"
 )
 
 // DefaultScenario is the tenant the legacy single-scenario routes
@@ -75,6 +76,18 @@ type tenant struct {
 	drainMu  sync.Mutex
 	draining bool
 
+	// ingestMu orders a batch's apply+WAL-append pair against other
+	// batches for the same tenant (WAL mode only): replay re-applies in
+	// log order, so log order must equal apply order.
+	ingestMu sync.Mutex
+
+	// Diagnosis audit ledger (WAL mode only): the retained tail of
+	// emitted events, each pinned to its WAL record's sequence number and
+	// chain hash, plus a total count of everything ever emitted.
+	auditMu    sync.Mutex
+	audit      []auditEvent
+	auditTotal int
+
 	// Tenant-labeled series. The label value may be the shared "other"
 	// bucket once the cardinality cap is reached.
 	obsIngested *metrics.Counter
@@ -99,6 +112,43 @@ func (t *tenant) isDraining() bool {
 	t.drainMu.Lock()
 	defer t.drainMu.Unlock()
 	return t.draining
+}
+
+// auditRetain bounds the in-memory audit tail per tenant; the full
+// ledger lives in the WAL (and its snapshots' audit_total counters).
+const auditRetain = 1024
+
+// addAudit appends one diagnosis event to the audit ledger, evicting the
+// oldest retained entry beyond the cap.
+func (t *tenant) addAudit(e auditEvent) {
+	t.auditMu.Lock()
+	t.audit = append(t.audit, e)
+	if len(t.audit) > auditRetain {
+		copy(t.audit, t.audit[len(t.audit)-auditRetain:])
+		t.audit = t.audit[:auditRetain]
+	}
+	t.auditTotal++
+	t.auditMu.Unlock()
+}
+
+// auditSnapshot copies the retained audit tail (the newest limit entries
+// when limit > 0) and the all-time event count.
+func (t *tenant) auditSnapshot(limit int) ([]auditEvent, int) {
+	t.auditMu.Lock()
+	defer t.auditMu.Unlock()
+	events := t.audit
+	if limit > 0 && len(events) > limit {
+		events = events[len(events)-limit:]
+	}
+	return append([]auditEvent(nil), events...), t.auditTotal
+}
+
+// restoreAudit replaces the ledger with a recovered one (boot replay).
+func (t *tenant) restoreAudit(events []auditEvent, total int) {
+	t.auditMu.Lock()
+	t.audit = append([]auditEvent(nil), events...)
+	t.auditTotal = total
+	t.auditMu.Unlock()
 }
 
 // recordGoodDiagnosis remembers the latest successfully computed
@@ -202,7 +252,15 @@ func (s *Server) createScenario(id string, spec []byte, persist bool) error {
 		return err
 	}
 	if persist {
-		if err := s.store.Save(id, t.spec); err != nil {
+		if s.wlog != nil {
+			// Append-before-ack: the create must be durable in the log
+			// before the 201 goes out.
+			if err := s.walAppendScenario(wal.TypeScenarioCreate,
+				walScenarioCreate{ID: id, Spec: t.spec}); err != nil {
+				s.removeTenantState(t)
+				return err
+			}
+		} else if err := s.store.Save(id, t.spec); err != nil {
 			s.removeTenantState(t)
 			return fmt.Errorf("server: persist scenario %s: %w", id, err)
 		}
@@ -244,7 +302,11 @@ func (s *Server) RemoveScenario(ctx context.Context, id string) error {
 	s.removeTenantState(t)
 	var storeErr error
 	if t.spec != nil {
-		storeErr = s.store.Delete(id)
+		if s.wlog != nil {
+			storeErr = s.walAppendScenario(wal.TypeScenarioDelete, walScenarioDelete{ID: id})
+		} else {
+			storeErr = s.store.Delete(id)
+		}
 	}
 	s.logger.Info("scenario removed", "scenario", id,
 		"drained", drained, "store_error", storeErr != nil)
@@ -295,18 +357,28 @@ func (s *Server) loadScenarios() error {
 // snapshotScenarios writes every registered scenario document through the
 // Store, one slog outcome per tenant. It runs once, at graceful shutdown,
 // so even a store that missed a write (or a document updated in place)
-// is consistent on disk before the process exits.
-func (s *Server) snapshotScenarios() {
+// is consistent on disk before the process exits. Failures are counted in
+// placemond_snapshot_errors_total and returned as one aggregate error, so
+// the daemon exits non-zero instead of letting a supervisor believe state
+// was saved.
+func (s *Server) snapshotScenarios() error {
+	failed := 0
 	s.tenants.Range(func(id string, t *tenant) bool {
 		if t.spec == nil {
 			s.logger.Info("scenario snapshot skipped", "scenario", id, "reason", "no stored document")
 			return true
 		}
 		if err := s.store.Save(id, t.spec); err != nil {
+			failed++
+			s.snapshotErrors.Inc()
 			s.logger.Error("scenario snapshot failed", "scenario", id, "error", err)
 		} else {
 			s.logger.Info("scenario snapshot written", "scenario", id, "bytes", len(t.spec))
 		}
 		return true
 	})
+	if failed > 0 {
+		return fmt.Errorf("server: %d scenario snapshot(s) failed; stored state is incomplete", failed)
+	}
+	return nil
 }

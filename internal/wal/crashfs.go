@@ -1,0 +1,181 @@
+package wal
+
+import (
+	"errors"
+	"io"
+	"math/rand"
+	"sync"
+)
+
+// ErrCrashed is what every CrashFS operation returns once the injected
+// crash point is reached: the process "died" and its storage is frozen.
+var ErrCrashed = errors.New("wal: injected crash")
+
+// CrashFS wraps an FS with a seeded byte budget, in the spirit of
+// internal/faultinject's deterministic policy engine: every write
+// consumes budget byte by byte and every metadata operation (create,
+// rename, remove, truncate, sync, dir sync) consumes one unit, so the
+// crash can land mid-append — leaving a torn record — or between the
+// steps of a rotation or compaction. When the budget runs out, the
+// current write is cut short at the exact exhaustion offset and every
+// later operation fails with ErrCrashed; whatever reached the inner FS
+// before that moment is exactly what a real kill would have left behind.
+//
+// Reads are never charged or blocked: recovery inspects the frozen
+// remains through the same wrapper.
+type CrashFS struct {
+	inner FS
+
+	mu      sync.Mutex
+	budget  int64
+	spent   int64
+	crashed bool
+}
+
+// NewCrashFS wraps inner with a budget drawn from rng in [1, maxBudget].
+func NewCrashFS(inner FS, rng *rand.Rand, maxBudget int64) *CrashFS {
+	if maxBudget < 1 {
+		maxBudget = 1
+	}
+	return &CrashFS{inner: inner, budget: 1 + rng.Int63n(maxBudget)}
+}
+
+// NewCrashFSBudget wraps inner with an exact budget (for replaying a
+// specific crash point).
+func NewCrashFSBudget(inner FS, budget int64) *CrashFS {
+	return &CrashFS{inner: inner, budget: budget}
+}
+
+// Crashed reports whether the budget has been exhausted.
+func (c *CrashFS) Crashed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.crashed
+}
+
+// Spent returns how many budget units have been charged so far. A crash
+// harness runs one reference life with an effectively unlimited budget,
+// reads Spent, and draws per-seed budgets from [1, Spent] so every
+// injected crash lands inside the workload.
+func (c *CrashFS) Spent() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.spent
+}
+
+// Disarm lifts the crash injection: the wrapper passes everything
+// through untouched from now on. Crash tests call this before the
+// recovery run so only the first life is fault-injected.
+func (c *CrashFS) Disarm() {
+	c.mu.Lock()
+	c.crashed = false
+	c.budget = 1 << 62
+	c.mu.Unlock()
+}
+
+// spend charges n units and reports how many were granted; granted < n
+// means the crash landed inside this operation.
+func (c *CrashFS) spend(n int64) (granted int64, crashed bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.crashed {
+		return 0, true
+	}
+	if c.budget >= n {
+		c.budget -= n
+		c.spent += n
+		return n, false
+	}
+	granted = c.budget
+	c.budget = 0
+	c.spent += granted
+	c.crashed = true
+	return granted, true
+}
+
+func (c *CrashFS) meta(op func() error) error {
+	if _, crashed := c.spend(1); crashed {
+		return ErrCrashed
+	}
+	return op()
+}
+
+// MkdirAll implements FS (uncharged: directory creation happens once at
+// boot, before the life being tested).
+func (c *CrashFS) MkdirAll(dir string) error {
+	c.mu.Lock()
+	dead := c.crashed
+	c.mu.Unlock()
+	if dead {
+		return ErrCrashed
+	}
+	return c.inner.MkdirAll(dir)
+}
+
+// Create implements FS.
+func (c *CrashFS) Create(name string) (File, error) {
+	var f File
+	err := c.meta(func() error {
+		var err error
+		f, err = c.inner.Create(name)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &crashFile{fs: c, inner: f}, nil
+}
+
+// OpenRead implements FS; reads are free so recovery can run.
+func (c *CrashFS) OpenRead(name string) (io.ReadCloser, error) { return c.inner.OpenRead(name) }
+
+// ReadDir implements FS; reads are free.
+func (c *CrashFS) ReadDir(dir string) ([]string, error) { return c.inner.ReadDir(dir) }
+
+// Remove implements FS.
+func (c *CrashFS) Remove(name string) error {
+	return c.meta(func() error { return c.inner.Remove(name) })
+}
+
+// Rename implements FS.
+func (c *CrashFS) Rename(oldname, newname string) error {
+	return c.meta(func() error { return c.inner.Rename(oldname, newname) })
+}
+
+// Truncate implements FS.
+func (c *CrashFS) Truncate(name string, size int64) error {
+	return c.meta(func() error { return c.inner.Truncate(name, size) })
+}
+
+// SyncDir implements FS.
+func (c *CrashFS) SyncDir(dir string) error {
+	return c.meta(func() error { return c.inner.SyncDir(dir) })
+}
+
+type crashFile struct {
+	fs    *CrashFS
+	inner File
+}
+
+// Write charges one budget unit per byte; on exhaustion it persists the
+// granted prefix — the torn write — and reports the crash.
+func (f *crashFile) Write(p []byte) (int, error) {
+	granted, crashed := f.fs.spend(int64(len(p)))
+	if granted > 0 {
+		n, err := f.inner.Write(p[:granted])
+		if err != nil {
+			return n, err
+		}
+	}
+	if crashed {
+		return int(granted), ErrCrashed
+	}
+	return len(p), nil
+}
+
+func (f *crashFile) Sync() error {
+	return f.fs.meta(func() error { return f.inner.Sync() })
+}
+
+// Close is free: a dying process's descriptors close anyway.
+func (f *crashFile) Close() error { return f.inner.Close() }

@@ -1,0 +1,97 @@
+package wal
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// FS is the filesystem surface the log writes through. It exists so the
+// crash-injection harness (CrashFS) can kill the daemon's storage at any
+// byte offset or between any two metadata operations; production code
+// uses OSFS. Every implementation must expose real durability semantics:
+// File.Sync and SyncDir must reach stable storage before returning.
+type FS interface {
+	// MkdirAll creates dir and any missing parents.
+	MkdirAll(dir string) error
+	// Create opens name for writing, truncating any existing content.
+	Create(name string) (File, error)
+	// OpenRead opens name for reading.
+	OpenRead(name string) (io.ReadCloser, error)
+	// ReadDir returns the file names (not paths) in dir, sorted.
+	ReadDir(dir string) ([]string, error)
+	// Remove deletes name; removing an absent file is an error (callers
+	// that tolerate absence check os.IsNotExist themselves).
+	Remove(name string) error
+	// Rename atomically replaces newname with oldname.
+	Rename(oldname, newname string) error
+	// Truncate cuts name to size bytes.
+	Truncate(name string, size int64) error
+	// SyncDir fsyncs the directory entry list, making renames and
+	// removals in dir durable.
+	SyncDir(dir string) error
+}
+
+// File is a writable log file.
+type File interface {
+	io.Writer
+	// Sync flushes written bytes to stable storage.
+	Sync() error
+	// Close releases the handle (without an implicit Sync).
+	Close() error
+}
+
+// OSFS is the production FS: plain os calls.
+type OSFS struct{}
+
+// MkdirAll implements FS.
+func (OSFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+// Create implements FS.
+func (OSFS) Create(name string) (File, error) {
+	return os.OpenFile(name, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+}
+
+// OpenRead implements FS.
+func (OSFS) OpenRead(name string) (io.ReadCloser, error) { return os.Open(name) }
+
+// ReadDir implements FS.
+func (OSFS) ReadDir(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Remove implements FS.
+func (OSFS) Remove(name string) error { return os.Remove(name) }
+
+// Rename implements FS.
+func (OSFS) Rename(oldname, newname string) error { return os.Rename(oldname, newname) }
+
+// Truncate implements FS.
+func (OSFS) Truncate(name string, size int64) error { return os.Truncate(name, size) }
+
+// SyncDir implements FS: without it a crash can lose the *names* of
+// freshly renamed files even though their contents were fsynced.
+func (OSFS) SyncDir(dir string) error {
+	d, err := os.Open(filepath.Clean(dir))
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

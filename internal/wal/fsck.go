@@ -1,0 +1,189 @@
+package wal
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"path/filepath"
+	"sort"
+)
+
+// Report is what an offline walk of a WAL directory found. It is the
+// payload of `placemon fsck` and the audit endpoint's chain block.
+type Report struct {
+	Dir         string         `json:"dir,omitempty"`
+	HasSnapshot bool           `json:"has_snapshot"`
+	SnapshotSeq uint64         `json:"snapshot_seq"`
+	Segments    int            `json:"segments"`
+	Records     int            `json:"records"`
+	FirstSeq    uint64         `json:"first_seq"`
+	LastSeq     uint64         `json:"last_seq"`
+	ChainHead   string         `json:"chain_head"`
+	TypeCounts  map[string]int `json:"type_counts"`
+	// Torn reports a torn final record (an interrupted append, not
+	// tampering); Repaired is set when -repair truncated it.
+	Torn        bool   `json:"torn"`
+	TornSegment string `json:"torn_segment,omitempty"`
+	TornOffset  int64  `json:"torn_offset,omitempty"`
+	Repaired    bool   `json:"repaired,omitempty"`
+	// Stale counts files superseded by the newest snapshot (left behind
+	// by an interrupted compaction; harmless, cleaned at next open).
+	Stale int `json:"stale,omitempty"`
+}
+
+// Check walks the WAL in dir offline — snapshot integrity, every record's
+// CRC, the full hash chain — and returns the report. A torn final record
+// is reported (and truncated when repair is set) but is not an error;
+// corruption of fully present bytes is. The returned report is valid even
+// when err != nil, describing what was verified before the failure.
+func Check(dir string, repair bool) (*Report, error) {
+	return check(dir, OSFS{}, repair, nil)
+}
+
+func check(dir string, fs FS, repair bool, logger *slog.Logger) (*Report, error) {
+	rep := &Report{Dir: dir, TypeCounts: map[string]int{}}
+	names, err := fs.ReadDir(dir)
+	if err != nil {
+		return rep, fmt.Errorf("wal: read dir: %w", err)
+	}
+	var snaps, segs []uint64
+	for _, name := range names {
+		if n, ok := parseSeqName(name, snapExt); ok {
+			snaps = append(snaps, n)
+		} else if n, ok := parseSeqName(name, segExt); ok {
+			segs = append(segs, n)
+		}
+	}
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i] < snaps[j] })
+	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
+
+	var chain [HashSize]byte
+	var seq uint64
+	if len(snaps) > 0 {
+		newest := snaps[len(snaps)-1]
+		rep.Stale += len(snaps) - 1
+		name := snapName(newest)
+		data, err := readAll(fs, filepath.Join(dir, name))
+		if err != nil {
+			return rep, fmt.Errorf("wal: read snapshot %s: %w", name, err)
+		}
+		var snap snapshotFile
+		if err := json.Unmarshal(data, &snap); err != nil {
+			return rep, fmt.Errorf("wal: snapshot %s: %w", name, err)
+		}
+		if snap.Version != 1 {
+			return rep, fmt.Errorf("wal: snapshot %s: unsupported version %d", name, snap.Version)
+		}
+		if snap.Seq != newest {
+			return rep, fmt.Errorf("wal: snapshot %s claims seq %d", name, snap.Seq)
+		}
+		sum := sha256.Sum256(snap.State)
+		if got := hex.EncodeToString(sum[:]); got != snap.StateSum {
+			return rep, fmt.Errorf("wal: snapshot %s: state checksum mismatch", name)
+		}
+		ch, err := hex.DecodeString(snap.Chain)
+		if err != nil || len(ch) != HashSize {
+			return rep, fmt.Errorf("wal: snapshot %s: malformed chain head", name)
+		}
+		copy(chain[:], ch)
+		rep.HasSnapshot = true
+		rep.SnapshotSeq = snap.Seq
+		seq = snap.Seq
+	}
+
+	live := segs[:0]
+	for _, start := range segs {
+		if start <= rep.SnapshotSeq && rep.HasSnapshot {
+			rep.Stale++
+			continue
+		}
+		live = append(live, start)
+	}
+	for i, start := range live {
+		name := segName(start)
+		path := filepath.Join(dir, name)
+		if start != seq+1 {
+			return rep, fmt.Errorf("wal: segment %s starts at %d where %d expected (missing segment?)",
+				name, start, seq+1)
+		}
+		data, err := readAll(fs, path)
+		if err != nil {
+			return rep, fmt.Errorf("wal: read segment %s: %w", name, err)
+		}
+		rep.Segments++
+		last := i == len(live)-1
+		var off, batchStart int64
+		var pending []Record
+		tentSeq, tentChain := seq, chain
+		// torn marks a truncation point: a frame cut mid-write, or an
+		// atomic batch missing its terminator — either way the log is
+		// valid up to batchStart and the tail past it must go.
+		torn := func(cut int64) error {
+			rep.Torn = true
+			rep.TornSegment = name
+			rep.TornOffset = cut
+			if !repair {
+				return nil
+			}
+			if terr := fs.Truncate(path, cut); terr != nil {
+				return fmt.Errorf("wal: repair %s: %w", name, terr)
+			}
+			rep.Repaired = true
+			if logger != nil {
+				logger.Warn("wal: fsck truncated torn tail", "segment", name, "offset", cut)
+			}
+			return nil
+		}
+		for {
+			if len(pending) == 0 {
+				batchStart = off
+			}
+			r, next, ok, derr := decodeRecord(data, off)
+			if derr != nil {
+				de := derr.(*decodeErr)
+				if last && de.torn {
+					if terr := torn(batchStart); terr != nil {
+						return rep, terr
+					}
+					break
+				}
+				return rep, fmt.Errorf("wal: segment %s: %w", name, derr)
+			}
+			if !ok {
+				if len(pending) == 0 {
+					break
+				}
+				if !last {
+					return rep, fmt.Errorf("wal: segment %s: atomic batch at offset %d has no terminator",
+						name, batchStart)
+				}
+				if terr := torn(batchStart); terr != nil {
+					return rep, terr
+				}
+				break
+			}
+			if cerr := verifyChain(tentChain, tentSeq+1, r, off); cerr != nil {
+				return rep, fmt.Errorf("wal: segment %s: %w", name, cerr)
+			}
+			tentSeq, tentChain = r.Seq, r.Hash
+			pending = append(pending, r)
+			if !r.cont {
+				for _, p := range pending {
+					if rep.Records == 0 {
+						rep.FirstSeq = p.Seq
+					}
+					rep.Records++
+					rep.TypeCounts[TypeName(p.Type)]++
+				}
+				pending = pending[:0]
+				seq, chain = tentSeq, tentChain
+			}
+			off = next
+		}
+	}
+	rep.LastSeq = seq
+	rep.ChainHead = hex.EncodeToString(chain[:])
+	return rep, nil
+}

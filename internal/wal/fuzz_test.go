@@ -1,0 +1,83 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzWALDecode throws arbitrary bytes — truncations, bit flips, and
+// length-prefix lies included — at the record decoder and the segment
+// scanner. Neither may panic, over-read, loop forever, or accept a frame
+// whose CRC does not hold.
+func FuzzWALDecode(f *testing.F) {
+	// Seed with real frames and mutations of them.
+	var chain [HashSize]byte
+	buf, h1 := appendRecord(nil, chain, 1, TypeObservations, true, []byte("seed payload"))
+	buf, _ = appendRecord(buf, h1, 2, TypeDiagnosis, false, []byte("second"))
+	f.Add(buf)
+	f.Add(buf[:len(buf)-3])               // torn tail
+	f.Add(buf[:3])                        // partial length prefix
+	f.Add([]byte{})                       // empty
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff}) // length-prefix lie: 4 GiB
+	lie := make([]byte, 8)
+	binary.LittleEndian.PutUint32(lie, uint32(bodyMin+MaxPayload+1))
+	f.Add(lie) // just over the payload cap
+	flip := append([]byte(nil), buf...)
+	flip[10] ^= 0x01
+	f.Add(flip)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var off int64
+		seen := 0
+		for {
+			r, next, ok, err := decodeRecord(data, off)
+			if err != nil {
+				de, isDecode := err.(*decodeErr)
+				if !isDecode {
+					t.Fatalf("non-decodeErr error: %v", err)
+				}
+				if de.offset != off {
+					t.Fatalf("error offset %d, decode started at %d", de.offset, off)
+				}
+				return
+			}
+			if !ok {
+				if off != int64(len(data)) {
+					t.Fatalf("clean end at %d with %d bytes left", off, int64(len(data))-off)
+				}
+				return
+			}
+			if next <= off || next > int64(len(data)) {
+				t.Fatalf("decoder stepped from %d to %d (len %d)", off, next, len(data))
+			}
+			// An accepted frame must survive re-encoding: same bytes, same
+			// CRC discipline.
+			re, _ := appendRecord(nil, [HashSize]byte{}, r.Seq, r.Type, r.cont, r.Payload)
+			// Only the body-before-hash is comparable (the stored hash is
+			// arbitrary attacker data until verifyChain runs); check the
+			// frame's length bookkeeping instead of full equality.
+			if int64(len(re)) != next-off {
+				t.Fatalf("frame length %d re-encodes to %d", next-off, len(re))
+			}
+			// Payload must be a copy, not an alias into data.
+			if len(r.Payload) > 0 {
+				orig := append([]byte(nil), r.Payload...)
+				for i := range data {
+					data[i] ^= 0xff
+				}
+				if !bytes.Equal(r.Payload, orig) {
+					t.Fatal("decoded payload aliases input buffer")
+				}
+				for i := range data {
+					data[i] ^= 0xff
+				}
+			}
+			seen++
+			if seen > len(data) {
+				t.Fatal("decoded more records than input bytes")
+			}
+			off = next
+		}
+	})
+}

@@ -1,0 +1,208 @@
+package wal
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// Record types. The WAL itself treats payloads as opaque; the constants
+// live here so the serving layer and the offline fsck report agree on
+// names without importing each other.
+const (
+	// TypeScenarioCreate carries a scenario ID plus its spec document.
+	TypeScenarioCreate byte = 1
+	// TypeScenarioDelete carries a scenario ID.
+	TypeScenarioDelete byte = 2
+	// TypeObservations carries one accepted observation batch (the
+	// pre-apply inputs; replaying them through the monitor regenerates
+	// the response bytes, so dedup replays stay byte-exact).
+	TypeObservations byte = 3
+	// TypeDiagnosis carries one emitted monitoring event — the
+	// tamper-evident audit record of a localization decision.
+	TypeDiagnosis byte = 4
+)
+
+// TypeName renders a record type for reports and logs.
+func TypeName(t byte) string {
+	switch t {
+	case TypeScenarioCreate:
+		return "scenario-create"
+	case TypeScenarioDelete:
+		return "scenario-delete"
+	case TypeObservations:
+		return "observations"
+	case TypeDiagnosis:
+		return "diagnosis"
+	default:
+		return fmt.Sprintf("type-%d", t)
+	}
+}
+
+// HashSize is the size of the chain hash carried by every record.
+const HashSize = sha256.Size
+
+// MaxPayload bounds one record's payload; a length prefix claiming more
+// is a lie (bit flip or foreign file), not a huge record.
+const MaxPayload = 8 << 20
+
+// Wire format of one record ("frame"):
+//
+//	[4] body length N, little endian
+//	[N] body = [8] seq LE | [1] type | [1] flags | payload | [32] chain hash
+//	[4] CRC32C (Castagnoli) over the body
+//
+// The chain hash is SHA-256(prev record's chain hash || seq LE || type ||
+// flags || payload); the first record chains from 32 zero bytes (or,
+// after compaction, from the snapshot's recorded head). The CRC detects
+// corruption record-locally; the chain makes the whole history
+// tamper-evident — flipping any bit (payload or hash) breaks every later
+// link.
+//
+// The flags byte frames atomic batches: flagContinues marks a record
+// whose AppendBatch group continues with the next record, so recovery
+// can truncate an interrupted append at the batch boundary — either the
+// whole group survives or none of it does. A batch never spans segments.
+const (
+	frameHeader = 4
+	bodyMin     = 8 + 1 + 1 + HashSize
+	frameCRC    = 4
+
+	// flagContinues marks a non-final record of an atomic batch.
+	flagContinues = 0x01
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Record is one decoded WAL entry.
+type Record struct {
+	Seq     uint64
+	Type    byte
+	Payload []byte
+	Hash    [HashSize]byte
+	// cont marks a non-final record of an atomic batch (flagContinues).
+	cont bool
+}
+
+// chainHash computes the record hash linking payload to prev.
+func chainHash(prev [HashSize]byte, seq uint64, typ, flags byte, payload []byte) [HashSize]byte {
+	h := sha256.New()
+	h.Write(prev[:])
+	var seqBuf [8]byte
+	binary.LittleEndian.PutUint64(seqBuf[:], seq)
+	h.Write(seqBuf[:])
+	h.Write([]byte{typ, flags})
+	h.Write(payload)
+	var out [HashSize]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// appendRecord encodes one record onto buf and returns the extended
+// buffer plus the record's chain hash. cont marks a non-final record of
+// an atomic batch.
+func appendRecord(buf []byte, prev [HashSize]byte, seq uint64, typ byte, cont bool, payload []byte) ([]byte, [HashSize]byte) {
+	var flags byte
+	if cont {
+		flags = flagContinues
+	}
+	hash := chainHash(prev, seq, typ, flags, payload)
+	bodyLen := bodyMin + len(payload)
+	var lenBuf [frameHeader]byte
+	binary.LittleEndian.PutUint32(lenBuf[:], uint32(bodyLen))
+	buf = append(buf, lenBuf[:]...)
+	bodyStart := len(buf)
+	var seqBuf [8]byte
+	binary.LittleEndian.PutUint64(seqBuf[:], seq)
+	buf = append(buf, seqBuf[:]...)
+	buf = append(buf, typ, flags)
+	buf = append(buf, payload...)
+	buf = append(buf, hash[:]...)
+	crc := crc32.Checksum(buf[bodyStart:], castagnoli)
+	var crcBuf [frameCRC]byte
+	binary.LittleEndian.PutUint32(crcBuf[:], crc)
+	return append(buf, crcBuf[:]...), hash
+}
+
+// decodeErr classifies a decode failure: torn means the frame runs past
+// the end of the data (the signature of an interrupted append — every
+// byte present is a prefix of what the writer intended), anything else is
+// corruption of fully present bytes.
+type decodeErr struct {
+	offset int64
+	torn   bool
+	reason string
+}
+
+func (e *decodeErr) Error() string {
+	kind := "corrupt record"
+	if e.torn {
+		kind = "torn record"
+	}
+	return fmt.Sprintf("wal: %s at offset %d: %s", kind, e.offset, e.reason)
+}
+
+// decodeRecord decodes the record starting at data[off:]. It returns the
+// record and the offset just past its frame. A nil error with ok=false
+// means a clean end of data (off == len(data)); otherwise err is a
+// *decodeErr.
+func decodeRecord(data []byte, off int64) (rec Record, next int64, ok bool, err error) {
+	rest := data[off:]
+	if len(rest) == 0 {
+		return rec, off, false, nil
+	}
+	if len(rest) < frameHeader {
+		return rec, off, false, &decodeErr{offset: off, torn: true,
+			reason: fmt.Sprintf("%d-byte partial length prefix", len(rest))}
+	}
+	bodyLen := binary.LittleEndian.Uint32(rest)
+	if bodyLen < bodyMin {
+		return rec, off, false, &decodeErr{offset: off,
+			reason: fmt.Sprintf("body length %d below record minimum %d", bodyLen, bodyMin)}
+	}
+	if bodyLen > bodyMin+MaxPayload {
+		return rec, off, false, &decodeErr{offset: off,
+			reason: fmt.Sprintf("body length %d exceeds payload cap", bodyLen)}
+	}
+	frameLen := int64(frameHeader) + int64(bodyLen) + frameCRC
+	if int64(len(rest)) < frameLen {
+		return rec, off, false, &decodeErr{offset: off, torn: true,
+			reason: fmt.Sprintf("frame needs %d bytes, %d present", frameLen, len(rest))}
+	}
+	body := rest[frameHeader : frameHeader+bodyLen]
+	wantCRC := binary.LittleEndian.Uint32(rest[frameHeader+bodyLen:])
+	if crc := crc32.Checksum(body, castagnoli); crc != wantCRC {
+		return rec, off, false, &decodeErr{offset: off,
+			reason: fmt.Sprintf("CRC mismatch (stored %08x, computed %08x)", wantCRC, crc)}
+	}
+	rec.Seq = binary.LittleEndian.Uint64(body)
+	rec.Type = body[8]
+	flags := body[9]
+	if flags&^flagContinues != 0 {
+		return rec, off, false, &decodeErr{offset: off,
+			reason: fmt.Sprintf("unknown flag bits %02x", flags&^flagContinues)}
+	}
+	rec.cont = flags&flagContinues != 0
+	rec.Payload = append([]byte(nil), body[10:len(body)-HashSize]...)
+	copy(rec.Hash[:], body[len(body)-HashSize:])
+	return rec, off + frameLen, true, nil
+}
+
+// verifyChain checks that rec extends the chain ending in prev; it
+// returns the error to surface (nil when the link holds).
+func verifyChain(prev [HashSize]byte, wantSeq uint64, rec Record, off int64) error {
+	if rec.Seq != wantSeq {
+		return &decodeErr{offset: off,
+			reason: fmt.Sprintf("sequence gap: record %d where %d expected", rec.Seq, wantSeq)}
+	}
+	var flags byte
+	if rec.cont {
+		flags = flagContinues
+	}
+	if want := chainHash(prev, rec.Seq, rec.Type, flags, rec.Payload); want != rec.Hash {
+		return &decodeErr{offset: off,
+			reason: fmt.Sprintf("hash chain broken at record %d", rec.Seq)}
+	}
+	return nil
+}

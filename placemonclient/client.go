@@ -43,6 +43,12 @@ import (
 // network; retry after the cooldown or inspect the server out of band.
 var ErrCircuitOpen = errors.New("placemonclient: circuit breaker open")
 
+// ErrReadOnly means the daemon refused the mutation because a WAL write
+// failure froze it read-only (503 with Placemond-Read-Only). The mode is
+// sticky until an operator restarts the daemon, so the client does not
+// retry: the failure is permanent for this process lifetime.
+var ErrReadOnly = errors.New("placemonclient: daemon is read-only (WAL unavailable)")
+
 // APIError is a non-2xx answer from the server, with the decoded error
 // envelope when one was present.
 type APIError struct {
@@ -445,6 +451,13 @@ func (c *Client) attempt(ctx context.Context, method, path, traceID string, body
 			}
 		}
 		return resp.Header, false, 0, nil
+	case resp.StatusCode == http.StatusServiceUnavailable &&
+		resp.Header.Get("Placemond-Read-Only") == "true":
+		// Deliberate, sticky degradation — not an outage: the daemon is
+		// alive (breaker success) but refuses mutations until restarted,
+		// so retrying this call is wasted work.
+		c.breakerSuccess()
+		return nil, false, 0, fmt.Errorf("%w: %w", ErrReadOnly, apiError(resp))
 	case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode >= 500:
 		c.breakerFailure()
 		ra := parseRetryAfter(resp.Header.Get("Retry-After"))

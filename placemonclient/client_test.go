@@ -370,3 +370,32 @@ func TestBackoffCapsAndJitter(t *testing.T) {
 		t.Fatalf("Retry-After cap: wait = %v, want MaxRetryAfter 50ms", w)
 	}
 }
+
+// TestReadOnlyNotRetried: a 503 carrying Placemond-Read-Only (the
+// daemon's WAL failed; the condition is sticky until an operator
+// intervenes) is surfaced as ErrReadOnly after a single attempt instead
+// of being burned through the retry budget like a transient 503.
+func TestReadOnlyNotRetried(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.Header().Set("Placemond-Read-Only", "true")
+		http.Error(w, `{"error":"daemon is read-only: WAL unavailable"}`, http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+
+	c := newTestClient(t, ts.URL, nil)
+	_, err := c.ReportObservations(context.Background(), ObservationBatch{
+		Reports: []Report{{Connection: 0, Up: true}},
+	})
+	if !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("want ErrReadOnly, got %v", err)
+	}
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusServiceUnavailable {
+		t.Fatalf("APIError not preserved in chain: %v", err)
+	}
+	if n := hits.Load(); n != 1 {
+		t.Fatalf("read-only 503 retried: %d attempts", n)
+	}
+}

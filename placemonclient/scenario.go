@@ -108,6 +108,55 @@ func (sc *ScenarioClient) Info(ctx context.Context) (*ScenarioInfo, error) {
 	return &out, nil
 }
 
+// AuditEvent is one row of a scenario's diagnosis audit ledger: the
+// emitted event pinned to its write-ahead-log record (sequence number
+// and tamper-evident chain hash).
+type AuditEvent struct {
+	Seq       uint64     `json:"seq"`
+	Hash      string     `json:"hash"`
+	Time      float64    `json:"time"`
+	Kind      string     `json:"kind"`
+	Diagnosis *Diagnosis `json:"diagnosis,omitempty"`
+}
+
+// AuditChain is the server's fresh verification walk of its log: when
+// Verified is false, Error says what broke and where.
+type AuditChain struct {
+	Verified    bool   `json:"verified"`
+	HeadSeq     uint64 `json:"head_seq"`
+	HeadHash    string `json:"head_hash"`
+	Records     int    `json:"records"`
+	Segments    int    `json:"segments"`
+	SnapshotSeq uint64 `json:"snapshot_seq"`
+	Torn        bool   `json:"torn,omitempty"`
+	Error       string `json:"error,omitempty"`
+}
+
+// AuditReport is GET /v1/scenarios/{id}/audit: the retained diagnosis
+// events plus the chain-verification block.
+type AuditReport struct {
+	Scenario    string       `json:"scenario"`
+	TotalEvents int          `json:"total_events"`
+	Events      []AuditEvent `json:"events"`
+	Chain       AuditChain   `json:"chain"`
+}
+
+// Audit fetches the scenario's hash-chained diagnosis audit ledger.
+// limit > 0 caps the returned events to the newest limit; 0 returns the
+// whole retained tail. Requires a WAL-backed daemon (-wal-dir); others
+// answer 501, surfaced as an APIError.
+func (sc *ScenarioClient) Audit(ctx context.Context, limit int) (*AuditReport, error) {
+	path := sc.prefix + "/audit"
+	if limit > 0 {
+		path += fmt.Sprintf("?limit=%d", limit)
+	}
+	var out AuditReport
+	if _, err := sc.c.do(ctx, http.MethodGet, path, nil, &out); err != nil {
+		return nil, scenarioErr(sc.id, err)
+	}
+	return &out, nil
+}
+
 // --- scenario administration on the parent client ---
 
 // CreateScenario registers a scenario from its JSON document (the

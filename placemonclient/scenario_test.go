@@ -111,3 +111,55 @@ func TestScenarioAdminCalls(t *testing.T) {
 		t.Fatalf("list = %+v", list)
 	}
 }
+
+// TestScenarioAuditRoute: Audit hits /v1/scenarios/{id}/audit with the
+// limit query, decodes the ledger, and surfaces a non-WAL daemon's 501
+// as an APIError.
+func TestScenarioAuditRoute(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet || r.URL.Path != "/v1/scenarios/alpha/audit" {
+			t.Errorf("unexpected call %s %s", r.Method, r.URL.Path)
+			w.WriteHeader(http.StatusTeapot)
+			return
+		}
+		if got := r.URL.Query().Get("limit"); got != "5" {
+			t.Errorf("limit query = %q, want 5", got)
+		}
+		json.NewEncoder(w).Encode(AuditReport{
+			Scenario:    "alpha",
+			TotalEvents: 2,
+			Events: []AuditEvent{
+				{Seq: 7, Hash: "aa11", Time: 1.5, Kind: "diagnosis"},
+				{Seq: 9, Hash: "bb22", Time: 2.5, Kind: "diagnosis"},
+			},
+			Chain: AuditChain{Verified: true, HeadSeq: 9, HeadHash: "bb22", Records: 9, Segments: 1},
+		})
+	}))
+	defer ts.Close()
+
+	c := newTestClient(t, ts.URL, nil)
+	rep, err := c.Scenario("alpha").Audit(context.Background(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Scenario != "alpha" || rep.TotalEvents != 2 || len(rep.Events) != 2 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if rep.Events[1].Seq != 9 || rep.Events[1].Hash != "bb22" {
+		t.Fatalf("events = %+v", rep.Events)
+	}
+	if !rep.Chain.Verified || rep.Chain.HeadSeq != 9 {
+		t.Fatalf("chain = %+v", rep.Chain)
+	}
+
+	notWAL := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"audit requires -wal-dir"}`, http.StatusNotImplemented)
+	}))
+	defer notWAL.Close()
+	c2 := newTestClient(t, notWAL.URL, nil)
+	_, err = c2.Scenario("alpha").Audit(context.Background(), 0)
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusNotImplemented {
+		t.Fatalf("want 501 APIError, got %v", err)
+	}
+}

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/registry"
 	"repro/internal/server"
+	"repro/internal/wal"
 )
 
 // This file is the multi-tenant side of the serving facade: a
@@ -162,6 +163,21 @@ func (cfg ServerConfig) innerConfig() (server.Config, error) {
 		MaxScenarios:       cfg.MaxScenarios,
 		TenantSeriesCap:    cfg.TenantSeriesCap,
 		MaxJobsPerScenario: cfg.MaxJobsPerScenario,
+	}
+	if cfg.WALDir != "" && cfg.ScenarioDir != "" {
+		return sc, fmt.Errorf("placemon: WALDir and ScenarioDir are mutually exclusive (the WAL subsumes the scenario store)")
+	}
+	if cfg.WALDir != "" {
+		mode, err := wal.ParseSyncMode(cfg.WALSync)
+		if err != nil {
+			return sc, fmt.Errorf("placemon: %w", err)
+		}
+		sc.WAL = &server.WALConfig{
+			Dir:          cfg.WALDir,
+			Sync:         mode,
+			SegmentBytes: cfg.WALSegmentBytes,
+		}
+		return sc, nil
 	}
 	if cfg.ScenarioDir != "" {
 		store, err := registry.NewFileStore(cfg.ScenarioDir)

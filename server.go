@@ -59,8 +59,25 @@ type ServerConfig struct {
 	// ScenarioDir, when non-empty, persists scenario documents as files
 	// under this directory (created if missing): every created scenario is
 	// snapshotted on write and reloaded at the next boot. Empty keeps
-	// scenarios in memory for the process lifetime only.
+	// scenarios in memory for the process lifetime only. Mutually
+	// exclusive with WALDir, which subsumes it.
 	ScenarioDir string
+	// WALDir, when non-empty, persists the daemon's full mutable state —
+	// scenarios, monitoring state, dedup windows, the diagnosis audit
+	// ledger — through a write-ahead log under this directory: every
+	// mutation is durable before its HTTP response is acknowledged, and
+	// boot replays snapshot + log tail. A WAL write failure flips the
+	// daemon read-only (503 + Placemond-Read-Only) instead of crashing
+	// it. Mutually exclusive with ScenarioDir.
+	WALDir string
+	// WALSync is the append durability policy: "always" (default; fsync
+	// per acknowledged mutation), "group" (group commit: concurrent
+	// writers share one fsync), or "none" (fsync only on rotation and
+	// shutdown).
+	WALSync string
+	// WALSegmentBytes overrides the log's segment rotation threshold
+	// (default 4 MiB, minimum 4 KiB).
+	WALSegmentBytes int64
 	// MaxScenarios caps concurrently hosted scenarios (default 64).
 	MaxScenarios int
 	// TenantSeriesCap caps tenant-labeled metric cardinality: the first
@@ -214,9 +231,26 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	return s.inner.Serve(ctx, ln)
 }
 
-// Close releases the worker pool without serving; required if the Server
-// is used via Handler alone. Idempotent, and implied by Serve returning.
-func (s *Server) Close() { s.inner.Close() }
+// Close releases the worker pool without serving and, when the daemon
+// persists state (WALDir or ScenarioDir), writes the final snapshot; a
+// non-nil error means that snapshot failed and the daemon should exit
+// non-zero. Idempotent, and implied by Serve returning.
+func (s *Server) Close() error { return s.inner.Close() }
+
+// Abort releases resources without the final fsync or snapshot — the
+// emergency-shutdown path. State durability is whatever the WAL sync
+// policy already provided.
+func (s *Server) Abort() { s.inner.Abort() }
+
+// ReadOnly reports whether a WAL write failure has frozen mutations
+// (mutating requests answer 503 with Placemond-Read-Only until restart).
+func (s *Server) ReadOnly() bool { return s.inner.ReadOnly() }
+
+// StateExport returns the daemon's replayable state as deterministic
+// JSON — the same document WAL compaction folds into snapshots. Two
+// servers that ingested the same operation stream export identical
+// bytes; crash harnesses lean on that.
+func (s *Server) StateExport() ([]byte, error) { return s.inner.StateExport() }
 
 // WriteMetrics renders the server's metrics in the Prometheus text
 // exposition format (the same payload GET /metrics serves).

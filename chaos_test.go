@@ -135,7 +135,7 @@ func runScenario(t *testing.T, c *placemonclient.Client, sc *chaosScenario) []pl
 // chaosServer stands a placemond up behind a fault-injecting listener and
 // returns its base URL plus a shutdown func that cancels Serve and
 // reports its error.
-func chaosServer(t *testing.T, sc *chaosScenario, inj *faultinject.Injector) (string, func() error) {
+func chaosServer(t *testing.T, sc *chaosScenario, inj *faultinject.Injector) (*placemon.Server, string, func() error) {
 	t.Helper()
 	srv, err := placemon.NewServer(sc.nw, sc.doc, placemon.ServerConfig{
 		RequestTimeout: 10 * time.Second,
@@ -161,7 +161,7 @@ func chaosServer(t *testing.T, sc *chaosScenario, inj *faultinject.Injector) (st
 			return nil
 		}
 	}
-	return "http://" + ln.Addr().String(), shutdown
+	return srv, "http://" + ln.Addr().String(), shutdown
 }
 
 func retryingClient(t *testing.T, url string, inj *faultinject.Injector, maxAttempts int) *placemonclient.Client {
@@ -220,9 +220,19 @@ func TestChaosSoak(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	url, shutdown := chaosServer(t, sc, inj)
+	srv, url, shutdown := chaosServer(t, sc, inj)
 	client := retryingClient(t, url, inj, 12)
 	got := runScenario(t, client, sc)
+
+	// The tentpole invariant under hostile delivery: the incremental
+	// rolling diagnosis is still bit-identical to a from-scratch
+	// recompute after the whole fault-laden timeline.
+	if err := srv.VerifyIncremental(); err != nil {
+		t.Fatalf("incremental diagnosis diverged after chaos run: %v", err)
+	}
+	if err := refSrv.VerifyIncremental(); err != nil {
+		t.Fatalf("incremental diagnosis diverged on the fault-free reference: %v", err)
+	}
 
 	if !reflect.DeepEqual(got, want) {
 		t.Fatalf("chaos event stream diverged from fault-free run:\n got %d events: %+v\nwant %d events: %+v",
@@ -312,7 +322,7 @@ func TestChaosSoak(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	url2, shutdown2 := chaosServer(t, sc, injNoRetry)
+	_, url2, shutdown2 := chaosServer(t, sc, injNoRetry)
 	naive := retryingClient(t, url2, injNoRetry, 1)
 	var gotNaive []placemonclient.Event
 	lost := 0
@@ -395,6 +405,12 @@ func TestChaosSoakHardRestart(t *testing.T) {
 		lastAck = res
 	}
 
+	// Before the kill, the first life's incremental diagnosis must still
+	// match a from-scratch recompute.
+	if err := srv1.VerifyIncremental(); err != nil {
+		t.Fatalf("incremental diagnosis diverged before the crash: %v", err)
+	}
+
 	// Hard kill: no drain, no final snapshot. Recovery has only the
 	// snapshotless log tail to work from.
 	srv1.Abort()
@@ -458,6 +474,13 @@ func TestChaosSoakHardRestart(t *testing.T) {
 	}
 	if !found {
 		t.Fatalf("failed node %d not among candidates %v", sc.lastFail, diag.Diagnosis.Candidates)
+	}
+
+	// The recovered server rebuilt its incremental state from the log
+	// tail and then absorbed the second half of the timeline; it too must
+	// agree with a from-scratch recompute.
+	if err := srv2.VerifyIncremental(); err != nil {
+		t.Fatalf("incremental diagnosis diverged after log-tail recovery: %v", err)
 	}
 
 	// Graceful close snapshots; the log must fsck clean afterwards.

@@ -25,6 +25,12 @@
 // CI can gate merges on archived baselines:
 //
 //	go test -run NONE -bench=Registry . | go run ./cmd/benchjson -compare BENCH_seed.json -fail-over 10
+//
+// -fail-allocs-over N is the same gate for the allocs/op column (both
+// snapshots must carry -benchmem data for it to see anything), guarding
+// allocation-reduction work against silent backsliding:
+//
+//	go test -run NONE -bench=Registry -benchmem . | go run ./cmd/benchjson -compare BENCH_streaming.json -fail-allocs-over 10
 package main
 
 import (
@@ -73,19 +79,23 @@ type Benchmark struct {
 func main() {
 	compare := flag.String("compare", "", "baseline snapshot JSON; diff against a second snapshot file or stdin bench text")
 	failOver := flag.Float64("fail-over", 0, "with -compare: exit non-zero if any shared benchmark's ns/op regressed by more than this percentage (0 disables)")
+	failAllocsOver := flag.Float64("fail-allocs-over", 0, "with -compare: exit non-zero if any shared benchmark's allocs/op regressed by more than this percentage (0 disables)")
 	flag.Parse()
-	if err := run(*compare, *failOver, flag.Args(), os.Stdin, os.Stdout, os.Stderr); err != nil {
+	if err := run(*compare, *failOver, *failAllocsOver, flag.Args(), os.Stdin, os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
 }
 
-func run(compare string, failOver float64, args []string, stdin io.Reader, stdout, stderr io.Writer) error {
-	if failOver != 0 && compare == "" {
-		return fmt.Errorf("-fail-over needs -compare")
+func run(compare string, failOver, failAllocsOver float64, args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+	if (failOver != 0 || failAllocsOver != 0) && compare == "" {
+		return fmt.Errorf("-fail-over and -fail-allocs-over need -compare")
 	}
 	if failOver < 0 {
 		return fmt.Errorf("-fail-over must be non-negative, got %v", failOver)
+	}
+	if failAllocsOver < 0 {
+		return fmt.Errorf("-fail-allocs-over must be non-negative, got %v", failAllocsOver)
 	}
 	if compare == "" {
 		sum, err := parse(stdin, time.Now())
@@ -112,13 +122,17 @@ func run(compare string, failOver float64, args []string, stdin io.Reader, stdou
 	} else if cand, err = parse(stdin, time.Now()); err != nil {
 		return err
 	}
-	shared, regressed := compareSummaries(stdout, base, cand, failOver)
+	shared, regressed, allocRegressed := compareSummaries(stdout, base, cand, failOver, failAllocsOver)
 	if shared == 0 {
 		return fmt.Errorf("no benchmark names in common between the two snapshots")
 	}
 	if len(regressed) > 0 {
 		return fmt.Errorf("%d benchmark(s) regressed more than %v%% in ns/op: %s",
 			len(regressed), failOver, strings.Join(regressed, ", "))
+	}
+	if len(allocRegressed) > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed more than %v%% in allocs/op: %s",
+			len(allocRegressed), failAllocsOver, strings.Join(allocRegressed, ", "))
 	}
 	return nil
 }
@@ -150,17 +164,18 @@ func readSummary(path string) (*Summary, error) {
 // compareSummaries prints, for every benchmark name present in both
 // snapshots, each shared metric side by side with the relative change
 // (negative = the candidate improved). It returns the number of shared
-// benchmarks and — when failOver > 0 — the names whose ns/op regressed
-// past that percentage; names unique to one side are listed at the end
-// so a renamed benchmark is not mistaken for a regression-free run.
-func compareSummaries(w io.Writer, base, cand *Summary, failOver float64) (int, []string) {
+// benchmarks plus — when the corresponding gate is > 0 — the names whose
+// ns/op (failOver) or allocs/op (failAllocsOver) regressed past that
+// percentage; names unique to one side are listed at the end so a
+// renamed benchmark is not mistaken for a regression-free run.
+func compareSummaries(w io.Writer, base, cand *Summary, failOver, failAllocsOver float64) (int, []string, []string) {
 	old := make(map[string]Benchmark, len(base.Benchmarks))
 	for _, b := range base.Benchmarks {
 		old[b.Name] = b
 	}
 	fmt.Fprintf(w, "baseline %s vs candidate %s\n", base.Date, cand.Date)
 	shared := 0
-	var onlyNew, regressed []string
+	var onlyNew, regressed, allocRegressed []string
 	seen := map[string]bool{}
 	for _, nb := range cand.Benchmarks {
 		seen[nb.Name] = true
@@ -180,6 +195,10 @@ func compareSummaries(w io.Writer, base, cand *Summary, failOver float64) (int, 
 			100*(nb.NsPerOp-ob.NsPerOp)/ob.NsPerOp > failOver {
 			regressed = append(regressed, nb.Name)
 		}
+		oa, na := ob.Metrics["allocs/op"], nb.Metrics["allocs/op"]
+		if failAllocsOver > 0 && oa > 0 && 100*(na-oa)/oa > failAllocsOver {
+			allocRegressed = append(allocRegressed, nb.Name)
+		}
 	}
 	var onlyOld []string
 	for _, ob := range base.Benchmarks {
@@ -193,7 +212,7 @@ func compareSummaries(w io.Writer, base, cand *Summary, failOver float64) (int, 
 	for _, name := range onlyNew {
 		fmt.Fprintf(w, "only in candidate: %s\n", name)
 	}
-	return shared, regressed
+	return shared, regressed, allocRegressed
 }
 
 // sharedUnits returns the metric units both lines report, ns/op first

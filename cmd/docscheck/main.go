@@ -1,0 +1,307 @@
+// Command docscheck is the repo's documentation lint, run by
+// `make docs-check` and CI. It enforces three invariants that keep the
+// docs from drifting away from the code:
+//
+//  1. Godoc coverage — every non-test package has a package comment, and
+//     every exported package-level identifier (func, type, const, var)
+//     has a doc comment. Methods are exempt: the bulk of undocumented
+//     exported methods are small interface implementations (sort.Len,
+//     heap.Push, io.Read) whose contract lives on the interface.
+//
+//  2. Markdown links — every relative link in the user-facing markdown
+//     files must resolve to an existing file or directory, so a rename
+//     breaks CI instead of the reader.
+//
+//  3. Flag names — every `-flag`-shaped inline code span in those files
+//     must name a flag actually declared by one of the cmd/ binaries
+//     (or a well-known go-tool flag), so documentation of renamed or
+//     removed daemon flags goes stale loudly.
+//
+// Historical and vendored-in files (CHANGES.md, ISSUE.md, PAPER.md,
+// PAPERS.md, SNIPPETS.md) are exempt from the markdown checks: they
+// record what was true at the time of writing.
+//
+// Usage: docscheck [-root dir]. Exits non-zero listing every violation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// checkedMarkdown is the user-facing documentation subject to the link
+// and flag checks. Files not listed here (and any *.md outside the
+// list) are historical records, not living docs.
+var checkedMarkdown = []string{
+	"README.md",
+	"ARCHITECTURE.md",
+	"DESIGN.md",
+	"EXPERIMENTS.md",
+	"ROADMAP.md",
+}
+
+// goToolFlags are flags of the go toolchain itself (go test, go build)
+// that the docs legitimately mention without any cmd/ binary declaring
+// them.
+var goToolFlags = map[string]bool{
+	"bench": true, "benchmem": true, "benchtime": true, "count": true,
+	"cover": true, "coverprofile": true, "cpuprofile": true, "fuzz": true,
+	"fuzztime": true, "json": true, "list": true, "memprofile": true,
+	"race": true, "run": true, "short": true, "tags": true,
+	"timeout": true, "v": true,
+}
+
+func main() {
+	root := flag.String("root", ".", "repository root to lint")
+	flag.Parse()
+	problems, err := lint(*root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "docscheck:", err)
+		os.Exit(1)
+	}
+	for _, p := range problems {
+		fmt.Println(p)
+	}
+	if len(problems) > 0 {
+		fmt.Fprintf(os.Stderr, "docscheck: %d problem(s)\n", len(problems))
+		os.Exit(1)
+	}
+	fmt.Println("docscheck: ok")
+}
+
+// lint runs every check and returns the violations in deterministic
+// order.
+func lint(root string) ([]string, error) {
+	var problems []string
+	godoc, err := checkGodoc(root)
+	if err != nil {
+		return nil, err
+	}
+	problems = append(problems, godoc...)
+
+	flags, err := declaredFlags(root)
+	if err != nil {
+		return nil, err
+	}
+	md, err := checkMarkdown(root, flags)
+	if err != nil {
+		return nil, err
+	}
+	return append(problems, md...), nil
+}
+
+// checkGodoc walks every non-test .go file and reports packages without
+// a package comment and exported package-level identifiers without doc
+// comments.
+func checkGodoc(root string) ([]string, error) {
+	var problems []string
+	// pkgCommented tracks, per package directory, whether any file
+	// carries the package comment (doc.go usually does).
+	pkgCommented := map[string]bool{}
+	pkgFirstFile := map[string]string{}
+	err := filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if info.IsDir() {
+			name := info.Name()
+			if name == "testdata" || name == "results" || strings.HasPrefix(name, ".") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		dir := filepath.Dir(path)
+		if f.Doc != nil {
+			pkgCommented[dir] = true
+		} else if _, seen := pkgFirstFile[dir]; !seen {
+			pkgFirstFile[dir] = path
+		}
+		rel := relPath(root, path)
+		for _, d := range f.Decls {
+			switch decl := d.(type) {
+			case *ast.FuncDecl:
+				// Methods are exempt; see the package comment.
+				if decl.Recv == nil && decl.Name.IsExported() && decl.Doc == nil {
+					problems = append(problems,
+						fmt.Sprintf("%s:%d: exported func %s has no doc comment",
+							rel, fset.Position(decl.Pos()).Line, decl.Name.Name))
+				}
+			case *ast.GenDecl:
+				for _, spec := range decl.Specs {
+					switch sp := spec.(type) {
+					case *ast.TypeSpec:
+						if sp.Name.IsExported() && decl.Doc == nil && sp.Doc == nil {
+							problems = append(problems,
+								fmt.Sprintf("%s:%d: exported type %s has no doc comment",
+									rel, fset.Position(sp.Pos()).Line, sp.Name.Name))
+						}
+					case *ast.ValueSpec:
+						for _, n := range sp.Names {
+							if n.IsExported() && decl.Doc == nil && sp.Doc == nil && sp.Comment == nil {
+								problems = append(problems,
+									fmt.Sprintf("%s:%d: exported %s has no doc comment",
+										rel, fset.Position(n.Pos()).Line, n.Name))
+							}
+						}
+					}
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for dir, first := range pkgFirstFile {
+		if !pkgCommented[dir] {
+			problems = append(problems,
+				fmt.Sprintf("%s: package %s has no package comment",
+					relPath(root, first), filepath.Base(dir)))
+		}
+	}
+	sort.Strings(problems)
+	return problems, nil
+}
+
+// declaredFlags parses every cmd/ binary and collects the flag names it
+// registers: the first string-literal argument of any flag-registration
+// call (fs.StringVar(&v, "name", ...), flag.Int("name", ...), ...).
+func declaredFlags(root string) (map[string]bool, error) {
+	flags := map[string]bool{}
+	methods := map[string]bool{
+		"String": true, "StringVar": true, "Int": true, "IntVar": true,
+		"Bool": true, "BoolVar": true, "Duration": true, "DurationVar": true,
+		"Int64": true, "Int64Var": true, "Float64": true, "Float64Var": true,
+		"Uint": true, "UintVar": true, "Var": true, "Func": true,
+	}
+	cmdDir := filepath.Join(root, "cmd")
+	err := filepath.Walk(cmdDir, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, path, nil, 0)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !methods[sel.Sel.Name] {
+				return true
+			}
+			for _, arg := range call.Args {
+				if lit, ok := arg.(*ast.BasicLit); ok && lit.Kind == token.STRING {
+					name := strings.Trim(lit.Value, `"`)
+					if regexp.MustCompile(`^[a-z][a-z0-9-]*$`).MatchString(name) {
+						flags[name] = true
+					}
+					break // only the first string literal names the flag
+				}
+			}
+			return true
+		})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return flags, nil
+}
+
+var (
+	// codeSpan matches inline markdown code spans; links and flag
+	// tokens inside fenced blocks are handled line-by-line too, which
+	// is fine: fenced command lines quote flags without backticks.
+	codeSpan = regexp.MustCompile("`([^`]+)`")
+	// mdLink matches [text](target) links; images ![...](...) share
+	// the tail and are checked identically.
+	mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+)
+
+// checkMarkdown verifies relative links resolve and `-flag` code spans
+// name declared flags in the user-facing markdown files.
+func checkMarkdown(root string, flags map[string]bool) ([]string, error) {
+	var problems []string
+	for _, name := range checkedMarkdown {
+		path := filepath.Join(root, name)
+		raw, err := os.ReadFile(path)
+		if os.IsNotExist(err) {
+			continue // the file genuinely may not exist yet
+		}
+		if err != nil {
+			return nil, err
+		}
+		inFence := false
+		for i, line := range strings.Split(string(raw), "\n") {
+			if strings.HasPrefix(strings.TrimSpace(line), "```") {
+				inFence = !inFence
+				continue
+			}
+			for _, m := range mdLink.FindAllStringSubmatch(line, -1) {
+				target := m[1]
+				if strings.Contains(target, "://") || strings.HasPrefix(target, "#") || strings.HasPrefix(target, "mailto:") {
+					continue
+				}
+				target = strings.SplitN(target, "#", 2)[0]
+				if target == "" {
+					continue
+				}
+				if _, err := os.Stat(filepath.Join(root, filepath.FromSlash(target))); err != nil {
+					problems = append(problems,
+						fmt.Sprintf("%s:%d: dead relative link %q", name, i+1, m[1]))
+				}
+			}
+			if inFence {
+				continue
+			}
+			for _, m := range codeSpan.FindAllStringSubmatch(line, -1) {
+				span := m[1]
+				if !strings.HasPrefix(span, "-") {
+					continue
+				}
+				// First word of the span, sans leading dashes and any
+				// =value suffix: `-wal-dir`, `-wal-sync group`,
+				// `-benchtime=2000x` all reduce to the flag name.
+				word := strings.FieldsFunc(span, func(r rune) bool { return r == ' ' || r == '=' })[0]
+				fname := strings.TrimLeft(word, "-")
+				if !regexp.MustCompile(`^[a-z][a-z0-9-]*$`).MatchString(fname) {
+					continue
+				}
+				if !flags[fname] && !goToolFlags[fname] {
+					problems = append(problems,
+						fmt.Sprintf("%s:%d: flag `-%s` is not declared by any cmd/ binary", name, i+1, fname))
+				}
+			}
+		}
+	}
+	sort.Strings(problems)
+	return problems, nil
+}
+
+// relPath renders path relative to root for stable, readable output.
+func relPath(root, path string) string {
+	if rel, err := filepath.Rel(root, path); err == nil {
+		return filepath.ToSlash(rel)
+	}
+	return path
+}

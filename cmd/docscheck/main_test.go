@@ -1,0 +1,133 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeTree materializes a file map under a temp root.
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for name, body := range files {
+		path := filepath.Join(root, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+// TestGodocViolations: missing package comments and undocumented
+// exported package-level identifiers are reported; methods, unexported
+// names, and documented declarations are not.
+func TestGodocViolations(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"cmd/x/main.go": "// Command x.\npackage main\nfunc main() {}\n",
+		"internal/good/good.go": `// Package good is fine.
+package good
+
+// Documented is documented.
+func Documented() {}
+
+type hidden struct{}
+
+// T is a type.
+type T struct{}
+
+// Method docs are optional.
+func (T) Len() int { return 0 }
+func (T) Less(i, j int) bool { return false }
+`,
+		"internal/bad/bad.go": `package bad
+
+func Naked() {}
+
+type Bare struct{}
+
+var Loose int
+`,
+	})
+	problems, err := lint(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(problems, "\n")
+	for _, want := range []string{
+		"package bad has no package comment",
+		"exported func Naked has no doc comment",
+		"exported type Bare has no doc comment",
+		"exported Loose has no doc comment",
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("missing %q in:\n%s", want, joined)
+		}
+	}
+	for _, reject := range []string{"good", "Len", "Less", "hidden"} {
+		if strings.Contains(joined, reject) {
+			t.Errorf("false positive mentioning %q in:\n%s", reject, joined)
+		}
+	}
+}
+
+// TestMarkdownChecks: dead relative links and undeclared flag names in
+// the user-facing markdown fail; live links, external URLs, anchors,
+// declared flags, go-tool flags, and fenced code blocks pass. Files
+// outside the checked list are ignored entirely.
+func TestMarkdownChecks(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"cmd/d/main.go": `// Command d.
+package main
+
+import "flag"
+
+func main() {
+	var v string
+	flag.StringVar(&v, "wal-dir", "", "usage")
+	flag.Int("workers", 0, "usage")
+}
+`,
+		"DESIGN.md": "# Design\nSee [the readme](README.md) and [gone](missing.md).\n" +
+			"Run with `-wal-dir /data` and `-workers=4` under `-race`.\n" +
+			"But `-no-such-flag` drifted.\n" +
+			"```\nfenced -not-checked here\n```\n" +
+			"[external](https://example.com) and [anchor](#design) are fine.\n",
+		"README.md":   "# R\n",
+		"SNIPPETS.md": "[dead](nope.md) `-ancient-flag`\n",
+	})
+	problems, err := lint(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(problems, "\n")
+	for _, want := range []string{
+		`dead relative link "missing.md"`,
+		"flag `-no-such-flag` is not declared",
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("missing %q in:\n%s", want, joined)
+		}
+	}
+	for _, reject := range []string{"wal-dir", "workers", "race", "not-checked", "SNIPPETS", "ancient", "example.com", "#design"} {
+		if strings.Contains(joined, reject) {
+			t.Errorf("false positive mentioning %q in:\n%s", reject, joined)
+		}
+	}
+}
+
+// TestRepoIsClean: the lint passes on the repository itself — the same
+// invocation `make docs-check` gates CI with.
+func TestRepoIsClean(t *testing.T) {
+	problems, err := lint("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) > 0 {
+		t.Errorf("docscheck problems in the repo:\n%s", strings.Join(problems, "\n"))
+	}
+}

@@ -1,17 +1,3 @@
-// Package faultinject is a seeded, deterministic fault policy engine for
-// exercising placemond's resilience layer: it wraps an http.RoundTripper
-// (client side) and a net.Listener (server side) and injects the failure
-// modes an observation ingest path meets in production — latency spikes,
-// connection resets, 5xx flaps, and dropped, duplicated, or held/reordered
-// observation batches.
-//
-// The engine is stdlib-only and draws every decision from one seeded PRNG,
-// so a given seed always produces the same decision stream. Under
-// concurrency the *assignment* of decisions to requests depends on arrival
-// order, but the multiset of injected faults — and therefore the stress the
-// system is put under — is reproducible. Counts() exposes how many faults
-// of each kind actually fired so tests can assert the run was genuinely
-// hostile rather than lucky.
 package faultinject
 
 import (

@@ -1,0 +1,24 @@
+// Package loadgen is an open-loop load generator for placemond: it fires
+// observation batches and diagnosis reads at a live daemon on a
+// precomputed arrival schedule (target RPS with seeded jitter), records
+// client-side latency into log-bucketed histograms, cross-checks them
+// against the server's own /metrics histograms and /debug/traces ring,
+// and grades the run against a declared SLO. The entry point is Runner;
+// the `placemon loadgen` subcommand and `make soak-smoke` are thin
+// wrappers around it.
+//
+// The workload shape comes from the paper's monitoring model: each
+// ingest request is one batch of end-to-end path observations (the
+// binary up/down vector of Section II-B), and each read is a Section
+// III-B localization answer. The generator therefore measures the cost
+// of the paper's runtime loop — observe, diagnose — at a controlled
+// arrival rate, which is what the streaming-ingest benchmarks in
+// EXPERIMENTS.md scale up.
+//
+// Open-loop means arrival times are fixed up front and never wait for
+// responses: when the server slows down, requests queue and their
+// measured latency grows, instead of the generator silently backing off
+// (the coordinated-omission trap of closed-loop "send, wait, repeat"
+// drivers). Latency is therefore measured from the scheduled arrival
+// time, not from when a worker got around to sending.
+package loadgen

@@ -1,18 +1,3 @@
-// Package loadgen is an open-loop load generator for placemond: it fires
-// observation batches and diagnosis reads at a live daemon on a
-// precomputed arrival schedule (target RPS with seeded jitter), records
-// client-side latency into log-bucketed histograms, cross-checks them
-// against the server's own /metrics histograms and /debug/traces ring,
-// and grades the run against a declared SLO. The entry point is Runner;
-// the `placemon loadgen` subcommand and `make soak-smoke` are thin
-// wrappers around it.
-//
-// Open-loop means arrival times are fixed up front and never wait for
-// responses: when the server slows down, requests queue and their
-// measured latency grows, instead of the generator silently backing off
-// (the coordinated-omission trap of closed-loop "send, wait, repeat"
-// drivers). Latency is therefore measured from the scheduled arrival
-// time, not from when a worker got around to sending.
 package loadgen
 
 import (

@@ -16,10 +16,19 @@
 // daemon-equals-offline property (a fully-reported daemon diagnosis
 // matches tomography on the same observation) is pinned by test.
 //
+// Diagnosis refinement is incremental: Monitor carries per-node
+// up-path/down-path counters maintained in O(|path|) per state change,
+// so the common k=1 diagnosis is a closed-form read instead of a
+// from-scratch recompute over every path. VerifyIncremental cross-checks
+// the incremental state against that recompute; the soak and crash
+// harnesses call it to prove exactness under hostile schedules.
+//
 // The core is deliberately synchronous and deterministic: callers feed
 // it state transitions (from netsim, from production probes, or from
-// tests) and receive the events the transition triggered. Safe wraps a
-// Monitor in a mutex and atomic batch ingest for concurrent callers —
-// the HTTP serving layer (internal/server) uses it; everyone else gets
-// single-threaded determinism for free.
+// tests) and receive the events the transition triggered. Two wrappers
+// add concurrency safety: Safe puts a mutex around a Monitor, and Loop
+// runs one behind a single-writer event loop — every operation is a
+// message to the owning goroutine, so batch ingest serializes without
+// lock contention. The HTTP serving layer (internal/server) uses Loop;
+// everyone else gets single-threaded determinism for free.
 package monitord

@@ -1,6 +1,10 @@
 package monitord
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/monitor"
+)
 
 // State is the monitor's replayable core: everything Report consults when
 // deciding which events a future observation emits. Exporting it, folding
@@ -44,7 +48,33 @@ func (m *Monitor) RestoreState(st State) error {
 	m.states = append(m.states[:0], st.States...)
 	m.inOutage = st.InOutage
 	m.lastKey = st.LastKey
+	m.rebuildIncremental()
 	return nil
+}
+
+// rebuildIncremental reconstructs the incremental observation structures
+// (path set, failed flags, counters) from the connection states. Restored
+// monitors lose the original first-report order, so reporting paths are
+// re-added in connection-index order — the diagnosis is insensitive to
+// path order (consistency is a set property), which the incremental
+// equivalence tests pin.
+func (m *Monitor) rebuildIncremental() {
+	m.ps = monitor.NewPathSet(m.numNodes)
+	m.failed = m.failed[:0]
+	m.downTotal = 0
+	for v := 0; v < m.numNodes; v++ {
+		m.upCount[v] = 0
+		m.downCount[v] = 0
+	}
+	for i := range m.pos {
+		m.pos[i] = -1
+	}
+	for i, s := range m.states {
+		if s == StateUnknown {
+			continue
+		}
+		m.applyTransition(i, StateUnknown, s == StateUp)
+	}
 }
 
 // ExportState captures the monitor's replayable state; see

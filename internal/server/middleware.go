@@ -4,21 +4,41 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"runtime/debug"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/trace"
 )
 
 // statusWriter records the status code and byte count a handler produced
-// so the logging/metrics layer can report them.
+// so the logging/metrics layer can report them. Wrappers are pooled —
+// one is checked out per request and returned after the deferred
+// observability epilogue, the last code to touch it.
 type statusWriter struct {
 	http.ResponseWriter
 	status int
 	bytes  int
+}
+
+var statusWriterPool = sync.Pool{New: func() any { return new(statusWriter) }}
+
+func getStatusWriter(w http.ResponseWriter) *statusWriter {
+	sw := statusWriterPool.Get().(*statusWriter)
+	sw.ResponseWriter = w
+	sw.status = 0
+	sw.bytes = 0
+	return sw
+}
+
+func putStatusWriter(sw *statusWriter) {
+	sw.ResponseWriter = nil
+	statusWriterPool.Put(sw)
 }
 
 func (w *statusWriter) WriteHeader(code int) {
@@ -52,17 +72,21 @@ func (w *statusWriter) Flush() {
 // slow-request threshold — and files the finished trace into the
 // /debug/traces ring.
 func (s *Server) withObservability(next http.Handler) http.Handler {
+	// The stage hook closes only over the server, so one closure serves
+	// every request instead of allocating per request.
+	onStage := func(st trace.Stage) {
+		// Engine rounds surface as span stages; fold them into the
+		// round-duration histogram as they land.
+		if strings.HasPrefix(st.Name, "placement round") {
+			s.roundHist.Observe(st.DurationSeconds)
+		}
+	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		sw := &statusWriter{ResponseWriter: w}
+		sw := getStatusWriter(w)
+		defer putStatusWriter(sw)
 		start := time.Now()
 		sp := trace.NewSpan(r.Header.Get(trace.Header))
-		sp.OnStage(func(st trace.Stage) {
-			// Engine rounds surface as span stages; fold them into the
-			// round-duration histogram as they land.
-			if strings.HasPrefix(st.Name, "placement round") {
-				s.roundHist.Observe(st.DurationSeconds)
-			}
-		})
+		sp.OnStage(onStage)
 		sw.Header().Set(trace.Header, sp.ID())
 		r = r.WithContext(trace.NewContext(r.Context(), sp))
 		defer func() {
@@ -79,11 +103,15 @@ func (s *Server) withObservability(next http.Handler) http.Handler {
 			}
 			elapsed := time.Since(start)
 			s.reqHist.Observe(elapsed.Seconds())
-			s.logger.Info("request",
-				"method", r.Method, "path", r.URL.Path,
-				"status", sw.status, "bytes", sw.bytes,
-				"duration", elapsed.Round(time.Microsecond),
-				"trace_id", sp.ID())
+			if s.logRequests {
+				// Guarded so a disabled logger skips the variadic arg
+				// boxing entirely, not just the record formatting.
+				s.logger.Info("request",
+					"method", r.Method, "path", r.URL.Path,
+					"status", sw.status, "bytes", sw.bytes,
+					"duration", elapsed.Round(time.Microsecond),
+					"trace_id", sp.ID())
+			}
 			if s.slowRequest > 0 && elapsed >= s.slowRequest {
 				s.logger.Warn("slow request",
 					"method", r.Method, "path", r.URL.Path,
@@ -127,9 +155,31 @@ func (s *Server) withTimeout(next http.Handler) http.Handler {
 }
 
 // instrument counts requests and observes latency for one named route.
+// The per-status counters are registered through the registry on first
+// use and then cached per route, so the hot path skips the registry's
+// label rendering and lock.
 func (s *Server) instrument(route string, next http.Handler) http.Handler {
 	hist := s.registry.Histogram("placemond_http_request_duration_seconds",
 		"HTTP request latency by route.", nil, "route", route)
+	var (
+		mu       sync.RWMutex
+		byStatus = make(map[int]*metrics.Counter)
+	)
+	counterFor := func(status int) *metrics.Counter {
+		mu.RLock()
+		c, ok := byStatus[status]
+		mu.RUnlock()
+		if ok {
+			return c
+		}
+		c = s.registry.Counter("placemond_http_requests_total",
+			"HTTP requests by route and status code.",
+			"route", route, "code", strconv.Itoa(status))
+		mu.Lock()
+		byStatus[status] = c
+		mu.Unlock()
+		return c
+	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		sw, ok := w.(*statusWriter)
 		if !ok {
@@ -142,11 +192,21 @@ func (s *Server) instrument(route string, next http.Handler) http.Handler {
 		if status == 0 {
 			status = http.StatusOK
 		}
-		s.registry.Counter("placemond_http_requests_total",
-			"HTTP requests by route and status code.",
-			"route", route, "code", strconv.Itoa(status)).Inc()
+		counterFor(status).Inc()
 	})
 }
+
+// discardHandler is the backend of the default (nil Config.Logger)
+// logger: Enabled reports false for every level, so slog skips record
+// construction entirely. The previous default — a TextHandler writing to
+// io.Discard — paid full record formatting per request on the hot path
+// just to throw the bytes away.
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (discardHandler) WithAttrs([]slog.Attr) slog.Handler        { return discardHandler{} }
+func (discardHandler) WithGroup(string) slog.Handler             { return discardHandler{} }
 
 // writeJSON renders v as the response body with the given status.
 func writeJSON(w http.ResponseWriter, status int, v any) {

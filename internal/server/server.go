@@ -168,6 +168,7 @@ type Server struct {
 	pool           *pool
 	registry       *metrics.Registry
 	logger         *slog.Logger
+	logRequests    bool // logger enabled at Info: skip per-request log arg boxing otherwise
 	slowRequest    time.Duration
 	traces         *trace.Ring // global ring; nil when disabled
 	requestTimeout time.Duration
@@ -256,7 +257,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	logger := cfg.Logger
 	if logger == nil {
-		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+		logger = slog.New(discardHandler{})
 	}
 	slowReq := cfg.SlowRequest
 	if slowReq == 0 {
@@ -302,6 +303,7 @@ func New(cfg Config) (*Server, error) {
 		pool:           newPool(cfg.Place, workers, depth, reg),
 		registry:       reg,
 		logger:         logger,
+		logRequests:    logger.Enabled(context.Background(), slog.LevelInfo),
 		slowRequest:    slowReq,
 		requestTimeout: reqTimeout,
 		drainTimeout:   drain,
@@ -383,44 +385,47 @@ func New(cfg Config) (*Server, error) {
 		}
 	}
 
-	api := http.NewServeMux()
-	api.Handle("POST /v1/observations", s.instrument("/v1/observations", s.forDefault(s.serveObservations)))
-	api.Handle("GET /v1/diagnosis", s.instrument("/v1/diagnosis", s.forDefault(s.serveDiagnosis)))
-	api.Handle("POST /v1/placements", s.instrument("/v1/placements", s.forDefault(s.servePlacements)))
-	api.Handle("GET /healthz", s.instrument("/healthz", http.HandlerFunc(s.handleHealthz)))
-	api.Handle("GET /metrics", s.instrument("/metrics", http.HandlerFunc(s.handleMetrics)))
+	// One mux for every route. The request-timeout deadline is applied
+	// per-route, and only to handlers that actually observe it: the
+	// placement pool, the diagnosis recompute, and scenario create/delete
+	// (job drains). Ingest and the other quick handlers never read the
+	// deadline, so building a timer context for them was pure overhead —
+	// and pprof profile collection legitimately runs longer than an API
+	// request is allowed to.
+	mux := http.NewServeMux()
+	mux.Handle("POST /v1/observations", s.instrument("/v1/observations", s.forDefault(s.serveObservations)))
+	mux.Handle("GET /v1/diagnosis", s.withTimeout(s.instrument("/v1/diagnosis", s.forDefault(s.serveDiagnosis))))
+	mux.Handle("POST /v1/placements", s.withTimeout(s.instrument("/v1/placements", s.forDefault(s.servePlacements))))
+	mux.Handle("GET /healthz", s.instrument("/healthz", http.HandlerFunc(s.handleHealthz)))
+	mux.Handle("GET /metrics", s.instrument("/metrics", http.HandlerFunc(s.handleMetrics)))
 
-	api.Handle("POST /v1/scenarios/{id}/observations",
+	mux.Handle("POST /v1/scenarios/{id}/observations",
 		s.instrument("/v1/scenarios/{id}/observations", s.forScenario(s.serveObservations)))
-	api.Handle("GET /v1/scenarios/{id}/diagnosis",
-		s.instrument("/v1/scenarios/{id}/diagnosis", s.forScenario(s.serveDiagnosis)))
-	api.Handle("POST /v1/scenarios/{id}/placements",
-		s.instrument("/v1/scenarios/{id}/placements", s.forScenario(s.servePlacements)))
-	api.Handle("GET /v1/scenarios/{id}/traces",
+	mux.Handle("GET /v1/scenarios/{id}/diagnosis",
+		s.withTimeout(s.instrument("/v1/scenarios/{id}/diagnosis", s.forScenario(s.serveDiagnosis))))
+	mux.Handle("POST /v1/scenarios/{id}/placements",
+		s.withTimeout(s.instrument("/v1/scenarios/{id}/placements", s.forScenario(s.servePlacements))))
+	mux.Handle("GET /v1/scenarios/{id}/traces",
 		s.instrument("/v1/scenarios/{id}/traces", s.forScenario(s.serveTenantTraces)))
-	api.Handle("GET /v1/scenarios/{id}/audit",
+	mux.Handle("GET /v1/scenarios/{id}/audit",
 		s.instrument("/v1/scenarios/{id}/audit", s.forScenario(s.serveAudit)))
 
-	api.Handle("GET /v1/scenarios", s.instrument("/v1/scenarios", http.HandlerFunc(s.handleScenarioList)))
-	api.Handle("PUT /v1/scenarios/{id}", s.instrument("/v1/scenarios/{id}", http.HandlerFunc(s.handleScenarioCreate)))
-	api.Handle("GET /v1/scenarios/{id}", s.instrument("/v1/scenarios/{id}", s.forScenario(s.serveScenarioInfo)))
-	api.Handle("DELETE /v1/scenarios/{id}", s.instrument("/v1/scenarios/{id}", http.HandlerFunc(s.handleScenarioDelete)))
+	mux.Handle("GET /v1/scenarios", s.instrument("/v1/scenarios", http.HandlerFunc(s.handleScenarioList)))
+	mux.Handle("PUT /v1/scenarios/{id}", s.withTimeout(s.instrument("/v1/scenarios/{id}", http.HandlerFunc(s.handleScenarioCreate))))
+	mux.Handle("GET /v1/scenarios/{id}", s.instrument("/v1/scenarios/{id}", s.forScenario(s.serveScenarioInfo)))
+	mux.Handle("DELETE /v1/scenarios/{id}", s.withTimeout(s.instrument("/v1/scenarios/{id}", http.HandlerFunc(s.handleScenarioDelete))))
 
-	root := http.NewServeMux()
-	// pprof mounts outside the timeout middleware: profile collection
-	// legitimately runs longer than an API request is allowed to.
-	root.Handle("/", s.withTimeout(api))
 	if s.traces != nil {
-		root.Handle("GET /debug/traces", s.instrument("/debug/traces", http.HandlerFunc(s.handleTraces)))
+		mux.Handle("GET /debug/traces", s.instrument("/debug/traces", http.HandlerFunc(s.handleTraces)))
 	}
 	if cfg.EnablePprof {
-		root.HandleFunc("/debug/pprof/", pprof.Index)
-		root.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-		root.HandleFunc("/debug/pprof/profile", pprof.Profile)
-		root.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-		root.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
-	s.handler = s.withObservability(root)
+	s.handler = s.withObservability(mux)
 	return s, nil
 }
 
@@ -441,8 +446,39 @@ func (s *Server) Registry() *metrics.Registry { return s.registry }
 // by Serve returning.
 func (s *Server) Close() error {
 	s.pool.close()
-	s.closeOnce.Do(func() { s.closeErr = s.persistFinal() })
+	s.closeOnce.Do(func() {
+		s.closeErr = s.persistFinal()
+		s.closeLoops()
+	})
 	return s.closeErr
+}
+
+// VerifyIncremental cross-checks every tenant's incremental rolling
+// diagnosis against a from-scratch recompute, returning the first
+// divergence. It is a test seam: the chaos soak and crash matrix call it
+// to pin the tentpole invariant — the event-driven O(changed paths)
+// update must stay bit-identical to a full rebuild. Tenants whose loop
+// already closed (mid-removal) are skipped.
+func (s *Server) VerifyIncremental() error {
+	var firstErr error
+	s.tenants.Range(func(id string, t *tenant) bool {
+		if err := t.mon.VerifyIncremental(); err != nil && !errors.Is(err, monitord.ErrClosed) {
+			firstErr = fmt.Errorf("scenario %q: %w", id, err)
+			return false
+		}
+		return true
+	})
+	return firstErr
+}
+
+// closeLoops stops every tenant's monitor event loop so scenario
+// goroutines never outlive the server. Runs after final persistence:
+// compaction still needs to export monitor state.
+func (s *Server) closeLoops() {
+	s.tenants.Range(func(id string, t *tenant) bool {
+		t.mon.Close()
+		return true
+	})
 }
 
 // persistFinal is the once-only shutdown persistence step behind Close.
@@ -489,6 +525,7 @@ func (s *Server) Abort() {
 		if s.wlog != nil {
 			s.wlog.Abort()
 		}
+		s.closeLoops()
 	})
 }
 
@@ -625,127 +662,7 @@ func buildObsResponse(events []monitord.Event) (obsResponse, []*diagnosisJSON) {
 	return out, diags
 }
 
-func (s *Server) serveObservations(t *tenant, w http.ResponseWriter, r *http.Request) {
-	sp := trace.FromContext(r.Context())
-	var req observationsRequest
-	st := sp.StartStage("decode")
-	ok := decodeJSON(w, r, &req)
-	st.EndDetail("reports=%d", len(req.Reports))
-	if !ok {
-		return
-	}
-	if len(req.Reports) == 0 {
-		writeError(w, http.StatusBadRequest, "no reports in batch")
-		return
-	}
-	if s.wlog != nil {
-		if s.rejectReadOnly(w) {
-			return
-		}
-		// Apply and append must not interleave across batches: replay
-		// re-applies in log order, so log order has to equal apply order.
-		// The per-tenant lock serializes same-tenant batches; the shared
-		// read lock lets compaction capture a state that matches the log
-		// position exactly.
-		t.ingestMu.Lock()
-		defer t.ingestMu.Unlock()
-		s.walMu.RLock()
-		defer s.walMu.RUnlock()
-		if s.rejectReadOnly(w) {
-			// Mode may have flipped while waiting on the locks.
-			return
-		}
-	}
-	if t.dedup != nil && req.BatchID != "" {
-		st := sp.StartStage("dedup")
-		cached, hit := t.dedup.lookup(req.BatchID)
-		st.EndDetail("batch_id=%s hit=%t", req.BatchID, hit)
-		if hit {
-			// Already applied: replay the original answer byte for byte
-			// so the retrying client observes the events it missed.
-			s.obsReplayed.Inc()
-			sp.Annotate("replayed", true)
-			w.Header().Set("Placemond-Replayed", "true")
-			w.Header().Set("Content-Type", "application/json")
-			w.WriteHeader(cached.status)
-			w.Write(cached.body)
-			return
-		}
-	}
-	ingest := sp.StartStage("ingest")
-	n := t.mon.NumConnections()
-	conns := make([]int, len(req.Reports))
-	ups := make([]bool, len(req.Reports))
-	for i, rep := range req.Reports {
-		if rep.Connection < 0 || rep.Connection >= n {
-			// Validated up front so a bad entry rejects the whole batch
-			// without side effects.
-			ingest.EndDetail("rejected report %d", i)
-			writeError(w, http.StatusBadRequest,
-				"report %d: connection %d out of range [0, %d)", i, rep.Connection, n)
-			return
-		}
-		conns[i] = rep.Connection
-		ups[i] = rep.Up
-	}
-
-	events, err := t.mon.ReportBatch(req.Time, conns, ups)
-	if err != nil {
-		// Unreachable after validation; kept as a hard failure signal.
-		ingest.EndDetail("error")
-		writeError(w, http.StatusInternalServerError, "ingest: %v", err)
-		return
-	}
-	out, diags := buildObsResponse(events)
-	if s.wlog != nil {
-		// Append-before-ack: the batch (and each emitted diagnosis) must
-		// be durable before the client hears 200. A failed append flips
-		// the daemon read-only — the batch was applied in memory but not
-		// logged, and freezing further mutations caps the divergence at
-		// this one unacknowledged batch, which the client will retry
-		// after the restart that recovers pre-batch state.
-		walStage := sp.StartStage("wal")
-		err := s.walAppendIngest(t, req.BatchID, req.Time, conns, ups, events, diags)
-		walStage.EndDetail("records=%d ok=%t", 1+len(events), err == nil)
-		if err != nil {
-			ingest.EndDetail("wal append failed")
-			respondReadOnly(w)
-			return
-		}
-	}
-	s.obsIngested.Add(float64(len(req.Reports)))
-	t.obsIngested.Add(float64(len(req.Reports)))
-	for _, ev := range events {
-		if c, ok := s.eventTotal[ev.Kind]; ok {
-			c.Inc()
-		}
-	}
-	// The legacy unlabeled gauge keeps its pre-registry meaning: the
-	// default scenario's outage state.
-	s.setOutageGauges(t)
-
-	for _, diag := range diags {
-		if diag != nil {
-			// Every diagnosis the daemon emits is by construction fresh
-			// and good: remember it for the stale-serving fallback.
-			t.recordGoodDiagnosis(diag)
-		}
-	}
-	ingest.EndDetail("events=%d", len(events))
-	if t.dedup != nil && req.BatchID != "" {
-		if body, err := json.Marshal(out); err == nil {
-			body = append(body, '\n')
-			if t.dedup.store(req.BatchID, dedupEntry{status: http.StatusOK, body: body}) {
-				s.dedupGauge.Add(1)
-			}
-			w.Header().Set("Content-Type", "application/json")
-			w.WriteHeader(http.StatusOK)
-			w.Write(body)
-			return
-		}
-	}
-	writeJSON(w, http.StatusOK, out)
-}
+// serveObservations (the ingest hot path) lives in ingest.go.
 
 // connectionJSON is one row of GET /v1/diagnosis's connection table.
 type connectionJSON struct {
@@ -879,11 +796,10 @@ func (s *Server) servePlacements(t *tenant, w http.ResponseWriter, r *http.Reque
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if t, ok := s.tenants.Get(DefaultScenario); ok {
 		// Byte-compatible with the single-scenario daemon.
-		snap := t.mon.Snapshot()
 		writeJSON(w, http.StatusOK, map[string]any{
 			"status":      "ok",
-			"connections": len(snap.States),
-			"in_outage":   snap.InOutage,
+			"connections": t.mon.NumConnections(),
+			"in_outage":   t.mon.InOutage(),
 		})
 		return
 	}
@@ -953,7 +869,7 @@ func (t *tenant) info() scenarioInfoJSON {
 	return scenarioInfoJSON{
 		ID:          t.id,
 		Connections: len(t.conns),
-		InOutage:    t.mon.Snapshot().InOutage,
+		InOutage:    t.mon.InOutage(),
 		Persistent:  t.spec != nil,
 	}
 }

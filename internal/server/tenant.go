@@ -55,7 +55,7 @@ type BuildFunc func(id string, spec []byte) (*TenantConfig, error)
 // only meet at the sharded registry lookup and the bounded worker pool.
 type tenant struct {
 	id    string
-	mon   *monitord.Safe
+	mon   *monitord.Loop
 	conns []Connection
 	place PlaceFunc
 	dedup *dedupWindow // nil when disabled
@@ -188,7 +188,7 @@ func (s *Server) newTenant(id string, tc *TenantConfig, spec []byte) (*tenant, e
 	label := s.labeler.Value(id)
 	t := &tenant{
 		id:    id,
-		mon:   monitord.NewSafe(core),
+		mon:   monitord.NewLoop(core),
 		conns: append([]Connection(nil), tc.Connections...),
 		place: tc.Place,
 		spec:  spec,
@@ -249,6 +249,7 @@ func (s *Server) createScenario(id string, spec []byte, persist bool) error {
 		return err
 	}
 	if err := s.addTenant(t); err != nil {
+		t.mon.Close()
 		return err
 	}
 	if persist {
@@ -258,10 +259,12 @@ func (s *Server) createScenario(id string, spec []byte, persist bool) error {
 			if err := s.walAppendScenario(wal.TypeScenarioCreate,
 				walScenarioCreate{ID: id, Spec: t.spec}); err != nil {
 				s.removeTenantState(t)
+				t.mon.Close()
 				return err
 			}
 		} else if err := s.store.Save(id, t.spec); err != nil {
 			s.removeTenantState(t)
+			t.mon.Close()
 			return fmt.Errorf("server: persist scenario %s: %w", id, err)
 		}
 	}
@@ -308,6 +311,11 @@ func (s *Server) RemoveScenario(ctx context.Context, id string) error {
 			storeErr = s.store.Delete(id)
 		}
 	}
+	// Stop the scenario's monitor event loop last: WAL compaction may
+	// still export its state while the delete record is being appended,
+	// and after Close a straggling observation fails with
+	// monitord.ErrClosed instead of landing in a deleted scenario.
+	t.mon.Close()
 	s.logger.Info("scenario removed", "scenario", id,
 		"drained", drained, "store_error", storeErr != nil)
 	if storeErr != nil {

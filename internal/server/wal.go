@@ -107,7 +107,13 @@ type walTenantState struct {
 func (s *Server) buildWALState() *walState {
 	st := &walState{Scenarios: map[string]*walTenantState{}}
 	s.tenants.Range(func(id string, t *tenant) bool {
-		ts := &walTenantState{Spec: t.spec, Monitor: t.mon.ExportState()}
+		mst, ok := t.mon.ExportState()
+		if !ok {
+			// The loop is closed: the tenant is mid-removal and its delete
+			// record follows in the log, so skip it here.
+			return true
+		}
+		ts := &walTenantState{Spec: t.spec, Monitor: mst}
 		if t.dedup != nil {
 			ts.Dedup = t.dedup.export()
 		}
@@ -470,7 +476,7 @@ func (s *Server) replayRecord(r wal.Record) {
 // unlabeled gauge for the default tenant).
 func (s *Server) setOutageGauges(t *tenant) {
 	outage := 0.0
-	if t.mon.Snapshot().InOutage {
+	if t.mon.InOutage() {
 		outage = 1
 	}
 	t.outage.Set(outage)

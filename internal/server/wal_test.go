@@ -137,6 +137,9 @@ func TestWALServerRecoveryRoundTrip(t *testing.T) {
 		t.Fatalf("workload stopped at op %d", n)
 	}
 	want := mustExport(t, s1)
+	if err := s1.VerifyIncremental(); err != nil {
+		t.Fatalf("incremental diagnosis diverged after workload: %v", err)
+	}
 	ts1.Close()
 	// Abort, not Close: the first restart must recover from the raw log
 	// tail with no snapshot to lean on.
@@ -149,6 +152,9 @@ func TestWALServerRecoveryRoundTrip(t *testing.T) {
 	ts2 := httptest.NewServer(s2.Handler())
 	if got := mustExport(t, s2); string(got) != string(want) {
 		t.Fatalf("state after log-tail recovery diverged:\n got %s\nwant %s", got, want)
+	}
+	if err := s2.VerifyIncremental(); err != nil {
+		t.Fatalf("incremental diagnosis diverged after log-tail recovery: %v", err)
 	}
 	// A retried batch replays the original response byte for byte.
 	lastObs := len(ops) - 1
@@ -269,6 +275,9 @@ func TestCrashServerMatrix(t *testing.T) {
 				if got := mustExport(t, srv2); string(got) != string(want) {
 					t.Fatalf("seed %d budget %d: recovered state diverged from never-crashed reference:\n got %s\nwant %s",
 						seed, budget, got, want)
+				}
+				if err := srv2.VerifyIncremental(); err != nil {
+					t.Fatalf("seed %d budget %d: incremental diagnosis diverged after recovery: %v", seed, budget, err)
 				}
 				// A post-crash duplicate of an acknowledged batch replays
 				// the exact original response.

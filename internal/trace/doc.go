@@ -1,0 +1,26 @@
+// Package trace is placemond's request-tracing layer: per-request spans
+// with named stages, trace-ID propagation over HTTP and contexts, and a
+// bounded in-memory ring of finished traces served at /debug/traces.
+//
+// The paper's thesis (Section I) is that a system should be observable
+// end-to-end from the measurements it already produces; this package
+// applies the same discipline to our own serving stack. Every request
+// through placemond carries one trace ID — minted by the client (the
+// same crypto-random generator as its idempotency keys) or
+// adopted/minted by the server middleware — and accumulates named
+// stages (dedup lookup, ingest, queue wait, placement rounds,
+// diagnosis) with wall-clock durations, so a slow answer can be
+// attributed to the hop that spent the time. Placement jobs expose the
+// Section V greedy as one stage per engine round; ingest exposes the
+// Section III-B diagnosis update as its own stage.
+//
+// The hot-path primitives are allocation-conscious by design: spans
+// carry a small inline stage array, stage labels are rendered into
+// stack buffers (StageTimer.EndCount), and trace IDs come from a
+// batched crypto/rand pool — the ingest benchmarks in EXPERIMENTS.md
+// hold the layer to that budget.
+//
+// The package is stdlib-only (crypto/rand, log/slog, sync) and every
+// Span method is safe on a nil receiver, so instrumented code can record
+// unconditionally whether or not a span is in flight.
+package trace

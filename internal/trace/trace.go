@@ -1,20 +1,3 @@
-// Package trace is placemond's request-tracing layer: per-request spans
-// with named stages, trace-ID propagation over HTTP and contexts, and a
-// bounded in-memory ring of finished traces served at /debug/traces.
-//
-// The paper's thesis is that a system should be observable end-to-end
-// from the measurements it already produces; this package applies the
-// same discipline to our own serving stack. Every request through
-// placemond carries one trace ID — minted by the client (the same
-// crypto-random generator as its idempotency keys) or adopted/minted by
-// the server middleware — and accumulates named stages (dedup lookup,
-// ingest, queue wait, placement rounds, diagnosis) with wall-clock
-// durations, so a slow answer can be attributed to the hop that spent
-// the time.
-//
-// The package is stdlib-only (crypto/rand, log/slog, sync) and every
-// Span method is safe on a nil receiver, so instrumented code can record
-// unconditionally whether or not a span is in flight.
 package trace
 
 import (
@@ -22,6 +5,7 @@ import (
 	"crypto/rand"
 	"encoding/hex"
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 )
@@ -31,16 +15,39 @@ import (
 // and echoes it on the response.
 const Header = "Placemond-Trace-Id"
 
+// idBatch refills the ID entropy pool 4 KiB at a time, so minting an ID
+// costs one mutex and a copy instead of a crypto/rand read per call.
+var idBatch struct {
+	mu  sync.Mutex
+	buf [4096]byte
+	off int // == len(buf) when empty
+}
+
+func init() { idBatch.off = len(idBatch.buf) }
+
 // NewID mints a 96-bit random trace ID — the same construction as the
 // client's idempotency keys, so IDs are unique without coordination.
+// Entropy is drawn from a batched crypto/rand pool.
 func NewID() string {
 	var b [12]byte
-	if _, err := rand.Read(b[:]); err != nil {
-		// crypto/rand failing is effectively fatal elsewhere; a
-		// time-derived ID keeps tracing alive with unique-enough values.
-		return fmt.Sprintf("t-%d", time.Now().UnixNano())
+	idBatch.mu.Lock()
+	if idBatch.off+len(b) > len(idBatch.buf) {
+		if _, err := rand.Read(idBatch.buf[:]); err != nil {
+			idBatch.mu.Unlock()
+			// crypto/rand failing is effectively fatal elsewhere; a
+			// time-derived ID keeps tracing alive with unique-enough values.
+			return fmt.Sprintf("t-%d", time.Now().UnixNano())
+		}
+		idBatch.off = 0
 	}
-	return hex.EncodeToString(b[:])
+	copy(b[:], idBatch.buf[idBatch.off:])
+	idBatch.off += len(b)
+	idBatch.mu.Unlock()
+	// Encode into a stack buffer so the only allocation is the returned
+	// string (hex.EncodeToString would allocate the byte slice too).
+	var dst [2 * len(b)]byte
+	hex.Encode(dst[:], b[:])
+	return string(dst[:])
 }
 
 // Stage is one named, timed segment of a request: offset is relative to
@@ -66,6 +73,10 @@ type Span struct {
 	stages  []Stage
 	attrs   map[string]any
 	onStage func(Stage) // called after each stage lands, outside mu
+
+	// stageArr backs the first few stages so typical requests (two to
+	// four stages) never grow the slice on the heap.
+	stageArr [4]Stage
 }
 
 // NewSpan starts a span; an empty id mints a fresh one.
@@ -73,7 +84,9 @@ func NewSpan(id string) *Span {
 	if id == "" {
 		id = NewID()
 	}
-	return &Span{id: id, start: time.Now()}
+	s := &Span{id: id, start: time.Now()}
+	s.stages = s.stageArr[:0]
+	return s
 }
 
 // ID returns the trace ID ("" on a nil span).
@@ -158,6 +171,20 @@ func (t *StageTimer) EndDetail(format string, args ...any) {
 		detail = fmt.Sprintf(format, args...)
 	}
 	t.span.addStage(t.name, t.begin, time.Since(t.begin), detail)
+}
+
+// EndCount finishes the stage with a "<label>=<n>" annotation. It is the
+// allocation-free alternative to EndDetail("label=%d", n) for hot paths:
+// no variadic boxing, no fmt state, just the final detail string.
+func (t *StageTimer) EndCount(label string, n int) {
+	if t == nil || t.span == nil {
+		return
+	}
+	var buf [32]byte
+	b := append(buf[:0], label...)
+	b = append(b, '=')
+	b = strconv.AppendInt(b, int64(n), 10)
+	t.span.addStage(t.name, t.begin, time.Since(t.begin), string(b))
 }
 
 // AddStage records an already-measured stage of the given duration that

@@ -1,0 +1,28 @@
+// Package wal is an append-only, segmented write-ahead log with a
+// tamper-evident hash chain, built for placemond's crash safety: every
+// state-mutating operation is appended (and made durable under the
+// configured sync policy) before its HTTP response is acknowledged, so a
+// kill -9 loses at most the unacknowledged suffix. On boot, recovery
+// replays the newest snapshot plus the log tail; a torn final record —
+// the signature of an interrupted append — is truncated with a warning,
+// while corruption of fully present bytes (bit flips, sequence gaps,
+// broken hash links) refuses recovery loudly with the record offset.
+//
+// Records are length-prefixed and CRC32C-framed, and each carries
+// SHA-256(prev hash || seq || type || payload), chaining the whole
+// history: the log doubles as an audit ledger of the daemon's
+// localization decisions (cf. the hash-chained batch ledgers of
+// audit-log systems). The decisions being ledgered are the paper's:
+// each logged observation batch is a set of end-to-end path states in
+// the Section II-B model, and replaying the log reproduces the exact
+// sequence of Section III-B tomography diagnoses the daemon emitted —
+// recovery is deterministic because localization is a pure function of
+// the observation history.
+//
+// Segment compaction folds everything up to a sequence number into a
+// snapshot document owned by the caller and removes the sealed
+// segments, bounding recovery time and disk use.
+//
+// The package depends only on the standard library. All Log methods are
+// safe for concurrent use.
+package wal

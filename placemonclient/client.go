@@ -33,10 +33,22 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/metrics"
 	"repro/internal/trace"
+)
+
+// Streaming-ingest negotiation: placemond advertises NDJSON batch support
+// by stamping ndjsonHeader on observation responses. Once the client has
+// seen the advertisement it encodes subsequent batches as newline-
+// delimited JSON (one report per line), which the server ingests through
+// its allocation-free scanner; until then — and against servers that
+// never advertise — it sends plain JSON. Responses are JSON either way.
+const (
+	ndjsonContentType = "application/x-ndjson"
+	ndjsonHeader      = "Placemond-Ndjson"
 )
 
 // ErrCircuitOpen means the breaker refused the call without touching the
@@ -110,6 +122,10 @@ type Client struct {
 
 	mu  sync.Mutex
 	rng *mathrand.Rand
+
+	// ndjson latches true after any response carries ndjsonHeader;
+	// subsequent observation batches upgrade to NDJSON encoding.
+	ndjson atomic.Bool
 
 	registry *metrics.Registry
 	requests func(outcome string) *metrics.Counter
@@ -302,7 +318,14 @@ func (c *Client) ReportObservations(ctx context.Context, batch ObservationBatch)
 	var out struct {
 		Events []Event `json:"events"`
 	}
-	hdr, err := c.do(ctx, http.MethodPost, "/v1/observations", batch, &out)
+	var hdr http.Header
+	var err error
+	if c.ndjson.Load() {
+		hdr, err = c.doBody(ctx, http.MethodPost, "/v1/observations",
+			ndjsonContentType, encodeNDJSON(batch), &out)
+	} else {
+		hdr, err = c.do(ctx, http.MethodPost, "/v1/observations", batch, &out)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -356,6 +379,12 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) (http
 			return nil, fmt.Errorf("placemonclient: encoding %s body: %w", path, err)
 		}
 	}
+	return c.doBody(ctx, method, path, "application/json", body, out)
+}
+
+// doBody is do with the body already encoded, for callers that speak a
+// non-JSON request encoding (the NDJSON ingest path).
+func (c *Client) doBody(ctx context.Context, method, path, contentType string, body []byte, out any) (http.Header, error) {
 	traceID := trace.IDFromContext(ctx)
 	if traceID == "" {
 		traceID = trace.NewID()
@@ -381,7 +410,7 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) (http
 			return nil, ErrCircuitOpen
 		}
 
-		hdr, retryable, ra, err := c.attempt(ctx, method, path, traceID, body, out)
+		hdr, retryable, ra, err := c.attempt(ctx, method, path, traceID, contentType, body, out)
 		if err == nil {
 			c.requests("success").Inc()
 			return hdr, nil
@@ -401,7 +430,7 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) (http
 // covers transport errors, per-attempt timeouts, 429, and 5xx; other 4xx
 // answers are permanent (and count as breaker successes — the server is
 // alive, it just rejected the request).
-func (c *Client) attempt(ctx context.Context, method, path, traceID string, body []byte, out any) (http.Header, bool, time.Duration, error) {
+func (c *Client) attempt(ctx context.Context, method, path, traceID, contentType string, body []byte, out any) (http.Header, bool, time.Duration, error) {
 	actx := ctx
 	if c.cfg.PerAttemptTimeout > 0 {
 		var cancel context.CancelFunc
@@ -420,7 +449,7 @@ func (c *Client) attempt(ctx context.Context, method, path, traceID string, body
 		return nil, false, 0, err
 	}
 	if body != nil {
-		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("Content-Type", contentType)
 	}
 	req.Header.Set(trace.Header, traceID)
 
@@ -438,6 +467,10 @@ func (c *Client) attempt(ctx context.Context, method, path, traceID string, body
 		io.Copy(io.Discard, resp.Body)
 		resp.Body.Close()
 	}()
+	if resp.Header.Get(ndjsonHeader) == "1" {
+		// The daemon speaks streaming ingest; upgrade future batches.
+		c.ndjson.Store(true)
+	}
 
 	switch {
 	case resp.StatusCode >= 200 && resp.StatusCode < 300:
@@ -553,4 +586,24 @@ func apiError(resp *http.Response) error {
 // construction as trace IDs, shared via internal/trace.
 func newBatchID() string {
 	return trace.NewID()
+}
+
+// encodeNDJSON renders a batch in placemond's streaming ingest framing:
+// a header line carrying the batch ID and virtual time, then one report
+// object per line.
+func encodeNDJSON(batch ObservationBatch) []byte {
+	var buf bytes.Buffer
+	buf.Grow(64 + 32*len(batch.Reports))
+	enc := json.NewEncoder(&buf)
+	header := struct {
+		BatchID string  `json:"batch_id,omitempty"`
+		Time    float64 `json:"time"`
+	}{BatchID: batch.BatchID, Time: batch.Time}
+	// Encoding fixed wire structs cannot fail; Encode appends the
+	// newline that frames each NDJSON line.
+	_ = enc.Encode(header)
+	for _, r := range batch.Reports {
+		_ = enc.Encode(r)
+	}
+	return buf.Bytes()
 }

@@ -246,6 +246,13 @@ func (s *Server) Abort() { s.inner.Abort() }
 // (mutating requests answer 503 with Placemond-Read-Only until restart).
 func (s *Server) ReadOnly() bool { return s.inner.ReadOnly() }
 
+// VerifyIncremental cross-checks every scenario's incremental rolling
+// diagnosis against a from-scratch recompute and reports the first
+// divergence. The daemon never needs this in normal operation — the
+// incremental path is exact by construction — but soak and crash
+// harnesses call it to prove that exactness under hostile schedules.
+func (s *Server) VerifyIncremental() error { return s.inner.VerifyIncremental() }
+
 // StateExport returns the daemon's replayable state as deterministic
 // JSON — the same document WAL compaction folds into snapshots. Two
 // servers that ingested the same operation stream export identical

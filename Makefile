@@ -5,7 +5,7 @@ GO ?= go
 # for a quick smoke run.
 BENCHFLAGS ?=
 
-.PHONY: all help build test race check chaos crash-smoke bench bench-json bench-smoke bench-compare bench-compare-wal docs-check fuzz fuzz-smoke experiments paper-runs soak-smoke results serve clean
+.PHONY: all help build test race check chaos crash-smoke bench bench-json bench-smoke bench-compare bench-compare-wal bench-stochastic docs-check fuzz fuzz-smoke experiments paper-runs soak-smoke results serve clean
 
 all: build test
 
@@ -22,6 +22,7 @@ help:
 	@echo "  bench-smoke  single-iteration benchmark compile-and-run gate (CI)"
 	@echo "  bench-compare  registry-overhead run gated against the archived seed baseline (CI)"
 	@echo "  bench-compare-wal  WAL append/recovery run gated against the archived WAL baseline (CI)"
+	@echo "  bench-stochastic  stochastic-frontier smoke gated against the archived frontier snapshot (CI)"
 	@echo "  docs-check   documentation lint: godoc coverage, markdown links, flag-name drift (CI)"
 	@echo "  fuzz         short fuzz session over the edge-list parser"
 	@echo "  fuzz-smoke   ~10s of every fuzz target (CI)"
@@ -87,6 +88,21 @@ bench-compare:
 	$(GO) test -run NONE -bench=RegistryOverhead -benchmem -benchtime=2000x . > /tmp/bench_registry.txt
 	$(GO) run ./cmd/benchjson -compare BENCH_2026-08-06_registry_seed.json -fail-over 10 < /tmp/bench_registry.txt
 	$(GO) run ./cmd/benchjson -compare BENCH_2026-08-08_streaming.json -fail-allocs-over 10 < /tmp/bench_registry.txt
+
+# Stochastic-frontier smoke: the small generated hierarchy (fixed seed)
+# through exact greedy, every ε row, and the warm-start re-placement
+# path, one iteration each — proof the frontier harness still compiles
+# and the sampled engine still terminates, then a ns/op gate against
+# the archived frontier snapshot. The margin is wide (200%) because a
+# single iteration on a shared runner is noisy; the deterministic
+# counters (evaluations/op, value-ratio, eval-saving) are what the
+# archived snapshot is really for. The 10k-node scale is excluded here:
+# each of its instance constructions is a tens-of-seconds measurement,
+# archived in BENCH_2026-08-08_stochastic.json by a full run, not
+# re-paid per push.
+bench-stochastic:
+	$(GO) test -run NONE -bench='StochasticFrontier/small' -benchtime=1x . > /tmp/bench_stochastic.txt
+	$(GO) run ./cmd/benchjson -compare BENCH_2026-08-08_stochastic.json -fail-over 200 < /tmp/bench_stochastic.txt
 
 # WAL hot paths (append fsync cost per sync mode, boot recovery) gated
 # against the snapshot archived when the log landed. fsync-bound ns/op

@@ -7,12 +7,14 @@ package placemon
 // regenerates every artifact's data path end to end.
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
 	"repro/internal/bitset"
 	"repro/internal/experiments"
 	"repro/internal/failsim"
+	"repro/internal/graph"
 	"repro/internal/matroid"
 	"repro/internal/monitor"
 	"repro/internal/placement"
@@ -509,5 +511,173 @@ func BenchmarkOpLoop(b *testing.B) {
 		}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// hierarchyBenchInstance builds a placement instance over a generated
+// hierarchical ISP: services carved from the access-host tier, a lazy
+// router (the large-scale serving configuration), and optional extra
+// chord edges on top of the base wiring. clientsPerService == 0 takes
+// every host in the service's block; otherwise that many, spread evenly
+// across it.
+func hierarchyBenchInstance(b *testing.B, spec topology.HierarchySpec, numServices, clientsPerService int, extras [][2]int) *placement.Instance {
+	b.Helper()
+	base, err := topology.BuildHierarchy(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := graph.New(base.Graph.NumNodes())
+	for _, e := range base.Graph.Edges() {
+		if err := g.AddWeightedEdge(e.U, e.V, e.Weight); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, e := range extras {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	r, err := routing.NewLazy(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cc := base.CandidateClients
+	stride := len(cc) / numServices
+	svcs := make([]placement.Service, numServices)
+	for s := range svcs {
+		block := cc[s*stride : (s+1)*stride]
+		clients := block
+		if clientsPerService > 0 && clientsPerService < len(block) {
+			step := len(block) / clientsPerService
+			clients = make([]graph.NodeID, clientsPerService)
+			for j := range clients {
+				clients[j] = block[j*step]
+			}
+		}
+		svcs[s] = placement.Service{Name: fmt.Sprintf("svc-%d", s), Clients: clients}
+	}
+	inst, err := placement.NewInstance(r, svcs, 0.6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return inst
+}
+
+// BenchmarkStochasticFrontier (A9) charts the evaluation/quality
+// frontier of the sampled greedy on generated hierarchical ISPs: for
+// each scale, the exact n·k greedy sweep is the baseline, and each ε
+// row reports its objective evaluations, its value as a fraction of the
+// exact-greedy value (value-ratio), and the evaluation saving
+// (eval-saving, the ×-fewer-evaluations factor; the structural bound is
+// σ/ln(1/ε), independent of the ground-set size). The warm-place row
+// times only the warm-started greedy on a prebuilt single-edge-delta
+// instance — the algorithmic half of the server's
+// PUT /v1/scenarios/{id}/network hot path — reporting the gain-cache
+// hit counters; instance-rebuild times the other half (topology, lazy
+// router, instance construction), which the re-placement pays once per
+// delta regardless of algorithm. The small scale runs the paper's
+// headline distinguishability objective and is the CI smoke gate;
+// hier10k is the archived 10k-node frontier on coverage (MCSP), the
+// objective whose evaluations stay cheap enough at that scale for an
+// honest exact baseline (a distinguishability evaluation clones a
+// 10k-node partition, ~3ms, which makes exact greedy a multi-hour
+// measurement — see EXPERIMENTS.md for that trade-off).
+func BenchmarkStochasticFrontier(b *testing.B) {
+	distinguish, err := placement.NewDistinguishability(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	scales := []struct {
+		name              string
+		spec              topology.HierarchySpec
+		services, clients int
+		obj               placement.Objective
+		epsilons          []float64
+	}{
+		{"small", topology.HierarchySpec{Name: "hier-small", Core: 4, AggPerCore: 2, EdgePerAgg: 3, HostsPerEdge: 4, Seed: 7}, 3, 0, distinguish, []float64{0.05, 0.1, 0.2}},
+		{"hier10k", topology.Hierarchy10k, 12, 40, placement.NewCoverage(), []float64{0.1, 0.2, 0.4}},
+	}
+	for _, sc := range scales {
+		sc := sc
+		b.Run(sc.name, func(b *testing.B) {
+			obj := sc.obj
+			inst := hierarchyBenchInstance(b, sc.spec, sc.services, sc.clients, nil)
+			exact, err := placement.Greedy(inst, obj)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if exact.Value <= 0 {
+				b.Fatalf("exact greedy value %v on %s", exact.Value, sc.name)
+			}
+			b.Run("exact", func(b *testing.B) {
+				evals := 0
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					res, err := placement.Greedy(inst, obj)
+					if err != nil {
+						b.Fatal(err)
+					}
+					evals += res.Evaluations
+				}
+				b.ReportMetric(float64(evals)/float64(b.N), "evaluations/op")
+				b.ReportMetric(1, "value-ratio")
+			})
+			for _, eps := range sc.epsilons {
+				b.Run(fmt.Sprintf("eps=%g", eps), func(b *testing.B) {
+					evals, val := 0, 0.0
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						res, err := placement.GreedyStochastic(inst, obj, eps, 42)
+						if err != nil {
+							b.Fatal(err)
+						}
+						evals += res.Evaluations
+						val = res.Value
+					}
+					perOp := float64(evals) / float64(b.N)
+					b.ReportMetric(perOp, "evaluations/op")
+					b.ReportMetric(val/exact.Value, "value-ratio")
+					b.ReportMetric(float64(exact.Evaluations)/perOp, "eval-saving")
+				})
+			}
+			// A chord between edge routers under different cores: a
+			// realistic single-link change that reroutes a slice of the
+			// measurement paths.
+			aggBase := sc.spec.Core
+			edgeBase := aggBase + sc.spec.Core*sc.spec.AggPerCore
+			numEdge := sc.spec.Core * sc.spec.AggPerCore * sc.spec.EdgePerAgg
+			chord := [2]int{edgeBase, edgeBase + numEdge - 1}
+			b.Run("instance-rebuild", func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					hierarchyBenchInstance(b, sc.spec, sc.services, sc.clients, [][2]int{chord})
+				}
+			})
+			b.Run("warm-place", func(b *testing.B) {
+				delta := hierarchyBenchInstance(b, sc.spec, sc.services, sc.clients, [][2]int{chord})
+				w := placement.NewWarmPlacer()
+				if _, _, err := w.Place(context.Background(), inst, obj, 0, nil); err != nil {
+					b.Fatal(err)
+				}
+				var reused, recomputed int
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					// Alternate delta/base so every iteration re-places
+					// against a changed topology instead of a cache-warm
+					// repeat of the same instance.
+					next := delta
+					if i%2 == 1 {
+						next = inst
+					}
+					_, stats, err := w.Place(context.Background(), next, obj, 0, nil)
+					if err != nil {
+						b.Fatal(err)
+					}
+					reused += stats.Reused
+					recomputed += stats.Recomputed
+				}
+				b.ReportMetric(float64(reused)/float64(b.N), "gains-reused/op")
+				b.ReportMetric(float64(recomputed)/float64(b.N), "gains-recomputed/op")
+			})
+		})
 	}
 }

@@ -1,0 +1,99 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSparseBasics(t *testing.T) {
+	s := SparseFromNodes(10, []int{7, 3, 3, 5})
+	if s.Cap() != 10 {
+		t.Fatalf("Cap = %d, want 10", s.Cap())
+	}
+	if s.Count() != 3 {
+		t.Fatalf("Count = %d (dup not removed?), want 3", s.Count())
+	}
+	want := []int{3, 5, 7}
+	got := s.Indices()
+	for i, v := range want {
+		if got[i] != v {
+			t.Fatalf("Indices = %v, want %v", got, want)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		inWant := i == 3 || i == 5 || i == 7
+		if s.Contains(i) != inWant {
+			t.Fatalf("Contains(%d) = %v, want %v", i, s.Contains(i), inWant)
+		}
+	}
+	if s.Contains(-1) || s.Contains(10) {
+		t.Fatal("out-of-range Contains should be false")
+	}
+	if s.String() != "{3, 5, 7}" {
+		t.Fatalf("String = %q", s.String())
+	}
+}
+
+func TestSparseOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range index")
+		}
+	}()
+	SparseFromNodes(5, []int{5})
+}
+
+func TestSparseDenseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(300)
+		d := New(n)
+		for i := 0; i < rng.Intn(n+1); i++ {
+			d.Add(rng.Intn(n))
+		}
+		s := SparseFromSet(d)
+		if !s.Dense().Equal(d) {
+			t.Fatalf("n=%d: Dense(SparseFromSet(d)) != d", n)
+		}
+		if s.Count() != d.Count() {
+			t.Fatalf("n=%d: Count %d != %d", n, s.Count(), d.Count())
+		}
+		// Contains agrees everywhere.
+		for v := -1; v <= n; v++ {
+			if s.Contains(v) != d.Contains(v) {
+				t.Fatalf("n=%d v=%d: Contains mismatch", n, v)
+			}
+		}
+		// UnionInto seeds a fresh dense set identically.
+		u := New(n)
+		s.UnionInto(u)
+		if !u.Equal(d) {
+			t.Fatalf("n=%d: UnionInto mismatch", n)
+		}
+		// Hash/Key/Equal consistency against an independent rebuild.
+		s2 := SparseFromNodes(n, d.Indices())
+		if !s.Equal(s2) || s.Key() != s2.Key() || s.Hash() != s2.Hash() {
+			t.Fatalf("n=%d: Equal/Key/Hash not stable across construction paths", n)
+		}
+	}
+}
+
+func TestSparseKeyDistinguishes(t *testing.T) {
+	a := SparseFromNodes(600, []int{1, 256})
+	b := SparseFromNodes(600, []int{257})
+	if a.Key() == b.Key() {
+		t.Fatal("distinct sets share a Key")
+	}
+	if a.Equal(b) {
+		t.Fatal("distinct sets reported Equal")
+	}
+}
+
+func TestSparseUnionIntoUniverseMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected universe-mismatch panic")
+		}
+	}()
+	SparseFromNodes(4, []int{1}).UnionInto(New(5))
+}

@@ -87,3 +87,57 @@ func TestHistEmptyAndNegative(t *testing.T) {
 		t.Fatalf("negative observation not clamped: sum=%v count=%d", h.Sum(), h.Count())
 	}
 }
+
+// TestHistBoundaryBucket pins the bucket edge semantics: an observation
+// exactly equal to a bound lands in that bound's bucket (Prometheus `le`
+// semantics), deterministically, and the next representable value above
+// it lands in the following bucket. A flapping edge would make merged
+// histograms from different workers disagree on identical inputs.
+func TestHistBoundaryBucket(t *testing.T) {
+	for _, i := range []int{0, 5, len(histBounds) / 2, len(histBounds) - 1} {
+		h := NewHist()
+		b := histBounds[i]
+		h.Observe(b)
+		if h.counts[i] != 1 {
+			t.Errorf("bound %d (%v): observation on the edge missed its bucket (counts=%v over=%d)",
+				i, b, h.counts[i], h.over)
+		}
+		above := math.Nextafter(b, math.Inf(1))
+		h.Observe(above)
+		switch {
+		case i == len(histBounds)-1:
+			if h.over != 1 {
+				t.Errorf("bound %d: next-above the last bound should overflow, over=%d", i, h.over)
+			}
+		default:
+			if h.counts[i+1] != 1 {
+				t.Errorf("bound %d: next-above landed in bucket counts=%v, want bucket %d",
+					i, h.counts, i+1)
+			}
+		}
+	}
+}
+
+// TestHistSingletonQuantiles pins the one-observation edge: every
+// quantile of a singleton histogram is the observation itself — never a
+// panic, never a false 0, never the covering bucket's upper bound.
+func TestHistSingletonQuantiles(t *testing.T) {
+	for _, v := range []float64{0, 100e-6, 0.0123, 1.7, 500 /* past the last bound */} {
+		h := NewHist()
+		h.Observe(v)
+		for _, q := range []float64{0.001, 0.5, 0.99, 0.999, 1} {
+			got := h.Quantile(q)
+			if got != v {
+				t.Errorf("singleton %v: q%v = %v, want the observation", v, q, got)
+			}
+		}
+	}
+	// Two observations: p999's rank covers the larger one, and the
+	// recorded max caps interpolation so the answer is exact.
+	h := NewHist()
+	h.Observe(0.010)
+	h.Observe(0.020)
+	if got := h.Quantile(0.999); got != 0.020 {
+		t.Errorf("two-point p999 = %v, want 0.020", got)
+	}
+}

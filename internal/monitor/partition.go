@@ -63,9 +63,38 @@ func (pt *Partition) NumNodes() int { return pt.numNodes }
 // nodes (v0 not counted as a separate group).
 func (pt *Partition) NumGroups() int { return len(pt.groups) }
 
+// pathMembership is the read side the refinement needs from a path;
+// both the dense bitset.Set and the sparse bitset.Sparse satisfy it, so
+// Refine and RefineSparse share one splitting implementation.
+type pathMembership interface {
+	Contains(v int) bool
+	Cap() int
+}
+
 // Refine splits the partition according to the node membership of the new
 // paths and marks their nodes covered. Paths must use the node universe.
 func (pt *Partition) Refine(paths []*bitset.Set) {
+	refinePartition(pt, paths)
+	for _, p := range paths {
+		pt.covered.UnionWith(p)
+	}
+}
+
+// RefineSparse is Refine over sparse paths — the representation the
+// placement engines store at 10k+ nodes. The resulting partition is
+// identical to Refine over the equivalent dense paths.
+func (pt *Partition) RefineSparse(paths []*bitset.Sparse) {
+	refinePartition(pt, paths)
+	for _, p := range paths {
+		p.UnionInto(pt.covered)
+	}
+}
+
+// refinePartition performs the group-splitting half of a refinement
+// (coverage marking differs per representation and stays with the
+// caller). Generic methods are not a thing in Go, hence the free
+// function.
+func refinePartition[P pathMembership](pt *Partition, paths []P) {
 	if len(paths) == 0 {
 		return
 	}
@@ -83,15 +112,12 @@ func (pt *Partition) Refine(paths []*bitset.Set) {
 		next = append(next, splitGroup(group, paths)...)
 	}
 	pt.groups = next
-	for _, p := range paths {
-		pt.covered.UnionWith(p)
-	}
 }
 
 // splitGroup partitions a node group by membership pattern across paths.
 // Patterns are uint64 bitmasks for ≤64 paths (the common case: one
 // placement contributes |C_s| paths) and string keys beyond that.
-func splitGroup(group []int, paths []*bitset.Set) [][]int {
+func splitGroup[P pathMembership](group []int, paths []P) [][]int {
 	if len(paths) <= 64 {
 		buckets := map[uint64][]int{}
 		var order []uint64

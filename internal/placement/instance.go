@@ -72,14 +72,17 @@ func (p Placement) Clone() Placement {
 
 // element is one ground-set member of the Section V-A1 partition matroid:
 // service s placed on candidate host h, carrying its measurement paths
-// P(C_s, h).
+// P(C_s, h). Paths are held sparse — sorted node indices, memory
+// proportional to hop count — because the instance keeps every
+// candidate pair's paths alive at once and the dense form is O(N) per
+// path, prohibitive at 10k–100k nodes.
 type element struct {
 	service int
 	host    graph.NodeID
 	// paths holds one path per client, index-aligned with
 	// Service.Clients — the per-connection view the serving and
 	// localization layers rely on.
-	paths []*bitset.Set
+	paths []*bitset.Sparse
 	// evalPaths is paths with duplicate node sets removed. Every
 	// objective evaluator is idempotent in repeated paths — coverage
 	// unions, partition refinement, and signature-based enumeration all
@@ -88,13 +91,13 @@ type element struct {
 	// making every per-element path distinct and evalPaths an alias of
 	// paths; the dedup is the guard that keeps evaluation counts honest
 	// should coincident paths ever become constructible.
-	evalPaths []*bitset.Set
+	evalPaths []*bitset.Sparse
 }
 
 // dedupPaths returns paths with duplicate node sets removed, keeping the
 // first occurrence. The input slice is returned unchanged (not copied)
 // when every path is distinct.
-func dedupPaths(paths []*bitset.Set) []*bitset.Set {
+func dedupPaths(paths []*bitset.Sparse) []*bitset.Sparse {
 	seen := make(map[string]struct{}, len(paths))
 	out := paths
 	deduped := false
@@ -102,7 +105,7 @@ func dedupPaths(paths []*bitset.Set) []*bitset.Set {
 		k := p.Key()
 		if _, dup := seen[k]; dup {
 			if !deduped {
-				out = append([]*bitset.Set(nil), paths[:i]...)
+				out = append([]*bitset.Sparse(nil), paths[:i]...)
 				deduped = true
 			}
 			continue
@@ -166,7 +169,7 @@ func NewInstance(r *routing.Router, services []Service, alpha float64) (*Instanc
 		inst.candidates[s] = hosts
 		inst.elemIndex[s] = make([]int, len(hosts))
 		for i, h := range hosts {
-			paths, err := r.PathSet(svc.Clients, h)
+			paths, err := r.SparsePathSet(svc.Clients, h)
 			if err != nil {
 				return nil, fmt.Errorf("placement: service %d (%s) host %d: %w", s, svc.Name, h, err)
 			}
@@ -203,15 +206,35 @@ func (inst *Instance) Candidates(s int) []graph.NodeID { return inst.candidates[
 // Profile returns the QoS distance profile for service s.
 func (inst *Instance) Profile(s int) *qos.Profile { return inst.profiles[s] }
 
-// ServicePaths returns P(C_s, h), precomputed, for a candidate host h of
-// service s. It returns an error if h is not a candidate.
+// ServicePaths returns P(C_s, h), for a candidate host h of service s,
+// as dense node sets materialized from the instance's sparse storage.
+// It returns an error if h is not a candidate.
 //
 // The result is index-aligned with the service's Clients slice — entry i
 // is the routed path of Clients[i] — and may therefore contain duplicate
 // paths when a client is listed twice. Observation ingest and
 // localization depend on this alignment; objective evaluation should use
-// EvalPaths instead.
+// EvalPaths instead, which serves the stored sparse form without the
+// O(clients × N) materialization cost.
 func (inst *Instance) ServicePaths(s int, h graph.NodeID) ([]*bitset.Set, error) {
+	for i, cand := range inst.candidates[s] {
+		if cand == h {
+			sparse := inst.elements[inst.elemIndex[s][i]].paths
+			dense := make([]*bitset.Set, len(sparse))
+			for j, p := range sparse {
+				dense[j] = p.Dense()
+			}
+			return dense, nil
+		}
+	}
+	return nil, fmt.Errorf("placement: host %d not a candidate for service %d", h, s)
+}
+
+// SparsePaths returns P(C_s, h) in the stored sparse representation,
+// index-aligned with the service's Clients slice like ServicePaths but
+// without materializing dense sets. The slices and sets are shared;
+// treat them as read-only.
+func (inst *Instance) SparsePaths(s int, h graph.NodeID) ([]*bitset.Sparse, error) {
 	for i, cand := range inst.candidates[s] {
 		if cand == h {
 			return inst.elements[inst.elemIndex[s][i]].paths, nil
@@ -224,7 +247,7 @@ func (inst *Instance) ServicePaths(s int, h graph.NodeID) ([]*bitset.Set, error)
 // objective evaluators consume (identical objective values, fewer
 // refinements). Unlike ServicePaths the result is NOT index-aligned with
 // the service's clients.
-func (inst *Instance) EvalPaths(s int, h graph.NodeID) ([]*bitset.Set, error) {
+func (inst *Instance) EvalPaths(s int, h graph.NodeID) ([]*bitset.Sparse, error) {
 	for i, cand := range inst.candidates[s] {
 		if cand == h {
 			return inst.elements[inst.elemIndex[s][i]].evalPaths, nil

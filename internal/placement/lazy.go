@@ -137,6 +137,21 @@ func GreedyLazyParallelCtx(ctx context.Context, inst *Instance, obj Objective, w
 // greedyLazy is the shared CELF engine; workers == 1 is the sequential
 // variant.
 func greedyLazy(ctx context.Context, inst *Instance, obj Objective, workers int, progress ProgressFunc) (*Result, error) {
+	return greedyLazySeeded(ctx, inst, obj, workers, progress, nil, 0)
+}
+
+// greedyLazySeeded is the CELF engine with an optional warm start. A nil
+// seeds reproduces the cold engine exactly: every ground element is
+// evaluated once against the empty placement (plain greedy's first
+// round) before selection begins. A non-nil seeds must hold one entry
+// per ground element carrying its exact round-0 marginal gain
+// (f({e}) − f(∅)), stamped round 0; the engine then skips the initial
+// sweep and counts only preEvals evaluations toward round 0 — the
+// number of seed gains the caller had to compute fresh rather than
+// serve from a cache. Because a correct seed set is value-identical to
+// what the cold sweep would produce, the selection sequence — and thus
+// the placement, order, and value — is bit-for-bit the cold engine's.
+func greedyLazySeeded(ctx context.Context, inst *Instance, obj Objective, workers int, progress ProgressFunc, seeds []lazyEntry, preEvals int) (*Result, error) {
 	res := &Result{Placement: NewPlacement(inst.NumServices())}
 	base := obj.newEvaluator(inst.NumNodes())
 	baseVal := base.Value()
@@ -183,13 +198,22 @@ func greedyLazy(ctx context.Context, inst *Instance, obj Objective, workers int,
 		res.Evaluations += len(ents)
 	}
 
-	// Initial sweep: every ground element evaluated once against the empty
-	// placement — exactly the first round of plain greedy.
-	h := make(lazyHeap, len(inst.elements))
-	for e := range inst.elements {
-		h[e] = lazyEntry{elem: e}
+	var h lazyHeap
+	if seeds == nil {
+		// Initial sweep: every ground element evaluated once against the
+		// empty placement — exactly the first round of plain greedy.
+		h = make(lazyHeap, len(inst.elements))
+		for e := range inst.elements {
+			h[e] = lazyEntry{elem: e}
+		}
+		refresh(h, 0, false)
+	} else {
+		if len(seeds) != len(inst.elements) {
+			return nil, fmt.Errorf("placement: %d warm-start seeds for %d ground elements", len(seeds), len(inst.elements))
+		}
+		h = lazyHeap(seeds)
+		res.Evaluations += preEvals
 	}
-	refresh(h, 0, false)
 	heap.Init(&h)
 
 	var batch []lazyEntry

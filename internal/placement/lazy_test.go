@@ -253,13 +253,13 @@ func TestGreedyLazyValidation(t *testing.T) {
 // collapse to the first occurrence, and fully distinct inputs are
 // returned as the same slice (no copy).
 func TestDedupPaths(t *testing.T) {
-	mk := func(idx ...int) *bitset.Set { return bitset.FromIndices(8, idx...) }
+	mk := func(idx ...int) *bitset.Sparse { return bitset.SparseFromNodes(8, idx) }
 	a, b, c := mk(0, 1), mk(2, 3), mk(0, 1) // c duplicates a's node set
-	got := dedupPaths([]*bitset.Set{a, b, c, b})
+	got := dedupPaths([]*bitset.Sparse{a, b, c, b})
 	if len(got) != 2 || got[0] != a || got[1] != b {
 		t.Fatalf("dedupPaths kept %d paths, want [a b]", len(got))
 	}
-	distinct := []*bitset.Set{a, b, mk(4)}
+	distinct := []*bitset.Sparse{a, b, mk(4)}
 	if out := dedupPaths(distinct); len(out) != 3 || &out[0] != &distinct[0] {
 		t.Fatal("dedupPaths should alias a fully distinct input slice")
 	}
@@ -268,9 +268,11 @@ func TestDedupPaths(t *testing.T) {
 // TestEvalPathsAliasesServicePaths pins the invariant the dedup relies
 // on today: the routing layer rejects duplicate clients at construction,
 // so every precomputed path of an element is distinct and EvalPaths
-// returns exactly the ServicePaths slice. The dedup machinery is the
-// guard that keeps evaluation counts honest should coincident paths ever
-// become constructible.
+// returns exactly the stored SparsePaths slice (ServicePaths now
+// materializes dense copies on demand, so the aliasing is checked
+// against the sparse accessor). The dedup machinery is the guard that
+// keeps evaluation counts honest should coincident paths ever become
+// constructible.
 func TestEvalPathsAliasesServicePaths(t *testing.T) {
 	g, err := topology.RandomConnected(10, 16, 42)
 	if err != nil {
@@ -294,7 +296,7 @@ func TestEvalPathsAliasesServicePaths(t *testing.T) {
 	}
 	for s := 0; s < inst.NumServices(); s++ {
 		for _, h := range inst.Candidates(s) {
-			sp, err := inst.ServicePaths(s, h)
+			sp, err := inst.SparsePaths(s, h)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -306,7 +308,17 @@ func TestEvalPathsAliasesServicePaths(t *testing.T) {
 				t.Fatalf("service %d host %d: EvalPaths dropped paths from a distinct set", s, h)
 			}
 			if &sp[0] != &ep[0] {
-				t.Fatalf("service %d host %d: EvalPaths should alias ServicePaths when distinct", s, h)
+				t.Fatalf("service %d host %d: EvalPaths should alias SparsePaths when distinct", s, h)
+			}
+			// ServicePaths materializes dense copies of the same node sets.
+			dense, err := inst.ServicePaths(s, h)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range dense {
+				if !sp[i].Dense().Equal(dense[i]) {
+					t.Fatalf("service %d host %d path %d: dense materialization mismatch", s, h, i)
+				}
 			}
 		}
 	}

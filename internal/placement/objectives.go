@@ -32,9 +32,11 @@ type Objective interface {
 // evaluations (line 4 of Algorithm 2). A clone is fully independent of
 // its origin, so an algorithm may adopt a trial evaluator as its new
 // running state — Greedy and GreedyLazy keep the winning trial of each
-// round instead of re-adding the chosen paths.
+// round instead of re-adding the chosen paths. Paths arrive in the
+// sparse representation the instance stores; evaluators whose internal
+// structure is dense convert at the boundary.
 type evaluator interface {
-	Add(paths []*bitset.Set)
+	Add(paths []*bitset.Sparse)
 	Clone() evaluator
 	Value() float64
 }
@@ -81,9 +83,9 @@ type coverageEval struct {
 	interest *bitset.Set
 }
 
-func (e *coverageEval) Add(paths []*bitset.Set) {
+func (e *coverageEval) Add(paths []*bitset.Sparse) {
 	for _, p := range paths {
-		e.covered.UnionWith(p)
+		p.UnionInto(e.covered)
 	}
 }
 
@@ -127,7 +129,7 @@ type partitionEval struct {
 	interest *bitset.Set
 }
 
-func (e *partitionEval) Add(paths []*bitset.Set) { e.pt.Refine(paths) }
+func (e *partitionEval) Add(paths []*bitset.Sparse) { e.pt.RefineSparse(paths) }
 
 func (e *partitionEval) Clone() evaluator {
 	return &partitionEval{pt: e.pt.Clone(), value: e.value, interest: e.interest}
@@ -280,8 +282,15 @@ type enumerationEval struct {
 	kind enumerationKind
 }
 
-func (e *enumerationEval) Add(paths []*bitset.Set) {
-	if err := e.ps.AddAll(paths); err != nil {
+func (e *enumerationEval) Add(paths []*bitset.Sparse) {
+	// Enumeration only ever runs at k ≥ 2 on small networks (it is
+	// exponential in k), so materializing dense sets here is cheap and
+	// keeps monitor.PathSet's dense signature machinery untouched.
+	dense := make([]*bitset.Set, len(paths))
+	for i, p := range paths {
+		dense[i] = p.Dense()
+	}
+	if err := e.ps.AddAll(dense); err != nil {
 		// Paths come from the instance's precomputed elements, which are
 		// validated at construction; failure here is a programming error.
 		panic(fmt.Sprintf("placement: %v", err))

@@ -1,0 +1,245 @@
+package placement
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/graph"
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+// warmTestSpec is small enough that every property-test step re-solves
+// in milliseconds yet has a real three-tier hierarchy for edge deltas
+// to reroute through.
+var warmTestSpec = topology.HierarchySpec{
+	Name: "warm-h", Core: 4, AggPerCore: 2, EdgePerAgg: 3, HostsPerEdge: 2, Seed: 11,
+}
+
+// warmInstance rebuilds the warmTestSpec topology with the given extra
+// edges applied on top of the base wiring and returns a placement
+// instance over three services drawn from the host tier. The router is
+// lazy, as the server's re-placement path uses it.
+func warmInstance(t *testing.T, extras [][2]int) *Instance {
+	t.Helper()
+	base, err := topology.BuildHierarchy(warmTestSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.New(base.Graph.NumNodes())
+	for _, e := range base.Graph.Edges() {
+		if err := g.AddWeightedEdge(e.U, e.V, e.Weight); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, e := range extras {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r, err := routing.NewLazy(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc := base.CandidateClients
+	svcs := []Service{
+		{Name: "a", Clients: cc[:len(cc)/3]},
+		{Name: "b", Clients: cc[len(cc)/3 : 2*len(cc)/3]},
+		{Name: "c", Clients: cc[2*len(cc)/3:]},
+	}
+	inst, err := NewInstance(r, svcs, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+// TestWarmPlacerMatchesColdAcrossDeltas is the warm-start property
+// test: after every step of a random sequence of topology edge deltas
+// (toggling chords between infrastructure routers), the warm-start
+// placement must be bit-identical — hosts, order, value — to a cold
+// GreedyLazy run on the step's topology.
+func TestWarmPlacerMatchesColdAcrossDeltas(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	// Candidate chords between edge routers under different cores.
+	aggBase := warmTestSpec.Core
+	edgeBase := aggBase + warmTestSpec.Core*warmTestSpec.AggPerCore
+	numEdge := warmTestSpec.Core * warmTestSpec.AggPerCore * warmTestSpec.EdgePerAgg
+	var chords [][2]int
+	for i := 0; i < numEdge; i += 5 {
+		for j := i + 3; j < numEdge; j += 7 {
+			chords = append(chords, [2]int{edgeBase + i, edgeBase + j})
+		}
+	}
+	active := map[int]bool{}
+	current := func() [][2]int {
+		var out [][2]int
+		for i, c := range chords {
+			if active[i] {
+				out = append(out, c)
+			}
+		}
+		return out
+	}
+
+	for _, obj := range []Objective{NewCoverage(), mustDist1(t)} {
+		w := NewWarmPlacer()
+		for i := range active {
+			delete(active, i)
+		}
+		for step := 0; step < 8; step++ {
+			if step > 0 {
+				i := rng.Intn(len(chords))
+				active[i] = !active[i]
+			}
+			inst := warmInstance(t, current())
+			warm, stats, err := w.Place(context.Background(), inst, obj, 1, nil)
+			if err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+			cold, err := GreedyLazy(warmInstance(t, current()), obj)
+			if err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+			if !reflect.DeepEqual(warm.Placement.Hosts, cold.Placement.Hosts) ||
+				!reflect.DeepEqual(warm.Order, cold.Order) || warm.Value != cold.Value {
+				t.Fatalf("step %d (%s): warm %v/%v (%v) != cold %v/%v (%v)",
+					step, obj.Name(), warm.Placement.Hosts, warm.Order, warm.Value,
+					cold.Placement.Hosts, cold.Order, cold.Value)
+			}
+			if stats.Reused+stats.Recomputed != stats.Total {
+				t.Fatalf("step %d: stats %+v do not add up", step, stats)
+			}
+			if step == 0 && stats.Reused != 0 {
+				t.Fatalf("cold first run reused %d gains", stats.Reused)
+			}
+		}
+	}
+}
+
+// TestWarmPlacerNoChangeReusesEverything pins the best case: a repeat
+// run on an unchanged topology serves every round-0 gain from cache and
+// spends strictly fewer evaluations than the cold engine.
+func TestWarmPlacerNoChangeReusesEverything(t *testing.T) {
+	obj := NewCoverage()
+	w := NewWarmPlacer()
+	inst := warmInstance(t, nil)
+	first, stats, err := w.Place(context.Background(), inst, obj, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Recomputed != stats.Total || stats.Reused != 0 {
+		t.Fatalf("first run stats %+v, want all recomputed", stats)
+	}
+	again, stats, err := w.Place(context.Background(), warmInstance(t, nil), obj, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Reused != stats.Total || stats.Recomputed != 0 {
+		t.Fatalf("repeat run stats %+v, want all reused", stats)
+	}
+	if !reflect.DeepEqual(again.Placement.Hosts, first.Placement.Hosts) {
+		t.Fatal("repeat run changed the placement")
+	}
+	if again.Evaluations >= first.Evaluations {
+		t.Fatalf("repeat run evaluations %d not below cold %d", again.Evaluations, first.Evaluations)
+	}
+}
+
+// TestWarmPlacerInvalidation covers the cache-scoping rules: switching
+// objectives must drop the cache, and a local edge delta must leave the
+// untouched majority of elements cached.
+func TestWarmPlacerInvalidation(t *testing.T) {
+	w := NewWarmPlacer()
+	ctx := context.Background()
+	if _, _, err := w.Place(ctx, warmInstance(t, nil), NewCoverage(), 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Different objective: nothing may be reused.
+	_, stats, err := w.Place(ctx, warmInstance(t, nil), mustDist1(t), 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Reused != 0 {
+		t.Fatalf("objective switch reused %d gains", stats.Reused)
+	}
+	// A link between two hosts on the same edge router shortens only the
+	// path between that pair (it cannot serve as transit for any other
+	// pair), so almost every element keeps its path signature and the
+	// cache must survive the delta largely intact.
+	hostBase := warmTestSpec.NumNodes() - warmTestSpec.Core*warmTestSpec.AggPerCore*
+		warmTestSpec.EdgePerAgg*warmTestSpec.HostsPerEdge
+	_, stats, err = w.Place(ctx, warmInstance(t, [][2]int{{hostBase, hostBase + 1}}), mustDist1(t), 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Reused == 0 {
+		t.Fatal("local edge delta invalidated the whole cache")
+	}
+}
+
+// TestPathSignature pins the cache-key mechanism directly: signatures
+// must be insensitive to nothing and sensitive to everything — any
+// change in path membership, path count, or order-preserving content
+// must change the fingerprint.
+func TestPathSignature(t *testing.T) {
+	mk := func(nodes ...[]int) []*bitset.Sparse {
+		out := make([]*bitset.Sparse, len(nodes))
+		for i, ns := range nodes {
+			out[i] = bitset.SparseFromNodes(16, ns)
+		}
+		return out
+	}
+	base := signature(mk([]int{0, 1, 2}, []int{3, 4}))
+	if base != signature(mk([]int{0, 1, 2}, []int{3, 4})) {
+		t.Fatal("identical path sets hashed differently")
+	}
+	for name, other := range map[string][]*bitset.Sparse{
+		"rerouted path":  mk([]int{0, 1, 5}, []int{3, 4}),
+		"dropped path":   mk([]int{0, 1, 2}),
+		"extra path":     mk([]int{0, 1, 2}, []int{3, 4}, []int{5}),
+		"swapped order":  mk([]int{3, 4}, []int{0, 1, 2}),
+		"moved boundary": mk([]int{0, 1}, []int{2, 3, 4}),
+	} {
+		if signature(other) == base {
+			t.Fatalf("%s produced a colliding signature", name)
+		}
+	}
+}
+
+// TestWarmPlacerNonSubmodularFallback: identifiability cannot be warm
+// started; the placer must produce exact Greedy's result with zeroed
+// stats.
+func TestWarmPlacerNonSubmodularFallback(t *testing.T) {
+	ident, err := NewIdentifiability(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWarmPlacer()
+	inst := paperInstances(t, 0.6)["Abovenet"]
+	got, stats, err := w.Place(context.Background(), inst, ident, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats != (WarmStats{}) {
+		t.Fatalf("fallback reported stats %+v", stats)
+	}
+	exact, err := Greedy(inst, ident)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Placement.Hosts, exact.Placement.Hosts) {
+		t.Fatal("fallback placement differs from exact Greedy")
+	}
+}
+
+// TestWarmPlacerNilObjective pins the error surface.
+func TestWarmPlacerNilObjective(t *testing.T) {
+	w := NewWarmPlacer()
+	if _, _, err := w.Place(context.Background(), warmInstance(t, nil), nil, 1, nil); err == nil {
+		t.Fatal("nil objective should error")
+	}
+}

@@ -29,18 +29,40 @@ type Profile struct {
 // possible host in the routed graph. It returns an error when a client is
 // unreachable from some host (the graph should be connected) or when no
 // clients are given.
+//
+// The sweep is client-rooted: Dist[h] = max_c d(c, h) is accumulated
+// from one shortest-path tree per client, so the cost is O(|C|)
+// Dijkstras instead of O(N) — on a lazy router this is what lets
+// candidate computation scale to 10k–100k-node topologies. Distances on
+// an undirected graph are symmetric, so the values match the host-rooted
+// formulation (on unit-weight graphs exactly; on arbitrary float weights
+// up to summation order, which the CandidateHosts boundary tolerance
+// absorbs).
 func NewProfile(r *routing.Router, clients []graph.NodeID) (*Profile, error) {
 	if len(clients) == 0 {
 		return nil, fmt.Errorf("qos: no clients")
 	}
 	n := r.NumNodes()
 	p := &Profile{Dist: make([]float64, n)}
+	for i, c := range clients {
+		d := r.DistancesFrom(c)
+		if i == 0 {
+			copy(p.Dist, d)
+			continue
+		}
+		for h := 0; h < n; h++ {
+			switch {
+			case p.Dist[h] < 0 || d[h] < 0:
+				p.Dist[h] = -1 // some client cannot reach h
+			case d[h] > p.Dist[h]:
+				p.Dist[h] = d[h]
+			}
+		}
+	}
 	for h := 0; h < n; h++ {
-		d := r.Eccentricity(clients, h)
-		if d < 0 {
+		if p.Dist[h] < 0 {
 			return nil, fmt.Errorf("qos: host %d cannot reach every client", h)
 		}
-		p.Dist[h] = d
 	}
 	p.DMin, p.DMax = p.Dist[0], p.Dist[0]
 	for _, d := range p.Dist[1:] {

@@ -123,6 +123,27 @@ func (r *Registry[T]) Put(id string, v T) error {
 	return nil
 }
 
+// Swap replaces the payload registered under id and returns the
+// previous one. It never creates an entry: if id is not registered the
+// swap fails with ErrNotFound and the registry is unchanged. The
+// replacement is atomic under the shard lock, so concurrent Get calls
+// observe either the old or the new payload, never an absent one, and
+// the registry's length is unaffected.
+func (r *Registry[T]) Swap(id string, v T) (T, error) {
+	s := r.shardFor(id)
+	s.mu.Lock()
+	old, ok := s.m[id]
+	if ok {
+		s.m[id] = v
+	}
+	s.mu.Unlock()
+	if !ok {
+		var zero T
+		return zero, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	return old, nil
+}
+
 // Get returns the payload registered under id.
 func (r *Registry[T]) Get(id string) (T, bool) {
 	s := r.shardFor(id)

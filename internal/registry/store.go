@@ -169,7 +169,11 @@ func (s *FileStore) Delete(id string) error {
 
 // Load reads every <id>.json in the directory, in sorted order.
 // Temporary files from interrupted writes (dot-prefixed) are skipped, so
-// a crash mid-Save never resurrects a partial document.
+// a crash mid-Save never resurrects a partial document. Only regular
+// files are considered — the store only ever writes regular files, and
+// following anything else in a hostile directory is a boot hazard (a
+// FIFO named x.json would block ReadFile forever; a symlink can point
+// anywhere).
 func (s *FileStore) Load() (map[string][]byte, error) {
 	entries, err := os.ReadDir(s.dir)
 	if err != nil {
@@ -178,7 +182,7 @@ func (s *FileStore) Load() (map[string][]byte, error) {
 	names := make([]string, 0, len(entries))
 	for _, e := range entries {
 		name := e.Name()
-		if e.IsDir() || !strings.HasSuffix(name, storeExt) || strings.HasPrefix(name, ".") {
+		if !e.Type().IsRegular() || !strings.HasSuffix(name, storeExt) || strings.HasPrefix(name, ".") {
 			continue
 		}
 		names = append(names, name)

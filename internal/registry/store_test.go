@@ -5,7 +5,9 @@ import (
 	"path/filepath"
 	"reflect"
 	"sync"
+	"syscall"
 	"testing"
+	"time"
 )
 
 // storeContract exercises the Store semantics every implementation must
@@ -161,4 +163,64 @@ func TestFileStoreConcurrent(t *testing.T) {
 		}(w)
 	}
 	wg.Wait()
+}
+
+// TestFileStoreHostileDirectory: a scenario directory seeded with
+// adversarial entries — non-regular files wearing the .json suffix,
+// hidden files, names that fail scenario-ID validation — must neither
+// surface bogus scenarios at boot nor hang or fail the Load. A FIFO
+// named like a document is the nastiest case: following it would block
+// ReadFile forever.
+func TestFileStoreHostileDirectory(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "scenarios")
+	s, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save("real", []byte(`{"v":1}`)); err != nil {
+		t.Fatal(err)
+	}
+
+	outside := filepath.Join(t.TempDir(), "outside.json")
+	if err := os.WriteFile(outside, []byte(`{"smuggled":true}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A directory that wears the document suffix.
+	if err := os.Mkdir(filepath.Join(dir, "subdir.json"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	// Symlinks: one to a file outside the store, one to a directory.
+	if err := os.Symlink(outside, filepath.Join(dir, "link.json")); err != nil {
+		t.Skipf("symlinks unavailable: %v", err)
+	}
+	if err := os.Symlink(t.TempDir(), filepath.Join(dir, "dirlink.json")); err != nil {
+		t.Fatal(err)
+	}
+	// A FIFO named like a document: reading it would block forever.
+	if err := syscall.Mkfifo(filepath.Join(dir, "pipe.json"), 0o644); err != nil {
+		t.Skipf("mkfifo unavailable: %v", err)
+	}
+	// Names that fail scenario-ID validation.
+	for _, name := range []string{"..json", ".hidden.json", "bad name.json", "café.json"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("junk"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	done := make(chan struct{})
+	var got map[string][]byte
+	var loadErr error
+	go func() { got, loadErr = s.Load(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Load hung on a hostile directory entry")
+	}
+	if loadErr != nil {
+		t.Fatalf("Load failed on a hostile directory: %v", loadErr)
+	}
+	want := map[string][]byte{"real": []byte(`{"v":1}`)}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("hostile entries leaked into Load: %q", got)
+	}
 }

@@ -9,35 +9,100 @@ package routing
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/bitset"
 	"repro/internal/graph"
 )
 
-// Router precomputes all-pairs shortest paths over a graph and serves
-// measurement paths and distances. Construction costs one Dijkstra per
-// node, matching the complexity budget of Section III-A. A Router is
-// immutable after construction and safe for concurrent use.
+// Router serves shortest-path measurement paths and distances over a
+// graph. New precomputes all-pairs trees up front (one Dijkstra per
+// node, the Section III-A complexity budget — fine up to a few thousand
+// nodes); NewLazy computes each root's tree on first use instead, so
+// memory and CPU scale with the number of distinct roots actually
+// queried (clients plus candidate hosts) rather than N². Both variants
+// produce identical paths and distances and are safe for concurrent use.
 type Router struct {
 	g     *graph.Graph
 	trees []*graph.ShortestPathTree
+
+	// lazy mode: trees entries are filled on demand under mu. Trees are
+	// immutable once published, so readers that already hold a pointer
+	// never need the lock again.
+	lazy bool
+	mu   sync.Mutex
 }
 
-// New builds a Router for g. The graph must be non-empty; for placement it
-// should also be connected (see graph.Validate), but New does not insist so
-// that tests can exercise unreachable pairs.
+// New builds a Router for g with every shortest-path tree precomputed.
+// The graph must be non-empty; for placement it should also be connected
+// (see graph.Validate), but New does not insist so that tests can
+// exercise unreachable pairs.
 func New(g *graph.Graph) (*Router, error) {
-	if g.NumNodes() == 0 {
-		return nil, graph.ErrEmptyGraph
+	r, err := NewLazy(g)
+	if err != nil {
+		return nil, err
 	}
-	r := &Router{
-		g:     g,
-		trees: make([]*graph.ShortestPathTree, g.NumNodes()),
-	}
+	r.lazy = false
 	for v := 0; v < g.NumNodes(); v++ {
 		r.trees[v] = g.Dijkstra(v)
 	}
 	return r, nil
+}
+
+// NewLazy builds a Router that computes each node's shortest-path tree
+// on first use. Queries return exactly what the eager Router returns;
+// only the construction cost moves. Use it for large generated
+// topologies where all-pairs precomputation (O(N) Dijkstras, O(N²)
+// distance memory) is the bottleneck and only a small subset of nodes
+// ever roots a query.
+func NewLazy(g *graph.Graph) (*Router, error) {
+	if g.NumNodes() == 0 {
+		return nil, graph.ErrEmptyGraph
+	}
+	return &Router{
+		g:     g,
+		trees: make([]*graph.ShortestPathTree, g.NumNodes()),
+		lazy:  true,
+	}, nil
+}
+
+// Lazy reports whether the router computes trees on demand.
+func (r *Router) Lazy() bool { return r.lazy }
+
+// TreesBuilt returns how many shortest-path trees have been computed so
+// far — N for an eager router, the number of distinct roots queried for
+// a lazy one. It exists for tests and capacity accounting.
+func (r *Router) TreesBuilt() int {
+	if !r.lazy {
+		return len(r.trees)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, t := range r.trees {
+		if t != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// tree returns v's shortest-path tree, computing and memoizing it in
+// lazy mode. The Dijkstra runs under the mutex: concurrent first
+// touches of the same root would otherwise duplicate the work, and the
+// placement build path is effectively single-threaded per root anyway.
+func (r *Router) tree(v graph.NodeID) *graph.ShortestPathTree {
+	if !r.lazy {
+		return r.trees[v]
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if t := r.trees[v]; t != nil {
+		return t
+	}
+	t := r.g.Dijkstra(v)
+	r.trees[v] = t
+	return t
 }
 
 // Graph returns the routed graph.
@@ -50,7 +115,18 @@ func (r *Router) NumNodes() int { return r.g.NumNodes() }
 func (r *Router) Distance(u, v graph.NodeID) float64 {
 	r.mustHave(u)
 	r.mustHave(v)
-	return r.trees[u].Dist[v]
+	return r.tree(u).Dist[v]
+}
+
+// DistancesFrom returns the distance vector rooted at v: entry u is
+// d(v, u), or -1 if unreachable. The slice is the router's own memoized
+// tree data — callers must treat it as read-only. One call costs one
+// Dijkstra in lazy mode and nothing afterwards, which is what makes the
+// client-rooted QoS sweep (one tree per client instead of one per host)
+// scale to 10k–100k nodes.
+func (r *Router) DistancesFrom(v graph.NodeID) []float64 {
+	r.mustHave(v)
+	return r.tree(v).Dist
 }
 
 // PathNodes returns the node sequence from c to h inclusive, or nil if h is
@@ -61,7 +137,7 @@ func (r *Router) Distance(u, v graph.NodeID) float64 {
 func (r *Router) PathNodes(c, h graph.NodeID) []graph.NodeID {
 	r.mustHave(c)
 	r.mustHave(h)
-	nodes := r.trees[h].PathTo(c)
+	nodes := r.tree(h).PathTo(c)
 	// PathTo walks from the tree root h toward c; present it client-first.
 	for i, j := 0, len(nodes)-1; i < j; i, j = i+1, j-1 {
 		nodes[i], nodes[j] = nodes[j], nodes[i]
@@ -85,6 +161,21 @@ func (r *Router) Path(c, h graph.NodeID) (*bitset.Set, error) {
 	return s, nil
 }
 
+// SparsePath returns p(c, h) in the sparse node-set representation,
+// whose memory is proportional to the hop count rather than the graph
+// size. It returns an error if h is unreachable from c.
+func (r *Router) SparsePath(c, h graph.NodeID) (*bitset.Sparse, error) {
+	nodes := r.PathNodes(c, h)
+	if nodes == nil {
+		return nil, fmt.Errorf("routing: no path between %d and %d", c, h)
+	}
+	ints := make([]int, len(nodes))
+	for i, v := range nodes {
+		ints[i] = int(v)
+	}
+	return bitset.SparseFromNodes(r.g.NumNodes(), ints), nil
+}
+
 // PathSet returns the measurement paths P(C, h) = {p(c, h) : c ∈ C}
 // between every client in C and host h (Section II-C). Duplicate client
 // entries produce duplicate paths and are rejected; unreachable pairs are
@@ -106,13 +197,34 @@ func (r *Router) PathSet(clients []graph.NodeID, h graph.NodeID) ([]*bitset.Set,
 	return out, nil
 }
 
+// SparsePathSet is PathSet in the sparse representation — the form the
+// placement instance stores so path memory scales with total hop count,
+// not clients × N.
+func (r *Router) SparsePathSet(clients []graph.NodeID, h graph.NodeID) ([]*bitset.Sparse, error) {
+	seen := make(map[graph.NodeID]bool, len(clients))
+	out := make([]*bitset.Sparse, 0, len(clients))
+	for _, c := range clients {
+		if seen[c] {
+			return nil, fmt.Errorf("routing: duplicate client %d", c)
+		}
+		seen[c] = true
+		p, err := r.SparsePath(c, h)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
 // Eccentricity returns max_{c ∈ C} d(c, h), the worst-case client distance
 // d(C, h) of Section III-A, or -1 if any client is unreachable from h.
 func (r *Router) Eccentricity(clients []graph.NodeID, h graph.NodeID) float64 {
 	r.mustHave(h)
+	dist := r.tree(h).Dist
 	worst := 0.0
 	for _, c := range clients {
-		d := r.trees[h].Dist[c]
+		d := dist[c]
 		if d < 0 {
 			return -1
 		}

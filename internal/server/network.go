@@ -1,0 +1,199 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"repro/internal/registry"
+	"repro/internal/wal"
+)
+
+// ReviseFunc produces a revised scenario document from the stored one
+// plus a network-change request body (the facade owns both formats, like
+// BuildFunc's spec). It must be pure with respect to the server: the
+// returned document, fed back through BuildScenario, is the scenario's
+// new monitoring state. A warm-start reviser may keep placement caches
+// keyed by scenario ID — the server calls it at most once per accepted
+// PUT /v1/scenarios/{id}/network.
+type ReviseFunc func(id string, spec, change []byte) ([]byte, error)
+
+// errScenarioBusy marks a network replacement refused because the
+// scenario is mid-drain or mid-replacement; the HTTP layer answers 409.
+var errScenarioBusy = errors.New("server: scenario is being modified")
+
+// serveScenarioNetwork handles PUT /v1/scenarios/{id}/network: replace
+// the scenario's network in place, keeping its identity, dedup window,
+// and audit ledger.
+func (s *Server) serveScenarioNetwork(t *tenant, w http.ResponseWriter, r *http.Request) {
+	if s.revise == nil || s.build == nil {
+		writeError(w, http.StatusNotImplemented, "network replacement not configured")
+		return
+	}
+	if s.rejectReadOnly(w) {
+		return
+	}
+	const maxSpec = 1 << 20
+	change, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxSpec))
+	if err != nil {
+		writeError(w, http.StatusRequestEntityTooLarge, "network change exceeds %d bytes", maxSpec)
+		return
+	}
+	nt, err := s.replaceNetwork(t, change)
+	switch {
+	case errors.Is(err, errScenarioBusy):
+		writeError(w, http.StatusConflict, "%v", err)
+	case errors.Is(err, ErrBadSpec):
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+	case errors.Is(err, errWALUnavailable):
+		respondReadOnly(w)
+	case errors.Is(err, registry.ErrNotFound):
+		writeError(w, http.StatusNotFound, "scenario %q not found", t.id)
+	case err != nil:
+		writeError(w, http.StatusBadRequest, "%v", err)
+	default:
+		writeJSON(w, http.StatusOK, nt.info())
+	}
+}
+
+// ReplaceScenarioNetwork revises a hosted scenario's network in place
+// through the configured ReviseFunc: the scenario keeps its ID, dedup
+// window, and audit ledger while monitor state restarts against the new
+// topology. Errors: registry.ErrNotFound, errScenarioBusy surfaced as a
+// conflict, ErrBadSpec-wrapped revise/build failures, or a persistence
+// failure (in which case the old network keeps serving — a replacement
+// either fully survives a restart or changes nothing).
+func (s *Server) ReplaceScenarioNetwork(id string, change []byte) error {
+	if s.revise == nil || s.build == nil {
+		return fmt.Errorf("server: network replacement not configured (no ReviseNetwork)")
+	}
+	if s.readOnly.Load() {
+		return errWALUnavailable
+	}
+	t, ok := s.tenants.Get(id)
+	if !ok {
+		return fmt.Errorf("%w: %q", registry.ErrNotFound, id)
+	}
+	if t.isDraining() {
+		return fmt.Errorf("%w: %q", errScenarioBusy, id)
+	}
+	_, err := s.replaceNetwork(t, change)
+	return err
+}
+
+// replaceNetwork swaps old's registry slot for a tenant rebuilt from the
+// revised document. Sequencing is what makes it safe:
+//
+//   - beginDrain on the old tenant is the concurrency guard: a racing
+//     replacement or removal loses and reports a conflict, and once the
+//     swap lands the orphaned old tenant stays draining forever.
+//   - The swap, the durability record, and old.mon.Close() all happen
+//     under old.ingestMu: an in-flight ingest that already resolved the
+//     old tenant pointer either fully commits before the update record
+//     or fails against the closed monitor after it — the WAL never
+//     records an observation for the old network after the update, so
+//     boot replay rebuilds exactly the live state.
+//   - On a persistence failure the swap is rolled back and the old
+//     tenant un-drained, so served state never runs ahead of durable
+//     state.
+func (s *Server) replaceNetwork(old *tenant, change []byte) (*tenant, error) {
+	if old.spec == nil {
+		return nil, fmt.Errorf("%w: scenario %q was built from boot flags, not a stored document", ErrBadSpec, old.id)
+	}
+	newSpec, err := s.revise(old.id, old.spec, change)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSpec, err)
+	}
+	tc, err := s.build(old.id, newSpec)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSpec, err)
+	}
+	nt, err := s.newTenant(old.id, tc, append([]byte(nil), newSpec...))
+	if err != nil {
+		return nil, err
+	}
+	if !old.beginDrain() {
+		nt.mon.Close()
+		return nil, fmt.Errorf("%w: %q", errScenarioBusy, old.id)
+	}
+	adoptTenantState(old, nt)
+
+	old.ingestMu.Lock()
+	if _, err := s.tenants.Swap(old.id, nt); err != nil {
+		old.ingestMu.Unlock()
+		nt.mon.Close()
+		return nil, err
+	}
+	var perr error
+	if s.wlog != nil {
+		perr = s.walAppendScenario(wal.TypeScenarioUpdate, walScenarioUpdate{ID: old.id, Spec: nt.spec})
+	} else if err := s.store.Save(old.id, nt.spec); err != nil {
+		perr = fmt.Errorf("server: persist scenario %s: %w", old.id, err)
+	}
+	if perr != nil {
+		if _, err := s.tenants.Swap(old.id, old); err != nil {
+			// The slot vanished mid-rollback; nothing to restore.
+			s.logger.Error("network replacement rollback lost the scenario", "scenario", old.id, "error", err)
+		}
+		old.ingestMu.Unlock()
+		old.endDrain()
+		nt.mon.Close()
+		return nil, perr
+	}
+	s.connsGauge.Add(float64(len(nt.conns) - len(old.conns)))
+	s.setOutageGauges(nt)
+	old.mon.Close()
+	old.ingestMu.Unlock()
+	s.logger.Info("scenario network replaced", "scenario", old.id,
+		"connections", len(nt.conns), "was_connections", len(old.conns))
+	return nt, nil
+}
+
+// adoptTenantState moves the surviving per-scenario state from the
+// tenant being replaced onto its successor: the idempotent-ingest window
+// (so a retried batch from before the replacement still replays its
+// original response) and the diagnosis audit ledger (an append-only
+// history of the scenario, not of one network). Monitor state and the
+// stale-diagnosis cache deliberately restart: they describe paths that
+// no longer exist.
+func adoptTenantState(old, nt *tenant) {
+	nt.dedup = old.dedup
+	events, total := old.auditSnapshot(0)
+	nt.restoreAudit(events, total)
+}
+
+// replayScenarioUpdate re-applies one TypeScenarioUpdate record at boot:
+// the same rebuild-adopt-swap as the live path, minus locks (recovery is
+// single-threaded, before the handler exists) and minus the durability
+// append (the record being replayed is the durability).
+func (s *Server) replayScenarioUpdate(seq uint64, p walScenarioUpdate) {
+	old, ok := s.tenants.Get(p.ID)
+	if !ok {
+		s.logger.Warn("WAL replay: network update for unknown scenario skipped", "seq", seq, "scenario", p.ID)
+		return
+	}
+	if s.build == nil {
+		s.logger.Warn("WAL replay: network update skipped (no BuildScenario configured)", "seq", seq, "scenario", p.ID)
+		return
+	}
+	tc, err := s.build(p.ID, p.Spec)
+	if err != nil {
+		s.logger.Warn("WAL replay: network update build failed", "seq", seq, "scenario", p.ID, "error", err)
+		return
+	}
+	nt, err := s.newTenant(p.ID, tc, append([]byte(nil), p.Spec...))
+	if err != nil {
+		s.logger.Warn("WAL replay: network update failed", "seq", seq, "scenario", p.ID, "error", err)
+		return
+	}
+	adoptTenantState(old, nt)
+	if _, err := s.tenants.Swap(p.ID, nt); err != nil {
+		nt.mon.Close()
+		s.logger.Warn("WAL replay: network update swap failed", "seq", seq, "scenario", p.ID, "error", err)
+		return
+	}
+	s.connsGauge.Add(float64(len(nt.conns) - len(old.conns)))
+	s.setOutageGauges(nt)
+	old.mon.Close()
+}

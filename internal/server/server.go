@@ -138,6 +138,10 @@ type Config struct {
 	// state; required to enable the scenario create/load API. When nil,
 	// only the boot-time default tenant (Paths/Place above) is served.
 	BuildScenario BuildFunc
+	// ReviseNetwork produces a revised scenario document from the stored
+	// one plus a network-change request, enabling in-place network
+	// replacement via PUT /v1/scenarios/{id}/network; nil answers 501.
+	ReviseNetwork ReviseFunc
 	// Store persists scenario documents across restarts (default: an
 	// in-memory store, i.e. process-lifetime scenarios only).
 	Store registry.Store
@@ -163,7 +167,8 @@ type Config struct {
 type Server struct {
 	tenants        *registry.Registry[*tenant]
 	store          registry.Store
-	build          BuildFunc // nil disables the scenario create/load API
+	build          BuildFunc  // nil disables the scenario create/load API
+	revise         ReviseFunc // nil disables in-place network replacement
 	labeler        *metrics.Labeler
 	pool           *pool
 	registry       *metrics.Registry
@@ -299,6 +304,7 @@ func New(cfg Config) (*Server, error) {
 		tenants:        registry.New[*tenant](maxScenarios),
 		store:          store,
 		build:          cfg.BuildScenario,
+		revise:         cfg.ReviseNetwork,
 		labeler:        metrics.NewLabeler(seriesCap),
 		pool:           newPool(cfg.Place, workers, depth, reg),
 		registry:       reg,
@@ -409,6 +415,8 @@ func New(cfg Config) (*Server, error) {
 		s.instrument("/v1/scenarios/{id}/traces", s.forScenario(s.serveTenantTraces)))
 	mux.Handle("GET /v1/scenarios/{id}/audit",
 		s.instrument("/v1/scenarios/{id}/audit", s.forScenario(s.serveAudit)))
+	mux.Handle("PUT /v1/scenarios/{id}/network",
+		s.withTimeout(s.instrument("/v1/scenarios/{id}/network", s.forScenario(s.serveScenarioNetwork))))
 
 	mux.Handle("GET /v1/scenarios", s.instrument("/v1/scenarios", http.HandlerFunc(s.handleScenarioList)))
 	mux.Handle("PUT /v1/scenarios/{id}", s.withTimeout(s.instrument("/v1/scenarios/{id}", http.HandlerFunc(s.handleScenarioCreate))))

@@ -107,6 +107,14 @@ func (t *tenant) beginDrain() bool {
 	return true
 }
 
+// endDrain returns a tenant to service after a failed network
+// replacement claimed the drain flag and then rolled back.
+func (t *tenant) endDrain() {
+	t.drainMu.Lock()
+	t.draining = false
+	t.drainMu.Unlock()
+}
+
 // isDraining reports whether the tenant is being removed.
 func (t *tenant) isDraining() bool {
 	t.drainMu.Lock()

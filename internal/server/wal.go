@@ -54,6 +54,15 @@ type walScenarioDelete struct {
 	ID string `json:"id"`
 }
 
+// walScenarioUpdate is the TypeScenarioUpdate payload: the scenario's
+// fully revised document after an in-place network replacement. Replay
+// rebuilds the tenant from the document and adopts the old tenant's
+// dedup window and audit ledger, exactly like the live path.
+type walScenarioUpdate struct {
+	ID   string          `json:"id"`
+	Spec json.RawMessage `json:"spec"`
+}
+
 // walObservations is the TypeObservations payload: the accepted batch's
 // inputs, not its outputs. Replaying the inputs through the monitor
 // regenerates the events, the diagnosis, and the marshaled response
@@ -451,6 +460,13 @@ func (s *Server) replayRecord(r wal.Record) {
 				}
 			}
 		}
+	case wal.TypeScenarioUpdate:
+		var p walScenarioUpdate
+		if err := json.Unmarshal(r.Payload, &p); err != nil {
+			s.logger.Warn("WAL replay: malformed update record skipped", "seq", r.Seq, "error", err)
+			return
+		}
+		s.replayScenarioUpdate(r.Seq, p)
 	case wal.TypeDiagnosis:
 		var p walDiagnosis
 		if err := json.Unmarshal(r.Payload, &p); err != nil {

@@ -1,0 +1,109 @@
+package topology
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestBuildHierarchySmall(t *testing.T) {
+	hs := HierarchySpec{Name: "h", Core: 4, AggPerCore: 2, EdgePerAgg: 3, HostsPerEdge: 2, Seed: 7}
+	topo, err := BuildHierarchy(hs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := topo.Graph.NumNodes(); got != hs.NumNodes() {
+		t.Fatalf("NumNodes = %d, want %d", got, hs.NumNodes())
+	}
+	wantHosts := hs.Core * hs.AggPerCore * hs.EdgePerAgg * hs.HostsPerEdge
+	if len(topo.CandidateClients) != wantHosts {
+		t.Fatalf("%d candidate clients, want %d (the host tier)", len(topo.CandidateClients), wantHosts)
+	}
+	if topo.Spec.Dangling != wantHosts {
+		t.Fatalf("%d dangling, want %d", topo.Spec.Dangling, wantHosts)
+	}
+	// Every host is degree-1 and every candidate client is a host.
+	hostBase := topo.Graph.NumNodes() - wantHosts
+	for _, c := range topo.CandidateClients {
+		if c < graph.NodeID(hostBase) {
+			t.Fatalf("candidate client %d below the host tier (base %d)", c, hostBase)
+		}
+		if topo.Graph.Degree(c) != 1 {
+			t.Fatalf("host %d has degree %d, want 1", c, topo.Graph.Degree(c))
+		}
+	}
+	if err := topo.Graph.Validate(); err != nil {
+		t.Fatalf("graph not connected/simple: %v", err)
+	}
+}
+
+func TestBuildHierarchyDeterministic(t *testing.T) {
+	a, err := BuildHierarchy(Hierarchy10k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildHierarchy(Hierarchy10k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Graph.NumNodes() != b.Graph.NumNodes() || a.Graph.NumEdges() != b.Graph.NumEdges() {
+		t.Fatal("same spec built different graph sizes")
+	}
+	// Edge sets must match exactly, in insertion order.
+	ae, be := a.Graph.Edges(), b.Graph.Edges()
+	for i := range ae {
+		if ae[i] != be[i] {
+			t.Fatalf("edge %d differs: %v vs %v", i, ae[i], be[i])
+		}
+	}
+	// A different seed changes the wiring.
+	alt := Hierarchy10k
+	alt.Seed++
+	c, err := BuildHierarchy(alt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	ce := c.Graph.Edges()
+	for i := range ae {
+		if ae[i] != ce[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical wiring")
+	}
+}
+
+func TestHierarchyReferenceSpecSizes(t *testing.T) {
+	if n := Hierarchy10k.NumNodes(); n < 10_000 || n > 11_000 {
+		t.Fatalf("Hierarchy10k builds %d nodes, want ~10k", n)
+	}
+	if n := Hierarchy100k.NumNodes(); n < 99_000 || n > 101_000 {
+		t.Fatalf("Hierarchy100k builds %d nodes, want ~100k", n)
+	}
+}
+
+func TestHierarchyForNodes(t *testing.T) {
+	for _, target := range []int{500, 2_000, 10_000, 50_000} {
+		hs := HierarchyForNodes("t", target, 1)
+		got := hs.NumNodes()
+		if got < target/2 || got > target*2 {
+			t.Fatalf("HierarchyForNodes(%d) builds %d nodes — not within 2x", target, got)
+		}
+	}
+}
+
+func TestBuildHierarchyRejectsBadSpecs(t *testing.T) {
+	bad := []HierarchySpec{
+		{Name: "no-core", Core: 2, AggPerCore: 1, EdgePerAgg: 1, HostsPerEdge: 1},
+		{Name: "no-agg", Core: 3, AggPerCore: 0, EdgePerAgg: 1, HostsPerEdge: 1},
+		{Name: "no-hosts", Core: 3, AggPerCore: 1, EdgePerAgg: 1, HostsPerEdge: 0},
+	}
+	for _, hs := range bad {
+		if _, err := BuildHierarchy(hs); err == nil {
+			t.Fatalf("%s: expected an error", hs.Name)
+		}
+	}
+}

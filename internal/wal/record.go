@@ -22,6 +22,10 @@ const (
 	// TypeDiagnosis carries one emitted monitoring event — the
 	// tamper-evident audit record of a localization decision.
 	TypeDiagnosis byte = 4
+	// TypeScenarioUpdate carries a scenario ID plus its revised spec
+	// document: an in-place network replacement (PUT .../network) that
+	// preserves the scenario's dedup window and audit ledger.
+	TypeScenarioUpdate byte = 5
 )
 
 // TypeName renders a record type for reports and logs.
@@ -35,6 +39,8 @@ func TypeName(t byte) string {
 		return "observations"
 	case TypeDiagnosis:
 		return "diagnosis"
+	case TypeScenarioUpdate:
+		return "scenario-update"
 	default:
 		return fmt.Sprintf("type-%d", t)
 	}

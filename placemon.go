@@ -101,7 +101,11 @@ func finishNetwork(g *graph.Graph) (*Network, error) {
 	if err := g.Validate(); err != nil {
 		return nil, fmt.Errorf("placemon: %w", err)
 	}
-	router, err := routing.New(g)
+	// Lazy routing: shortest-path trees are built (and memoized) per
+	// queried root, so a 100k-node custom network costs memory and time
+	// proportional to the clients and candidate hosts actually routed,
+	// not O(N²) for all-pairs. Results are identical to eager routing.
+	router, err := routing.NewLazy(g)
 	if err != nil {
 		return nil, fmt.Errorf("placemon: %w", err)
 	}

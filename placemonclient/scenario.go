@@ -108,6 +108,30 @@ func (sc *ScenarioClient) Info(ctx context.Context) (*ScenarioInfo, error) {
 	return &out, nil
 }
 
+// NetworkChange is the body of PUT /v1/scenarios/{id}/network: a
+// replacement network as either a built-in topology name or an inline
+// node count plus undirected edge list (the same forms a scenario
+// document carries).
+type NetworkChange struct {
+	Topology string   `json:"topology,omitempty"`
+	Nodes    int      `json:"nodes,omitempty"`
+	Edges    [][2]int `json:"edges,omitempty"`
+}
+
+// ReplaceNetwork replaces the scenario's network in place: services are
+// re-placed on the new network server-side (warm-started from the
+// previous revision) and monitoring restarts against the new paths,
+// while the scenario keeps its ID, dedup window, and audit ledger.
+// Answers the refreshed status row; a scenario mid-drain or mid-update
+// surfaces as a 409 APIError.
+func (sc *ScenarioClient) ReplaceNetwork(ctx context.Context, change NetworkChange) (*ScenarioInfo, error) {
+	var out ScenarioInfo
+	if _, err := sc.c.do(ctx, http.MethodPut, sc.prefix+"/network", change, &out); err != nil {
+		return nil, scenarioErr(sc.id, err)
+	}
+	return &out, nil
+}
+
 // AuditEvent is one row of a scenario's diagnosis audit ledger: the
 // emitted event pinned to its write-ahead-log record (sequence number
 // and tamper-evident chain hash).

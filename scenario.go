@@ -160,6 +160,7 @@ func (cfg ServerConfig) innerConfig() (server.Config, error) {
 		SlowRequest:        cfg.SlowRequest,
 		TraceBuffer:        cfg.TraceBuffer,
 		BuildScenario:      buildScenario,
+		ReviseNetwork:      newNetworkReviser(),
 		MaxScenarios:       cfg.MaxScenarios,
 		TenantSeriesCap:    cfg.TenantSeriesCap,
 		MaxJobsPerScenario: cfg.MaxJobsPerScenario,

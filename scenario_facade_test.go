@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	placemon "repro"
+	"repro/placemonclient"
 )
 
 // lineScenarioSpec is a self-contained inline scenario: a 5-node line
@@ -218,5 +219,67 @@ func TestScenarioSpecNetworkFallback(t *testing.T) {
 	}
 	if _, err := (placemon.ScenarioSpec{}).Network(); err == nil {
 		t.Fatal("nameless spec built a network")
+	}
+}
+
+// TestReplaceScenarioNetworkEndToEnd drives the full warm-start
+// re-placement stack: facade method and placemonclient against a live
+// server, replacing an inline network and then a built-in topology while
+// the scenario keeps serving under its ID.
+func TestReplaceScenarioNetworkEndToEnd(t *testing.T) {
+	srv, err := placemon.NewScenarioServer(placemon.ServerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	if err := srv.AddScenario("edge-net", lineScenarioSpec()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Grow the line by two nodes; the service is re-placed automatically.
+	change := placemon.NetworkChange{
+		Nodes: 7,
+		Edges: [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 6}},
+	}
+	if err := srv.ReplaceScenarioNetwork("edge-net", change); err != nil {
+		t.Fatal(err)
+	}
+	code, body := scenarioGET(t, ts.URL+"/v1/scenarios/edge-net")
+	if code != http.StatusOK || !strings.Contains(body, `"connections":2`) {
+		t.Fatalf("post-replace info: %d %s", code, body)
+	}
+	resp, err := http.Post(ts.URL+"/v1/scenarios/edge-net/observations", "application/json",
+		strings.NewReader(`{"time":1,"reports":[{"connection":0,"up":false}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-replace ingest: %d", resp.StatusCode)
+	}
+
+	// The same replacement rides the typed client, this time onto a
+	// built-in topology.
+	c, err := placemonclient.New(placemonclient.Config{BaseURL: ts.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := c.Scenario("edge-net").ReplaceNetwork(context.Background(),
+		placemonclient.NetworkChange{Topology: "Abovenet"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.ID != "edge-net" || info.Connections != 2 {
+		t.Fatalf("client replace answered %+v", info)
+	}
+
+	// Typed errors: unknown scenario and a change naming no network.
+	if err := srv.ReplaceScenarioNetwork("ghost", change); !errors.Is(err, placemon.ErrScenarioNotFound) {
+		t.Fatalf("unknown scenario error = %v, want ErrScenarioNotFound", err)
+	}
+	if err := srv.ReplaceScenarioNetwork("edge-net", placemon.NetworkChange{}); err == nil {
+		t.Fatal("empty network change should error")
 	}
 }

@@ -5,7 +5,7 @@ GO ?= go
 # for a quick smoke run.
 BENCHFLAGS ?=
 
-.PHONY: all help build test race check chaos crash-smoke bench bench-json bench-smoke bench-compare bench-compare-wal bench-stochastic docs-check fuzz fuzz-smoke experiments paper-runs soak-smoke results serve clean
+.PHONY: all help build test race check chaos cluster-soak crash-smoke bench bench-json bench-smoke bench-compare bench-compare-wal bench-stochastic docs-check fuzz fuzz-smoke experiments paper-runs soak-smoke results serve clean
 
 all: build test
 
@@ -16,6 +16,7 @@ help:
 	@echo "  race         go test -race ./..."
 	@echo "  check        vet + full race-detector test run"
 	@echo "  chaos        chaos soak: placemond behind the fault injector, race detector on"
+	@echo "  cluster-soak 3-node cluster soak: chaos timeline through a non-owner plus a live mid-soak migration (CI)"
 	@echo "  crash-smoke  WAL crash-injection matrix: kill writes mid-append/rotate/compact, assert exact recovery (CI)"
 	@echo "  bench        one benchmark run per table/figure plus ablations"
 	@echo "  bench-json   machine-readable benchmark snapshot (BENCH_<date>.json)"
@@ -57,6 +58,15 @@ check:
 CHAOSFLAGS ?=
 chaos:
 	$(GO) test -race -run TestChaosSoak -v $(CHAOSFLAGS) .
+
+# Cluster soak: the same seeded chaos timeline driven at a 3-node
+# WAL-backed cluster through a deliberately wrong node, with a live
+# scenario migration fired mid-soak. The merged redirect-following event
+# stream must match a single-node fault-free run exactly, the audit
+# splice must pin the source's fence record, and every node's log must
+# fsck clean. CHAOSFLAGS=-short for the one-cycle smoke variant CI uses.
+cluster-soak:
+	$(GO) test -race -run TestClusterSoak -v $(CHAOSFLAGS) .
 
 # WAL crash-injection matrix: the fault-point filesystem kills writes at
 # seeded byte offsets mid-append, mid-rotation, and mid-compaction (log
@@ -142,6 +152,7 @@ fuzz-smoke:
 	$(GO) test -run NONE -fuzz FuzzParse -fuzztime $(FUZZTIME) ./internal/graph/
 	$(GO) test -run NONE -fuzz FuzzObservations -fuzztime $(FUZZTIME) ./internal/server/
 	$(GO) test -run NONE -fuzz FuzzWALDecode -fuzztime $(FUZZTIME) ./internal/wal/
+	$(GO) test -run NONE -fuzz FuzzMembershipParse -fuzztime $(FUZZTIME) ./internal/cluster/
 	$(GO) test -run NONE -fuzz FuzzGreedyLazyEquivalence -fuzztime $(FUZZTIME) ./internal/placement/
 	$(GO) test -run NONE -fuzz FuzzLoadPlacement -fuzztime $(FUZZTIME) .
 

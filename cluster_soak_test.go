@@ -1,0 +1,238 @@
+package placemon_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	placemon "repro"
+	"repro/internal/cluster"
+	"repro/internal/faultinject"
+	"repro/internal/wal"
+	"repro/placemonclient"
+)
+
+// TestClusterSoak is the acceptance run for cluster mode: the same
+// deterministic observation timeline as the single-node chaos soak is
+// driven at a 3-node WAL-backed cluster — deliberately through a
+// non-owner node, over a seeded fault-injecting transport — with a live
+// migration to a third node fired mid-soak. The client follows 307s and
+// learns owner hints; dedup absorbs the injected duplicates and retries.
+// The merged event stream must be identical to a fault-free single-node
+// run, the relocated scenario's audit chain must verify with its splice
+// pinned to the source's fence, and every node's log must fsck clean
+// after a graceful close.
+func TestClusterSoak(t *testing.T) {
+	cycles := 2
+	if testing.Short() {
+		cycles = 1
+	}
+	sc := buildChaosScenario(t, cycles)
+	specRaw, err := json.Marshal(placemon.ScenarioSpec{Placement: sc.doc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const scenID = "soak"
+	ctx := context.Background()
+
+	// Fault-free single-node reference: the byte-identity baseline.
+	refSrv, err := placemon.NewScenarioServer(placemon.ServerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer refSrv.Close()
+	ref := httptest.NewServer(refSrv.Handler())
+	defer ref.Close()
+	refClient := retryingClient(t, ref.URL, nil, 1)
+	if _, err := refClient.CreateScenario(ctx, scenID, specRaw); err != nil {
+		t.Fatal(err)
+	}
+	refScen := refClient.Scenario(scenID)
+	var want []placemonclient.Event
+	for i, b := range sc.batches {
+		res, err := refScen.ReportObservations(ctx, b)
+		if err != nil {
+			t.Fatalf("reference batch %d: %v", i, err)
+		}
+		want = append(want, res.Events...)
+	}
+	if len(want) == 0 {
+		t.Fatalf("reference run produced no events; scenario is broken")
+	}
+
+	// The 3-node cluster: listeners first (the shared -peers list needs
+	// the addresses), then one WAL-backed scenario daemon per member.
+	const n = 3
+	walRoot := t.TempDir()
+	lns := make([]net.Listener, n)
+	members := make([]cluster.Member, n)
+	dirs := make([]string, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		members[i] = cluster.Member{ID: fmt.Sprintf("node-%d", i), URL: "http://" + ln.Addr().String()}
+		dirs[i] = filepath.Join(walRoot, members[i].ID)
+	}
+	peers := cluster.FormatMembers(members)
+	servers := make([]*placemon.Server, n)
+	fronts := make([]*httptest.Server, n)
+	for i := range servers {
+		srv, err := placemon.NewScenarioServer(placemon.ServerConfig{
+			WALDir: dirs[i],
+			NodeID: members[i].ID,
+			Peers:  peers,
+		})
+		if err != nil {
+			t.Fatalf("boot %s: %v", members[i].ID, err)
+		}
+		ts := httptest.NewUnstartedServer(srv.Handler())
+		ts.Listener.Close()
+		ts.Listener = lns[i]
+		ts.Start()
+		servers[i], fronts[i] = srv, ts
+		defer srv.Close()
+		defer ts.Close()
+	}
+
+	ms, err := cluster.NewFromMembers(members[0].ID, members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ownerIdx := 0
+	for i := range members {
+		if ms.Owner(scenID).ID == members[i].ID {
+			ownerIdx = i
+		}
+	}
+	entryIdx := (ownerIdx + 1) % n  // a non-owner: every call starts routed
+	targetIdx := (ownerIdx + 2) % n // the migration destination
+
+	// One retrying client, aimed at the non-owner, behind the injector.
+	inj, err := faultinject.New(chaosPolicy(2718))
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := retryingClient(t, fronts[entryIdx].URL, inj, 12)
+	if _, err := client.CreateScenario(ctx, scenID, specRaw); err != nil {
+		t.Fatalf("create through the non-owner: %v", err)
+	}
+	scen := client.Scenario(scenID)
+
+	half := len(sc.batches) / 2
+	var got []placemonclient.Event
+	for i, b := range sc.batches[:half] {
+		res, err := scen.ReportObservations(ctx, b)
+		if err != nil {
+			t.Fatalf("batch %d lost before the migration: %v", i, err)
+		}
+		got = append(got, res.Events...)
+	}
+
+	// Mid-soak live migration off the ring owner. A lost 200 makes the
+	// retry find the scenario already moved (400 from the new host); the
+	// move itself still happened exactly once.
+	mig, err := scen.Migrate(ctx, members[targetIdx].ID)
+	if err != nil {
+		var apiErr *placemonclient.APIError
+		if !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadRequest {
+			t.Fatalf("mid-soak migration: %v", err)
+		}
+		t.Logf("migration ack lost to the injector; continuing against the moved scenario")
+	} else if mig.From != members[ownerIdx].ID || mig.To != members[targetIdx].ID {
+		t.Fatalf("migration = %s -> %s, want %s -> %s", mig.From, mig.To,
+			members[ownerIdx].ID, members[targetIdx].ID)
+	}
+
+	for i, b := range sc.batches[half:] {
+		res, err := scen.ReportObservations(ctx, b)
+		if err != nil {
+			t.Fatalf("batch %d lost after the migration: %v", half+i, err)
+		}
+		got = append(got, res.Events...)
+	}
+
+	// The tentpole invariant: routing hops, the live migration, and the
+	// injected faults must all be invisible in the event stream.
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("cluster event stream diverged from the single-node fault-free run:\n got %d events: %+v\nwant %d events: %+v",
+			len(got), got, len(want), want)
+	}
+	if inj.Total() == 0 {
+		t.Fatalf("no faults injected; the soak proved nothing")
+	}
+	t.Logf("injected faults: %v", inj.Counts())
+
+	// The timeline ends mid-outage; the moved scenario must localize the
+	// failed node from wherever it now lives.
+	diag, err := scen.Diagnosis(ctx)
+	if err != nil {
+		t.Fatalf("diagnosis after migration: %v", err)
+	}
+	if !diag.InOutage || diag.Diagnosis == nil {
+		t.Fatalf("no outage diagnosis at end of timeline: %+v", diag)
+	}
+	found := false
+	for _, cand := range diag.Diagnosis.Candidates {
+		for _, node := range cand {
+			if node == sc.lastFail {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("failed node %d not among candidates %v", sc.lastFail, diag.Diagnosis.Candidates)
+	}
+
+	// The audit chain on the new owner verifies end to end, and its
+	// splice pins the handoff to the source node's fence record.
+	audit, err := scen.Audit(ctx, 0)
+	if err != nil {
+		t.Fatalf("audit after migration: %v", err)
+	}
+	if !audit.Chain.Verified {
+		t.Fatalf("target audit chain failed verification: %+v", audit.Chain)
+	}
+	if audit.TotalEvents != len(want) {
+		t.Fatalf("audit total_events = %d, want %d — events lost across the handoff", audit.TotalEvents, len(want))
+	}
+	if audit.Splice == nil || audit.Splice.SourceNode != members[ownerIdx].ID || audit.Splice.SourceHeadSeq == 0 {
+		t.Fatalf("audit splice = %+v, want one pinned to %s", audit.Splice, members[ownerIdx].ID)
+	}
+	if mig != nil && (audit.Splice.SourceHeadSeq != mig.HeadSeq || audit.Splice.SourceHeadHash != mig.HeadHash) {
+		t.Fatalf("audit splice (%d, %s) does not match the migration fence (%d, %s)",
+			audit.Splice.SourceHeadSeq, audit.Splice.SourceHeadHash, mig.HeadSeq, mig.HeadHash)
+	}
+
+	// Every node's incremental state must still match a from-scratch
+	// recompute, and every log must fsck clean after a graceful close.
+	for i, srv := range servers {
+		if err := srv.VerifyIncremental(); err != nil {
+			t.Fatalf("%s incremental state diverged: %v", members[i].ID, err)
+		}
+	}
+	for i := range servers {
+		fronts[i].Close()
+		if err := servers[i].Close(); err != nil {
+			t.Fatalf("close %s: %v", members[i].ID, err)
+		}
+	}
+	for i, dir := range dirs {
+		rep, err := wal.Check(dir, false)
+		if err != nil {
+			t.Fatalf("fsck %s: %v", members[i].ID, err)
+		}
+		if rep.Torn {
+			t.Fatalf("%s log torn after clean close: %+v", members[i].ID, rep)
+		}
+	}
+}

@@ -19,6 +19,13 @@
 // durability with -wal-sync (always | group | none) and rotation with
 // -wal-segment-bytes; inspect a log offline with `placemon fsck`.
 //
+// With -node-id and -peers the daemon joins a static cluster: scenario
+// ownership is decided by a consistent-hash ring over the shared peer
+// list, non-owners answer 307 to the owner (or proxy with
+// -cluster-proxy), and scenarios move between nodes through the
+// WAL-fenced POST /v1/scenarios/{id}/migrate. See ARCHITECTURE.md's
+// "Cluster mode" section.
+//
 // Endpoints: POST /v1/observations, GET /v1/diagnosis,
 // POST /v1/placements, GET /healthz, GET /metrics, GET /debug/traces,
 // the scenario API under /v1/scenarios, and (with -pprof)
@@ -77,6 +84,10 @@ type options struct {
 	walDir           string
 	walSync          string
 	walSegmentBytes  int64
+	nodeID           string
+	peers            string
+	clusterProxy     bool
+	forceAdopt       bool
 }
 
 func parseFlags(args []string) (*options, error) {
@@ -104,6 +115,10 @@ func parseFlags(args []string) (*options, error) {
 	fs.StringVar(&o.walDir, "wal-dir", "", "directory for the write-ahead log persisting all daemon state; mutations are durable before they are acknowledged (mutually exclusive with -scenario-dir)")
 	fs.StringVar(&o.walSync, "wal-sync", "always", "WAL append durability: always (fsync per mutation), group (group commit), or none (fsync on rotation/shutdown only)")
 	fs.Int64Var(&o.walSegmentBytes, "wal-segment-bytes", 0, "WAL segment rotation threshold in bytes (0 = default 4 MiB)")
+	fs.StringVar(&o.nodeID, "node-id", "", "this node's ID in a cluster deployment (requires -peers)")
+	fs.StringVar(&o.peers, "peers", "", "static cluster membership as comma-separated id=url entries, identical on every node and including -node-id (requires -node-id)")
+	fs.BoolVar(&o.clusterProxy, "cluster-proxy", false, "proxy non-owned scenario requests to the owner instead of answering 307")
+	fs.BoolVar(&o.forceAdopt, "force-adopt", false, "boot even when persisted scenarios belong to another cluster node (logs a warning per scenario)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -112,6 +127,12 @@ func parseFlags(args []string) (*options, error) {
 	}
 	if o.walDir != "" && o.scenarioDir != "" {
 		return nil, fmt.Errorf("-wal-dir and -scenario-dir are mutually exclusive (the WAL subsumes the scenario store)")
+	}
+	if (o.nodeID == "") != (o.peers == "") {
+		return nil, fmt.Errorf("-node-id and -peers must be used together")
+	}
+	if o.nodeID == "" && (o.clusterProxy || o.forceAdopt) {
+		return nil, fmt.Errorf("-cluster-proxy and -force-adopt require cluster mode (-node-id and -peers)")
 	}
 	if _, err := trace.ParseLevel(o.logLevel); err != nil {
 		return nil, fmt.Errorf("-log-level: %v", err)
@@ -146,6 +167,10 @@ func (o *options) serverConfig(logger *slog.Logger) placemon.ServerConfig {
 		WALDir:             o.walDir,
 		WALSync:            o.walSync,
 		WALSegmentBytes:    o.walSegmentBytes,
+		NodeID:             o.nodeID,
+		Peers:              o.peers,
+		ClusterProxy:       o.clusterProxy,
+		ForceAdopt:         o.forceAdopt,
 	}
 }
 

@@ -1,0 +1,290 @@
+// Package cluster is the ownership layer of a multi-node placemond
+// deployment: a static membership list (node IDs and base URLs) plus a
+// consistent-hashing ring that maps every scenario ID to exactly one
+// owner node. It decides *who* serves a scenario; the serving layer
+// decides *how* a non-owner answers (redirect or proxy).
+//
+// Membership is static by design. The paper's diagnosis engines keep
+// per-scenario incremental counters that are only bit-reproducible under
+// a single writer, so ownership must be unambiguous and identical on
+// every node: all nodes parse the same -peers list, build the same ring,
+// and agree on every owner without any runtime coordination protocol.
+// Moving a scenario between nodes is an explicit, WAL-fenced migration
+// (see internal/server), not a ring rebalance.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"net/url"
+	"sort"
+	"strings"
+)
+
+// maxNodeID bounds node IDs to the same length registry scenario IDs
+// get, so IDs compose into headers and file names without surprises.
+const maxNodeID = 64
+
+// Member is one node of the static membership: its stable ID and the
+// base URL peers and redirected clients reach it at.
+type Member struct {
+	// ID is the node's stable name (-node-id), unique in the membership.
+	ID string `json:"id"`
+	// URL is the node's base URL (scheme://host[:port], no path), with
+	// any trailing slash already trimmed.
+	URL string `json:"url"`
+}
+
+// ValidateNodeID checks a node ID against the same shape scenario IDs
+// use: 1–64 bytes of [a-zA-Z0-9._-] with no leading dot. Node IDs
+// travel in the Placemond-Owner header and inside WAL migration
+// records, so the charset is deliberately header- and filename-safe.
+func ValidateNodeID(id string) error {
+	if id == "" {
+		return fmt.Errorf("cluster: empty node ID")
+	}
+	if len(id) > maxNodeID {
+		return fmt.Errorf("cluster: node ID longer than %d bytes", maxNodeID)
+	}
+	if id[0] == '.' {
+		return fmt.Errorf("cluster: node ID %q starts with a dot", id)
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return fmt.Errorf("cluster: node ID %q has invalid byte %q", id, c)
+		}
+	}
+	return nil
+}
+
+// validateBaseURL checks a member URL: absolute http(s), a host, and no
+// path/query/fragment beyond an optional bare "/", so joining request
+// paths onto it can never change their meaning. Returns the URL with a
+// trailing slash trimmed.
+func validateBaseURL(raw string) (string, error) {
+	u, err := url.Parse(raw)
+	if err != nil {
+		return "", fmt.Errorf("cluster: member URL %q: %w", raw, err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return "", fmt.Errorf("cluster: member URL %q: scheme must be http or https", raw)
+	}
+	if u.Host == "" {
+		return "", fmt.Errorf("cluster: member URL %q: missing host", raw)
+	}
+	if (u.Path != "" && u.Path != "/") || u.RawQuery != "" || u.Fragment != "" || u.User != nil {
+		return "", fmt.Errorf("cluster: member URL %q: must be scheme://host[:port] with no path", raw)
+	}
+	return u.Scheme + "://" + u.Host, nil
+}
+
+// ParseMembers parses a -peers specification: comma-separated
+// "id=url" entries, e.g.
+//
+//	node-a=http://127.0.0.1:8080,node-b=http://127.0.0.1:8081
+//
+// IDs must pass ValidateNodeID and be unique; URLs must be bare
+// http(s) base URLs and unique. The returned slice is sorted by ID so
+// every node that parses the same specification builds the same ring.
+func ParseMembers(spec string) ([]Member, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, fmt.Errorf("cluster: empty peer list")
+	}
+	entries := strings.Split(spec, ",")
+	members := make([]Member, 0, len(entries))
+	ids := make(map[string]bool, len(entries))
+	urls := make(map[string]bool, len(entries))
+	for _, e := range entries {
+		e = strings.TrimSpace(e)
+		if e == "" {
+			return nil, fmt.Errorf("cluster: empty peer entry")
+		}
+		id, raw, ok := strings.Cut(e, "=")
+		if !ok {
+			return nil, fmt.Errorf("cluster: peer entry %q is not id=url", e)
+		}
+		id = strings.TrimSpace(id)
+		if err := ValidateNodeID(id); err != nil {
+			return nil, err
+		}
+		base, err := validateBaseURL(strings.TrimSpace(raw))
+		if err != nil {
+			return nil, err
+		}
+		if ids[id] {
+			return nil, fmt.Errorf("cluster: duplicate node ID %q", id)
+		}
+		if urls[base] {
+			return nil, fmt.Errorf("cluster: duplicate member URL %q", base)
+		}
+		ids[id], urls[base] = true, true
+		members = append(members, Member{ID: id, URL: base})
+	}
+	sort.Slice(members, func(i, j int) bool { return members[i].ID < members[j].ID })
+	return members, nil
+}
+
+// FormatMembers renders members back into the ParseMembers wire form,
+// sorted by ID. ParseMembers(FormatMembers(m)) == m for any valid m —
+// the round-trip the fuzz target holds the parser to.
+func FormatMembers(members []Member) string {
+	parts := make([]string, len(members))
+	sorted := append([]Member(nil), members...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ID < sorted[j].ID })
+	for i, m := range sorted {
+		parts[i] = m.ID + "=" + m.URL
+	}
+	return strings.Join(parts, ",")
+}
+
+// Membership is a node's view of the cluster: the full (sorted) member
+// list, which member is this process, and the ownership ring over the
+// list. Immutable after New; safe for concurrent use.
+type Membership struct {
+	self    string
+	members []Member
+	byID    map[string]Member
+	ring    *ring
+}
+
+// New builds a Membership from this node's ID and the shared -peers
+// specification. The specification must include self — a node that is
+// not in its own membership would disagree with every peer about
+// ownership.
+func New(self, peerSpec string) (*Membership, error) {
+	if err := ValidateNodeID(self); err != nil {
+		return nil, err
+	}
+	members, err := ParseMembers(peerSpec)
+	if err != nil {
+		return nil, err
+	}
+	return NewFromMembers(self, members)
+}
+
+// NewFromMembers builds a Membership from an already-parsed member
+// list (which must include self and be free of duplicates).
+func NewFromMembers(self string, members []Member) (*Membership, error) {
+	if err := ValidateNodeID(self); err != nil {
+		return nil, err
+	}
+	sorted := append([]Member(nil), members...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ID < sorted[j].ID })
+	byID := make(map[string]Member, len(sorted))
+	for _, m := range sorted {
+		if _, dup := byID[m.ID]; dup {
+			return nil, fmt.Errorf("cluster: duplicate node ID %q", m.ID)
+		}
+		byID[m.ID] = m
+	}
+	if _, ok := byID[self]; !ok {
+		return nil, fmt.Errorf("cluster: node %q is not in the peer list (every node must list itself)", self)
+	}
+	return &Membership{self: self, members: sorted, byID: byID, ring: newRing(sorted)}, nil
+}
+
+// Self returns this node's ID.
+func (m *Membership) Self() string { return m.self }
+
+// SelfMember returns this node's full membership entry.
+func (m *Membership) SelfMember() Member { return m.byID[m.self] }
+
+// Size returns the number of members.
+func (m *Membership) Size() int { return len(m.members) }
+
+// Members returns the member list, sorted by ID. The caller must not
+// mutate it.
+func (m *Membership) Members() []Member { return m.members }
+
+// Member looks a node up by ID.
+func (m *Membership) Member(id string) (Member, bool) {
+	mem, ok := m.byID[id]
+	return mem, ok
+}
+
+// Owner maps a scenario ID to its ring owner. The mapping depends only
+// on the member IDs and the key, so every node with the same peer list
+// computes the same owner with no coordination.
+func (m *Membership) Owner(scenarioID string) Member {
+	return m.byID[m.ring.owner(scenarioID)]
+}
+
+// IsOwner reports whether this node is the ring owner of scenarioID.
+func (m *Membership) IsOwner(scenarioID string) bool {
+	return m.ring.owner(scenarioID) == m.self
+}
+
+// ringReplicas is the number of virtual points each member contributes
+// to the ring. 128 points per node keeps the ownership split of a
+// small static cluster within a few percent of even while the ring
+// stays a couple of KB.
+const ringReplicas = 128
+
+// ring is a consistent-hashing ring: each member contributes
+// ringReplicas points at sha256(id + "#" + i), and a key is owned by
+// the member of the first point clockwise of sha256(key).
+type ring struct {
+	points []ringPoint
+}
+
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+func hashKey(key string) uint64 {
+	sum := sha256.Sum256([]byte(key))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+func newRing(members []Member) *ring {
+	r := &ring{points: make([]ringPoint, 0, len(members)*ringReplicas)}
+	var buf []byte
+	for _, m := range members {
+		for i := 0; i < ringReplicas; i++ {
+			buf = buf[:0]
+			buf = append(buf, m.ID...)
+			buf = append(buf, '#')
+			buf = appendUint(buf, i)
+			r.points = append(r.points, ringPoint{hash: hashKey(string(buf)), node: m.ID})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// A full 64-bit collision between distinct points is vanishingly
+		// rare; break it by node ID so the ring order is still total and
+		// identical everywhere.
+		return r.points[i].node < r.points[j].node
+	})
+	return r
+}
+
+func appendUint(b []byte, v int) []byte {
+	if v == 0 {
+		return append(b, '0')
+	}
+	var tmp [20]byte
+	i := len(tmp)
+	for v > 0 {
+		i--
+		tmp[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return append(b, tmp[i:]...)
+}
+
+func (r *ring) owner(key string) string {
+	h := hashKey(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap past the highest point
+	}
+	return r.points[i].node
+}

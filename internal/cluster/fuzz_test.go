@@ -1,0 +1,79 @@
+package cluster
+
+import (
+	"sort"
+	"testing"
+)
+
+// FuzzMembershipParse fuzzes the -peers parser and the ring built from
+// whatever it accepts. The invariants: the parser never panics; an
+// accepted list is sorted, duplicate-free, and round-trips through
+// FormatMembers; and the ring over it is total (every key owned by a
+// member) and deterministic across a rebuild.
+func FuzzMembershipParse(f *testing.F) {
+	f.Add("node-a=http://127.0.0.1:8080")
+	f.Add("node-a=http://h:1,node-b=http://h:2,node-c=http://h:3")
+	f.Add("a=https://example.com/")
+	f.Add(" a =\thttp://h:1 , b=http://h:2")
+	f.Add("a=http://h:1,a=http://h:2")
+	f.Add("=http://h:1")
+	f.Add(".a=http://h:1")
+	f.Add("a=ftp://h:1")
+	f.Add("a=http://h:1/path?q=1#frag")
+	f.Add(",,,")
+	f.Add("a\x00b=http://h:1")
+	f.Fuzz(func(t *testing.T, spec string) {
+		members, err := ParseMembers(spec)
+		if err != nil {
+			return
+		}
+		if len(members) == 0 {
+			t.Fatal("accepted spec produced no members")
+		}
+		if !sort.SliceIsSorted(members, func(i, j int) bool { return members[i].ID < members[j].ID }) {
+			t.Fatalf("members not sorted: %v", members)
+		}
+		ids := map[string]bool{}
+		for _, m := range members {
+			if err := ValidateNodeID(m.ID); err != nil {
+				t.Fatalf("accepted invalid node ID %q: %v", m.ID, err)
+			}
+			if ids[m.ID] {
+				t.Fatalf("accepted duplicate node ID %q", m.ID)
+			}
+			ids[m.ID] = true
+		}
+		// Round-trip: formatting and reparsing is lossless.
+		again, err := ParseMembers(FormatMembers(members))
+		if err != nil {
+			t.Fatalf("FormatMembers output rejected: %v", err)
+		}
+		if len(again) != len(members) {
+			t.Fatalf("round trip lost members: %d -> %d", len(members), len(again))
+		}
+		for i := range members {
+			if again[i] != members[i] {
+				t.Fatalf("round trip changed member %d: %v -> %v", i, members[i], again[i])
+			}
+		}
+		// The ring is total and deterministic.
+		self := members[0].ID
+		m1, err := NewFromMembers(self, members)
+		if err != nil {
+			t.Fatalf("NewFromMembers on accepted list: %v", err)
+		}
+		m2, err := NewFromMembers(self, members)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, key := range []string{"", "default", spec, "scenario-7"} {
+			o1, o2 := m1.Owner(key), m2.Owner(key)
+			if o1 != o2 {
+				t.Fatalf("owner(%q) nondeterministic: %v vs %v", key, o1, o2)
+			}
+			if !ids[o1.ID] {
+				t.Fatalf("owner(%q) = %q is not a member", key, o1.ID)
+			}
+		}
+	})
+}

@@ -1,0 +1,593 @@
+package server
+
+import (
+	"encoding/hex"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/wal"
+)
+
+// clusterTestNode is one member of an in-process test cluster: its fixed
+// identity and address survive restarts, so WAL-backed nodes can be
+// stopped and rebooted mid-test without the membership drifting.
+type clusterTestNode struct {
+	id      string
+	url     string
+	addr    string
+	members []cluster.Member
+	srv     *Server
+	ts      *httptest.Server
+}
+
+// startClusterNodes boots an n-node cluster on loopback listeners and
+// wires every node's membership to the full address list. nodeCfg builds
+// each node's base Config (cluster settings are filled in here).
+func startClusterNodes(t *testing.T, n int, proxy bool, nodeCfg func(i int) Config) []*clusterTestNode {
+	t.Helper()
+	lns := make([]net.Listener, n)
+	members := make([]cluster.Member, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		members[i] = cluster.Member{ID: fmt.Sprintf("node-%d", i), URL: "http://" + ln.Addr().String()}
+	}
+	nodes := make([]*clusterTestNode, n)
+	for i := range nodes {
+		nodes[i] = &clusterTestNode{
+			id: members[i].ID, url: members[i].URL,
+			addr: lns[i].Addr().String(), members: members,
+		}
+		nodes[i].start(t, lns[i], proxy, false, nodeCfg(i))
+	}
+	return nodes
+}
+
+// start builds the node's server and serves it; ln == nil re-listens on
+// the node's original address (the restart path).
+func (cn *clusterTestNode) start(t *testing.T, ln net.Listener, proxy, forceAdopt bool, cfg Config) {
+	t.Helper()
+	ms, err := cluster.NewFromMembers(cn.id, cn.members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Cluster = &ClusterConfig{Membership: ms, Proxy: proxy, ForceAdopt: forceAdopt}
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatalf("boot %s: %v", cn.id, err)
+	}
+	if ln == nil {
+		if ln, err = net.Listen("tcp", cn.addr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ts := httptest.NewUnstartedServer(srv.Handler())
+	ts.Listener.Close()
+	ts.Listener = ln
+	ts.Start()
+	cn.srv, cn.ts = srv, ts
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+}
+
+// stop shuts the node down cleanly (final snapshot and all).
+func (cn *clusterTestNode) stop() {
+	cn.ts.Close()
+	cn.srv.Close()
+}
+
+// abort shuts the node down without the final snapshot, leaving the raw
+// record tail on disk for offline inspection.
+func (cn *clusterTestNode) abort() {
+	cn.ts.Close()
+	cn.srv.Abort()
+}
+
+// scenarioOwnedBy finds a scenario ID whose ring owner is nodes[idx].
+func scenarioOwnedBy(t *testing.T, nodes []*clusterTestNode, idx int) string {
+	t.Helper()
+	ms, err := cluster.NewFromMembers(nodes[idx].id, nodes[idx].members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		id := fmt.Sprintf("scn-%d", i)
+		if ms.Owner(id).ID == nodes[idx].id {
+			return id
+		}
+	}
+	t.Fatal("no scenario ID hashes to the node")
+	return ""
+}
+
+// noFollow performs one request without following redirects, so tests
+// can observe the 307 itself.
+func noFollow(t *testing.T, method, url string, body []byte) *http.Response {
+	t.Helper()
+	var rd *strings.Reader
+	req, err := http.NewRequest(method, url, nil)
+	if body != nil {
+		rd = strings.NewReader(string(body))
+		req, err = http.NewRequest(method, url, rd)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := &http.Client{CheckRedirect: func(*http.Request, []*http.Request) error {
+		return http.ErrUseLastResponse
+	}}
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp
+}
+
+// TestClusterRedirectRouting: a non-owner answers scenario requests with
+// 307 + Placemond-Owner toward the ring owner; the owner serves (or
+// 404s) locally.
+func TestClusterRedirectRouting(t *testing.T) {
+	nodes := startClusterNodes(t, 2, false, func(int) Config {
+		return Config{BuildScenario: testBuild}
+	})
+	spec := mustJSON(t, lineSpec())
+	id := scenarioOwnedBy(t, nodes, 0)
+
+	// Create through the non-owner: routed, not served.
+	resp := noFollow(t, http.MethodPut, nodes[1].ts.URL+"/v1/scenarios/"+id, spec)
+	if resp.StatusCode != http.StatusTemporaryRedirect {
+		t.Fatalf("create via non-owner = %d, want 307", resp.StatusCode)
+	}
+	if got := resp.Header.Get(OwnerHeader); got != "node-0" {
+		t.Fatalf("%s = %q, want node-0", OwnerHeader, got)
+	}
+	wantLoc := nodes[0].url + "/v1/scenarios/" + id
+	if loc := resp.Header.Get("Location"); loc != wantLoc {
+		t.Fatalf("Location = %q, want %q", loc, wantLoc)
+	}
+
+	// Following the redirect lands on the owner and creates the scenario.
+	if resp, body := doReq(t, http.MethodPut, wantLoc, spec); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create on owner = %d (%s)", resp.StatusCode, body)
+	}
+
+	// Scenario-scoped reads: non-owner redirects, owner serves.
+	if resp := noFollow(t, http.MethodGet, nodes[1].ts.URL+"/v1/scenarios/"+id+"/diagnosis", nil); resp.StatusCode != http.StatusTemporaryRedirect {
+		t.Fatalf("diagnosis via non-owner = %d, want 307", resp.StatusCode)
+	}
+	if resp, body := doReq(t, http.MethodGet, nodes[0].ts.URL+"/v1/scenarios/"+id+"/diagnosis", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("diagnosis on owner = %d (%s)", resp.StatusCode, body)
+	}
+
+	// An owned-but-nonexistent scenario 404s locally on the owner — the
+	// one case a miss must not be forwarded — and still redirects on the
+	// non-owner.
+	ghost := scenarioOwnedBy(t, nodes, 0) + ".ghost"
+	for ms, _ := cluster.NewFromMembers("node-0", nodes[0].members); ms.Owner(ghost).ID != "node-0"; {
+		ghost += "x"
+	}
+	if resp := noFollow(t, http.MethodGet, nodes[0].ts.URL+"/v1/scenarios/"+ghost, nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("missing scenario on owner = %d, want 404", resp.StatusCode)
+	}
+	if resp := noFollow(t, http.MethodGet, nodes[1].ts.URL+"/v1/scenarios/"+ghost, nil); resp.StatusCode != http.StatusTemporaryRedirect {
+		t.Fatalf("missing scenario on non-owner = %d, want 307", resp.StatusCode)
+	}
+
+	// Deletes route the same way as creates.
+	if resp := noFollow(t, http.MethodDelete, nodes[1].ts.URL+"/v1/scenarios/"+id, nil); resp.StatusCode != http.StatusTemporaryRedirect {
+		t.Fatalf("delete via non-owner = %d, want 307", resp.StatusCode)
+	}
+
+	// GET /v1/cluster reports the membership view.
+	resp2, info := getJSON(t, nodes[0].ts.URL+"/v1/cluster")
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/cluster = %d", resp2.StatusCode)
+	}
+	if info["self"] != "node-0" {
+		t.Fatalf("cluster self = %v", info["self"])
+	}
+	if members := info["members"].([]any); len(members) != 2 {
+		t.Fatalf("cluster members = %v, want 2", members)
+	}
+}
+
+// TestClusterProxyForwarding: in proxy mode the non-owner relays the
+// request peer-to-peer, one trace ID spans both nodes (with a timed
+// "forward" stage on the relay), and the hop cap stops routing loops.
+func TestClusterProxyForwarding(t *testing.T) {
+	nodes := startClusterNodes(t, 2, true, func(int) Config {
+		return Config{BuildScenario: testBuild, TraceBuffer: 16}
+	})
+	spec := mustJSON(t, lineSpec())
+	id := scenarioOwnedBy(t, nodes, 0)
+
+	// Create through the non-owner: proxied to the owner, answered in
+	// place, owner named on the relayed response.
+	req, err := http.NewRequest(http.MethodPut, nodes[1].ts.URL+"/v1/scenarios/"+id, strings.NewReader(string(spec)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("proxied create = %d, want 201", resp.StatusCode)
+	}
+	if got := resp.Header.Get(OwnerHeader); got != "node-0" {
+		t.Fatalf("proxied %s = %q, want node-0", OwnerHeader, got)
+	}
+	if ids := nodes[0].srv.ScenarioIDs(); len(ids) != 1 || ids[0] != id {
+		t.Fatalf("owner hosts %v, want [%s]", ids, id)
+	}
+
+	// Ingest through the non-owner under a chosen trace ID: both nodes'
+	// trace rings record the hop under the same ID, and the forwarder's
+	// record carries the timed "forward" stage.
+	batch := mustJSON(t, map[string]any{
+		"batch_id": "px-1", "time": 1.0,
+		"reports": []map[string]any{{"connection": 0, "up": false}, {"connection": 1, "up": true}},
+	})
+	req, err = http.NewRequest(http.MethodPost, nodes[1].ts.URL+"/v1/scenarios/"+id+"/observations", strings.NewReader(string(batch)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const traceID = "cluster-trace-1"
+	req.Header.Set("Placemond-Trace-Id", traceID)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("proxied ingest = %d, want 200", resp.StatusCode)
+	}
+	findTrace := func(base string) map[string]any {
+		for _, rec := range getTraces(t, base) {
+			if rec["trace_id"] == traceID {
+				return rec
+			}
+		}
+		return nil
+	}
+	fwd := findTrace(nodes[1].ts.URL)
+	if fwd == nil {
+		t.Fatalf("forwarder has no trace %q", traceID)
+	}
+	var hasForward bool
+	for _, name := range stageNames(fwd) {
+		hasForward = hasForward || name == "forward"
+	}
+	if !hasForward {
+		t.Fatalf("forwarder stages = %v, want a forward stage", stageNames(fwd))
+	}
+	if owner := findTrace(nodes[0].ts.URL); owner == nil {
+		t.Fatalf("owner has no trace %q — the trace ID did not cross the hop", traceID)
+	}
+
+	// A request that has already crossed the hop cap is refused, not
+	// bounced around a stale ring forever.
+	req, err = http.NewRequest(http.MethodGet, nodes[1].ts.URL+"/v1/scenarios/"+id+"/diagnosis", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(forwardHopsHeader, "3")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("over-hopped request = %d, want 502", resp.StatusCode)
+	}
+}
+
+// TestClusterMigrationMovesStateAndSplicesAudit is the migration
+// end-to-end: live state moves wholesale, the source's WAL carries a
+// verifiable fence, the target's audit chain splices onto it, stale
+// followers get redirected by the durable relocation — across restarts
+// of both nodes.
+func TestClusterMigrationMovesStateAndSplicesAudit(t *testing.T) {
+	walRoot := t.TempDir()
+	nodeCfg := func(i int) Config {
+		return Config{
+			BuildScenario: testBuild,
+			DedupWindow:   64,
+			WAL:           &WALConfig{Dir: filepath.Join(walRoot, fmt.Sprintf("node-%d", i)), CompactEvery: -1},
+		}
+	}
+	nodes := startClusterNodes(t, 2, false, nodeCfg)
+	spec := mustJSON(t, lineSpec())
+	id := scenarioOwnedBy(t, nodes, 0)
+	base0 := nodes[0].ts.URL + "/v1/scenarios/" + id
+	base1 := nodes[1].ts.URL + "/v1/scenarios/" + id
+
+	if resp, body := doReq(t, http.MethodPut, base0, spec); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create = %d (%s)", resp.StatusCode, body)
+	}
+	resp, body := postJSON(t, base0+"/observations",
+		`{"batch_id": "m1", "time": 1, "reports": [{"connection": 0, "up": false}, {"connection": 1, "up": true}]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest = %d (%v)", resp.StatusCode, body)
+	}
+
+	// Bad targets first: self and unknown nodes are rejected.
+	if resp, _ := postJSON(t, base0+"/migrate", `{"target": "node-0"}`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("migrate to self = %d, want 400", resp.StatusCode)
+	}
+	if resp, _ := postJSON(t, base0+"/migrate", `{"target": "node-9"}`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("migrate to unknown node = %d, want 400", resp.StatusCode)
+	}
+
+	resp, mig := postJSON(t, base0+"/migrate", `{"target": "node-1"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("migrate = %d (%v)", resp.StatusCode, mig)
+	}
+	if mig["from"] != "node-0" || mig["to"] != "node-1" {
+		t.Fatalf("migrate endpoints = %v -> %v", mig["from"], mig["to"])
+	}
+	headSeq := uint64(mig["head_seq"].(float64))
+	headHash, _ := mig["head_hash"].(string)
+	if headSeq == 0 || len(headHash) != 2*wal.HashSize {
+		t.Fatalf("migrate fence head = (%d, %q), want a real chain position", headSeq, headHash)
+	}
+
+	// The target serves the scenario with its live state intact.
+	resp, diag := getJSON(t, base1+"/diagnosis")
+	if resp.StatusCode != http.StatusOK || diag["in_outage"] != true {
+		t.Fatalf("target diagnosis = %d %v, want the migrated outage", resp.StatusCode, diag)
+	}
+	// The source — still the ring owner — redirects followers to the
+	// relocated scenario instead of 404ing.
+	if resp := noFollow(t, http.MethodGet, base0+"/diagnosis", nil); resp.StatusCode != http.StatusTemporaryRedirect ||
+		resp.Header.Get(OwnerHeader) != "node-1" {
+		t.Fatalf("source after migration = %d owner %q, want 307 to node-1", resp.StatusCode, resp.Header.Get(OwnerHeader))
+	}
+	// The target's audit ledger kept the pre-migration events and pins
+	// the splice to the source's fence record.
+	resp, audit := getJSON(t, base1+"/audit")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("target audit = %d", resp.StatusCode)
+	}
+	splice, _ := audit["splice"].(map[string]any)
+	if splice == nil {
+		t.Fatalf("target audit has no splice: %v", audit)
+	}
+	if splice["source_node"] != "node-0" ||
+		uint64(splice["source_head_seq"].(float64)) != headSeq ||
+		splice["source_head_hash"] != headHash {
+		t.Fatalf("splice = %v, want (node-0, %d, %s)", splice, headSeq, headHash)
+	}
+	if n := int(audit["total_events"].(float64)); n < 1 {
+		t.Fatalf("target audit total_events = %d, want the migrated ledger", n)
+	}
+	// Ingest continues on the target.
+	if resp, _ := postJSON(t, base1+"/observations",
+		`{"batch_id": "m2", "time": 2, "reports": [{"connection": 0, "up": true}, {"connection": 1, "up": true}]}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("target ingest = %d", resp.StatusCode)
+	}
+
+	// Offline, the source log's record at head_seq is the migrate-out
+	// fence and its chain hash is exactly what the splice claims.
+	nodes[0].abort()
+	wlog, rec, err := wal.Open(filepath.Join(walRoot, "node-0"), wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fence *wal.Record
+	for i := range rec.Records {
+		if rec.Records[i].Seq == headSeq {
+			fence = &rec.Records[i]
+		}
+	}
+	if fence == nil {
+		t.Fatalf("source WAL has no record at seq %d", headSeq)
+	}
+	if fence.Type != wal.TypeScenarioMigrateOut {
+		t.Fatalf("record at fence seq is type %d (%s), want migrate-out", fence.Type, wal.TypeName(fence.Type))
+	}
+	if got := hex.EncodeToString(fence.Hash[:]); got != headHash {
+		t.Fatalf("fence chain hash = %s, want the splice's %s", got, headHash)
+	}
+	wlog.Close()
+
+	// Both nodes restart: the relocation and the adoption are replayed
+	// from the logs, so routing and state survive.
+	nodes[0].start(t, nil, false, false, nodeCfg(0))
+	nodes[1].stop()
+	nodes[1].start(t, nil, false, false, nodeCfg(1))
+	base0 = nodes[0].ts.URL + "/v1/scenarios/" + id
+	base1 = nodes[1].ts.URL + "/v1/scenarios/" + id
+	if resp := noFollow(t, http.MethodGet, base0+"/diagnosis", nil); resp.StatusCode != http.StatusTemporaryRedirect ||
+		resp.Header.Get(OwnerHeader) != "node-1" {
+		t.Fatalf("restarted source = %d owner %q, want 307 to node-1", resp.StatusCode, resp.Header.Get(OwnerHeader))
+	}
+	resp, diag = getJSON(t, base1+"/diagnosis")
+	if resp.StatusCode != http.StatusOK || diag["in_outage"] != false {
+		t.Fatalf("restarted target diagnosis = %d %v, want the cleared outage", resp.StatusCode, diag)
+	}
+	resp, audit = getJSON(t, base1+"/audit")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("restarted target audit = %d", resp.StatusCode)
+	}
+	splice, _ = audit["splice"].(map[string]any)
+	if splice == nil || splice["source_head_hash"] != headHash {
+		t.Fatalf("restarted splice = %v, want head hash %s", splice, headHash)
+	}
+}
+
+// TestClusterMigrateDuringIngest races a live migration against
+// concurrent ingest: every batch is either applied before the fence or
+// redirected to the new owner — acknowledged exactly once, never
+// dropped, never silently drained.
+func TestClusterMigrateDuringIngest(t *testing.T) {
+	nodes := startClusterNodes(t, 2, false, func(int) Config {
+		return Config{BuildScenario: testBuild, DedupWindow: 256}
+	})
+	spec := mustJSON(t, lineSpec())
+	id := scenarioOwnedBy(t, nodes, 0)
+	base0 := nodes[0].ts.URL + "/v1/scenarios/" + id
+	if resp, body := doReq(t, http.MethodPut, base0, spec); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create = %d (%s)", resp.StatusCode, body)
+	}
+
+	const workers, perWorker = 4, 30
+	var tick atomic.Int64
+	var migrated atomic.Bool
+	errs := make(chan error, workers*perWorker)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				body := []byte(fmt.Sprintf(
+					`{"batch_id": "w%d-%d", "time": %d, "reports": [{"connection": 0, "up": true}, {"connection": 1, "up": true}]}`,
+					w, i, tick.Add(1)))
+				resp, raw, err := rawReq(http.MethodPost, base0+"/observations", body)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if resp.StatusCode == http.StatusTemporaryRedirect {
+					loc := resp.Header.Get("Location")
+					if resp, raw, err = rawReq(http.MethodPost, loc, body); err != nil {
+						errs <- err
+						return
+					}
+					if resp.StatusCode != http.StatusOK {
+						errs <- fmt.Errorf("redirected batch w%d-%d = %d (%s)", w, i, resp.StatusCode, raw)
+					}
+					continue
+				}
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("batch w%d-%d = %d (%s)", w, i, resp.StatusCode, raw)
+				}
+			}
+		}(w)
+	}
+	// Fire the migration mid-stream.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		resp, raw, err := rawReq(http.MethodPost, base0+"/migrate", []byte(`{"target": "node-1"}`))
+		if err != nil {
+			errs <- err
+			return
+		}
+		if resp.StatusCode != http.StatusOK {
+			errs <- fmt.Errorf("migrate = %d (%s)", resp.StatusCode, raw)
+			return
+		}
+		migrated.Store(true)
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if !migrated.Load() {
+		t.Fatal("migration did not complete")
+	}
+	if resp, _ := getJSON(t, nodes[1].ts.URL+"/v1/scenarios/"+id+"/diagnosis"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("target diagnosis after race = %d", resp.StatusCode)
+	}
+	if err := nodes[1].srv.VerifyIncremental(); err != nil {
+		t.Fatalf("target incremental state diverged: %v", err)
+	}
+}
+
+// TestClusterBootOwnershipValidation: a node restarted into a cluster
+// refuses to serve stored scenarios the ring assigns to someone else,
+// names them, and boots anyway under -force-adopt.
+func TestClusterBootOwnershipValidation(t *testing.T) {
+	dir := t.TempDir()
+	members := []cluster.Member{
+		{ID: "node-0", URL: "http://127.0.0.1:1"},
+		{ID: "node-1", URL: "http://127.0.0.1:2"},
+	}
+	ms, err := cluster.NewFromMembers("node-0", members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mine, theirs, theirs2 string
+	for i := 0; mine == "" || theirs == "" || theirs2 == ""; i++ {
+		id := fmt.Sprintf("scn-%d", i)
+		if ms.Owner(id).ID == "node-0" {
+			if mine == "" {
+				mine = id
+			}
+		} else if theirs == "" {
+			theirs = id
+		} else if theirs2 == "" {
+			theirs2 = id
+		}
+	}
+
+	// Seed both scenarios on a single-node (clusterless) WAL daemon.
+	cfg := Config{BuildScenario: testBuild, WAL: &WALConfig{Dir: dir, CompactEvery: -1}}
+	seed, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := mustJSON(t, lineSpec())
+	for _, id := range []string{mine, theirs} {
+		if err := seed.CreateScenario(id, spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := seed.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Rebooting as cluster member node-0 must refuse: theirs belongs to
+	// node-1 and was never migrated in.
+	cfg.Cluster = &ClusterConfig{Membership: ms}
+	if _, err := New(cfg); err == nil {
+		t.Fatal("boot with a foreign-owned scenario succeeded, want refusal")
+	} else if !strings.Contains(err.Error(), theirs) || !strings.Contains(err.Error(), "force-adopt") {
+		t.Fatalf("refusal %q should name scenario %s and the -force-adopt escape hatch", err, theirs)
+	}
+
+	// The escape hatch: -force-adopt boots and hosts both.
+	cfg.Cluster = &ClusterConfig{Membership: ms, ForceAdopt: true}
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatalf("boot with force-adopt: %v", err)
+	}
+	defer srv.Close()
+	if ids := srv.ScenarioIDs(); len(ids) != 2 {
+		t.Fatalf("force-adopted node hosts %v, want both scenarios", ids)
+	}
+	// New foreign-owned scenarios are still refused at creation.
+	err = srv.CreateScenario(theirs2, spec)
+	if err == nil || !strings.Contains(err.Error(), "belongs to node") {
+		t.Fatalf("creating a foreign-owned scenario = %v, want an ownership refusal", err)
+	}
+}
+
+// TestMigrateWithoutCluster: the migrate route exists on single-node
+// daemons but answers 501, keeping single-node behavior byte-compatible
+// otherwise.
+func TestMigrateWithoutCluster(t *testing.T) {
+	_, ts := newTestServer(t, scenarioConfig())
+	resp, body := postJSON(t, ts.URL+"/v1/scenarios/default/migrate", `{"target": "node-1"}`)
+	if resp.StatusCode != http.StatusNotImplemented {
+		t.Fatalf("migrate without cluster = %d (%v), want 501", resp.StatusCode, body)
+	}
+}

@@ -159,6 +159,15 @@ type Config struct {
 	// WAL enables the crash-safe write-ahead log; see WALConfig. When
 	// set, Store must be nil (the WAL is the persistence layer).
 	WAL *WALConfig
+	// Cluster enables multi-node ownership routing, peer forwarding, and
+	// live scenario migration; see ClusterConfig. Nil keeps the server a
+	// plain single-node daemon with zero routing overhead.
+	Cluster *ClusterConfig
+	// PrewarmPlacer, when set, is called in the background after a
+	// migration adopts a scenario, so the facade can prime its warm-start
+	// placement cache (which is per-process and does not travel with the
+	// scenario state).
+	PrewarmPlacer func(id string, spec []byte)
 }
 
 // Server is the placemond HTTP service. Create with New; the embedded
@@ -181,6 +190,12 @@ type Server struct {
 	handler        http.Handler
 	closeOnce      sync.Once
 	closeErr       error
+
+	// cluster is non-nil in multi-node mode: ownership routing, peer
+	// forwarding, relocation table, migration endpoints. prewarm is the
+	// optional post-adoption placement-cache hook.
+	cluster *clusterNode
+	prewarm func(id string, spec []byte)
 
 	// Write-ahead log state (wlog nil when disabled). walMu orders
 	// apply+append pairs (read side) against compaction's state capture
@@ -355,6 +370,23 @@ func New(cfg Config) (*Server, error) {
 			"Monitoring daemon events by kind.", "kind", kind.String())
 	}
 
+	if cfg.Cluster != nil {
+		cn, err := newClusterNode(cfg.Cluster, reg)
+		if err != nil {
+			s.pool.close()
+			return nil, err
+		}
+		s.cluster = cn
+	}
+	s.prewarm = cfg.PrewarmPlacer
+
+	if legacy && s.cluster != nil && !s.cluster.members.IsOwner(DefaultScenario) {
+		// Another node owns "default": building it here would double-own
+		// the scenario. The legacy routes forward to the owner instead.
+		logger.Info("default scenario owned by peer; legacy routes will forward",
+			"owner", s.cluster.members.Owner(DefaultScenario).ID)
+		legacy = false
+	}
 	if legacy {
 		def, err := s.newTenant(DefaultScenario, &TenantConfig{
 			NumNodes:    cfg.NumNodes,
@@ -390,6 +422,14 @@ func New(cfg Config) (*Server, error) {
 			return nil, err
 		}
 	}
+	if err := s.validateClusterOwnership(); err != nil {
+		s.pool.close()
+		if s.wlog != nil {
+			s.wlog.Abort()
+		}
+		s.closeLoops()
+		return nil, err
+	}
 
 	// One mux for every route. The request-timeout deadline is applied
 	// per-route, and only to handlers that actually observe it: the
@@ -417,6 +457,14 @@ func New(cfg Config) (*Server, error) {
 		s.instrument("/v1/scenarios/{id}/audit", s.forScenario(s.serveAudit)))
 	mux.Handle("PUT /v1/scenarios/{id}/network",
 		s.withTimeout(s.instrument("/v1/scenarios/{id}/network", s.forScenario(s.serveScenarioNetwork))))
+	mux.Handle("POST /v1/scenarios/{id}/migrate",
+		s.withTimeout(s.instrument("/v1/scenarios/{id}/migrate", s.forScenario(s.serveScenarioMigrate))))
+	if s.cluster != nil {
+		mux.Handle("POST /v1/cluster/adopt",
+			s.instrument("/v1/cluster/adopt", http.HandlerFunc(s.handleClusterAdopt)))
+		mux.Handle("GET /v1/cluster",
+			s.instrument("/v1/cluster", http.HandlerFunc(s.handleClusterInfo)))
+	}
 
 	mux.Handle("GET /v1/scenarios", s.instrument("/v1/scenarios", http.HandlerFunc(s.handleScenarioList)))
 	mux.Handle("PUT /v1/scenarios/{id}", s.withTimeout(s.instrument("/v1/scenarios/{id}", http.HandlerFunc(s.handleScenarioCreate))))
@@ -582,8 +630,16 @@ func (s *Server) forDefault(fn tenantHandler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		t, ok := s.tenants.Get(DefaultScenario)
 		if !ok {
+			if s.cluster != nil && s.routeScenario(w, r, DefaultScenario) {
+				return
+			}
 			writeError(w, http.StatusNotFound, "no default scenario (use /v1/scenarios/{id}/...)")
 			return
+		}
+		if s.cluster != nil {
+			if h := t.currentHandoff(); h != nil && !s.resolveHandoff(h, w, r, false) {
+				return
+			}
 		}
 		t.requests.Inc()
 		fn(t, w, r)
@@ -598,8 +654,16 @@ func (s *Server) forScenario(fn tenantHandler) http.Handler {
 		id := r.PathValue("id")
 		t, ok := s.tenants.Get(id)
 		if !ok {
+			if s.cluster != nil && s.routeScenario(w, r, id) {
+				return
+			}
 			writeError(w, http.StatusNotFound, "scenario %q not found", id)
 			return
+		}
+		if s.cluster != nil {
+			if h := t.currentHandoff(); h != nil && !s.resolveHandoff(h, w, r, false) {
+				return
+			}
 		}
 		if t.isDraining() {
 			writeError(w, http.StatusConflict, "scenario %q is draining", id)
@@ -915,6 +979,10 @@ func (s *Server) serveTenantTraces(t *tenant, w http.ResponseWriter, r *http.Req
 }
 
 func (s *Server) handleScenarioCreate(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if s.cluster != nil && !s.clusterAdminLocal(w, r, id) {
+		return
+	}
 	if s.build == nil {
 		writeError(w, http.StatusNotImplemented, "scenario API not configured")
 		return
@@ -922,7 +990,6 @@ func (s *Server) handleScenarioCreate(w http.ResponseWriter, r *http.Request) {
 	if s.rejectReadOnly(w) {
 		return
 	}
-	id := r.PathValue("id")
 	const maxSpec = 1 << 20
 	spec, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxSpec))
 	if err != nil {
@@ -953,10 +1020,13 @@ func (s *Server) handleScenarioCreate(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleScenarioDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if s.cluster != nil && !s.clusterAdminLocal(w, r, id) {
+		return
+	}
 	if s.rejectReadOnly(w) {
 		return
 	}
-	id := r.PathValue("id")
 	switch err := s.RemoveScenario(r.Context(), id); {
 	case errors.Is(err, registry.ErrNotFound):
 		writeError(w, http.StatusNotFound, "scenario %q not found", id)

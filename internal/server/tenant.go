@@ -76,6 +76,20 @@ type tenant struct {
 	drainMu  sync.Mutex
 	draining bool
 
+	// handoffCur, when non-nil, is the live migration currently moving
+	// this scenario to another node. Requests that catch the tenant
+	// mid-handoff wait on it instead of racing the move (cluster mode
+	// only; see internal/server/cluster.go).
+	handoffMu  sync.Mutex
+	handoffCur *handoff
+
+	// splice, when non-nil, records where this scenario's audit hash
+	// chain continues from: the source node's log head at the migration
+	// fence. Nil for scenarios that have lived on this node since
+	// creation.
+	spliceMu sync.Mutex
+	splice   *auditSplice
+
 	// ingestMu orders a batch's apply+WAL-append pair against other
 	// batches for the same tenant (WAL mode only): replay re-applies in
 	// log order, so log order must equal apply order.
@@ -120,6 +134,51 @@ func (t *tenant) isDraining() bool {
 	t.drainMu.Lock()
 	defer t.drainMu.Unlock()
 	return t.draining
+}
+
+// armHandoff installs h as the tenant's live migration; it returns
+// false when another migration already owns the tenant.
+func (t *tenant) armHandoff(h *handoff) bool {
+	t.handoffMu.Lock()
+	defer t.handoffMu.Unlock()
+	if t.handoffCur != nil {
+		return false
+	}
+	t.handoffCur = h
+	return true
+}
+
+// clearHandoff detaches a failed migration so later requests stop
+// consulting it. A successful migration leaves the handoff armed: the
+// tenant is gone from the registry, and stragglers still holding the
+// pointer follow the handoff's target.
+func (t *tenant) clearHandoff() {
+	t.handoffMu.Lock()
+	t.handoffCur = nil
+	t.handoffMu.Unlock()
+}
+
+// currentHandoff returns the live migration fencing this tenant, if any.
+func (t *tenant) currentHandoff() *handoff {
+	t.handoffMu.Lock()
+	defer t.handoffMu.Unlock()
+	return t.handoffCur
+}
+
+// setSplice records the audit-chain splice point for an adopted (or
+// re-adopted) scenario.
+func (t *tenant) setSplice(sp *auditSplice) {
+	t.spliceMu.Lock()
+	t.splice = sp
+	t.spliceMu.Unlock()
+}
+
+// getSplice returns the splice point, or nil for a scenario that has
+// lived here since creation.
+func (t *tenant) getSplice() *auditSplice {
+	t.spliceMu.Lock()
+	defer t.spliceMu.Unlock()
+	return t.splice
 }
 
 // auditRetain bounds the in-memory audit tail per tenant; the full
@@ -247,6 +306,14 @@ func (s *Server) createScenario(id string, spec []byte, persist bool) error {
 	}
 	if err := registry.ValidateID(id); err != nil {
 		return err
+	}
+	if persist && s.cluster != nil {
+		// The HTTP layer routes non-owned creates to the owner before it
+		// gets here; this guard catches direct API callers so a scenario
+		// can never be created on a node the ring does not point at.
+		if owner := s.ownerOf(id); owner.ID != s.cluster.self() {
+			return fmt.Errorf("%w: %q belongs to node %s", errNotOwner, id, owner.ID)
+		}
 	}
 	tc, err := s.build(id, spec)
 	if err != nil {

@@ -93,6 +93,10 @@ type walDiagnosis struct {
 // byte-identical assertion.
 type walState struct {
 	Scenarios map[string]*walTenantState `json:"scenarios"`
+	// Relocations maps scenario ID → node it migrated to (cluster mode),
+	// so a restarted source keeps pointing followers at the new owner
+	// even after the migrate-out record is folded away.
+	Relocations map[string]string `json:"relocations,omitempty"`
 }
 
 // walTenantState is one tenant's replayable state.
@@ -108,6 +112,10 @@ type walTenantState struct {
 	// AuditTotal counts every event ever appended.
 	Audit      []auditEvent `json:"audit,omitempty"`
 	AuditTotal int          `json:"audit_total,omitempty"`
+	// Splice, for a scenario adopted from another node, records the
+	// source log's chain head at the migration fence — where this
+	// scenario's audit chain verifiably continues from.
+	Splice *auditSplice `json:"splice,omitempty"`
 }
 
 // buildWALState captures every tenant's replayable state. Callers must
@@ -127,9 +135,15 @@ func (s *Server) buildWALState() *walState {
 			ts.Dedup = t.dedup.export()
 		}
 		ts.Audit, ts.AuditTotal = t.auditSnapshot(0)
+		ts.Splice = t.getSplice()
 		st.Scenarios[id] = ts
 		return true
 	})
+	if s.cluster != nil {
+		if reloc := s.cluster.relocations(); len(reloc) > 0 {
+			st.Relocations = reloc
+		}
+	}
 	return st
 }
 
@@ -220,18 +234,27 @@ func (s *Server) walAppendIngest(t *tenant, batchID string, tm float64, conns []
 
 // walAppendScenario appends one scenario lifecycle record durably.
 func (s *Server) walAppendScenario(typ byte, payload any) error {
+	_, err := s.walAppendScenarioResult(typ, payload)
+	return err
+}
+
+// walAppendScenarioResult is walAppendScenario returning the appended
+// record's log position and chain hash — the migration fence records
+// them as the splice anchor the target's audit chain continues from.
+func (s *Server) walAppendScenarioResult(typ byte, payload any) (wal.AppendResult, error) {
 	p, err := json.Marshal(payload)
 	if err != nil {
-		return fmt.Errorf("%w: encode: %v", errWALUnavailable, err)
+		return wal.AppendResult{}, fmt.Errorf("%w: encode: %v", errWALUnavailable, err)
 	}
 	s.walMu.RLock()
 	defer s.walMu.RUnlock()
-	if _, err := s.wlog.Append(typ, p); err != nil {
+	res, err := s.wlog.Append(typ, p)
+	if err != nil {
 		s.enterReadOnly(err)
-		return fmt.Errorf("%w: %v", errWALUnavailable, err)
+		return wal.AppendResult{}, fmt.Errorf("%w: %v", errWALUnavailable, err)
 	}
 	s.walAfterAppend(1)
-	return nil
+	return res, nil
 }
 
 // walAfterAppend keeps the segment gauge fresh and kicks a background
@@ -380,6 +403,17 @@ func (s *Server) restoreWALState(doc []byte) error {
 			}
 		}
 		t.restoreAudit(ts.Audit, ts.AuditTotal)
+		t.setSplice(ts.Splice)
+	}
+	if len(st.Relocations) > 0 {
+		if s.cluster == nil {
+			s.logger.Warn("WAL snapshot carries relocations but clustering is off; followers cannot be redirected",
+				"relocations", len(st.Relocations))
+		} else {
+			for id, node := range st.Relocations {
+				s.cluster.setRelocation(id, node)
+			}
+		}
 	}
 	return nil
 }
@@ -467,6 +501,20 @@ func (s *Server) replayRecord(r wal.Record) {
 			return
 		}
 		s.replayScenarioUpdate(r.Seq, p)
+	case wal.TypeScenarioMigrateOut:
+		var p walMigrate
+		if err := json.Unmarshal(r.Payload, &p); err != nil {
+			s.logger.Warn("WAL replay: malformed migrate-out record skipped", "seq", r.Seq, "error", err)
+			return
+		}
+		s.replayMigrateOut(r.Seq, p)
+	case wal.TypeScenarioMigrateIn:
+		var p walMigrate
+		if err := json.Unmarshal(r.Payload, &p); err != nil {
+			s.logger.Warn("WAL replay: malformed migrate-in record skipped", "seq", r.Seq, "error", err)
+			return
+		}
+		s.replayMigrateIn(r.Seq, p)
 	case wal.TypeDiagnosis:
 		var p walDiagnosis
 		if err := json.Unmarshal(r.Payload, &p); err != nil {
@@ -513,6 +561,18 @@ type auditEvent struct {
 	Diagnosis *diagnosisJSON `json:"diagnosis,omitempty"`
 }
 
+// auditSplice links a migrated scenario's audit chain across logs: the
+// scenario's pre-migration events live in SourceNode's WAL, whose chain
+// head at the migration fence was (SourceHeadSeq, SourceHeadHash).
+// Verifying the source log and checking that its record at
+// SourceHeadSeq carries SourceHeadHash proves the chains join with
+// nothing lost or reordered in between.
+type auditSplice struct {
+	SourceNode     string `json:"source_node"`
+	SourceHeadSeq  uint64 `json:"source_head_seq,omitempty"`
+	SourceHeadHash string `json:"source_head_hash,omitempty"`
+}
+
 // auditChainJSON is the audit response's chain-verification block,
 // produced by walking the log on disk.
 type auditChainJSON struct {
@@ -547,8 +607,13 @@ func (s *Server) serveAudit(t *tenant, w http.ResponseWriter, r *http.Request) {
 		Scenario    string         `json:"scenario"`
 		TotalEvents int            `json:"total_events"`
 		Events      []auditEvent   `json:"events"`
-		Chain       auditChainJSON `json:"chain"`
-	}{Scenario: t.id, TotalEvents: total, Events: events}
+		// Splice, for a scenario adopted from another node, names the
+		// source log's chain head at the migration fence: verifying the
+		// source log and finding that (seq, hash) pair proves the two
+		// chains join.
+		Splice *auditSplice   `json:"splice,omitempty"`
+		Chain  auditChainJSON `json:"chain"`
+	}{Scenario: t.id, TotalEvents: total, Events: events, Splice: t.getSplice()}
 
 	rep, err := s.wlog.Verify()
 	if err != nil {

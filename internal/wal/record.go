@@ -26,6 +26,17 @@ const (
 	// document: an in-place network replacement (PUT .../network) that
 	// preserves the scenario's dedup window and audit ledger.
 	TypeScenarioUpdate byte = 5
+	// TypeScenarioMigrateOut fences a live migration on the source node:
+	// it carries the full migration document (spec + replayable state), so
+	// even a handoff interrupted between fence and transfer loses nothing
+	// recoverable, and after it replays the scenario is no longer owned
+	// here — it is relocated to the named target node.
+	TypeScenarioMigrateOut byte = 6
+	// TypeScenarioMigrateIn adopts a migrated scenario on the target node:
+	// the same migration document plus the source log's chain head at the
+	// fence, splicing the scenario's audit hash chain verifiably across
+	// the two nodes' logs.
+	TypeScenarioMigrateIn byte = 7
 )
 
 // TypeName renders a record type for reports and logs.
@@ -41,6 +52,10 @@ func TypeName(t byte) string {
 		return "diagnosis"
 	case TypeScenarioUpdate:
 		return "scenario-update"
+	case TypeScenarioMigrateOut:
+		return "scenario-migrate-out"
+	case TypeScenarioMigrateIn:
+		return "scenario-migrate-in"
 	default:
 		return fmt.Sprintf("type-%d", t)
 	}

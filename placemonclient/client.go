@@ -55,6 +55,15 @@ const (
 // network; retry after the cooldown or inspect the server out of band.
 var ErrCircuitOpen = errors.New("placemonclient: circuit breaker open")
 
+// OwnerHeader names the owning node on a cluster node's 307 answers.
+const OwnerHeader = "Placemond-Owner"
+
+// maxRedirectHops bounds how many 307s one delivery follows. In a
+// healthy cluster a request crosses at most two (stale hint → ring
+// owner → migrated-to node); more means the nodes' membership views
+// disagree and following further would ping-pong forever.
+const maxRedirectHops = 4
+
 // ErrReadOnly means the daemon refused the mutation because a WAL write
 // failure froze it read-only (503 with Placemond-Read-Only). The mode is
 // sticky until an operator restarts the daemon, so the client does not
@@ -127,10 +136,17 @@ type Client struct {
 	// subsequent observation batches upgrade to NDJSON encoding.
 	ndjson atomic.Bool
 
-	registry *metrics.Registry
-	requests func(outcome string) *metrics.Counter
-	retries  *metrics.Counter
-	latency  *metrics.Histogram
+	// owners caches cluster owner hints learned from 307 redirects:
+	// scenario key → *url.URL base of the node that actually owns it.
+	// Later calls for the same scenario start at the cached owner and
+	// skip the extra hop; a 404 from the hinted node drops the hint.
+	owners sync.Map
+
+	registry  *metrics.Registry
+	requests  func(outcome string) *metrics.Counter
+	retries   *metrics.Counter
+	redirects *metrics.Counter
+	latency   *metrics.Histogram
 }
 
 // New validates cfg, fills defaults, and builds the client.
@@ -145,8 +161,18 @@ func New(cfg Config) (*Client, error) {
 	if base.Scheme == "" || base.Host == "" {
 		return nil, fmt.Errorf("placemonclient: BaseURL %q needs a scheme and host", cfg.BaseURL)
 	}
+	// The client must see 307s itself to learn owner hints and cap hops;
+	// net/http would otherwise transparently re-send (request bodies are
+	// replayable bytes.Readers). A caller-installed CheckRedirect is
+	// respected; a nil one is overridden on a copy, not on the caller's
+	// client.
+	noFollow := func(*http.Request, []*http.Request) error { return http.ErrUseLastResponse }
 	if cfg.HTTPClient == nil {
-		cfg.HTTPClient = &http.Client{}
+		cfg.HTTPClient = &http.Client{CheckRedirect: noFollow}
+	} else if cfg.HTTPClient.CheckRedirect == nil {
+		hc := *cfg.HTTPClient
+		hc.CheckRedirect = noFollow
+		cfg.HTTPClient = &hc
 	}
 	if cfg.MaxAttempts <= 0 {
 		cfg.MaxAttempts = 4
@@ -190,6 +216,8 @@ func New(cfg Config) (*Client, error) {
 		},
 		retries: reg.Counter("placemonclient_retries_total",
 			"Retried deliveries (attempts beyond the first)."),
+		redirects: reg.Counter("placemonclient_redirects_total",
+			"Cluster 307 redirects followed (routing, not failures)."),
 		latency: reg.Histogram("placemonclient_request_duration_seconds",
 			"Wall-clock duration of API calls including retries.", nil),
 	}
@@ -392,6 +420,11 @@ func (c *Client) doBody(ctx context.Context, method, path, contentType string, b
 	start := time.Now()
 	defer func() { c.latency.Observe(time.Since(start).Seconds()) }()
 
+	// Cluster routing: start at the cached owner when a prior 307 taught
+	// us who owns this scenario, else at the configured base.
+	key := scenarioKey(path)
+	base := c.ownerBase(key)
+
 	var lastErr error
 	retryAfter := time.Duration(0)
 	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
@@ -410,15 +443,47 @@ func (c *Client) doBody(ctx context.Context, method, path, contentType string, b
 			return nil, ErrCircuitOpen
 		}
 
-		hdr, retryable, ra, err := c.attempt(ctx, method, path, traceID, contentType, body, out)
+		// One delivery = one attempt plus any 307s it is routed through.
+		// Redirects are routing, not failures: they consume no retry
+		// budget, trigger no backoff, and never touch the breaker's
+		// failure count — but the hop cap stops a ping-pong between nodes
+		// with stale membership views.
+		var (
+			hdr       http.Header
+			retryable bool
+			ra        time.Duration
+			err       error
+		)
+		for hops := 0; ; hops++ {
+			var redirect *url.URL
+			hdr, redirect, retryable, ra, err = c.attempt(ctx, base, method, path, traceID, contentType, body, out)
+			if redirect == nil {
+				break
+			}
+			if hops+1 > maxRedirectHops {
+				c.requests("error").Inc()
+				return nil, fmt.Errorf("placemonclient: %s %s: gave up after %d redirect hops (stale cluster membership?)",
+					method, path, maxRedirectHops)
+			}
+			c.redirects.Inc()
+			base = &url.URL{Scheme: redirect.Scheme, Host: redirect.Host}
+			if key != "" {
+				c.owners.Store(key, base)
+			}
+		}
 		if err == nil {
 			c.requests("success").Inc()
 			return hdr, nil
 		}
 		lastErr, retryAfter = err, ra
-		if !retryable || ctx.Err() != nil {
+		if !retryable {
+			c.dropStaleOwner(key, err)
 			c.requests("error").Inc()
 			return nil, fmt.Errorf("placemonclient: %s %s: %w", method, path, lastErr)
+		}
+		if ctx.Err() != nil {
+			c.requests("error").Inc()
+			return nil, fmt.Errorf("placemonclient: %s %s: %w (last error: %v)", method, path, ctx.Err(), lastErr)
 		}
 	}
 	c.requests("error").Inc()
@@ -426,11 +491,51 @@ func (c *Client) doBody(ctx context.Context, method, path, contentType string, b
 		method, path, c.cfg.MaxAttempts, lastErr)
 }
 
-// attempt performs one delivery and classifies the outcome: retryable
-// covers transport errors, per-attempt timeouts, 429, and 5xx; other 4xx
-// answers are permanent (and count as breaker successes — the server is
-// alive, it just rejected the request).
-func (c *Client) attempt(ctx context.Context, method, path, traceID, contentType string, body []byte, out any) (http.Header, bool, time.Duration, error) {
+// scenarioKey maps a request path to the scenario whose owner hint it
+// should use: the {id} of a scenario-scoped route, "default" for the
+// legacy tenant routes, "" (no hint) for node-local endpoints.
+func scenarioKey(path string) string {
+	if rest, ok := strings.CutPrefix(path, "/v1/scenarios/"); ok {
+		id, _, _ := strings.Cut(rest, "/")
+		id, _, _ = strings.Cut(id, "?")
+		return id
+	}
+	if strings.HasPrefix(path, "/v1/") {
+		return "default"
+	}
+	return ""
+}
+
+// ownerBase returns the cached owner for key, or the configured base.
+func (c *Client) ownerBase(key string) *url.URL {
+	if key != "" {
+		if v, ok := c.owners.Load(key); ok {
+			return v.(*url.URL)
+		}
+	}
+	return c.base
+}
+
+// dropStaleOwner forgets a cached owner hint when the hinted node says
+// the scenario does not exist — deleted, or moved while the membership
+// changed — so the next call starts over at the configured base.
+func (c *Client) dropStaleOwner(key string, err error) {
+	if key == "" {
+		return
+	}
+	var apiErr *APIError
+	if errors.As(err, &apiErr) && apiErr.Status == http.StatusNotFound {
+		c.owners.Delete(key)
+	}
+}
+
+// attempt performs one delivery against base and classifies the
+// outcome: retryable covers transport errors, per-attempt timeouts,
+// 429, and 5xx; other 4xx answers are permanent (and count as breaker
+// successes — the server is alive, it just rejected the request). A
+// 307 returns the redirect target (also a breaker success: a node that
+// knows who owns the scenario is a healthy node).
+func (c *Client) attempt(ctx context.Context, base *url.URL, method, path, traceID, contentType string, body []byte, out any) (http.Header, *url.URL, bool, time.Duration, error) {
 	actx := ctx
 	if c.cfg.PerAttemptTimeout > 0 {
 		var cancel context.CancelFunc
@@ -442,11 +547,11 @@ func (c *Client) attempt(ctx context.Context, method, path, traceID, contentType
 		rd = bytes.NewReader(body)
 	}
 	path, query, _ := strings.Cut(path, "?")
-	u := c.base.JoinPath(path)
+	u := base.JoinPath(path)
 	u.RawQuery = query
 	req, err := http.NewRequestWithContext(actx, method, u.String(), rd)
 	if err != nil {
-		return nil, false, 0, err
+		return nil, nil, false, 0, err
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", contentType)
@@ -458,10 +563,10 @@ func (c *Client) attempt(ctx context.Context, method, path, traceID, contentType
 		if ctx.Err() != nil {
 			// The caller's deadline expired, not just this attempt's:
 			// retrying would only burn the corpse.
-			return nil, false, 0, ctx.Err()
+			return nil, nil, false, 0, ctx.Err()
 		}
 		c.breakerFailure()
-		return nil, true, 0, err
+		return nil, nil, true, 0, err
 	}
 	defer func() {
 		io.Copy(io.Discard, resp.Body)
@@ -480,24 +585,34 @@ func (c *Client) attempt(ctx context.Context, method, path, traceID, contentType
 				// A 2xx whose body died mid-read (connection reset after
 				// the status line): the server answered, the network ate
 				// it. Retry — idempotency keys make that safe.
-				return nil, true, 0, fmt.Errorf("decoding %s answer: %w", path, err)
+				return nil, nil, true, 0, fmt.Errorf("decoding %s answer: %w", path, err)
 			}
 		}
-		return resp.Header, false, 0, nil
+		return resp.Header, nil, false, 0, nil
+	case resp.StatusCode == http.StatusTemporaryRedirect:
+		// Cluster ownership routing: this node does not host the
+		// scenario and Location names the node that does.
+		c.breakerSuccess()
+		loc := resp.Header.Get("Location")
+		target, perr := u.Parse(loc)
+		if perr != nil || target.Host == "" {
+			return nil, nil, false, 0, fmt.Errorf("redirect with unusable Location %q: %w", loc, apiError(resp))
+		}
+		return nil, target, false, 0, nil
 	case resp.StatusCode == http.StatusServiceUnavailable &&
 		resp.Header.Get("Placemond-Read-Only") == "true":
 		// Deliberate, sticky degradation — not an outage: the daemon is
 		// alive (breaker success) but refuses mutations until restarted,
 		// so retrying this call is wasted work.
 		c.breakerSuccess()
-		return nil, false, 0, fmt.Errorf("%w: %w", ErrReadOnly, apiError(resp))
+		return nil, nil, false, 0, fmt.Errorf("%w: %w", ErrReadOnly, apiError(resp))
 	case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode >= 500:
 		c.breakerFailure()
 		ra := parseRetryAfter(resp.Header.Get("Retry-After"))
-		return nil, true, ra, apiError(resp)
+		return nil, nil, true, ra, apiError(resp)
 	default:
 		c.breakerSuccess()
-		return nil, false, 0, apiError(resp)
+		return nil, nil, false, 0, apiError(resp)
 	}
 }
 

@@ -1,0 +1,187 @@
+package placemonclient
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// twoNodeCluster fakes a redirect-mode cluster: node A 307s every
+// scenario-scoped request at node B (naming it in Placemond-Owner), and
+// node B answers. Returns the two servers and their hit counters.
+func twoNodeCluster(t *testing.T) (a, b *httptest.Server, aHits, bHits *atomic.Int64) {
+	t.Helper()
+	aHits, bHits = new(atomic.Int64), new(atomic.Int64)
+	b = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		bHits.Add(1)
+		if strings.HasSuffix(r.URL.Path, "/diagnosis") {
+			w.Write([]byte(`{"in_outage": false, "connections": []}`))
+			return
+		}
+		w.Write([]byte(`{"events": []}`))
+	}))
+	t.Cleanup(b.Close)
+	a = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		aHits.Add(1)
+		w.Header().Set(OwnerHeader, "node-b")
+		w.Header().Set("Location", b.URL+r.URL.RequestURI())
+		w.WriteHeader(http.StatusTemporaryRedirect)
+	}))
+	t.Cleanup(a.Close)
+	return a, b, aHits, bHits
+}
+
+// TestRedirectFollowedWithoutRetryBudget: a 307 is routing, not a
+// failure — the call succeeds in one logical attempt, consumes no
+// retries, performs no backoff, and never trips the breaker.
+func TestRedirectFollowedWithoutRetryBudget(t *testing.T) {
+	a, _, aHits, bHits := twoNodeCluster(t)
+	// Breaker armed at threshold 1: a single counted failure would open
+	// it, so the call succeeding proves redirects touch nothing.
+	c := newTestClient(t, a.URL, func(cfg *Config) { cfg.BreakerThreshold = 1; cfg.MaxAttempts = 1 })
+
+	sc := c.Scenario("alpha")
+	if _, err := sc.Diagnosis(context.Background()); err != nil {
+		t.Fatalf("Diagnosis through redirect = %v", err)
+	}
+	if aHits.Load() != 1 || bHits.Load() != 1 {
+		t.Fatalf("hits = (a=%d, b=%d), want one hop each", aHits.Load(), bHits.Load())
+	}
+	if got := c.retries.Value(); got != 0 {
+		t.Fatalf("retries = %v, want 0 — redirects must not burn the retry budget", got)
+	}
+	if got := c.redirects.Value(); got != 1 {
+		t.Fatalf("redirects counter = %v, want 1", got)
+	}
+	// Second call for the same scenario starts at the learned owner:
+	// node A is not consulted again.
+	if _, err := sc.Diagnosis(context.Background()); err != nil {
+		t.Fatalf("second Diagnosis = %v", err)
+	}
+	if aHits.Load() != 1 || bHits.Load() != 2 {
+		t.Fatalf("hits after hint = (a=%d, b=%d), want the hop skipped", aHits.Load(), bHits.Load())
+	}
+}
+
+// TestRedirectHintIsPerScenario: the owner hint learned for one scenario
+// does not reroute calls for another.
+func TestRedirectHintIsPerScenario(t *testing.T) {
+	a, _, aHits, _ := twoNodeCluster(t)
+	c := newTestClient(t, a.URL, nil)
+
+	if _, err := c.Scenario("alpha").Diagnosis(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if aHits.Load() != 1 {
+		t.Fatalf("a hits = %d, want 1", aHits.Load())
+	}
+	// A different scenario still starts at the configured base.
+	if _, err := c.Scenario("beta").Diagnosis(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if aHits.Load() != 2 {
+		t.Fatalf("a hits = %d, want 2 — beta must not reuse alpha's hint", aHits.Load())
+	}
+}
+
+// TestRedirectHopCap: two nodes that bounce a request between each other
+// (stale membership on both sides) produce a permanent error naming the
+// hop cap, not an infinite loop and not a retry storm.
+func TestRedirectHopCap(t *testing.T) {
+	var hits atomic.Int64
+	var ts *httptest.Server
+	ts = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.Header().Set("Location", ts.URL+r.URL.RequestURI())
+		w.WriteHeader(http.StatusTemporaryRedirect)
+	}))
+	defer ts.Close()
+
+	c := newTestClient(t, ts.URL, nil)
+	_, err := c.Scenario("loop").Diagnosis(context.Background())
+	if err == nil || !strings.Contains(err.Error(), "redirect hops") {
+		t.Fatalf("looping redirects = %v, want a hop-cap error", err)
+	}
+	if hits.Load() != int64(maxRedirectHops)+1 {
+		t.Fatalf("deliveries = %d, want %d (initial + capped hops)", hits.Load(), maxRedirectHops+1)
+	}
+	if got := c.retries.Value(); got != 0 {
+		t.Fatalf("retries = %v, want 0 — the loop is permanent, not transient", got)
+	}
+}
+
+// TestStaleOwnerHintDropped: when the hinted owner 404s the scenario
+// (deleted, or moved during a membership change), the hint is forgotten
+// and the next call starts over at the configured base.
+func TestStaleOwnerHintDropped(t *testing.T) {
+	var bMode atomic.Int32 // 0: serve, 1: 404
+	bHits := new(atomic.Int64)
+	b := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		bHits.Add(1)
+		if bMode.Load() == 1 {
+			http.Error(w, `{"error":"scenario not found"}`, http.StatusNotFound)
+			return
+		}
+		w.Write([]byte(`{"in_outage": false, "connections": []}`))
+	}))
+	defer b.Close()
+	aHits := new(atomic.Int64)
+	a := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		aHits.Add(1)
+		w.Header().Set("Location", b.URL+r.URL.RequestURI())
+		w.WriteHeader(http.StatusTemporaryRedirect)
+	}))
+	defer a.Close()
+
+	c := newTestClient(t, a.URL, nil)
+	sc := c.Scenario("alpha")
+	if _, err := sc.Diagnosis(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	bMode.Store(1)
+	if _, err := sc.Diagnosis(context.Background()); err == nil {
+		t.Fatal("404 from the hinted owner should surface")
+	}
+	// The hint is gone: the next call consults the base again.
+	base := aHits.Load()
+	if _, err := sc.Diagnosis(context.Background()); err == nil {
+		t.Fatal("still 404 end-to-end")
+	}
+	if aHits.Load() != base+1 {
+		t.Fatalf("a hits = %d, want %d — the stale hint must be dropped", aHits.Load(), base+1)
+	}
+}
+
+// TestScenarioMigrateCall: ScenarioClient.Migrate posts the target and
+// decodes the handoff record.
+func TestScenarioMigrateCall(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost || !strings.HasSuffix(r.URL.Path, "/v1/scenarios/alpha/migrate") {
+			http.Error(w, `{"error":"wrong route"}`, http.StatusNotFound)
+			return
+		}
+		var req struct {
+			Target string `json:"target"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Target != "node-b" {
+			http.Error(w, fmt.Sprintf(`{"error":"bad body: %v / %q"}`, err, req.Target), http.StatusBadRequest)
+			return
+		}
+		w.Write([]byte(`{"scenario": "alpha", "from": "node-a", "to": "node-b", "head_seq": 7, "head_hash": "abcd", "duration_seconds": 0.01}`))
+	}))
+	defer ts.Close()
+
+	c := newTestClient(t, ts.URL, nil)
+	res, err := c.Scenario("alpha").Migrate(context.Background(), "node-b")
+	if err != nil {
+		t.Fatalf("Migrate = %v", err)
+	}
+	if res.From != "node-a" || res.To != "node-b" || res.HeadSeq != 7 || res.HeadHash != "abcd" {
+		t.Fatalf("Migrate result = %+v", res)
+	}
+}

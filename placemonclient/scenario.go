@@ -156,13 +156,24 @@ type AuditChain struct {
 	Error       string `json:"error,omitempty"`
 }
 
+// AuditSplice records where a migrated scenario's audit chain continues
+// from: the source node and the sequence/hash of the migrate-out fence
+// in the source's log. Present only on scenarios adopted from a peer.
+type AuditSplice struct {
+	SourceNode     string `json:"source_node"`
+	SourceHeadSeq  uint64 `json:"source_head_seq,omitempty"`
+	SourceHeadHash string `json:"source_head_hash,omitempty"`
+}
+
 // AuditReport is GET /v1/scenarios/{id}/audit: the retained diagnosis
-// events plus the chain-verification block.
+// events plus the chain-verification block. Splice, when set, anchors
+// this node's chain to the source node's log for a migrated scenario.
 type AuditReport struct {
 	Scenario    string       `json:"scenario"`
 	TotalEvents int          `json:"total_events"`
 	Events      []AuditEvent `json:"events"`
 	Chain       AuditChain   `json:"chain"`
+	Splice      *AuditSplice `json:"splice,omitempty"`
 }
 
 // Audit fetches the scenario's hash-chained diagnosis audit ledger.
@@ -176,6 +187,35 @@ func (sc *ScenarioClient) Audit(ctx context.Context, limit int) (*AuditReport, e
 	}
 	var out AuditReport
 	if _, err := sc.c.do(ctx, http.MethodGet, path, nil, &out); err != nil {
+		return nil, scenarioErr(sc.id, err)
+	}
+	return &out, nil
+}
+
+// MigrateResult is POST /v1/scenarios/{id}/migrate: the handoff record
+// for a scenario moved to another cluster node. HeadSeq/HeadHash name
+// the migrate-out fence in the source node's WAL — the splice anchor the
+// target's audit chain verifiably continues from.
+type MigrateResult struct {
+	Scenario        string  `json:"scenario"`
+	From            string  `json:"from"`
+	To              string  `json:"to"`
+	HeadSeq         uint64  `json:"head_seq"`
+	HeadHash        string  `json:"head_hash"`
+	DurationSeconds float64 `json:"duration_seconds"`
+}
+
+// Migrate moves the scenario to the named cluster node: the source
+// fences its WAL, transfers a snapshot, and thereafter answers 307 to
+// the target (which this client follows transparently). Requires a
+// cluster-mode daemon; single-node daemons answer 501. A scenario
+// mid-drain or already migrating surfaces as a 409 APIError.
+func (sc *ScenarioClient) Migrate(ctx context.Context, target string) (*MigrateResult, error) {
+	req := struct {
+		Target string `json:"target"`
+	}{Target: target}
+	var out MigrateResult
+	if _, err := sc.c.do(ctx, http.MethodPost, sc.prefix+"/migrate", req, &out); err != nil {
 		return nil, scenarioErr(sc.id, err)
 	}
 	return &out, nil

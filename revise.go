@@ -34,14 +34,18 @@ type NetworkChange struct {
 // cold initial sweep, never correctness.
 const reviserCacheCap = 64
 
-// newNetworkReviser returns the server.ReviseFunc the facade installs:
+// newNetworkReviser returns the server.ReviseFunc the facade installs —
 // stored scenario document plus NetworkChange body in, fully revised
-// document out. Re-placement runs the warm-start engine with a
-// per-scenario gain cache, so successive revisions of a large scenario
-// only re-evaluate candidates whose measurement paths actually changed;
-// the result is still bit-identical to a cold greedy run on the new
-// network.
-func newNetworkReviser() server.ReviseFunc {
+// document out — together with a prewarm function that charges the same
+// per-scenario gain cache from a scenario document alone. Re-placement
+// runs the warm-start engine with that cache, so successive revisions of
+// a large scenario only re-evaluate candidates whose measurement paths
+// actually changed; the result is still bit-identical to a cold greedy
+// run on the new network. The prewarm hook is how a cluster node that
+// just adopted a migrated scenario gets the same warm revisions the
+// source node had: the serving layer calls it in the background after an
+// adopt, and a failure only costs the cold first revision.
+func newNetworkReviser() (server.ReviseFunc, func(id string, spec []byte)) {
 	var mu sync.Mutex
 	warm := map[string]*placement.WarmPlacer{}
 	placerFor := func(id string) *placement.WarmPlacer {
@@ -57,7 +61,23 @@ func newNetworkReviser() server.ReviseFunc {
 		warm[id] = w
 		return w
 	}
-	return func(id string, spec, change []byte) ([]byte, error) {
+	prewarm := func(id string, spec []byte) {
+		sp, err := ParseScenarioSpec(spec)
+		if err != nil {
+			return
+		}
+		nw, err := sp.Network()
+		if err != nil {
+			return
+		}
+		inst, obj, err := nw.prepare(sp.Placement.ToServices(),
+			PlaceConfig{Alpha: sp.Placement.Alpha})
+		if err != nil {
+			return
+		}
+		_, _, _ = placerFor(id).Place(context.Background(), inst, obj, 0, nil)
+	}
+	revise := func(id string, spec, change []byte) ([]byte, error) {
 		sp, err := ParseScenarioSpec(spec)
 		if err != nil {
 			return nil, err
@@ -94,6 +114,7 @@ func newNetworkReviser() server.ReviseFunc {
 		}
 		return out, nil
 	}
+	return revise, prewarm
 }
 
 // ReplaceScenarioNetwork revises a hosted scenario's network in place:

@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/cluster"
 	"repro/internal/registry"
 	"repro/internal/server"
 	"repro/internal/wal"
@@ -144,9 +145,10 @@ func NewScenarioServer(cfg ServerConfig) (*Server, error) {
 }
 
 // innerConfig translates the facade knobs shared by NewServer and
-// NewScenarioServer, including the multi-tenant ones; when ScenarioDir
-// is set it opens the file-backed scenario store.
+// NewScenarioServer, including the multi-tenant and cluster ones; when
+// ScenarioDir is set it opens the file-backed scenario store.
 func (cfg ServerConfig) innerConfig() (server.Config, error) {
+	revise, prewarm := newNetworkReviser()
 	sc := server.Config{
 		K:                  cfg.K,
 		Workers:            cfg.Workers,
@@ -160,10 +162,25 @@ func (cfg ServerConfig) innerConfig() (server.Config, error) {
 		SlowRequest:        cfg.SlowRequest,
 		TraceBuffer:        cfg.TraceBuffer,
 		BuildScenario:      buildScenario,
-		ReviseNetwork:      newNetworkReviser(),
+		ReviseNetwork:      revise,
+		PrewarmPlacer:      prewarm,
 		MaxScenarios:       cfg.MaxScenarios,
 		TenantSeriesCap:    cfg.TenantSeriesCap,
 		MaxJobsPerScenario: cfg.MaxJobsPerScenario,
+	}
+	if (cfg.NodeID == "") != (cfg.Peers == "") {
+		return sc, fmt.Errorf("placemon: NodeID and Peers must be set together (got node ID %q, peers %q)", cfg.NodeID, cfg.Peers)
+	}
+	if cfg.NodeID != "" {
+		members, err := cluster.New(cfg.NodeID, cfg.Peers)
+		if err != nil {
+			return sc, fmt.Errorf("placemon: %w", err)
+		}
+		sc.Cluster = &server.ClusterConfig{
+			Membership: members,
+			Proxy:      cfg.ClusterProxy,
+			ForceAdopt: cfg.ForceAdopt,
+		}
 	}
 	if cfg.WALDir != "" && cfg.ScenarioDir != "" {
 		return sc, fmt.Errorf("placemon: WALDir and ScenarioDir are mutually exclusive (the WAL subsumes the scenario store)")

@@ -89,6 +89,27 @@ type ServerConfig struct {
 	// monopolize the shared worker pool (default: the whole pool;
 	// < 0 removes the quota).
 	MaxJobsPerScenario int
+
+	// NodeID, when non-empty, runs the daemon in cluster mode as the named
+	// member of the static membership Peers describes. Scenario ownership
+	// is decided by a consistent-hash ring over the member IDs; requests
+	// for scenarios this node does not own answer 307 to the owner (or are
+	// proxied, see ClusterProxy). Must be set together with Peers.
+	NodeID string
+	// Peers is the shared membership specification, comma-separated
+	// "id=url" entries (e.g. "a=http://h1:8080,b=http://h2:8080"). Every
+	// node must be started with the same list, which must include its own
+	// NodeID. Must be set together with NodeID.
+	Peers string
+	// ClusterProxy makes non-owner nodes proxy scenario requests to the
+	// owner peer-to-peer instead of answering 307, for clients that cannot
+	// follow redirects. Default false (redirect).
+	ClusterProxy bool
+	// ForceAdopt lets a booting cluster node keep serving persisted
+	// scenarios whose ring owner is another node (it logs a warning per
+	// scenario instead of refusing to start). An escape hatch for membership
+	// changes; the owned-elsewhere scenarios should then be migrated off.
+	ForceAdopt bool
 }
 
 // Server is the placemond HTTP monitoring service. Built with NewServer
